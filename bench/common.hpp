@@ -1,0 +1,109 @@
+// Shared plumbing for the experiment benches: run one corpus test case
+// through the tool, evaluate the paper's layout alternatives, and print
+// figure-style tables.
+#pragma once
+
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "corpus/corpus.hpp"
+#include "driver/testcase.hpp"
+#include "driver/tool.hpp"
+#include "support/text.hpp"
+
+namespace al::bench {
+
+struct CaseRun {
+  std::unique_ptr<driver::ToolResult> tool;
+  driver::CaseReport report;
+};
+
+/// Runs the assistant tool + alternative evaluation for one test case.
+inline CaseRun run_case(const corpus::TestCase& c,
+                        const driver::ToolOptions& base = {}) {
+  driver::ToolOptions opts = base;
+  opts.procs = c.procs;
+  CaseRun out;
+  out.tool = driver::run_tool(corpus::source_for(c), opts);
+  out.report = driver::evaluate_alternatives(*out.tool);
+  return out;
+}
+
+/// One "figure" block: the alternatives table of a single test case.
+inline void print_case(const corpus::TestCase& c, const driver::CaseReport& rep) {
+  std::printf("---- %s ----\n%s\n", c.name().c_str(),
+              driver::report_table(rep).c_str());
+}
+
+/// Figure 4/5/6/7 style: one series row per layout alternative, one column
+/// per processor count, estimated and measured side by side.
+struct Series {
+  std::string name;
+  std::vector<double> est_s;
+  std::vector<double> meas_s;
+};
+
+inline void print_series(const std::vector<int>& procs, const std::vector<Series>& series) {
+  auto cell = [](double v) {
+    return v != v ? std::string("-") : format_fixed(v, 3);  // NaN -> "-"
+  };
+  std::printf("%s", pad_right("layout \\ procs", 30).c_str());
+  for (int p : procs) std::printf("%14s", ("P=" + std::to_string(p)).c_str());
+  std::printf("\n");
+  for (const Series& s : series) {
+    std::printf("%s", pad_right(s.name + " est", 30).c_str());
+    for (double v : s.est_s) std::printf("%14s", cell(v).c_str());
+    std::printf("\n");
+    std::printf("%s", pad_right(s.name + " meas", 30).c_str());
+    for (double v : s.meas_s) std::printf("%14s", cell(v).c_str());
+    std::printf("\n");
+  }
+}
+
+/// Runs one test case per processor count and lines the alternatives up as
+/// series (missing combinations render as "-"). `make_case` maps a
+/// processor count to the TestCase; tool picks are summarized in `picks`.
+struct SeriesResult {
+  std::vector<Series> rows;
+  std::string picks;
+};
+
+template <typename MakeCase>
+SeriesResult run_series(const std::vector<int>& procs, MakeCase&& make_case,
+                        const driver::ToolOptions& base = {}) {
+  SeriesResult out;
+  std::vector<std::string> order;
+  auto row_of = [&](const std::string& key) -> Series& {
+    for (Series& s : out.rows) {
+      if (s.name == key) return s;
+    }
+    out.rows.push_back(Series{key, {}, {}});
+    return out.rows.back();
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+    corpus::TestCase c = make_case(procs[pi]);
+    CaseRun run = run_case(c, base);
+    for (const driver::Alternative& a : run.report.alternatives) {
+      std::string key = a.name;
+      if (auto pos = key.find(" (BLOCK"); pos != std::string::npos) key = key.substr(0, pos);
+      if (auto pos = key.find(" (*,"); pos != std::string::npos) key = key.substr(0, pos);
+      Series& s = row_of(key);
+      s.est_s.resize(pi, nan);
+      s.meas_s.resize(pi, nan);
+      s.est_s.push_back(a.est_us / 1e6);
+      s.meas_s.push_back(a.meas_us / 1e6);
+      if (a.is_tool_choice)
+        out.picks += " P=" + std::to_string(procs[pi]) + ":" + key + ";";
+    }
+    for (Series& s : out.rows) {
+      s.est_s.resize(pi + 1, nan);
+      s.meas_s.resize(pi + 1, nan);
+    }
+  }
+  return out;
+}
+
+} // namespace al::bench

@@ -1,0 +1,17 @@
+// Figure 4: Adi, 256 x 256 double precision -- measured and estimated
+// execution times of every data layout alternative across the five
+// processor counts. Expected shape: column always worst (sequentialized
+// y sweeps), row vs dynamic-transpose close, crossover at higher P.
+#include "common.hpp"
+
+int main() {
+  using namespace al;
+  const std::vector<int> procs = {2, 4, 8, 16, 32};
+  std::printf("== Figure 4: Adi 256x256 double precision (seconds) ==\n\n");
+  bench::SeriesResult sr = bench::run_series(procs, [](int p) {
+    return corpus::TestCase{"adi", 256, corpus::Dtype::DoublePrecision, p};
+  });
+  bench::print_series(procs, sr.rows);
+  std::printf("\ntool picks:%s\n", sr.picks.c_str());
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 5: Erlebacher, 64^3 double precision -- the four alternatives of
+// the paper: distribute dim 1 (fine-grain pipeline, never profitable),
+// dim 2 (coarse-grain pipeline), dim 3 (one sweep sequentialized), and the
+// dynamic layout remapping the shared read-only array once between a pair
+// of symmetric sweeps. The paper reports the dim-3 estimate visibly above
+// its measurement and dim2-vs-dynamic too close to always rank correctly.
+#include "common.hpp"
+
+int main() {
+  using namespace al;
+  const std::vector<int> procs = {2, 4, 8, 16, 32, 64, 128};
+  std::printf("== Figure 5: Erlebacher 64x64x64 double precision (seconds) ==\n\n");
+  bench::SeriesResult sr = bench::run_series(procs, [](int p) {
+    return corpus::TestCase{"erlebacher", 64, corpus::Dtype::DoublePrecision, p};
+  });
+  bench::print_series(procs, sr.rows);
+  std::printf("\ntool picks:%s\n", sr.picks.c_str());
+  return 0;
+}

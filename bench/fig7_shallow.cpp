@@ -1,0 +1,17 @@
+// Figure 7: Shallow, 384 x 384 REAL -- row vs column distribution. The
+// stencils parallelize either way, but a row distribution exchanges
+// strided boundary ROWS that must be buffered, so column should come out
+// slightly ahead and the tool must always pick it.
+#include "common.hpp"
+
+int main() {
+  using namespace al;
+  const std::vector<int> procs = {2, 4, 8, 16, 32};
+  std::printf("== Figure 7: Shallow 384x384 real (seconds) ==\n\n");
+  bench::SeriesResult sr = bench::run_series(procs, [](int p) {
+    return corpus::TestCase{"shallow", 384, corpus::Dtype::Real, p};
+  });
+  bench::print_series(procs, sr.rows);
+  std::printf("\ntool picks:%s\n", sr.picks.c_str());
+  return 0;
+}

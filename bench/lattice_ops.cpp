@@ -1,0 +1,115 @@
+// Figure 2 companion: prints the semi-lattice of inter-dimensional
+// alignment information for two 2-D arrays a and b, then micro-benchmarks
+// the lattice operations (refinement test, meet, join) whose linear-time
+// behaviour the paper relies on.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cag/cag.hpp"
+#include "cag/lattice.hpp"
+#include "fortran/parser.hpp"
+
+namespace {
+
+using namespace al;
+
+/// Builds the two-array universe of figure 2.
+fortran::Program two_arrays() {
+  return fortran::parse_and_check(
+      "      program fig2\n"
+      "      parameter (n = 8)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      end\n");
+}
+
+void print_figure2() {
+  fortran::Program prog = two_arrays();
+  const cag::NodeUniverse uni = cag::NodeUniverse::from_program(prog);
+  // Enumerate every conflict-free partitioning of {a1,a2,b1,b2}: each of
+  // a's dims may pair with at most one of b's dims.
+  struct Element {
+    const char* desc;
+    std::vector<std::pair<int, int>> unions;  // (a-dim, b-dim)
+  };
+  const Element elems[] = {
+      {"{a1 | a2 | b1 | b2}   (bottom: no information)", {}},
+      {"{a1 b1 | a2 | b2}", {{0, 0}}},
+      {"{a1 b2 | a2 | b1}", {{0, 1}}},
+      {"{a2 b1 | a1 | b2}", {{1, 0}}},
+      {"{a2 b2 | a1 | b1}", {{1, 1}}},
+      {"{a1 b1 | a2 b2}   (canonical alignment)", {{0, 0}, {1, 1}}},
+      {"{a1 b2 | a2 b1}   (transposed alignment)", {{0, 1}, {1, 0}}},
+  };
+  std::printf("== Figure 2: alignment-information lattice for two 2-D arrays ==\n\n");
+  std::vector<cag::Partitioning> parts;
+  for (const Element& e : elems) {
+    cag::Partitioning p(uni.size());
+    for (auto [ad, bd] : e.unions) p.unite(uni.index(0, ad), uni.index(1, bd));
+    parts.push_back(p);
+    std::printf("  %s\n", e.desc);
+  }
+  std::printf("\nrefinement relation ([=, row refines column):\n      ");
+  for (std::size_t j = 0; j < parts.size(); ++j) std::printf("%3zu", j);
+  std::printf("\n");
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    std::printf("  %3zu ", i);
+    for (std::size_t j = 0; j < parts.size(); ++j)
+      std::printf("%3s", parts[i].refines(parts[j]) ? "x" : ".");
+    std::printf("\n");
+  }
+  std::printf("\n(element 0 -- the bottom -- refines everything; the two maximal\n"
+              " elements 5 and 6 are the canonical and transposed alignments)\n\n");
+}
+
+void BM_Refines(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cag::Partitioning a(n);
+  cag::Partitioning b(n);
+  for (int i = 0; i + 1 < n; i += 2) a.unite(i, i + 1);
+  for (int i = 0; i + 3 < n; i += 4) {
+    b.unite(i, i + 1);
+    b.unite(i, i + 2);
+    b.unite(i, i + 3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.refines(b));
+  }
+}
+
+void BM_Meet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cag::Partitioning a(n);
+  cag::Partitioning b(n);
+  for (int i = 0; i + 1 < n; i += 2) a.unite(i, i + 1);
+  for (int i = 1; i + 1 < n; i += 2) b.unite(i, i + 1);
+  for (auto _ : state) {
+    cag::Partitioning m = cag::Partitioning::meet(a, b);
+    benchmark::DoNotOptimize(m.num_blocks());
+  }
+}
+
+void BM_Join(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cag::Partitioning a(n);
+  cag::Partitioning b(n);
+  for (int i = 0; i + 1 < n; i += 2) a.unite(i, i + 1);
+  for (int i = 1; i + 1 < n; i += 2) b.unite(i, i + 1);
+  for (auto _ : state) {
+    cag::Partitioning j = cag::Partitioning::join(a, b);
+    benchmark::DoNotOptimize(j.num_blocks());
+  }
+}
+
+BENCHMARK(BM_Refines)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_Meet)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_Join)->Arg(16)->Arg(256)->Arg(4096);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  print_figure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: replication candidates (the paper mentions replication as a
+// distribution option but the prototype's exhaustive spaces exclude it).
+// Erlebacher's shared read-only array is the canonical beneficiary: instead
+// of remapping f between the symmetric sweeps, every node can simply keep a
+// copy -- one allgather replaces all redistributions, at the price of
+// running f's initialization redundantly.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace al;
+  const std::vector<int> procs = {4, 8, 16, 32, 64};
+  std::printf("== Replication ablation: Erlebacher 64^3 double ==\n\n");
+  std::printf("%s%s%s%s\n", pad_right("procs", 8).c_str(),
+              pad_left("no replication (s)", 22).c_str(),
+              pad_left("with replication (s)", 22).c_str(),
+              pad_left("replicates f?", 16).c_str());
+  for (int p : procs) {
+    corpus::TestCase c{"erlebacher", 64, corpus::Dtype::DoublePrecision, p};
+    driver::ToolOptions plain;
+    plain.procs = p;
+    driver::ToolOptions repl = plain;
+    repl.replicate_unwritten = true;
+    auto tp = driver::run_tool(corpus::source_for(c), plain);
+    auto tr = driver::run_tool(corpus::source_for(c), repl);
+    bool replicates = false;
+    const int f = tr->program.symbols.lookup("f");
+    for (int ph = 0; ph < tr->pcfg.num_phases(); ++ph) {
+      if (tr->chosen_layout(ph).alignment().is_replicated(f)) replicates = true;
+    }
+    std::printf("%s%s%s%s\n", pad_right("P=" + std::to_string(p), 8).c_str(),
+                pad_left(format_fixed(tp->selection.total_cost_us / 1e6, 3), 22).c_str(),
+                pad_left(format_fixed(tr->selection.total_cost_us / 1e6, 3), 22).c_str(),
+                pad_left(replicates ? "yes" : "no", 16).c_str());
+  }
+  std::printf("\n(the replication space is a superset: its optimum can only be\n"
+              " at least as good; whether it replicates depends on the allgather\n"
+              " cost vs the redistributions it saves)\n");
+  return 0;
+}

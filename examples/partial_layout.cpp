@@ -1,0 +1,51 @@
+// Example: extending a PARTIALLY specified data layout -- the second use
+// case of the paper's abstract. The user pins the layout of the phases they
+// understand (here: the performance-critical y-sweeps of Adi, forced to the
+// row layout they measured to be good); the assistant extends the layout to
+// the rest of the program optimally.
+#include <cstdio>
+#include <exception>
+
+#include "autolayout.hpp"
+
+int main() {
+  using namespace al;
+  try {
+    const std::string source = corpus::adi_source(256, corpus::Dtype::DoublePrecision);
+
+    // First: what would the tool do fully automatically?
+    driver::ToolOptions automatic;
+    automatic.procs = 16;
+    auto free_run = driver::run_tool(source, automatic);
+    std::printf("fully automatic selection: %.3f s estimated\n",
+                free_run->selection.total_cost_us / 1e6);
+
+    // Now pin phases 6 and 7 (the y sweeps) to the ROW layout.
+    driver::ToolOptions pinned = automatic;
+    const layout::Layout row(layout::Alignment{},
+                             layout::Distribution::block_1d(2, 0, 16));
+    pinned.pinned_phases.emplace_back(6, row);
+    pinned.pinned_phases.emplace_back(7, row);
+    auto pinned_run = driver::run_tool(source, pinned);
+
+    std::printf("with phases 6+7 pinned to %s: %.3f s estimated\n",
+                row.distribution().str().c_str(),
+                pinned_run->selection.total_cost_us / 1e6);
+
+    std::printf("\nextended layout:\n");
+    for (int p = 0; p < pinned_run->pcfg.num_phases(); ++p) {
+      const bool was_pinned = p == 6 || p == 7;
+      std::printf("  phase %d%s: %s\n", p, was_pinned ? " (pinned)" : "",
+                  pinned_run->chosen_layout(p)
+                      .str(pinned_run->program.symbols)
+                      .c_str());
+    }
+
+    std::printf("\nHPF directives for the extended layout:\n%s",
+                driver::emit_initial_directives(*pinned_run).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "partial_layout failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: run the data layout assistant end to end on the Adi kernel
+// and print the phase structure, the candidate search spaces, the selected
+// layout, and the emitted HPF directives.
+#include <cstdio>
+#include <exception>
+
+#include "corpus/corpus.hpp"
+#include "driver/emit.hpp"
+#include "driver/testcase.hpp"
+#include "driver/tool.hpp"
+
+int main() {
+  using namespace al;
+  try {
+    // The paper's figure-3 test case: Adi, 512x512 double precision on a
+    // 16-processor iPSC/860.
+    const std::string source = corpus::adi_source(512, corpus::Dtype::DoublePrecision);
+
+    driver::ToolOptions opts;
+    opts.procs = 16;
+    auto result = driver::run_tool(source, opts);
+
+    std::printf("== phase structure ==\n%s\n", result->pcfg.str().c_str());
+
+    std::printf("== candidate layout spaces ==\n");
+    for (int p = 0; p < result->pcfg.num_phases(); ++p) {
+      std::printf("phase %d:\n", p);
+      const auto& cands = result->spaces[static_cast<std::size_t>(p)].candidates();
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        std::printf("  [%zu] %s   est %.3f ms\n", i, cands[i].label.c_str(),
+                    result->graph.node_cost_us[static_cast<std::size_t>(p)][i] / 1e3);
+      }
+    }
+
+    std::printf("\n== selection (0-1 ILP: %d vars, %d constraints, %.1f ms) ==\n",
+                result->selection.ilp_variables, result->selection.ilp_constraints,
+                result->selection.solve_ms);
+    for (int p = 0; p < result->pcfg.num_phases(); ++p) {
+      std::printf("phase %d -> candidate %d: %s\n", p,
+                  result->selection.chosen[static_cast<std::size_t>(p)],
+                  result->chosen_layout(p).str(result->program.symbols).c_str());
+    }
+    std::printf("dynamic layout: %s\n", result->is_dynamic() ? "yes" : "no");
+
+    std::printf("\n== alternatives (estimated vs simulated-measured) ==\n%s\n",
+                driver::report_table(driver::evaluate_alternatives(*result)).c_str());
+
+    std::printf("== HPF directives ==\n%s\n",
+                driver::emit_initial_directives(*result).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+      program adi
+      parameter (n = 256, niter = 5)
+      double precision x(n,n), a(n,n), b(n,n)
+      double precision sum
+      integer i, j, iter
+
+c     phase 1: initialize solution
+      do j = 1, n
+        do i = 1, n
+          x(i,j) = 1.0 + i*0.001 + j*0.002
+        enddo
+      enddo
+c     phase 2: initialize coefficients
+      do j = 1, n
+        do i = 1, n
+          a(i,j) = 0.25
+          b(i,j) = 1.0 + i*0.0001
+        enddo
+      enddo
+
+      do iter = 1, niter
+c       phase 3: forcing term before the x sweep
+        do j = 1, n
+          do i = 1, n
+            x(i,j) = x(i,j) + a(i,j)*b(i,j)
+          enddo
+        enddo
+c       phase 4: x-sweep forward elimination (recurrence on i)
+        do j = 1, n
+          do i = 2, n
+            x(i,j) = x(i,j) - x(i-1,j)*a(i,j)/b(i-1,j)
+            b(i,j) = b(i,j) - a(i,j)*a(i,j)/b(i-1,j)
+          enddo
+        enddo
+c       phase 5: x-sweep back substitution
+        do j = 1, n
+          do i = n-1, 1, -1
+            x(i,j) = (x(i,j) - a(i+1,j)*x(i+1,j))/b(i,j)
+          enddo
+        enddo
+c       phase 6: forcing term before the y sweep
+        do j = 1, n
+          do i = 1, n
+            x(i,j) = x(i,j) + a(i,j)*b(i,j)
+          enddo
+        enddo
+c       phase 7: y-sweep forward elimination (recurrence on j)
+        do j = 2, n
+          do i = 1, n
+            x(i,j) = x(i,j) - x(i,j-1)*a(i,j)/b(i,j-1)
+            b(i,j) = b(i,j) - a(i,j)*a(i,j)/b(i,j-1)
+          enddo
+        enddo
+c       phase 8: y-sweep back substitution
+        do j = n-1, 1, -1
+          do i = 1, n
+            x(i,j) = (x(i,j) - a(i,j+1)*x(i,j+1))/b(i,j)
+          enddo
+        enddo
+      enddo
+
+c     phase 9: residual reduction
+      sum = 0.0
+      do j = 1, n
+        do i = 1, n
+          sum = sum + x(i,j)*x(i,j)
+        enddo
+      enddo
+      end

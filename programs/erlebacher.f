@@ -1,0 +1,330 @@
+      program erlebacher
+      parameter (n = 64)
+      double precision f(n,n,n), dux(n,n,n), duy(n,n,n), duz(n,n,n)
+      integer i, j, k
+
+c     phase 1: initialize the shared read-only input
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              f(i,j,k) = 0.1*i + 0.2*j + 0.3*k
+            enddo
+          enddo
+        enddo
+
+c     === x direction (13 phases) ===
+c       central difference right-hand side (dux)
+        do k = 1, n
+          do j = 1, n
+            do i = 2, n-1
+              dux(i,j,k) = f(i+1,j,k) - f(i-1,j,k)
+            enddo
+          enddo
+        enddo
+c       scale the rhs
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              dux(i,j,k) = dux(i,j,k)*0.5
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 1
+        do k = 1, n
+          do j = 1, n
+            do i = 2, n
+              dux(i,j,k) = dux(i,j,k) - 0.4*dux(i-1,j,k)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 2
+        do k = 1, n
+          do j = 1, n
+            do i = 2, n
+              dux(i,j,k) = dux(i,j,k) - 0.4*dux(i-1,j,k)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 3
+        do k = 1, n
+          do j = 1, n
+            do i = 2, n
+              dux(i,j,k) = dux(i,j,k) - 0.4*dux(i-1,j,k)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 4
+        do k = 1, n
+          do j = 1, n
+            do i = 2, n
+              dux(i,j,k) = dux(i,j,k) - 0.4*dux(i-1,j,k)
+            enddo
+          enddo
+        enddo
+c       diagonal normalization
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              dux(i,j,k) = dux(i,j,k)*0.9
+            enddo
+          enddo
+        enddo
+c       back substitution pass 1
+        do k = 1, n
+          do j = 1, n
+            do i = n-1, 1, -1
+              dux(i,j,k) = dux(i,j,k) - 0.3*dux(i+1,j,k)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 2
+        do k = 1, n
+          do j = 1, n
+            do i = n-1, 1, -1
+              dux(i,j,k) = dux(i,j,k) - 0.3*dux(i+1,j,k)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 3
+        do k = 1, n
+          do j = 1, n
+            do i = n-1, 1, -1
+              dux(i,j,k) = dux(i,j,k) - 0.3*dux(i+1,j,k)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 4
+        do k = 1, n
+          do j = 1, n
+            do i = n-1, 1, -1
+              dux(i,j,k) = dux(i,j,k) - 0.3*dux(i+1,j,k)
+            enddo
+          enddo
+        enddo
+c       final scaling
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              dux(i,j,k) = dux(i,j,k)/3.0
+            enddo
+          enddo
+        enddo
+c       blend with the shared input
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              dux(i,j,k) = dux(i,j,k) + f(i,j,k)*0.01
+            enddo
+          enddo
+        enddo
+c     === y direction (13 phases) ===
+c       central difference right-hand side (duy)
+        do k = 1, n
+          do j = 2, n-1
+            do i = 1, n
+              duy(i,j,k) = f(i,j+1,k) - f(i,j-1,k)
+            enddo
+          enddo
+        enddo
+c       scale the rhs
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k)*0.5
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 1
+        do k = 1, n
+          do j = 2, n
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) - 0.4*duy(i,j-1,k)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 2
+        do k = 1, n
+          do j = 2, n
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) - 0.4*duy(i,j-1,k)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 3
+        do k = 1, n
+          do j = 2, n
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) - 0.4*duy(i,j-1,k)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 4
+        do k = 1, n
+          do j = 2, n
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) - 0.4*duy(i,j-1,k)
+            enddo
+          enddo
+        enddo
+c       diagonal normalization
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k)*0.9
+            enddo
+          enddo
+        enddo
+c       back substitution pass 1
+        do k = 1, n
+          do j = n-1, 1, -1
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) - 0.3*duy(i,j+1,k)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 2
+        do k = 1, n
+          do j = n-1, 1, -1
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) - 0.3*duy(i,j+1,k)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 3
+        do k = 1, n
+          do j = n-1, 1, -1
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) - 0.3*duy(i,j+1,k)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 4
+        do k = 1, n
+          do j = n-1, 1, -1
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) - 0.3*duy(i,j+1,k)
+            enddo
+          enddo
+        enddo
+c       final scaling
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k)/3.0
+            enddo
+          enddo
+        enddo
+c       blend with the shared input
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              duy(i,j,k) = duy(i,j,k) + f(i,j,k)*0.01
+            enddo
+          enddo
+        enddo
+c     === z direction (13 phases) ===
+c       central difference right-hand side (duz)
+        do k = 2, n-1
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = f(i,j,k+1) - f(i,j,k-1)
+            enddo
+          enddo
+        enddo
+c       scale the rhs
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k)*0.5
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 1
+        do k = 2, n
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) - 0.4*duz(i,j,k-1)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 2
+        do k = 2, n
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) - 0.4*duz(i,j,k-1)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 3
+        do k = 2, n
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) - 0.4*duz(i,j,k-1)
+            enddo
+          enddo
+        enddo
+c       forward elimination pass 4
+        do k = 2, n
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) - 0.4*duz(i,j,k-1)
+            enddo
+          enddo
+        enddo
+c       diagonal normalization
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k)*0.9
+            enddo
+          enddo
+        enddo
+c       back substitution pass 1
+        do k = n-1, 1, -1
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) - 0.3*duz(i,j,k+1)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 2
+        do k = n-1, 1, -1
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) - 0.3*duz(i,j,k+1)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 3
+        do k = n-1, 1, -1
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) - 0.3*duz(i,j,k+1)
+            enddo
+          enddo
+        enddo
+c       back substitution pass 4
+        do k = n-1, 1, -1
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) - 0.3*duz(i,j,k+1)
+            enddo
+          enddo
+        enddo
+c       final scaling
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k)/3.0
+            enddo
+          enddo
+        enddo
+c       blend with the shared input
+        do k = 1, n
+          do j = 1, n
+            do i = 1, n
+              duz(i,j,k) = duz(i,j,k) + f(i,j,k)*0.01
+            enddo
+          enddo
+        enddo
+      end

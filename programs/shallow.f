@@ -1,0 +1,150 @@
+      program shallow
+      parameter (n = 384, niter = 20)
+      real u(n,n), v(n,n), p(n,n)
+      real unew(n,n), vnew(n,n), pnew(n,n)
+      real cu(n,n), cv(n,n), z(n,n), h(n,n)
+      real ptot, etot
+      integer i, j, iter
+
+c     phases 1-3: initial height and velocity fields
+        do j = 1, n
+          do i = 1, n
+            p(i,j) = 50.0 + 2.0*i + 3.0*j
+          enddo
+        enddo
+        do j = 1, n
+          do i = 1, n
+            u(i,j) = 0.5*i - 0.1*j
+          enddo
+        enddo
+        do j = 1, n
+          do i = 1, n
+            v(i,j) = 0.1*i + 0.4*j
+          enddo
+        enddo
+
+      do iter = 1, niter
+c       phase 4: mass flux cu
+        do j = 1, n
+          do i = 2, n
+            cu(i,j) = 0.5*(p(i,j) + p(i-1,j))*u(i,j)
+          enddo
+        enddo
+c       phase 5: mass flux cv
+        do j = 2, n
+          do i = 1, n
+            cv(i,j) = 0.5*(p(i,j) + p(i,j-1))*v(i,j)
+          enddo
+        enddo
+c       phase 6: potential vorticity z
+        do j = 2, n
+          do i = 2, n
+            z(i,j) = (v(i,j) - v(i-1,j) + u(i,j) - u(i,j-1))/(p(i-1,j) + p(i,j-1))
+          enddo
+        enddo
+c       phase 7: height h
+        do j = 1, n
+          do i = 1, n
+            h(i,j) = p(i,j) + 0.25*(u(i,j)*u(i,j) + v(i,j)*v(i,j))
+          enddo
+        enddo
+c       phases 8-11: periodic boundary conditions
+        do j = 1, n
+          cu(1,j) = cu(n,j)
+        enddo
+        do i = 1, n
+          cv(i,1) = cv(i,n)
+        enddo
+        do j = 1, n
+          z(1,j) = z(n,j)
+        enddo
+        do i = 1, n
+          h(i,1) = h(i,n)
+        enddo
+c       phase 12: new velocity u
+        do j = 1, n-1
+          do i = 2, n
+            unew(i,j) = u(i,j) + 0.5*(z(i,j+1) + z(i,j))*(cv(i,j+1) + cv(i-1,j)) - 0.2*(h(i,j) - h(i-1,j))
+          enddo
+        enddo
+c       phase 13: new velocity v
+        do j = 2, n
+          do i = 1, n-1
+            vnew(i,j) = v(i,j) - 0.5*(z(i+1,j) + z(i,j))*(cu(i+1,j) + cu(i,j-1)) - 0.2*(h(i,j) - h(i,j-1))
+          enddo
+        enddo
+c       phase 14: new height p
+        do j = 1, n-1
+          do i = 1, n-1
+            pnew(i,j) = p(i,j) - 0.3*(cu(i+1,j) - cu(i,j)) - 0.3*(cv(i,j+1) - cv(i,j))
+          enddo
+        enddo
+c       phases 15-17: boundary conditions for the new fields
+        do j = 1, n
+          unew(1,j) = unew(n,j)
+        enddo
+        do i = 1, n
+          vnew(i,1) = vnew(i,n)
+        enddo
+        do j = 1, n
+          pnew(1,j) = pnew(n,j)
+        enddo
+c       phases 18-20: time smoothing
+        do j = 1, n
+          do i = 1, n
+            u(i,j) = u(i,j) + 0.1*(unew(i,j) - u(i,j))
+          enddo
+        enddo
+        do j = 1, n
+          do i = 1, n
+            v(i,j) = v(i,j) + 0.1*(vnew(i,j) - v(i,j))
+          enddo
+        enddo
+        do j = 1, n
+          do i = 1, n
+            p(i,j) = p(i,j) + 0.1*(pnew(i,j) - p(i,j))
+          enddo
+        enddo
+c       phases 21-23: roll the fields forward
+        do j = 1, n
+          do i = 1, n
+            u(i,j) = unew(i,j)
+          enddo
+        enddo
+        do j = 1, n
+          do i = 1, n
+            v(i,j) = vnew(i,j)
+          enddo
+        enddo
+        do j = 1, n
+          do i = 1, n
+            p(i,j) = pnew(i,j)
+          enddo
+        enddo
+c       phases 24-26: boundary conditions on the rolled fields
+        do j = 1, n
+          u(1,j) = u(n,j)
+        enddo
+        do i = 1, n
+          v(i,1) = v(i,n)
+        enddo
+        do j = 1, n
+          p(1,j) = p(n,j)
+        enddo
+c       phase 27: mass diagnostic (reduction)
+        ptot = 0.0
+        do j = 1, n
+          do i = 1, n
+            ptot = ptot + p(i,j)
+          enddo
+        enddo
+      enddo
+
+c     phase 28: final energy diagnostic
+      etot = 0.0
+        do j = 1, n
+          do i = 1, n
+            etot = etot + 0.5*(u(i,j)*u(i,j) + v(i,j)*v(i,j)) + p(i,j)
+          enddo
+        enddo
+      end

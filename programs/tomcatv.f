@@ -1,0 +1,122 @@
+      program tomcatv
+      parameter (n = 128, niter = 10)
+      double precision x(n,n), y(n,n), rx(n,n), ry(n,n)
+      double precision aa(n,n), dd(n,n), d(n,n)
+      double precision rxm, rym, eps, chksum
+      integer i, j, iter
+
+      eps = 0.000001
+c     phase 1: initialize x mesh
+      do j = 1, n
+        do i = 1, n
+          x(i,j) = i*0.01 + j*0.003
+        enddo
+      enddo
+c     phase 2: initialize y mesh
+      do j = 1, n
+        do i = 1, n
+          y(i,j) = i*0.002 + j*0.008
+        enddo
+      enddo
+
+      do iter = 1, niter
+c       phase 3: x residual stencil
+        do j = 2, n-1
+          do i = 2, n-1
+            rx(i,j) = x(i+1,j) - 2.0*x(i,j) + x(i-1,j) + x(i,j+1) - 2.0*x(i,j) + x(i,j-1)
+          enddo
+        enddo
+c       phase 4: y residual stencil
+        do j = 2, n-1
+          do i = 2, n-1
+            ry(i,j) = y(i+1,j) - 2.0*y(i,j) + y(i-1,j) + y(i,j+1) - 2.0*y(i,j) + y(i,j-1)
+          enddo
+        enddo
+c       phase 5: tridiagonal coefficients (canonical coupling)
+        do j = 2, n-1
+          do i = 2, n-1
+            aa(i,j) = -1.0 - 0.1*(x(i,j) + y(i,j))
+            dd(i,j) = 4.0 + 0.1*x(i,j)*y(i,j)
+          enddo
+        enddo
+c       phase 6: max x residual (reduction)
+        rxm = 0.0
+        do j = 2, n-1
+          do i = 2, n-1
+            rxm = max(rxm, abs(rx(i,j)))
+          enddo
+        enddo
+c       phase 7: max y residual (reduction)
+        rym = 0.0
+        do j = 2, n-1
+          do i = 2, n-1
+            rym = max(rym, abs(ry(i,j)))
+          enddo
+        enddo
+c       phase 8: pivot recurrence (aa/dd accessed TRANSPOSED)
+        do j = 2, n-1
+          do i = 3, n-1
+            d(i,j) = dd(j,i) - aa(j,i)*aa(j,i)*d(i-1,j)
+          enddo
+        enddo
+c       phase 9: forward elimination of rx
+        do j = 2, n-1
+          do i = 3, n-1
+            rx(i,j) = rx(i,j) - aa(j,i)*rx(i-1,j)*d(i,j)
+          enddo
+        enddo
+c       phase 10: forward elimination of ry
+        do j = 2, n-1
+          do i = 3, n-1
+            ry(i,j) = ry(i,j) - aa(j,i)*ry(i-1,j)*d(i,j)
+          enddo
+        enddo
+c       phase 11: back substitution of rx
+        do j = 2, n-1
+          do i = n-2, 2, -1
+            rx(i,j) = (rx(i,j) - aa(j,i)*rx(i+1,j))*d(i,j)
+          enddo
+        enddo
+c       phase 12: back substitution of ry
+        do j = 2, n-1
+          do i = n-2, 2, -1
+            ry(i,j) = (ry(i,j) - aa(j,i)*ry(i+1,j))*d(i,j)
+          enddo
+        enddo
+c       phase 13: add x correction
+        do j = 2, n-1
+          do i = 2, n-1
+            x(i,j) = x(i,j) + rx(i,j)
+          enddo
+        enddo
+c       phase 14: add y correction
+        do j = 2, n-1
+          do i = 2, n-1
+            y(i,j) = y(i,j) + ry(i,j)
+          enddo
+        enddo
+!al$ prob(0.95)
+        if (rxm .gt. eps) then
+c         phase 15: extra x smoothing while not converged
+          do j = 2, n-1
+            do i = 2, n-1
+              x(i,j) = 0.9*x(i,j) + 0.1*rx(i,j)
+            enddo
+          enddo
+c         phase 16: extra y smoothing while not converged
+          do j = 2, n-1
+            do i = 2, n-1
+              y(i,j) = 0.9*y(i,j) + 0.1*ry(i,j)
+            enddo
+          enddo
+        endif
+      enddo
+
+c     phase 17: checksum reduction
+      chksum = 0.0
+      do j = 1, n
+        do i = 1, n
+          chksum = chksum + x(i,j) + y(i,j)
+        enddo
+      enddo
+      end

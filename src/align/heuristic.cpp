@@ -1,0 +1,84 @@
+#include "align/heuristic.hpp"
+
+#include <algorithm>
+
+#include "cag/orientation.hpp"
+#include "support/contracts.hpp"
+
+namespace al::align {
+
+AlignmentAnalysis analyze_alignment(const fortran::Program& prog, const pcfg::Pcfg& pcfg,
+                                    const cag::NodeUniverse& universe, int template_rank,
+                                    const AlignmentAnalysisOptions& opts) {
+  AlignmentAnalysis out;
+
+  // 1. + 2. Per-phase CAGs, conflicts resolved optimally.
+  for (int p = 0; p < pcfg.num_phases(); ++p) {
+    cag::CagBuildOptions bopts;
+    if (opts.scale_by_frequency) bopts.cost_scale = std::max(pcfg.frequency(p), 1e-6);
+    cag::Cag raw = cag::build_phase_cag(pcfg.phase(p), universe, prog.symbols, bopts);
+    if (raw.has_conflict()) {
+      cag::Resolution res = cag::resolve_alignment(raw, template_rank);
+      out.ilp_resolutions.push_back(res);
+      out.phase_cags.push_back(cag::satisfied_subgraph(raw, res));
+    } else {
+      out.phase_cags.push_back(std::move(raw));
+    }
+  }
+
+  // 3. Conflict-free phase classes.
+  out.partition = partition_phases(pcfg, out.phase_cags, universe, template_rank);
+  const std::size_t ncls = out.partition.classes.size();
+
+  // 4. Class search spaces: own candidate first, then one import per other
+  //    class (at most |classes| candidates per space).
+  out.class_spaces.resize(ncls);
+  std::vector<AlignmentCandidate> own(ncls);
+  for (std::size_t c = 0; c < ncls; ++c) {
+    const PhaseClass& cls = out.partition.classes[c];
+    cag::Resolution res = cag::resolve_alignment(cls.cag, template_rank);
+    AlignmentCandidate cand;
+    cand.info = restrict_info(res.info, universe, cls.arrays);
+    cand.alignment = cag::orient(res, universe, template_rank, cls.arrays, nullptr);
+    cand.cut_weight = 0.0;
+    cand.origin = "own";
+    own[c] = cand;
+    out.class_spaces[c].insert(std::move(cand));
+  }
+  for (std::size_t sink = 0; sink < ncls; ++sink) {
+    for (std::size_t src = 0; src < ncls; ++src) {
+      if (src == sink) continue;
+      ImportResult imp = import_candidate(out.partition.classes[src],
+                                          out.partition.classes[sink], template_rank,
+                                          opts.import);
+      if (imp.had_conflict) out.ilp_resolutions.push_back(imp.resolution);
+      imp.candidate.origin = "import(" + std::to_string(src) + ")";
+      out.class_spaces[sink].insert(std::move(imp.candidate));
+    }
+  }
+
+  // 5. Project class candidates onto phases. Identical projections collapse
+  //    (the paper notes some Tomcatv phases end up with fewer candidates).
+  out.phase_spaces.resize(static_cast<std::size_t>(pcfg.num_phases()));
+  for (int p = 0; p < pcfg.num_phases(); ++p) {
+    const int c = out.partition.class_of[static_cast<std::size_t>(p)];
+    const pcfg::Phase& ph = pcfg.phase(p);
+    AlignmentSpace& space = out.phase_spaces[static_cast<std::size_t>(p)];
+    for (const AlignmentCandidate& cand : out.class_spaces[static_cast<std::size_t>(c)].candidates()) {
+      AlignmentCandidate proj;
+      proj.alignment = cand.alignment.restricted_to(ph.arrays);
+      proj.info = restrict_info(cand.info, universe, ph.arrays);
+      proj.cut_weight = cand.cut_weight;
+      proj.origin = cand.origin;
+      // Collapse exact duplicates (projection can erase the difference).
+      const bool dup = std::any_of(
+          space.candidates().begin(), space.candidates().end(),
+          [&](const AlignmentCandidate& e) { return e.alignment == proj.alignment; });
+      if (!dup) space.force_insert(std::move(proj));
+    }
+    AL_ENSURES(!space.empty());
+  }
+  return out;
+}
+
+} // namespace al::align

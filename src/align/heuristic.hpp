@@ -1,0 +1,43 @@
+// Alignment analysis end to end (paper, sections 2.2.1 and 3.2):
+//   1. build the weighted CAG of every phase (owner-computes weights),
+//   2. resolve per-phase conflicts optimally (0-1 ILP),
+//   3. partition phases into conflict-free classes (reverse postorder),
+//   4. exchange alignment information between classes (import operation),
+//   5. project class candidates onto per-phase alignment search spaces.
+#pragma once
+
+#include <vector>
+
+#include "align/import.hpp"
+#include "align/phase_classes.hpp"
+#include "align/space.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al::align {
+
+struct AlignmentAnalysisOptions {
+  /// Weigh each phase's CAG by its PCFG execution frequency when classes
+  /// are joined (hot phases' preferences should win class-internal fights).
+  bool scale_by_frequency = true;
+  ImportOptions import;
+};
+
+struct AlignmentAnalysis {
+  std::vector<cag::Cag> phase_cags;          ///< conflict-free, one per phase
+  PhasePartition partition;                  ///< phase classes
+  std::vector<AlignmentSpace> class_spaces;  ///< one per class
+  std::vector<AlignmentSpace> phase_spaces;  ///< one per phase (projected)
+  /// Per-phase-or-merged-CAG conflict resolutions that needed the ILP
+  /// (sizes + node counts feed the experiment report).
+  std::vector<cag::Resolution> ilp_resolutions;
+};
+
+/// Runs the full alignment analysis for `pcfg` over `universe` with a
+/// template of rank `template_rank`.
+[[nodiscard]] AlignmentAnalysis analyze_alignment(const fortran::Program& prog,
+                                                  const pcfg::Pcfg& pcfg,
+                                                  const cag::NodeUniverse& universe,
+                                                  int template_rank,
+                                                  const AlignmentAnalysisOptions& opts = {});
+
+} // namespace al::align

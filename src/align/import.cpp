@@ -1,0 +1,43 @@
+#include "align/import.hpp"
+
+#include <algorithm>
+
+#include "cag/orientation.hpp"
+#include "support/contracts.hpp"
+
+namespace al::align {
+
+ImportResult import_candidate(const PhaseClass& source, const PhaseClass& sink,
+                              int template_rank, const ImportOptions& opts) {
+  const cag::NodeUniverse& uni = sink.cag.universe();
+
+  // Dominance scale: every scaled source edge must outweigh the total sink
+  // weight, so that conflict resolution always prefers source preferences.
+  double min_src_edge = 0.0;
+  for (const cag::CagEdge& e : source.cag.edges()) {
+    if (min_src_edge == 0.0 || e.weight < min_src_edge) min_src_edge = e.weight;
+  }
+  double factor = 1.0;
+  if (min_src_edge > 0.0) {
+    factor = (sink.cag.total_weight() + 1.0) / min_src_edge * opts.dominance_margin;
+    factor = std::max(factor, 1.0);
+  }
+
+  // Scale the source preferences up, then fold the sink's in unchanged.
+  cag::Cag scaled(&uni);
+  scaled.merge_scaled(source.cag, factor);
+  scaled.merge_scaled(sink.cag, 1.0);
+
+  ImportResult out;
+  out.had_conflict = scaled.has_conflict();
+  out.resolution = cag::resolve_alignment(scaled, template_rank);
+
+  // Restrict to the arrays the sink class references.
+  out.candidate.info = restrict_info(out.resolution.info, uni, sink.arrays);
+  out.candidate.alignment =
+      cag::orient(out.resolution, uni, template_rank, sink.arrays, nullptr);
+  out.candidate.cut_weight = out.resolution.cut_weight;
+  return out;
+}
+
+} // namespace al::align

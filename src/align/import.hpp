@@ -1,0 +1,30 @@
+// The import operation (section 3.2): the optimal embedding of a source
+// class's CAG into a sink class's CAG. Source edge weights are scaled so
+// the source preferences DOMINATE the sink's; the merged CAG's conflicts are
+// then resolved optimally, and the result is restricted to the arrays the
+// sink class references.
+#pragma once
+
+#include "align/phase_classes.hpp"
+#include "align/space.hpp"
+
+namespace al::align {
+
+struct ImportOptions {
+  /// Extra multiplier on top of the dominance scale (1.0 = minimal
+  /// domination).
+  double dominance_margin = 2.0;
+};
+
+struct ImportResult {
+  AlignmentCandidate candidate;
+  cag::Resolution resolution;  ///< of the merged CAG (carries ILP statistics)
+  bool had_conflict = false;
+};
+
+/// Imports `source`'s alignment preferences into `sink`.
+[[nodiscard]] ImportResult import_candidate(const PhaseClass& source, const PhaseClass& sink,
+                                            int template_rank,
+                                            const ImportOptions& opts = {});
+
+} // namespace al::align

@@ -1,0 +1,56 @@
+#include "align/phase_classes.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace al::align {
+
+PhasePartition partition_phases(const pcfg::Pcfg& pcfg,
+                                const std::vector<cag::Cag>& phase_cags,
+                                const cag::NodeUniverse& universe, int template_rank) {
+  AL_EXPECTS(static_cast<int>(phase_cags.size()) == pcfg.num_phases());
+  PhasePartition out;
+  out.class_of.assign(phase_cags.size(), -1);
+
+  const std::vector<int> order = pcfg.reverse_postorder();
+  int current = -1;
+  for (int p : order) {
+    const cag::Cag& pc = phase_cags[static_cast<std::size_t>(p)];
+    AL_EXPECTS(!pc.has_conflict());
+    bool placed = false;
+    if (current >= 0) {
+      // Try joining into the current class.
+      cag::Cag merged = out.classes[static_cast<std::size_t>(current)].cag;
+      merged.merge_scaled(pc, 1.0);
+      if (!merged.has_conflict() &&
+          !cag::color_blocks(merged.components(), universe, template_rank).empty()) {
+        out.classes[static_cast<std::size_t>(current)].cag = std::move(merged);
+        out.classes[static_cast<std::size_t>(current)].phases.push_back(p);
+        out.class_of[static_cast<std::size_t>(p)] = current;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      PhaseClass cls(&universe);
+      cls.cag = pc;
+      cls.phases.push_back(p);
+      out.classes.push_back(std::move(cls));
+      current = static_cast<int>(out.classes.size()) - 1;
+      out.class_of[static_cast<std::size_t>(p)] = current;
+    }
+  }
+
+  // Collect referenced arrays per class.
+  for (PhaseClass& cls : out.classes) {
+    for (int p : cls.phases) {
+      const pcfg::Phase& ph = pcfg.phase(p);
+      cls.arrays.insert(cls.arrays.end(), ph.arrays.begin(), ph.arrays.end());
+    }
+    std::sort(cls.arrays.begin(), cls.arrays.end());
+    cls.arrays.erase(std::unique(cls.arrays.begin(), cls.arrays.end()), cls.arrays.end());
+  }
+  return out;
+}
+
+} // namespace al::align

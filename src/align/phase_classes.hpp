@@ -1,0 +1,36 @@
+// Greedy partitioning of phases into conflict-free classes (section 3.2):
+// phases are visited in reverse postorder of the PCFG and their CAGs joined
+// as long as the join stays conflict-free; a conflict starts a new class
+// seeded with the offending phase's CAG.
+#pragma once
+
+#include <vector>
+
+#include "cag/builder.hpp"
+#include "cag/conflict.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al::align {
+
+struct PhaseClass {
+  std::vector<int> phases;   ///< member phase ids (visit order)
+  cag::Cag cag;              ///< joined, conflict-free CAG of the class
+  std::vector<int> arrays;   ///< arrays referenced by member phases, sorted
+
+  explicit PhaseClass(const cag::NodeUniverse* universe) : cag(universe) {}
+};
+
+struct PhasePartition {
+  std::vector<PhaseClass> classes;
+  std::vector<int> class_of;  ///< phase id -> class index
+};
+
+/// Per-phase CAGs must already be conflict-free (resolve first). A join is
+/// accepted only when the result stays conflict-free AND its components can
+/// be placed on the `template_rank` template dimensions.
+[[nodiscard]] PhasePartition partition_phases(const pcfg::Pcfg& pcfg,
+                                              const std::vector<cag::Cag>& phase_cags,
+                                              const cag::NodeUniverse& universe,
+                                              int template_rank);
+
+} // namespace al::align

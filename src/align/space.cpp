@@ -1,0 +1,32 @@
+#include "align/space.hpp"
+
+#include <algorithm>
+
+namespace al::align {
+
+cag::Partitioning restrict_info(const cag::Partitioning& p, const cag::NodeUniverse& universe,
+                                const std::vector<int>& arrays) {
+  cag::Partitioning out(p.size());
+  // Union nodes of the retained arrays that share a block in `p`.
+  std::vector<int> keep;
+  for (int n = 0; n < p.size(); ++n) {
+    if (std::find(arrays.begin(), arrays.end(), universe.array_of(n)) != arrays.end())
+      keep.push_back(n);
+  }
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (std::size_t j = i + 1; j < keep.size(); ++j) {
+      if (p.same(keep[i], keep[j])) out.unite(keep[i], keep[j]);
+    }
+  }
+  return out;
+}
+
+bool AlignmentSpace::insert(AlignmentCandidate cand) {
+  for (const AlignmentCandidate& c : candidates_) {
+    if (cand.info.refines(c.info)) return false;  // weaker or equal
+  }
+  candidates_.push_back(std::move(cand));
+  return true;
+}
+
+} // namespace al::align

@@ -1,0 +1,54 @@
+// Explicit alignment search spaces (the paper's central design decision:
+// candidates are first-class values a tool/user can browse, extend, prune).
+// Deduplication uses the semi-lattice of alignment information: a candidate
+// is inserted only if its information is NOT weaker-or-equal ([=) than that
+// of a candidate already present (section 3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cag/cag.hpp"
+#include "cag/conflict.hpp"
+#include "layout/alignment.hpp"
+
+namespace al::align {
+
+/// One candidate alignment for a phase or a phase class.
+struct AlignmentCandidate {
+  layout::Alignment alignment;   ///< oriented array-dim -> template-dim maps
+  cag::Partitioning info;        ///< alignment information (lattice element)
+  double cut_weight = 0.0;       ///< preference weight this candidate violates
+  std::string origin;            ///< provenance, e.g. "own" / "import(2)"
+
+  AlignmentCandidate() : info(0) {}
+};
+
+/// Restricts alignment information to the nodes of the given arrays
+/// (co-location among other arrays' nodes is dropped). Used when projecting
+/// class candidates onto phases and when comparing imported candidates.
+[[nodiscard]] cag::Partitioning restrict_info(const cag::Partitioning& p,
+                                              const cag::NodeUniverse& universe,
+                                              const std::vector<int>& arrays);
+
+/// A search space of alignment candidates with lattice-based deduplication.
+class AlignmentSpace {
+public:
+  /// Inserts unless `cand.info` is weaker-or-equal ([=, i.e. refines) the
+  /// info of an existing candidate. Returns true if inserted.
+  bool insert(AlignmentCandidate cand);
+
+  /// Unconditional insert (user-driven extension of the space).
+  void force_insert(AlignmentCandidate cand) { candidates_.push_back(std::move(cand)); }
+
+  [[nodiscard]] const std::vector<AlignmentCandidate>& candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] std::size_t size() const { return candidates_.size(); }
+  [[nodiscard]] bool empty() const { return candidates_.empty(); }
+
+private:
+  std::vector<AlignmentCandidate> candidates_;
+};
+
+} // namespace al::align

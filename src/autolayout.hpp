@@ -1,0 +1,72 @@
+// Umbrella header for the hpf-autolayout library.
+//
+// The typical entry point is al::driver::run_tool (the data layout
+// assistant pipeline); the individual analysis stages are available
+// through their own headers for tools that want to drive them directly.
+//
+//   #include "autolayout.hpp"
+//   auto result = al::driver::run_tool(fortran_source, options);
+//   std::cout << al::driver::emit_initial_directives(*result);
+#pragma once
+
+// Frontend
+#include "fortran/ast.hpp"
+#include "fortran/lexer.hpp"
+#include "fortran/parser.hpp"
+#include "fortran/scalar_expand.hpp"
+#include "fortran/sema.hpp"
+#include "fortran/symbols.hpp"
+
+// Phase structure
+#include "pcfg/dependence.hpp"
+#include "pcfg/pcfg.hpp"
+#include "pcfg/phase.hpp"
+#include "pcfg/subscripts.hpp"
+
+// Layout vocabulary
+#include "layout/alignment.hpp"
+#include "layout/distribution.hpp"
+#include "layout/layout.hpp"
+#include "layout/template_map.hpp"
+
+// Alignment analysis
+#include "align/heuristic.hpp"
+#include "align/import.hpp"
+#include "align/phase_classes.hpp"
+#include "align/space.hpp"
+#include "cag/builder.hpp"
+#include "cag/cag.hpp"
+#include "cag/conflict.hpp"
+#include "cag/greedy_resolution.hpp"
+#include "cag/ilp_formulation.hpp"
+#include "cag/lattice.hpp"
+#include "cag/orientation.hpp"
+
+// Distribution analysis
+#include "distrib/candidates.hpp"
+#include "distrib/space.hpp"
+
+// Performance estimation
+#include "compmodel/compile.hpp"
+#include "execmodel/estimate.hpp"
+#include "machine/training_set.hpp"
+#include "perf/estimator.hpp"
+#include "perf/remap.hpp"
+
+// Selection
+#include "select/dp_selection.hpp"
+#include "select/ilp_selection.hpp"
+#include "select/layout_graph.hpp"
+
+// 0-1 integer programming
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/lp.hpp"
+#include "ilp/simplex.hpp"
+
+// The assistant tool, experiment harness, simulator, corpus
+#include "corpus/corpus.hpp"
+#include "driver/emit.hpp"
+#include "driver/report.hpp"
+#include "driver/testcase.hpp"
+#include "driver/tool.hpp"
+#include "sim/measure.hpp"

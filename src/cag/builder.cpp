@@ -1,0 +1,43 @@
+#include "cag/builder.hpp"
+
+#include "support/contracts.hpp"
+
+namespace al::cag {
+
+using pcfg::Reference;
+using pcfg::SubscriptForm;
+
+Cag build_phase_cag(const pcfg::Phase& phase, const NodeUniverse& universe,
+                    const fortran::SymbolTable& symbols, const CagBuildOptions& opts) {
+  Cag cag(&universe);
+
+  // Pair the write of each assignment with every read of the same
+  // assignment; matching induction variables couple dimensions.
+  for (const Reference& w : phase.refs) {
+    if (!w.is_write) continue;
+    for (const Reference& r : phase.refs) {
+      if (r.is_write || r.stmt_id != w.stmt_id) continue;
+      // Communication volume if the preference is violated: the read
+      // (right-hand side) array has to move, and under the owner-computes
+      // rule it sits at the SOURCE of the edge.
+      const fortran::Symbol& src_sym = symbols.at(r.array);
+      const double volume = static_cast<double>(src_sym.element_count()) *
+                            size_in_bytes(src_sym.type) * opts.cost_scale;
+      for (std::size_t kw = 0; kw < w.subs.size(); ++kw) {
+        if (w.subs[kw].form != SubscriptForm::Affine) continue;
+        for (std::size_t kr = 0; kr < r.subs.size(); ++kr) {
+          if (r.subs[kr].form != SubscriptForm::Affine) continue;
+          if (w.subs[kw].iv_symbol != r.subs[kr].iv_symbol) continue;
+          const int wn = universe.index(w.array, static_cast<int>(kw));
+          const int rn = universe.index(r.array, static_cast<int>(kr));
+          AL_ASSERT(wn >= 0 && rn >= 0);
+          if (wn == rn) continue;  // an array trivially aligns with itself
+          cag.add_preference(/*src=*/rn, /*dst=*/wn, volume);
+        }
+      }
+    }
+  }
+  return cag;
+}
+
+} // namespace al::cag

@@ -1,0 +1,22 @@
+// Builds the weighted CAG of a phase (paper, section 3.1): owner-computes
+// value flow determines edge directions, the communicated array's volume
+// determines the cost, and repeated preferences along the current direction
+// are free (the compiler model caches communicated values).
+#pragma once
+
+#include "cag/cag.hpp"
+#include "pcfg/phase.hpp"
+
+namespace al::cag {
+
+struct CagBuildOptions {
+  /// Scale factor applied to every preference cost (1.0 = raw bytes).
+  double cost_scale = 1.0;
+};
+
+/// Constructs the CAG of one phase over the shared universe.
+[[nodiscard]] Cag build_phase_cag(const pcfg::Phase& phase, const NodeUniverse& universe,
+                                  const fortran::SymbolTable& symbols,
+                                  const CagBuildOptions& opts = {});
+
+} // namespace al::cag

@@ -1,0 +1,160 @@
+#include "cag/cag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace al::cag {
+
+NodeUniverse NodeUniverse::from_program(const fortran::Program& prog) {
+  NodeUniverse u;
+  for (int sym : prog.array_symbols()) {
+    const fortran::Symbol& s = prog.symbols.at(sym);
+    u.arrays_.push_back(sym);
+    for (int k = 0; k < s.rank(); ++k) {
+      u.index_[{sym, k}] = static_cast<int>(u.nodes_.size());
+      u.nodes_.emplace_back(sym, k);
+    }
+  }
+  return u;
+}
+
+int NodeUniverse::index(int array, int dim) const {
+  auto it = index_.find({array, dim});
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<int> NodeUniverse::nodes_of(int array) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].first == array) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int NodeUniverse::rank_of(int array) const {
+  return static_cast<int>(nodes_of(array).size());
+}
+
+std::string NodeUniverse::node_name(int node, const fortran::SymbolTable& symbols) const {
+  const auto& [array, dim] = nodes_.at(static_cast<std::size_t>(node));
+  return symbols.at(array).name + std::to_string(dim + 1);
+}
+
+CagEdge* Cag::find_edge(int u, int v) {
+  if (u > v) std::swap(u, v);
+  for (auto& e : edges_) {
+    if (e.u == u && e.v == v) return &e;
+  }
+  return nullptr;
+}
+
+void Cag::add_preference(int src_node, int dst_node, double comm_cost) {
+  AL_EXPECTS(src_node >= 0 && src_node < universe_->size());
+  AL_EXPECTS(dst_node >= 0 && dst_node < universe_->size());
+  AL_EXPECTS(src_node != dst_node);
+  AL_EXPECTS(comm_cost >= 0.0);
+  CagEdge* e = find_edge(src_node, dst_node);
+  if (e == nullptr) {
+    CagEdge ne;
+    ne.u = std::min(src_node, dst_node);
+    ne.v = std::max(src_node, dst_node);
+    ne.weight = comm_cost;
+    ne.source = src_node;
+    edges_.push_back(ne);
+    return;
+  }
+  if (e->source == src_node) {
+    // Same direction: the communicated values are already cached (3.1).
+    return;
+  }
+  // Opposite direction: pay for the new flow and reverse.
+  e->weight += comm_cost;
+  e->source = src_node;
+}
+
+void Cag::add_edge_weight(int u, int v, double weight, int source) {
+  CagEdge* e = find_edge(u, v);
+  if (e == nullptr) {
+    CagEdge ne;
+    ne.u = std::min(u, v);
+    ne.v = std::max(u, v);
+    ne.weight = weight;
+    ne.source = source >= 0 ? source : std::min(u, v);
+    edges_.push_back(ne);
+    return;
+  }
+  e->weight += weight;
+}
+
+void Cag::merge_scaled(const Cag& other, double factor) {
+  AL_EXPECTS(universe_ == &other.universe());
+  for (const CagEdge& e : other.edges_) {
+    add_edge_weight(e.u, e.v, e.weight * factor, e.source);
+  }
+}
+
+double Cag::total_weight() const {
+  double w = 0.0;
+  for (const auto& e : edges_) w += e.weight;
+  return w;
+}
+
+std::vector<int> Cag::touched_nodes() const {
+  std::vector<int> out;
+  for (const auto& e : edges_) {
+    out.push_back(e.u);
+    out.push_back(e.v);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<int> Cag::touched_arrays() const {
+  std::vector<int> out;
+  for (int n : touched_nodes()) out.push_back(universe_->array_of(n));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Partitioning Cag::components() const {
+  Partitioning p(universe_->size());
+  for (const auto& e : edges_) p.unite(e.u, e.v);
+  return p;
+}
+
+bool Cag::has_conflict() const {
+  return components().has_conflict(*universe_);
+}
+
+Cag Cag::restricted_to(const std::vector<int>& arrays) const {
+  Cag out(universe_);
+  for (const CagEdge& e : edges_) {
+    const int au = universe_->array_of(e.u);
+    const int av = universe_->array_of(e.v);
+    if (std::find(arrays.begin(), arrays.end(), au) != arrays.end() &&
+        std::find(arrays.begin(), arrays.end(), av) != arrays.end()) {
+      out.edges_.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string Cag::str(const fortran::SymbolTable& symbols) const {
+  std::ostringstream os;
+  os << "CAG{";
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i) os << ", ";
+    const CagEdge& e = edges_[i];
+    const int dst = e.source == e.u ? e.v : e.u;
+    os << universe_->node_name(e.source, symbols) << "->"
+       << universe_->node_name(dst, symbols) << ":" << e.weight;
+  }
+  os << "}";
+  return os.str();
+}
+
+} // namespace al::cag

@@ -1,0 +1,103 @@
+// Component affinity graphs (Li & Chen; paper section 2.2.1 / 3.1).
+//
+// A d-dimensional array is represented by d nodes, one per dimension.
+// Alignment preferences between dimensions of distinct arrays are weighted
+// edges; the weight is the expected penalty (communication volume) if the
+// preference is not satisfied. During construction edges are DIRECTED to
+// track the flow of values under the owner-computes rule (section 3.1);
+// afterwards the direction only matters for the 0-1 formulation's edge
+// direction normalization.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fortran/ast.hpp"
+#include "cag/lattice.hpp"
+
+namespace al::cag {
+
+/// Dense numbering of all (array, dimension) pairs of a program. Every CAG
+/// and Partitioning of one program shares one universe.
+class NodeUniverse {
+public:
+  static NodeUniverse from_program(const fortran::Program& prog);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  /// Index of (array symbol, dim), or -1.
+  [[nodiscard]] int index(int array, int dim) const;
+  [[nodiscard]] int array_of(int node) const { return nodes_.at(static_cast<std::size_t>(node)).first; }
+  [[nodiscard]] int dim_of(int node) const { return nodes_.at(static_cast<std::size_t>(node)).second; }
+  /// All node indices of `array`.
+  [[nodiscard]] std::vector<int> nodes_of(int array) const;
+  /// All distinct array symbols in the universe.
+  [[nodiscard]] const std::vector<int>& arrays() const { return arrays_; }
+  [[nodiscard]] int rank_of(int array) const;
+
+  [[nodiscard]] std::string node_name(int node, const fortran::SymbolTable& symbols) const;
+
+private:
+  std::vector<std::pair<int, int>> nodes_;  // (array, dim)
+  std::vector<int> arrays_;
+  std::map<std::pair<int, int>, int> index_;
+};
+
+/// One (undirected identity, directed state) edge of a CAG.
+struct CagEdge {
+  int u = -1;       ///< node with the smaller index
+  int v = -1;       ///< node with the larger index
+  double weight = 0.0;
+  int source = -1;  ///< current direction: which of u/v values flow FROM
+};
+
+/// The component affinity graph.
+class Cag {
+public:
+  explicit Cag(const NodeUniverse* universe) : universe_(universe) {}
+
+  [[nodiscard]] const NodeUniverse& universe() const { return *universe_; }
+
+  /// Records one alignment preference with value flow `src` -> `dst`
+  /// (section 3.1): a new edge gets weight `comm_cost`; re-encountering the
+  /// preference against the current direction adds the cost and flips the
+  /// direction; along the current direction it is a cache hit and free.
+  void add_preference(int src_node, int dst_node, double comm_cost);
+
+  /// Unconditionally accumulates weight (used when merging CAGs).
+  void add_edge_weight(int u, int v, double weight, int source);
+
+  /// Adds every edge of `other`, scaling its weights by `factor` (the import
+  /// operation's dominance scaling, section 3.2).
+  void merge_scaled(const Cag& other, double factor);
+
+  [[nodiscard]] const std::vector<CagEdge>& edges() const { return edges_; }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+  [[nodiscard]] double total_weight() const;
+
+  /// Nodes incident to at least one edge.
+  [[nodiscard]] std::vector<int> touched_nodes() const;
+  /// Arrays with at least one incident edge.
+  [[nodiscard]] std::vector<int> touched_arrays() const;
+
+  /// The partitioning induced by connected components (= the alignment
+  /// information carried by this CAG). Untouched nodes are singletons.
+  [[nodiscard]] Partitioning components() const;
+
+  /// A CAG has a conflict iff two nodes of the same array are connected
+  /// (section 2.2.1); linear-time reachability test.
+  [[nodiscard]] bool has_conflict() const;
+
+  /// Restriction to edges between the given arrays.
+  [[nodiscard]] Cag restricted_to(const std::vector<int>& arrays) const;
+
+  [[nodiscard]] std::string str(const fortran::SymbolTable& symbols) const;
+
+private:
+  [[nodiscard]] CagEdge* find_edge(int u, int v);
+
+  const NodeUniverse* universe_;
+  std::vector<CagEdge> edges_;
+};
+
+} // namespace al::cag

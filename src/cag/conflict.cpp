@@ -1,0 +1,169 @@
+#include "cag/conflict.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cag/ilp_formulation.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "support/contracts.hpp"
+
+namespace al::cag {
+namespace {
+
+/// Builds the `info` partitioning from a part_of assignment: components of
+/// the subgraph of in-partition edges.
+Partitioning info_from_assignment(const Cag& cag, const std::vector<int>& part_of) {
+  Partitioning p(cag.universe().size());
+  for (const CagEdge& e : cag.edges()) {
+    if (part_of[static_cast<std::size_t>(e.u)] >= 0 &&
+        part_of[static_cast<std::size_t>(e.u)] == part_of[static_cast<std::size_t>(e.v)]) {
+      p.unite(e.u, e.v);
+    }
+  }
+  return p;
+}
+
+void fill_weights(const Cag& cag, Resolution& r) {
+  r.satisfied_weight = 0.0;
+  r.cut_weight = 0.0;
+  for (const CagEdge& e : cag.edges()) {
+    const int pu = r.part_of[static_cast<std::size_t>(e.u)];
+    const int pv = r.part_of[static_cast<std::size_t>(e.v)];
+    if (pu >= 0 && pu == pv)
+      r.satisfied_weight += e.weight;
+    else
+      r.cut_weight += e.weight;
+  }
+}
+
+} // namespace
+
+std::vector<int> color_blocks(const Partitioning& p, const NodeUniverse& universe, int d) {
+  const auto blocks = p.blocks();
+  const int nb = static_cast<int>(blocks.size());
+
+  // Work only on multi-node blocks; singletons stay unassigned (-1).
+  std::vector<int> work;  // indices of multi-node blocks
+  for (int b = 0; b < nb; ++b) {
+    if (blocks[static_cast<std::size_t>(b)].size() > 1) work.push_back(b);
+  }
+
+  // Conflict adjacency: two blocks clash when they contain dims of one array.
+  auto arrays_of = [&](int b) {
+    std::vector<int> out;
+    for (int n : blocks[static_cast<std::size_t>(b)]) out.push_back(universe.array_of(n));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  std::vector<std::vector<int>> arr(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) arr[i] = arrays_of(work[i]);
+  auto clash = [&](std::size_t i, std::size_t j) {
+    std::vector<int> inter;
+    std::set_intersection(arr[i].begin(), arr[i].end(), arr[j].begin(), arr[j].end(),
+                          std::back_inserter(inter));
+    return !inter.empty();
+  };
+
+  // Color preference: a block's majority natural dimension first.
+  std::vector<std::vector<int>> pref(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    std::vector<int> votes(static_cast<std::size_t>(d), 0);
+    for (int n : blocks[static_cast<std::size_t>(work[i])]) {
+      const int dim = universe.dim_of(n);
+      if (dim < d) ++votes[static_cast<std::size_t>(dim)];
+    }
+    std::vector<int> order(static_cast<std::size_t>(d));
+    for (int k = 0; k < d; ++k) order[static_cast<std::size_t>(k)] = k;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return votes[static_cast<std::size_t>(a)] > votes[static_cast<std::size_t>(b)];
+    });
+    pref[i] = std::move(order);
+  }
+
+  // Exact backtracking (block counts are tiny in practice).
+  std::vector<int> color(work.size(), -1);
+  auto assign = [&](auto&& self, std::size_t i) -> bool {
+    if (i == work.size()) return true;
+    for (int k : pref[i]) {
+      bool ok = true;
+      for (std::size_t j = 0; j < i && ok; ++j) {
+        if (color[j] == k && clash(i, j)) ok = false;
+      }
+      if (!ok) continue;
+      color[i] = k;
+      if (self(self, i + 1)) return true;
+      color[i] = -1;
+    }
+    return false;
+  };
+  if (!assign(assign, 0)) return {};
+
+  std::vector<int> out(static_cast<std::size_t>(nb), -1);
+  for (std::size_t i = 0; i < work.size(); ++i)
+    out[static_cast<std::size_t>(work[i])] = color[i];
+  return out;
+}
+
+Resolution resolution_from_components(const Cag& cag, int d) {
+  AL_EXPECTS(!cag.has_conflict());
+  const NodeUniverse& uni = cag.universe();
+  Resolution r;
+  r.part_of.assign(static_cast<std::size_t>(uni.size()), -1);
+  r.info = cag.components();
+
+  const std::vector<int> colors = color_blocks(r.info, uni, d);
+  AL_EXPECTS(!colors.empty());
+  const auto blocks = r.info.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (colors[b] < 0) continue;
+    for (int n : blocks[b]) r.part_of[static_cast<std::size_t>(n)] = colors[b];
+  }
+  fill_weights(cag, r);
+  AL_ENSURES(r.cut_weight == 0.0);
+  return r;
+}
+
+Cag satisfied_subgraph(const Cag& cag, const Resolution& res) {
+  Cag out(&cag.universe());
+  for (const CagEdge& e : cag.edges()) {
+    const int pu = res.part_of[static_cast<std::size_t>(e.u)];
+    const int pv = res.part_of[static_cast<std::size_t>(e.v)];
+    if (pu >= 0 && pu == pv) out.add_edge_weight(e.u, e.v, e.weight, e.source);
+  }
+  return out;
+}
+
+Resolution resolve_alignment(const Cag& cag, int d) {
+  if (!cag.has_conflict()) {
+    // No path conflict: the components ARE a solution -- provided they can
+    // be placed on distinct template dimensions (odd component/array cycles
+    // can make that impossible even without a path conflict).
+    const std::vector<int> colors = color_blocks(cag.components(), cag.universe(), d);
+    if (!colors.empty()) return resolution_from_components(cag, d);
+  }
+  AlignmentIlp ilp = formulate_alignment_ilp(cag, d);
+  ilp::MipResult res = ilp::solve_mip(ilp.model);
+  AL_ASSERT(res.status == ilp::SolveStatus::Optimal);
+
+  Resolution r;
+  const NodeUniverse& uni = cag.universe();
+  r.part_of.assign(static_cast<std::size_t>(uni.size()), -1);
+  for (std::size_t i = 0; i < ilp.nodes.size(); ++i) {
+    for (int k = 0; k < d; ++k) {
+      if (std::lround(res.x[static_cast<std::size_t>(ilp.node_var(static_cast<int>(i), k))]) == 1) {
+        r.part_of[static_cast<std::size_t>(ilp.nodes[i])] = k;
+        break;
+      }
+    }
+  }
+  r.info = info_from_assignment(cag, r.part_of);
+  fill_weights(cag, r);
+  r.ilp_variables = ilp.model.num_variables();
+  r.ilp_constraints = ilp.model.num_constraints();
+  r.bb_nodes = res.nodes;
+  r.lp_iterations = res.lp_iterations;
+  return r;
+}
+
+} // namespace al::cag

@@ -1,0 +1,59 @@
+// Inter-dimensional alignment conflicts and their resolution.
+//
+// A CAG has a conflict iff two nodes of one array are connected (paper,
+// section 2.2.1). Resolution finds a d-partitioning (d = template rank) of
+// the CAG nodes -- no two dims of one array in one partition -- minimizing
+// the weight of edges that cross partitions. The paper solves this exactly
+// with the 0-1 formulation of its appendix; this header is the public entry
+// point, with the formulation itself in ilp_formulation.hpp and a classic
+// greedy heuristic (for the ablation bench) in greedy_resolution.hpp.
+#pragma once
+
+#include "cag/cag.hpp"
+
+namespace al::cag {
+
+/// Result of resolving (or simply reading off) the alignment of a CAG.
+struct Resolution {
+  /// Node -> partition index (0..d-1); -1 for nodes of arrays untouched by
+  /// the CAG. Partition index == prospective template dimension before
+  /// orientation.
+  std::vector<int> part_of;
+  /// The surviving alignment information: components of the CAG after
+  /// removing cut edges (this is what enters the lattice comparisons).
+  Partitioning info;
+  double satisfied_weight = 0.0;
+  double cut_weight = 0.0;
+  // --- solver statistics (for the ILP-size experiment) ---
+  int ilp_variables = 0;
+  int ilp_constraints = 0;
+  long bb_nodes = 0;
+  long lp_iterations = 0;
+
+  Resolution() : info(0) {}
+};
+
+/// Resolves `cag` into `d` partitions. Conflict-free, d-colorable CAGs are
+/// read off their connected components; everything else -- including the
+/// subtle case of a path-conflict-free CAG whose component/array structure
+/// is not d-colorable (an odd cycle of array-sharing components) -- goes
+/// through the exact 0-1 formulation.
+[[nodiscard]] Resolution resolve_alignment(const Cag& cag, int d);
+
+/// Assigns partition indices to the multi-node blocks of `p` such that
+/// blocks sharing an array receive distinct indices (exact backtracking;
+/// ties prefer each block's "natural" majority dimension). Returns one
+/// index per `p.blocks()` entry (-1 for singletons), or an empty vector if
+/// no valid assignment exists.
+[[nodiscard]] std::vector<int> color_blocks(const Partitioning& p,
+                                            const NodeUniverse& universe, int d);
+
+/// Builds a Resolution for a conflict-free, d-colorable cag without solving
+/// anything. Precondition: `color_blocks` succeeds.
+[[nodiscard]] Resolution resolution_from_components(const Cag& cag, int d);
+
+/// The conflict-free CAG left after removing the edges a resolution cut
+/// ("the resulting CAG" that initializes search spaces, section 3.2).
+[[nodiscard]] Cag satisfied_subgraph(const Cag& cag, const Resolution& res);
+
+} // namespace al::cag

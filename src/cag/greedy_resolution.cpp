@@ -1,0 +1,52 @@
+#include "cag/greedy_resolution.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace al::cag {
+
+Resolution resolve_alignment_greedy(const Cag& cag, int d) {
+  const NodeUniverse& uni = cag.universe();
+
+  // Sort edges by descending weight (stable on ties for determinism).
+  std::vector<CagEdge> edges = cag.edges();
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const CagEdge& a, const CagEdge& b) { return a.weight > b.weight; });
+
+  Partitioning p(uni.size());
+  double satisfied = 0.0;
+  double cut = 0.0;
+  for (const CagEdge& e : edges) {
+    if (p.same(e.u, e.v)) {
+      satisfied += e.weight;
+      continue;
+    }
+    // Tentatively merge; keep only if the merged blocks still admit a valid
+    // assignment of partitions (distinct dims per array AND d-colorable).
+    Partitioning trial = p;
+    trial.unite(e.u, e.v);
+    if (!trial.has_conflict(uni) && !color_blocks(trial, uni, d).empty()) {
+      p = std::move(trial);
+      satisfied += e.weight;
+    } else {
+      cut += e.weight;
+    }
+  }
+
+  Resolution r;
+  r.info = p;
+  r.satisfied_weight = satisfied;
+  r.cut_weight = cut;
+  r.part_of.assign(static_cast<std::size_t>(uni.size()), -1);
+  const std::vector<int> colors = color_blocks(p, uni, d);
+  AL_ASSERT(!colors.empty());
+  const auto blocks = p.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (colors[b] < 0) continue;
+    for (int n : blocks[b]) r.part_of[static_cast<std::size_t>(n)] = colors[b];
+  }
+  return r;
+}
+
+} // namespace al::cag

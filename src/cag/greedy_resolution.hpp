@@ -1,0 +1,16 @@
+// Classic greedy conflict resolution in the style of Li & Chen's heuristic:
+// process edges heaviest-first, merging endpoint blocks unless that would
+// put two dims of one array together. Kept alongside the exact 0-1 solver
+// for the "heuristic vs optimal" ablation bench -- the paper's framework
+// explicitly chose exact integer programming over such heuristics.
+#pragma once
+
+#include "cag/conflict.hpp"
+
+namespace al::cag {
+
+/// Resolves `cag` into at most `d` partitions greedily. Returns the same
+/// Resolution shape as the exact solver (ILP statistics zero).
+[[nodiscard]] Resolution resolve_alignment_greedy(const Cag& cag, int d);
+
+} // namespace al::cag

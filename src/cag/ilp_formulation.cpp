@@ -1,0 +1,123 @@
+#include "cag/ilp_formulation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace al::cag {
+
+AlignmentIlp formulate_alignment_ilp(const Cag& cag, int d) {
+  AL_EXPECTS(d >= 1);
+  const NodeUniverse& uni = cag.universe();
+  AlignmentIlp out;
+  out.d = d;
+
+  // Every dimension of every array touched by the CAG is a node.
+  std::vector<int> arrays = cag.touched_arrays();
+  for (int a : arrays) {
+    for (int n : uni.nodes_of(a)) out.nodes.push_back(n);
+  }
+  std::map<int, int> node_pos;  // universe node -> position in out.nodes
+  for (std::size_t i = 0; i < out.nodes.size(); ++i)
+    node_pos[out.nodes[i]] = static_cast<int>(i);
+
+  // --- node switches a_ik ---
+  out.node_var0.resize(out.nodes.size());
+  for (std::size_t i = 0; i < out.nodes.size(); ++i) {
+    out.node_var0[i] = out.model.num_variables();
+    const int n = out.nodes[i];
+    for (int k = 0; k < d; ++k) {
+      out.model.add_binary("n" + std::to_string(n) + "_p" + std::to_string(k), 0.0);
+    }
+  }
+
+  // --- edge direction normalization + edge switches ---
+  // All edges between one (ordered) array pair must share a direction; we
+  // normalize to "from the smaller array symbol to the larger".
+  struct NormEdge {
+    int src;  // universe node
+    int dst;
+    double weight;
+  };
+  std::vector<NormEdge> edges;
+  for (const CagEdge& e : cag.edges()) {
+    const int au = uni.array_of(e.u);
+    const int av = uni.array_of(e.v);
+    NormEdge ne;
+    ne.weight = e.weight;
+    if (au <= av) {
+      ne.src = e.u;
+      ne.dst = e.v;
+    } else {
+      ne.src = e.v;
+      ne.dst = e.u;
+    }
+    edges.push_back(ne);
+  }
+
+  out.edge_var0.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    out.edge_var0[i] = out.model.num_variables();
+    for (int k = 0; k < d; ++k) {
+      // Objective: weight(e) on every in-partition switch.
+      out.model.add_binary("e" + std::to_string(i) + "_p" + std::to_string(k),
+                           edges[i].weight);
+    }
+  }
+
+  // --- node constraints ---
+  // (type1) every node lies in exactly one partition.
+  for (std::size_t i = 0; i < out.nodes.size(); ++i) {
+    std::vector<ilp::Term> terms;
+    for (int k = 0; k < d; ++k) terms.push_back({out.node_var(static_cast<int>(i), k), 1.0});
+    out.model.add_constraint("one_part_n" + std::to_string(out.nodes[i]), std::move(terms),
+                             ilp::Rel::EQ, 1.0);
+    ++out.num_type1;
+  }
+  // (type2) per array and partition: at most one of its dims.
+  for (int a : arrays) {
+    const std::vector<int> dims = uni.nodes_of(a);
+    for (int k = 0; k < d; ++k) {
+      std::vector<ilp::Term> terms;
+      for (int n : dims) terms.push_back({out.node_var(node_pos.at(n), k), 1.0});
+      out.model.add_constraint("array" + std::to_string(a) + "_p" + std::to_string(k),
+                               std::move(terms), ilp::Rel::LE, 1.0);
+      ++out.num_type2;
+    }
+  }
+
+  // --- edge constraints ---
+  // IN: per sink node a_i, per source array b with SRC(b, a_i) non-empty,
+  // per k:   sum_{b_j in SRC} e_k <= a_ik.
+  // OUT: per source node a_i, per sink array c, per k:
+  //              sum_{c_j in SINK} e_k <= a_ik.
+  std::map<std::pair<int, int>, std::vector<int>> in_groups;   // (sink node, src array) -> edges
+  std::map<std::pair<int, int>, std::vector<int>> out_groups;  // (src node, sink array) -> edges
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const NormEdge& e = edges[i];
+    in_groups[{e.dst, uni.array_of(e.src)}].push_back(static_cast<int>(i));
+    out_groups[{e.src, uni.array_of(e.dst)}].push_back(static_cast<int>(i));
+  }
+  auto emit_group = [&](const std::map<std::pair<int, int>, std::vector<int>>& groups,
+                        const char* tag) {
+    for (const auto& [key, group] : groups) {
+      const int anchor = key.first;
+      for (int k = 0; k < d; ++k) {
+        std::vector<ilp::Term> terms;
+        for (int ei : group) terms.push_back({out.edge_var(ei, k), 1.0});
+        terms.push_back({out.node_var(node_pos.at(anchor), k), -1.0});
+        out.model.add_constraint(std::string(tag) + "_n" + std::to_string(anchor) + "_a" +
+                                     std::to_string(key.second) + "_p" + std::to_string(k),
+                                 std::move(terms), ilp::Rel::LE, 0.0);
+        ++out.num_edge_constraints;
+      }
+    }
+  };
+  emit_group(in_groups, "in");
+  emit_group(out_groups, "out");
+
+  return out;
+}
+
+} // namespace al::cag

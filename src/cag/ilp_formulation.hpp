@@ -1,0 +1,41 @@
+// The paper's appendix, verbatim: translation of an inter-dimensional
+// alignment problem instance into a 0-1 integer program.
+//
+//   * one switch a_ik per CAG node a_i and partition k
+//   * one switch a$b^{ik}_{jk} per edge (a_i, b_j) and partition k
+//   * node constraints (type1): each node in exactly one partition
+//   * node constraints (type2): <=1 dimension of an array per partition
+//   * edge constraints (IN/OUT) after edge direction normalization
+//   * objective: maximize the weight of in-partition edges
+#pragma once
+
+#include "cag/cag.hpp"
+#include "ilp/lp.hpp"
+
+namespace al::cag {
+
+struct AlignmentIlp {
+  ilp::Model model{ilp::Sense::Maximize};
+  int d = 0;
+  std::vector<int> nodes;        ///< universe node ids, in model order
+  std::vector<int> node_var0;    ///< first variable index of each node's block
+  std::vector<int> edge_var0;    ///< first variable index of each edge's block
+  int num_type1 = 0;
+  int num_type2 = 0;
+  int num_edge_constraints = 0;
+
+  [[nodiscard]] int node_var(int node_pos, int k) const {
+    return node_var0[static_cast<std::size_t>(node_pos)] + k;
+  }
+  [[nodiscard]] int edge_var(int edge_pos, int k) const {
+    return edge_var0[static_cast<std::size_t>(edge_pos)] + k;
+  }
+};
+
+/// Builds the 0-1 program for partitioning `cag` into `d` partitions.
+/// Every dimension of every touched array becomes a node (a d-dimensional
+/// array is represented by d nodes). Edge directions are normalized so all
+/// edges between one array pair point the same way.
+[[nodiscard]] AlignmentIlp formulate_alignment_ilp(const Cag& cag, int d);
+
+} // namespace al::cag

@@ -1,0 +1,123 @@
+#include "cag/lattice.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "cag/cag.hpp"
+#include "support/contracts.hpp"
+
+namespace al::cag {
+
+Partitioning::Partitioning(int n) : parent_(static_cast<std::size_t>(n)), rank_(static_cast<std::size_t>(n), 0) {
+  AL_EXPECTS(n >= 0);
+  for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+}
+
+int Partitioning::block(int u) const {
+  AL_EXPECTS(u >= 0 && u < size());
+  int root = u;
+  while (parent_[static_cast<std::size_t>(root)] != root)
+    root = parent_[static_cast<std::size_t>(root)];
+  // Path compression (parent_ is mutable).
+  while (parent_[static_cast<std::size_t>(u)] != root) {
+    const int next = parent_[static_cast<std::size_t>(u)];
+    parent_[static_cast<std::size_t>(u)] = root;
+    u = next;
+  }
+  return root;
+}
+
+void Partitioning::unite(int u, int v) {
+  int ru = block(u);
+  int rv = block(v);
+  if (ru == rv) return;
+  if (rank_[static_cast<std::size_t>(ru)] < rank_[static_cast<std::size_t>(rv)]) std::swap(ru, rv);
+  parent_[static_cast<std::size_t>(rv)] = ru;
+  if (rank_[static_cast<std::size_t>(ru)] == rank_[static_cast<std::size_t>(rv)])
+    ++rank_[static_cast<std::size_t>(ru)];
+}
+
+int Partitioning::num_blocks() const {
+  int n = 0;
+  for (int i = 0; i < size(); ++i) {
+    if (block(i) == i) ++n;
+  }
+  return n;
+}
+
+std::vector<std::vector<int>> Partitioning::blocks() const {
+  std::map<int, std::vector<int>> by_root;
+  for (int i = 0; i < size(); ++i) by_root[block(i)].push_back(i);
+  std::vector<std::vector<int>> out;
+  out.reserve(by_root.size());
+  for (auto& [root, members] : by_root) out.push_back(std::move(members));
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+bool Partitioning::refines(const Partitioning& other) const {
+  AL_EXPECTS(size() == other.size());
+  // For each of our blocks: all members must share one block in `other`.
+  // Linear: compare against the block of each node's representative.
+  for (int i = 0; i < size(); ++i) {
+    if (other.block(i) != other.block(this->block(i))) return false;
+  }
+  return true;
+}
+
+Partitioning Partitioning::meet(const Partitioning& a, const Partitioning& b) {
+  AL_EXPECTS(a.size() == b.size());
+  Partitioning out(a.size());
+  // Nodes are together iff together in both: group by (block_a, block_b).
+  std::map<std::pair<int, int>, int> first_seen;
+  for (int i = 0; i < a.size(); ++i) {
+    const auto key = std::make_pair(a.block(i), b.block(i));
+    auto [it, inserted] = first_seen.emplace(key, i);
+    if (!inserted) out.unite(it->second, i);
+  }
+  return out;
+}
+
+Partitioning Partitioning::join(const Partitioning& a, const Partitioning& b) {
+  AL_EXPECTS(a.size() == b.size());
+  Partitioning out(a.size());
+  for (int i = 0; i < a.size(); ++i) {
+    out.unite(i, a.block(i));
+    out.unite(i, b.block(i));
+  }
+  return out;
+}
+
+bool Partitioning::has_conflict(const NodeUniverse& universe) const {
+  AL_EXPECTS(universe.size() == size());
+  // (block, array) pairs must be unique.
+  std::map<std::pair<int, int>, int> seen;
+  for (int i = 0; i < size(); ++i) {
+    const auto key = std::make_pair(block(i), universe.array_of(i));
+    auto [it, inserted] = seen.emplace(key, i);
+    if (!inserted) return true;
+  }
+  return false;
+}
+
+std::string Partitioning::str(const NodeUniverse& universe,
+                              const fortran::SymbolTable& symbols) const {
+  std::ostringstream os;
+  os << "{";
+  bool first_block = true;
+  for (const auto& blk : blocks()) {
+    if (blk.size() == 1) continue;  // singletons carry no information
+    if (!first_block) os << " | ";
+    first_block = false;
+    for (std::size_t i = 0; i < blk.size(); ++i) {
+      if (i) os << " ";
+      os << universe.node_name(blk[i], symbols);
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+} // namespace al::cag

@@ -1,0 +1,69 @@
+// The semi-lattice of inter-dimensional alignment information (paper,
+// section 2.2.1, figure 2).
+//
+// Alignment information is a partitioning of the CAG node universe. The
+// partial order is partition refinement: P1 <= P2 ("P1 carries no more
+// information than P2") iff P1 refines P2... note the paper's convention:
+// the bottom element is the all-singleton partitioning (no information), and
+// CAG1 [= CAG2 iff partitioning(CAG1) is a refinement of partitioning(CAG2).
+// meet = coarsest common refinement, join = finest common coarsening.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fortran/ast.hpp"
+
+namespace al::cag {
+
+class NodeUniverse;
+
+/// A partitioning of {0..n-1} with near-constant-time union/find and the
+/// lattice operations of the paper.
+class Partitioning {
+public:
+  /// All-singleton (bottom) partitioning of `n` nodes.
+  explicit Partitioning(int n);
+
+  [[nodiscard]] int size() const { return static_cast<int>(parent_.size()); }
+
+  /// Merges the blocks of u and v.
+  void unite(int u, int v);
+
+  /// Canonical block representative (stable under find-only use).
+  [[nodiscard]] int block(int u) const;
+  [[nodiscard]] bool same(int u, int v) const { return block(u) == block(v); }
+
+  /// Number of non-singleton-or-not blocks (total block count).
+  [[nodiscard]] int num_blocks() const;
+
+  /// Blocks as sorted node lists, ordered by smallest member.
+  [[nodiscard]] std::vector<std::vector<int>> blocks() const;
+
+  /// True iff *this refines `other`: every block of *this is contained in a
+  /// block of `other`. Linear time. (*this [= other in the paper's order.)
+  [[nodiscard]] bool refines(const Partitioning& other) const;
+
+  /// Lattice meet: coarsest common refinement (toward bottom).
+  [[nodiscard]] static Partitioning meet(const Partitioning& a, const Partitioning& b);
+
+  /// Lattice join: finest common coarsening (union of the relations).
+  [[nodiscard]] static Partitioning join(const Partitioning& a, const Partitioning& b);
+
+  /// Two dims of one array in one block? (needs the universe for node->array)
+  [[nodiscard]] bool has_conflict(const NodeUniverse& universe) const;
+
+  /// Structural equality (same blocks).
+  [[nodiscard]] bool equivalent(const Partitioning& other) const {
+    return refines(other) && other.refines(*this);
+  }
+
+  [[nodiscard]] std::string str(const NodeUniverse& universe,
+                                const fortran::SymbolTable& symbols) const;
+
+private:
+  mutable std::vector<int> parent_;
+  std::vector<int> rank_;
+};
+
+} // namespace al::cag

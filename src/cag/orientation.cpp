@@ -1,0 +1,81 @@
+#include "cag/orientation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace al::cag {
+
+layout::Alignment orient(const Resolution& res, const NodeUniverse& universe, int d,
+                         const std::vector<int>& arrays,
+                         const layout::Alignment* reference) {
+  AL_EXPECTS(d >= 1);
+
+  // Agreement score of mapping partition k to template dim t.
+  std::vector<std::vector<double>> score(static_cast<std::size_t>(d),
+                                         std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  for (int a : arrays) {
+    for (int n : universe.nodes_of(a)) {
+      const int k = res.part_of[static_cast<std::size_t>(n)];
+      if (k < 0 || k >= d) continue;
+      const int dim = universe.dim_of(n);
+      const int want = reference != nullptr ? reference->axis_of(a, dim) : dim;
+      if (want >= 0 && want < d) score[static_cast<std::size_t>(k)][static_cast<std::size_t>(want)] += 1.0;
+    }
+  }
+
+  // Best permutation partition -> template dim (d is tiny; brute force).
+  std::vector<int> perm(static_cast<std::size_t>(d));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> best = perm;
+  double best_score = -1.0;
+  do {
+    double s = 0.0;
+    for (int k = 0; k < d; ++k)
+      s += score[static_cast<std::size_t>(k)][static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])];
+    if (s > best_score) {
+      best_score = s;
+      best = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  // Build the alignment array by array.
+  layout::Alignment out;
+  for (int a : arrays) {
+    const std::vector<int> nodes = universe.nodes_of(a);
+    const int rank = static_cast<int>(nodes.size());
+    layout::ArrayAlignment aa;
+    aa.array = a;
+    aa.axis.assign(static_cast<std::size_t>(rank), -1);
+    std::vector<char> used(static_cast<std::size_t>(std::max(d, rank)), 0);
+    for (int k = 0; k < rank; ++k) {
+      const int part = res.part_of[static_cast<std::size_t>(nodes[static_cast<std::size_t>(k)])];
+      if (part >= 0 && part < d) {
+        const int t = best[static_cast<std::size_t>(part)];
+        aa.axis[static_cast<std::size_t>(k)] = t;
+        used[static_cast<std::size_t>(t)] = 1;
+      }
+    }
+    // Unconstrained dims: prefer their natural position, then first free.
+    for (int k = 0; k < rank; ++k) {
+      if (aa.axis[static_cast<std::size_t>(k)] >= 0) continue;
+      if (k < static_cast<int>(used.size()) && !used[static_cast<std::size_t>(k)]) {
+        aa.axis[static_cast<std::size_t>(k)] = k;
+        used[static_cast<std::size_t>(k)] = 1;
+        continue;
+      }
+      for (std::size_t t = 0; t < used.size(); ++t) {
+        if (!used[t]) {
+          aa.axis[static_cast<std::size_t>(k)] = static_cast<int>(t);
+          used[t] = 1;
+          break;
+        }
+      }
+    }
+    out.set(std::move(aa));
+  }
+  return out;
+}
+
+} // namespace al::cag

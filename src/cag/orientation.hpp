@@ -1,0 +1,25 @@
+// Orientation selection (paper, section 2.2.1): a conflict-free CAG (or a
+// resolved partitioning) fixes which array dimensions are aligned TOGETHER;
+// the orientation maps those groups onto concrete template dimensions. For a
+// d-dimensional template there are d! orientations; all satisfy the CAG, but
+// in the presence of dynamic realignment a good match with neighbouring
+// phases' orientations avoids spurious remapping cost. We implement the
+// greedy matching strategy (Anderson/Lam-style): pick the permutation that
+// maximizes agreement with a reference alignment (or with the arrays'
+// natural dimension order when no reference is given).
+#pragma once
+
+#include "cag/conflict.hpp"
+#include "layout/alignment.hpp"
+
+namespace al::cag {
+
+/// Turns a resolution into a full per-array alignment over `arrays`.
+/// If `reference` is non-null, the partition->template-dimension permutation
+/// maximizing per-node agreement with the reference is chosen; otherwise the
+/// natural (identity-preferring) orientation is used.
+[[nodiscard]] layout::Alignment orient(const Resolution& res, const NodeUniverse& universe,
+                                       int d, const std::vector<int>& arrays,
+                                       const layout::Alignment* reference = nullptr);
+
+} // namespace al::cag

@@ -1,0 +1,60 @@
+#include "compmodel/compile.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace al::compmodel {
+
+bool CompiledPhase::has_recurrence() const {
+  return std::any_of(events.begin(), events.end(),
+                     [](const CommEvent& e) { return e.cls == CommClass::Recurrence; });
+}
+
+long CompiledPhase::recurrence_strips() const {
+  long strips = 0;
+  for (const CommEvent& e : events) {
+    if (e.cls != CommClass::Recurrence) continue;
+    strips = strips == 0 ? e.strips : std::min(strips, e.strips);
+  }
+  return strips;
+}
+
+CompiledPhase compile_phase(const pcfg::Phase& phase, const pcfg::PhaseDeps& deps,
+                            const layout::Layout& layout,
+                            const fortran::SymbolTable& symbols,
+                            const CompileOptions& opts) {
+  CompiledPhase out;
+  out.procs = layout.distribution().total_procs();
+
+  // Pair every write with the reads of its statement and classify.
+  std::vector<CommRequirement> reqs;
+  double part_weight = 0.0;
+  double total_weight = 0.0;
+  for (const pcfg::Reference& w : phase.refs) {
+    if (!w.is_write) continue;
+    const bool part = statement_partitioned(w, layout, symbols);
+    total_weight += w.frequency;
+    if (part) part_weight += w.frequency;
+    for (const pcfg::Reference& r : phase.refs) {
+      if (r.is_write || r.stmt_id != w.stmt_id) continue;
+      std::vector<CommRequirement> rs = classify_pair(phase, deps, w, r, layout, symbols);
+      reqs.insert(reqs.end(), rs.begin(), rs.end());
+    }
+  }
+  out.partitioned_fraction = total_weight > 0.0 ? part_weight / total_weight : 1.0;
+
+  out.events = lower_requirements(reqs, opts);
+
+  // Per-processor computation under owner-computes block partitioning; the
+  // unpartitioned remainder runs at full size on its owner (and everyone
+  // else waits -- loosely synchronous execution charges it fully).
+  const double p = static_cast<double>(std::max(out.procs, 1));
+  const double scale = out.partitioned_fraction / p + (1.0 - out.partitioned_fraction);
+  out.flops_real = phase.flops_real * scale;
+  out.flops_double = phase.flops_double * scale;
+  out.mem_accesses = phase.mem_accesses * scale;
+  return out;
+}
+
+} // namespace al::compmodel

@@ -1,0 +1,42 @@
+// The compiler model proper: simulates what the target Fortran D-class
+// compiler would generate for (phase, candidate layout) -- the paper's
+// "compilation process needs to be simulated for performance purposes only".
+// Intentionally ignored special cases (boundary-processor code, exact
+// guards) mirror the paper's prototype; the SPMD simulator in src/sim models
+// them, which is what creates realistic estimate-vs-measurement gaps.
+#pragma once
+
+#include "compmodel/messages.hpp"
+#include "layout/layout.hpp"
+#include "pcfg/dependence.hpp"
+#include "pcfg/phase.hpp"
+
+namespace al::compmodel {
+
+/// Everything the execution model needs about one (phase, layout) pair.
+struct CompiledPhase {
+  std::vector<CommEvent> events;
+
+  // Partitioned computation per processor:
+  double flops_real = 0.0;
+  double flops_double = 0.0;
+  double mem_accesses = 0.0;
+  /// Fraction of the phase's statements whose iterations were partitioned
+  /// (unpartitioned statements execute on one slab and count full-size).
+  double partitioned_fraction = 1.0;
+  int procs = 1;
+
+  /// Does any flow dependence cross processors (some Recurrence event)?
+  [[nodiscard]] bool has_recurrence() const;
+  /// Smallest strip count among recurrence events (1 = sequential chain).
+  [[nodiscard]] long recurrence_strips() const;
+};
+
+/// Runs the compiler model.
+[[nodiscard]] CompiledPhase compile_phase(const pcfg::Phase& phase,
+                                          const pcfg::PhaseDeps& deps,
+                                          const layout::Layout& layout,
+                                          const fortran::SymbolTable& symbols,
+                                          const CompileOptions& opts = {});
+
+} // namespace al::compmodel

@@ -1,0 +1,74 @@
+#include "compmodel/messages.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace al::compmodel {
+namespace {
+
+machine::CommPattern pattern_for(CommClass cls) {
+  switch (cls) {
+    case CommClass::Shift: return machine::CommPattern::Shift;
+    case CommClass::Broadcast: return machine::CommPattern::Broadcast;
+    case CommClass::Transpose: return machine::CommPattern::Transpose;
+    case CommClass::Gather: return machine::CommPattern::Transpose;  // all-to-one section exchange
+    case CommClass::Recurrence: return machine::CommPattern::SendRecv;
+    case CommClass::Local: return machine::CommPattern::SendRecv;
+  }
+  return machine::CommPattern::SendRecv;
+}
+
+} // namespace
+
+std::vector<CommEvent> lower_requirements(const std::vector<CommRequirement>& reqs,
+                                          const CompileOptions& opts) {
+  std::vector<CommEvent> events;
+  for (const CommRequirement& r : reqs) {
+    if (r.cls == CommClass::Local) continue;
+    CommEvent e;
+    e.cls = r.cls;
+    e.array = r.array;
+    e.pattern = pattern_for(r.cls);
+    e.stride = r.stride;
+    e.shift_distance = r.shift_distance;
+    e.note = r.note;
+    if (r.cls == CommClass::Recurrence) {
+      e.strips = std::max<long>(r.strips, 1);
+      e.bytes = r.strip_bytes;
+      e.messages = static_cast<double>(e.strips);
+    } else if (opts.message_vectorization) {
+      e.bytes = r.section_bytes;
+      e.messages = 1.0;
+    } else {
+      // Element-at-a-time: same volume, one element per message.
+      e.bytes = r.element_bytes;
+      e.messages = std::max(r.section_bytes / r.element_bytes, 1.0);
+    }
+    events.push_back(std::move(e));
+  }
+
+  if (!opts.message_coalescing) return events;
+
+  // Coalesce: same (class, array, pattern, stride, strips) pay the largest
+  // section once instead of every reference.
+  std::vector<CommEvent> merged;
+  for (const CommEvent& e : events) {
+    bool folded = false;
+    for (CommEvent& m : merged) {
+      if (m.cls == e.cls && m.array == e.array && m.pattern == e.pattern &&
+          m.stride == e.stride && m.strips == e.strips) {
+        m.bytes = std::max(m.bytes, e.bytes);
+        m.messages = std::max(m.messages, e.messages);
+        m.shift_distance = std::max(m.shift_distance, e.shift_distance);
+        folded = true;
+        break;
+      }
+    }
+    if (!folded) merged.push_back(e);
+  }
+  return merged;
+}
+
+} // namespace al::compmodel

@@ -1,0 +1,45 @@
+// Message vectorization and coalescing (the two optimizations the
+// experiments' target compiler performs, paper section 4).
+//
+//   * Vectorization hoists non-recurrence messages out of the phase loops:
+//     each requirement becomes ONE aggregate message per phase execution.
+//     With vectorization off, the same bytes move one element at a time.
+//   * Coalescing merges messages of the same array, class, stride and
+//     direction into one (overlapping boundary layers are paid once).
+#pragma once
+
+#include <vector>
+
+#include "compmodel/reference_class.hpp"
+
+namespace al::compmodel {
+
+struct CompileOptions {
+  bool message_vectorization = true;
+  bool message_coalescing = true;
+  /// Off for the paper's experiments: the Fortran D prototype had it
+  /// disabled. When on, recurrence strips are re-blocked to balance message
+  /// count against pipeline delay.
+  bool coarse_grain_pipelining = false;
+  /// Also off for the experiments.
+  bool loop_interchange = false;
+};
+
+/// A compiler-placed communication event of one phase under one layout.
+struct CommEvent {
+  CommClass cls = CommClass::Local;
+  int array = -1;
+  machine::CommPattern pattern = machine::CommPattern::SendRecv;
+  machine::Stride stride = machine::Stride::Unit;
+  double bytes = 0.0;      ///< bytes per message
+  double messages = 1.0;   ///< messages per phase execution (per processor)
+  long strips = 1;         ///< recurrence only: pipeline strip count
+  long shift_distance = 0;
+  std::string note;
+};
+
+/// Lowers raw requirements into placed events under `opts`.
+[[nodiscard]] std::vector<CommEvent> lower_requirements(
+    const std::vector<CommRequirement>& reqs, const CompileOptions& opts);
+
+} // namespace al::compmodel

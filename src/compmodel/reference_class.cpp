@@ -1,0 +1,210 @@
+#include "compmodel/reference_class.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/contracts.hpp"
+
+namespace al::compmodel {
+namespace {
+
+using pcfg::Reference;
+using pcfg::SubscriptForm;
+using pcfg::SubscriptInfo;
+
+/// Array dimension of `array` aligned to template dim `t`, or -1.
+int aligned_dim(int array, int rank, const layout::Layout& layout, int t) {
+  for (int k = 0; k < rank; ++k) {
+    if (layout.alignment().axis_of(array, k) == t) return k;
+  }
+  return -1;
+}
+
+/// Elements in one cross-section of `sym` perpendicular to dim `k`.
+double cross_section(const fortran::Symbol& sym, int k) {
+  const double vol = static_cast<double>(sym.element_count());
+  const double ext = static_cast<double>(sym.dims.at(static_cast<std::size_t>(k)).extent());
+  return ext > 0 ? vol / ext : vol;
+}
+
+/// Column-major Fortran: a section with dimension `k` fixed is contiguous
+/// only when `k` is the LAST dimension; fixing an earlier dimension yields a
+/// strided section that must be buffered.
+machine::Stride section_stride(int k, int rank) {
+  return k == rank - 1 ? machine::Stride::Unit : machine::Stride::NonUnit;
+}
+
+} // namespace
+
+const char* to_string(CommClass c) {
+  switch (c) {
+    case CommClass::Local: return "local";
+    case CommClass::Shift: return "shift";
+    case CommClass::Broadcast: return "broadcast";
+    case CommClass::Transpose: return "transpose";
+    case CommClass::Gather: return "gather";
+    case CommClass::Recurrence: return "recurrence";
+  }
+  return "?";
+}
+
+bool statement_partitioned(const pcfg::Reference& write, const layout::Layout& layout,
+                           const fortran::SymbolTable& symbols) {
+  if (write.array < 0) return false;
+  // Writes to a replicated array execute redundantly on every processor.
+  if (layout.alignment().is_replicated(write.array)) return false;
+  const fortran::Symbol& sym = symbols.at(write.array);
+  for (int t = 0; t < layout.distribution().rank(); ++t) {
+    if (!layout.distribution().dim(t).distributed()) continue;
+    const int k = aligned_dim(write.array, sym.rank(), layout, t);
+    if (k >= 0 && k < static_cast<int>(write.subs.size()) &&
+        write.subs[static_cast<std::size_t>(k)].form == SubscriptForm::Affine)
+      return true;
+  }
+  return false;
+}
+
+std::vector<CommRequirement> classify_pair(const pcfg::Phase& phase,
+                                           const pcfg::PhaseDeps& deps,
+                                           const Reference& write, const Reference& read,
+                                           const layout::Layout& layout,
+                                           const fortran::SymbolTable& symbols) {
+  std::vector<CommRequirement> out;
+  if (write.array < 0 || read.array < 0) return out;
+  // Reads of a replicated array are always satisfied locally.
+  if (layout.alignment().is_replicated(read.array)) return out;
+  const fortran::Symbol& asym = symbols.at(write.array);
+  const fortran::Symbol& bsym = symbols.at(read.array);
+  const double bvol_bytes = static_cast<double>(bsym.element_count()) *
+                            fortran::size_in_bytes(bsym.type);
+
+  for (int t = 0; t < layout.distribution().rank(); ++t) {
+    if (!layout.distribution().dim(t).distributed()) continue;
+
+    const int kA = aligned_dim(write.array, asym.rank(), layout, t);
+    const int kB = aligned_dim(read.array, bsym.rank(), layout, t);
+    const bool a_part =
+        kA >= 0 && kA < static_cast<int>(write.subs.size()) &&
+        write.subs[static_cast<std::size_t>(kA)].form == SubscriptForm::Affine;
+
+    CommRequirement req;
+    req.array = read.array;
+    req.element_bytes = fortran::size_in_bytes(bsym.type);
+
+    if (!a_part) {
+      // The statement's iterations are not spread along t. The executing
+      // slab has to pull any distributed operand over.
+      if (kB >= 0 && kB < static_cast<int>(read.subs.size()) &&
+          read.subs[static_cast<std::size_t>(kB)].form != SubscriptForm::Invariant) {
+        req.cls = CommClass::Gather;
+        req.section_bytes = bvol_bytes;
+        req.stride = machine::Stride::Unit;
+        req.note = "unpartitioned statement gathers " + bsym.name;
+        out.push_back(req);
+      }
+      continue;
+    }
+
+    const SubscriptInfo& sW = write.subs[static_cast<std::size_t>(kA)];
+
+    if (kB < 0 || kB >= static_cast<int>(read.subs.size())) {
+      // Operand not aligned with the distributed dimension: its canonical
+      // embedding pins it to one template coordinate, so everyone else
+      // receives it by broadcast.
+      req.cls = CommClass::Broadcast;
+      req.section_bytes = bvol_bytes;
+      req.stride = machine::Stride::Unit;
+      req.note = bsym.name + " unaligned with distributed dim";
+      out.push_back(req);
+      continue;
+    }
+
+    const SubscriptInfo& sR = read.subs[static_cast<std::size_t>(kB)];
+    // Boundary cross-section per processor: with a multi-dimensional mesh
+    // the OTHER distributed dimensions of the operand shrink the section
+    // each processor actually exchanges.
+    double other_procs = 1.0;
+    for (int kk = 0; kk < bsym.rank(); ++kk) {
+      if (kk == kB) continue;
+      const layout::DimDistribution& dd = layout.array_dim(read.array, kk);
+      if (dd.distributed()) other_procs *= dd.procs;
+    }
+    const double xsec_bytes = cross_section(bsym, kB) *
+                              fortran::size_in_bytes(bsym.type) / other_procs;
+
+    if (sR.form == SubscriptForm::Invariant) {
+      // Fixed position along the distributed dim: owner slab broadcasts the
+      // cross-section.
+      req.cls = CommClass::Broadcast;
+      req.section_bytes = xsec_bytes;
+      req.stride = section_stride(kB, bsym.rank());
+      req.note = bsym.name + " invariant along distributed dim";
+      out.push_back(req);
+      continue;
+    }
+
+    if (sR.form == SubscriptForm::Complex || sW.form != SubscriptForm::Affine ||
+        sR.iv_symbol != sW.iv_symbol || sR.coef != sW.coef) {
+      // The iteration-to-element mappings disagree structurally (transposed
+      // coupling, strides, ...): the whole section re-layouts each phase.
+      req.cls = CommClass::Transpose;
+      req.section_bytes = bvol_bytes;
+      req.stride = machine::Stride::NonUnit;
+      req.note = bsym.name + " misaligned (transpose)";
+      out.push_back(req);
+      continue;
+    }
+
+    // Same IV, same coefficient: pure offset difference.
+    if (!sR.offset_exact || !sW.offset_exact) {
+      req.cls = CommClass::Shift;
+      req.shift_distance = 1;  // symbolic offset: assume one boundary layer
+      req.section_bytes = xsec_bytes;
+      req.stride = section_stride(kB, bsym.rank());
+      req.note = bsym.name + " symbolic offset shift";
+      out.push_back(req);
+      continue;
+    }
+    const long delta = sR.offset - sW.offset;
+    if (delta == 0) continue;  // perfectly aligned: local
+
+    const long dist = std::labs(delta);
+    // Carried regardless of which statement produced the value: the phase
+    // dependence summary covers cross-statement flows too.
+    const bool carried = deps.flow_on(read.array, kB);
+    if (carried) {
+      // Value produced this phase flows across the block boundary: the
+      // message cannot be hoisted; execution pipelines or serializes.
+      req.cls = CommClass::Recurrence;
+      req.shift_distance = dist;
+      req.stride = section_stride(kB, bsym.rank());
+      // Pipeline granularity: one strip per iteration of the loops OUTER to
+      // the dependence-carrying loop (the target compiler does no loop
+      // interchange or coarse-grain pipelining, section 4).
+      double strips = 1.0;
+      for (int iv : read.enclosing_ivs) {
+        if (iv == sR.iv_symbol) break;
+        const pcfg::LoopDesc* l = phase.loop_for_iv(iv);
+        if (l != nullptr) strips *= static_cast<double>(std::max<long>(l->trip(), 1));
+      }
+      req.strips = static_cast<long>(std::max(strips, 1.0));
+      const double xsec_elems = cross_section(bsym, kB) / other_procs;
+      const double width = std::max(xsec_elems / strips, 1.0);
+      req.strip_bytes =
+          static_cast<double>(dist) * width * fortran::size_in_bytes(bsym.type);
+      req.section_bytes = static_cast<double>(dist) * xsec_bytes;
+      req.note = bsym.name + " recurrence, " + std::to_string(req.strips) + " strips";
+      out.push_back(req);
+    } else {
+      req.cls = CommClass::Shift;
+      req.shift_distance = dist;
+      req.section_bytes = static_cast<double>(dist) * xsec_bytes;
+      req.stride = section_stride(kB, bsym.rank());
+      req.note = bsym.name + " shift by " + std::to_string(delta);
+      out.push_back(req);
+    }
+  }
+  return out;
+}
+
+} // namespace al::compmodel

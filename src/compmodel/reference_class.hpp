@@ -1,0 +1,64 @@
+// Per-reference communication classification under a candidate layout.
+//
+// For every assignment, the owner-computes rule places each iteration on the
+// processor owning the written element; every right-hand-side reference is
+// then classified against that mapping (paper, section 2.3: "the performance
+// estimator uses a compiler model to determine where and what kind of
+// communication will be generated").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "machine/training_set.hpp"
+#include "pcfg/dependence.hpp"
+#include "pcfg/phase.hpp"
+
+namespace al::compmodel {
+
+enum class CommClass {
+  Local,       ///< no data movement
+  Shift,       ///< nearest-neighbour boundary exchange (vectorizable)
+  Broadcast,   ///< owner slab sends to all (read invariant along the
+               ///< distributed dimension, or unaligned operand)
+  Transpose,   ///< mismatched alignment: whole-section re-layout
+  Gather,      ///< unpartitioned statement pulling distributed data
+  Recurrence,  ///< flow dependence along the distributed dim: messages stay
+               ///< inside the loop (pipelined / sequentialized execution)
+};
+
+[[nodiscard]] const char* to_string(CommClass c);
+
+/// One raw communication requirement of a (write, read) reference pair along
+/// one distributed template dimension, before vectorization / coalescing.
+struct CommRequirement {
+  CommClass cls = CommClass::Local;
+  int array = -1;              ///< the communicated (read) array
+  int element_bytes = 8;       ///< element size of that array
+  double section_bytes = 0.0;  ///< bytes moved per phase execution (total)
+  long shift_distance = 0;     ///< for Shift/Recurrence: |offset delta|
+  machine::Stride stride = machine::Stride::Unit;
+  // Recurrence placement:
+  long strips = 1;             ///< pipeline strips (1 = sequential chain)
+  double strip_bytes = 0.0;    ///< bytes per boundary message
+  // Diagnostics
+  std::string note;
+};
+
+/// Whether a statement's iterations are partitioned at all under `layout`
+/// (its written array is distributed in a dimension subscripted by a loop
+/// IV). Unpartitioned statements execute on one processor slab.
+[[nodiscard]] bool statement_partitioned(const pcfg::Reference& write,
+                                         const layout::Layout& layout,
+                                         const fortran::SymbolTable& symbols);
+
+/// Classifies the (write, read) pair of one statement under `layout`.
+/// Returns one requirement per distributed template dimension that induces
+/// communication (empty = fully local).
+[[nodiscard]] std::vector<CommRequirement> classify_pair(
+    const pcfg::Phase& phase, const pcfg::PhaseDeps& deps, const pcfg::Reference& write,
+    const pcfg::Reference& read, const layout::Layout& layout,
+    const fortran::SymbolTable& symbols);
+
+} // namespace al::compmodel

@@ -1,0 +1,88 @@
+#include "corpus/corpus.hpp"
+
+#include <stdexcept>
+
+namespace al::corpus {
+
+const char* type_keyword(Dtype t) {
+  return t == Dtype::Real ? "real" : "double precision";
+}
+
+const char* dtype_name(Dtype t) {
+  return t == Dtype::Real ? "real" : "double";
+}
+
+std::string TestCase::name() const {
+  return program + " n=" + std::to_string(n) + " " + dtype_name(dtype) + " P=" +
+         std::to_string(procs);
+}
+
+std::string source_for(const TestCase& c) {
+  if (c.program == "adi") return adi_source(c.n, c.dtype);
+  if (c.program == "erlebacher") return erlebacher_source(c.n, c.dtype);
+  if (c.program == "tomcatv") return tomcatv_source(c.n, c.dtype);
+  if (c.program == "shallow") return shallow_source(c.n, c.dtype);
+  throw std::invalid_argument("unknown corpus program: " + c.program);
+}
+
+std::vector<TestCase> adi_cases() {
+  // 4 sizes x 5 processor counts x 2 element types = 40 cases.
+  std::vector<TestCase> out;
+  for (long n : {64L, 128L, 256L, 512L}) {
+    for (int p : {2, 4, 8, 16, 32}) {
+      for (Dtype t : {Dtype::Real, Dtype::DoublePrecision}) {
+        out.push_back(TestCase{"adi", n, t, p});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TestCase> erlebacher_cases() {
+  // 3 sizes x 7 processor counts, double precision = 21 cases.
+  std::vector<TestCase> out;
+  for (long n : {32L, 64L, 128L}) {
+    for (int p : {2, 4, 8, 16, 32, 64, 128}) {
+      out.push_back(TestCase{"erlebacher", n, Dtype::DoublePrecision, p});
+    }
+  }
+  return out;
+}
+
+std::vector<TestCase> tomcatv_cases() {
+  // 4 sizes x 5 processor counts minus the 512x512 / P=2 case (the mesh
+  // plus work arrays exceed an 8 MB iPSC/860 node) = 19, double precision.
+  std::vector<TestCase> out;
+  for (long n : {128L, 256L, 384L, 512L}) {
+    for (int p : {2, 4, 8, 16, 32}) {
+      if (n == 512 && p == 2) continue;
+      out.push_back(TestCase{"tomcatv", n, Dtype::DoublePrecision, p});
+    }
+  }
+  return out;
+}
+
+std::vector<TestCase> shallow_cases() {
+  // Same grid shape as tomcatv, data type REAL = 19 cases.
+  std::vector<TestCase> out;
+  for (long n : {128L, 256L, 384L, 512L}) {
+    for (int p : {2, 4, 8, 16, 32}) {
+      if (n == 512 && p == 2) continue;
+      out.push_back(TestCase{"shallow", n, Dtype::Real, p});
+    }
+  }
+  return out;
+}
+
+std::vector<TestCase> all_cases() {
+  std::vector<TestCase> out = adi_cases();
+  auto app = [&out](std::vector<TestCase> v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  app(erlebacher_cases());
+  app(tomcatv_cases());
+  app(shallow_cases());
+  return out;
+}
+
+} // namespace al::corpus

@@ -1,0 +1,55 @@
+// The four experiment programs of the paper (section 4), re-created with
+// the published structural properties:
+//   * Adi        --  9 phases, no alignment conflicts, row => fine pipeline
+//                    in two phases, column => two sequentialized phases
+//   * Erlebacher -- 40 phases (inlined), three symmetric sweeps sharing one
+//                    read-only 3-D array, four 3-D arrays aligned canonically
+//   * Tomcatv    -- 17 phases, TWO 2-D arrays with an inter-dimensional
+//                    alignment conflict, convergence IF inside the main loop
+//   * Shallow    -- 28 phases, 2-D stencils parallel in either dimension,
+//                    row distribution pays message buffering
+// Sources are generated (problem size and element type are test-case
+// parameters), both as strings and as .f files under programs/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace al::corpus {
+
+enum class Dtype { Real, DoublePrecision };
+
+[[nodiscard]] const char* type_keyword(Dtype t);
+[[nodiscard]] const char* dtype_name(Dtype t);
+
+[[nodiscard]] std::string adi_source(long n, Dtype t, int niter = 5);
+[[nodiscard]] std::string erlebacher_source(long n, Dtype t);
+/// The same Erlebacher written with one SUBROUTINE per sweep direction --
+/// the form users actually write (the paper's authors had to inline by
+/// hand; our inliner reduces this to erlebacher_source's 40 phases).
+[[nodiscard]] std::string erlebacher_modular_source(long n, Dtype t);
+[[nodiscard]] std::string tomcatv_source(long n, Dtype t, int niter = 10,
+                                         double actual_branch_prob = 0.95);
+[[nodiscard]] std::string shallow_source(long n, Dtype t, int niter = 20);
+
+/// One experiment: program + dtype + problem size + processor count.
+struct TestCase {
+  std::string program;  ///< "adi", "erlebacher", "tomcatv", "shallow"
+  long n = 0;
+  Dtype dtype = Dtype::DoublePrecision;
+  int procs = 1;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Source text for a test case (with each program's default iteration count).
+[[nodiscard]] std::string source_for(const TestCase& c);
+
+// The grids behind the paper's "99 test cases" (DESIGN.md section 2):
+[[nodiscard]] std::vector<TestCase> adi_cases();         ///< 40
+[[nodiscard]] std::vector<TestCase> erlebacher_cases();  ///< 21
+[[nodiscard]] std::vector<TestCase> tomcatv_cases();     ///< 19
+[[nodiscard]] std::vector<TestCase> shallow_cases();     ///< 19
+[[nodiscard]] std::vector<TestCase> all_cases();         ///< 99
+
+} // namespace al::corpus

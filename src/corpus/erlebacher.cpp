@@ -1,0 +1,135 @@
+// Erlebacher: 3-D tridiagonal solver based on ADI integration (inlined
+// version, 40 phases). Three symmetric computations -- one along each array
+// dimension -- share access to the read-only 3-D input f; the four 3-D
+// arrays (f, dux, duy, duz) align canonically (no conflicts).
+//
+// All loops run `do k / do j / do i` (k outermost, i innermost), so with a
+// 1-D block distribution a recurrence along
+//   dim 1 (x sweep) is carried by the INNERMOST loop -> fine-grain pipeline,
+//   dim 2 (y sweep) by the middle loop            -> coarse-grain pipeline,
+//   dim 3 (z sweep) by the OUTERMOST loop         -> sequentialized.
+#include <sstream>
+
+#include "corpus/corpus.hpp"
+
+namespace al::corpus {
+namespace {
+
+/// Emits the 13 phases of one sweep direction.
+/// dir: 1 -> recurrence/stencil on i, 2 -> on j, 3 -> on k.
+void emit_direction(std::ostream& os, const char* du, int dir) {
+  const char* plus = dir == 1 ? "i+1,j,k" : dir == 2 ? "i,j+1,k" : "i,j,k+1";
+  const char* minus = dir == 1 ? "i-1,j,k" : dir == 2 ? "i,j-1,k" : "i,j,k-1";
+  // Loop headers; the swept dimension starts at 2 (or ends at n-1) in the
+  // elimination phases.
+  auto loops = [&os](const char* kb, const char* jb, const char* ib) {
+    os << "        do k = " << kb << "\n"
+       << "          do j = " << jb << "\n"
+       << "            do i = " << ib << "\n";
+  };
+  auto close = [&os] {
+    os << "            enddo\n          enddo\n        enddo\n";
+  };
+  const char* full = "1, n";
+  const char* fwd = dir == 1 ? "2, n" : full;
+  const char* fwdj = dir == 2 ? "2, n" : full;
+  const char* fwdk = dir == 3 ? "2, n" : full;
+  const char* bwd = dir == 1 ? "n-1, 1, -1" : full;
+  const char* bwdj = dir == 2 ? "n-1, 1, -1" : full;
+  const char* bwdk = dir == 3 ? "n-1, 1, -1" : full;
+
+  os << "c       central difference right-hand side (" << du << ")\n";
+  loops(dir == 3 ? "2, n-1" : full, dir == 2 ? "2, n-1" : full,
+        dir == 1 ? "2, n-1" : full);
+  os << "              " << du << "(i,j,k) = f(" << plus << ") - f(" << minus << ")\n";
+  close();
+  os << "c       scale the rhs\n";
+  loops(full, full, full);
+  os << "              " << du << "(i,j,k) = " << du << "(i,j,k)*0.5\n";
+  close();
+  for (int pass = 0; pass < 4; ++pass) {
+    os << "c       forward elimination pass " << pass + 1 << "\n";
+    loops(fwdk, fwdj, fwd);
+    os << "              " << du << "(i,j,k) = " << du << "(i,j,k) - 0.4*" << du << "("
+       << minus << ")\n";
+    close();
+  }
+  os << "c       diagonal normalization\n";
+  loops(full, full, full);
+  os << "              " << du << "(i,j,k) = " << du << "(i,j,k)*0.9\n";
+  close();
+  for (int pass = 0; pass < 4; ++pass) {
+    os << "c       back substitution pass " << pass + 1 << "\n";
+    loops(bwdk, bwdj, bwd);
+    os << "              " << du << "(i,j,k) = " << du << "(i,j,k) - 0.3*" << du << "("
+       << plus << ")\n";
+    close();
+  }
+  os << "c       final scaling\n";
+  loops(full, full, full);
+  os << "              " << du << "(i,j,k) = " << du << "(i,j,k)/3.0\n";
+  close();
+  os << "c       blend with the shared input\n";
+  loops(full, full, full);
+  os << "              " << du << "(i,j,k) = " << du << "(i,j,k) + f(i,j,k)*0.01\n";
+  close();
+}
+
+} // namespace
+
+std::string erlebacher_modular_source(long n, Dtype t) {
+  std::ostringstream os;
+  const char* ty = type_keyword(t);
+  os << "      program erlemod\n"
+     << "      parameter (n = " << n << ")\n"
+     << "      " << ty << " f(n,n,n), dux(n,n,n), duy(n,n,n), duz(n,n,n)\n"
+     << "      integer i, j, k\n"
+     << "\n"
+     << "c     phase 1: initialize the shared read-only input\n"
+     << "        do k = 1, n\n"
+     << "          do j = 1, n\n"
+     << "            do i = 1, n\n"
+     << "              f(i,j,k) = 0.1*i + 0.2*j + 0.3*k\n"
+     << "            enddo\n          enddo\n        enddo\n"
+     << "      call sweepx(dux, f)\n"
+     << "      call sweepy(duy, f)\n"
+     << "      call sweepz(duz, f)\n"
+     << "      end\n";
+  const char* names[] = {"sweepx", "sweepy", "sweepz"};
+  for (int dir = 1; dir <= 3; ++dir) {
+    os << "      subroutine " << names[dir - 1] << "(du, f)\n"
+       << "      parameter (n = " << n << ")\n"
+       << "      " << ty << " du(n,n,n), f(n,n,n)\n"
+       << "      integer i, j, k\n";
+    emit_direction(os, "du", dir);
+    os << "      end\n";
+  }
+  return os.str();
+}
+
+std::string erlebacher_source(long n, Dtype t) {
+  std::ostringstream os;
+  const char* ty = type_keyword(t);
+  os << "      program erlebacher\n"
+     << "      parameter (n = " << n << ")\n"
+     << "      " << ty << " f(n,n,n), dux(n,n,n), duy(n,n,n), duz(n,n,n)\n"
+     << "      integer i, j, k\n"
+     << "\n"
+     << "c     phase 1: initialize the shared read-only input\n"
+     << "        do k = 1, n\n"
+     << "          do j = 1, n\n"
+     << "            do i = 1, n\n"
+     << "              f(i,j,k) = 0.1*i + 0.2*j + 0.3*k\n"
+     << "            enddo\n          enddo\n        enddo\n"
+     << "\n"
+     << "c     === x direction (13 phases) ===\n";
+  emit_direction(os, "dux", 1);
+  os << "c     === y direction (13 phases) ===\n";
+  emit_direction(os, "duy", 2);
+  os << "c     === z direction (13 phases) ===\n";
+  emit_direction(os, "duz", 3);
+  os << "      end\n";
+  return os.str();
+}
+
+} // namespace al::corpus

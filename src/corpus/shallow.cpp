@@ -1,0 +1,94 @@
+// Shallow (Swarztrauber's shallow-water weather benchmark): 28 phases.
+//
+// All main computations are two-dimensional stencils that parallelize in
+// either dimension -- but a ROW (dim 1) distribution exchanges boundary
+// ROWS, which are strided sections in column-major Fortran and must be
+// buffered; the COLUMN distribution exchanges contiguous columns and should
+// come out slightly ahead (paper, section 4).
+#include <sstream>
+
+#include "corpus/corpus.hpp"
+
+namespace al::corpus {
+namespace {
+
+void loop2(std::ostream& os, const char* jb, const char* ib, const char* body) {
+  os << "        do j = " << jb << "\n"
+     << "          do i = " << ib << "\n"
+     << "            " << body << "\n"
+     << "          enddo\n"
+     << "        enddo\n";
+}
+
+} // namespace
+
+std::string shallow_source(long n, Dtype t, int niter) {
+  std::ostringstream os;
+  const char* ty = type_keyword(t);
+  os << "      program shallow\n"
+     << "      parameter (n = " << n << ", niter = " << niter << ")\n"
+     << "      " << ty << " u(n,n), v(n,n), p(n,n)\n"
+     << "      " << ty << " unew(n,n), vnew(n,n), pnew(n,n)\n"
+     << "      " << ty << " cu(n,n), cv(n,n), z(n,n), h(n,n)\n"
+     << "      " << ty << " ptot, etot\n"
+     << "      integer i, j, iter\n"
+     << "\n"
+     << "c     phases 1-3: initial height and velocity fields\n";
+  loop2(os, "1, n", "1, n", "p(i,j) = 50.0 + 2.0*i + 3.0*j");
+  loop2(os, "1, n", "1, n", "u(i,j) = 0.5*i - 0.1*j");
+  loop2(os, "1, n", "1, n", "v(i,j) = 0.1*i + 0.4*j");
+  os << "\n      do iter = 1, niter\n"
+     << "c       phase 4: mass flux cu\n";
+  loop2(os, "1, n", "2, n", "cu(i,j) = 0.5*(p(i,j) + p(i-1,j))*u(i,j)");
+  os << "c       phase 5: mass flux cv\n";
+  loop2(os, "2, n", "1, n", "cv(i,j) = 0.5*(p(i,j) + p(i,j-1))*v(i,j)");
+  os << "c       phase 6: potential vorticity z\n";
+  loop2(os, "2, n", "2, n",
+        "z(i,j) = (v(i,j) - v(i-1,j) + u(i,j) - u(i,j-1))/(p(i-1,j) + p(i,j-1))");
+  os << "c       phase 7: height h\n";
+  loop2(os, "1, n", "1, n",
+        "h(i,j) = p(i,j) + 0.25*(u(i,j)*u(i,j) + v(i,j)*v(i,j))");
+  os << "c       phases 8-11: periodic boundary conditions\n"
+     << "        do j = 1, n\n          cu(1,j) = cu(n,j)\n        enddo\n"
+     << "        do i = 1, n\n          cv(i,1) = cv(i,n)\n        enddo\n"
+     << "        do j = 1, n\n          z(1,j) = z(n,j)\n        enddo\n"
+     << "        do i = 1, n\n          h(i,1) = h(i,n)\n        enddo\n"
+     << "c       phase 12: new velocity u\n";
+  loop2(os, "1, n-1", "2, n",
+        "unew(i,j) = u(i,j) + 0.5*(z(i,j+1) + z(i,j))*(cv(i,j+1) + cv(i-1,j)) - 0.2*(h(i,j) - h(i-1,j))");
+  os << "c       phase 13: new velocity v\n";
+  loop2(os, "2, n", "1, n-1",
+        "vnew(i,j) = v(i,j) - 0.5*(z(i+1,j) + z(i,j))*(cu(i+1,j) + cu(i,j-1)) - 0.2*(h(i,j) - h(i,j-1))");
+  os << "c       phase 14: new height p\n";
+  loop2(os, "1, n-1", "1, n-1",
+        "pnew(i,j) = p(i,j) - 0.3*(cu(i+1,j) - cu(i,j)) - 0.3*(cv(i,j+1) - cv(i,j))");
+  os << "c       phases 15-17: boundary conditions for the new fields\n"
+     << "        do j = 1, n\n          unew(1,j) = unew(n,j)\n        enddo\n"
+     << "        do i = 1, n\n          vnew(i,1) = vnew(i,n)\n        enddo\n"
+     << "        do j = 1, n\n          pnew(1,j) = pnew(n,j)\n        enddo\n"
+     << "c       phases 18-20: time smoothing\n";
+  loop2(os, "1, n", "1, n", "u(i,j) = u(i,j) + 0.1*(unew(i,j) - u(i,j))");
+  loop2(os, "1, n", "1, n", "v(i,j) = v(i,j) + 0.1*(vnew(i,j) - v(i,j))");
+  loop2(os, "1, n", "1, n", "p(i,j) = p(i,j) + 0.1*(pnew(i,j) - p(i,j))");
+  os << "c       phases 21-23: roll the fields forward\n";
+  loop2(os, "1, n", "1, n", "u(i,j) = unew(i,j)");
+  loop2(os, "1, n", "1, n", "v(i,j) = vnew(i,j)");
+  loop2(os, "1, n", "1, n", "p(i,j) = pnew(i,j)");
+  os << "c       phases 24-26: boundary conditions on the rolled fields\n"
+     << "        do j = 1, n\n          u(1,j) = u(n,j)\n        enddo\n"
+     << "        do i = 1, n\n          v(i,1) = v(i,n)\n        enddo\n"
+     << "        do j = 1, n\n          p(1,j) = p(n,j)\n        enddo\n"
+     << "c       phase 27: mass diagnostic (reduction)\n"
+     << "        ptot = 0.0\n";
+  loop2(os, "1, n", "1, n", "ptot = ptot + p(i,j)");
+  os << "      enddo\n"
+     << "\n"
+     << "c     phase 28: final energy diagnostic\n"
+     << "      etot = 0.0\n";
+  loop2(os, "1, n", "1, n",
+        "etot = etot + 0.5*(u(i,j)*u(i,j) + v(i,j)*v(i,j)) + p(i,j)");
+  os << "      end\n";
+  return os.str();
+}
+
+} // namespace al::corpus

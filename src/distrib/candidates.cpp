@@ -1,0 +1,62 @@
+#include "distrib/candidates.hpp"
+
+#include "support/contracts.hpp"
+
+namespace al::distrib {
+
+std::vector<layout::Distribution> make_distribution_candidates(
+    int template_rank, const DistributionOptions& opts) {
+  AL_EXPECTS(template_rank >= 1);
+  AL_EXPECTS(opts.procs >= 1);
+  std::vector<layout::Distribution> out;
+
+  // Exhaustive 1-D BLOCK: one candidate per template dimension.
+  for (int k = 0; k < template_rank; ++k) {
+    out.push_back(layout::Distribution::block_1d(template_rank, k, opts.procs));
+  }
+
+  if (opts.strategy == Strategy::ExtendedExhaustive) {
+    // 1-D CYCLIC and CYCLIC(b).
+    for (int k = 0; k < template_rank; ++k) {
+      {
+        std::vector<layout::DimDistribution> dims(static_cast<std::size_t>(template_rank));
+        dims[static_cast<std::size_t>(k)] =
+            layout::DimDistribution{layout::DistKind::Cyclic, opts.procs, 1};
+        out.emplace_back(std::move(dims));
+      }
+      {
+        std::vector<layout::DimDistribution> dims(static_cast<std::size_t>(template_rank));
+        dims[static_cast<std::size_t>(k)] = layout::DimDistribution{
+            layout::DistKind::BlockCyclic, opts.procs, opts.cyclic_block};
+        out.emplace_back(std::move(dims));
+      }
+    }
+    // 2-D BLOCK x BLOCK meshes over every factorization p1 * p2 = procs.
+    if (template_rank >= 2) {
+      for (int p1 = 2; p1 * 2 <= opts.procs; ++p1) {
+        if (opts.procs % p1 != 0) continue;
+        const int p2 = opts.procs / p1;
+        if (p2 < 2) continue;
+        for (int k1 = 0; k1 < template_rank; ++k1) {
+          for (int k2 = 0; k2 < template_rank; ++k2) {
+            if (k1 >= k2) continue;
+            std::vector<layout::DimDistribution> dims(
+                static_cast<std::size_t>(template_rank));
+            dims[static_cast<std::size_t>(k1)] =
+                layout::DimDistribution{layout::DistKind::Block, p1, 1};
+            dims[static_cast<std::size_t>(k2)] =
+                layout::DimDistribution{layout::DistKind::Block, p2, 1};
+            out.emplace_back(std::move(dims));
+          }
+        }
+      }
+    }
+  }
+
+  if (opts.include_serial) {
+    out.push_back(layout::Distribution::serial(template_rank));
+  }
+  return out;
+}
+
+} // namespace al::distrib

@@ -1,0 +1,33 @@
+// Distribution candidate generation (paper, section 2.2.2).
+//
+// The prototype's search spaces are exhaustive over ONE-DIMENSIONAL BLOCK
+// distributions (the Fortran D compiler it models supports nothing more);
+// the options below also expose the paper's future-work extensions
+// (cyclic, block-cyclic, multi-dimensional meshes) which are implemented
+// and tested but disabled by default to mirror the published experiments.
+#pragma once
+
+#include <vector>
+
+#include "layout/distribution.hpp"
+
+namespace al::distrib {
+
+enum class Strategy {
+  Exhaustive1DBlock,   ///< prototype behaviour
+  ExtendedExhaustive,  ///< + cyclic/block-cyclic and 2-D meshes
+};
+
+struct DistributionOptions {
+  Strategy strategy = Strategy::Exhaustive1DBlock;
+  int procs = 1;                 ///< available processors
+  bool include_serial = false;   ///< add the fully serial candidate
+  long cyclic_block = 4;         ///< block size used for CYCLIC(b) candidates
+};
+
+/// Enumerates the candidate distributions of a template of rank
+/// `template_rank` under `opts`. Order is deterministic.
+[[nodiscard]] std::vector<layout::Distribution> make_distribution_candidates(
+    int template_rank, const DistributionOptions& opts);
+
+} // namespace al::distrib

@@ -1,0 +1,89 @@
+#include "distrib/space.hpp"
+
+#include <sstream>
+
+namespace al::distrib {
+namespace {
+
+/// The observable mapping of a candidate over the phase's arrays: per array
+/// and array dimension, the effective DimDistribution. Candidates with equal
+/// signatures are indistinguishable for this phase.
+std::string signature(const layout::Layout& l, const std::vector<int>& arrays,
+                      const fortran::SymbolTable& symbols) {
+  std::ostringstream os;
+  for (int a : arrays) {
+    const int rank = symbols.at(a).rank();
+    os << a << ":";
+    if (l.alignment().is_replicated(a)) os << "R";
+    for (int k = 0; k < rank; ++k) {
+      const layout::DimDistribution& d = l.array_dim(a, k);
+      if (!d.distributed()) {
+        os << "*";
+      } else {
+        os << to_string(d.kind) << d.procs << "." << d.block;
+      }
+      os << ",";
+    }
+    os << ";";
+  }
+  return os.str();
+}
+
+} // namespace
+
+void LayoutSpace::add(LayoutCandidate cand) {
+  cands_.push_back(std::move(cand));
+}
+
+LayoutSpace build_layout_space(const align::AlignmentSpace& alignments,
+                               const std::vector<layout::Distribution>& distributions,
+                               const std::vector<int>& phase_arrays,
+                               const fortran::SymbolTable& symbols,
+                               const LayoutSpaceOptions& opts) {
+  LayoutSpace space;
+  std::vector<std::string> seen;
+  auto try_add = [&](LayoutCandidate cand) {
+    const std::string sig = signature(cand.layout, phase_arrays, symbols);
+    for (const std::string& s : seen) {
+      if (s == sig) return;
+    }
+    seen.push_back(sig);
+    space.add(std::move(cand));
+  };
+  for (std::size_t ai = 0; ai < alignments.candidates().size(); ++ai) {
+    const align::AlignmentCandidate& ac = alignments.candidates()[ai];
+    for (std::size_t di = 0; di < distributions.size(); ++di) {
+      LayoutCandidate cand;
+      cand.layout = layout::Layout(ac.alignment, distributions[di]);
+      cand.alignment_index = static_cast<int>(ai);
+      cand.distribution_index = static_cast<int>(di);
+      cand.label = cand.layout.str(symbols) + " [" + ac.origin + "]";
+      try_add(std::move(cand));
+      if (!opts.replicable_arrays.empty()) {
+        // Variant replicating the read-only operands of this phase.
+        layout::Alignment ra = ac.alignment;
+        for (int a : opts.replicable_arrays) {
+          layout::ArrayAlignment aa;
+          if (const layout::ArrayAlignment* prev = ra.find(a)) {
+            aa = *prev;
+          } else {
+            aa.array = a;
+            const int rank = symbols.at(a).rank();
+            for (int k = 0; k < rank; ++k) aa.axis.push_back(k);
+          }
+          aa.replicated = true;
+          ra.set(std::move(aa));
+        }
+        LayoutCandidate rep;
+        rep.layout = layout::Layout(std::move(ra), distributions[di]);
+        rep.alignment_index = static_cast<int>(ai);
+        rep.distribution_index = static_cast<int>(di);
+        rep.label = rep.layout.str(symbols) + " +replicated [" + ac.origin + "]";
+        try_add(std::move(rep));
+      }
+    }
+  }
+  return space;
+}
+
+} // namespace al::distrib

@@ -1,0 +1,54 @@
+// Candidate data layout search spaces: the cross product of a phase's
+// alignment candidates with the distribution candidates, with duplicates
+// collapsed (a transposed orientation distributed by row equals the
+// canonical orientation distributed by column -- section 3.2, last
+// paragraph).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/space.hpp"
+#include "layout/layout.hpp"
+
+namespace al::distrib {
+
+struct LayoutCandidate {
+  layout::Layout layout;
+  int alignment_index = -1;     ///< provenance in the alignment space
+  int distribution_index = -1;  ///< provenance in the distribution list
+  std::string label;
+
+  /// True when the candidate distributes array data at all.
+  [[nodiscard]] bool parallel() const {
+    return layout.distribution().num_distributed() > 0;
+  }
+};
+
+class LayoutSpace {
+public:
+  void add(LayoutCandidate cand);
+  [[nodiscard]] const std::vector<LayoutCandidate>& candidates() const { return cands_; }
+  [[nodiscard]] std::size_t size() const { return cands_.size(); }
+
+private:
+  std::vector<LayoutCandidate> cands_;
+};
+
+struct LayoutSpaceOptions {
+  /// Arrays eligible for replication in this phase (typically: not written
+  /// here, small enough for node memory). For every base candidate an
+  /// additional variant replicating these arrays is generated. Empty
+  /// disables replication variants (the prototype's behaviour).
+  std::vector<int> replicable_arrays;
+};
+
+/// Builds the layout space of one phase. Equal layouts (over the phase's
+/// arrays) are collapsed.
+[[nodiscard]] LayoutSpace build_layout_space(
+    const align::AlignmentSpace& alignments,
+    const std::vector<layout::Distribution>& distributions,
+    const std::vector<int>& phase_arrays, const fortran::SymbolTable& symbols,
+    const LayoutSpaceOptions& opts = {});
+
+} // namespace al::distrib

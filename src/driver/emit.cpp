@@ -1,0 +1,209 @@
+#include "driver/emit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace al::driver {
+namespace {
+
+void emit_align(std::ostream& os, const fortran::Symbol& sym, const layout::Layout& l,
+                int array, int templ_rank) {
+  os << "!HPF$ ALIGN " << sym.name << "(";
+  for (int k = 0; k < sym.rank(); ++k) {
+    if (k) os << ",";
+    os << static_cast<char>('i' + k);
+  }
+  if (l.alignment().is_replicated(array)) {
+    // Replication: a full copy on every processor of the mesh.
+    os << ") WITH T(";
+    for (int t = 0; t < templ_rank; ++t) {
+      if (t) os << ",";
+      os << "*";
+    }
+    os << ")\n";
+    return;
+  }
+  os << ") WITH T(";
+  // Invert the axis map: template dim -> array dim variable.
+  for (int t = 0; t < templ_rank; ++t) {
+    if (t) os << ",";
+    int src = -1;
+    for (int k = 0; k < sym.rank(); ++k) {
+      if (l.alignment().axis_of(array, k) == t) {
+        src = k;
+        break;
+      }
+    }
+    if (src >= 0)
+      os << static_cast<char>('i' + src);
+    else
+      os << "1";
+  }
+  os << ")\n";
+}
+
+std::string distribution_text(const layout::Distribution& d) {
+  std::ostringstream os;
+  os << "(";
+  for (int k = 0; k < d.rank(); ++k) {
+    if (k) os << ",";
+    const layout::DimDistribution& dd = d.dim(k);
+    if (!dd.distributed())
+      os << "*";
+    else if (dd.kind == layout::DistKind::Block)
+      os << "BLOCK";
+    else if (dd.kind == layout::DistKind::Cyclic)
+      os << "CYCLIC";
+    else
+      os << "CYCLIC(" << dd.block << ")";
+  }
+  os << ")";
+  return os.str();
+}
+
+} // namespace
+
+std::string emit_initial_directives(const ToolResult& result) {
+  std::ostringstream os;
+  const layout::ProgramTemplate& t = result.templ;
+  os << "!HPF$ TEMPLATE T(";
+  for (int k = 0; k < t.rank; ++k) {
+    if (k) os << ",";
+    os << t.extent(k);
+  }
+  os << ")\n";
+  os << "!HPF$ PROCESSORS P(" << result.options.procs << ")\n";
+
+  const layout::Layout& first = result.chosen_layout(0);
+  for (int a : result.program.array_symbols()) {
+    emit_align(os, result.program.symbols.at(a), first, a, t.rank);
+  }
+  os << "!HPF$ DISTRIBUTE T" << distribution_text(first.distribution()) << " ONTO P\n";
+  return os.str();
+}
+
+namespace {
+
+/// Emits the declaration section reconstructed from the symbol table
+/// (PARAMETER values were folded at parse time, so array bounds print as
+/// the constants they resolved to).
+void emit_declarations(std::ostream& os, const fortran::SymbolTable& symbols) {
+  using fortran::ScalarType;
+  using fortran::Symbol;
+  using fortran::SymbolKind;
+  // Parameters first.
+  bool any_param = false;
+  for (const Symbol& s : symbols.all()) {
+    if (s.kind != SymbolKind::Parameter) continue;
+    if (!any_param) os << "      parameter (";
+    else os << ", ";
+    os << s.name << " = " << s.param_value;
+    any_param = true;
+  }
+  if (any_param) os << ")\n";
+  // Arrays and scalars, grouped by type.
+  for (ScalarType t : {ScalarType::Integer, ScalarType::Real,
+                       ScalarType::DoublePrecision}) {
+    std::string names;
+    for (const Symbol& s : symbols.all()) {
+      if (s.kind == SymbolKind::Parameter || s.type != t) continue;
+      if (!names.empty()) names += ", ";
+      names += s.name;
+      if (s.kind == SymbolKind::Array) {
+        names += "(";
+        for (int k = 0; k < s.rank(); ++k) {
+          if (k) names += ",";
+          const fortran::ArrayBound& b = s.dims[static_cast<std::size_t>(k)];
+          if (b.lower != 1) names += std::to_string(b.lower) + ":";
+          names += std::to_string(b.upper);
+        }
+        names += ")";
+      }
+    }
+    if (!names.empty()) os << "      " << to_string(t) << " " << names << "\n";
+  }
+}
+
+/// Walks a statement list, printing every statement; phase-root loops get a
+/// banner plus the REALIGN/REDISTRIBUTE directives of remaps arriving there.
+void emit_body(std::ostream& os, const ToolResult& r,
+               const std::vector<fortran::StmtPtr>& body, int indent) {
+  for (const fortran::StmtPtr& s : body) {
+    int phase = -1;
+    if (s->kind == fortran::StmtKind::Do) {
+      for (int p = 0; p < r.pcfg.num_phases(); ++p) {
+        if (r.pcfg.phase(p).root == s.get()) {
+          phase = p;
+          break;
+        }
+      }
+    }
+    if (phase < 0) {
+      // Not a phase root: recurse into structured statements so nested
+      // phases (inside non-phase loops / IFs) still get their banners.
+      if (s->kind == fortran::StmtKind::Do) {
+        const auto& d = static_cast<const fortran::DoStmt&>(*s);
+        const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+        os << pad << "do " << d.var << " = " << fortran::to_string(*d.lo) << ", "
+           << fortran::to_string(*d.hi);
+        if (d.step) os << ", " << fortran::to_string(*d.step);
+        os << "\n";
+        emit_body(os, r, d.body, indent + 1);
+        os << pad << "enddo\n";
+      } else if (s->kind == fortran::StmtKind::If) {
+        const auto& i = static_cast<const fortran::IfStmt&>(*s);
+        const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+        os << pad << "if (" << fortran::to_string(*i.cond) << ") then\n";
+        emit_body(os, r, i.then_body, indent + 1);
+        if (!i.else_body.empty()) {
+          os << pad << "else\n";
+          emit_body(os, r, i.else_body, indent + 1);
+        }
+        os << pad << "endif\n";
+      } else {
+        os << fortran::to_string(*s, indent);
+      }
+      continue;
+    }
+
+    const layout::Layout& l = r.chosen_layout(phase);
+    os << "! --- " << r.pcfg.phase(phase).label << ": "
+       << l.str(r.program.symbols) << "\n";
+    for (const pcfg::Transition& tr : r.pcfg.transitions()) {
+      if (tr.dst != phase || tr.src < 0 || tr.src == phase) continue;
+      const layout::Layout& prev = r.chosen_layout(tr.src);
+      for (int a : r.pcfg.phase(phase).arrays) {
+        const fortran::Symbol& sym = r.program.symbols.at(a);
+        const layout::RemapKind k = layout::classify_remap(prev, l, a, sym.rank());
+        if (k == layout::RemapKind::Realign) {
+          os << "!HPF$ REALIGN " << sym.name << " ! when arriving from "
+             << r.pcfg.phase(tr.src).label << "\n";
+        } else if (k == layout::RemapKind::Redistribute) {
+          os << "!HPF$ REDISTRIBUTE " << sym.name << " "
+             << distribution_text(l.distribution()) << " ! from "
+             << r.pcfg.phase(tr.src).label << "\n";
+        } else if (k == layout::RemapKind::Replicate) {
+          os << "!HPF$ REALIGN " << sym.name
+             << " WITH T(*) ! replicate, arriving from "
+             << r.pcfg.phase(tr.src).label << "\n";
+        }
+      }
+    }
+    os << fortran::to_string(*s, indent);
+  }
+}
+
+} // namespace
+
+std::string emit_annotated_program(const ToolResult& result) {
+  std::ostringstream os;
+  os << "      program " << result.program.name << "\n";
+  emit_declarations(os, result.program.symbols);
+  os << emit_initial_directives(result);
+  os << "\n";
+  emit_body(os, result, result.program.body, 3);
+  os << "      end\n";
+  return os.str();
+}
+
+} // namespace al::driver

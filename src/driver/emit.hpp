@@ -1,0 +1,20 @@
+// HPF directive emission: renders the selected layout as an annotated
+// program -- TEMPLATE/PROCESSORS/ALIGN/DISTRIBUTE for the initial layout and
+// REALIGN/REDISTRIBUTE comments at every phase boundary where the selection
+// remaps (the output a user of the assistant tool would paste back into
+// their HPF source).
+#pragma once
+
+#include <string>
+
+#include "driver/tool.hpp"
+
+namespace al::driver {
+
+/// Directive block describing the initial (first phase's) layout.
+[[nodiscard]] std::string emit_initial_directives(const ToolResult& result);
+
+/// Whole program, annotated: initial directives + per-phase remap notes.
+[[nodiscard]] std::string emit_annotated_program(const ToolResult& result);
+
+} // namespace al::driver

@@ -1,0 +1,75 @@
+#include "driver/report.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+#include "support/text.hpp"
+
+namespace al::driver {
+namespace {
+
+void render_phase(std::ostream& os, const ToolResult& r, int phase, int candidate) {
+  const auto& space = r.spaces.at(static_cast<std::size_t>(phase));
+  AL_EXPECTS(candidate >= 0 && candidate < static_cast<int>(space.size()));
+  const distrib::LayoutCandidate& cand =
+      space.candidates()[static_cast<std::size_t>(candidate)];
+  const compmodel::CompiledPhase compiled = r.estimator->compile(phase, cand.layout);
+  const execmodel::PhaseEstimate est = r.estimator->estimate(phase, cand.layout);
+  const pcfg::Phase& ph = r.pcfg.phase(phase);
+
+  os << ph.label << "  (runs " << format_fixed(r.pcfg.frequency(phase), 0)
+     << "x)\n";
+  os << "  layout:  " << cand.layout.str(r.program.symbols) << "\n";
+  os << "  scheme:  " << execmodel::to_string(est.shape) << "\n";
+  os << "  compute: " << format_fixed(est.comp_us / 1e3, 3) << " ms/entry ("
+     << format_fixed(compiled.flops_real + compiled.flops_double, 0)
+     << " weighted flops per processor";
+  if (compiled.partitioned_fraction < 1.0) {
+    os << ", " << format_fixed((1.0 - compiled.partitioned_fraction) * 100.0, 0)
+       << "% of statements unpartitioned";
+  }
+  os << ")\n";
+  os << "  comm:    " << format_fixed(est.comm_us / 1e3, 3) << " ms/entry";
+  if (compiled.events.empty()) {
+    os << " (no messages)\n";
+  } else {
+    os << "\n";
+    for (const compmodel::CommEvent& e : compiled.events) {
+      os << "    - " << compmodel::to_string(e.cls) << " of "
+         << r.program.symbols.at(e.array).name << ": "
+         << format_fixed(e.bytes, 0) << " B x " << format_fixed(e.messages, 0)
+         << " msg" << (e.stride == machine::Stride::NonUnit ? ", buffered" : "");
+      if (e.cls == compmodel::CommClass::Recurrence)
+        os << ", " << e.strips << " pipeline strip(s)";
+      os << "  [" << e.note << "]\n";
+    }
+  }
+}
+
+} // namespace
+
+std::string phase_report(const ToolResult& result, int phase, int candidate) {
+  std::ostringstream os;
+  render_phase(os, result, phase, candidate);
+  return os.str();
+}
+
+std::string performance_report(const ToolResult& result) {
+  std::ostringstream os;
+  os << "=== static performance report: " << result.program.name << " on "
+     << result.options.machine.name << ", " << result.options.procs
+     << " processors ===\n";
+  os << result.templ.str() << ", " << result.pcfg.num_phases() << " phases, "
+     << (result.is_dynamic() ? "DYNAMIC" : "static") << " layout selected\n\n";
+  for (int p = 0; p < result.pcfg.num_phases(); ++p) {
+    render_phase(os, result, p,
+                 result.selection.chosen[static_cast<std::size_t>(p)]);
+  }
+  os << "\nestimated totals: phases "
+     << format_fixed(result.selection.node_cost_us / 1e6, 3) << " s + remaps "
+     << format_fixed(result.selection.remap_cost_us / 1e6, 3) << " s = "
+     << format_fixed(result.selection.total_cost_us / 1e6, 3) << " s\n";
+  return os.str();
+}
+
+} // namespace al::driver

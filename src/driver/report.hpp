@@ -1,0 +1,23 @@
+// Static performance report: the "static performance analysis" face of the
+// programming environment in the paper's figure 1. For a finished tool run
+// it renders, per phase, the chosen layout, the execution scheme, the
+// computation/communication split, and each compiler-placed message -- the
+// information a user needs to understand WHY a layout was chosen before
+// overriding it.
+#pragma once
+
+#include <string>
+
+#include "driver/tool.hpp"
+
+namespace al::driver {
+
+/// Multi-line report for the tool's selected layout.
+[[nodiscard]] std::string performance_report(const ToolResult& result);
+
+/// Same detail for one specific (phase, candidate) pair -- used when
+/// browsing a search space.
+[[nodiscard]] std::string phase_report(const ToolResult& result, int phase,
+                                       int candidate);
+
+} // namespace al::driver

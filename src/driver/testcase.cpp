@@ -1,0 +1,157 @@
+#include "driver/testcase.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/contracts.hpp"
+#include "support/text.hpp"
+
+namespace al::driver {
+namespace {
+
+/// The candidate of `space` realizing distribution `di` (preferring the
+/// first alignment candidate); falls back to matching the distribution by
+/// value when deduplication removed the literal (di, 0) pair.
+int candidate_for_distribution(const distrib::LayoutSpace& space,
+                               const std::vector<layout::Distribution>& dists, int di) {
+  int best = -1;
+  for (std::size_t i = 0; i < space.candidates().size(); ++i) {
+    const distrib::LayoutCandidate& c = space.candidates()[i];
+    if (c.distribution_index == di) {
+      if (best < 0 || c.alignment_index <
+                          space.candidates()[static_cast<std::size_t>(best)].alignment_index)
+        best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) return best;
+  for (std::size_t i = 0; i < space.candidates().size(); ++i) {
+    if (space.candidates()[i].layout.distribution() == dists[static_cast<std::size_t>(di)])
+      return static_cast<int>(i);
+  }
+  return 0;  // pinned spaces etc.: single candidate
+}
+
+} // namespace
+
+CaseReport evaluate_alternatives(const ToolResult& r) {
+  CaseReport rep;
+  rep.selection = r.selection;
+  const int nphases = r.pcfg.num_phases();
+
+  // Static alternatives: one per distribution candidate.
+  for (std::size_t di = 0; di < r.distributions.size(); ++di) {
+    Alternative alt;
+    const int tdim = r.distributions[di].single_distributed_dim();
+    alt.name = tdim >= 0 ? "static dim " + std::to_string(tdim + 1) + " " +
+                               r.distributions[di].str()
+                         : "serial";
+    for (int p = 0; p < nphases; ++p) {
+      alt.assignment.push_back(candidate_for_distribution(
+          r.spaces[static_cast<std::size_t>(p)], r.distributions, static_cast<int>(di)));
+    }
+    rep.alternatives.push_back(std::move(alt));
+  }
+
+  // Dynamic alternative: each phase takes its own cheapest candidate
+  // (the "remapped" layout of the paper's Adi/Erlebacher discussions).
+  // Ties break toward the previous phase's pick so indifferent phases do
+  // not ping-pong the data for nothing.
+  {
+    Alternative alt;
+    alt.name = "dynamic (per-phase best)";
+    int prev = -1;
+    for (int p = 0; p < nphases; ++p) {
+      const auto& costs = r.graph.node_cost_us[static_cast<std::size_t>(p)];
+      int pick = static_cast<int>(std::min_element(costs.begin(), costs.end()) -
+                                  costs.begin());
+      if (prev >= 0 && prev < static_cast<int>(costs.size()) &&
+          costs[static_cast<std::size_t>(prev)] <=
+              costs[static_cast<std::size_t>(pick)] * (1.0 + 1e-9)) {
+        pick = prev;
+      }
+      alt.assignment.push_back(pick);
+      prev = pick;
+    }
+    const bool dup = std::any_of(rep.alternatives.begin(), rep.alternatives.end(),
+                                 [&](const Alternative& a) {
+                                   return a.assignment == alt.assignment;
+                                 });
+    if (!dup) rep.alternatives.push_back(std::move(alt));
+  }
+
+  // The tool's selection.
+  {
+    auto it = std::find_if(rep.alternatives.begin(), rep.alternatives.end(),
+                           [&](const Alternative& a) {
+                             return a.assignment == r.selection.chosen;
+                           });
+    if (it == rep.alternatives.end()) {
+      Alternative alt;
+      alt.name = "tool selection";
+      alt.assignment = r.selection.chosen;
+      rep.alternatives.push_back(std::move(alt));
+      rep.tool_index = static_cast<int>(rep.alternatives.size()) - 1;
+    } else {
+      rep.tool_index = static_cast<int>(it - rep.alternatives.begin());
+    }
+    rep.alternatives[static_cast<std::size_t>(rep.tool_index)].is_tool_choice = true;
+  }
+
+  // Cost every alternative with the estimator and the simulator.
+  for (Alternative& alt : rep.alternatives) {
+    alt.est_us = select::assignment_cost(r.graph, alt.assignment);
+    alt.meas_us =
+        sim::measure_program(*r.estimator, r.templ, r.spaces, alt.assignment).total_us;
+  }
+
+  rep.best_measured = static_cast<int>(
+      std::min_element(rep.alternatives.begin(), rep.alternatives.end(),
+                       [](const Alternative& a, const Alternative& b) {
+                         return a.meas_us < b.meas_us;
+                       }) -
+      rep.alternatives.begin());
+  rep.best_estimated = static_cast<int>(
+      std::min_element(rep.alternatives.begin(), rep.alternatives.end(),
+                       [](const Alternative& a, const Alternative& b) {
+                         return a.est_us < b.est_us;
+                       }) -
+      rep.alternatives.begin());
+  const double best = rep.alternatives[static_cast<std::size_t>(rep.best_measured)].meas_us;
+  const double tool = rep.alternatives[static_cast<std::size_t>(rep.tool_index)].meas_us;
+  rep.loss_fraction = best > 0.0 ? tool / best - 1.0 : 0.0;
+  rep.picked_best = rep.loss_fraction <= 1e-9;
+
+  // Ranking: order by estimate must equal order by measurement.
+  std::vector<int> by_est(rep.alternatives.size());
+  std::iota(by_est.begin(), by_est.end(), 0);
+  std::vector<int> by_meas = by_est;
+  std::sort(by_est.begin(), by_est.end(), [&](int a, int b) {
+    return rep.alternatives[static_cast<std::size_t>(a)].est_us <
+           rep.alternatives[static_cast<std::size_t>(b)].est_us;
+  });
+  std::sort(by_meas.begin(), by_meas.end(), [&](int a, int b) {
+    return rep.alternatives[static_cast<std::size_t>(a)].meas_us <
+           rep.alternatives[static_cast<std::size_t>(b)].meas_us;
+  });
+  rep.ranking_correct = by_est == by_meas;
+  return rep;
+}
+
+std::string report_table(const CaseReport& rep) {
+  std::ostringstream os;
+  os << pad_right("layout", 34) << pad_left("estimated (s)", 15)
+     << pad_left("measured (s)", 15) << "\n";
+  for (const Alternative& a : rep.alternatives) {
+    std::string name = a.name;
+    if (a.is_tool_choice) name += "  <== tool";
+    os << pad_right(name, 34) << pad_left(format_fixed(a.est_us / 1e6, 3), 15)
+       << pad_left(format_fixed(a.meas_us / 1e6, 3), 15) << "\n";
+  }
+  os << "tool pick " << (rep.picked_best ? "OPTIMAL" : "suboptimal") << ", loss "
+     << format_fixed(rep.loss_fraction * 100.0, 1) << "%, ranking "
+     << (rep.ranking_correct ? "correct" : "incorrect") << "\n";
+  return os.str();
+}
+
+} // namespace al::driver

@@ -1,0 +1,43 @@
+// Experiment harness: evaluates the "promising whole-program data layouts"
+// of a test case the way section 4 does -- every static 1-D distribution,
+// the per-phase-best dynamic layout, and the tool's selection -- comparing
+// estimated against (simulated) measured execution times, and scoring
+// whether the tool picked and ranked correctly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/tool.hpp"
+#include "sim/measure.hpp"
+
+namespace al::driver {
+
+struct Alternative {
+  std::string name;
+  std::vector<int> assignment;  ///< candidate index per phase
+  double est_us = 0.0;          ///< estimator total (nodes + remaps)
+  double meas_us = 0.0;         ///< simulator total
+  bool is_tool_choice = false;
+};
+
+struct CaseReport {
+  std::vector<Alternative> alternatives;
+  int tool_index = -1;
+  int best_measured = -1;
+  int best_estimated = -1;
+  /// measured(tool) / measured(best) - 1
+  double loss_fraction = 0.0;
+  bool picked_best = false;
+  /// Estimated order of the alternatives == measured order.
+  bool ranking_correct = false;
+  select::SelectionResult selection;
+};
+
+/// Builds, times and scores the alternatives for a finished tool run.
+[[nodiscard]] CaseReport evaluate_alternatives(const ToolResult& result);
+
+/// Pretty table (figure-3 style) of a report.
+[[nodiscard]] std::string report_table(const CaseReport& report);
+
+} // namespace al::driver

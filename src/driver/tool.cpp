@@ -1,0 +1,106 @@
+#include "driver/tool.hpp"
+
+#include <algorithm>
+
+#include "select/layout_graph.hpp"
+#include "support/contracts.hpp"
+
+namespace al::driver {
+
+bool ToolResult::is_dynamic() const {
+  for (const pcfg::Transition& t : pcfg.transitions()) {
+    if (t.src < 0 || t.dst < 0) continue;
+    const pcfg::Phase& sp = pcfg.phase(t.src);
+    const pcfg::Phase& dp = pcfg.phase(t.dst);
+    std::vector<int> shared;
+    std::set_intersection(sp.arrays.begin(), sp.arrays.end(), dp.arrays.begin(),
+                          dp.arrays.end(), std::back_inserter(shared));
+    for (int a : shared) {
+      const int rank = program.symbols.at(a).rank();
+      if (layout::classify_remap(chosen_layout(t.src), chosen_layout(t.dst), a, rank) !=
+          layout::RemapKind::None)
+        return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions& opts) {
+  auto r = std::make_unique<ToolResult>();
+  r->options = opts;
+
+  // 0. Frontend (+ inlining: the analysis itself is intra-procedural, like
+  // the paper's prototype, so multi-procedure inputs are inlined first).
+  r->program = fortran::parse_and_check(source);
+  if (!r->program.procedures.empty()) {
+    DiagnosticEngine diags;
+    fortran::inline_calls(r->program, diags);
+    if (diags.has_errors())
+      throw FatalError("inlining failed:\n" + diags.str());
+  }
+  if (opts.scalar_expansion) fortran::expand_scalars(r->program);
+
+  // 1. Phases + PCFG (framework step 1).
+  r->pcfg = pcfg::Pcfg::build(r->program, opts.phase);
+  if (r->pcfg.num_phases() == 0)
+    throw FatalError("program contains no phases (no loops subscript any array)");
+
+  // 2a. Alignment search spaces (framework step 2, first half).
+  r->templ = layout::ProgramTemplate::from_program(r->program);
+  r->universe = cag::NodeUniverse::from_program(r->program);
+  r->alignment =
+      align::analyze_alignment(r->program, r->pcfg, r->universe, r->templ.rank,
+                               opts.alignment);
+
+  // 2b. Distribution candidates and per-phase layout spaces.
+  distrib::DistributionOptions dopts;
+  dopts.strategy = opts.distribution_strategy;
+  dopts.procs = opts.procs;
+  r->distributions = distrib::make_distribution_candidates(r->templ.rank, dopts);
+  for (int p = 0; p < r->pcfg.num_phases(); ++p) {
+    // Pinned phases keep exactly the user's layout.
+    const auto pin =
+        std::find_if(opts.pinned_phases.begin(), opts.pinned_phases.end(),
+                     [&](const auto& pr) { return pr.first == p; });
+    if (pin != opts.pinned_phases.end()) {
+      distrib::LayoutSpace space;
+      distrib::LayoutCandidate cand;
+      cand.layout = pin->second;
+      cand.label = "pinned by user";
+      space.add(std::move(cand));
+      r->spaces.push_back(std::move(space));
+      continue;
+    }
+    distrib::LayoutSpaceOptions sopts;
+    if (opts.replicate_unwritten) {
+      // Replication candidates: arrays this phase never writes and that fit
+      // comfortably (a quarter of node memory) when fully copied.
+      const pcfg::Phase& ph = r->pcfg.phase(p);
+      for (int a : ph.arrays) {
+        bool written = false;
+        for (const pcfg::Reference& ref : ph.refs) {
+          if (ref.array == a && ref.is_write) written = true;
+        }
+        if (written) continue;
+        const fortran::Symbol& sym = r->program.symbols.at(a);
+        const long bytes = sym.element_count() * fortran::size_in_bytes(sym.type);
+        if (bytes * 4 <= opts.machine.node_memory_bytes)
+          sopts.replicable_arrays.push_back(a);
+      }
+    }
+    r->spaces.push_back(distrib::build_layout_space(
+        r->alignment.phase_spaces[static_cast<std::size_t>(p)], r->distributions,
+        r->pcfg.phase(p).arrays, r->program.symbols, sopts));
+  }
+
+  // 3. Performance estimation (framework step 3).
+  r->estimator = std::make_unique<perf::Estimator>(r->program, r->pcfg, r->options.machine,
+                                                   opts.compiler);
+  r->graph = select::build_layout_graph(*r->estimator, r->spaces);
+
+  // 4. Layout selection via 0-1 integer programming (framework step 4).
+  r->selection = select::select_layouts_ilp(r->graph);
+  return r;
+}
+
+} // namespace al::driver

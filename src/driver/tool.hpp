@@ -1,0 +1,77 @@
+// The data layout assistant tool: the end-to-end pipeline of the paper's
+// framework (figure 1). Give it Fortran source, a machine model, and a
+// processor count; it returns the phase structure, the explicit candidate
+// search spaces, every cost estimate, and the optimal layout selection --
+// all inspectable, as the tool-oriented design demands.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "align/heuristic.hpp"
+#include "distrib/candidates.hpp"
+#include "distrib/space.hpp"
+#include "fortran/inline.hpp"
+#include "fortran/scalar_expand.hpp"
+#include "fortran/parser.hpp"
+#include "layout/template_map.hpp"
+#include "machine/training_set.hpp"
+#include "perf/estimator.hpp"
+#include "select/ilp_selection.hpp"
+
+namespace al::driver {
+
+struct ToolOptions {
+  int procs = 16;
+  machine::MachineModel machine = machine::make_ipsc860();
+  pcfg::PhaseOptions phase;
+  compmodel::CompileOptions compiler;
+  /// Expand scalar temporaries into arrays before analysis (the paper's
+  /// prototype always did; our corpus does not need it, so default off).
+  bool scalar_expansion = false;
+  /// Generate candidates that REPLICATE the arrays a phase only reads
+  /// (when they fit in a quarter of node memory). Off to mirror the
+  /// prototype's search spaces.
+  bool replicate_unwritten = false;
+  distrib::Strategy distribution_strategy = distrib::Strategy::Exhaustive1DBlock;
+  align::AlignmentAnalysisOptions alignment;
+  /// Partially specified layouts (the abstract's second use case): phases
+  /// listed here are pinned to the given layout; the tool extends the
+  /// layout to the rest of the program.
+  std::vector<std::pair<int, layout::Layout>> pinned_phases;
+};
+
+/// Everything the tool produced. Not movable (internal references); returned
+/// through unique_ptr.
+struct ToolResult {
+  ToolOptions options;
+  fortran::Program program;
+  pcfg::Pcfg pcfg;
+  layout::ProgramTemplate templ;
+  cag::NodeUniverse universe;
+  align::AlignmentAnalysis alignment;
+  std::vector<layout::Distribution> distributions;
+  std::vector<distrib::LayoutSpace> spaces;   ///< one per phase
+  std::unique_ptr<perf::Estimator> estimator; ///< references members above
+  select::LayoutGraph graph;
+  select::SelectionResult selection;
+
+  ToolResult() = default;
+  ToolResult(const ToolResult&) = delete;
+  ToolResult& operator=(const ToolResult&) = delete;
+
+  [[nodiscard]] const layout::Layout& chosen_layout(int phase) const {
+    return spaces.at(static_cast<std::size_t>(phase))
+        .candidates()
+        .at(static_cast<std::size_t>(selection.chosen.at(static_cast<std::size_t>(phase))))
+        .layout;
+  }
+  /// True when the selection remaps between at least one phase pair.
+  [[nodiscard]] bool is_dynamic() const;
+};
+
+/// Runs the full pipeline. Throws al::FatalError on frontend errors.
+[[nodiscard]] std::unique_ptr<ToolResult> run_tool(std::string_view source,
+                                                   const ToolOptions& opts = {});
+
+} // namespace al::driver

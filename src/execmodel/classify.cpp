@@ -1,0 +1,35 @@
+#include "execmodel/classify.hpp"
+
+namespace al::execmodel {
+
+const char* to_string(PhaseShape s) {
+  switch (s) {
+    case PhaseShape::Serial: return "serial";
+    case PhaseShape::LooselySynchronous: return "loosely-synchronous";
+    case PhaseShape::Reduction: return "reduction";
+    case PhaseShape::FinePipeline: return "fine-grain pipeline";
+    case PhaseShape::CoarsePipeline: return "coarse-grain pipeline";
+    case PhaseShape::Sequentialized: return "sequentialized";
+  }
+  return "?";
+}
+
+PhaseShape classify_phase(const compmodel::CompiledPhase& compiled,
+                          const pcfg::PhaseDeps& deps) {
+  if (compiled.procs <= 1) return PhaseShape::Serial;
+  if (compiled.has_recurrence()) {
+    const long strips = compiled.recurrence_strips();
+    if (strips <= 1) return PhaseShape::Sequentialized;
+    double strip_bytes = 0.0;
+    for (const compmodel::CommEvent& e : compiled.events) {
+      if (e.cls == compmodel::CommClass::Recurrence && e.strips == strips)
+        strip_bytes = std::max(strip_bytes, e.bytes);
+    }
+    return strip_bytes <= kFinePipelineBytes ? PhaseShape::FinePipeline
+                                             : PhaseShape::CoarsePipeline;
+  }
+  if (!deps.reductions.empty()) return PhaseShape::Reduction;
+  return PhaseShape::LooselySynchronous;
+}
+
+} // namespace al::execmodel

@@ -1,0 +1,29 @@
+// Execution-scheme classification (paper, sections 2.3 and 3): under a given
+// layout a phase executes loosely synchronously, as a fine- or coarse-grain
+// pipeline, as a reduction, sequentialized across processors, or serially on
+// one processor.
+#pragma once
+
+#include "compmodel/compile.hpp"
+
+namespace al::execmodel {
+
+enum class PhaseShape {
+  Serial,             ///< nothing distributed: one processor does it all
+  LooselySynchronous, ///< pre-exchanged messages, then parallel compute
+  Reduction,          ///< parallel compute + combining tree
+  FinePipeline,       ///< recurrence with tiny per-strip messages
+  CoarsePipeline,     ///< recurrence with block-sized strips
+  Sequentialized,     ///< recurrence with a single strip: a processor chain
+};
+
+[[nodiscard]] const char* to_string(PhaseShape s);
+
+/// Per-strip payloads at or below this many bytes make a pipeline "fine
+/// grain" (one or two elements per message).
+inline constexpr double kFinePipelineBytes = 128.0;
+
+[[nodiscard]] PhaseShape classify_phase(const compmodel::CompiledPhase& compiled,
+                                        const pcfg::PhaseDeps& deps);
+
+} // namespace al::execmodel

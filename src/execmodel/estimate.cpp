@@ -1,0 +1,79 @@
+#include "execmodel/estimate.hpp"
+
+#include <algorithm>
+
+namespace al::execmodel {
+
+PhaseEstimate estimate_phase(const compmodel::CompiledPhase& compiled,
+                             const pcfg::PhaseDeps& deps,
+                             const machine::MachineModel& machine) {
+  PhaseEstimate out;
+  out.shape = classify_phase(compiled, deps);
+
+  out.comp_us = compiled.flops_real * machine.flop_us_real +
+                compiled.flops_double * machine.flop_us_double +
+                compiled.mem_accesses * machine.mem_us;
+
+  const int procs = std::max(compiled.procs, 1);
+  double comm = 0.0;
+
+  // Non-recurrence events: loosely synchronous pre-exchanges at high
+  // observable latency.
+  for (const compmodel::CommEvent& e : compiled.events) {
+    if (e.cls == compmodel::CommClass::Recurrence) continue;
+    comm += e.messages *
+            machine.comm_us(e.pattern, procs, e.bytes, e.stride, machine::LatencyClass::High);
+  }
+
+  // Scalar reductions ride a combining tree once per phase.
+  if (!deps.reductions.empty() && procs > 1) {
+    comm += static_cast<double>(deps.reductions.size()) *
+            machine.comm_us(machine::CommPattern::Reduction, procs, 8.0,
+                            machine::Stride::Unit, machine::LatencyClass::High);
+  }
+
+  // Recurrence events: pipeline (or chain) timing.
+  switch (out.shape) {
+    case PhaseShape::FinePipeline:
+    case PhaseShape::CoarsePipeline: {
+      // T = (strips + P - 1) * (strip compute + strip message), so the
+      // extra cost over pure computation is the message train plus the
+      // (P-1)-deep fill/drain skew.
+      double pipeline_extra = 0.0;
+      for (const compmodel::CommEvent& e : compiled.events) {
+        if (e.cls != compmodel::CommClass::Recurrence) continue;
+        const long strips = std::max<long>(e.strips, 1);
+        const double msg =
+            machine.comm_us(machine::CommPattern::SendRecv, procs, e.bytes, e.stride,
+                            machine::LatencyClass::Low);
+        const double strip_comp = out.comp_us / static_cast<double>(strips);
+        const double total = (static_cast<double>(strips) + procs - 1) * (strip_comp + msg);
+        pipeline_extra = std::max(pipeline_extra, total - out.comp_us);
+      }
+      comm += pipeline_extra;
+      break;
+    }
+    case PhaseShape::Sequentialized: {
+      // Every processor waits for the whole previous block: P * (block
+      // compute) + the boundary messages in between.
+      double chain_extra = 0.0;
+      for (const compmodel::CommEvent& e : compiled.events) {
+        if (e.cls != compmodel::CommClass::Recurrence) continue;
+        const double msg =
+            machine.comm_us(machine::CommPattern::SendRecv, procs, e.bytes, e.stride,
+                            machine::LatencyClass::High);
+        const double total = procs * out.comp_us + (procs - 1) * msg;
+        chain_extra = std::max(chain_extra, total - out.comp_us);
+      }
+      comm += chain_extra;
+      break;
+    }
+    default:
+      break;
+  }
+
+  out.comm_us = comm;
+  return out;
+}
+
+} // namespace al::execmodel

@@ -1,0 +1,25 @@
+// Phase execution time estimation: composes the compiler model's placed
+// communication with the machine model's training sets under the execution
+// scheme of the phase (paper, section 2.3). Pipelined phases use low-latency
+// training sets (computation overlaps communication); loosely synchronous
+// phases use high-latency ones.
+#pragma once
+
+#include "execmodel/classify.hpp"
+#include "machine/training_set.hpp"
+
+namespace al::execmodel {
+
+struct PhaseEstimate {
+  PhaseShape shape = PhaseShape::Serial;
+  double comp_us = 0.0;   ///< per-processor computation
+  double comm_us = 0.0;   ///< communication + pipeline fill/serialization
+  [[nodiscard]] double total_us() const { return comp_us + comm_us; }
+};
+
+/// Estimates one (phase, layout) combination that `compiled` describes.
+[[nodiscard]] PhaseEstimate estimate_phase(const compmodel::CompiledPhase& compiled,
+                                           const pcfg::PhaseDeps& deps,
+                                           const machine::MachineModel& machine);
+
+} // namespace al::execmodel

@@ -1,0 +1,302 @@
+#include "fortran/ast.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace al::fortran {
+
+int size_in_bytes(ScalarType t) {
+  switch (t) {
+    case ScalarType::Integer: return 4;
+    case ScalarType::Real: return 4;
+    case ScalarType::DoublePrecision: return 8;
+  }
+  return 4;
+}
+
+const char* to_string(ScalarType t) {
+  switch (t) {
+    case ScalarType::Integer: return "integer";
+    case ScalarType::Real: return "real";
+    case ScalarType::DoublePrecision: return "double precision";
+  }
+  return "?";
+}
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Pow: return "**";
+    case BinOp::Lt: return ".lt.";
+    case BinOp::Le: return ".le.";
+    case BinOp::Gt: return ".gt.";
+    case BinOp::Ge: return ".ge.";
+    case BinOp::Eq: return ".eq.";
+    case BinOp::Ne: return ".ne.";
+    case BinOp::And: return ".and.";
+    case BinOp::Or: return ".or.";
+  }
+  return "?";
+}
+
+long Symbol::element_count() const {
+  long n = 1;
+  for (const auto& d : dims) n *= d.extent();
+  return n;
+}
+
+int SymbolTable::add(Symbol s) {
+  if (lookup(s.name) >= 0) return -1;
+  symbols_.push_back(std::move(s));
+  return static_cast<int>(symbols_.size()) - 1;
+}
+
+int SymbolTable::lookup(std::string_view name) const {
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Symbol& SymbolTable::at(int index) const {
+  AL_EXPECTS(index >= 0 && index < size());
+  return symbols_[static_cast<std::size_t>(index)];
+}
+
+Symbol& SymbolTable::at_mutable(int index) {
+  AL_EXPECTS(index >= 0 && index < size());
+  return symbols_[static_cast<std::size_t>(index)];
+}
+
+std::vector<int> Program::array_symbols() const {
+  std::vector<int> out;
+  for (int i = 0; i < symbols.size(); ++i) {
+    if (symbols.at(i).kind == SymbolKind::Array) out.push_back(i);
+  }
+  return out;
+}
+
+int Program::find_procedure(std::string_view name) const {
+  for (std::size_t i = 0; i < procedures.size(); ++i) {
+    if (procedures[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ExprPtr clone_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+      return std::make_unique<IntConstExpr>(static_cast<const IntConstExpr&>(e).value,
+                                            e.loc);
+    case ExprKind::RealConst:
+      return std::make_unique<RealConstExpr>(static_cast<const RealConstExpr&>(e).value,
+                                             e.loc);
+    case ExprKind::Var: {
+      const auto& v = static_cast<const VarExpr&>(e);
+      auto out = std::make_unique<VarExpr>(v.name, e.loc);
+      out->symbol = v.symbol;
+      return out;
+    }
+    case ExprKind::ArrayRef: {
+      const auto& r = static_cast<const ArrayRefExpr&>(e);
+      std::vector<ExprPtr> subs;
+      subs.reserve(r.subscripts.size());
+      for (const auto& s : r.subscripts) subs.push_back(clone_expr(*s));
+      auto out = std::make_unique<ArrayRefExpr>(r.name, std::move(subs), e.loc);
+      out->symbol = r.symbol;
+      return out;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      return std::make_unique<UnaryExpr>(u.op, clone_expr(*u.operand), e.loc);
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return std::make_unique<BinaryExpr>(b.op, clone_expr(*b.lhs), clone_expr(*b.rhs),
+                                          e.loc);
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      std::vector<ExprPtr> args;
+      args.reserve(c.args.size());
+      for (const auto& a : c.args) args.push_back(clone_expr(*a));
+      return std::make_unique<IntrinsicExpr>(c.name, std::move(args), e.loc);
+    }
+  }
+  AL_UNREACHABLE("clone_expr: bad kind");
+}
+
+StmtPtr clone_stmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      return std::make_unique<AssignStmt>(clone_expr(*a.lhs), clone_expr(*a.rhs), s.loc);
+    }
+    case StmtKind::Do: {
+      const auto& d = static_cast<const DoStmt&>(s);
+      auto out = std::make_unique<DoStmt>(d.var, clone_expr(*d.lo), clone_expr(*d.hi),
+                                          d.step ? clone_expr(*d.step) : nullptr, s.loc);
+      out->symbol = d.symbol;
+      for (const auto& b : d.body) out->body.push_back(clone_stmt(*b));
+      return out;
+    }
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      auto out = std::make_unique<IfStmt>(clone_expr(*i.cond), s.loc);
+      out->branch_probability = i.branch_probability;
+      for (const auto& b : i.then_body) out->then_body.push_back(clone_stmt(*b));
+      for (const auto& b : i.else_body) out->else_body.push_back(clone_stmt(*b));
+      return out;
+    }
+    case StmtKind::Continue:
+      return std::make_unique<ContinueStmt>(s.loc);
+    case StmtKind::Call: {
+      const auto& c = static_cast<const CallStmt&>(s);
+      std::vector<ExprPtr> args;
+      args.reserve(c.args.size());
+      for (const auto& a : c.args) args.push_back(clone_expr(*a));
+      auto out = std::make_unique<CallStmt>(c.name, std::move(args), s.loc);
+      out->procedure = c.procedure;
+      return out;
+    }
+  }
+  AL_UNREACHABLE("clone_stmt: bad kind");
+}
+
+namespace {
+
+void print_expr(std::ostream& os, const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+      os << static_cast<const IntConstExpr&>(e).value;
+      break;
+    case ExprKind::RealConst:
+      os << static_cast<const RealConstExpr&>(e).value;
+      break;
+    case ExprKind::Var:
+      os << static_cast<const VarExpr&>(e).name;
+      break;
+    case ExprKind::ArrayRef: {
+      const auto& r = static_cast<const ArrayRefExpr&>(e);
+      os << r.name << '(';
+      for (std::size_t i = 0; i < r.subscripts.size(); ++i) {
+        if (i) os << ',';
+        print_expr(os, *r.subscripts[i]);
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      os << (u.op == UnOp::Neg ? "-" : u.op == UnOp::Not ? ".not." : "+") << '(';
+      print_expr(os, *u.operand);
+      os << ')';
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      os << '(';
+      print_expr(os, *b.lhs);
+      os << to_string(b.op);
+      print_expr(os, *b.rhs);
+      os << ')';
+      break;
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      os << c.name << '(';
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) os << ',';
+        print_expr(os, *c.args[i]);
+      }
+      os << ')';
+      break;
+    }
+  }
+}
+
+void print_stmt(std::ostream& os, const Stmt& s, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      os << pad;
+      print_expr(os, *a.lhs);
+      os << " = ";
+      print_expr(os, *a.rhs);
+      os << '\n';
+      break;
+    }
+    case StmtKind::Do: {
+      const auto& d = static_cast<const DoStmt&>(s);
+      os << pad << "do " << d.var << " = ";
+      print_expr(os, *d.lo);
+      os << ", ";
+      print_expr(os, *d.hi);
+      if (d.step) {
+        os << ", ";
+        print_expr(os, *d.step);
+      }
+      os << '\n';
+      for (const auto& b : d.body) print_stmt(os, *b, indent + 1);
+      os << pad << "enddo\n";
+      break;
+    }
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      if (i.branch_probability >= 0.0)
+        os << pad << "!al$ prob(" << i.branch_probability << ")\n";
+      os << pad << "if (";
+      print_expr(os, *i.cond);
+      os << ") then\n";
+      for (const auto& b : i.then_body) print_stmt(os, *b, indent + 1);
+      if (!i.else_body.empty()) {
+        os << pad << "else\n";
+        for (const auto& b : i.else_body) print_stmt(os, *b, indent + 1);
+      }
+      os << pad << "endif\n";
+      break;
+    }
+    case StmtKind::Continue:
+      os << pad << "continue\n";
+      break;
+    case StmtKind::Call: {
+      const auto& c = static_cast<const CallStmt&>(s);
+      os << pad << "call " << c.name << "(";
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) os << ", ";
+        print_expr(os, *c.args[i]);
+      }
+      os << ")\n";
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::string to_string(const Expr& e) {
+  std::ostringstream os;
+  print_expr(os, e);
+  return os.str();
+}
+
+std::string to_string(const Stmt& s, int indent) {
+  std::ostringstream os;
+  print_stmt(os, s, indent);
+  return os.str();
+}
+
+std::string to_string(const Program& p) {
+  std::ostringstream os;
+  os << "program " << p.name << '\n';
+  for (const auto& s : p.body) print_stmt(os, *s, 1);
+  os << "end\n";
+  return os.str();
+}
+
+} // namespace al::fortran

@@ -1,0 +1,230 @@
+// Abstract syntax tree for the accepted Fortran subset.
+//
+// Nodes are owned through std::unique_ptr; the tree is immutable after
+// semantic analysis. Node kinds are deliberately few -- the tool needs loop
+// nests, assignments with affine array subscripts, and structured IFs, which
+// is exactly the prototype's input restriction (paper, section 3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace al::fortran {
+
+enum class ScalarType { Integer, Real, DoublePrecision };
+
+/// Element size in bytes on the target machine (iPSC/860 conventions).
+[[nodiscard]] int size_in_bytes(ScalarType t);
+[[nodiscard]] const char* to_string(ScalarType t);
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind { IntConst, RealConst, Var, ArrayRef, Unary, Binary, Intrinsic };
+
+enum class BinOp { Add, Sub, Mul, Div, Pow, Lt, Le, Gt, Ge, Eq, Ne, And, Or };
+enum class UnOp { Neg, Plus, Not };
+
+[[nodiscard]] const char* to_string(BinOp op);
+
+struct Expr {
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  const ExprKind kind;
+  const SourceLoc loc;
+};
+
+struct IntConstExpr final : Expr {
+  IntConstExpr(long v, SourceLoc l) : Expr(ExprKind::IntConst, l), value(v) {}
+  long value;
+};
+
+struct RealConstExpr final : Expr {
+  RealConstExpr(double v, SourceLoc l) : Expr(ExprKind::RealConst, l), value(v) {}
+  double value;
+};
+
+/// Scalar variable reference (also used for DO induction variables in
+/// subscripts). `symbol` is filled in by sema.
+struct VarExpr final : Expr {
+  VarExpr(std::string n, SourceLoc l) : Expr(ExprKind::Var, l), name(std::move(n)) {}
+  std::string name;
+  int symbol = -1;
+};
+
+/// `a(i, j+1)` -- the central object of the whole analysis.
+struct ArrayRefExpr final : Expr {
+  ArrayRefExpr(std::string n, std::vector<ExprPtr> s, SourceLoc l)
+      : Expr(ExprKind::ArrayRef, l), name(std::move(n)), subscripts(std::move(s)) {}
+  std::string name;
+  std::vector<ExprPtr> subscripts;
+  int symbol = -1;
+};
+
+struct UnaryExpr final : Expr {
+  UnaryExpr(UnOp o, ExprPtr e, SourceLoc l)
+      : Expr(ExprKind::Unary, l), op(o), operand(std::move(e)) {}
+  UnOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr final : Expr {
+  BinaryExpr(BinOp o, ExprPtr a, ExprPtr b, SourceLoc l)
+      : Expr(ExprKind::Binary, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+  BinOp op;
+  ExprPtr lhs, rhs;
+};
+
+/// Calls to numeric intrinsics (sqrt, abs, max, min, exp, sign, mod, ...).
+struct IntrinsicExpr final : Expr {
+  IntrinsicExpr(std::string n, std::vector<ExprPtr> a, SourceLoc l)
+      : Expr(ExprKind::Intrinsic, l), name(std::move(n)), args(std::move(a)) {}
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind { Assign, Do, If, Continue, Call };
+
+struct Stmt {
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  const StmtKind kind;
+  const SourceLoc loc;
+};
+
+struct AssignStmt final : Stmt {
+  AssignStmt(ExprPtr l, ExprPtr r, SourceLoc loc)
+      : Stmt(StmtKind::Assign, loc), lhs(std::move(l)), rhs(std::move(r)) {}
+  ExprPtr lhs;  // VarExpr or ArrayRefExpr
+  ExprPtr rhs;
+};
+
+struct DoStmt final : Stmt {
+  DoStmt(std::string v, ExprPtr lo_, ExprPtr hi_, ExprPtr step_, SourceLoc loc)
+      : Stmt(StmtKind::Do, loc), var(std::move(v)), lo(std::move(lo_)),
+        hi(std::move(hi_)), step(std::move(step_)) {}
+  std::string var;
+  int symbol = -1;
+  ExprPtr lo, hi;
+  ExprPtr step;  // nullptr means 1
+  std::vector<StmtPtr> body;
+};
+
+struct IfStmt final : Stmt {
+  IfStmt(ExprPtr c, SourceLoc loc) : Stmt(StmtKind::If, loc), cond(std::move(c)) {}
+  ExprPtr cond;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+  /// Probability that the THEN side is taken; < 0 means "not annotated"
+  /// (the tool then applies its 50% guessing heuristic, paper section 2.1).
+  double branch_probability = -1.0;
+};
+
+struct ContinueStmt final : Stmt {
+  explicit ContinueStmt(SourceLoc loc) : Stmt(StmtKind::Continue, loc) {}
+};
+
+/// `call sweep(x, n)` -- resolved and inlined before any layout analysis
+/// (the paper's prototype is intra-procedural; the inliner in inline.hpp is
+/// this implementation's take on the paper's multi-procedure future work).
+struct CallStmt final : Stmt {
+  CallStmt(std::string n, std::vector<ExprPtr> a, SourceLoc loc)
+      : Stmt(StmtKind::Call, loc), name(std::move(n)), args(std::move(a)) {}
+  std::string name;
+  std::vector<ExprPtr> args;
+  int procedure = -1;  ///< index into Program::procedures (sema)
+};
+
+// --------------------------------------------------------------------------
+// Symbols and program
+// --------------------------------------------------------------------------
+
+enum class SymbolKind { Scalar, Array, Parameter };
+
+/// Declared bounds of one array dimension; bounds must fold to constants
+/// after PARAMETER substitution.
+struct ArrayBound {
+  long lower = 1;
+  long upper = 0;
+  [[nodiscard]] long extent() const { return upper - lower + 1; }
+};
+
+struct Symbol {
+  std::string name;
+  SymbolKind kind = SymbolKind::Scalar;
+  ScalarType type = ScalarType::Real;
+  std::vector<ArrayBound> dims;  // empty for scalars/parameters
+  long param_value = 0;          // for SymbolKind::Parameter
+  [[nodiscard]] int rank() const { return static_cast<int>(dims.size()); }
+  /// Total number of elements (arrays only).
+  [[nodiscard]] long element_count() const;
+};
+
+/// Name -> Symbol map with stable dense indices.
+class SymbolTable {
+public:
+  /// Returns the new symbol's index; fails (returns -1) on redeclaration.
+  int add(Symbol s);
+  [[nodiscard]] int lookup(std::string_view name) const;  // -1 if absent
+  [[nodiscard]] const Symbol& at(int index) const;
+  [[nodiscard]] Symbol& at_mutable(int index);
+  [[nodiscard]] int size() const { return static_cast<int>(symbols_.size()); }
+  [[nodiscard]] const std::vector<Symbol>& all() const { return symbols_; }
+
+private:
+  std::vector<Symbol> symbols_;
+};
+
+/// A SUBROUTINE unit: formal parameters are symbols of its own table.
+struct Procedure {
+  std::string name;
+  SymbolTable symbols;
+  std::vector<int> params;  ///< formal parameter symbol indices, in order
+  std::vector<StmtPtr> body;
+};
+
+/// A parsed-and-checked program: one main unit plus any subroutines.
+/// Analysis passes operate on the main body only -- inline first
+/// (fortran/inline.hpp) when subroutines are present.
+struct Program {
+  std::string name;
+  SymbolTable symbols;
+  std::vector<StmtPtr> body;
+  std::vector<Procedure> procedures;
+
+  /// Indices of all array symbols, in declaration order.
+  [[nodiscard]] std::vector<int> array_symbols() const;
+
+  [[nodiscard]] int find_procedure(std::string_view name) const;
+};
+
+/// Deep copies (used by the inliner).
+[[nodiscard]] ExprPtr clone_expr(const Expr& e);
+[[nodiscard]] StmtPtr clone_stmt(const Stmt& s);
+
+/// Pretty-printers (round-trip-ish; used by tests and the directive emitter).
+[[nodiscard]] std::string to_string(const Expr& e);
+[[nodiscard]] std::string to_string(const Stmt& s, int indent = 0);
+[[nodiscard]] std::string to_string(const Program& p);
+
+} // namespace al::fortran

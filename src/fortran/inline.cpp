@@ -1,0 +1,304 @@
+#include "fortran/inline.hpp"
+
+#include <map>
+#include <string>
+
+#include "support/contracts.hpp"
+
+namespace al::fortran {
+namespace {
+
+/// What a callee symbol maps to in the caller.
+struct Binding {
+  enum class Kind { RenameTo, Substitute } kind = Kind::RenameTo;
+  int caller_symbol = -1;  ///< RenameTo
+  const Expr* expr = nullptr;  ///< Substitute: cloned on use
+};
+
+bool stmt_assigns_symbol(const Stmt& s, int sym) {
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      if (a.lhs->kind == ExprKind::Var)
+        return static_cast<const VarExpr&>(*a.lhs).symbol == sym;
+      return false;
+    }
+    case StmtKind::Do: {
+      const auto& d = static_cast<const DoStmt&>(s);
+      if (d.symbol == sym) return true;
+      for (const auto& b : d.body) {
+        if (stmt_assigns_symbol(*b, sym)) return true;
+      }
+      return false;
+    }
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      for (const auto& b : i.then_body) {
+        if (stmt_assigns_symbol(*b, sym)) return true;
+      }
+      for (const auto& b : i.else_body) {
+        if (stmt_assigns_symbol(*b, sym)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool body_assigns_symbol(const std::vector<StmtPtr>& body, int sym) {
+  for (const auto& s : body) {
+    if (stmt_assigns_symbol(*s, sym)) return true;
+  }
+  return false;
+}
+
+class Inliner {
+public:
+  Inliner(Program& prog, DiagnosticEngine& diags) : prog_(prog), diags_(diags) {}
+
+  int run() {
+    // Iterate to a fixpoint: inlined bodies may contain further calls.
+    int total = 0;
+    for (int round = 0; round < 64; ++round) {
+      const int expanded = expand_body(prog_.body);
+      total += expanded;
+      if (expanded == 0) return total;
+      if (diags_.has_errors()) return total;
+    }
+    diags_.error(SourceLoc{}, "inlining did not terminate (recursive subroutines?)");
+    return total;
+  }
+
+private:
+  int expand_body(std::vector<StmtPtr>& body) {
+    int expanded = 0;
+    for (std::size_t i = 0; i < body.size();) {
+      Stmt& s = *body[i];
+      switch (s.kind) {
+        case StmtKind::Call: {
+          std::vector<StmtPtr> inlined = expand_call(static_cast<CallStmt&>(s));
+          body.erase(body.begin() + static_cast<std::ptrdiff_t>(i));
+          for (std::size_t k = 0; k < inlined.size(); ++k) {
+            body.insert(body.begin() + static_cast<std::ptrdiff_t>(i + k),
+                        std::move(inlined[k]));
+          }
+          i += inlined.size();
+          ++expanded;
+          break;
+        }
+        case StmtKind::Do:
+          expanded += expand_body(static_cast<DoStmt&>(s).body);
+          ++i;
+          break;
+        case StmtKind::If: {
+          auto& f = static_cast<IfStmt&>(s);
+          expanded += expand_body(f.then_body);
+          expanded += expand_body(f.else_body);
+          ++i;
+          break;
+        }
+        default:
+          ++i;
+          break;
+      }
+      if (diags_.has_errors()) break;
+    }
+    return expanded;
+  }
+
+  std::vector<StmtPtr> expand_call(CallStmt& call) {
+    std::vector<StmtPtr> out;
+    if (call.procedure < 0) {
+      diags_.error(call.loc, "unresolved call to '" + call.name + "'");
+      return out;
+    }
+    const Procedure& proc = prog_.procedures[static_cast<std::size_t>(call.procedure)];
+    AL_ASSERT(call.args.size() == proc.params.size());
+
+    std::map<int, Binding> bind;  // callee symbol -> caller binding
+
+    // 1. Formal parameters.
+    for (std::size_t k = 0; k < proc.params.size(); ++k) {
+      const int formal = proc.params[k];
+      const Symbol& fsym = proc.symbols.at(formal);
+      const Expr& actual = *call.args[k];
+      Binding b;
+      if (fsym.kind == SymbolKind::Array) {
+        AL_ASSERT(actual.kind == ExprKind::Var);
+        b.kind = Binding::Kind::RenameTo;
+        b.caller_symbol = static_cast<const VarExpr&>(actual).symbol;
+      } else if (actual.kind == ExprKind::Var &&
+                 static_cast<const VarExpr&>(actual).symbol >= 0 &&
+                 prog_.symbols.at(static_cast<const VarExpr&>(actual).symbol).kind ==
+                     SymbolKind::Scalar) {
+        b.kind = Binding::Kind::RenameTo;
+        b.caller_symbol = static_cast<const VarExpr&>(actual).symbol;
+      } else {
+        // Expression actual: only legal if the callee never assigns it.
+        if (body_assigns_symbol(proc.body, formal)) {
+          diags_.error(call.loc, "argument " + std::to_string(k + 1) + " of '" +
+                                     call.name +
+                                     "' is an expression but the subroutine assigns "
+                                     "the corresponding formal '" +
+                                     fsym.name + "'");
+          return out;
+        }
+        b.kind = Binding::Kind::Substitute;
+        b.expr = &actual;
+      }
+      bind[formal] = b;
+    }
+
+    // 2. Callee locals (and PARAMETERs): fresh caller symbols.
+    for (int cs = 0; cs < proc.symbols.size(); ++cs) {
+      if (bind.count(cs) != 0) continue;
+      const Symbol& local = proc.symbols.at(cs);
+      Symbol fresh = local;
+      fresh.name = unique_name(local.name + "_" + proc.name);
+      const int idx = prog_.symbols.add(fresh);
+      AL_ASSERT(idx >= 0);
+      Binding b;
+      b.kind = Binding::Kind::RenameTo;
+      b.caller_symbol = idx;
+      bind[cs] = b;
+    }
+
+    // 3. Clone the body under the binding.
+    for (const StmtPtr& s : proc.body) {
+      StmtPtr cloned = clone_stmt(*s);
+      rewrite_stmt(*cloned, bind, call.loc);
+      out.push_back(std::move(cloned));
+      if (diags_.has_errors()) break;
+    }
+    return out;
+  }
+
+  std::string unique_name(const std::string& base) {
+    std::string name = base;
+    while (prog_.symbols.lookup(name) >= 0) {
+      name = base + "_" + std::to_string(counter_++);
+    }
+    return name;
+  }
+
+  void rewrite_expr(ExprPtr& e, const std::map<int, Binding>& bind, SourceLoc site) {
+    switch (e->kind) {
+      case ExprKind::IntConst:
+      case ExprKind::RealConst:
+        return;
+      case ExprKind::Var: {
+        auto& v = static_cast<VarExpr&>(*e);
+        const auto it = bind.find(v.symbol);
+        if (it == bind.end()) return;
+        if (it->second.kind == Binding::Kind::RenameTo) {
+          v.symbol = it->second.caller_symbol;
+          v.name = prog_.symbols.at(v.symbol).name;
+        } else {
+          e = clone_expr(*it->second.expr);
+        }
+        return;
+      }
+      case ExprKind::ArrayRef: {
+        auto& r = static_cast<ArrayRefExpr&>(*e);
+        const auto it = bind.find(r.symbol);
+        if (it != bind.end()) {
+          AL_ASSERT(it->second.kind == Binding::Kind::RenameTo);
+          r.symbol = it->second.caller_symbol;
+          r.name = prog_.symbols.at(r.symbol).name;
+        }
+        for (auto& sub : r.subscripts) rewrite_expr(sub, bind, site);
+        return;
+      }
+      case ExprKind::Unary:
+        rewrite_expr(static_cast<UnaryExpr&>(*e).operand, bind, site);
+        return;
+      case ExprKind::Binary: {
+        auto& b = static_cast<BinaryExpr&>(*e);
+        rewrite_expr(b.lhs, bind, site);
+        rewrite_expr(b.rhs, bind, site);
+        return;
+      }
+      case ExprKind::Intrinsic: {
+        auto& c = static_cast<IntrinsicExpr&>(*e);
+        for (auto& a : c.args) rewrite_expr(a, bind, site);
+        return;
+      }
+    }
+  }
+
+  void rewrite_stmt(Stmt& s, const std::map<int, Binding>& bind, SourceLoc site) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        auto& a = static_cast<AssignStmt&>(s);
+        rewrite_expr(a.lhs, bind, site);
+        rewrite_expr(a.rhs, bind, site);
+        return;
+      }
+      case StmtKind::Do: {
+        auto& d = static_cast<DoStmt&>(s);
+        const auto it = bind.find(d.symbol);
+        if (it != bind.end()) {
+          AL_ASSERT(it->second.kind == Binding::Kind::RenameTo);
+          d.symbol = it->second.caller_symbol;
+          d.var = prog_.symbols.at(d.symbol).name;
+        }
+        rewrite_expr(d.lo, bind, site);
+        rewrite_expr(d.hi, bind, site);
+        if (d.step) rewrite_expr(d.step, bind, site);
+        for (auto& b : d.body) rewrite_stmt(*b, bind, site);
+        return;
+      }
+      case StmtKind::If: {
+        auto& i = static_cast<IfStmt&>(s);
+        rewrite_expr(i.cond, bind, site);
+        for (auto& b : i.then_body) rewrite_stmt(*b, bind, site);
+        for (auto& b : i.else_body) rewrite_stmt(*b, bind, site);
+        return;
+      }
+      case StmtKind::Call: {
+        auto& c = static_cast<CallStmt&>(s);
+        for (auto& a : c.args) rewrite_expr(a, bind, site);
+        return;
+      }
+      case StmtKind::Continue:
+        return;
+    }
+  }
+
+  Program& prog_;
+  DiagnosticEngine& diags_;
+  int counter_ = 0;
+};
+
+bool body_has_calls(const std::vector<StmtPtr>& body) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::Call:
+        return true;
+      case StmtKind::Do:
+        if (body_has_calls(static_cast<const DoStmt&>(*s).body)) return true;
+        break;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        if (body_has_calls(i.then_body) || body_has_calls(i.else_body)) return true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+int inline_calls(Program& prog, DiagnosticEngine& diags) {
+  return Inliner(prog, diags).run();
+}
+
+bool has_calls(const Program& prog) {
+  return body_has_calls(prog.body);
+}
+
+} // namespace al::fortran

@@ -1,0 +1,30 @@
+// Subroutine inlining.
+//
+// The paper's prototype performs only intra-procedural analysis; the
+// authors hand-inlined Erlebacher to run their experiments and list
+// multi-procedure support as future work. This pass automates that step:
+// every CALL in the main program is replaced by the callee's body with
+//   * whole-array actuals bound by renaming (the formal becomes an alias
+//     of the caller's array -- the regular-problem calling convention),
+//   * scalar VARIABLE actuals bound by renaming,
+//   * scalar EXPRESSION actuals substituted textually (legal only when the
+//     formal is never assigned),
+//   * callee locals and PARAMETERs cloned into the caller under fresh
+//     names.
+// Recursion is rejected.
+#pragma once
+
+#include "fortran/ast.hpp"
+
+namespace al::fortran {
+
+/// Expands every CALL reachable from the main body. Returns the number of
+/// call sites expanded; reports problems (recursion, bad bindings) to
+/// `diags`. On error the program may be partially inlined -- treat it as
+/// unusable.
+int inline_calls(Program& prog, DiagnosticEngine& diags);
+
+/// Convenience: true if the main body (transitively) contains a CALL.
+[[nodiscard]] bool has_calls(const Program& prog);
+
+} // namespace al::fortran

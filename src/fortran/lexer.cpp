@@ -1,0 +1,305 @@
+#include "fortran/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/text.hpp"
+
+namespace al::fortran {
+
+const char* to_string(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Newline: return "<newline>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::Comma: return ",";
+    case Tok::Assign: return "=";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Power: return "**";
+    case Tok::Colon: return ":";
+    case Tok::Lt: return ".lt.";
+    case Tok::Le: return ".le.";
+    case Tok::Gt: return ".gt.";
+    case Tok::Ge: return ".ge.";
+    case Tok::EqEq: return ".eq.";
+    case Tok::Ne: return ".ne.";
+    case Tok::And: return ".and.";
+    case Tok::Or: return ".or.";
+    case Tok::Not: return ".not.";
+    case Tok::ProbDirective: return "!al$ prob";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+public:
+  Lexer(std::string_view src, DiagnosticEngine& diags) : src_(src), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    bool line_has_tokens = false;
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '\n') {
+        advance();
+        ++line_;
+        col_ = 1;
+        if (line_has_tokens) out.push_back(make(Tok::Newline));
+        line_has_tokens = false;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        advance();
+        continue;
+      }
+      // Full-line fixed-form comments.
+      if (col_ == 1 && (c == 'c' || c == 'C' || c == '*')) {
+        skip_to_eol();
+        continue;
+      }
+      if (c == '!') {
+        if (lex_directive(out)) {
+          line_has_tokens = true;
+        } else {
+          skip_to_eol();
+        }
+        continue;
+      }
+      if (c == '&') {  // continuation: swallow up to and including newline
+        advance();
+        while (!at_end() && peek() != '\n') advance();
+        if (!at_end()) {
+          advance();
+          ++line_;
+          col_ = 1;
+        }
+        continue;
+      }
+      line_has_tokens = true;
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        out.push_back(lex_number());
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(lex_ident());
+        continue;
+      }
+      if (c == '.') {
+        out.push_back(lex_dot_operator());
+        continue;
+      }
+      out.push_back(lex_punct());
+    }
+    if (line_has_tokens) out.push_back(make(Tok::Newline));
+    out.push_back(make(Tok::End));
+    return out;
+  }
+
+private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t k = 0) const {
+    return pos_ + k < src_.size() ? src_[pos_ + k] : '\0';
+  }
+  char advance() {
+    ++col_;
+    return src_[pos_++];
+  }
+  [[nodiscard]] Token make(Tok kind, std::string text = {}) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.loc = SourceLoc{line_, col_};
+    return t;
+  }
+  void skip_to_eol() {
+    while (!at_end() && peek() != '\n') advance();
+  }
+
+  // "!al$ prob(0.05)" -> ProbDirective token; any other comment returns false.
+  bool lex_directive(std::vector<Token>& out) {
+    const std::string_view rest = src_.substr(pos_);
+    if (!starts_with_ci(rest, "!al$")) return false;
+    std::size_t i = 4;
+    auto skip_ws = [&] {
+      while (i < rest.size() && (rest[i] == ' ' || rest[i] == '\t')) ++i;
+    };
+    skip_ws();
+    if (!starts_with_ci(rest.substr(i), "prob")) {
+      diags_.warning(SourceLoc{line_, col_}, "unknown !al$ directive ignored");
+      return false;
+    }
+    i += 4;
+    skip_ws();
+    if (i >= rest.size() || rest[i] != '(') {
+      diags_.error(SourceLoc{line_, col_}, "expected '(' after !al$ prob");
+      return false;
+    }
+    ++i;
+    char* endp = nullptr;
+    const double v = std::strtod(rest.data() + i, &endp);
+    std::size_t j = static_cast<std::size_t>(endp - rest.data());
+    while (j < rest.size() && (rest[j] == ' ' || rest[j] == '\t')) ++j;
+    if (j >= rest.size() || rest[j] != ')') {
+      diags_.error(SourceLoc{line_, col_}, "malformed !al$ prob directive");
+      return false;
+    }
+    Token t = make(Tok::ProbDirective);
+    t.real_value = v;
+    out.push_back(std::move(t));
+    // Consume the directive text (parser expects a following newline token).
+    const std::size_t len = j + 1;
+    pos_ += len;
+    col_ += static_cast<std::uint32_t>(len);
+    return true;
+  }
+
+  Token lex_number() {
+    const SourceLoc loc{line_, col_};
+    std::string spell;
+    bool is_real = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) spell.push_back(advance());
+    if (peek() == '.' &&
+        !(std::isalpha(static_cast<unsigned char>(peek(1))))) {  // not ".lt." etc
+      is_real = true;
+      spell.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek()))) spell.push_back(advance());
+    }
+    char e = peek();
+    if (e == 'e' || e == 'E' || e == 'd' || e == 'D') {
+      const char sign = peek(1);
+      const char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        is_real = true;
+        advance();  // exponent letter; normalize 'd' to 'e' for strtod
+        spell.push_back('e');
+        if (sign == '+' || sign == '-') spell.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek()))) spell.push_back(advance());
+      }
+    }
+    Token t;
+    t.loc = loc;
+    t.text = spell;
+    if (is_real) {
+      t.kind = Tok::RealLit;
+      t.real_value = std::strtod(spell.c_str(), nullptr);
+    } else {
+      t.kind = Tok::IntLit;
+      t.int_value = std::strtol(spell.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  Token lex_ident() {
+    const SourceLoc loc{line_, col_};
+    std::string s;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(advance()))));
+    Token t;
+    t.kind = Tok::Ident;
+    t.loc = loc;
+    t.text = std::move(s);
+    return t;
+  }
+
+  Token lex_dot_operator() {
+    const SourceLoc loc{line_, col_};
+    // Collect ".xxxx."
+    std::string s;
+    s.push_back(advance());  // '.'
+    while (std::isalpha(static_cast<unsigned char>(peek())))
+      s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(advance()))));
+    if (peek() == '.') {
+      s.push_back(advance());
+    }
+    Token t;
+    t.loc = loc;
+    t.text = s;
+    if (s == ".lt.") t.kind = Tok::Lt;
+    else if (s == ".le.") t.kind = Tok::Le;
+    else if (s == ".gt.") t.kind = Tok::Gt;
+    else if (s == ".ge.") t.kind = Tok::Ge;
+    else if (s == ".eq.") t.kind = Tok::EqEq;
+    else if (s == ".ne.") t.kind = Tok::Ne;
+    else if (s == ".and.") t.kind = Tok::And;
+    else if (s == ".or.") t.kind = Tok::Or;
+    else if (s == ".not.") t.kind = Tok::Not;
+    else {
+      diags_.error(loc, "unknown operator '" + s + "'");
+      t.kind = Tok::Newline;  // harmless placeholder
+    }
+    return t;
+  }
+
+  Token lex_punct() {
+    const SourceLoc loc{line_, col_};
+    const char c = advance();
+    Token t;
+    t.loc = loc;
+    t.text = std::string(1, c);
+    switch (c) {
+      case '(': t.kind = Tok::LParen; break;
+      case ')': t.kind = Tok::RParen; break;
+      case ',': t.kind = Tok::Comma; break;
+      case '+': t.kind = Tok::Plus; break;
+      case '-': t.kind = Tok::Minus; break;
+      case '/': t.kind = Tok::Slash; break;
+      case ':': t.kind = Tok::Colon; break;
+      case '*':
+        if (peek() == '*') {
+          advance();
+          t.kind = Tok::Power;
+          t.text = "**";
+        } else {
+          t.kind = Tok::Star;
+        }
+        break;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          t.kind = Tok::EqEq;
+          t.text = "==";
+        } else {
+          t.kind = Tok::Assign;
+        }
+        break;
+      case '<':
+        if (peek() == '=') { advance(); t.kind = Tok::Le; t.text = "<="; }
+        else t.kind = Tok::Lt;
+        break;
+      case '>':
+        if (peek() == '=') { advance(); t.kind = Tok::Ge; t.text = ">="; }
+        else t.kind = Tok::Gt;
+        break;
+      default:
+        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        t.kind = Tok::Newline;
+        break;
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags) {
+  return Lexer(source, diags).run();
+}
+
+} // namespace al::fortran

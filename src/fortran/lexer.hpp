@@ -1,0 +1,49 @@
+// Lexer for the Fortran-77 subset accepted by the assistant tool.
+//
+// The prototype in the paper restricts input programs to DO loops and IF
+// statements (section 3); the frontend here accepts a free-form-ish subset:
+//   * case-insensitive keywords and identifiers
+//   * '!' comments; 'c'/'C'/'*' full-line comments in column 1
+//   * '&' line continuation (at end of line)
+//   * integer and real literals with e/d exponents
+//   * the tool directive "!al$ prob(p)" annotating branch probabilities
+//     of the following IF statement (used for the Tomcatv experiment)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace al::fortran {
+
+enum class Tok {
+  End,        // end of input
+  Newline,    // statement separator
+  Ident,
+  IntLit,
+  RealLit,
+  // punctuation / operators
+  LParen, RParen, Comma, Assign, Plus, Minus, Star, Slash, Power, Colon,
+  // relational / logical (.lt. etc. and symbolic forms are normalized)
+  Lt, Le, Gt, Ge, EqEq, Ne, And, Or, Not,
+  // tool directive "!al$ prob(<real>)"
+  ProbDirective,
+};
+
+[[nodiscard]] const char* to_string(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;     // identifier (lower-cased) or literal spelling
+  long int_value = 0;   // for IntLit
+  double real_value = 0.0;  // for RealLit and ProbDirective
+  SourceLoc loc;
+};
+
+/// Tokenizes `source`. Lexical errors are reported to `diags`; the returned
+/// stream is still usable (offending characters are skipped).
+[[nodiscard]] std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags);
+
+} // namespace al::fortran

@@ -1,0 +1,551 @@
+#include "fortran/parser.hpp"
+
+#include <utility>
+
+#include "fortran/lexer.hpp"
+#include "fortran/sema.hpp"
+#include "fortran/symbols.hpp"
+#include "support/contracts.hpp"
+
+namespace al::fortran {
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> toks, DiagnosticEngine& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  std::optional<Program> run() {
+    Program prog;
+    skip_newlines();
+    if (is_kw("program")) {
+      next();
+      prog.name = expect_ident("program name");
+      expect(Tok::Newline);
+    } else {
+      prog.name = "main";
+    }
+    parse_declarations(prog.symbols);
+    parse_statement_list(prog.symbols, prog.body, /*terminators=*/{"end"});
+    if (is_kw("end")) {
+      next();
+      skip_newlines();
+    }
+    // SUBROUTINE units after the main program.
+    while (is_kw("subroutine")) {
+      parse_subroutine(prog);
+      skip_newlines();
+    }
+    if (!is(Tok::End)) {
+      diags_.error(cur().loc, "trailing input after the last program unit");
+    }
+    if (diags_.has_errors()) return std::nullopt;
+    return prog;
+  }
+
+private:
+  // ---- token plumbing ----------------------------------------------------
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& ahead(std::size_t k) const {
+    const std::size_t i = std::min(pos_ + k, toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& next() {
+    const Token& t = toks_[pos_];
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  [[nodiscard]] bool is(Tok k) const { return cur().kind == k; }
+  [[nodiscard]] bool is_kw(std::string_view kw) const {
+    return cur().kind == Tok::Ident && cur().text == kw;
+  }
+  void skip_newlines() {
+    while (is(Tok::Newline)) next();
+  }
+  void expect(Tok k) {
+    if (!is(k)) {
+      diags_.error(cur().loc, std::string("expected ") + to_string(k) + ", found '" +
+                                  (cur().text.empty() ? to_string(cur().kind) : cur().text) + "'");
+      recover_to_newline();
+      return;
+    }
+    next();
+  }
+  std::string expect_ident(const char* what) {
+    if (!is(Tok::Ident)) {
+      diags_.error(cur().loc, std::string("expected ") + what);
+      recover_to_newline();
+      return "<error>";
+    }
+    return next().text;
+  }
+  void recover_to_newline() {
+    while (!is(Tok::Newline) && !is(Tok::End)) next();
+    if (is(Tok::Newline)) next();
+  }
+
+  // ---- program units -------------------------------------------------------
+  void parse_subroutine(Program& prog) {
+    const SourceLoc loc = cur().loc;
+    next();  // 'subroutine'
+    Procedure proc;
+    proc.name = expect_ident("subroutine name");
+    if (prog.find_procedure(proc.name) >= 0 ||
+        (!prog.name.empty() && proc.name == prog.name)) {
+      diags_.error(loc, "duplicate program unit '" + proc.name + "'");
+    }
+    std::vector<std::string> param_names;
+    if (is(Tok::LParen)) {
+      next();
+      if (!is(Tok::RParen)) {
+        for (;;) {
+          param_names.push_back(expect_ident("parameter name"));
+          if (is(Tok::Comma)) {
+            next();
+            continue;
+          }
+          break;
+        }
+      }
+      expect(Tok::RParen);
+    }
+    expect(Tok::Newline);
+    parse_declarations(proc.symbols);
+    // Formal parameters: declared above, or implicitly typed scalars.
+    for (const std::string& pn : param_names) {
+      int idx = proc.symbols.lookup(pn);
+      if (idx < 0) {
+        Symbol s;
+        s.name = pn;
+        s.kind = SymbolKind::Scalar;
+        s.type = (!pn.empty() && pn[0] >= 'i' && pn[0] <= 'n') ? ScalarType::Integer
+                                                               : ScalarType::Real;
+        idx = proc.symbols.add(std::move(s));
+      }
+      proc.params.push_back(idx);
+    }
+    parse_statement_list(proc.symbols, proc.body, {"end"});
+    if (is_kw("end")) {
+      next();
+    } else {
+      diags_.error(cur().loc, "expected 'end' closing subroutine '" + proc.name + "'");
+    }
+    prog.procedures.push_back(std::move(proc));
+  }
+
+  // ---- declarations --------------------------------------------------------
+  void parse_declarations(SymbolTable& symbols) {
+    for (;;) {
+      skip_newlines();
+      if (is_kw("integer")) {
+        next();
+        parse_type_decl(symbols, ScalarType::Integer);
+      } else if (is_kw("real")) {
+        next();
+        parse_type_decl(symbols, ScalarType::Real);
+      } else if (is_kw("double")) {
+        next();
+        if (is_kw("precision")) next();
+        else diags_.error(cur().loc, "expected 'precision' after 'double'");
+        parse_type_decl(symbols, ScalarType::DoublePrecision);
+      } else if (is_kw("doubleprecision")) {
+        next();
+        parse_type_decl(symbols, ScalarType::DoublePrecision);
+      } else if (is_kw("parameter")) {
+        next();
+        parse_parameter_decl(symbols);
+      } else {
+        return;
+      }
+    }
+  }
+
+  void parse_type_decl(SymbolTable& symtab, ScalarType type) {
+    for (;;) {
+      const SourceLoc loc = cur().loc;
+      std::string name = expect_ident("declared name");
+      Symbol sym;
+      sym.name = name;
+      sym.type = type;
+      if (is(Tok::LParen)) {
+        next();
+        sym.kind = SymbolKind::Array;
+        for (;;) {
+          ArrayBound b;
+          long first = parse_const_expr(symtab);
+          if (is(Tok::Colon)) {
+            next();
+            b.lower = first;
+            b.upper = parse_const_expr(symtab);
+          } else {
+            b.lower = 1;
+            b.upper = first;
+          }
+          if (b.upper < b.lower)
+            diags_.error(loc, "array '" + name + "': empty dimension");
+          sym.dims.push_back(b);
+          if (is(Tok::Comma)) {
+            next();
+            continue;
+          }
+          break;
+        }
+        expect(Tok::RParen);
+        if (sym.dims.size() > 7)
+          diags_.error(loc, "array '" + name + "': more than 7 dimensions");
+      } else {
+        sym.kind = SymbolKind::Scalar;
+      }
+      if (symtab.add(std::move(sym)) < 0)
+        diags_.error(loc, "redeclaration of '" + name + "'");
+      if (is(Tok::Comma)) {
+        next();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::Newline);
+  }
+
+  void parse_parameter_decl(SymbolTable& symtab) {
+    expect(Tok::LParen);
+    for (;;) {
+      const SourceLoc loc = cur().loc;
+      std::string name = expect_ident("parameter name");
+      expect(Tok::Assign);
+      const long value = parse_const_expr(symtab);
+      Symbol sym;
+      sym.name = name;
+      sym.kind = SymbolKind::Parameter;
+      sym.type = ScalarType::Integer;
+      sym.param_value = value;
+      if (symtab.add(std::move(sym)) < 0)
+        diags_.error(loc, "redeclaration of '" + name + "'");
+      if (is(Tok::Comma)) {
+        next();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::RParen);
+    expect(Tok::Newline);
+  }
+
+  /// Parses an expression and folds it to an integer constant (PARAMETERs
+  /// are substituted). Used for array bounds and parameter values.
+  long parse_const_expr(const SymbolTable& symtab) {
+    ExprPtr e = parse_expr();
+    if (!e) return 1;
+    const auto v = fold_integer_constant(*e, symtab);
+    if (!v) {
+      diags_.error(e->loc, "expression must be an integer constant: " + to_string(*e));
+      return 1;
+    }
+    return *v;
+  }
+
+  // ---- statements ------------------------------------------------------------
+  // Parses until one of `terminators` (statement-initial keyword) is seen;
+  // the terminator is left unconsumed.
+  void parse_statement_list(const SymbolTable& symtab, std::vector<StmtPtr>& out,
+                            std::vector<std::string_view> terminators) {
+    for (;;) {
+      skip_newlines();
+      if (is(Tok::End)) return;
+      for (std::string_view t : terminators) {
+        if (is_kw(t)) return;
+      }
+      // "end do" / "end if" spelled as two tokens also terminate.
+      if (is_kw("end") && (ahead(1).kind == Tok::Ident)) return;
+      StmtPtr s = parse_statement(symtab);
+      if (s) out.push_back(std::move(s));
+    }
+  }
+
+  StmtPtr parse_statement(const SymbolTable& symtab) {
+    const SourceLoc loc = cur().loc;
+    if (is(Tok::ProbDirective)) {
+      const double p = next().real_value;
+      skip_newlines();
+      StmtPtr s = parse_statement(symtab);
+      if (s && s->kind == StmtKind::If) {
+        static_cast<IfStmt&>(*s).branch_probability = p;
+      } else {
+        diags_.warning(loc, "!al$ prob directive must precede an IF; ignored");
+      }
+      return s;
+    }
+    if (is_kw("do") && ahead(1).kind == Tok::Ident && ahead(2).kind == Tok::Assign) {
+      return parse_do(symtab);
+    }
+    if (is_kw("if") && ahead(1).kind == Tok::LParen) {
+      return parse_if(symtab);
+    }
+    if (is_kw("continue") || is_kw("return")) {
+      next();
+      expect(Tok::Newline);
+      return std::make_unique<ContinueStmt>(loc);
+    }
+    if (is_kw("call") && ahead(1).kind == Tok::Ident) {
+      next();
+      std::string name = expect_ident("subroutine name");
+      std::vector<ExprPtr> args;
+      if (is(Tok::LParen)) {
+        next();
+        if (!is(Tok::RParen)) {
+          for (;;) {
+            args.push_back(parse_expr());
+            if (is(Tok::Comma)) {
+              next();
+              continue;
+            }
+            break;
+          }
+        }
+        expect(Tok::RParen);
+      }
+      expect(Tok::Newline);
+      return std::make_unique<CallStmt>(std::move(name), std::move(args), loc);
+    }
+    if (is(Tok::Ident)) {
+      return parse_assignment(loc);
+    }
+    diags_.error(loc, "expected a statement, found '" +
+                          (cur().text.empty() ? to_string(cur().kind) : cur().text) + "'");
+    recover_to_newline();
+    return nullptr;
+  }
+
+  StmtPtr parse_do(const SymbolTable& symtab) {
+    const SourceLoc loc = cur().loc;
+    next();  // 'do'
+    std::string var = expect_ident("loop variable");
+    expect(Tok::Assign);
+    ExprPtr lo = parse_expr();
+    expect(Tok::Comma);
+    ExprPtr hi = parse_expr();
+    ExprPtr step;
+    if (is(Tok::Comma)) {
+      next();
+      step = parse_expr();
+    }
+    expect(Tok::Newline);
+    auto stmt = std::make_unique<DoStmt>(std::move(var), std::move(lo), std::move(hi),
+                                         std::move(step), loc);
+    parse_statement_list(symtab, stmt->body, {"enddo", "end"});
+    if (is_kw("enddo")) {
+      next();
+    } else if (is_kw("end") && ahead(1).kind == Tok::Ident && ahead(1).text == "do") {
+      next();
+      next();
+    } else {
+      diags_.error(cur().loc, "expected 'enddo'");
+    }
+    expect(Tok::Newline);
+    return stmt;
+  }
+
+  StmtPtr parse_if(const SymbolTable& symtab) {
+    const SourceLoc loc = cur().loc;
+    next();  // 'if'
+    expect(Tok::LParen);
+    ExprPtr cond = parse_expr();
+    expect(Tok::RParen);
+    auto stmt = std::make_unique<IfStmt>(std::move(cond), loc);
+    if (is_kw("then")) {
+      next();
+      expect(Tok::Newline);
+      parse_statement_list(symtab, stmt->then_body, {"else", "elseif", "endif", "end"});
+      if (is_kw("else")) {
+        next();
+        expect(Tok::Newline);
+        parse_statement_list(symtab, stmt->else_body, {"endif", "end"});
+      }
+      if (is_kw("endif")) {
+        next();
+      } else if (is_kw("end") && ahead(1).kind == Tok::Ident && ahead(1).text == "if") {
+        next();
+        next();
+      } else {
+        diags_.error(cur().loc, "expected 'endif'");
+      }
+      expect(Tok::Newline);
+    } else {
+      // One-line logical IF: the sole body statement shares the line.
+      StmtPtr body = parse_statement(symtab);
+      if (body) stmt->then_body.push_back(std::move(body));
+    }
+    return stmt;
+  }
+
+  StmtPtr parse_assignment(SourceLoc loc) {
+    ExprPtr lhs = parse_primary();
+    if (!lhs || (lhs->kind != ExprKind::Var && lhs->kind != ExprKind::ArrayRef)) {
+      diags_.error(loc, "invalid assignment target");
+      recover_to_newline();
+      return nullptr;
+    }
+    expect(Tok::Assign);
+    ExprPtr rhs = parse_expr();
+    expect(Tok::Newline);
+    return std::make_unique<AssignStmt>(std::move(lhs), std::move(rhs), loc);
+  }
+
+  // ---- expressions (precedence climbing) ------------------------------------
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (is(Tok::Or)) {
+      const SourceLoc loc = next().loc;
+      e = std::make_unique<BinaryExpr>(BinOp::Or, std::move(e), parse_and(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_not();
+    while (is(Tok::And)) {
+      const SourceLoc loc = next().loc;
+      e = std::make_unique<BinaryExpr>(BinOp::And, std::move(e), parse_not(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_not() {
+    if (is(Tok::Not)) {
+      const SourceLoc loc = next().loc;
+      return std::make_unique<UnaryExpr>(UnOp::Not, parse_not(), loc);
+    }
+    return parse_relational();
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_additive();
+    for (;;) {
+      BinOp op;
+      if (is(Tok::Lt)) op = BinOp::Lt;
+      else if (is(Tok::Le)) op = BinOp::Le;
+      else if (is(Tok::Gt)) op = BinOp::Gt;
+      else if (is(Tok::Ge)) op = BinOp::Ge;
+      else if (is(Tok::EqEq)) op = BinOp::Eq;
+      else if (is(Tok::Ne)) op = BinOp::Ne;
+      else return e;
+      const SourceLoc loc = next().loc;
+      e = std::make_unique<BinaryExpr>(op, std::move(e), parse_additive(), loc);
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    for (;;) {
+      BinOp op;
+      if (is(Tok::Plus)) op = BinOp::Add;
+      else if (is(Tok::Minus)) op = BinOp::Sub;
+      else return e;
+      const SourceLoc loc = next().loc;
+      e = std::make_unique<BinaryExpr>(op, std::move(e), parse_multiplicative(), loc);
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    for (;;) {
+      BinOp op;
+      if (is(Tok::Star)) op = BinOp::Mul;
+      else if (is(Tok::Slash)) op = BinOp::Div;
+      else return e;
+      const SourceLoc loc = next().loc;
+      e = std::make_unique<BinaryExpr>(op, std::move(e), parse_unary(), loc);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (is(Tok::Minus)) {
+      const SourceLoc loc = next().loc;
+      return std::make_unique<UnaryExpr>(UnOp::Neg, parse_unary(), loc);
+    }
+    if (is(Tok::Plus)) {
+      const SourceLoc loc = next().loc;
+      return std::make_unique<UnaryExpr>(UnOp::Plus, parse_unary(), loc);
+    }
+    return parse_power();
+  }
+
+  ExprPtr parse_power() {
+    ExprPtr base = parse_primary();
+    if (is(Tok::Power)) {
+      const SourceLoc loc = next().loc;
+      // '**' is right-associative; exponent may itself be unary.
+      ExprPtr exp = parse_unary();
+      return std::make_unique<BinaryExpr>(BinOp::Pow, std::move(base), std::move(exp), loc);
+    }
+    return base;
+  }
+
+  ExprPtr parse_primary() {
+    const SourceLoc loc = cur().loc;
+    if (is(Tok::IntLit)) {
+      return std::make_unique<IntConstExpr>(next().int_value, loc);
+    }
+    if (is(Tok::RealLit)) {
+      return std::make_unique<RealConstExpr>(next().real_value, loc);
+    }
+    if (is(Tok::LParen)) {
+      next();
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen);
+      return e;
+    }
+    if (is(Tok::Ident)) {
+      std::string name = next().text;
+      if (is(Tok::LParen)) {
+        next();
+        std::vector<ExprPtr> args;
+        if (!is(Tok::RParen)) {
+          for (;;) {
+            args.push_back(parse_expr());
+            if (is(Tok::Comma)) {
+              next();
+              continue;
+            }
+            break;
+          }
+        }
+        expect(Tok::RParen);
+        // Array reference vs intrinsic call is disambiguated in sema.
+        return std::make_unique<ArrayRefExpr>(std::move(name), std::move(args), loc);
+      }
+      return std::make_unique<VarExpr>(std::move(name), loc);
+    }
+    diags_.error(loc, "expected an expression, found '" +
+                          (cur().text.empty() ? to_string(cur().kind) : cur().text) + "'");
+    recover_to_newline();
+    return std::make_unique<IntConstExpr>(0, loc);
+  }
+
+  std::vector<Token> toks_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<Program> parse_program(std::string_view source, DiagnosticEngine& diags) {
+  std::vector<Token> toks = lex(source, diags);
+  if (diags.has_errors()) return std::nullopt;
+  Parser p(std::move(toks), diags);
+  return p.run();
+}
+
+Program parse_and_check(std::string_view source) {
+  DiagnosticEngine diags;
+  std::optional<Program> prog = parse_program(source, diags);
+  if (!prog || diags.has_errors())
+    throw FatalError("parse failed:\n" + diags.str());
+  analyze(*prog, diags);
+  if (diags.has_errors()) throw FatalError("semantic analysis failed:\n" + diags.str());
+  return std::move(*prog);
+}
+
+} // namespace al::fortran

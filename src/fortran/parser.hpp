@@ -1,0 +1,23 @@
+// Recursive-descent parser for the Fortran subset (see lexer.hpp for the
+// lexical rules). Declarations are folded into the symbol table as they are
+// parsed; PARAMETER values are substituted immediately so that array bounds
+// are constants by the time parsing finishes.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "fortran/ast.hpp"
+
+namespace al::fortran {
+
+/// Parses one program unit. On error, diagnostics are filed in `diags` and
+/// nullopt is returned.
+[[nodiscard]] std::optional<Program> parse_program(std::string_view source,
+                                                   DiagnosticEngine& diags);
+
+/// Convenience for tests and the driver: parse + run semantic analysis;
+/// throws FatalError (with diagnostics rendered in the message) on failure.
+[[nodiscard]] Program parse_and_check(std::string_view source);
+
+} // namespace al::fortran

@@ -1,0 +1,259 @@
+#include "fortran/scalar_expand.hpp"
+
+#include <map>
+#include <vector>
+
+#include "fortran/symbols.hpp"
+#include "support/contracts.hpp"
+
+namespace al::fortran {
+namespace {
+
+struct LoopFrame {
+  int iv_symbol = -1;
+  std::string iv_name;
+  long lo = 1;
+  long hi = 1;
+  bool exact = false;
+};
+
+/// One textual occurrence of a scalar.
+struct Occurrence {
+  ExprPtr* slot = nullptr;  ///< where the VarExpr lives (replaceable)
+  bool is_write = false;
+  bool rhs_reads_self = false;            ///< for writes: RHS mentions the scalar
+  std::vector<LoopFrame> chain;           ///< enclosing loops, outermost first
+};
+
+bool mentions(const Expr& e, int sym) {
+  switch (e.kind) {
+    case ExprKind::Var:
+      return static_cast<const VarExpr&>(e).symbol == sym;
+    case ExprKind::ArrayRef: {
+      const auto& r = static_cast<const ArrayRefExpr&>(e);
+      for (const auto& s : r.subscripts) {
+        if (mentions(*s, sym)) return true;
+      }
+      return false;
+    }
+    case ExprKind::Unary:
+      return mentions(*static_cast<const UnaryExpr&>(e).operand, sym);
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return mentions(*b.lhs, sym) || mentions(*b.rhs, sym);
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      for (const auto& a : c.args) {
+        if (mentions(*a, sym)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Collects scalar occurrences within one statement subtree.
+class Collector {
+public:
+  Collector(const SymbolTable& symbols,
+            std::map<int, std::vector<Occurrence>>& out)
+      : symbols_(symbols), out_(out) {}
+
+  void walk_body(std::vector<StmtPtr>& body) {
+    for (auto& s : body) walk_stmt(*s);
+  }
+
+private:
+  void note(ExprPtr& slot, bool is_write, bool rhs_reads_self) {
+    const auto& v = static_cast<const VarExpr&>(*slot);
+    if (v.symbol < 0) return;
+    const Symbol& sym = symbols_.at(v.symbol);
+    if (sym.kind != SymbolKind::Scalar) return;
+    Occurrence occ;
+    occ.slot = &slot;
+    occ.is_write = is_write;
+    occ.rhs_reads_self = rhs_reads_self;
+    occ.chain = chain_;
+    out_[v.symbol].push_back(std::move(occ));
+  }
+
+  void walk_expr(ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::Var:
+        note(e, /*is_write=*/false, false);
+        return;
+      case ExprKind::ArrayRef: {
+        auto& r = static_cast<ArrayRefExpr&>(*e);
+        for (auto& s : r.subscripts) walk_expr(s);
+        return;
+      }
+      case ExprKind::Unary:
+        walk_expr(static_cast<UnaryExpr&>(*e).operand);
+        return;
+      case ExprKind::Binary: {
+        auto& b = static_cast<BinaryExpr&>(*e);
+        walk_expr(b.lhs);
+        walk_expr(b.rhs);
+        return;
+      }
+      case ExprKind::Intrinsic: {
+        auto& c = static_cast<IntrinsicExpr&>(*e);
+        for (auto& a : c.args) walk_expr(a);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  void walk_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        auto& a = static_cast<AssignStmt&>(s);
+        if (a.lhs->kind == ExprKind::Var) {
+          const int sym = static_cast<const VarExpr&>(*a.lhs).symbol;
+          note(a.lhs, /*is_write=*/true, sym >= 0 && mentions(*a.rhs, sym));
+        } else {
+          walk_expr(a.lhs);
+        }
+        walk_expr(a.rhs);
+        return;
+      }
+      case StmtKind::Do: {
+        auto& d = static_cast<DoStmt&>(s);
+        walk_expr(d.lo);
+        walk_expr(d.hi);
+        if (d.step) walk_expr(d.step);
+        LoopFrame f;
+        f.iv_symbol = d.symbol;
+        f.iv_name = d.var;
+        const auto lo = fold_integer_constant(*d.lo, symbols_);
+        const auto hi = fold_integer_constant(*d.hi, symbols_);
+        const bool unit_step = d.step == nullptr;
+        f.exact = lo.has_value() && hi.has_value() && unit_step && *lo <= *hi;
+        f.lo = lo.value_or(1);
+        f.hi = hi.value_or(1);
+        chain_.push_back(f);
+        walk_body(d.body);
+        chain_.pop_back();
+        return;
+      }
+      case StmtKind::If: {
+        auto& i = static_cast<IfStmt&>(s);
+        walk_expr(i.cond);
+        walk_body(i.then_body);
+        walk_body(i.else_body);
+        return;
+      }
+      case StmtKind::Call: {
+        auto& c = static_cast<CallStmt&>(s);
+        for (auto& a : c.args) walk_expr(a);
+        return;
+      }
+      case StmtKind::Continue:
+        return;
+    }
+  }
+
+  const SymbolTable& symbols_;
+  std::map<int, std::vector<Occurrence>>& out_;
+  std::vector<LoopFrame> chain_;
+};
+
+bool same_chain(const std::vector<LoopFrame>& a, const std::vector<LoopFrame>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].iv_symbol != b[i].iv_symbol) return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int expand_scalars(Program& prog) {
+  // Occurrences per scalar, per top-level statement index (a scalar used in
+  // two different top-level nests is shared state and stays scalar).
+  std::map<int, std::vector<Occurrence>> occ;
+  std::map<int, int> top_of;  // scalar -> top-level stmt index (or -2 mixed)
+  for (std::size_t t = 0; t < prog.body.size(); ++t) {
+    // Walk this one top-level statement (temporarily moved into a
+    // single-element body so the collector's body-walker applies).
+    std::map<int, std::vector<Occurrence>> local;
+    std::vector<StmtPtr> view;
+    view.push_back(std::move(prog.body[t]));
+    Collector collector(prog.symbols, local);
+    collector.walk_body(view);
+    prog.body[t] = std::move(view.front());
+    for (auto& [sym, v] : local) {
+      auto it = top_of.find(sym);
+      if (it == top_of.end()) {
+        top_of[sym] = static_cast<int>(t);
+      } else if (it->second != static_cast<int>(t)) {
+        it->second = -2;  // crosses top-level statements: not expandable
+      }
+      auto& all = occ[sym];
+      all.insert(all.end(), std::make_move_iterator(v.begin()),
+                 std::make_move_iterator(v.end()));
+    }
+  }
+
+  // Collect DO variables (never expandable).
+  std::map<int, bool> is_iv;
+  for (const auto& [sym, v] : occ) {
+    for (const Occurrence& o : v) {
+      for (const LoopFrame& f : o.chain) is_iv[f.iv_symbol] = true;
+    }
+  }
+
+  int expanded = 0;
+  for (auto& [sym, v] : occ) {
+    if (top_of[sym] < 0) continue;
+    if (is_iv.count(sym) != 0) continue;
+    if (prog.symbols.at(sym).kind != SymbolKind::Scalar) continue;
+    if (v.empty() || v.front().chain.empty()) continue;
+    // First access must be a clean write; all chains identical and exact.
+    if (!v.front().is_write || v.front().rhs_reads_self) continue;
+    bool ok = true;
+    for (const Occurrence& o : v) {
+      if (!same_chain(o.chain, v.front().chain)) ok = false;
+      if (o.is_write && o.rhs_reads_self) ok = false;
+      for (const LoopFrame& f : o.chain) {
+        if (!f.exact) ok = false;
+      }
+    }
+    if (!ok) continue;
+
+    // Build the expanded array symbol.
+    const Symbol& old = prog.symbols.at(sym);
+    Symbol arr;
+    arr.kind = SymbolKind::Array;
+    arr.type = old.type;
+    arr.name = old.name + "_x";
+    while (prog.symbols.lookup(arr.name) >= 0) arr.name += "x";
+    for (const LoopFrame& f : v.front().chain) {
+      arr.dims.push_back(ArrayBound{f.lo, f.hi});
+    }
+    const int arr_sym = prog.symbols.add(arr);
+    AL_ASSERT(arr_sym >= 0);
+
+    // Replace every occurrence with arr(iv1, iv2, ...).
+    for (Occurrence& o : v) {
+      std::vector<ExprPtr> subs;
+      for (const LoopFrame& f : o.chain) {
+        auto iv = std::make_unique<VarExpr>(f.iv_name, (*o.slot)->loc);
+        iv->symbol = f.iv_symbol;
+        subs.push_back(std::move(iv));
+      }
+      auto ref = std::make_unique<ArrayRefExpr>(prog.symbols.at(arr_sym).name,
+                                                std::move(subs), (*o.slot)->loc);
+      ref->symbol = arr_sym;
+      *o.slot = std::move(ref);
+    }
+    ++expanded;
+  }
+  return expanded;
+}
+
+} // namespace al::fortran

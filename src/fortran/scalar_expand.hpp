@@ -1,0 +1,27 @@
+// Scalar expansion.
+//
+// The paper's prototype scalar-expanded all scalar temporaries before
+// alignment analysis (section 4: "the sizes of the 0-1 problems are quite
+// large since we scalar expanded all scalar temporaries") -- a temporary
+// assigned and used inside a loop nest becomes an array subscripted by the
+// enclosing induction variables, so it participates in the CAG and gets a
+// layout of its own instead of serializing or being ignored.
+//
+// A scalar S inside a top-level loop nest is expanded when
+//   * every reference to S in the program sits in that one nest, under the
+//     same chain of enclosing loops with constant bounds,
+//   * the first access is a WRITE whose right-hand side does not read S
+//     (reductions and carried scalars keep their scalar form),
+//   * S is not a DO variable.
+#pragma once
+
+#include "fortran/ast.hpp"
+
+namespace al::fortran {
+
+/// Expands eligible scalars in the main body. Returns the number of scalars
+/// expanded. Never changes program semantics; scalars that fail any
+/// condition are simply left alone.
+int expand_scalars(Program& prog);
+
+} // namespace al::fortran

@@ -1,0 +1,210 @@
+#include "fortran/sema.hpp"
+
+#include "fortran/symbols.hpp"
+#include "support/contracts.hpp"
+
+namespace al::fortran {
+namespace {
+
+/// Checks one program unit's body against its own symbol table. `prog` is
+/// consulted only for CALL resolution (subroutines are program-global).
+class Analyzer {
+public:
+  Analyzer(Program& prog, SymbolTable& symbols, DiagnosticEngine& diags)
+      : prog_(prog), symbols_(symbols), diags_(diags) {}
+
+  void run(std::vector<StmtPtr>& body) {
+    for (auto& s : body) check_stmt(*s);
+  }
+
+private:
+  /// Looks the name up, creating an implicitly-typed scalar on first use
+  /// (standard Fortran i-n rule). Arrays must be declared.
+  int resolve_scalar(const std::string& name, SourceLoc loc) {
+    int idx = symbols_.lookup(name);
+    if (idx >= 0) return idx;
+    Symbol s;
+    s.name = name;
+    s.kind = SymbolKind::Scalar;
+    s.type = (!name.empty() && name[0] >= 'i' && name[0] <= 'n') ? ScalarType::Integer
+                                                                 : ScalarType::Real;
+    idx = symbols_.add(std::move(s));
+    if (idx < 0) diags_.error(loc, "internal: could not create implicit symbol");
+    return idx;
+  }
+
+  void check_expr(ExprPtr& e) {
+    AL_ASSERT(e != nullptr);
+    switch (e->kind) {
+      case ExprKind::IntConst:
+      case ExprKind::RealConst:
+        return;
+      case ExprKind::Var: {
+        auto& v = static_cast<VarExpr&>(*e);
+        v.symbol = resolve_scalar(v.name, v.loc);
+        if (v.symbol >= 0 && symbols_.at(v.symbol).kind == SymbolKind::Array)
+          diags_.error(v.loc, "array '" + v.name + "' used without subscripts");
+        return;
+      }
+      case ExprKind::ArrayRef: {
+        auto& r = static_cast<ArrayRefExpr&>(*e);
+        const int idx = symbols_.lookup(r.name);
+        if (idx < 0) {
+          if (is_intrinsic(r.name)) {
+            // Rewrite to an intrinsic call node.
+            auto call = std::make_unique<IntrinsicExpr>(r.name, std::move(r.subscripts), r.loc);
+            for (auto& a : call->args) check_expr(a);
+            e = std::move(call);
+            return;
+          }
+          diags_.error(r.loc, "undeclared array or unknown intrinsic '" + r.name + "'");
+          return;
+        }
+        const Symbol& sym = symbols_.at(idx);
+        if (sym.kind != SymbolKind::Array) {
+          diags_.error(r.loc, "'" + r.name + "' is not an array");
+          return;
+        }
+        r.symbol = idx;
+        if (static_cast<int>(r.subscripts.size()) != sym.rank()) {
+          diags_.error(r.loc, "array '" + r.name + "' has rank " +
+                                  std::to_string(sym.rank()) + " but " +
+                                  std::to_string(r.subscripts.size()) +
+                                  " subscripts were given");
+        }
+        for (auto& s : r.subscripts) check_expr(s);
+        return;
+      }
+      case ExprKind::Unary:
+        check_expr(static_cast<UnaryExpr&>(*e).operand);
+        return;
+      case ExprKind::Binary: {
+        auto& b = static_cast<BinaryExpr&>(*e);
+        check_expr(b.lhs);
+        check_expr(b.rhs);
+        return;
+      }
+      case ExprKind::Intrinsic: {
+        auto& c = static_cast<IntrinsicExpr&>(*e);
+        for (auto& a : c.args) check_expr(a);
+        return;
+      }
+    }
+  }
+
+  /// Call arguments: bare array names are legal (whole-array actuals).
+  void check_call_arg(ExprPtr& e, bool* is_whole_array) {
+    *is_whole_array = false;
+    if (e->kind == ExprKind::Var) {
+      auto& v = static_cast<VarExpr&>(*e);
+      const int idx = symbols_.lookup(v.name);
+      if (idx >= 0 && symbols_.at(idx).kind == SymbolKind::Array) {
+        v.symbol = idx;
+        *is_whole_array = true;
+        return;
+      }
+    }
+    check_expr(e);
+  }
+
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        auto& a = static_cast<AssignStmt&>(s);
+        check_expr(a.lhs);
+        check_expr(a.rhs);
+        if (a.lhs->kind == ExprKind::Var) {
+          const auto& v = static_cast<const VarExpr&>(*a.lhs);
+          if (v.symbol >= 0 && symbols_.at(v.symbol).kind == SymbolKind::Parameter)
+            diags_.error(v.loc, "cannot assign to PARAMETER '" + v.name + "'");
+        } else if (a.lhs->kind == ExprKind::Intrinsic) {
+          diags_.error(a.lhs->loc, "cannot assign to an intrinsic call");
+        }
+        return;
+      }
+      case StmtKind::Do: {
+        auto& d = static_cast<DoStmt&>(s);
+        d.symbol = resolve_scalar(d.var, d.loc);
+        if (d.symbol >= 0) {
+          const Symbol& sym = symbols_.at(d.symbol);
+          if (sym.kind != SymbolKind::Scalar)
+            diags_.error(d.loc, "DO variable '" + d.var + "' must be a scalar");
+          else if (sym.type != ScalarType::Integer)
+            diags_.error(d.loc, "DO variable '" + d.var + "' must be INTEGER");
+        }
+        check_expr(d.lo);
+        check_expr(d.hi);
+        if (d.step) check_expr(d.step);
+        for (auto& b : d.body) check_stmt(*b);
+        return;
+      }
+      case StmtKind::If: {
+        auto& i = static_cast<IfStmt&>(s);
+        check_expr(i.cond);
+        if (i.branch_probability >= 0.0 &&
+            (i.branch_probability < 0.0 || i.branch_probability > 1.0))
+          diags_.error(i.loc, "branch probability must be in [0,1]");
+        for (auto& b : i.then_body) check_stmt(*b);
+        for (auto& b : i.else_body) check_stmt(*b);
+        return;
+      }
+      case StmtKind::Call: {
+        auto& c = static_cast<CallStmt&>(s);
+        c.procedure = prog_.find_procedure(c.name);
+        if (c.procedure < 0) {
+          diags_.error(c.loc, "call to unknown subroutine '" + c.name + "'");
+          return;
+        }
+        const Procedure& proc = prog_.procedures[static_cast<std::size_t>(c.procedure)];
+        if (c.args.size() != proc.params.size()) {
+          diags_.error(c.loc, "subroutine '" + c.name + "' expects " +
+                                  std::to_string(proc.params.size()) + " arguments, got " +
+                                  std::to_string(c.args.size()));
+          return;
+        }
+        for (std::size_t k = 0; k < c.args.size(); ++k) {
+          bool whole_array = false;
+          check_call_arg(c.args[k], &whole_array);
+          const Symbol& formal =
+              proc.symbols.at(proc.params[static_cast<std::size_t>(k)]);
+          if ((formal.kind == SymbolKind::Array) != whole_array) {
+            diags_.error(c.args[k]->loc,
+                         "argument " + std::to_string(k + 1) + " of '" + c.name +
+                             "': " +
+                             (formal.kind == SymbolKind::Array
+                                  ? "expected a whole-array actual"
+                                  : "array passed where a scalar is expected"));
+          } else if (whole_array) {
+            const auto& v = static_cast<const VarExpr&>(*c.args[k]);
+            const Symbol& actual = symbols_.at(v.symbol);
+            if (actual.rank() != formal.rank()) {
+              diags_.error(c.args[k]->loc, "rank mismatch passing '" + actual.name +
+                                               "' (rank " + std::to_string(actual.rank()) +
+                                               ") to formal '" + formal.name + "' (rank " +
+                                               std::to_string(formal.rank()) + ")");
+            }
+          }
+        }
+        return;
+      }
+      case StmtKind::Continue:
+        return;
+    }
+  }
+
+  Program& prog_;
+  SymbolTable& symbols_;
+  DiagnosticEngine& diags_;
+};
+
+} // namespace
+
+void analyze(Program& prog, DiagnosticEngine& diags) {
+  // Subroutine bodies first (their tables are self-contained), then main.
+  for (Procedure& proc : prog.procedures) {
+    Analyzer(prog, proc.symbols, diags).run(proc.body);
+  }
+  Analyzer(prog, prog.symbols, diags).run(prog.body);
+}
+
+} // namespace al::fortran

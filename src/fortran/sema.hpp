@@ -1,0 +1,15 @@
+// Semantic analysis: name resolution, array-rank checking, intrinsic-call
+// classification, and the structural checks the rest of the pipeline relies
+// on (DO variables are integer scalars, subscript counts match declarations,
+// assignment targets are not PARAMETERs, ...).
+#pragma once
+
+#include "fortran/ast.hpp"
+
+namespace al::fortran {
+
+/// Runs all checks on `prog` (mutates the tree: fills in `symbol` fields and
+/// rewrites intrinsic calls). Problems are reported to `diags`.
+void analyze(Program& prog, DiagnosticEngine& diags);
+
+} // namespace al::fortran

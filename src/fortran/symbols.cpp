@@ -1,0 +1,92 @@
+#include "fortran/symbols.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace al::fortran {
+
+std::optional<long> fold_integer_constant(const Expr& e, const SymbolTable& symbols) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+      return static_cast<const IntConstExpr&>(e).value;
+    case ExprKind::Var: {
+      const auto& v = static_cast<const VarExpr&>(e);
+      const int idx = symbols.lookup(v.name);
+      if (idx < 0) return std::nullopt;
+      const Symbol& s = symbols.at(idx);
+      if (s.kind != SymbolKind::Parameter) return std::nullopt;
+      return s.param_value;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      const auto v = fold_integer_constant(*u.operand, symbols);
+      if (!v) return std::nullopt;
+      switch (u.op) {
+        case UnOp::Neg: return -*v;
+        case UnOp::Plus: return *v;
+        case UnOp::Not: return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      const auto l = fold_integer_constant(*b.lhs, symbols);
+      const auto r = fold_integer_constant(*b.rhs, symbols);
+      if (!l || !r) return std::nullopt;
+      switch (b.op) {
+        case BinOp::Add: return *l + *r;
+        case BinOp::Sub: return *l - *r;
+        case BinOp::Mul: return *l * *r;
+        case BinOp::Div:
+          if (*r == 0) return std::nullopt;
+          return *l / *r;
+        case BinOp::Pow: {
+          if (*r < 0 || *r > 62) return std::nullopt;
+          long out = 1;
+          for (long i = 0; i < *r; ++i) out *= *l;
+          return out;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+struct IntrinsicInfo {
+  std::string_view name;
+  double flop_weight;  // relative to one floating add/mul
+};
+
+// Weights roughly follow i860 library timings: divides/roots/transcendentals
+// cost an order of magnitude more than an add.
+constexpr std::array<IntrinsicInfo, 22> kIntrinsics = {{
+    {"sqrt", 12.0}, {"dsqrt", 14.0}, {"abs", 1.0},   {"dabs", 1.0},
+    {"max", 1.0},   {"amax1", 1.0},  {"dmax1", 1.0}, {"max0", 1.0},
+    {"min", 1.0},   {"amin1", 1.0},  {"dmin1", 1.0}, {"min0", 1.0},
+    {"mod", 4.0},   {"exp", 20.0},   {"dexp", 22.0}, {"log", 20.0},
+    {"sin", 18.0},  {"cos", 18.0},   {"atan", 20.0}, {"sign", 1.0},
+    {"dble", 0.5},  {"float", 0.5},
+}};
+
+} // namespace
+
+bool is_intrinsic(std::string_view name) {
+  for (const auto& i : kIntrinsics) {
+    if (i.name == name) return true;
+  }
+  return false;
+}
+
+double intrinsic_flop_weight(std::string_view name) {
+  for (const auto& i : kIntrinsics) {
+    if (i.name == name) return i.flop_weight;
+  }
+  return 1.0;
+}
+
+} // namespace al::fortran

@@ -1,0 +1,24 @@
+// Constant folding over PARAMETER symbols and the intrinsic-function
+// registry shared by the parser and semantic analysis.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "fortran/ast.hpp"
+
+namespace al::fortran {
+
+/// Folds `e` to an integer constant, substituting PARAMETER symbols by name.
+/// Returns nullopt if the expression is not an integer constant expression.
+[[nodiscard]] std::optional<long> fold_integer_constant(const Expr& e,
+                                                        const SymbolTable& symbols);
+
+/// True for names of supported numeric intrinsics (sqrt, abs, max, ...).
+[[nodiscard]] bool is_intrinsic(std::string_view name);
+
+/// Floating-point cost class of an intrinsic: how many "equivalent flops" the
+/// machine model charges for it (a sqrt is far more expensive than an add).
+[[nodiscard]] double intrinsic_flop_weight(std::string_view name);
+
+} // namespace al::fortran

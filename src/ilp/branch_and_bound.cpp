@@ -1,0 +1,213 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "ilp/simplex.hpp"
+#include "support/contracts.hpp"
+
+namespace al::ilp {
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound;  // LP relaxation objective (in minimization sense)
+  long id;       // tie-break: prefer deeper/newer nodes (DFS-ish within a bound)
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
+    if (a->bound != b->bound) return a->bound > b->bound;  // smaller bound first
+    return a->id < b->id;                                  // newer first
+  }
+};
+
+/// Picks the integer variable whose LP value is farthest from integral.
+int most_fractional(const Model& model, const std::vector<double>& x, double tol) {
+  int best = -1;
+  double best_frac = tol;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).integer) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double frac = std::abs(v - std::round(v));
+    const double score = std::min(frac, 1.0 - frac) + frac * 0.0;
+    const double dist = std::min(std::abs(v - std::floor(v)), std::abs(std::ceil(v) - v));
+    (void)score;
+    const double from_half = 0.5 - std::abs(dist - 0.5);  // closeness to .5
+    if (dist > tol && from_half > best_frac) {
+      best_frac = from_half;
+      best = j;
+    }
+  }
+  if (best >= 0) return best;
+  // Fallback: first fractional at all.
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).integer) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    if (std::abs(v - std::round(v)) > tol) return j;
+  }
+  return -1;
+}
+
+} // namespace
+
+MipResult solve_mip(const Model& model, MipOptions opts) {
+  MipResult result;
+  const double sense_sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+
+  SimplexOptions lp_opts;
+  lp_opts.max_iterations = opts.max_lp_iterations;
+
+  auto root = std::make_shared<Node>();
+  root->lower.resize(static_cast<std::size_t>(model.num_variables()));
+  root->upper.resize(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    root->lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    root->upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
+  }
+
+  LpResult root_lp = solve_lp(model, root->lower, root->upper, lp_opts);
+  result.lp_iterations += root_lp.iterations;
+  result.nodes = 1;
+  if (root_lp.status == SolveStatus::Infeasible) {
+    result.status = SolveStatus::Infeasible;
+    return result;
+  }
+  if (root_lp.status == SolveStatus::Unbounded) {
+    result.status = SolveStatus::Unbounded;
+    return result;
+  }
+  if (root_lp.status == SolveStatus::IterationLimit) {
+    result.status = SolveStatus::IterationLimit;
+    return result;
+  }
+
+  double incumbent_obj = kInfinity;  // in minimization sense
+  std::vector<double> incumbent_x;
+  long next_id = 0;
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder> open;
+
+  // Helper handling one solved node: either fathom by integrality or branch.
+  auto process = [&](std::shared_ptr<Node> node, const LpResult& lp) {
+    const double bound = sense_sign * lp.objective;
+    if (bound >= incumbent_obj - 1e-9) return;  // dominated
+    const int frac = most_fractional(model, lp.x, opts.int_tol);
+    if (frac < 0) {
+      // Integral: new incumbent.
+      incumbent_obj = bound;
+      incumbent_x = lp.x;
+      for (auto& v : incumbent_x) v = std::abs(v) < opts.int_tol ? 0.0 : v;
+      return;
+    }
+    node->bound = bound;
+    node->id = next_id++;
+    // Stash the branching variable in the node by splitting now into two
+    // children lazily: we store the parent and expand when popped. To keep
+    // the code simple we create both children eagerly but defer their LP
+    // solves until they are popped (their `bound` is the parent bound).
+    const double v = lp.x[static_cast<std::size_t>(frac)];
+    const double fl = std::floor(v);
+    auto down = std::make_shared<Node>(*node);
+    down->upper[static_cast<std::size_t>(frac)] = fl;
+    down->id = next_id++;
+    auto up = std::make_shared<Node>(*node);
+    up->lower[static_cast<std::size_t>(frac)] = fl + 1.0;
+    up->id = next_id++;
+    open.push(std::move(down));
+    open.push(std::move(up));
+  };
+
+  process(root, root_lp);
+
+  while (!open.empty()) {
+    if (result.nodes >= opts.max_nodes) {
+      result.status = SolveStatus::NodeLimit;
+      if (!incumbent_x.empty()) {
+        result.x = incumbent_x;
+        result.objective = sense_sign * incumbent_obj;
+      }
+      return result;
+    }
+    auto node = open.top();
+    open.pop();
+    if (node->bound >= incumbent_obj - 1e-9) continue;  // pruned since pushed
+    LpResult lp = solve_lp(model, node->lower, node->upper, lp_opts);
+    result.lp_iterations += lp.iterations;
+    ++result.nodes;
+    if (lp.status == SolveStatus::Infeasible) continue;
+    if (lp.status != SolveStatus::Optimal) {
+      result.status = lp.status;
+      if (!incumbent_x.empty()) {
+        result.x = incumbent_x;
+        result.objective = sense_sign * incumbent_obj;
+      }
+      return result;
+    }
+    process(node, lp);
+  }
+
+  if (incumbent_x.empty()) {
+    result.status = SolveStatus::Infeasible;
+    return result;
+  }
+  result.status = SolveStatus::Optimal;
+  result.x = incumbent_x;
+  result.objective = sense_sign * incumbent_obj;
+  // Round integer variables exactly.
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.variable(j).integer)
+      result.x[static_cast<std::size_t>(j)] = std::round(result.x[static_cast<std::size_t>(j)]);
+  }
+  result.objective = model.objective_value(result.x);
+  return result;
+}
+
+MipResult solve_by_enumeration(const Model& model) {
+  MipResult result;
+  const int n = model.num_variables();
+  std::vector<int> int_vars;
+  for (int j = 0; j < n; ++j) {
+    AL_EXPECTS(model.variable(j).integer);
+    AL_EXPECTS(model.variable(j).lower >= 0.0 && model.variable(j).upper <= 1.0);
+    int_vars.push_back(j);
+  }
+  AL_EXPECTS(n <= 24);
+
+  const double sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+  double best = kInfinity;
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> best_x;
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    for (int j = 0; j < n; ++j)
+      x[static_cast<std::size_t>(j)] = (mask >> j) & 1 ? 1.0 : 0.0;
+    bool ok = true;
+    for (int j = 0; j < n && ok; ++j) {
+      const auto& v = model.variable(j);
+      if (x[static_cast<std::size_t>(j)] < v.lower || x[static_cast<std::size_t>(j)] > v.upper)
+        ok = false;
+    }
+    if (!ok || !model.is_feasible(x)) continue;
+    const double obj = sign * model.objective_value(x);
+    if (obj < best) {
+      best = obj;
+      best_x = x;
+    }
+    ++result.nodes;
+  }
+  if (best_x.empty()) {
+    result.status = SolveStatus::Infeasible;
+    return result;
+  }
+  result.status = SolveStatus::Optimal;
+  result.x = std::move(best_x);
+  result.objective = model.objective_value(result.x);
+  return result;
+}
+
+} // namespace al::ilp

@@ -1,0 +1,25 @@
+// Exact 0-1 / mixed-integer solver: best-first branch and bound over the LP
+// relaxation. This plays the role CPLEX plays in the paper's prototype: both
+// the inter-dimensional alignment problem (appendix formulation) and the data
+// layout selection problem are handed to `solve_mip` and answered optimally.
+#pragma once
+
+#include "ilp/lp.hpp"
+
+namespace al::ilp {
+
+struct MipOptions {
+  double int_tol = 1e-6;      ///< |x - round(x)| below this counts as integral
+  long max_nodes = 2'000'000; ///< safety valve; paper instances use a handful
+  long max_lp_iterations = 0; ///< per-node simplex pivot limit (0 = auto)
+};
+
+/// Solves `model` to proven optimality (unless a limit is hit, in which case
+/// the status says so and the incumbent -- if any -- is returned).
+[[nodiscard]] MipResult solve_mip(const Model& model, MipOptions opts = {});
+
+/// Exhaustive enumeration over the integer variables (continuous variables
+/// are not supported). Exponential; used as a test oracle for small models.
+[[nodiscard]] MipResult solve_by_enumeration(const Model& model);
+
+} // namespace al::ilp

@@ -1,0 +1,103 @@
+#include "ilp/lp.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace al::ilp {
+
+int Model::add_variable(std::string name, double lower, double upper,
+                        double objective, bool integer) {
+  AL_EXPECTS(lower <= upper);
+  if (integer) {
+    AL_EXPECTS(std::isfinite(lower) && std::isfinite(upper));
+  }
+  vars_.push_back(Variable{std::move(name), lower, upper, objective, integer});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+void Model::add_constraint(std::string name, std::vector<Term> terms, Rel rel,
+                           double rhs) {
+  for (const Term& t : terms) {
+    AL_EXPECTS(t.var >= 0 && t.var < num_variables());
+  }
+  rows_.push_back(Constraint{std::move(name), std::move(terms), rel, rhs});
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  AL_EXPECTS(x.size() == vars_.size());
+  double v = 0.0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) v += vars_[i].objective * x[i];
+  return v;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != vars_.size()) return false;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (x[i] < vars_[i].lower - tol || x[i] > vars_[i].upper + tol) return false;
+  }
+  for (const Constraint& c : rows_) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms) lhs += t.coef * x[static_cast<std::size_t>(t.var)];
+    switch (c.rel) {
+      case Rel::LE:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Rel::GE:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Rel::EQ:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Model::str() const {
+  std::ostringstream os;
+  os << (sense_ == Sense::Minimize ? "minimize" : "maximize") << '\n' << "  ";
+  bool first = true;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].objective == 0.0) continue;
+    if (!first) os << " + ";
+    os << vars_[i].objective << ' ' << vars_[i].name;
+    first = false;
+  }
+  if (first) os << "0";
+  os << "\nsubject to\n";
+  for (const Constraint& c : rows_) {
+    os << "  " << c.name << ": ";
+    for (std::size_t k = 0; k < c.terms.size(); ++k) {
+      if (k > 0) os << " + ";
+      os << c.terms[k].coef << ' ' << vars_[static_cast<std::size_t>(c.terms[k].var)].name;
+    }
+    switch (c.rel) {
+      case Rel::LE: os << " <= "; break;
+      case Rel::GE: os << " >= "; break;
+      case Rel::EQ: os << " = "; break;
+    }
+    os << c.rhs << '\n';
+  }
+  os << "bounds\n";
+  for (const Variable& v : vars_) {
+    os << "  " << v.lower << " <= " << v.name << " <= " << v.upper;
+    if (v.integer) os << "  (integer)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Unbounded: return "unbounded";
+    case SolveStatus::IterationLimit: return "iteration-limit";
+    case SolveStatus::NodeLimit: return "node-limit";
+  }
+  return "?";
+}
+
+} // namespace al::ilp

@@ -1,0 +1,115 @@
+// Model types for (mixed) 0-1 integer linear programs.
+//
+// This module is the framework's substitute for CPLEX (the paper solves its
+// two NP-complete subproblems -- inter-dimensional alignment and final layout
+// selection -- with CPLEX 0-1 integer programming). The solver here returns
+// provably optimal solutions: an LP relaxation is solved with a bounded-
+// variable two-phase primal simplex (simplex.hpp) and integrality is enforced
+// by best-first branch and bound (branch_and_bound.hpp).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace al::ilp {
+
+enum class Sense { Minimize, Maximize };
+enum class Rel { LE, EQ, GE };
+
+/// One nonzero of a constraint row or of the objective: `coef * x[var]`.
+struct Term {
+  int var = -1;
+  double coef = 0.0;
+};
+
+/// A linear constraint `sum(terms) rel rhs`.
+struct Constraint {
+  std::string name;
+  std::vector<Term> terms;
+  Rel rel = Rel::LE;
+  double rhs = 0.0;
+};
+
+/// Variable metadata. Integer variables must have finite bounds.
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = 1.0;
+  double objective = 0.0;
+  bool integer = false;
+};
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A linear/0-1 program under construction. Indices returned by
+/// `add_variable` are dense and stable.
+class Model {
+public:
+  explicit Model(Sense sense = Sense::Minimize) : sense_(sense) {}
+
+  /// Adds a variable; returns its index.
+  int add_variable(std::string name, double lower, double upper,
+                   double objective, bool integer);
+
+  /// Adds a 0/1 variable with the given objective coefficient.
+  int add_binary(std::string name, double objective) {
+    return add_variable(std::move(name), 0.0, 1.0, objective, true);
+  }
+
+  /// Adds a continuous variable in [lower, upper].
+  int add_continuous(std::string name, double lower, double upper,
+                     double objective) {
+    return add_variable(std::move(name), lower, upper, objective, false);
+  }
+
+  /// Adds a constraint row. Terms may repeat a variable; they are summed.
+  void add_constraint(std::string name, std::vector<Term> terms, Rel rel,
+                      double rhs);
+
+  void set_sense(Sense sense) { sense_ = sense; }
+  [[nodiscard]] Sense sense() const { return sense_; }
+
+  [[nodiscard]] int num_variables() const { return static_cast<int>(vars_.size()); }
+  [[nodiscard]] int num_constraints() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] const std::vector<Variable>& variables() const { return vars_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const { return rows_; }
+  [[nodiscard]] const Variable& variable(int i) const { return vars_.at(static_cast<std::size_t>(i)); }
+
+  /// Objective value of a full assignment (no feasibility check).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// True if `x` satisfies every row and bound within `tol`.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// Human-readable LP-format-like dump (for debugging and the examples).
+  [[nodiscard]] std::string str() const;
+
+private:
+  Sense sense_;
+  std::vector<Variable> vars_;
+  std::vector<Constraint> rows_;
+};
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit, NodeLimit };
+
+[[nodiscard]] const char* to_string(SolveStatus s);
+
+/// Result of an LP relaxation solve.
+struct LpResult {
+  SolveStatus status = SolveStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  long iterations = 0;
+};
+
+/// Result of a 0-1 (MIP) solve.
+struct MipResult {
+  SolveStatus status = SolveStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  long nodes = 0;       ///< branch-and-bound nodes expanded
+  long lp_iterations = 0; ///< total simplex pivots over all nodes
+};
+
+} // namespace al::ilp

@@ -1,0 +1,434 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace al::ilp {
+namespace {
+
+// Internal problem form:  A x = b  with per-column bounds, minimize c'x.
+// Columns 0..n-1 are the structural variables; then one slack per row
+// (GE rows are negated to LE first, EQ slacks are fixed to [0,0]); then
+// phase-1 artificials as needed.
+struct Column {
+  std::vector<int> rows;     // row indices of nonzeros
+  std::vector<double> vals;  // matching coefficients
+  double lower = 0.0;
+  double upper = kInfinity;
+  double cost = 0.0;   // phase-2 cost (after sense normalization)
+};
+
+enum class NonbasicAt : unsigned char { Lower, Upper };
+
+class Simplex {
+public:
+  Simplex(const Model& model, const std::vector<double>& lower,
+          const std::vector<double>& upper, SimplexOptions opts)
+      : opts_(opts) {
+    build(model, lower, upper);
+  }
+
+  LpResult run(const Model& model);
+
+private:
+  void build(const Model& model, const std::vector<double>& lower,
+             const std::vector<double>& upper);
+  void compute_basic_values();
+  // Runs simplex iterations with the given cost vector; returns false on
+  // iteration-limit.
+  bool iterate(const std::vector<double>& cost);
+  [[nodiscard]] double value_of(int j) const {
+    int bi = basic_pos_[static_cast<std::size_t>(j)];
+    if (bi >= 0) return xb_[static_cast<std::size_t>(bi)];
+    return at_[static_cast<std::size_t>(j)] == NonbasicAt::Lower
+               ? cols_[static_cast<std::size_t>(j)].lower
+               : cols_[static_cast<std::size_t>(j)].upper;
+  }
+
+  SimplexOptions opts_;
+  int m_ = 0;          // rows
+  int n_struct_ = 0;   // structural variables
+  int n_ = 0;          // total columns
+  std::vector<Column> cols_;
+  std::vector<double> b_;
+  std::vector<int> basis_;       // basis_[i] = column basic in row i
+  std::vector<int> basic_pos_;   // column -> row index in basis, or -1
+  std::vector<NonbasicAt> at_;   // nonbasic state (ignored for basic cols)
+  std::vector<double> xb_;       // values of basic variables
+  std::vector<std::vector<double>> binv_;  // dense basis inverse, m x m
+  long iterations_ = 0;
+  bool unbounded_ = false;
+  int first_artificial_ = -1;
+};
+
+void Simplex::build(const Model& model, const std::vector<double>& lower,
+                    const std::vector<double>& upper) {
+  m_ = model.num_constraints();
+  n_struct_ = model.num_variables();
+  AL_EXPECTS(static_cast<int>(lower.size()) == n_struct_);
+  AL_EXPECTS(static_cast<int>(upper.size()) == n_struct_);
+
+  const double sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+
+  cols_.resize(static_cast<std::size_t>(n_struct_));
+  for (int j = 0; j < n_struct_; ++j) {
+    auto& c = cols_[static_cast<std::size_t>(j)];
+    c.lower = lower[static_cast<std::size_t>(j)];
+    c.upper = upper[static_cast<std::size_t>(j)];
+    AL_EXPECTS(std::isfinite(c.lower));
+    c.cost = sign * model.variable(j).objective;
+  }
+
+  b_.resize(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& row = model.constraints()[static_cast<std::size_t>(i)];
+    // GE rows are negated so every inequality reads `<=`.
+    const double rsign = row.rel == Rel::GE ? -1.0 : 1.0;
+    b_[static_cast<std::size_t>(i)] = rsign * row.rhs;
+    for (const Term& t : row.terms) {
+      if (t.coef == 0.0) continue;
+      auto& c = cols_[static_cast<std::size_t>(t.var)];
+      // Merge duplicate variable mentions within a row.
+      if (!c.rows.empty() && c.rows.back() == i) {
+        c.vals.back() += rsign * t.coef;
+      } else {
+        c.rows.push_back(i);
+        c.vals.push_back(rsign * t.coef);
+      }
+    }
+    // Slack column.
+    Column s;
+    s.rows = {i};
+    s.vals = {1.0};
+    s.lower = 0.0;
+    s.upper = row.rel == Rel::EQ ? 0.0 : kInfinity;
+    s.cost = 0.0;
+    cols_.push_back(std::move(s));
+  }
+  n_ = static_cast<int>(cols_.size());
+
+  // Initial point: structurals nonbasic at the finite bound nearest zero,
+  // slacks basic.
+  at_.assign(static_cast<std::size_t>(n_), NonbasicAt::Lower);
+  for (int j = 0; j < n_struct_; ++j) {
+    const auto& c = cols_[static_cast<std::size_t>(j)];
+    if (std::isfinite(c.upper) && std::abs(c.upper) < std::abs(c.lower)) {
+      at_[static_cast<std::size_t>(j)] = NonbasicAt::Upper;
+    }
+  }
+
+  basis_.resize(static_cast<std::size_t>(m_));
+  basic_pos_.assign(static_cast<std::size_t>(n_), -1);
+  for (int i = 0; i < m_; ++i) {
+    basis_[static_cast<std::size_t>(i)] = n_struct_ + i;
+    basic_pos_[static_cast<std::size_t>(n_struct_ + i)] = i;
+  }
+  binv_.assign(static_cast<std::size_t>(m_),
+               std::vector<double>(static_cast<std::size_t>(m_), 0.0));
+  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+
+  compute_basic_values();
+
+  // Rows whose slack violates its bounds get a phase-1 artificial that
+  // absorbs the violation; the slack is pushed to the violated bound.
+  first_artificial_ = n_;
+  for (int i = 0; i < m_; ++i) {
+    const int sj = n_struct_ + i;
+    const auto& sc = cols_[static_cast<std::size_t>(sj)];
+    const double v = xb_[static_cast<std::size_t>(i)];
+    double resid = 0.0;
+    double coef = 0.0;
+    if (v > sc.upper + opts_.tol) {
+      // slack forced to its upper bound; artificial with +1 takes the excess
+      resid = v - sc.upper;
+      coef = 1.0;
+      at_[static_cast<std::size_t>(sj)] = NonbasicAt::Upper;
+    } else if (v < sc.lower - opts_.tol) {
+      resid = sc.lower - v;
+      coef = -1.0;
+      at_[static_cast<std::size_t>(sj)] = NonbasicAt::Lower;
+    } else {
+      continue;
+    }
+    Column a;
+    a.rows = {i};
+    a.vals = {coef};
+    a.lower = 0.0;
+    a.upper = kInfinity;
+    a.cost = 0.0;  // phase-2 cost; phase-1 cost handled separately
+    cols_.push_back(std::move(a));
+    const int aj = static_cast<int>(cols_.size()) - 1;
+    basic_pos_.push_back(-1);
+    at_.push_back(NonbasicAt::Lower);
+    // Swap the artificial into the basis in place of the slack.
+    basic_pos_[static_cast<std::size_t>(sj)] = -1;
+    basis_[static_cast<std::size_t>(i)] = aj;
+    basic_pos_[static_cast<std::size_t>(aj)] = i;
+    xb_[static_cast<std::size_t>(i)] = resid;
+    // binv row stays the identity row but the basis column has coefficient
+    // `coef`, so scale the inverse row accordingly.
+    for (int k = 0; k < m_; ++k)
+      binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] *= coef;
+  }
+  n_ = static_cast<int>(cols_.size());
+}
+
+void Simplex::compute_basic_values() {
+  // xb = Binv * (b - N x_N)
+  std::vector<double> rhs = b_;
+  for (int j = 0; j < n_; ++j) {
+    if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+    const auto& c = cols_[static_cast<std::size_t>(j)];
+    const double v = at_[static_cast<std::size_t>(j)] == NonbasicAt::Lower ? c.lower : c.upper;
+    if (v == 0.0) continue;
+    for (std::size_t k = 0; k < c.rows.size(); ++k)
+      rhs[static_cast<std::size_t>(c.rows[k])] -= c.vals[k] * v;
+  }
+  xb_.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    double s = 0.0;
+    const auto& row = binv_[static_cast<std::size_t>(i)];
+    for (int k = 0; k < m_; ++k) s += row[static_cast<std::size_t>(k)] * rhs[static_cast<std::size_t>(k)];
+    xb_[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+bool Simplex::iterate(const std::vector<double>& cost) {
+  const double tol = opts_.tol;
+  long max_iter = opts_.max_iterations;
+  if (max_iter <= 0) max_iter = 200L * (m_ + n_) + 2000;
+
+  long stall = 0;       // iterations without objective progress -> Bland
+  double last_obj = std::numeric_limits<double>::infinity();
+
+  std::vector<double> y(static_cast<std::size_t>(m_));
+  std::vector<double> w(static_cast<std::size_t>(m_));
+
+  for (long it = 0; it < max_iter; ++it, ++iterations_) {
+    // y' = c_B' * Binv
+    for (int k = 0; k < m_; ++k) {
+      double s = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+        if (cb != 0.0) s += cb * binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+      }
+      y[static_cast<std::size_t>(k)] = s;
+    }
+
+    // Pricing: pick entering column.
+    const bool bland = stall > 2L * (m_ + 16);
+    int enter = -1;
+    double best = tol;
+    double enter_dir = 0.0;  // +1 increase from lower, -1 decrease from upper
+    for (int j = 0; j < n_; ++j) {
+      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+      const auto& c = cols_[static_cast<std::size_t>(j)];
+      if (c.lower == c.upper) continue;  // fixed
+      double d = cost[static_cast<std::size_t>(j)];
+      for (std::size_t k = 0; k < c.rows.size(); ++k)
+        d -= y[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
+      double dir = 0.0;
+      if (at_[static_cast<std::size_t>(j)] == NonbasicAt::Lower && d < -tol) dir = 1.0;
+      else if (at_[static_cast<std::size_t>(j)] == NonbasicAt::Upper && d > tol) dir = -1.0;
+      else continue;
+      const double score = std::abs(d);
+      if (bland) { enter = j; enter_dir = dir; break; }
+      if (score > best) { best = score; enter = j; enter_dir = dir; }
+    }
+    if (enter < 0) return true;  // optimal for this cost vector
+
+    // w = Binv * a_enter
+    {
+      const auto& c = cols_[static_cast<std::size_t>(enter)];
+      for (int i = 0; i < m_; ++i) {
+        double s = 0.0;
+        const auto& row = binv_[static_cast<std::size_t>(i)];
+        for (std::size_t k = 0; k < c.rows.size(); ++k)
+          s += row[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
+        w[static_cast<std::size_t>(i)] = s;
+      }
+    }
+
+    // Ratio test: how far can the entering variable move?
+    const auto& ec = cols_[static_cast<std::size_t>(enter)];
+    double tmax = std::isfinite(ec.upper) ? ec.upper - ec.lower : kInfinity;
+    int leave = -1;          // basis row of leaving var
+    double leave_to = 0.0;   // bound the leaving var lands on
+    for (int i = 0; i < m_; ++i) {
+      const double wi = enter_dir * w[static_cast<std::size_t>(i)];
+      if (std::abs(wi) < 1e-11) continue;
+      const auto& bc = cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+      const double xi = xb_[static_cast<std::size_t>(i)];
+      double t;
+      double to;
+      if (wi > 0) {  // basic value decreases toward its lower bound
+        if (!std::isfinite(bc.lower)) continue;
+        t = (xi - bc.lower) / wi;
+        to = bc.lower;
+      } else {       // basic value increases toward its upper bound
+        if (!std::isfinite(bc.upper)) continue;
+        t = (xi - bc.upper) / wi;
+        to = bc.upper;
+      }
+      if (t < -tol) t = 0.0;  // numerical: clamp slightly-infeasible basics
+      if (t < tmax - 1e-12 || (leave < 0 && t <= tmax)) {
+        if (t <= tmax) {
+          tmax = t;
+          leave = i;
+          leave_to = to;
+        }
+      }
+    }
+
+    if (!std::isfinite(tmax)) {
+      unbounded_ = true;
+      return true;
+    }
+
+    // Track objective progress for the Bland switch.
+    double obj = 0.0;
+    for (int i = 0; i < m_; ++i)
+      obj += cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] *
+             xb_[static_cast<std::size_t>(i)];
+    if (obj < last_obj - 1e-12) { last_obj = obj; stall = 0; } else { ++stall; }
+
+    if (leave < 0) {
+      // Bound flip: the entering variable runs to its opposite bound.
+      for (int i = 0; i < m_; ++i)
+        xb_[static_cast<std::size_t>(i)] -= enter_dir * tmax * w[static_cast<std::size_t>(i)];
+      at_[static_cast<std::size_t>(enter)] =
+          at_[static_cast<std::size_t>(enter)] == NonbasicAt::Lower ? NonbasicAt::Upper
+                                                                    : NonbasicAt::Lower;
+      continue;
+    }
+
+    // Pivot: `enter` replaces basis_[leave].
+    for (int i = 0; i < m_; ++i)
+      xb_[static_cast<std::size_t>(i)] -= enter_dir * tmax * w[static_cast<std::size_t>(i)];
+    const double enter_from =
+        at_[static_cast<std::size_t>(enter)] == NonbasicAt::Lower ? ec.lower : ec.upper;
+    const double enter_val = enter_from + enter_dir * tmax;
+
+    const int old = basis_[static_cast<std::size_t>(leave)];
+    basic_pos_[static_cast<std::size_t>(old)] = -1;
+    at_[static_cast<std::size_t>(old)] =
+        leave_to == cols_[static_cast<std::size_t>(old)].lower ? NonbasicAt::Lower
+                                                               : NonbasicAt::Upper;
+    basis_[static_cast<std::size_t>(leave)] = enter;
+    basic_pos_[static_cast<std::size_t>(enter)] = leave;
+
+    // Eliminate: make Binv reflect the new basis.
+    const double piv = w[static_cast<std::size_t>(leave)];
+    AL_ASSERT(std::abs(piv) > 1e-12);
+    auto& prow = binv_[static_cast<std::size_t>(leave)];
+    for (int k = 0; k < m_; ++k) prow[static_cast<std::size_t>(k)] /= piv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave) continue;
+      const double f = w[static_cast<std::size_t>(i)];
+      if (f == 0.0) continue;
+      auto& row = binv_[static_cast<std::size_t>(i)];
+      for (int k = 0; k < m_; ++k)
+        row[static_cast<std::size_t>(k)] -= f * prow[static_cast<std::size_t>(k)];
+    }
+    xb_[static_cast<std::size_t>(leave)] = enter_val;
+
+    if ((it & 127) == 127) compute_basic_values();  // drift control
+  }
+  return false;
+}
+
+LpResult Simplex::run(const Model& model) {
+  LpResult res;
+
+  // Quick infeasibility: crossed bound overrides.
+  for (int j = 0; j < n_struct_; ++j) {
+    const auto& c = cols_[static_cast<std::size_t>(j)];
+    if (c.lower > c.upper) {
+      res.status = SolveStatus::Infeasible;
+      return res;
+    }
+  }
+
+  // Phase 1: drive artificials to zero.
+  if (first_artificial_ < n_) {
+    std::vector<double> phase1(static_cast<std::size_t>(n_), 0.0);
+    for (int j = first_artificial_; j < n_; ++j) phase1[static_cast<std::size_t>(j)] = 1.0;
+    if (!iterate(phase1)) {
+      res.status = SolveStatus::IterationLimit;
+      res.iterations = iterations_;
+      return res;
+    }
+    double infeas = 0.0;
+    for (int j = first_artificial_; j < n_; ++j) infeas += value_of(j);
+    if (infeas > 1e-6) {
+      res.status = SolveStatus::Infeasible;
+      res.iterations = iterations_;
+      return res;
+    }
+    // Freeze artificials at zero for phase 2.
+    for (int j = first_artificial_; j < n_; ++j) {
+      cols_[static_cast<std::size_t>(j)].lower = 0.0;
+      cols_[static_cast<std::size_t>(j)].upper = 0.0;
+    }
+    compute_basic_values();
+  }
+
+  // Phase 2: real objective.
+  std::vector<double> cost(static_cast<std::size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) cost[static_cast<std::size_t>(j)] = cols_[static_cast<std::size_t>(j)].cost;
+  unbounded_ = false;
+  if (!iterate(cost)) {
+    res.status = SolveStatus::IterationLimit;
+    res.iterations = iterations_;
+    return res;
+  }
+  if (unbounded_) {
+    res.status = SolveStatus::Unbounded;
+    res.iterations = iterations_;
+    return res;
+  }
+
+  compute_basic_values();
+  res.status = SolveStatus::Optimal;
+  res.iterations = iterations_;
+  res.x.resize(static_cast<std::size_t>(n_struct_));
+  for (int j = 0; j < n_struct_; ++j) {
+    double v = value_of(j);
+    // Snap to the override bounds to keep branch-and-bound numerically clean.
+    const auto& c = cols_[static_cast<std::size_t>(j)];
+    v = std::clamp(v, c.lower, std::isfinite(c.upper) ? c.upper : v);
+    res.x[static_cast<std::size_t>(j)] = v;
+  }
+  res.objective = model.objective_value(res.x);
+  return res;
+}
+
+}  // namespace
+
+LpResult solve_lp(const Model& model, SimplexOptions opts) {
+  std::vector<double> lo(static_cast<std::size_t>(model.num_variables()));
+  std::vector<double> hi(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lo[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    hi[static_cast<std::size_t>(j)] = model.variable(j).upper;
+  }
+  return solve_lp(model, lo, hi, opts);
+}
+
+LpResult solve_lp(const Model& model, const std::vector<double>& lower,
+                  const std::vector<double>& upper, SimplexOptions opts) {
+  for (std::size_t j = 0; j < lower.size(); ++j) {
+    if (lower[j] > upper[j]) {
+      LpResult res;
+      res.status = SolveStatus::Infeasible;
+      return res;
+    }
+  }
+  Simplex s(model, lower, upper, opts);
+  return s.run(model);
+}
+
+} // namespace al::ilp

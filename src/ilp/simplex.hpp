@@ -1,0 +1,32 @@
+// Bounded-variable two-phase primal simplex (revised form with an explicit
+// dense basis inverse). This is the LP core underneath the 0-1 branch-and-
+// bound solver; it is exact in the floating-point sense and handles the
+// paper-scale instances (hundreds of variables/constraints) in microseconds
+// to milliseconds.
+#pragma once
+
+#include <vector>
+
+#include "ilp/lp.hpp"
+
+namespace al::ilp {
+
+struct SimplexOptions {
+  /// 0 means "choose automatically" (50 * (rows + cols) pivots).
+  long max_iterations = 0;
+  /// Reduced-cost / feasibility tolerance.
+  double tol = 1e-7;
+};
+
+/// Solves the LP relaxation of `model` (integrality ignored) with the
+/// variable bounds stored in the model.
+[[nodiscard]] LpResult solve_lp(const Model& model, SimplexOptions opts = {});
+
+/// Same, but with per-variable bound overrides (used by branch and bound).
+/// `lower`/`upper` must have one entry per model variable.
+[[nodiscard]] LpResult solve_lp(const Model& model,
+                                const std::vector<double>& lower,
+                                const std::vector<double>& upper,
+                                SimplexOptions opts = {});
+
+} // namespace al::ilp

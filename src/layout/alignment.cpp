@@ -1,0 +1,62 @@
+#include "layout/alignment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace al::layout {
+
+void Alignment::set(ArrayAlignment aa) {
+  AL_EXPECTS(aa.array >= 0);
+  // Axes must be distinct template dimensions.
+  std::vector<int> sorted = aa.axis;
+  std::sort(sorted.begin(), sorted.end());
+  AL_EXPECTS(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+
+  auto it = std::lower_bound(arrays_.begin(), arrays_.end(), aa.array,
+                             [](const ArrayAlignment& a, int v) { return a.array < v; });
+  if (it != arrays_.end() && it->array == aa.array) {
+    *it = std::move(aa);
+  } else {
+    arrays_.insert(it, std::move(aa));
+  }
+}
+
+const ArrayAlignment* Alignment::find(int array) const {
+  auto it = std::lower_bound(arrays_.begin(), arrays_.end(), array,
+                             [](const ArrayAlignment& a, int v) { return a.array < v; });
+  if (it != arrays_.end() && it->array == array) return &*it;
+  return nullptr;
+}
+
+int Alignment::axis_of(int array, int k) const {
+  const ArrayAlignment* aa = find(array);
+  if (aa == nullptr || k >= static_cast<int>(aa->axis.size())) return k;
+  return aa->axis[static_cast<std::size_t>(k)];
+}
+
+Alignment Alignment::restricted_to(const std::vector<int>& arrays) const {
+  Alignment out;
+  for (const ArrayAlignment& aa : arrays_) {
+    if (std::find(arrays.begin(), arrays.end(), aa.array) != arrays.end()) out.set(aa);
+  }
+  return out;
+}
+
+std::string Alignment::str(const fortran::SymbolTable& symbols) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (i) os << "; ";
+    const ArrayAlignment& aa = arrays_[i];
+    os << symbols.at(aa.array).name << "(";
+    for (std::size_t k = 0; k < aa.axis.size(); ++k) {
+      if (k) os << ",";
+      os << "T" << aa.axis[k] + 1;
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+} // namespace al::layout

@@ -1,0 +1,64 @@
+// Alignments: the first stage of an HPF data layout. Each array dimension is
+// mapped to a template dimension (inter-dimensional alignment with canonical
+// offset/stride, as in the paper's framework -- no intra-dimensional
+// analysis).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fortran/ast.hpp"
+
+namespace al::layout {
+
+/// Alignment of one array: `axis[k]` is the template dimension that array
+/// dimension k is mapped to. Axes are distinct; for arrays of rank lower
+/// than the template rank this is an embedding. A REPLICATED array ignores
+/// the distribution entirely: every processor holds a full copy (paper,
+/// section 2.2.2: candidate distributions may "replicate dimensions on each
+/// processor").
+struct ArrayAlignment {
+  int array = -1;          ///< symbol index
+  std::vector<int> axis;   ///< array dim -> template dim
+  bool replicated = false;
+
+  friend bool operator==(const ArrayAlignment&, const ArrayAlignment&) = default;
+};
+
+/// A (partial) alignment for a set of arrays, sorted by array symbol.
+class Alignment {
+public:
+  Alignment() = default;
+
+  /// Adds or replaces the entry for `aa.array`.
+  void set(ArrayAlignment aa);
+
+  [[nodiscard]] const ArrayAlignment* find(int array) const;
+
+  /// Template dimension that `array`'s dimension `k` maps to; identity when
+  /// the array is not covered by this alignment (canonical alignment).
+  [[nodiscard]] int axis_of(int array, int k) const;
+
+  /// True when `array` is replicated on every processor.
+  [[nodiscard]] bool is_replicated(int array) const {
+    const ArrayAlignment* aa = find(array);
+    return aa != nullptr && aa->replicated;
+  }
+
+  [[nodiscard]] const std::vector<ArrayAlignment>& arrays() const { return arrays_; }
+  [[nodiscard]] bool empty() const { return arrays_.empty(); }
+
+  /// Restriction to the given array set (used when projecting a phase-class
+  /// alignment onto a single phase).
+  [[nodiscard]] Alignment restricted_to(const std::vector<int>& arrays) const;
+
+  [[nodiscard]] std::string str(const fortran::SymbolTable& symbols) const;
+
+  friend bool operator==(const Alignment&, const Alignment&) = default;
+
+private:
+  std::vector<ArrayAlignment> arrays_;
+};
+
+} // namespace al::layout

@@ -1,0 +1,79 @@
+#include "layout/distribution.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace al::layout {
+
+const char* to_string(DistKind k) {
+  switch (k) {
+    case DistKind::Serial: return "*";
+    case DistKind::Block: return "BLOCK";
+    case DistKind::Cyclic: return "CYCLIC";
+    case DistKind::BlockCyclic: return "CYCLIC(b)";
+  }
+  return "?";
+}
+
+Distribution Distribution::serial(int rank) {
+  AL_EXPECTS(rank >= 0);
+  return Distribution(std::vector<DimDistribution>(static_cast<std::size_t>(rank)));
+}
+
+Distribution Distribution::block_1d(int rank, int dim, int procs) {
+  AL_EXPECTS(dim >= 0 && dim < rank);
+  AL_EXPECTS(procs >= 1);
+  Distribution d = serial(rank);
+  d.dims_[static_cast<std::size_t>(dim)] = DimDistribution{DistKind::Block, procs, 1};
+  return d;
+}
+
+int Distribution::total_procs() const {
+  int p = 1;
+  for (const auto& d : dims_) {
+    if (d.distributed()) p *= d.procs;
+  }
+  return p;
+}
+
+int Distribution::single_distributed_dim() const {
+  int found = -1;
+  for (int k = 0; k < rank(); ++k) {
+    if (dims_[static_cast<std::size_t>(k)].distributed()) {
+      if (found >= 0) return -1;
+      found = k;
+    }
+  }
+  return found;
+}
+
+int Distribution::num_distributed() const {
+  int n = 0;
+  for (const auto& d : dims_) {
+    if (d.distributed()) ++n;
+  }
+  return n;
+}
+
+std::string Distribution::str() const {
+  std::ostringstream os;
+  os << "(";
+  for (int k = 0; k < rank(); ++k) {
+    if (k) os << ", ";
+    const DimDistribution& d = dims_[static_cast<std::size_t>(k)];
+    if (!d.distributed()) {
+      os << "*";
+    } else if (d.kind == DistKind::Block) {
+      os << "BLOCK(" << d.procs << ")";
+    } else if (d.kind == DistKind::Cyclic) {
+      os << "CYCLIC(" << d.procs << ")";
+    } else {
+      os << "CYCLIC(" << d.block << ")x" << d.procs;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+} // namespace al::layout

@@ -1,0 +1,70 @@
+// Distributions: the second stage of an HPF data layout. Each template
+// dimension is mapped onto the processors by BLOCK / CYCLIC / CYCLIC(b), is
+// kept serial ('*'), or is replicated. The paper's prototype explores
+// exhaustive one-dimensional BLOCK distributions; the general representation
+// here also covers the paper's future-work extensions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace al::layout {
+
+enum class DistKind {
+  Serial,      ///< '*' -- the whole dimension lives on one processor (in
+               ///< that dimension of the mesh)
+  Block,       ///< BLOCK
+  Cyclic,      ///< CYCLIC
+  BlockCyclic, ///< CYCLIC(b)
+};
+
+[[nodiscard]] const char* to_string(DistKind k);
+
+struct DimDistribution {
+  DistKind kind = DistKind::Serial;
+  int procs = 1;    ///< processors assigned to this mesh dimension
+  long block = 1;   ///< block size for CYCLIC(b)
+
+  [[nodiscard]] bool distributed() const { return kind != DistKind::Serial && procs > 1; }
+  friend bool operator==(const DimDistribution&, const DimDistribution&) = default;
+};
+
+/// Distribution of the program template onto a processor mesh.
+class Distribution {
+public:
+  Distribution() = default;
+  explicit Distribution(std::vector<DimDistribution> dims) : dims_(std::move(dims)) {}
+
+  /// Serial layout of the given rank (nothing distributed).
+  static Distribution serial(int rank);
+
+  /// 1-D BLOCK distribution: template dimension `dim` over `procs`
+  /// processors, everything else serial. This is the prototype's search
+  /// space shape.
+  static Distribution block_1d(int rank, int dim, int procs);
+
+  [[nodiscard]] int rank() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const DimDistribution& dim(int k) const {
+    return dims_.at(static_cast<std::size_t>(k));
+  }
+  [[nodiscard]] const std::vector<DimDistribution>& dims() const { return dims_; }
+
+  /// Total processors used (product over distributed mesh dimensions).
+  [[nodiscard]] int total_procs() const;
+
+  /// The single distributed template dimension, or -1 if none / several.
+  [[nodiscard]] int single_distributed_dim() const;
+
+  /// Number of distributed dimensions.
+  [[nodiscard]] int num_distributed() const;
+
+  /// HPF-ish rendering, e.g. "(BLOCK(16), *)".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Distribution&, const Distribution&) = default;
+
+private:
+  std::vector<DimDistribution> dims_;
+};
+
+} // namespace al::layout

@@ -1,0 +1,63 @@
+#include "layout/layout.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace al::layout {
+
+const DimDistribution& Layout::array_dim(int array, int k) const {
+  static const DimDistribution kSerial{};
+  if (alignment_.is_replicated(array)) return kSerial;  // full copy everywhere
+  const int tdim = alignment_.axis_of(array, k);
+  if (tdim < 0 || tdim >= distribution_.rank()) return kSerial;
+  return distribution_.dim(tdim);
+}
+
+int Layout::distributed_array_dim(int array, int rank) const {
+  int found = -1;
+  for (int k = 0; k < rank; ++k) {
+    if (array_dim(array, k).distributed()) {
+      if (found >= 0) return -1;
+      found = k;
+    }
+  }
+  return found;
+}
+
+int Layout::procs_for_array(int array, int rank) const {
+  int p = 1;
+  for (int k = 0; k < rank; ++k) {
+    const DimDistribution& d = array_dim(array, k);
+    if (d.distributed()) p *= d.procs;
+  }
+  return p;
+}
+
+std::string Layout::str(const fortran::SymbolTable& symbols) const {
+  std::ostringstream os;
+  os << "dist " << distribution_.str();
+  if (!alignment_.empty()) os << " align " << alignment_.str(symbols);
+  return os.str();
+}
+
+RemapKind classify_remap(const Layout& from, const Layout& to, int array, int rank) {
+  const bool from_rep = from.alignment().is_replicated(array);
+  const bool to_rep = to.alignment().is_replicated(array);
+  if (from_rep && to_rep) return RemapKind::None;
+  if (to_rep) return RemapKind::Replicate;      // allgather onto every node
+  if (from_rep) return RemapKind::Dereplicate;  // local selection, free
+  // Axis change: array-element movement along diagonals (transpose-like),
+  // the most expensive remap.
+  for (int k = 0; k < rank; ++k) {
+    if (from.alignment().axis_of(array, k) != to.alignment().axis_of(array, k))
+      return RemapKind::Realign;
+  }
+  for (int k = 0; k < rank; ++k) {
+    if (!(from.array_dim(array, k) == to.array_dim(array, k)))
+      return RemapKind::Redistribute;
+  }
+  return RemapKind::None;
+}
+
+} // namespace al::layout

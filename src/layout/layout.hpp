@@ -1,0 +1,56 @@
+// A candidate data layout: an alignment plus a distribution of the program
+// template. One such object is a node in a per-phase search space and,
+// after selection, the layout in force during a phase.
+#pragma once
+
+#include "layout/alignment.hpp"
+#include "layout/distribution.hpp"
+#include "layout/template_map.hpp"
+
+namespace al::layout {
+
+class Layout {
+public:
+  Layout() = default;
+  Layout(Alignment a, Distribution d)
+      : alignment_(std::move(a)), distribution_(std::move(d)) {}
+
+  [[nodiscard]] const Alignment& alignment() const { return alignment_; }
+  [[nodiscard]] const Distribution& distribution() const { return distribution_; }
+
+  /// The distribution of ARRAY dimension `k` of `array` under this layout:
+  /// the distribution of the template dimension the array dim is aligned to.
+  [[nodiscard]] const DimDistribution& array_dim(int array, int k) const;
+
+  /// The (single) distributed dimension of `array` -- as an ARRAY dimension
+  /// index -- or -1 when the array is not distributed in exactly one
+  /// dimension. `rank` is the array's rank.
+  [[nodiscard]] int distributed_array_dim(int array, int rank) const;
+
+  /// Processors the array is spread over (1 if fully local).
+  [[nodiscard]] int procs_for_array(int array, int rank) const;
+
+  [[nodiscard]] std::string str(const fortran::SymbolTable& symbols) const;
+
+  friend bool operator==(const Layout&, const Layout&) = default;
+
+private:
+  Alignment alignment_;
+  Distribution distribution_;
+};
+
+/// How arrays must move between two layouts.
+enum class RemapKind {
+  None,         ///< identical mapping
+  Redistribute, ///< same axes, different distribution (e.g. row -> column)
+  Realign,      ///< axes permuted (transpose-like movement)
+  Replicate,    ///< distributed -> full copy on every node (allgather)
+  Dereplicate,  ///< full copies -> distributed (every owner already has its part)
+};
+
+/// Classifies the movement `array` (of rank `rank`) needs when the active
+/// layout changes `from` -> `to`.
+[[nodiscard]] RemapKind classify_remap(const Layout& from, const Layout& to, int array,
+                                       int rank);
+
+} // namespace al::layout

@@ -1,0 +1,35 @@
+#include "layout/template_map.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace al::layout {
+
+ProgramTemplate ProgramTemplate::from_program(const fortran::Program& prog) {
+  ProgramTemplate t;
+  for (int idx : prog.array_symbols()) {
+    const fortran::Symbol& s = prog.symbols.at(idx);
+    t.rank = std::max(t.rank, s.rank());
+    if (static_cast<int>(t.extents.size()) < s.rank())
+      t.extents.resize(static_cast<std::size_t>(s.rank()), 0);
+    for (int k = 0; k < s.rank(); ++k) {
+      t.extents[static_cast<std::size_t>(k)] =
+          std::max(t.extents[static_cast<std::size_t>(k)],
+                   s.dims[static_cast<std::size_t>(k)].extent());
+    }
+  }
+  return t;
+}
+
+std::string ProgramTemplate::str() const {
+  std::ostringstream os;
+  os << "TEMPLATE T(";
+  for (int k = 0; k < rank; ++k) {
+    if (k) os << ",";
+    os << extents[static_cast<std::size_t>(k)];
+  }
+  os << ")";
+  return os.str();
+}
+
+} // namespace al::layout

@@ -1,0 +1,28 @@
+// The program template (paper, section 2.2): a single virtual-processor
+// array for the whole program, sized by the maximal dimensionality and
+// maximal dimensional extents of the arrays in the program. All alignments
+// and distributions are expressed relative to this template.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fortran/ast.hpp"
+
+namespace al::layout {
+
+struct ProgramTemplate {
+  int rank = 0;
+  std::vector<long> extents;  ///< extent per template dimension
+
+  [[nodiscard]] long extent(int dim) const { return extents.at(static_cast<std::size_t>(dim)); }
+
+  /// Derives the template from the declared arrays of `prog`: rank is the
+  /// maximum array rank, extent k is the maximum extent of dimension k over
+  /// all arrays of rank >= k+1.
+  static ProgramTemplate from_program(const fortran::Program& prog);
+
+  [[nodiscard]] std::string str() const;
+};
+
+} // namespace al::layout

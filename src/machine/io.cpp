@@ -1,0 +1,98 @@
+#include "machine/io.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "support/text.hpp"
+
+namespace al::machine {
+namespace {
+
+bool parse_pattern(std::string_view s, CommPattern* out) {
+  if (s == "shift") *out = CommPattern::Shift;
+  else if (s == "sendrecv" || s == "send/recv") *out = CommPattern::SendRecv;
+  else if (s == "broadcast") *out = CommPattern::Broadcast;
+  else if (s == "reduction") *out = CommPattern::Reduction;
+  else if (s == "transpose") *out = CommPattern::Transpose;
+  else return false;
+  return true;
+}
+
+const char* pattern_token(CommPattern p) {
+  switch (p) {
+    case CommPattern::Shift: return "shift";
+    case CommPattern::SendRecv: return "sendrecv";
+    case CommPattern::Broadcast: return "broadcast";
+    case CommPattern::Reduction: return "reduction";
+    case CommPattern::Transpose: return "transpose";
+  }
+  return "?";
+}
+
+} // namespace
+
+TrainingSetDB parse_training_sets(std::string_view text, DiagnosticEngine& diags) {
+  TrainingSetDB db;
+  std::uint32_t lineno = 0;
+  for (std::string_view raw : split(text, '\n')) {
+    ++lineno;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is{std::string(line)};
+    std::string pattern_s;
+    std::string stride_s;
+    std::string latency_s;
+    int procs = 0;
+    double bytes = 0.0;
+    double micros = 0.0;
+    if (!(is >> pattern_s >> procs >> bytes >> stride_s >> latency_s >> micros)) {
+      diags.error(SourceLoc{lineno, 1}, "malformed training-set line: '" +
+                                            std::string(line) + "'");
+      continue;
+    }
+    TrainingEntry e;
+    if (!parse_pattern(to_lower(pattern_s), &e.pattern)) {
+      diags.error(SourceLoc{lineno, 1}, "unknown pattern '" + pattern_s + "'");
+      continue;
+    }
+    const std::string stride = to_lower(stride_s);
+    if (stride == "unit") e.stride = Stride::Unit;
+    else if (stride == "nonunit" || stride == "non-unit") e.stride = Stride::NonUnit;
+    else {
+      diags.error(SourceLoc{lineno, 1}, "unknown stride '" + stride_s + "'");
+      continue;
+    }
+    const std::string latency = to_lower(latency_s);
+    if (latency == "high") e.latency = LatencyClass::High;
+    else if (latency == "low") e.latency = LatencyClass::Low;
+    else {
+      diags.error(SourceLoc{lineno, 1}, "unknown latency class '" + latency_s + "'");
+      continue;
+    }
+    if (procs < 1 || bytes < 0.0 || micros < 0.0) {
+      diags.error(SourceLoc{lineno, 1}, "out-of-range value in training-set line");
+      continue;
+    }
+    e.procs = procs;
+    e.bytes = bytes;
+    e.micros = micros;
+    db.add(e);
+  }
+  return db;
+}
+
+std::string format_training_sets(const TrainingSetDB& db) {
+  std::ostringstream os;
+  os << std::setprecision(17);  // lossless double round-trip
+  os << "# pattern procs bytes stride latency micros\n";
+  for (const TrainingEntry& e : db.entries()) {
+    os << pattern_token(e.pattern) << ' ' << e.procs << ' ' << e.bytes << ' '
+       << (e.stride == Stride::Unit ? "unit" : "nonunit") << ' '
+       << (e.latency == LatencyClass::High ? "high" : "low") << ' ' << e.micros
+       << '\n';
+  }
+  return os.str();
+}
+
+} // namespace al::machine

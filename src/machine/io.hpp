@@ -1,0 +1,31 @@
+// Training-set file format.
+//
+// Real deployments of the assistant would ship MEASURED training sets for
+// each target machine; this module reads/writes a simple line-oriented
+// format so users can swap in their own measurements:
+//
+//     # pattern procs bytes stride latency micros
+//     shift      4     4096  unit   high    1672.5
+//     transpose  16    2.1e6 nonunit low    50000
+//
+// Pattern names match machine::to_string(CommPattern); send/recv may be
+// written "sendrecv". Lines starting with '#' and blank lines are skipped.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "machine/training_set.hpp"
+#include "support/diagnostics.hpp"
+
+namespace al::machine {
+
+/// Parses the text of a training-set file. Problems go to `diags`; valid
+/// lines are still collected.
+[[nodiscard]] TrainingSetDB parse_training_sets(std::string_view text,
+                                                DiagnosticEngine& diags);
+
+/// Renders a database back into the file format (round-trips with parse).
+[[nodiscard]] std::string format_training_sets(const TrainingSetDB& db);
+
+} // namespace al::machine

@@ -1,0 +1,96 @@
+// Synthesized iPSC/860 training sets.
+//
+// Characteristics taken from the published literature on the machine:
+//   * message startup  ~75 us for short (<= 100 byte) messages,
+//                     ~136 us once the long-message protocol kicks in
+//   * sustained link bandwidth ~2.8 MB/s  (~0.36 us per byte)
+//   * i860 under if77 -O4 sustains a few MFLOPS on real codes
+//   * 8 MB of memory per node
+// Non-unit-stride messages must be buffered (packed) on both ends; pipelined
+// phases observe a reduced ("low") latency because the receive is posted
+// while the previous strip computes.
+#include <cmath>
+
+#include "machine/training_set.hpp"
+
+namespace al::machine {
+namespace {
+
+constexpr double kShortStartupUs = 75.0;
+constexpr double kLongStartupUs = 136.0;
+constexpr double kShortLimitBytes = 100.0;
+constexpr double kPerByteUs = 0.36;       // ~2.8 MB/s
+constexpr double kBufferPerByteUs = 0.10; // pack + unpack copy cost
+constexpr double kBufferFixedUs = 30.0;
+constexpr double kLowLatencyScale = 0.80; // overlapped startup
+
+/// One point-to-point message of `bytes`.
+double message_us(double bytes, Stride stride, LatencyClass lat) {
+  double startup = bytes <= kShortLimitBytes ? kShortStartupUs : kLongStartupUs;
+  if (lat == LatencyClass::Low) startup *= kLowLatencyScale;
+  double t = startup + bytes * kPerByteUs;
+  if (stride == Stride::NonUnit) t += kBufferFixedUs + bytes * kBufferPerByteUs;
+  return t;
+}
+
+double pattern_us(CommPattern p, int procs, double bytes, Stride stride, LatencyClass lat) {
+  const double lg = procs > 1 ? std::ceil(std::log2(static_cast<double>(procs))) : 0.0;
+  switch (p) {
+    case CommPattern::Shift:
+      // One exchange with each neighbour; hypercube neighbours are one hop.
+      return message_us(bytes, stride, lat);
+    case CommPattern::SendRecv:
+      return message_us(bytes, stride, lat);
+    case CommPattern::Broadcast:
+      // Spanning-tree broadcast: log2(P) message steps.
+      return lg * message_us(bytes, stride, lat);
+    case CommPattern::Reduction:
+      // Combine tree: log2(P) small messages plus the combine flop each step.
+      return lg * (message_us(bytes, stride, lat) + 0.5);
+    case CommPattern::Transpose: {
+      // All-to-all block exchange of a whole array: every processor sends
+      // P-1 blocks of size bytes/P^2 (its share split for every peer), with
+      // link serialization at each node.
+      if (procs <= 1) return 0.0;
+      const double block = bytes / (static_cast<double>(procs) * procs);
+      return (procs - 1) * message_us(block, stride, lat);
+    }
+  }
+  return 0.0;
+}
+
+} // namespace
+
+MachineModel make_ipsc860() {
+  MachineModel m;
+  m.name = "Intel iPSC/860";
+  m.flop_us_real = 0.12;    // ~8 MFLOPS sustained under if77 -O4
+  m.flop_us_double = 0.15;
+  m.mem_us = 0.05;
+  m.node_memory_bytes = 8L * 1024 * 1024;
+  m.max_procs = 128;
+
+  const int procs_samples[] = {2, 4, 8, 16, 32, 64, 128};
+  const double byte_samples[] = {8, 64, 100, 512, 4096, 32768, 262144, 2097152};
+  const CommPattern patterns[] = {CommPattern::Shift, CommPattern::SendRecv,
+                                  CommPattern::Broadcast, CommPattern::Reduction,
+                                  CommPattern::Transpose};
+  const Stride strides[] = {Stride::Unit, Stride::NonUnit};
+  const LatencyClass lats[] = {LatencyClass::High, LatencyClass::Low};
+
+  for (CommPattern p : patterns) {
+    for (int procs : procs_samples) {
+      for (double bytes : byte_samples) {
+        for (Stride s : strides) {
+          for (LatencyClass l : lats) {
+            m.training.add(TrainingEntry{p, procs, bytes, s, l,
+                                         pattern_us(p, procs, bytes, s, l)});
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+} // namespace al::machine

@@ -1,0 +1,76 @@
+// Synthesized Intel Paragon training sets (the paper's second target).
+// Relative to the iPSC/860 the Paragon has a 2-D mesh with far higher link
+// bandwidth (~90 MB/s sustained under OSF's NX at the time the paper was
+// written) and lower startup, while node compute is comparable (i860 XP).
+#include <cmath>
+
+#include "machine/training_set.hpp"
+
+namespace al::machine {
+namespace {
+
+constexpr double kStartupUs = 45.0;
+constexpr double kPerByteUs = 0.012;      // ~85 MB/s
+constexpr double kBufferPerByteUs = 0.04;
+constexpr double kBufferFixedUs = 18.0;
+constexpr double kLowLatencyScale = 0.45;
+
+double message_us(double bytes, Stride stride, LatencyClass lat) {
+  double startup = kStartupUs;
+  if (lat == LatencyClass::Low) startup *= kLowLatencyScale;
+  double t = startup + bytes * kPerByteUs;
+  if (stride == Stride::NonUnit) t += kBufferFixedUs + bytes * kBufferPerByteUs;
+  return t;
+}
+
+double pattern_us(CommPattern p, int procs, double bytes, Stride stride, LatencyClass lat) {
+  const double lg = procs > 1 ? std::ceil(std::log2(static_cast<double>(procs))) : 0.0;
+  switch (p) {
+    case CommPattern::Shift:
+    case CommPattern::SendRecv:
+      return message_us(bytes, stride, lat);
+    case CommPattern::Broadcast:
+      return lg * message_us(bytes, stride, lat);
+    case CommPattern::Reduction:
+      return lg * (message_us(bytes, stride, lat) + 0.3);
+    case CommPattern::Transpose: {
+      if (procs <= 1) return 0.0;
+      const double block = bytes / (static_cast<double>(procs) * procs);
+      return (procs - 1) * message_us(block, stride, lat);
+    }
+  }
+  return 0.0;
+}
+
+} // namespace
+
+MachineModel make_paragon() {
+  MachineModel m;
+  m.name = "Intel Paragon";
+  m.flop_us_real = 0.10;
+  m.flop_us_double = 0.13;
+  m.mem_us = 0.04;
+  m.node_memory_bytes = 16L * 1024 * 1024;
+  m.max_procs = 512;
+
+  const int procs_samples[] = {2, 4, 8, 16, 32, 64, 128, 256, 512};
+  const double byte_samples[] = {8, 64, 512, 4096, 32768, 262144, 2097152};
+  const CommPattern patterns[] = {CommPattern::Shift, CommPattern::SendRecv,
+                                  CommPattern::Broadcast, CommPattern::Reduction,
+                                  CommPattern::Transpose};
+  for (CommPattern p : patterns) {
+    for (int procs : procs_samples) {
+      for (double bytes : byte_samples) {
+        for (Stride s : {Stride::Unit, Stride::NonUnit}) {
+          for (LatencyClass l : {LatencyClass::High, LatencyClass::Low}) {
+            m.training.add(TrainingEntry{p, procs, bytes, s, l,
+                                         pattern_us(p, procs, bytes, s, l)});
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+} // namespace al::machine

@@ -1,0 +1,76 @@
+#include "machine/training_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace al::machine {
+
+const char* to_string(CommPattern p) {
+  switch (p) {
+    case CommPattern::Shift: return "shift";
+    case CommPattern::SendRecv: return "send/recv";
+    case CommPattern::Broadcast: return "broadcast";
+    case CommPattern::Reduction: return "reduction";
+    case CommPattern::Transpose: return "transpose";
+  }
+  return "?";
+}
+
+void TrainingSetDB::add(TrainingEntry e) {
+  AL_EXPECTS(e.procs >= 1);
+  AL_EXPECTS(e.bytes >= 0.0);
+  AL_EXPECTS(e.micros >= 0.0);
+  entries_.push_back(e);
+}
+
+double TrainingSetDB::lookup(CommPattern p, int procs, double bytes, Stride s,
+                             LatencyClass l) const {
+  // Select the matching (pattern, stride, latency) family, then the nearest
+  // sampled processor count (log distance), then interpolate in bytes.
+  int best_procs = -1;
+  double best_pd = 0.0;
+  for (const TrainingEntry& e : entries_) {
+    if (e.pattern != p || e.stride != s || e.latency != l) continue;
+    const double pd = std::abs(std::log2(static_cast<double>(std::max(e.procs, 1))) -
+                               std::log2(static_cast<double>(std::max(procs, 1))));
+    if (best_procs < 0 || pd < best_pd) {
+      best_procs = e.procs;
+      best_pd = pd;
+    }
+  }
+  if (best_procs < 0) return 0.0;  // pattern not sampled: free (degenerate DB)
+
+  // Bracketing byte sizes within the family.
+  const TrainingEntry* lo = nullptr;
+  const TrainingEntry* hi = nullptr;
+  for (const TrainingEntry& e : entries_) {
+    if (e.pattern != p || e.stride != s || e.latency != l || e.procs != best_procs)
+      continue;
+    if (e.bytes <= bytes && (lo == nullptr || e.bytes > lo->bytes)) lo = &e;
+    if (e.bytes >= bytes && (hi == nullptr || e.bytes < hi->bytes)) hi = &e;
+  }
+  if (lo == nullptr && hi == nullptr) return 0.0;
+  if (lo == nullptr) {
+    // Below the smallest sample: startup-dominated, clamp.
+    return hi->micros;
+  }
+  if (hi == nullptr) {
+    // Beyond the largest sample: extrapolate with the last per-byte slope.
+    const TrainingEntry* prev = nullptr;
+    for (const TrainingEntry& e : entries_) {
+      if (e.pattern != p || e.stride != s || e.latency != l || e.procs != best_procs)
+        continue;
+      if (e.bytes < lo->bytes && (prev == nullptr || e.bytes > prev->bytes)) prev = &e;
+    }
+    if (prev == nullptr || lo->bytes <= prev->bytes) return lo->micros;
+    const double slope = (lo->micros - prev->micros) / (lo->bytes - prev->bytes);
+    return lo->micros + slope * (bytes - lo->bytes);
+  }
+  if (hi->bytes <= lo->bytes) return lo->micros;
+  const double t = (bytes - lo->bytes) / (hi->bytes - lo->bytes);
+  return lo->micros + t * (hi->micros - lo->micros);
+}
+
+} // namespace al::machine

@@ -1,0 +1,88 @@
+// Machine-level training sets (paper, section 3; [BFKK91]).
+//
+// The prototype bases its estimates on >100 training sets measured on the
+// Intel iPSC/860 / Paragon: basic computation costs (real/double flops) and
+// communication patterns (nearest-neighbour shift, send/recv pairs,
+// broadcast, reduction, transpose), each sampled over processor counts,
+// message sizes, memory access patterns (unit vs non-unit stride -- the
+// latter requires message buffering) and observable latency (low for
+// pipelined phases that overlap computation and communication, high for
+// loosely synchronous phases).
+//
+// SUBSTITUTION (see DESIGN.md): we cannot measure a physical iPSC/860, so
+// `make_ipsc860()`/`make_paragon()` synthesize the tables from the machines'
+// published characteristics. The framework only ever LOOKS UP entries, so
+// its behaviour depends on the relative cost structure, which is preserved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fortran/ast.hpp"
+
+namespace al::machine {
+
+enum class CommPattern {
+  Shift,      ///< nearest-neighbour exchange; size = boundary bytes per proc
+  SendRecv,   ///< one point-to-point pair; size = message bytes
+  Broadcast,  ///< one-to-all; size = message bytes
+  Reduction,  ///< all-to-one combine; size = reduced-value bytes
+  Transpose,  ///< redistribution along another dimension; size = whole-array bytes
+};
+
+enum class Stride { Unit, NonUnit };
+enum class LatencyClass { High, Low };
+
+[[nodiscard]] const char* to_string(CommPattern p);
+
+struct TrainingEntry {
+  CommPattern pattern;
+  int procs;
+  double bytes;
+  Stride stride;
+  LatencyClass latency;
+  double micros;  ///< measured (here: synthesized) wall time
+};
+
+/// A queryable training-set database with log-linear interpolation in the
+/// message size and nearest-sample selection in the processor count.
+class TrainingSetDB {
+public:
+  void add(TrainingEntry e);
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<TrainingEntry>& entries() const { return entries_; }
+
+  /// Interpolated lookup; extrapolates linearly beyond the sampled range.
+  [[nodiscard]] double lookup(CommPattern p, int procs, double bytes, Stride s,
+                              LatencyClass l) const;
+
+private:
+  std::vector<TrainingEntry> entries_;
+};
+
+/// A machine model: computation costs plus the training-set database.
+struct MachineModel {
+  std::string name;
+  double flop_us_real = 0.0;      ///< per weighted single-precision flop
+  double flop_us_double = 0.0;    ///< per weighted double-precision flop
+  double mem_us = 0.0;            ///< per array-element access (cache average)
+  long node_memory_bytes = 0;     ///< per-node memory (feasibility checks)
+  int max_procs = 0;
+  TrainingSetDB training;
+
+  [[nodiscard]] double flop_us(fortran::ScalarType t) const {
+    return t == fortran::ScalarType::DoublePrecision ? flop_us_double : flop_us_real;
+  }
+  [[nodiscard]] double comm_us(CommPattern p, int procs, double bytes, Stride s,
+                               LatencyClass l) const {
+    return training.lookup(p, procs, bytes, s, l);
+  }
+};
+
+/// Intel iPSC/860 hypercube (the paper's experimental target).
+[[nodiscard]] MachineModel make_ipsc860();
+
+/// Intel Paragon (the paper's second training-set target).
+[[nodiscard]] MachineModel make_paragon();
+
+} // namespace al::machine

@@ -1,0 +1,206 @@
+#include "pcfg/dependence.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/contracts.hpp"
+
+namespace al::pcfg {
+namespace {
+
+using fortran::ArrayRefExpr;
+using fortran::AssignStmt;
+using fortran::BinaryExpr;
+using fortran::BinOp;
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::IntrinsicExpr;
+using fortran::StmtKind;
+using fortran::UnaryExpr;
+using fortran::VarExpr;
+
+/// Does the scalar `sym` occur in `e`?
+bool scalar_occurs(const Expr& e, int sym) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+    case ExprKind::RealConst:
+      return false;
+    case ExprKind::Var:
+      return static_cast<const VarExpr&>(e).symbol == sym;
+    case ExprKind::ArrayRef: {
+      const auto& r = static_cast<const ArrayRefExpr&>(e);
+      for (const auto& s : r.subscripts)
+        if (scalar_occurs(*s, sym)) return true;
+      return false;
+    }
+    case ExprKind::Unary:
+      return scalar_occurs(*static_cast<const UnaryExpr&>(e).operand, sym);
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return scalar_occurs(*b.lhs, sym) || scalar_occurs(*b.rhs, sym);
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      for (const auto& a : c.args)
+        if (scalar_occurs(*a, sym)) return true;
+      return false;
+    }
+  }
+  return false;
+}
+
+/// Checks whether `rhs` has the shape of a commutative reduction into `sym`:
+/// top-level `sym + e`/`e + sym`/`sym * e`, or max/min(sym, e).
+bool is_reduction_rhs(const Expr& rhs, int sym, BinOp& op_out) {
+  if (rhs.kind == ExprKind::Binary) {
+    const auto& b = static_cast<const BinaryExpr&>(rhs);
+    if (b.op == BinOp::Add || b.op == BinOp::Mul) {
+      const bool left = b.lhs->kind == ExprKind::Var &&
+                        static_cast<const VarExpr&>(*b.lhs).symbol == sym;
+      const bool right = b.rhs->kind == ExprKind::Var &&
+                         static_cast<const VarExpr&>(*b.rhs).symbol == sym;
+      // The accumulator must not also appear deeper in the other side.
+      if (left && !scalar_occurs(*b.rhs, sym)) { op_out = b.op; return true; }
+      if (right && !scalar_occurs(*b.lhs, sym)) { op_out = b.op; return true; }
+    }
+    return false;
+  }
+  if (rhs.kind == ExprKind::Intrinsic) {
+    const auto& c = static_cast<const IntrinsicExpr&>(rhs);
+    const bool is_minmax = c.name == "max" || c.name == "min" || c.name == "amax1" ||
+                           c.name == "amin1" || c.name == "dmax1" || c.name == "dmin1" ||
+                           c.name == "max0" || c.name == "min0";
+    if (!is_minmax) return false;
+    int occurrences = 0;
+    for (const auto& a : c.args) {
+      if (a->kind == ExprKind::Var && static_cast<const VarExpr&>(*a).symbol == sym)
+        ++occurrences;
+      else if (scalar_occurs(*a, sym))
+        return false;
+    }
+    if (occurrences == 1) {
+      op_out = BinOp::Add;  // cost-wise a max-reduction behaves like a sum
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Walks the phase body collecting scalar writes (for reduction detection).
+void scan_scalar_writes(const std::vector<fortran::StmtPtr>& body, PhaseDeps& out) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        if (a.lhs->kind != ExprKind::Var) break;
+        const int sym = static_cast<const VarExpr&>(*a.lhs).symbol;
+        if (sym < 0) break;
+        BinOp op = BinOp::Add;
+        if (is_reduction_rhs(*a.rhs, sym, op)) {
+          out.reductions.push_back(Reduction{sym, op});
+        } else if (scalar_occurs(*a.rhs, sym)) {
+          out.has_serializing_scalar = true;
+        }
+        // A plain scalar write (no self-reference) is privatizable; ignore.
+        break;
+      }
+      case StmtKind::Do:
+        scan_scalar_writes(static_cast<const fortran::DoStmt&>(*s).body, out);
+        break;
+      case StmtKind::If: {
+        const auto& i = static_cast<const fortran::IfStmt&>(*s);
+        scan_scalar_writes(i.then_body, out);
+        scan_scalar_writes(i.else_body, out);
+        break;
+      }
+      case StmtKind::Continue:
+      case StmtKind::Call:  // calls are inlined before dependence analysis
+        break;
+    }
+  }
+}
+
+} // namespace
+
+bool PhaseDeps::flow_on(int array, int dim) const {
+  for (const auto& d : deps) {
+    if (d.array == array && d.dim == dim && d.is_flow &&
+        (d.distance != 0 || !d.distance_known))
+      return true;
+  }
+  return false;
+}
+
+bool PhaseDeps::any_on(int array, int dim) const {
+  for (const auto& d : deps) {
+    if (d.array == array && d.dim == dim && (d.distance != 0 || !d.distance_known))
+      return true;
+  }
+  return false;
+}
+
+long PhaseDeps::flow_distance(int array, int dim) const {
+  long best = 0;
+  for (const auto& d : deps) {
+    if (d.array == array && d.dim == dim && d.is_flow && d.distance_known)
+      best = std::max(best, std::labs(d.distance));
+  }
+  return best;
+}
+
+PhaseDeps analyze_dependences(const Phase& phase, const fortran::SymbolTable& symbols) {
+  (void)symbols;
+  PhaseDeps out;
+  // Scalar reductions / serializing scalars.
+  if (phase.root) scan_scalar_writes(phase.root->body, out);
+
+  // Array dependences: every (write, read) pair of the same array.
+  for (const Reference& w : phase.refs) {
+    if (!w.is_write) continue;
+    for (const Reference& r : phase.refs) {
+      if (r.is_write || r.array != w.array) continue;
+      const std::size_t ndims = std::min(w.subs.size(), r.subs.size());
+      for (std::size_t k = 0; k < ndims; ++k) {
+        const SubscriptInfo& ws = w.subs[k];
+        const SubscriptInfo& rs = r.subs[k];
+        Dependence dep;
+        dep.array = w.array;
+        dep.dim = static_cast<int>(k);
+        if (ws.form == SubscriptForm::Affine && rs.form == SubscriptForm::Affine &&
+            ws.iv_symbol == rs.iv_symbol && ws.coef == rs.coef && ws.coef != 0 &&
+            ws.offset_exact && rs.offset_exact) {
+          // Read at iteration i touches the element written at i - dist
+          // ELEMENTS earlier along the dimension, where dist = (c_w - c_r)/a.
+          // In ITERATION order the sign flips with the loop step: a
+          // descending loop reading x(i+1) still reads an earlier iteration.
+          const long num = ws.offset - rs.offset;
+          if (num % ws.coef != 0) continue;  // never the same element
+          long dist = num / ws.coef;
+          const pcfg::LoopDesc* carrier = phase.loop_for_iv(ws.iv_symbol);
+          if (carrier != nullptr && carrier->step < 0) dist = -dist;
+          if (dist == 0) continue;           // loop-independent; no serialization
+          dep.iv_symbol = ws.iv_symbol;
+          dep.distance = dist;
+          dep.distance_known = true;
+          dep.is_flow = dist > 0;
+          out.deps.push_back(dep);
+        } else if (ws.form == SubscriptForm::Invariant && rs.form == SubscriptForm::Invariant &&
+                   ws.offset_exact && rs.offset_exact && ws.offset == rs.offset) {
+          continue;  // same fixed element; handled as scalar-like, no dim dep
+        } else if (ws.form == SubscriptForm::Complex || rs.form == SubscriptForm::Complex ||
+                   (ws.form == SubscriptForm::Affine && rs.form == SubscriptForm::Affine &&
+                    (ws.iv_symbol != rs.iv_symbol || ws.coef != rs.coef))) {
+          // Unanalyzable pair: be conservative.
+          dep.iv_symbol = ws.form == SubscriptForm::Affine ? ws.iv_symbol : rs.iv_symbol;
+          dep.distance = 0;
+          dep.distance_known = false;
+          dep.is_flow = true;
+          out.deps.push_back(dep);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace al::pcfg

@@ -1,0 +1,52 @@
+// Per-phase data dependence summary.
+//
+// The execution model (paper, section 2.3) classifies a phase, for a given
+// layout, as loosely synchronous / pipelined / reduction / sequentialized
+// based on whether cross-processor TRUE dependences exist along distributed
+// array dimensions. This module computes the layout-independent ingredient:
+// per (array, dimension) flow/anti dependence distances carried by the
+// phase's loops, plus scalar reduction recognition.
+#pragma once
+
+#include <vector>
+
+#include "pcfg/phase.hpp"
+
+namespace al::pcfg {
+
+/// One loop-carried dependence between references of the same array.
+struct Dependence {
+  int array = -1;       ///< array symbol
+  int dim = -1;         ///< array dimension (0-based) carrying the dependence
+  int iv_symbol = -1;   ///< loop whose iterations the dependence crosses
+  long distance = 0;    ///< iterations crossed; >0 flow, <0 anti
+  bool distance_known = true;  ///< false -> conservative "some dependence"
+  bool is_flow = false;        ///< write-then-read across iterations
+};
+
+/// Scalar reduction recognized in a phase (`s = s + expr`, max/min forms).
+struct Reduction {
+  int symbol = -1;          ///< the accumulator scalar
+  fortran::BinOp op = fortran::BinOp::Add;  ///< Add/Mul; max/min map to Add cost-wise
+};
+
+struct PhaseDeps {
+  std::vector<Dependence> deps;
+  std::vector<Reduction> reductions;
+  /// True when the phase writes a scalar in a non-reduction way inside its
+  /// loops (forces sequential execution regardless of layout).
+  bool has_serializing_scalar = false;
+
+  /// Is there a flow dependence with nonzero distance along `dim` of `array`?
+  [[nodiscard]] bool flow_on(int array, int dim) const;
+  /// Any dependence (flow or anti) along `dim` of `array`?
+  [[nodiscard]] bool any_on(int array, int dim) const;
+  /// Largest |distance| of a flow dependence along (array, dim); 0 if none.
+  [[nodiscard]] long flow_distance(int array, int dim) const;
+};
+
+/// Analyzes the references of `phase`.
+[[nodiscard]] PhaseDeps analyze_dependences(const Phase& phase,
+                                            const fortran::SymbolTable& symbols);
+
+} // namespace al::pcfg

@@ -1,0 +1,286 @@
+#include "pcfg/pcfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "fortran/symbols.hpp"
+#include "support/contracts.hpp"
+
+namespace al::pcfg {
+namespace {
+
+using namespace fortran;
+
+// Internal node: phases plus transparent junctions used while translating
+// structured control flow; junctions are contracted away at the end.
+struct BNode {
+  bool is_phase = false;
+  int phase = -1;  // index into phases when is_phase
+};
+
+struct BEdge {
+  int src;
+  int dst;
+  double count;
+};
+
+struct BuiltParts {
+  std::vector<Phase> phases;
+  std::vector<double> freq;
+  std::vector<Transition> transitions;
+};
+
+class Builder {
+public:
+  Builder(const Program& prog, const PhaseOptions& opts) : prog_(prog), opts_(opts) {}
+
+  BuiltParts run() {
+    entry_ = new_junction();
+    exit_ = new_junction();
+    auto sub = build_list(prog_.body, 1.0);
+    if (sub) {
+      add_edge(entry_, sub->first, 1.0);
+      add_edge(sub->second, exit_, 1.0);
+    } else {
+      add_edge(entry_, exit_, 1.0);
+    }
+    return finalize();
+  }
+
+private:
+  struct Segment {
+    int first;  // junction receiving control
+    int second; // junction yielding control
+  };
+
+  int new_junction() {
+    nodes_.push_back(BNode{});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  int new_phase_node(const DoStmt& d) {
+    const int pid = static_cast<int>(phases_.size());
+    phases_.push_back(analyze_phase(d, prog_.symbols, pid, opts_));
+    nodes_.push_back(BNode{true, pid});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  void add_edge(int src, int dst, double count) {
+    if (count <= 0.0) return;
+    edges_.push_back(BEdge{src, dst, count});
+  }
+
+  /// Builds a statement list executed `count` times. Returns the entry/exit
+  /// junctions of the phase-bearing part, or nullopt if the list contains no
+  /// phases at all.
+  std::optional<Segment> build_list(const std::vector<StmtPtr>& body, double count) {
+    std::optional<Segment> acc;
+    for (const auto& s : body) {
+      std::optional<Segment> part = build_stmt(*s, count);
+      if (!part) continue;
+      if (!acc) {
+        acc = part;
+      } else {
+        add_edge(acc->second, part->first, count);
+        acc->second = part->second;
+      }
+    }
+    return acc;
+  }
+
+  std::optional<Segment> build_stmt(const Stmt& s, double count) {
+    switch (s.kind) {
+      case StmtKind::Assign:
+      case StmtKind::Call:
+      case StmtKind::Continue:
+        return std::nullopt;
+      case StmtKind::Do: {
+        const auto& d = static_cast<const DoStmt&>(s);
+        if (loop_is_phase_root(d, prog_.symbols)) {
+          const int n = new_phase_node(d);
+          const int in = new_junction();
+          const int out = new_junction();
+          add_edge(in, n, count);
+          add_edge(n, out, count);
+          return Segment{in, out};
+        }
+        // Sequential (non-phase) loop: the body runs `trip` times.
+        const auto lo = fold_integer_constant(*d.lo, prog_.symbols);
+        const auto hi = fold_integer_constant(*d.hi, prog_.symbols);
+        std::optional<long> step = d.step ? fold_integer_constant(*d.step, prog_.symbols)
+                                          : std::optional<long>(1);
+        long trip = 100;  // nominal when symbolic
+        if (lo && hi && step && *step != 0) trip = (*hi - *lo) / *step + 1;
+        if (trip < 0) trip = 0;
+        auto sub = build_list(d.body, count * static_cast<double>(trip));
+        if (!sub || trip == 0) return std::nullopt;
+        const int in = new_junction();
+        const int out = new_junction();
+        add_edge(in, sub->first, count);
+        add_edge(sub->second, sub->first, count * static_cast<double>(trip - 1));
+        add_edge(sub->second, out, count);
+        return Segment{in, out};
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        double p = opts_.default_branch_probability;
+        if (opts_.use_annotated_probabilities && i.branch_probability >= 0.0)
+          p = i.branch_probability;
+        auto then_seg = build_list(i.then_body, count * p);
+        auto else_seg = build_list(i.else_body, count * (1.0 - p));
+        if (!then_seg && !else_seg) return std::nullopt;
+        const int in = new_junction();
+        const int out = new_junction();
+        if (then_seg) {
+          add_edge(in, then_seg->first, count * p);
+          add_edge(then_seg->second, out, count * p);
+        } else {
+          add_edge(in, out, count * p);
+        }
+        if (else_seg) {
+          add_edge(in, else_seg->first, count * (1.0 - p));
+          add_edge(else_seg->second, out, count * (1.0 - p));
+        } else {
+          add_edge(in, out, count * (1.0 - p));
+        }
+        return Segment{in, out};
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Contracts junctions: pushes each phase's (and entry's) outgoing flow
+  /// through junction chains until it lands on phase nodes or the exit.
+  BuiltParts finalize() {
+    const int n = static_cast<int>(nodes_.size());
+    std::vector<std::vector<BEdge>> succ(static_cast<std::size_t>(n));
+    for (const BEdge& e : edges_) succ[static_cast<std::size_t>(e.src)].push_back(e);
+
+    // flow(junction) -> distribution over terminal nodes (phase or exit),
+    // as fractions of one unit entering the junction.
+    std::vector<std::map<int, double>> memo(static_cast<std::size_t>(n));
+    std::vector<char> done(static_cast<std::size_t>(n), 0);
+
+    auto resolve = [&](auto&& self, int j) -> const std::map<int, double>& {
+      auto& m = memo[static_cast<std::size_t>(j)];
+      if (done[static_cast<std::size_t>(j)]) return m;
+      done[static_cast<std::size_t>(j)] = 1;
+      double total = 0.0;
+      for (const BEdge& e : succ[static_cast<std::size_t>(j)]) total += e.count;
+      if (total <= 0.0) {
+        m[exit_] = 1.0;
+        return m;
+      }
+      for (const BEdge& e : succ[static_cast<std::size_t>(j)]) {
+        const double frac = e.count / total;
+        if (nodes_[static_cast<std::size_t>(e.dst)].is_phase || e.dst == exit_) {
+          m[e.dst] += frac;
+        } else {
+          for (const auto& [term, f] : self(self, e.dst)) m[term] += frac * f;
+        }
+      }
+      return m;
+    };
+
+    std::map<std::pair<int, int>, double> contracted;  // (node,node) -> count
+    auto push_flow = [&](int origin_node, int origin_key) {
+      double total_out = 0.0;
+      for (const BEdge& e : succ[static_cast<std::size_t>(origin_node)]) total_out += e.count;
+      for (const BEdge& e : succ[static_cast<std::size_t>(origin_node)]) {
+        if (nodes_[static_cast<std::size_t>(e.dst)].is_phase || e.dst == exit_) {
+          contracted[{origin_key, e.dst}] += e.count;
+        } else {
+          for (const auto& [term, f] : resolve(resolve, e.dst))
+            contracted[{origin_key, term}] += e.count * f;
+        }
+      }
+      (void)total_out;
+    };
+
+    push_flow(entry_, entry_);
+    for (int v = 0; v < n; ++v) {
+      if (nodes_[static_cast<std::size_t>(v)].is_phase) push_flow(v, v);
+    }
+
+    BuiltParts out;
+    out.phases = std::move(phases_);
+    out.freq.assign(out.phases.size(), 0.0);
+    auto phase_of = [&](int node) {
+      if (node == entry_ || node == exit_) return -1;
+      return nodes_[static_cast<std::size_t>(node)].phase;
+    };
+    for (const auto& [key, cnt] : contracted) {
+      Transition t;
+      t.src = phase_of(key.first);
+      t.dst = phase_of(key.second);
+      t.traversals = cnt;
+      if (t.dst >= 0) out.freq[static_cast<std::size_t>(t.dst)] += cnt;
+      out.transitions.push_back(t);
+    }
+    return out;
+  }
+
+  const Program& prog_;
+  const PhaseOptions& opts_;
+  std::vector<BNode> nodes_;
+  std::vector<BEdge> edges_;
+  std::vector<Phase> phases_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+} // namespace
+
+Pcfg Pcfg::build(const fortran::Program& prog, const PhaseOptions& opts) {
+  Builder b(prog, opts);
+  BuiltParts parts = b.run();
+  Pcfg out;
+  out.phases_ = std::move(parts.phases);
+  out.freq_ = std::move(parts.freq);
+  out.transitions_ = std::move(parts.transitions);
+  return out;
+}
+
+std::vector<int> Pcfg::reverse_postorder() const {
+  const int n = num_phases();
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  std::vector<int> roots;
+  for (const Transition& t : transitions_) {
+    if (t.src >= 0 && t.dst >= 0)
+      succ[static_cast<std::size_t>(t.src)].push_back(t.dst);
+    else if (t.src < 0 && t.dst >= 0)
+      roots.push_back(t.dst);
+  }
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<int> post;
+  auto dfs = [&](auto&& self, int u) -> void {
+    if (seen[static_cast<std::size_t>(u)]) return;
+    seen[static_cast<std::size_t>(u)] = 1;
+    for (int v : succ[static_cast<std::size_t>(u)]) self(self, v);
+    post.push_back(u);
+  };
+  for (int r : roots) dfs(dfs, r);
+  for (int u = 0; u < n; ++u) dfs(dfs, u);  // unreachable safety net
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+std::string Pcfg::str() const {
+  std::ostringstream os;
+  os << "PCFG: " << num_phases() << " phases\n";
+  for (int i = 0; i < num_phases(); ++i) {
+    const Phase& p = phases_[static_cast<std::size_t>(i)];
+    os << "  [" << i << "] " << p.label << "  freq=" << frequency(i)
+       << "  loops=" << p.loops.size() << " refs=" << p.refs.size() << '\n';
+  }
+  for (const Transition& t : transitions_) {
+    os << "  " << (t.src < 0 ? std::string("entry") : std::to_string(t.src)) << " -> "
+       << (t.dst < 0 ? std::string("exit") : std::to_string(t.dst))
+       << "  x" << t.traversals << '\n';
+  }
+  return os.str();
+}
+
+} // namespace al::pcfg

@@ -1,0 +1,55 @@
+// Phase control flow graph (paper, section 2.1): an augmented control flow
+// graph with one node per phase, annotated with branch probabilities and
+// loop control information. The graph drives
+//   * phase execution frequencies (how often each phase runs),
+//   * phase-to-phase transition counts (how often a remap edge would pay),
+//   * the reverse postorder used by the alignment heuristic (section 3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fortran/ast.hpp"
+#include "pcfg/phase.hpp"
+
+namespace al::pcfg {
+
+/// A phase-to-phase control transfer with its expected traversal count per
+/// program run. `src`/`dst` of -1 denote program entry/exit.
+struct Transition {
+  int src = -1;
+  int dst = -1;
+  double traversals = 0.0;
+};
+
+/// The phase control flow graph of one program.
+class Pcfg {
+public:
+  /// Analyzes `prog` (which must outlive the Pcfg).
+  static Pcfg build(const fortran::Program& prog, const PhaseOptions& opts = {});
+
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+  [[nodiscard]] const Phase& phase(int i) const { return phases_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int num_phases() const { return static_cast<int>(phases_.size()); }
+
+  /// Expected executions of phase `i` per program run.
+  [[nodiscard]] double frequency(int i) const { return freq_.at(static_cast<std::size_t>(i)); }
+
+  /// Phase-to-phase transitions (includes entry -1 -> p and p -> -1 exit).
+  [[nodiscard]] const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Phase indices in reverse postorder of the phase-level graph, starting
+  /// from program entry. This is the visit order of the alignment
+  /// heuristic's greedy phase partitioning.
+  [[nodiscard]] std::vector<int> reverse_postorder() const;
+
+  /// Multi-line debug rendering.
+  [[nodiscard]] std::string str() const;
+
+private:
+  std::vector<Phase> phases_;
+  std::vector<double> freq_;
+  std::vector<Transition> transitions_;
+};
+
+} // namespace al::pcfg

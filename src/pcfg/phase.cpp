@@ -1,0 +1,348 @@
+#include "pcfg/phase.hpp"
+
+#include <algorithm>
+
+#include "fortran/symbols.hpp"
+#include "support/contracts.hpp"
+
+namespace al::pcfg {
+namespace {
+
+using namespace fortran;
+
+/// Does `sym` occur anywhere in `e`?
+bool mentions_symbol(const Expr& e, int sym) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+    case ExprKind::RealConst:
+      return false;
+    case ExprKind::Var:
+      return static_cast<const VarExpr&>(e).symbol == sym;
+    case ExprKind::ArrayRef: {
+      const auto& r = static_cast<const ArrayRefExpr&>(e);
+      for (const auto& s : r.subscripts) {
+        if (mentions_symbol(*s, sym)) return true;
+      }
+      return false;
+    }
+    case ExprKind::Unary:
+      return mentions_symbol(*static_cast<const UnaryExpr&>(e).operand, sym);
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return mentions_symbol(*b.lhs, sym) || mentions_symbol(*b.rhs, sym);
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      for (const auto& a : c.args) {
+        if (mentions_symbol(*a, sym)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+/// Does any array subscript within `e` mention `sym`?
+bool subscript_mentions(const Expr& e, int sym) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+    case ExprKind::RealConst:
+    case ExprKind::Var:
+      return false;
+    case ExprKind::ArrayRef: {
+      const auto& r = static_cast<const ArrayRefExpr&>(e);
+      for (const auto& s : r.subscripts) {
+        if (mentions_symbol(*s, sym)) return true;
+        if (subscript_mentions(*s, sym)) return true;
+      }
+      return false;
+    }
+    case ExprKind::Unary:
+      return subscript_mentions(*static_cast<const UnaryExpr&>(e).operand, sym);
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return subscript_mentions(*b.lhs, sym) || subscript_mentions(*b.rhs, sym);
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      for (const auto& a : c.args) {
+        if (subscript_mentions(*a, sym)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool any_subscript_mentions(const std::vector<StmtPtr>& body, int sym) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        if (subscript_mentions(*a.lhs, sym) || subscript_mentions(*a.rhs, sym)) return true;
+        break;
+      }
+      case StmtKind::Do: {
+        const auto& d = static_cast<const DoStmt&>(*s);
+        if (any_subscript_mentions(d.body, sym)) return true;
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        if (subscript_mentions(*i.cond, sym)) return true;
+        if (any_subscript_mentions(i.then_body, sym)) return true;
+        if (any_subscript_mentions(i.else_body, sym)) return true;
+        break;
+      }
+      case StmtKind::Continue:
+      case StmtKind::Call:
+        break;
+    }
+  }
+  return false;
+}
+
+/// Weighted floating-point operation count of an expression (excluding
+/// subscript arithmetic, which runs on the integer unit).
+double expr_flops(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+    case ExprKind::RealConst:
+    case ExprKind::Var:
+      return 0.0;
+    case ExprKind::ArrayRef:
+      return 0.0;
+    case ExprKind::Unary:
+      return expr_flops(*static_cast<const UnaryExpr&>(e).operand) +
+             (static_cast<const UnaryExpr&>(e).op == UnOp::Neg ? 0.5 : 0.0);
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      double w;
+      switch (b.op) {
+        case BinOp::Add:
+        case BinOp::Sub:
+        case BinOp::Mul:
+          w = 1.0;
+          break;
+        case BinOp::Div:
+          w = 9.0;  // i860 fdiv is microcoded
+          break;
+        case BinOp::Pow:
+          w = 16.0;
+          break;
+        default:
+          w = 1.0;  // comparisons
+          break;
+      }
+      return w + expr_flops(*b.lhs) + expr_flops(*b.rhs);
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      double w = intrinsic_flop_weight(c.name);
+      for (const auto& a : c.args) w += expr_flops(*a);
+      return w;
+    }
+  }
+  return 0.0;
+}
+
+/// Number of array-element accesses in an expression.
+double expr_mem_accesses(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+    case ExprKind::RealConst:
+    case ExprKind::Var:
+      return 0.0;
+    case ExprKind::ArrayRef:
+      return 1.0;
+    case ExprKind::Unary:
+      return expr_mem_accesses(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return expr_mem_accesses(*b.lhs) + expr_mem_accesses(*b.rhs);
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      double n = 0.0;
+      for (const auto& a : c.args) n += expr_mem_accesses(*a);
+      return n;
+    }
+  }
+  return 0.0;
+}
+
+class PhaseBuilder {
+public:
+  PhaseBuilder(const SymbolTable& symbols, const PhaseOptions& opts)
+      : symbols_(symbols), opts_(opts) {}
+
+  Phase build(const DoStmt& root, int id) {
+    phase_ = Phase{};
+    phase_.id = id;
+    phase_.root = &root;
+    phase_.label = "phase " + std::to_string(id) + " @ line " + std::to_string(root.loc.line);
+    walk_loop(root, /*frequency=*/1.0, /*depth=*/0);
+    std::sort(phase_.arrays.begin(), phase_.arrays.end());
+    phase_.arrays.erase(std::unique(phase_.arrays.begin(), phase_.arrays.end()),
+                        phase_.arrays.end());
+    return std::move(phase_);
+  }
+
+private:
+  void walk_loop(const DoStmt& d, double frequency, int depth) {
+    LoopDesc desc;
+    desc.stmt = &d;
+    desc.iv_symbol = d.symbol;
+    desc.depth = depth;
+    const auto lo = fold_integer_constant(*d.lo, symbols_);
+    const auto hi = fold_integer_constant(*d.hi, symbols_);
+    std::optional<long> step = d.step ? fold_integer_constant(*d.step, symbols_)
+                                      : std::optional<long>(1);
+    desc.bounds_exact = lo.has_value() && hi.has_value() && step.has_value();
+    desc.lo = lo.value_or(1);
+    desc.hi = hi.value_or(100);  // nominal trip when bounds are symbolic
+    desc.step = step.value_or(1);
+    if (desc.step == 0) desc.step = 1;
+    phase_.loops.push_back(desc);
+
+    ivs_.push_back(d.symbol);
+    const double inner_freq = frequency * static_cast<double>(std::max<long>(desc.trip(), 0));
+    walk_body(d.body, inner_freq, depth);
+    ivs_.pop_back();
+  }
+
+  void walk_body(const std::vector<StmtPtr>& body, double frequency, int depth) {
+    for (const auto& s : body) {
+      switch (s->kind) {
+        case StmtKind::Assign: {
+          const auto& a = static_cast<const AssignStmt&>(*s);
+          ++stmt_id_;
+          collect_refs(*a.lhs, /*is_write=*/true, frequency);
+          collect_refs(*a.rhs, /*is_write=*/false, frequency);
+          // Subscript expressions of the write side contain reads too
+          // (handled inside collect_refs for nested refs).
+          const double f = expr_flops(*a.rhs) + expr_flops_lhs_subscripts(*a.lhs);
+          add_flops(a, f * frequency);
+          phase_.mem_accesses +=
+              (expr_mem_accesses(*a.rhs) + expr_mem_accesses(*a.lhs)) * frequency;
+          break;
+        }
+        case StmtKind::Do:
+          walk_loop(static_cast<const DoStmt&>(*s), frequency, depth + 1);
+          break;
+        case StmtKind::If: {
+          const auto& i = static_cast<const IfStmt&>(*s);
+          double p = opts_.default_branch_probability;
+          if (opts_.use_annotated_probabilities && i.branch_probability >= 0.0)
+            p = i.branch_probability;
+          ++stmt_id_;  // condition reads form their own "statement"
+          collect_refs(*i.cond, /*is_write=*/false, frequency);
+          add_flops_expr(*i.cond, frequency);
+          walk_body(i.then_body, frequency * p, depth);
+          walk_body(i.else_body, frequency * (1.0 - p), depth);
+          break;
+        }
+        case StmtKind::Continue:
+        case StmtKind::Call:  // calls are inlined before phase analysis
+          break;
+      }
+    }
+  }
+
+  static double expr_flops_lhs_subscripts(const Expr&) {
+    return 0.0;  // subscript arithmetic is integer work; not charged as flops
+  }
+
+  void add_flops(const AssignStmt& a, double weighted) {
+    // Precision follows the assignment target.
+    ScalarType t = ScalarType::Real;
+    if (a.lhs->kind == ExprKind::ArrayRef) {
+      const auto& r = static_cast<const ArrayRefExpr&>(*a.lhs);
+      if (r.symbol >= 0) t = symbols_.at(r.symbol).type;
+    } else if (a.lhs->kind == ExprKind::Var) {
+      const auto& v = static_cast<const VarExpr&>(*a.lhs);
+      if (v.symbol >= 0) t = symbols_.at(v.symbol).type;
+    }
+    if (t == ScalarType::DoublePrecision)
+      phase_.flops_double += weighted;
+    else
+      phase_.flops_real += weighted;
+  }
+
+  void add_flops_expr(const Expr& e, double frequency) {
+    phase_.flops_real += expr_flops(e) * frequency;
+    phase_.mem_accesses += expr_mem_accesses(e) * frequency;
+  }
+
+  void collect_refs(const Expr& e, bool is_write, double frequency) {
+    switch (e.kind) {
+      case ExprKind::IntConst:
+      case ExprKind::RealConst:
+      case ExprKind::Var:
+        return;
+      case ExprKind::ArrayRef: {
+        const auto& r = static_cast<const ArrayRefExpr&>(e);
+        Reference ref;
+        ref.expr = &r;
+        ref.array = r.symbol;
+        ref.is_write = is_write;
+        ref.stmt_id = stmt_id_;
+        ref.enclosing_ivs = ivs_;
+        ref.frequency = frequency;
+        for (const auto& sub : r.subscripts) {
+          ref.subs.push_back(analyze_subscript(*sub, symbols_, ivs_));
+          // Array refs nested inside subscripts are reads.
+          collect_refs(*sub, /*is_write=*/false, frequency);
+        }
+        if (r.symbol >= 0) phase_.arrays.push_back(r.symbol);
+        phase_.refs.push_back(std::move(ref));
+        return;
+      }
+      case ExprKind::Unary:
+        collect_refs(*static_cast<const UnaryExpr&>(e).operand, is_write, frequency);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        collect_refs(*b.lhs, is_write, frequency);
+        collect_refs(*b.rhs, is_write, frequency);
+        return;
+      }
+      case ExprKind::Intrinsic: {
+        const auto& c = static_cast<const IntrinsicExpr&>(e);
+        for (const auto& a : c.args) collect_refs(*a, /*is_write=*/false, frequency);
+        return;
+      }
+    }
+  }
+
+  const SymbolTable& symbols_;
+  const PhaseOptions& opts_;
+  Phase phase_;
+  std::vector<int> ivs_;
+  int stmt_id_ = -1;
+};
+
+} // namespace
+
+const LoopDesc* Phase::loop_for_iv(int iv_symbol) const {
+  for (const auto& l : loops) {
+    if (l.iv_symbol == iv_symbol) return &l;
+  }
+  return nullptr;
+}
+
+bool Phase::references_array(int array_symbol) const {
+  return std::binary_search(arrays.begin(), arrays.end(), array_symbol);
+}
+
+bool loop_is_phase_root(const fortran::DoStmt& loop, const fortran::SymbolTable&) {
+  return any_subscript_mentions(loop.body, loop.symbol);
+}
+
+Phase analyze_phase(const fortran::DoStmt& root, const fortran::SymbolTable& symbols,
+                    int id, const PhaseOptions& opts) {
+  AL_EXPECTS(loop_is_phase_root(root, symbols));
+  return PhaseBuilder(symbols, opts).build(root, id);
+}
+
+} // namespace al::pcfg

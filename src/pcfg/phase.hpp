@@ -1,0 +1,86 @@
+// Program phases (paper, section 2.1).
+//
+// A *phase* is the outermost loop in a loop nest such that the loop defines
+// an induction variable that occurs in a subscript expression of an array
+// reference in the loop body. Data remapping is allowed only between phases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fortran/ast.hpp"
+#include "pcfg/subscripts.hpp"
+
+namespace al::pcfg {
+
+/// One DO loop inside a phase, with folded bounds.
+struct LoopDesc {
+  const fortran::DoStmt* stmt = nullptr;
+  int iv_symbol = -1;
+  long lo = 1;
+  long hi = 1;
+  long step = 1;
+  bool bounds_exact = false;  ///< bounds folded to integer constants
+  int depth = 0;              ///< 0 for the phase root loop
+
+  /// Number of iterations (at least 1 even when bounds are inexact,
+  /// in which case callers should treat it as an estimate).
+  [[nodiscard]] long trip() const {
+    if (step == 0) return 1;
+    const long t = (hi - lo) / step + 1;
+    return t > 0 ? t : 0;
+  }
+};
+
+/// One array reference inside a phase.
+struct Reference {
+  const fortran::ArrayRefExpr* expr = nullptr;
+  int array = -1;            ///< symbol index of the array
+  bool is_write = false;
+  int stmt_id = -1;          ///< assignment the reference belongs to (phase-local)
+  std::vector<SubscriptInfo> subs;   ///< one entry per array dimension
+  std::vector<int> enclosing_ivs;    ///< IV symbols, outermost first
+  double frequency = 1.0;            ///< executions per phase entry
+};
+
+/// A recognized phase with everything later passes need.
+struct Phase {
+  int id = -1;
+  const fortran::DoStmt* root = nullptr;
+  std::string label;
+
+  std::vector<LoopDesc> loops;   ///< DFS preorder; loops[0] is the root
+  std::vector<Reference> refs;   ///< all array references (reads and writes)
+  std::vector<int> arrays;       ///< distinct array symbols, sorted
+
+  /// Weighted floating-point operation counts per phase entry, split by
+  /// precision (drives the machine model's computation estimate).
+  double flops_real = 0.0;
+  double flops_double = 0.0;
+  /// Array-element accesses per phase entry (drives the memory term).
+  double mem_accesses = 0.0;
+
+  [[nodiscard]] const LoopDesc* loop_for_iv(int iv_symbol) const;
+  [[nodiscard]] bool references_array(int array_symbol) const;
+};
+
+struct PhaseOptions {
+  /// Probability used for IF statements without a !al$ prob annotation
+  /// (the paper's prototype guesses 50%).
+  double default_branch_probability = 0.5;
+  /// When false, annotations are ignored and the guess is used everywhere
+  /// (this is how the Fig. 6 "guessed" curve is produced).
+  bool use_annotated_probabilities = true;
+};
+
+/// True if `loop` starts a phase (its IV occurs in a subscript of an array
+/// reference in its body).
+[[nodiscard]] bool loop_is_phase_root(const fortran::DoStmt& loop,
+                                      const fortran::SymbolTable& symbols);
+
+/// Builds the full analysis record for a phase rooted at `root`.
+[[nodiscard]] Phase analyze_phase(const fortran::DoStmt& root,
+                                  const fortran::SymbolTable& symbols, int id,
+                                  const PhaseOptions& opts);
+
+} // namespace al::pcfg

@@ -1,0 +1,161 @@
+#include "pcfg/subscripts.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "fortran/symbols.hpp"
+
+namespace al::pcfg {
+namespace {
+
+using fortran::BinaryExpr;
+using fortran::BinOp;
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::IntConstExpr;
+using fortran::Symbol;
+using fortran::SymbolKind;
+using fortran::UnaryExpr;
+using fortran::UnOp;
+using fortran::VarExpr;
+
+/// A linear form  sum(coefs[sym] * sym) + constant (+ symbolic slop).
+struct LinearForm {
+  std::map<int, long> coefs;          // per symbol
+  long constant = 0;
+  bool constant_exact = true;         // false once a non-IV symbol folds in
+  bool linear = true;                 // false on nonlinearity
+
+  static LinearForm failure() {
+    LinearForm f;
+    f.linear = false;
+    return f;
+  }
+};
+
+LinearForm analyze(const Expr& e, const fortran::SymbolTable& symbols) {
+  switch (e.kind) {
+    case ExprKind::IntConst: {
+      LinearForm f;
+      f.constant = static_cast<const IntConstExpr&>(e).value;
+      return f;
+    }
+    case ExprKind::RealConst:
+      return LinearForm::failure();  // real-valued subscripts are not legal
+    case ExprKind::Var: {
+      const auto& v = static_cast<const VarExpr&>(e);
+      LinearForm f;
+      if (v.symbol >= 0) {
+        const Symbol& s = symbols.at(v.symbol);
+        if (s.kind == SymbolKind::Parameter) {
+          f.constant = s.param_value;
+          return f;
+        }
+      }
+      f.coefs[v.symbol] = 1;
+      return f;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      LinearForm f = analyze(*u.operand, symbols);
+      if (!f.linear) return f;
+      if (u.op == UnOp::Neg) {
+        for (auto& [sym, c] : f.coefs) c = -c;
+        f.constant = -f.constant;
+      } else if (u.op == UnOp::Not) {
+        return LinearForm::failure();
+      }
+      return f;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      LinearForm l = analyze(*b.lhs, symbols);
+      LinearForm r = analyze(*b.rhs, symbols);
+      if (!l.linear || !r.linear) return LinearForm::failure();
+      switch (b.op) {
+        case BinOp::Add:
+        case BinOp::Sub: {
+          const long sign = b.op == BinOp::Add ? 1 : -1;
+          for (const auto& [sym, c] : r.coefs) l.coefs[sym] += sign * c;
+          l.constant += sign * r.constant;
+          l.constant_exact = l.constant_exact && r.constant_exact;
+          return l;
+        }
+        case BinOp::Mul: {
+          // One side must be a pure constant.
+          const LinearForm* cf = r.coefs.empty() ? &r : (l.coefs.empty() ? &l : nullptr);
+          const LinearForm* vf = cf == &r ? &l : &r;
+          if (cf == nullptr || !cf->constant_exact) return LinearForm::failure();
+          LinearForm f = *vf;
+          for (auto& [sym, c] : f.coefs) c *= cf->constant;
+          f.constant *= cf->constant;
+          return f;
+        }
+        case BinOp::Div: {
+          if (!r.coefs.empty() || r.constant == 0) return LinearForm::failure();
+          // Only exact divisions of pure constants stay linear.
+          if (!l.coefs.empty()) return LinearForm::failure();
+          if (l.constant % r.constant != 0) return LinearForm::failure();
+          LinearForm f;
+          f.constant = l.constant / r.constant;
+          f.constant_exact = l.constant_exact && r.constant_exact;
+          return f;
+        }
+        default:
+          return LinearForm::failure();
+      }
+    }
+    case ExprKind::ArrayRef:
+    case ExprKind::Intrinsic:
+      return LinearForm::failure();
+  }
+  return LinearForm::failure();
+}
+
+} // namespace
+
+SubscriptInfo analyze_subscript(const fortran::Expr& e,
+                                const fortran::SymbolTable& symbols,
+                                const std::vector<int>& enclosing_ivs) {
+  SubscriptInfo info;
+  LinearForm f = analyze(e, symbols);
+  if (!f.linear) {
+    info.form = SubscriptForm::Complex;
+    return info;
+  }
+  // Split symbols into enclosing IVs and everything else. Non-IV scalars are
+  // loop-invariant: they poison the exact offset but not the form.
+  int ivs_used = 0;
+  int iv = -1;
+  long coef = 0;
+  bool invariant_symbols = false;
+  for (const auto& [sym, c] : f.coefs) {
+    if (c == 0) continue;
+    if (std::find(enclosing_ivs.begin(), enclosing_ivs.end(), sym) != enclosing_ivs.end()) {
+      ++ivs_used;
+      iv = sym;
+      coef = c;
+    } else {
+      invariant_symbols = true;
+    }
+  }
+  if (ivs_used == 0) {
+    info.form = SubscriptForm::Invariant;
+    info.offset = f.constant;
+    info.offset_exact = f.constant_exact && !invariant_symbols;
+    return info;
+  }
+  if (ivs_used > 1) {
+    info.form = SubscriptForm::Complex;
+    return info;
+  }
+  info.form = SubscriptForm::Affine;
+  info.iv_symbol = iv;
+  info.coef = coef;
+  info.offset = f.constant;
+  info.offset_exact = f.constant_exact && !invariant_symbols;
+  return info;
+}
+
+} // namespace al::pcfg

@@ -1,0 +1,42 @@
+// Affine subscript analysis.
+//
+// The alignment and dependence machinery only understands subscripts of the
+// form  coef * iv + offset  in a single enclosing DO induction variable (the
+// paper's framework assumes canonical stride/offset alignment and performs no
+// intra-dimensional analysis; see section 2.2.1). Everything else is
+// classified as Invariant (no enclosing IV occurs) or Complex.
+#pragma once
+
+#include <vector>
+
+#include "fortran/ast.hpp"
+
+namespace al::pcfg {
+
+enum class SubscriptForm {
+  Affine,     ///< coef * iv + offset, exactly one enclosing IV
+  Invariant,  ///< constant or loop-invariant symbolic value
+  Complex,    ///< coupled (two IVs), nonlinear, or otherwise unanalyzable
+};
+
+/// Analysis result for one subscript position of one array reference.
+struct SubscriptInfo {
+  SubscriptForm form = SubscriptForm::Complex;
+  int iv_symbol = -1;  ///< induction variable (Affine only)
+  long coef = 0;       ///< coefficient of the IV (Affine only)
+  long offset = 0;     ///< constant part, folded where possible
+  bool offset_exact = false;  ///< offset is a known integer constant
+
+  [[nodiscard]] bool affine_in(int symbol) const {
+    return form == SubscriptForm::Affine && iv_symbol == symbol;
+  }
+};
+
+/// Analyzes `e` as a subscript expression. `enclosing_ivs` are the symbol
+/// indices of the DO variables of the loops enclosing the reference, ordered
+/// outermost first.
+[[nodiscard]] SubscriptInfo analyze_subscript(const fortran::Expr& e,
+                                              const fortran::SymbolTable& symbols,
+                                              const std::vector<int>& enclosing_ivs);
+
+} // namespace al::pcfg

@@ -1,0 +1,28 @@
+#include "perf/estimator.hpp"
+
+namespace al::perf {
+
+Estimator::Estimator(const fortran::Program& prog, const pcfg::Pcfg& pcfg,
+                     const machine::MachineModel& machine, compmodel::CompileOptions opts)
+    : prog_(prog), pcfg_(pcfg), machine_(machine), opts_(opts) {
+  deps_.reserve(static_cast<std::size_t>(pcfg.num_phases()));
+  for (int p = 0; p < pcfg.num_phases(); ++p) {
+    deps_.push_back(pcfg::analyze_dependences(pcfg.phase(p), prog.symbols));
+  }
+}
+
+compmodel::CompiledPhase Estimator::compile(int phase, const layout::Layout& l) const {
+  return compmodel::compile_phase(pcfg_.phase(phase), deps(phase), l, prog_.symbols, opts_);
+}
+
+execmodel::PhaseEstimate Estimator::estimate(int phase, const layout::Layout& l) const {
+  const compmodel::CompiledPhase compiled = compile(phase, l);
+  return execmodel::estimate_phase(compiled, deps(phase), machine_);
+}
+
+double Estimator::remap_us(const layout::Layout& from, const layout::Layout& to,
+                           const std::vector<int>& arrays) const {
+  return remap_cost_us(from, to, arrays, prog_.symbols, machine_);
+}
+
+} // namespace al::perf

@@ -1,0 +1,49 @@
+// The performance estimator (framework step 3): evaluates every candidate
+// layout of every phase and every remap edge, caching the per-phase
+// dependence summaries. This is the single object the layout-selection step
+// and the assistant tool query.
+#pragma once
+
+#include <vector>
+
+#include "compmodel/compile.hpp"
+#include "execmodel/estimate.hpp"
+#include "machine/training_set.hpp"
+#include "pcfg/pcfg.hpp"
+#include "perf/remap.hpp"
+
+namespace al::perf {
+
+class Estimator {
+public:
+  Estimator(const fortran::Program& prog, const pcfg::Pcfg& pcfg,
+            const machine::MachineModel& machine,
+            compmodel::CompileOptions opts = {});
+
+  /// Compiler model output for (phase, layout).
+  [[nodiscard]] compmodel::CompiledPhase compile(int phase, const layout::Layout& l) const;
+
+  /// Estimated execution time of ONE entry of phase `phase` under `l`.
+  [[nodiscard]] execmodel::PhaseEstimate estimate(int phase, const layout::Layout& l) const;
+
+  /// Remap cost for switching the given arrays between two layouts.
+  [[nodiscard]] double remap_us(const layout::Layout& from, const layout::Layout& to,
+                                const std::vector<int>& arrays) const;
+
+  [[nodiscard]] const pcfg::PhaseDeps& deps(int phase) const {
+    return deps_.at(static_cast<std::size_t>(phase));
+  }
+  [[nodiscard]] const machine::MachineModel& machine() const { return machine_; }
+  [[nodiscard]] const pcfg::Pcfg& pcfg() const { return pcfg_; }
+  [[nodiscard]] const fortran::Program& program() const { return prog_; }
+  [[nodiscard]] const compmodel::CompileOptions& options() const { return opts_; }
+
+private:
+  const fortran::Program& prog_;
+  const pcfg::Pcfg& pcfg_;
+  const machine::MachineModel& machine_;
+  compmodel::CompileOptions opts_;
+  std::vector<pcfg::PhaseDeps> deps_;
+};
+
+} // namespace al::perf

@@ -1,0 +1,46 @@
+#include "perf/remap.hpp"
+
+#include <algorithm>
+
+namespace al::perf {
+
+double array_remap_us(const layout::Layout& from, const layout::Layout& to, int array,
+                      const fortran::SymbolTable& symbols,
+                      const machine::MachineModel& machine) {
+  const fortran::Symbol& sym = symbols.at(array);
+  const layout::RemapKind kind = layout::classify_remap(from, to, array, sym.rank());
+  if (kind == layout::RemapKind::None || kind == layout::RemapKind::Dereplicate)
+    return 0.0;  // dereplication: every owner already holds its block
+
+  const double bytes = static_cast<double>(sym.element_count()) *
+                       fortran::size_in_bytes(sym.type);
+  const int procs = std::max(from.distribution().total_procs(),
+                             to.distribution().total_procs());
+  if (procs <= 1) return 0.0;  // both ends on one processor: nothing moves
+
+  if (kind == layout::RemapKind::Replicate) {
+    // Allgather: every node ends with the whole array; ring/bruck costs are
+    // bounded below by receiving (P-1)/P of the volume -- price it as a
+    // broadcast of the full array.
+    return machine.comm_us(machine::CommPattern::Broadcast, procs, bytes,
+                           machine::Stride::Unit, machine::LatencyClass::High);
+  }
+
+  // Realignment moves elements along diagonals (strided pack/unpack on both
+  // ends); redistribution moves whole contiguous blocks.
+  const machine::Stride stride = kind == layout::RemapKind::Realign
+                                     ? machine::Stride::NonUnit
+                                     : machine::Stride::Unit;
+  return machine.comm_us(machine::CommPattern::Transpose, procs, bytes, stride,
+                         machine::LatencyClass::High);
+}
+
+double remap_cost_us(const layout::Layout& from, const layout::Layout& to,
+                     const std::vector<int>& arrays, const fortran::SymbolTable& symbols,
+                     const machine::MachineModel& machine) {
+  double total = 0.0;
+  for (int a : arrays) total += array_remap_us(from, to, a, symbols, machine);
+  return total;
+}
+
+} // namespace al::perf

@@ -1,0 +1,27 @@
+// Remapping costs between candidate layouts (paper, section 2.3: "execution
+// time estimates are needed for possible remappings between candidate data
+// layouts"). Realignment (axis permutation) and redistribution both move
+// array elements across the whole machine; the transpose training sets
+// price them.
+#pragma once
+
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "machine/training_set.hpp"
+
+namespace al::perf {
+
+/// Cost of moving one array from its mapping under `from` to its mapping
+/// under `to` (0 when identical).
+[[nodiscard]] double array_remap_us(const layout::Layout& from, const layout::Layout& to,
+                                    int array, const fortran::SymbolTable& symbols,
+                                    const machine::MachineModel& machine);
+
+/// Total remap cost for all `arrays` on a phase transition.
+[[nodiscard]] double remap_cost_us(const layout::Layout& from, const layout::Layout& to,
+                                   const std::vector<int>& arrays,
+                                   const fortran::SymbolTable& symbols,
+                                   const machine::MachineModel& machine);
+
+} // namespace al::perf

@@ -1,0 +1,152 @@
+#include "select/dp_selection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace al::select {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+std::optional<SelectionResult> select_layouts_dp(const LayoutGraph& graph) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int n = graph.num_phases();
+  if (n == 0) return std::nullopt;
+
+  // Structure check: forward edges must form a path 0->1->...->n-1 in SOME
+  // phase order; we accept at most one back edge closing a single cycle.
+  // Collect successor sets.
+  std::map<std::pair<int, int>, const LayoutEdgeBlock*> edge_of;
+  std::vector<int> out_deg(static_cast<std::size_t>(n), 0);
+  std::vector<int> in_deg(static_cast<std::size_t>(n), 0);
+  for (const LayoutEdgeBlock& e : graph.edges) {
+    if (edge_of.count({e.src_phase, e.dst_phase}) != 0) return std::nullopt;
+    edge_of[{e.src_phase, e.dst_phase}] = &e;
+    ++out_deg[static_cast<std::size_t>(e.src_phase)];
+    ++in_deg[static_cast<std::size_t>(e.dst_phase)];
+  }
+  for (int p = 0; p < n; ++p) {
+    if (out_deg[static_cast<std::size_t>(p)] > 1 || in_deg[static_cast<std::size_t>(p)] > 1)
+      return std::nullopt;
+  }
+  // Find the chain start: a phase with no incoming forward edge; with a
+  // full cycle, pick phase 0 and treat its incoming edge as the back edge.
+  int start = -1;
+  for (int p = 0; p < n; ++p) {
+    if (in_deg[static_cast<std::size_t>(p)] == 0) {
+      if (start >= 0) return std::nullopt;  // two chain heads
+      start = p;
+    }
+  }
+  bool full_cycle = false;
+  if (start < 0) {
+    start = 0;
+    full_cycle = true;
+  }
+  // Walk the chain.
+  std::vector<int> order;
+  std::vector<const LayoutEdgeBlock*> step_edge;  // edge into order[k]
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  int cur = start;
+  const LayoutEdgeBlock* back_edge = nullptr;
+  for (;;) {
+    if (visited[static_cast<std::size_t>(cur)]) return std::nullopt;
+    visited[static_cast<std::size_t>(cur)] = 1;
+    order.push_back(cur);
+    const LayoutEdgeBlock* next = nullptr;
+    for (const auto& [key, e] : edge_of) {
+      if (key.first == cur) {
+        next = e;
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    if (next->dst_phase == start) {
+      back_edge = next;
+      break;
+    }
+    step_edge.push_back(next);
+    cur = next->dst_phase;
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  if (full_cycle && back_edge == nullptr) return std::nullopt;
+
+  // DP, enumerating the first phase's candidate when a back edge exists.
+  const int c0 = graph.num_candidates(order.front());
+  double best_total = kInf;
+  std::vector<int> best_chosen;
+
+  for (int fix = 0; fix < (back_edge != nullptr ? c0 : 1); ++fix) {
+    // cost[i] for candidates of the current phase; parent pointers per step.
+    std::vector<std::vector<int>> parent(order.size());
+    std::vector<double> cost(
+        static_cast<std::size_t>(graph.num_candidates(order.front())), kInf);
+    for (int i = 0; i < graph.num_candidates(order.front()); ++i) {
+      if (back_edge != nullptr && i != fix) continue;
+      cost[static_cast<std::size_t>(i)] =
+          graph.node_cost_us[static_cast<std::size_t>(order.front())][static_cast<std::size_t>(i)];
+    }
+    for (std::size_t k = 1; k < order.size(); ++k) {
+      const LayoutEdgeBlock& e = *step_edge[k - 1];
+      const int pc = graph.num_candidates(order[k]);
+      std::vector<double> next_cost(static_cast<std::size_t>(pc), kInf);
+      parent[k].assign(static_cast<std::size_t>(pc), -1);
+      for (int j = 0; j < pc; ++j) {
+        for (std::size_t i = 0; i < cost.size(); ++i) {
+          if (cost[i] == kInf) continue;
+          const double c = cost[i] + e.traversals * e.remap_us[i][static_cast<std::size_t>(j)] +
+                           graph.node_cost_us[static_cast<std::size_t>(order[k])]
+                                             [static_cast<std::size_t>(j)];
+          if (c < next_cost[static_cast<std::size_t>(j)]) {
+            next_cost[static_cast<std::size_t>(j)] = c;
+            parent[k][static_cast<std::size_t>(j)] = static_cast<int>(i);
+          }
+        }
+      }
+      cost = std::move(next_cost);
+    }
+    // Close the cycle.
+    for (std::size_t i = 0; i < cost.size(); ++i) {
+      if (cost[i] == kInf) continue;
+      double total = cost[i];
+      if (back_edge != nullptr) {
+        total += back_edge->traversals *
+                 back_edge->remap_us[i][static_cast<std::size_t>(fix)];
+      }
+      if (total < best_total) {
+        best_total = total;
+        // Reconstruct.
+        std::vector<int> chosen(static_cast<std::size_t>(n), 0);
+        int ci = static_cast<int>(i);
+        for (std::size_t k = order.size(); k-- > 0;) {
+          chosen[static_cast<std::size_t>(order[k])] = ci;
+          if (k > 0) ci = parent[k][static_cast<std::size_t>(ci)];
+        }
+        best_chosen = std::move(chosen);
+      }
+    }
+  }
+  if (best_chosen.empty()) return std::nullopt;
+
+  SelectionResult out;
+  out.chosen = std::move(best_chosen);
+  out.total_cost_us = assignment_cost(graph, out.chosen);
+  for (int p = 0; p < n; ++p) {
+    out.node_cost_us +=
+        graph.node_cost_us[static_cast<std::size_t>(p)]
+                          [static_cast<std::size_t>(out.chosen[static_cast<std::size_t>(p)])];
+  }
+  out.remap_cost_us = out.total_cost_us - out.node_cost_us;
+  out.solve_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+} // namespace al::select

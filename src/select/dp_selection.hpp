@@ -1,0 +1,18 @@
+// Exact dynamic-programming selection for chain- and single-cycle-structured
+// PCFGs (a straight-line program, possibly wrapped in one time-step loop --
+// which covers the paper's four benchmarks). Used as an independent oracle
+// to cross-check the 0-1 formulation, and exposed for users whose programs
+// have this shape.
+#pragma once
+
+#include <optional>
+
+#include "select/ilp_selection.hpp"
+
+namespace al::select {
+
+/// Returns nullopt when the graph is not a chain / single cycle over the
+/// phases (the DP would not be exact there).
+[[nodiscard]] std::optional<SelectionResult> select_layouts_dp(const LayoutGraph& graph);
+
+} // namespace al::select

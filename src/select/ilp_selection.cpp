@@ -1,0 +1,115 @@
+#include "select/ilp_selection.hpp"
+
+#include <chrono>
+
+#include "ilp/branch_and_bound.hpp"
+#include "support/contracts.hpp"
+
+namespace al::select {
+
+double assignment_cost(const LayoutGraph& graph, const std::vector<int>& chosen) {
+  AL_EXPECTS(static_cast<int>(chosen.size()) == graph.num_phases());
+  double cost = 0.0;
+  for (int p = 0; p < graph.num_phases(); ++p) {
+    cost += graph.node_cost_us[static_cast<std::size_t>(p)]
+                              [static_cast<std::size_t>(chosen[static_cast<std::size_t>(p)])];
+  }
+  for (const LayoutEdgeBlock& e : graph.edges) {
+    const int i = chosen[static_cast<std::size_t>(e.src_phase)];
+    const int j = chosen[static_cast<std::size_t>(e.dst_phase)];
+    cost += e.traversals * e.remap_us[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  }
+  return cost;
+}
+
+SelectionResult select_layouts_ilp(const LayoutGraph& graph) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ilp::Model model(ilp::Sense::Minimize);
+
+  // x variables, phase-major.
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(graph.num_phases()));
+  for (int p = 0; p < graph.num_phases(); ++p) {
+    for (int i = 0; i < graph.num_candidates(p); ++i) {
+      x[static_cast<std::size_t>(p)].push_back(model.add_binary(
+          "x_" + std::to_string(p) + "_" + std::to_string(i),
+          graph.node_cost_us[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)]));
+    }
+    std::vector<ilp::Term> terms;
+    for (int v : x[static_cast<std::size_t>(p)]) terms.push_back({v, 1.0});
+    model.add_constraint("one_of_p" + std::to_string(p), std::move(terms), ilp::Rel::EQ,
+                         1.0);
+  }
+
+  // Edge variables in the tight "transportation" form: per edge block,
+  // y_ij selects the (src candidate, dst candidate) pair, with row sums
+  // matching x_src and column sums matching x_dst. The per-edge polytope is
+  // integral, so the LP relaxation is strong and branch and bound almost
+  // always finishes at the root. y may stay continuous: with binary x the
+  // constraints force y integral at any vertex the solver returns.
+  for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+    const LayoutEdgeBlock& blk = graph.edges[e];
+    // Skip edges that cannot cost anything regardless of the choice.
+    bool any_cost = false;
+    for (const auto& row : blk.remap_us) {
+      for (double c : row) {
+        if (c > 0.0) any_cost = true;
+      }
+    }
+    if (!any_cost) continue;
+    const std::size_t ns = blk.remap_us.size();
+    const std::size_t nd = blk.remap_us.front().size();
+    std::vector<std::vector<int>> y(ns, std::vector<int>(nd, -1));
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t j = 0; j < nd; ++j) {
+        y[i][j] = model.add_continuous(
+            "y_e" + std::to_string(e) + "_" + std::to_string(i) + "_" + std::to_string(j),
+            0.0, 1.0, blk.remap_us[i][j] * blk.traversals);
+      }
+    }
+    for (std::size_t i = 0; i < ns; ++i) {
+      std::vector<ilp::Term> terms;
+      for (std::size_t j = 0; j < nd; ++j) terms.push_back({y[i][j], 1.0});
+      terms.push_back({x[static_cast<std::size_t>(blk.src_phase)][i], -1.0});
+      model.add_constraint("row_e" + std::to_string(e) + "_" + std::to_string(i),
+                           std::move(terms), ilp::Rel::EQ, 0.0);
+    }
+    for (std::size_t j = 0; j < nd; ++j) {
+      std::vector<ilp::Term> terms;
+      for (std::size_t i = 0; i < ns; ++i) terms.push_back({y[i][j], 1.0});
+      terms.push_back({x[static_cast<std::size_t>(blk.dst_phase)][j], -1.0});
+      model.add_constraint("col_e" + std::to_string(e) + "_" + std::to_string(j),
+                           std::move(terms), ilp::Rel::EQ, 0.0);
+    }
+  }
+
+  ilp::MipResult mip = ilp::solve_mip(model);
+  AL_ASSERT(mip.status == ilp::SolveStatus::Optimal);
+
+  SelectionResult out;
+  out.chosen.assign(static_cast<std::size_t>(graph.num_phases()), 0);
+  for (int p = 0; p < graph.num_phases(); ++p) {
+    for (int i = 0; i < graph.num_candidates(p); ++i) {
+      if (mip.x[static_cast<std::size_t>(x[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)])] > 0.5) {
+        out.chosen[static_cast<std::size_t>(p)] = i;
+        break;
+      }
+    }
+  }
+  out.total_cost_us = assignment_cost(graph, out.chosen);
+  for (int p = 0; p < graph.num_phases(); ++p) {
+    out.node_cost_us += graph.node_cost_us[static_cast<std::size_t>(p)]
+                                          [static_cast<std::size_t>(out.chosen[static_cast<std::size_t>(p)])];
+  }
+  out.remap_cost_us = out.total_cost_us - out.node_cost_us;
+  out.ilp_variables = model.num_variables();
+  out.ilp_constraints = model.num_constraints();
+  out.bb_nodes = mip.nodes;
+  out.lp_iterations = mip.lp_iterations;
+  out.solve_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return out;
+}
+
+} // namespace al::select

@@ -1,0 +1,33 @@
+// 0-1 integer programming formulation of the data layout selection problem
+// ([BKK94b]; paper section 2.4):
+//   * one binary x_{p,i} per candidate i of phase p, sum_i x_{p,i} = 1
+//   * one binary y per edge candidate pair with nonzero remap cost,
+//     linearized product: y >= x_src + x_dst - 1
+//   * minimize  sum node_cost * x  +  sum remap_cost * traversals * y.
+// Solved to proven optimality by src/ilp (the paper used CPLEX).
+#pragma once
+
+#include "select/layout_graph.hpp"
+
+namespace al::select {
+
+struct SelectionResult {
+  std::vector<int> chosen;     ///< candidate index per phase
+  double total_cost_us = 0.0;  ///< node costs + weighted remap costs
+  double node_cost_us = 0.0;
+  double remap_cost_us = 0.0;
+  // Statistics reported against the paper's CPLEX numbers:
+  int ilp_variables = 0;
+  int ilp_constraints = 0;
+  long bb_nodes = 0;
+  long lp_iterations = 0;
+  double solve_ms = 0.0;
+};
+
+/// Selects one candidate per phase with minimal whole-program cost.
+[[nodiscard]] SelectionResult select_layouts_ilp(const LayoutGraph& graph);
+
+/// Utility: the exact cost of a given assignment (for oracles and tests).
+[[nodiscard]] double assignment_cost(const LayoutGraph& graph, const std::vector<int>& chosen);
+
+} // namespace al::select

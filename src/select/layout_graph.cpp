@@ -1,0 +1,118 @@
+#include "select/layout_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace al::select {
+
+std::vector<RemapPair> remap_pairs(const pcfg::Pcfg& pcfg) {
+  const int n = pcfg.num_phases();
+
+  // All arrays referenced anywhere.
+  std::vector<int> arrays;
+  for (int p = 0; p < n; ++p) {
+    const auto& a = pcfg.phase(p).arrays;
+    arrays.insert(arrays.end(), a.begin(), a.end());
+  }
+  std::sort(arrays.begin(), arrays.end());
+  arrays.erase(std::unique(arrays.begin(), arrays.end()), arrays.end());
+
+  // Loop regions from back edges (src > dst in phase/program order).
+  struct BackEdge {
+    int head;  // dst
+    int tail;  // src
+    double traversals;
+  };
+  std::vector<BackEdge> loops;
+  for (const pcfg::Transition& t : pcfg.transitions()) {
+    if (t.src >= 0 && t.dst >= 0 && t.src > t.dst)
+      loops.push_back(BackEdge{t.dst, t.src, t.traversals});
+  }
+
+  std::map<std::pair<int, int>, RemapPair> pairs;
+  auto add = [&pairs](int src, int dst, double traversals, int array) {
+    RemapPair& pr = pairs[{src, dst}];
+    pr.src = src;
+    pr.dst = dst;
+    pr.traversals = std::max(pr.traversals, traversals);
+    if (std::find(pr.arrays.begin(), pr.arrays.end(), array) == pr.arrays.end())
+      pr.arrays.push_back(array);
+  };
+
+  for (int a : arrays) {
+    std::vector<int> refs;
+    for (int p = 0; p < n; ++p) {
+      if (pcfg.phase(p).references_array(a)) refs.push_back(p);
+    }
+    // Consecutive references in program order: the array must arrive at the
+    // next referencing phase in that phase's layout.
+    for (std::size_t i = 0; i + 1 < refs.size(); ++i) {
+      const int u = refs[i];
+      const int v = refs[i + 1];
+      const double trav = std::min(pcfg.frequency(u), pcfg.frequency(v));
+      if (trav > 0.0) add(u, v, trav, a);
+    }
+    // Wrap-around inside each loop: the last reference of one iteration
+    // feeds the first reference of the next.
+    for (const BackEdge& l : loops) {
+      int first = -1;
+      int last = -1;
+      for (int p : refs) {
+        if (p < l.head || p > l.tail) continue;
+        if (first < 0) first = p;
+        last = p;
+      }
+      if (first >= 0 && last != first && l.traversals > 0.0)
+        add(last, first, l.traversals, a);
+    }
+  }
+
+  std::vector<RemapPair> out;
+  out.reserve(pairs.size());
+  for (auto& [key, pr] : pairs) out.push_back(std::move(pr));
+  return out;
+}
+
+LayoutGraph build_layout_graph(const perf::Estimator& estimator,
+                               const std::vector<distrib::LayoutSpace>& spaces) {
+  const pcfg::Pcfg& pcfg = estimator.pcfg();
+  AL_EXPECTS(static_cast<int>(spaces.size()) == pcfg.num_phases());
+
+  LayoutGraph g;
+  g.node_cost_us.resize(spaces.size());
+  g.estimates.resize(spaces.size());
+  for (int p = 0; p < pcfg.num_phases(); ++p) {
+    const auto& cands = spaces[static_cast<std::size_t>(p)].candidates();
+    AL_EXPECTS(!cands.empty());
+    const double freq = pcfg.frequency(p);
+    for (const distrib::LayoutCandidate& c : cands) {
+      const execmodel::PhaseEstimate est = estimator.estimate(p, c.layout);
+      g.estimates[static_cast<std::size_t>(p)].push_back(est);
+      g.node_cost_us[static_cast<std::size_t>(p)].push_back(est.total_us() * freq);
+    }
+  }
+
+  for (const RemapPair& pr : remap_pairs(pcfg)) {
+    const auto& src_c = spaces[static_cast<std::size_t>(pr.src)].candidates();
+    const auto& dst_c = spaces[static_cast<std::size_t>(pr.dst)].candidates();
+    LayoutEdgeBlock block;
+    block.src_phase = pr.src;
+    block.dst_phase = pr.dst;
+    block.traversals = pr.traversals;
+    block.remap_us.resize(src_c.size(), std::vector<double>(dst_c.size(), 0.0));
+    bool any = false;
+    for (std::size_t i = 0; i < src_c.size(); ++i) {
+      for (std::size_t j = 0; j < dst_c.size(); ++j) {
+        block.remap_us[i][j] =
+            estimator.remap_us(src_c[i].layout, dst_c[j].layout, pr.arrays);
+        any = any || block.remap_us[i][j] > 0.0;
+      }
+    }
+    if (any) g.edges.push_back(std::move(block));
+  }
+  return g;
+}
+
+} // namespace al::select

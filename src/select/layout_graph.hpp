@@ -1,0 +1,63 @@
+// The data layout graph (paper, section 2.4): one node per candidate layout
+// per phase, weighted by estimated phase time x execution frequency; edges
+// between candidates of PCFG-adjacent phases, weighted by remap cost x
+// transition traversal count. Selecting one node per phase with minimal
+// total weight is the NP-complete data layout selection problem.
+#pragma once
+
+#include <vector>
+
+#include "distrib/space.hpp"
+#include "execmodel/estimate.hpp"
+#include "perf/estimator.hpp"
+
+namespace al::select {
+
+/// One potential remap site: between phase `src`'s layout and phase `dst`'s
+/// layout, the given arrays may have to move `traversals` times per run.
+///
+/// Pairs connect CONSECUTIVE REFERENCES of each array, not just
+/// PCFG-adjacent phases: if u is touched by phases 3 and 11 only, choosing
+/// different layouts for u in those two phases costs a remap even though
+/// eight phases sit in between (the array simply keeps its layout while
+/// unreferenced).
+struct RemapPair {
+  int src = -1;
+  int dst = -1;
+  double traversals = 0.0;
+  std::vector<int> arrays;
+};
+
+/// Computes all remap pairs of a program: per array, consecutive
+/// referencing phases in program order (traversal count = the rarer side's
+/// frequency), plus the wrap-around pair inside each loop back edge.
+[[nodiscard]] std::vector<RemapPair> remap_pairs(const pcfg::Pcfg& pcfg);
+
+struct LayoutEdgeBlock {
+  int src_phase = -1;
+  int dst_phase = -1;
+  double traversals = 0.0;
+  /// remap_us[i][j]: moving the pair's arrays from src candidate i's layout
+  /// to dst candidate j's.
+  std::vector<std::vector<double>> remap_us;
+};
+
+struct LayoutGraph {
+  /// node_cost_us[p][i]: estimated time of phase p under its candidate i,
+  /// multiplied by the phase's execution frequency.
+  std::vector<std::vector<double>> node_cost_us;
+  /// The estimate behind each node (same indexing), for reporting.
+  std::vector<std::vector<execmodel::PhaseEstimate>> estimates;
+  std::vector<LayoutEdgeBlock> edges;
+
+  [[nodiscard]] int num_phases() const { return static_cast<int>(node_cost_us.size()); }
+  [[nodiscard]] int num_candidates(int phase) const {
+    return static_cast<int>(node_cost_us.at(static_cast<std::size_t>(phase)).size());
+  }
+};
+
+/// Evaluates every candidate and every possible remap.
+[[nodiscard]] LayoutGraph build_layout_graph(
+    const perf::Estimator& estimator, const std::vector<distrib::LayoutSpace>& spaces);
+
+} // namespace al::select

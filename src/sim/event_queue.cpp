@@ -1,0 +1,20 @@
+#include "sim/event_queue.hpp"
+
+namespace al::sim {
+
+std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double jitter(std::uint64_t key, double amplitude) {
+  const std::uint64_t h = hash64(key);
+  // Map to [-1, 1) with 53-bit precision, then scale.
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53) * 2.0 - 1.0;
+  return 1.0 + amplitude * u;
+}
+
+} // namespace al::sim

@@ -1,0 +1,42 @@
+// Tiny discrete-event helpers for the SPMD simulator: a deterministic
+// splitmix64-based jitter source (no global RNG -- every run reproduces the
+// same "measurements") and a min-heap event queue keyed by time.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace al::sim {
+
+/// splitmix64: stateless hash of a 64-bit key to a 64-bit value.
+[[nodiscard]] std::uint64_t hash64(std::uint64_t x);
+
+/// Deterministic multiplicative jitter in [1-amplitude, 1+amplitude],
+/// derived from the key. Models run-to-run hardware variation.
+[[nodiscard]] double jitter(std::uint64_t key, double amplitude);
+
+struct Event {
+  double time = 0.0;
+  int proc = -1;
+  int tag = 0;
+
+  friend bool operator>(const Event& a, const Event& b) { return a.time > b.time; }
+};
+
+/// Min-heap of events by time.
+class EventQueue {
+public:
+  void push(Event e) { q_.push(e); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  Event pop() {
+    Event e = q_.top();
+    q_.pop();
+    return e;
+  }
+
+private:
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> q_;
+};
+
+} // namespace al::sim

@@ -1,0 +1,60 @@
+#include "sim/measure.hpp"
+
+#include <algorithm>
+
+#include "select/layout_graph.hpp"
+#include "support/contracts.hpp"
+
+namespace al::sim {
+
+Measurement measure_program(const perf::Estimator& estimator,
+                            const layout::ProgramTemplate& templ,
+                            const std::vector<distrib::LayoutSpace>& spaces,
+                            const std::vector<int>& chosen, std::uint64_t seed) {
+  const pcfg::Pcfg& pcfg = estimator.pcfg();
+  AL_EXPECTS(static_cast<int>(spaces.size()) == pcfg.num_phases());
+  AL_EXPECTS(chosen.size() == spaces.size());
+
+  const NetworkParams net = NetworkParams::for_machine(estimator.machine());
+
+  Measurement out;
+  out.phase_us.assign(spaces.size(), 0.0);
+
+  auto layout_of = [&](int phase) -> const layout::Layout& {
+    return spaces[static_cast<std::size_t>(phase)]
+        .candidates()[static_cast<std::size_t>(chosen[static_cast<std::size_t>(phase)])]
+        .layout;
+  };
+
+  for (int p = 0; p < pcfg.num_phases(); ++p) {
+    const layout::Layout& l = layout_of(p);
+    PhaseSimInput in;
+    in.phase = &pcfg.phase(p);
+    in.deps = &estimator.deps(p);
+    in.compiled = estimator.compile(p, l);
+    const int tdim = l.distribution().single_distributed_dim();
+    in.dist_extent = tdim >= 0 && tdim < templ.rank ? templ.extent(tdim) : 0;
+    in.seed = hash64(seed ^ (static_cast<std::uint64_t>(p) * 0x9e37ULL));
+    const double one = simulate_phase_us(in, net, estimator.machine());
+    out.phase_us[static_cast<std::size_t>(p)] = one * pcfg.frequency(p);
+    out.total_us += out.phase_us[static_cast<std::size_t>(p)];
+  }
+
+  // Remaps at every consecutive-reference pair whose layouts differ (the
+  // same sites the selection's layout graph prices).
+  for (const select::RemapPair& pr : select::remap_pairs(pcfg)) {
+    const double us = estimator.remap_us(layout_of(pr.src), layout_of(pr.dst), pr.arrays);
+    if (us <= 0.0) continue;
+    // The simulator sees slightly worse-than-model transposes: contention
+    // among the P simultaneous all-to-all flows.
+    const double factor =
+        1.08 * jitter(seed ^ hash64(static_cast<std::uint64_t>(pr.src) * 131ULL +
+                                    static_cast<std::uint64_t>(pr.dst)),
+                      0.02);
+    out.remap_us += pr.traversals * us * factor;
+  }
+  out.total_us += out.remap_us;
+  return out;
+}
+
+} // namespace al::sim

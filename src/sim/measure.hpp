@@ -1,0 +1,30 @@
+// Program-level "measurement": runs the SPMD simulator over every phase of
+// a layout assignment, weighted by PCFG frequencies, plus the simulated cost
+// of every remap the assignment incurs. This stands in for timing Fortran D
+// generated node programs on a physical iPSC/860 (paper, section 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distrib/space.hpp"
+#include "layout/template_map.hpp"
+#include "perf/estimator.hpp"
+#include "sim/spmd.hpp"
+
+namespace al::sim {
+
+struct Measurement {
+  double total_us = 0.0;
+  double remap_us = 0.0;                 ///< part of total spent remapping
+  std::vector<double> phase_us;          ///< accumulated per phase (x freq)
+};
+
+/// Simulates the program under the per-phase candidate assignment `chosen`.
+[[nodiscard]] Measurement measure_program(const perf::Estimator& estimator,
+                                          const layout::ProgramTemplate& templ,
+                                          const std::vector<distrib::LayoutSpace>& spaces,
+                                          const std::vector<int>& chosen,
+                                          std::uint64_t seed = 0x5EED);
+
+} // namespace al::sim

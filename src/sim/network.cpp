@@ -1,0 +1,36 @@
+#include "sim/network.hpp"
+
+namespace al::sim {
+
+NetworkParams NetworkParams::for_machine(const machine::MachineModel& m) {
+  NetworkParams net;
+  // Calibrate the wire speed and startup split against two training-set
+  // probes so a retargeted machine model (e.g. Paragon) carries over.
+  const double t_small = m.comm_us(machine::CommPattern::SendRecv, 2, 8.0,
+                                   machine::Stride::Unit, machine::LatencyClass::High);
+  const double t_large = m.comm_us(machine::CommPattern::SendRecv, 2, 32768.0,
+                                   machine::Stride::Unit, machine::LatencyClass::High);
+  const double per_byte = (t_large - t_small) / (32768.0 - 8.0);
+  if (per_byte > 0.0) net.per_byte_us = per_byte;
+  const double startup = t_small - 8.0 * net.per_byte_us;
+  if (startup > 0.0) {
+    net.send_overhead_us = 0.55 * startup;
+    net.recv_overhead_us = 0.45 * startup;
+  }
+  const double t_strided = m.comm_us(machine::CommPattern::SendRecv, 2, 32768.0,
+                                     machine::Stride::NonUnit, machine::LatencyClass::High);
+  const double pack = (t_strided - t_large) / 32768.0;
+  if (pack > 0.0) net.pack_per_byte_us = pack * 0.55;  // each end pays ~half
+  return net;
+}
+
+double message_us(const NetworkParams& net, double bytes, machine::Stride stride) {
+  double t = net.send_overhead_us + net.recv_overhead_us + bytes * net.per_byte_us;
+  if (bytes > 100.0) t += net.long_protocol_us;
+  if (stride == machine::Stride::NonUnit) {
+    t += 2.0 * (net.pack_fixed_us + bytes * net.pack_per_byte_us);
+  }
+  return t;
+}
+
+} // namespace al::sim

@@ -1,0 +1,28 @@
+// Message-level timing for the simulated iPSC/860: unlike the estimator's
+// training-set lookups, the simulator charges explicit send/receive software
+// overheads, per-byte wire time, and pack/unpack copies for strided
+// sections on BOTH ends -- the second-order effects a real machine shows and
+// the paper's compiler model deliberately ignores.
+#pragma once
+
+#include "machine/training_set.hpp"
+
+namespace al::sim {
+
+struct NetworkParams {
+  double send_overhead_us = 40.0;   ///< software send setup
+  double recv_overhead_us = 35.0;   ///< software receive completion
+  double per_byte_us = 0.36;        ///< wire time (~2.8 MB/s)
+  double long_protocol_us = 25.0;   ///< extra handshake beyond 100 bytes
+  double pack_per_byte_us = 0.055;  ///< buffering copy, each end
+  double pack_fixed_us = 12.0;
+
+  /// Derives parameters consistent with a machine model's training sets.
+  static NetworkParams for_machine(const machine::MachineModel& m);
+};
+
+/// Wall time one message of `bytes` occupies sender+wire+receiver.
+[[nodiscard]] double message_us(const NetworkParams& net, double bytes,
+                                machine::Stride stride);
+
+} // namespace al::sim

@@ -1,0 +1,163 @@
+#include "sim/spmd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace al::sim {
+namespace {
+
+using compmodel::CommClass;
+using compmodel::CommEvent;
+
+/// Block size owned by processor p when extent E splits over P (HPF BLOCK:
+/// ceil-blocks first, the tail processor may own less).
+long block_size(long extent, int procs, int p) {
+  const long b = (extent + procs - 1) / procs;
+  const long lo = static_cast<long>(p) * b;
+  if (lo >= extent) return 0;
+  return std::min(b, extent - lo);
+}
+
+} // namespace
+
+double simulate_phase_us(const PhaseSimInput& in, const NetworkParams& net,
+                         const machine::MachineModel& machine) {
+  AL_EXPECTS(in.phase != nullptr && in.deps != nullptr);
+  const int P = std::max(in.compiled.procs, 1);
+
+  // Average per-proc compute from the compiler model; re-skew per processor
+  // with actual block sizes.
+  const double avg_comp = in.compiled.flops_real * machine.flop_us_real +
+                          in.compiled.flops_double * machine.flop_us_double +
+                          in.compiled.mem_accesses * machine.mem_us;
+  std::vector<double> comp(static_cast<std::size_t>(P), avg_comp);
+  if (P > 1 && in.dist_extent > 0) {
+    const double avg_block = static_cast<double>(in.dist_extent) / P;
+    for (int p = 0; p < P; ++p) {
+      const double b = static_cast<double>(block_size(in.dist_extent, P, p));
+      comp[static_cast<std::size_t>(p)] = avg_comp * (b / avg_block);
+    }
+  }
+  for (int p = 0; p < P; ++p) {
+    comp[static_cast<std::size_t>(p)] *=
+        jitter(in.seed ^ hash64(static_cast<std::uint64_t>(p) * 7919ULL + 13ULL),
+               in.jitter_amplitude);
+  }
+
+  if (P == 1) return comp[0];
+
+  // --- pre-exchanged (vectorized) communication ---------------------------
+  std::vector<double> t(static_cast<std::size_t>(P), 0.0);
+  for (const CommEvent& e : in.compiled.events) {
+    if (e.cls == CommClass::Recurrence) continue;
+    switch (e.cls) {
+      case CommClass::Shift: {
+        // Both neighbours exchange; ends of the chain do one message only,
+        // but they still wait for their neighbour (loosely synchronous).
+        for (int p = 0; p < P; ++p) {
+          const int nmsgs = (p == 0 || p == P - 1) ? 1 : 2;
+          t[static_cast<std::size_t>(p)] +=
+              e.messages * nmsgs * message_us(net, e.bytes, e.stride) *
+              jitter(in.seed ^ hash64(1000ULL + static_cast<std::uint64_t>(p)),
+                     in.jitter_amplitude);
+        }
+        break;
+      }
+      case CommClass::Broadcast: {
+        // Binomial tree: processor p receives after ceil(log2(p+1)) levels.
+        for (int p = 0; p < P; ++p) {
+          const double depth =
+              p == 0 ? 0.0 : std::ceil(std::log2(static_cast<double>(p) + 1.0));
+          t[static_cast<std::size_t>(p)] +=
+              e.messages * depth * message_us(net, e.bytes, e.stride);
+        }
+        break;
+      }
+      case CommClass::Transpose:
+      case CommClass::Gather: {
+        // All-to-all: every processor serializes P-1 block messages.
+        const double block = e.bytes / (static_cast<double>(P) * P);
+        for (int p = 0; p < P; ++p) {
+          t[static_cast<std::size_t>(p)] +=
+              e.messages * (P - 1) * message_us(net, block, e.stride) *
+              jitter(in.seed ^ hash64(2000ULL + static_cast<std::uint64_t>(p)),
+                     in.jitter_amplitude);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // --- computation + recurrence wavefront ---------------------------------
+  const long strips = in.compiled.has_recurrence() ? in.compiled.recurrence_strips() : 0;
+  if (strips <= 0) {
+    // Loosely synchronous (or reduction): compute in parallel.
+    double finish = 0.0;
+    for (int p = 0; p < P; ++p)
+      finish = std::max(finish, t[static_cast<std::size_t>(p)] + comp[static_cast<std::size_t>(p)]);
+    // Reduction tree at the end.
+    if (!in.deps->reductions.empty()) {
+      const double levels = std::ceil(std::log2(static_cast<double>(P)));
+      finish += static_cast<double>(in.deps->reductions.size()) * levels *
+                message_us(net, 8.0, machine::Stride::Unit);
+    }
+    return finish;
+  }
+
+  // Recurrence: strip-by-strip wavefront over the processor chain.
+  double strip_bytes = 0.0;
+  machine::Stride stride = machine::Stride::Unit;
+  for (const CommEvent& e : in.compiled.events) {
+    if (e.cls != CommClass::Recurrence) continue;
+    if (e.bytes > strip_bytes) {
+      strip_bytes = e.bytes;
+      stride = e.stride;
+    }
+  }
+  // Split the boundary message into CPU work (send/recv software overhead
+  // and pack/unpack, which occupies the processor and limits the pipeline's
+  // steady-state rate) and wire time (overlappable latency).
+  double pack_us = 0.0;
+  if (stride == machine::Stride::NonUnit)
+    pack_us = net.pack_fixed_us + strip_bytes * net.pack_per_byte_us;
+  // The messaging software overhead occupies the processor and cannot be
+  // hidden by the wavefront (it is what bounds the steady-state strip rate).
+  constexpr double kPipelineCpuShare = 1.0;
+  const double cpu_send = kPipelineCpuShare * net.send_overhead_us + pack_us;
+  const double cpu_recv = kPipelineCpuShare * net.recv_overhead_us + pack_us;
+  const double wire = strip_bytes * net.per_byte_us +
+                      (strip_bytes > 100.0 ? net.long_protocol_us : 0.0);
+
+  // f[p] = completion time of processor p's current strip.
+  std::vector<double> f = t;  // start after the pre-exchanges
+  std::vector<double> prev_strip(static_cast<std::size_t>(P), 0.0);
+  for (long s = 0; s < strips; ++s) {
+    for (int p = 0; p < P; ++p) {
+      const double strip_comp =
+          comp[static_cast<std::size_t>(p)] / static_cast<double>(strips) *
+          jitter(in.seed ^ hash64(static_cast<std::uint64_t>(s) * 31337ULL +
+                                  static_cast<std::uint64_t>(p)),
+                 in.jitter_amplitude * 0.5);
+      double start = f[static_cast<std::size_t>(p)];
+      if (p > 0) {
+        // Upstream completion (includes its send CPU) plus wire latency.
+        start = std::max(start, prev_strip[static_cast<std::size_t>(p - 1)] + wire);
+      }
+      double done = start + strip_comp;
+      if (p > 0) done += cpu_recv;       // unpack/complete the receive
+      if (p < P - 1) done += cpu_send;   // post the boundary to downstream
+      prev_strip[static_cast<std::size_t>(p)] = done;
+      f[static_cast<std::size_t>(p)] = done;
+    }
+  }
+  double finish = 0.0;
+  for (int p = 0; p < P; ++p) finish = std::max(finish, f[static_cast<std::size_t>(p)]);
+  return finish;
+}
+
+} // namespace al::sim

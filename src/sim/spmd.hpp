@@ -1,0 +1,35 @@
+// Discrete simulation of one phase instance across P node programs.
+//
+// This is where the "measured" numbers come from (DESIGN.md substitution
+// table): the simulator executes the compiler model's schedule but, unlike
+// the estimator, models
+//   * uneven block sizes (boundary processors own smaller/larger blocks),
+//   * explicit send/recv software overheads and pack/unpack on both ends,
+//   * pipeline wavefronts strip by strip (fill, drain, skew),
+//   * broadcast/reduction trees level by level,
+//   * deterministic per-(phase,proc) hardware jitter.
+#pragma once
+
+#include <cstdint>
+
+#include "compmodel/compile.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace al::sim {
+
+struct PhaseSimInput {
+  const pcfg::Phase* phase = nullptr;
+  const pcfg::PhaseDeps* deps = nullptr;
+  compmodel::CompiledPhase compiled;
+  /// Extent of the distributed template dimension (0 when serial).
+  long dist_extent = 0;
+  std::uint64_t seed = 0;
+  double jitter_amplitude = 0.03;
+};
+
+/// Wall-clock microseconds of one execution of the phase.
+[[nodiscard]] double simulate_phase_us(const PhaseSimInput& in, const NetworkParams& net,
+                                       const machine::MachineModel& machine);
+
+} // namespace al::sim

@@ -1,0 +1,33 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations throw `ContractViolation` so that unit
+// tests can assert on them; they are never compiled out, because the tool is
+// an offline assistant where robustness trumps the last few percent of speed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace al {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+} // namespace al
+
+#define AL_EXPECTS(cond)                                                      \
+  ((cond) ? void(0) : ::al::contract_failed("precondition", #cond, __FILE__, __LINE__))
+#define AL_ENSURES(cond)                                                      \
+  ((cond) ? void(0) : ::al::contract_failed("postcondition", #cond, __FILE__, __LINE__))
+#define AL_ASSERT(cond)                                                       \
+  ((cond) ? void(0) : ::al::contract_failed("invariant", #cond, __FILE__, __LINE__))
+#define AL_UNREACHABLE(msg)                                                   \
+  ::al::contract_failed("unreachable", msg, __FILE__, __LINE__)

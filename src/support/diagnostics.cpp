@@ -1,0 +1,33 @@
+#include "support/diagnostics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace al {
+
+std::string to_string(SourceLoc loc) {
+  if (!loc.valid()) return "<unknown>";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d << '\n';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d) {
+  switch (d.severity) {
+    case Severity::Note: os << "note "; break;
+    case Severity::Warning: os << "warning "; break;
+    case Severity::Error: os << "error "; break;
+  }
+  return os << to_string(d.loc) << ": " << d.message;
+}
+
+} // namespace al

@@ -1,0 +1,74 @@
+// Source locations and a diagnostic engine shared by the Fortran frontend and
+// the analysis passes. Diagnostics are collected, not printed, so that the
+// assistant tool (and the tests) can present them however they like.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace al {
+
+/// A position in a Fortran source file (1-based line/column; 0 means unknown).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Renders "line:column" or "<unknown>".
+std::string to_string(SourceLoc loc);
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported problem, tagged with where it occurred.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Accumulates diagnostics produced while processing one program.
+///
+/// The engine never throws on `report`; callers that cannot make progress use
+/// `FatalError` (see below) after reporting.
+class DiagnosticEngine {
+public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics rendered one per line ("error 12:3: message").
+  [[nodiscard]] std::string str() const;
+
+private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Thrown when processing cannot continue (e.g. a parse error in a program
+/// handed to the end-to-end driver). The offending diagnostics are already in
+/// the engine.
+class FatalError : public std::runtime_error {
+public:
+  explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d);
+
+} // namespace al

@@ -1,0 +1,29 @@
+// Small string helpers used across the frontend and the report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace al {
+
+/// ASCII lower-casing (Fortran is case-insensitive).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Strips leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are kept.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix` (case-insensitive ASCII).
+[[nodiscard]] bool starts_with_ci(std::string_view s, std::string_view prefix);
+
+/// Fixed-point formatting with `digits` decimals (printf "%.*f"), locale-free.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// Right-pads or truncates to exactly `width` characters (for table printers).
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+
+} // namespace al

@@ -1,0 +1,224 @@
+// Alignment search-space machinery tests: lattice deduplication, phase
+// class partitioning, the import operation, and the end-to-end heuristic
+// on programs with and without conflicts (section 3.2).
+#include <gtest/gtest.h>
+
+#include "align/heuristic.hpp"
+#include "corpus/corpus.hpp"
+#include "fortran/parser.hpp"
+#include "layout/template_map.hpp"
+
+namespace al::align {
+namespace {
+
+using fortran::parse_and_check;
+using fortran::Program;
+
+struct Analysis {
+  Program prog;
+  pcfg::Pcfg pcfg;
+  cag::NodeUniverse uni;
+  layout::ProgramTemplate templ;
+  AlignmentAnalysis result;
+
+  explicit Analysis(const std::string& src)
+      : prog(parse_and_check(src)),
+        pcfg(pcfg::Pcfg::build(prog)),
+        uni(cag::NodeUniverse::from_program(prog)),
+        templ(layout::ProgramTemplate::from_program(prog)),
+        result(analyze_alignment(prog, pcfg, uni, templ.rank)) {}
+};
+
+TEST(AlignmentSpace, DedupRejectsWeakerOrEqualInfo) {
+  Program prog = parse_and_check("      real a(2,2), b(2,2)\n      end\n");
+  cag::NodeUniverse uni = cag::NodeUniverse::from_program(prog);
+  AlignmentSpace space;
+
+  AlignmentCandidate strong;
+  strong.info = cag::Partitioning(uni.size());
+  strong.info.unite(0, 2);
+  strong.info.unite(1, 3);
+  EXPECT_TRUE(space.insert(strong));
+
+  // Equal information: rejected.
+  EXPECT_FALSE(space.insert(strong));
+
+  // Strictly weaker information: rejected.
+  AlignmentCandidate weak;
+  weak.info = cag::Partitioning(uni.size());
+  weak.info.unite(0, 2);
+  EXPECT_FALSE(space.insert(weak));
+
+  // Incomparable information: accepted.
+  AlignmentCandidate other;
+  other.info = cag::Partitioning(uni.size());
+  other.info.unite(0, 3);
+  EXPECT_TRUE(space.insert(other));
+  EXPECT_EQ(space.size(), 2u);
+}
+
+TEST(AlignmentSpace, ForceInsertBypassesDedup) {
+  AlignmentSpace space;
+  AlignmentCandidate c;
+  c.info = cag::Partitioning(4);
+  space.force_insert(c);
+  space.force_insert(c);
+  EXPECT_EQ(space.size(), 2u);
+}
+
+TEST(RestrictInfo, DropsOtherArraysGroupings) {
+  Program prog = parse_and_check("      real a(2,2), b(2,2), c(2,2)\n      end\n");
+  cag::NodeUniverse uni = cag::NodeUniverse::from_program(prog);
+  const int a = prog.symbols.lookup("a");
+  const int b = prog.symbols.lookup("b");
+  const int c = prog.symbols.lookup("c");
+  cag::Partitioning p(uni.size());
+  p.unite(uni.index(a, 0), uni.index(b, 0));
+  p.unite(uni.index(b, 0), uni.index(c, 0));
+  const cag::Partitioning r = restrict_info(p, uni, {a, b});
+  EXPECT_TRUE(r.same(uni.index(a, 0), uni.index(b, 0)));
+  EXPECT_FALSE(r.same(uni.index(a, 0), uni.index(c, 0)));
+}
+
+TEST(PhaseClasses, ConflictFreePhasesShareOneClass) {
+  Analysis a(
+      "      parameter (n = 8)\n"
+      "      real x(n,n), y(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(i,j)\n"
+      "        enddo\n      enddo\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          y(i,j) = x(i,j)\n"
+      "        enddo\n      enddo\n"
+      "      end\n");
+  EXPECT_EQ(a.result.partition.classes.size(), 1u);
+  EXPECT_EQ(a.result.partition.class_of, (std::vector<int>{0, 0}));
+}
+
+TEST(PhaseClasses, ConflictingPhasesSplit) {
+  Analysis a(
+      "      parameter (n = 8)\n"
+      "      real x(n,n), y(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(i,j)\n"
+      "        enddo\n      enddo\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(j,i)\n"
+      "        enddo\n      enddo\n"
+      "      end\n");
+  ASSERT_EQ(a.result.partition.classes.size(), 2u);
+  EXPECT_NE(a.result.partition.class_of[0], a.result.partition.class_of[1]);
+  // Each class's CAG is conflict-free by construction.
+  for (const PhaseClass& cls : a.result.partition.classes) {
+    EXPECT_FALSE(cls.cag.has_conflict());
+  }
+}
+
+TEST(PhaseClasses, ClassArraysAreTheUnion) {
+  Analysis a(
+      "      parameter (n = 8)\n"
+      "      real x(n,n), y(n,n), z(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(i,j)\n"
+      "        enddo\n      enddo\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          z(i,j) = x(i,j)\n"
+      "        enddo\n      enddo\n"
+      "      end\n");
+  ASSERT_EQ(a.result.partition.classes.size(), 1u);
+  EXPECT_EQ(a.result.partition.classes[0].arrays.size(), 3u);
+}
+
+TEST(Import, CandidateCoversSinkArrays) {
+  Analysis a(
+      "      parameter (n = 8)\n"
+      "      real x(n,n), y(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(i,j)\n"
+      "        enddo\n      enddo\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(j,i)\n"
+      "        enddo\n      enddo\n"
+      "      end\n");
+  ASSERT_EQ(a.result.partition.classes.size(), 2u);
+  const ImportResult imp = import_candidate(a.result.partition.classes[0],
+                                            a.result.partition.classes[1], a.templ.rank);
+  EXPECT_TRUE(imp.had_conflict);
+  // The candidate must provide an alignment for both arrays of the sink.
+  const int x = a.prog.symbols.lookup("x");
+  const int y = a.prog.symbols.lookup("y");
+  EXPECT_NE(imp.candidate.alignment.find(x), nullptr);
+  EXPECT_NE(imp.candidate.alignment.find(y), nullptr);
+}
+
+TEST(Import, SourcePreferencesDominate) {
+  // Source class aligns canonically (heavy); sink transposed (light). The
+  // import into the sink must carry the SOURCE's canonical alignment.
+  Analysis a(
+      "      parameter (n = 32)\n"
+      "      real x(n,n), y(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(i,j) + y(i,j)*2.0\n"
+      "        enddo\n      enddo\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(j,i)\n"
+      "        enddo\n      enddo\n"
+      "      end\n");
+  ASSERT_EQ(a.result.partition.classes.size(), 2u);
+  const ImportResult imp = import_candidate(a.result.partition.classes[0],
+                                            a.result.partition.classes[1], a.templ.rank);
+  const int x = a.prog.symbols.lookup("x");
+  const int y = a.prog.symbols.lookup("y");
+  // Canonical: x and y dims land on the same template dims.
+  EXPECT_EQ(imp.candidate.alignment.axis_of(x, 0), imp.candidate.alignment.axis_of(y, 0));
+  EXPECT_EQ(imp.candidate.alignment.axis_of(x, 1), imp.candidate.alignment.axis_of(y, 1));
+}
+
+TEST(Heuristic, PhaseSpacesAreNeverEmpty) {
+  Analysis a(
+      "      parameter (n = 8)\n"
+      "      real x(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = x(i,j) + 1.0\n"
+      "        enddo\n      enddo\n"
+      "      end\n");
+  ASSERT_EQ(a.result.phase_spaces.size(), 1u);
+  EXPECT_GE(a.result.phase_spaces[0].size(), 1u);
+}
+
+TEST(Heuristic, ClassSpaceBoundedByClassCount) {
+  // Paper: with p classes each class space has at most p candidates.
+  corpus::TestCase c{"tomcatv", 64, corpus::Dtype::DoublePrecision, 4};
+  Analysis a(corpus::source_for(c));
+  const std::size_t p = a.result.partition.classes.size();
+  EXPECT_EQ(p, 2u);
+  for (const AlignmentSpace& s : a.result.class_spaces) {
+    EXPECT_GE(s.size(), 1u);
+    EXPECT_LE(s.size(), p);
+  }
+  // Tomcatv: the paper reports two entries per phase alignment space.
+  for (const AlignmentSpace& s : a.result.phase_spaces) {
+    EXPECT_GE(s.size(), 1u);
+    EXPECT_LE(s.size(), 2u);
+  }
+}
+
+TEST(Heuristic, ConflictFreeProgramNeedsNoIlp) {
+  corpus::TestCase c{"adi", 64, corpus::Dtype::Real, 4};
+  Analysis a(corpus::source_for(c));
+  EXPECT_TRUE(a.result.ilp_resolutions.empty());
+  EXPECT_EQ(a.result.partition.classes.size(), 1u);
+}
+
+TEST(Heuristic, TomcatvConflictsSolvedByIlp) {
+  corpus::TestCase c{"tomcatv", 64, corpus::Dtype::DoublePrecision, 4};
+  Analysis a(corpus::source_for(c));
+  EXPECT_FALSE(a.result.ilp_resolutions.empty());
+  for (const cag::Resolution& r : a.result.ilp_resolutions) {
+    EXPECT_GT(r.ilp_variables, 0);
+    EXPECT_GT(r.ilp_constraints, 0);
+  }
+}
+
+} // namespace
+} // namespace al::align

@@ -1,0 +1,199 @@
+// The 0-1 formulation of inter-dimensional alignment conflict resolution
+// (paper appendix, figure 8): exact constraint structure on the figure's
+// example, optimality against brute force on random CAGs, and the
+// greedy-vs-optimal dominance property.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cag/builder.hpp"
+#include "cag/conflict.hpp"
+#include "cag/greedy_resolution.hpp"
+#include "cag/ilp_formulation.hpp"
+#include "fortran/parser.hpp"
+
+namespace al::cag {
+namespace {
+
+using fortran::parse_and_check;
+using fortran::Program;
+
+/// The figure-8 example: two 2-D arrays x and y with three edges forming a
+/// conflict (y1 reachable from y2 through x's dims).
+struct Fig8 {
+  Program prog = parse_and_check("      real x(2,2), y(2,2)\n      end\n");
+  NodeUniverse uni = NodeUniverse::from_program(prog);
+  int x1 = uni.index(prog.symbols.lookup("x"), 0);
+  int x2 = uni.index(prog.symbols.lookup("x"), 1);
+  int y1 = uni.index(prog.symbols.lookup("y"), 0);
+  int y2 = uni.index(prog.symbols.lookup("y"), 1);
+  Cag cag{&uni};
+
+  Fig8() {
+    // Edges as in figure 8: x1-y1, x2-y1, x2-y2 (all oriented x -> y after
+    // normalization).
+    cag.add_edge_weight(x1, y1, 10.0, x1);
+    cag.add_edge_weight(x2, y1, 4.0, x2);
+    cag.add_edge_weight(x2, y2, 8.0, x2);
+  }
+};
+
+TEST(AlignmentIlp, Fig8HasAConflict) {
+  Fig8 f;
+  EXPECT_TRUE(f.cag.has_conflict());
+}
+
+TEST(AlignmentIlp, Fig8ConstraintCounts) {
+  Fig8 f;
+  const AlignmentIlp ilp = formulate_alignment_ilp(f.cag, 2);
+  // 4 nodes x 2 partitions + 3 edges x 2 partitions = 14 variables.
+  EXPECT_EQ(ilp.model.num_variables(), 14);
+  // type1: one per node.
+  EXPECT_EQ(ilp.num_type1, 4);
+  // type2: per array per partition.
+  EXPECT_EQ(ilp.num_type2, 4);
+  // Edge constraints: nonempty SRC/SINK sets x d. Sinks: y1 has SRC(x,y1)
+  // with 2 edges, y2 has SRC(x,y2) with 1; sources: x1 has SINK(x1,y) with
+  // 1, x2 has SINK(x2,y) with 2. That is 4 groups x 2 partitions = 8.
+  EXPECT_EQ(ilp.num_edge_constraints, 8);
+  EXPECT_EQ(ilp.model.num_constraints(), 4 + 4 + 8);
+}
+
+TEST(AlignmentIlp, Fig8OptimalSolution) {
+  Fig8 f;
+  const Resolution r = resolve_alignment(f.cag, 2);
+  // Optimal: keep x1-y1 (10) and x2-y2 (8), cut x2-y1 (4).
+  EXPECT_DOUBLE_EQ(r.satisfied_weight, 18.0);
+  EXPECT_DOUBLE_EQ(r.cut_weight, 4.0);
+  EXPECT_EQ(r.part_of[static_cast<std::size_t>(f.x1)],
+            r.part_of[static_cast<std::size_t>(f.y1)]);
+  EXPECT_EQ(r.part_of[static_cast<std::size_t>(f.x2)],
+            r.part_of[static_cast<std::size_t>(f.y2)]);
+  EXPECT_NE(r.part_of[static_cast<std::size_t>(f.x1)],
+            r.part_of[static_cast<std::size_t>(f.x2)]);
+  // The surviving info joins exactly the kept pairs.
+  EXPECT_TRUE(r.info.same(f.x1, f.y1));
+  EXPECT_TRUE(r.info.same(f.x2, f.y2));
+  EXPECT_FALSE(r.info.same(f.x1, f.x2));
+  EXPECT_GT(r.ilp_variables, 0);
+  EXPECT_GT(r.ilp_constraints, 0);
+}
+
+TEST(AlignmentIlp, ConflictFreeCagSkipsTheIlp) {
+  Fig8 f;
+  Cag free(&f.uni);
+  free.add_edge_weight(f.x1, f.y1, 5.0, f.x1);
+  const Resolution r = resolve_alignment(free, 2);
+  EXPECT_EQ(r.ilp_variables, 0);  // no ILP was needed
+  EXPECT_DOUBLE_EQ(r.satisfied_weight, 5.0);
+  EXPECT_DOUBLE_EQ(r.cut_weight, 0.0);
+}
+
+TEST(AlignmentIlp, SatisfiedSubgraphDropsCutEdges) {
+  Fig8 f;
+  const Resolution r = resolve_alignment(f.cag, 2);
+  const Cag survived = satisfied_subgraph(f.cag, r);
+  EXPECT_EQ(survived.edges().size(), 2u);
+  EXPECT_FALSE(survived.has_conflict());
+  EXPECT_DOUBLE_EQ(survived.total_weight(), 18.0);
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force cross-check on random conflicted CAGs.
+// ---------------------------------------------------------------------------
+
+/// Exhaustive optimum over all d-partitionings via node-partition labels.
+double brute_force_best(const Cag& g, int d) {
+  const std::vector<int> nodes = [&] {
+    std::vector<int> out;
+    for (int a : g.touched_arrays()) {
+      for (int n : g.universe().nodes_of(a)) out.push_back(n);
+    }
+    return out;
+  }();
+  const int n = static_cast<int>(nodes.size());
+  std::vector<int> label(static_cast<std::size_t>(n), 0);
+  double best = -1.0;
+  for (;;) {
+    // Check array-distinctness.
+    bool ok = true;
+    for (int i = 0; i < n && ok; ++i) {
+      for (int j = i + 1; j < n && ok; ++j) {
+        if (g.universe().array_of(nodes[static_cast<std::size_t>(i)]) ==
+                g.universe().array_of(nodes[static_cast<std::size_t>(j)]) &&
+            label[static_cast<std::size_t>(i)] == label[static_cast<std::size_t>(j)])
+          ok = false;
+      }
+    }
+    if (ok) {
+      double w = 0.0;
+      auto label_of = [&](int node) {
+        for (int i = 0; i < n; ++i) {
+          if (nodes[static_cast<std::size_t>(i)] == node)
+            return label[static_cast<std::size_t>(i)];
+        }
+        return -1;
+      };
+      for (const CagEdge& e : g.edges()) {
+        if (label_of(e.u) == label_of(e.v)) w += e.weight;
+      }
+      best = std::max(best, w);
+    }
+    // Next label vector.
+    int k = 0;
+    while (k < n) {
+      if (++label[static_cast<std::size_t>(k)] < d) break;
+      label[static_cast<std::size_t>(k)] = 0;
+      ++k;
+    }
+    if (k == n) break;
+  }
+  return best;
+}
+
+class AlignmentIlpRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignmentIlpRandom, MatchesBruteForce) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    const int narrays = 2 + static_cast<int>(rng() % 3);
+    std::string src = "      program p\n";
+    for (int a = 0; a < narrays; ++a)
+      src += "      real q" + std::to_string(a) + "(4,4)\n";
+    src += "      end\n";
+    Program prog = parse_and_check(src);
+    NodeUniverse uni = NodeUniverse::from_program(prog);
+    Cag g(&uni);
+    const int edges = 3 + static_cast<int>(rng() % 5);
+    for (int e = 0; e < edges; ++e) {
+      const int a = static_cast<int>(rng() % static_cast<unsigned>(narrays));
+      int b = static_cast<int>(rng() % static_cast<unsigned>(narrays));
+      if (a == b) b = (b + 1) % narrays;
+      g.add_edge_weight(uni.index(a, static_cast<int>(rng() % 2)),
+                        uni.index(b, static_cast<int>(rng() % 2)),
+                        1.0 + static_cast<double>(rng() % 50),
+                        uni.index(a, 0));
+    }
+    const Resolution ilp = resolve_alignment(g, 2);
+    const double brute = brute_force_best(g, 2);
+    EXPECT_NEAR(ilp.satisfied_weight, brute, 1e-6) << "trial " << trial;
+    // Greedy never beats the optimum.
+    const Resolution greedy = resolve_alignment_greedy(g, 2);
+    EXPECT_LE(greedy.satisfied_weight, ilp.satisfied_weight + 1e-9);
+    EXPECT_NEAR(greedy.satisfied_weight + greedy.cut_weight,
+                ilp.satisfied_weight + ilp.cut_weight, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentIlpRandom, ::testing::Values(7, 13, 29, 31));
+
+TEST(GreedyResolution, HeaviestEdgeWins) {
+  Fig8 f;
+  const Resolution r = resolve_alignment_greedy(f.cag, 2);
+  // Greedy keeps 10 first, then 8 (4 conflicts with both) -> optimal here.
+  EXPECT_DOUBLE_EQ(r.satisfied_weight, 18.0);
+  EXPECT_DOUBLE_EQ(r.cut_weight, 4.0);
+}
+
+} // namespace
+} // namespace al::cag

@@ -1,0 +1,252 @@
+// CAG tests: the directed edge-weight protocol of section 3.1, connected
+// components, conflict detection, merging, and the phase-CAG builder.
+#include <gtest/gtest.h>
+
+#include "cag/builder.hpp"
+#include "cag/cag.hpp"
+#include "fortran/parser.hpp"
+#include "pcfg/pcfg.hpp"
+#include "support/contracts.hpp"
+
+namespace al::cag {
+namespace {
+
+using fortran::parse_and_check;
+using fortran::Program;
+
+struct TwoArrays {
+  Program prog = parse_and_check("      real a(4,4), b(4,4)\n      end\n");
+  NodeUniverse uni = NodeUniverse::from_program(prog);
+  int a1 = uni.index(prog.symbols.lookup("a"), 0);
+  int a2 = uni.index(prog.symbols.lookup("a"), 1);
+  int b1 = uni.index(prog.symbols.lookup("b"), 0);
+  int b2 = uni.index(prog.symbols.lookup("b"), 1);
+};
+
+TEST(NodeUniverse, Numbering) {
+  TwoArrays f;
+  EXPECT_EQ(f.uni.size(), 4);
+  EXPECT_EQ(f.uni.array_of(f.a1), f.prog.symbols.lookup("a"));
+  EXPECT_EQ(f.uni.dim_of(f.a2), 1);
+  EXPECT_EQ(f.uni.index(99, 0), -1);
+  EXPECT_EQ(f.uni.rank_of(f.prog.symbols.lookup("b")), 2);
+  EXPECT_EQ(f.uni.nodes_of(f.prog.symbols.lookup("a")),
+            (std::vector<int>{f.a1, f.a2}));
+  EXPECT_EQ(f.uni.node_name(f.b2, f.prog.symbols), "b2");
+}
+
+TEST(Cag, FirstPreferenceCreatesDirectedEdge) {
+  TwoArrays f;
+  Cag g(&f.uni);
+  g.add_preference(f.b1, f.a1, 100.0);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 100.0);
+  EXPECT_EQ(g.edges()[0].source, f.b1);
+}
+
+TEST(Cag, SameDirectionIsCacheHit) {
+  // Section 3.1: re-encountering the preference along the current direction
+  // leaves the CAG unchanged (the communicated values are cached).
+  TwoArrays f;
+  Cag g(&f.uni);
+  g.add_preference(f.b1, f.a1, 100.0);
+  g.add_preference(f.b1, f.a1, 100.0);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 100.0);
+}
+
+TEST(Cag, OppositeDirectionAddsAndFlips) {
+  TwoArrays f;
+  Cag g(&f.uni);
+  g.add_preference(f.b1, f.a1, 100.0);
+  g.add_preference(f.a1, f.b1, 60.0);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 160.0);
+  EXPECT_EQ(g.edges()[0].source, f.a1);
+  // And flipping again accumulates again.
+  g.add_preference(f.b1, f.a1, 40.0);
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 200.0);
+  EXPECT_EQ(g.edges()[0].source, f.b1);
+}
+
+TEST(Cag, SelfPreferenceRejected) {
+  TwoArrays f;
+  Cag g(&f.uni);
+  EXPECT_THROW(g.add_preference(f.a1, f.a1, 1.0), ContractViolation);
+}
+
+TEST(Cag, ComponentsReflectEdges) {
+  TwoArrays f;
+  Cag g(&f.uni);
+  g.add_preference(f.b1, f.a1, 10.0);
+  const Partitioning p = g.components();
+  EXPECT_TRUE(p.same(f.a1, f.b1));
+  EXPECT_FALSE(p.same(f.a2, f.b2));
+  EXPECT_EQ(g.touched_nodes(), (std::vector<int>{f.a1, f.b1}));
+  EXPECT_EQ(g.touched_arrays().size(), 2u);
+}
+
+TEST(Cag, ConflictViaPath) {
+  TwoArrays f;
+  Cag g(&f.uni);
+  g.add_preference(f.b1, f.a1, 10.0);
+  EXPECT_FALSE(g.has_conflict());
+  // Connect a2 to b1 as well: path a1 - b1 - a2 joins two dims of a.
+  g.add_preference(f.b1, f.a2, 10.0);
+  EXPECT_TRUE(g.has_conflict());
+}
+
+TEST(Cag, MergeScaledAccumulates) {
+  TwoArrays f;
+  Cag g1(&f.uni);
+  g1.add_preference(f.b1, f.a1, 10.0);
+  Cag g2(&f.uni);
+  g2.add_preference(f.b1, f.a1, 5.0);
+  g2.add_preference(f.b2, f.a2, 7.0);
+  g1.merge_scaled(g2, 3.0);
+  ASSERT_EQ(g1.edges().size(), 2u);
+  EXPECT_DOUBLE_EQ(g1.total_weight(), 10.0 + 15.0 + 21.0);
+}
+
+TEST(Cag, RestrictedToArrays) {
+  Program prog = parse_and_check("      real a(4), b(4), c(4)\n      end\n");
+  NodeUniverse uni = NodeUniverse::from_program(prog);
+  const int a = prog.symbols.lookup("a");
+  const int b = prog.symbols.lookup("b");
+  const int c = prog.symbols.lookup("c");
+  Cag g(&uni);
+  g.add_edge_weight(uni.index(a, 0), uni.index(b, 0), 5.0, uni.index(a, 0));
+  g.add_edge_weight(uni.index(b, 0), uni.index(c, 0), 7.0, uni.index(b, 0));
+  const Cag r = g.restricted_to({a, b});
+  ASSERT_EQ(r.edges().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.edges()[0].weight, 5.0);
+}
+
+TEST(Cag, StrShowsDirections) {
+  TwoArrays f;
+  Cag g(&f.uni);
+  g.add_preference(f.b1, f.a1, 12.0);
+  const std::string s = g.str(f.prog.symbols);
+  EXPECT_NE(s.find("b1->a1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Phase-CAG builder (owner-computes weights).
+// ---------------------------------------------------------------------------
+
+struct BuiltCag {
+  Program prog;
+  pcfg::Pcfg pcfg;
+  NodeUniverse uni;
+  Cag cag;
+
+  explicit BuiltCag(const std::string& src, int phase = 0)
+      : prog(parse_and_check(src)),
+        pcfg(pcfg::Pcfg::build(prog)),
+        uni(NodeUniverse::from_program(prog)),
+        cag(build_phase_cag(pcfg.phase(phase), uni, prog.symbols)) {}
+};
+
+TEST(CagBuilder, CanonicalCouplingMakesParallelEdges) {
+  BuiltCag b(
+      "      parameter (n = 8)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(i,j)\n"
+      "        enddo\n      enddo\n      end\n");
+  // a1-b1 and a2-b2, value flow from b (the read side).
+  ASSERT_EQ(b.cag.edges().size(), 2u);
+  for (const CagEdge& e : b.cag.edges()) {
+    EXPECT_EQ(b.uni.array_of(e.source), b.prog.symbols.lookup("b"));
+    // Weight = whole volume of b in bytes (8x8 reals).
+    EXPECT_DOUBLE_EQ(e.weight, 64.0 * 4.0);
+  }
+  EXPECT_FALSE(b.cag.has_conflict());
+}
+
+TEST(CagBuilder, TransposedCouplingCrossesDims) {
+  BuiltCag b(
+      "      parameter (n = 8)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(j,i)\n"
+      "        enddo\n      enddo\n      end\n");
+  // a1 couples with b2 (both indexed by i), a2 with b1.
+  const int a = b.prog.symbols.lookup("a");
+  const int bb = b.prog.symbols.lookup("b");
+  const Partitioning p = b.cag.components();
+  EXPECT_TRUE(p.same(b.uni.index(a, 0), b.uni.index(bb, 1)));
+  EXPECT_TRUE(p.same(b.uni.index(a, 1), b.uni.index(bb, 0)));
+  EXPECT_FALSE(b.cag.has_conflict());
+}
+
+TEST(CagBuilder, SelfRecurrenceAddsNoEdges) {
+  BuiltCag b(
+      "      parameter (n = 8)\n"
+      "      real x(n,n)\n"
+      "      do j = 1, n\n        do i = 2, n\n"
+      "          x(i,j) = x(i-1,j)\n"
+      "        enddo\n      enddo\n      end\n");
+  EXPECT_TRUE(b.cag.empty());
+}
+
+TEST(CagBuilder, MixedCouplingCreatesConflictInOnePhase) {
+  // a couples canonically with x AND transposed with x: conflict.
+  BuiltCag b(
+      "      parameter (n = 8)\n"
+      "      real a(n,n), x(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = x(i,j) + x(j,i)\n"
+      "        enddo\n      enddo\n      end\n");
+  EXPECT_TRUE(b.cag.has_conflict());
+}
+
+TEST(CagBuilder, InvariantSubscriptsMakeNoPreference) {
+  BuiltCag b(
+      "      parameter (n = 8)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(1,j)\n"
+      "        enddo\n      enddo\n      end\n");
+  // Only the j-j coupling (a2-b2) exists; b's dim 1 is invariant.
+  ASSERT_EQ(b.cag.edges().size(), 1u);
+  EXPECT_EQ(b.uni.dim_of(b.cag.edges()[0].u), 1);
+  EXPECT_EQ(b.uni.dim_of(b.cag.edges()[0].v), 1);
+}
+
+TEST(CagBuilder, LowerRankArrayEmbedding) {
+  BuiltCag b(
+      "      parameter (n = 8)\n"
+      "      real a(n,n), v(n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = v(j)\n"
+      "        enddo\n      enddo\n      end\n");
+  // v1 couples with a2 (both indexed by j).
+  ASSERT_EQ(b.cag.edges().size(), 1u);
+  const CagEdge& e = b.cag.edges()[0];
+  const int a = b.prog.symbols.lookup("a");
+  const int v = b.prog.symbols.lookup("v");
+  const Partitioning p = b.cag.components();
+  EXPECT_TRUE(p.same(b.uni.index(a, 1), b.uni.index(v, 0)));
+  EXPECT_DOUBLE_EQ(e.weight, 8.0 * 4.0);  // volume of v
+}
+
+TEST(CagBuilder, CostScaleMultipliesWeights) {
+  const char* src =
+      "      parameter (n = 8)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(i,j)\n"
+      "        enddo\n      enddo\n      end\n";
+  BuiltCag plain(src);
+  Program prog2 = parse_and_check(src);
+  pcfg::Pcfg g2 = pcfg::Pcfg::build(prog2);
+  NodeUniverse uni2 = NodeUniverse::from_program(prog2);
+  CagBuildOptions opts;
+  opts.cost_scale = 4.0;
+  Cag scaled = build_phase_cag(g2.phase(0), uni2, prog2.symbols, opts);
+  EXPECT_DOUBLE_EQ(scaled.total_weight(), plain.cag.total_weight() * 4.0);
+}
+
+} // namespace
+} // namespace al::cag

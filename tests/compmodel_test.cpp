@@ -1,0 +1,227 @@
+// Compiler model tests: reference classification under candidate layouts,
+// message vectorization/coalescing, recurrence placement (pipeline strips).
+#include <gtest/gtest.h>
+
+#include "compmodel/compile.hpp"
+#include "fortran/parser.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al::compmodel {
+namespace {
+
+using fortran::parse_and_check;
+using fortran::Program;
+
+struct Compiled {
+  Program prog;
+  pcfg::Pcfg pcfg;
+  pcfg::PhaseDeps deps;
+  layout::Layout layout;
+  CompiledPhase result;
+
+  Compiled(const std::string& src, int dist_dim, int procs = 8,
+           const CompileOptions& opts = {}, int phase = 0, int rank = 2)
+      : prog(parse_and_check(src)),
+        pcfg(pcfg::Pcfg::build(prog)),
+        deps(pcfg::analyze_dependences(pcfg.phase(phase), prog.symbols)),
+        layout(layout::Alignment{}, layout::Distribution::block_1d(rank, dist_dim, procs)),
+        result(compile_phase(pcfg.phase(phase), deps, layout, prog.symbols, opts)) {}
+
+  int count(CommClass cls) const {
+    int n = 0;
+    for (const CommEvent& e : result.events) {
+      if (e.cls == cls) ++n;
+    }
+    return n;
+  }
+  const CommEvent* first(CommClass cls) const {
+    for (const CommEvent& e : result.events) {
+      if (e.cls == cls) return &e;
+    }
+    return nullptr;
+  }
+};
+
+const char* kStencil =
+    "      parameter (n = 32)\n"
+    "      real a(n,n), b(n,n)\n"
+    "      do j = 1, n\n        do i = 2, n\n"
+    "          a(i,j) = b(i-1,j)\n"
+    "        enddo\n      enddo\n      end\n";
+
+TEST(CompModel, AlignedAccessIsLocal) {
+  Compiled c(
+      "      parameter (n = 32)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(i,j)\n"
+      "        enddo\n      enddo\n      end\n",
+      /*dist_dim=*/0);
+  EXPECT_TRUE(c.result.events.empty());
+  EXPECT_DOUBLE_EQ(c.result.partitioned_fraction, 1.0);
+  EXPECT_EQ(c.result.procs, 8);
+}
+
+TEST(CompModel, OffsetAlongDistributedDimIsShift) {
+  Compiled c(kStencil, /*dist_dim=*/0);
+  ASSERT_EQ(c.count(CommClass::Shift), 1);
+  const CommEvent* e = c.first(CommClass::Shift);
+  EXPECT_EQ(e->shift_distance, 1);
+  // Boundary of b along dim 1: one column-cross-section = 32 reals,
+  // strided (dim 1 is not the last dimension).
+  EXPECT_DOUBLE_EQ(e->bytes, 32.0 * 4.0);
+  EXPECT_EQ(e->stride, machine::Stride::NonUnit);
+  EXPECT_DOUBLE_EQ(e->messages, 1.0);  // vectorized
+}
+
+TEST(CompModel, OffsetAlongSerialDimIsFree) {
+  Compiled c(kStencil, /*dist_dim=*/1);
+  EXPECT_TRUE(c.result.events.empty());
+}
+
+TEST(CompModel, LastDimBoundaryIsUnitStride) {
+  Compiled c(
+      "      parameter (n = 32)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 2, n\n        do i = 1, n\n"
+      "          a(i,j) = b(i,j-1)\n"
+      "        enddo\n      enddo\n      end\n",
+      /*dist_dim=*/1);
+  const CommEvent* e = c.first(CommClass::Shift);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->stride, machine::Stride::Unit);
+}
+
+TEST(CompModel, InvariantReadBecomesBroadcast) {
+  Compiled c(
+      "      parameter (n = 32)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(1,j)\n"
+      "        enddo\n      enddo\n      end\n",
+      /*dist_dim=*/0);
+  ASSERT_EQ(c.count(CommClass::Broadcast), 1);
+  EXPECT_DOUBLE_EQ(c.first(CommClass::Broadcast)->bytes, 32.0 * 4.0);
+}
+
+TEST(CompModel, TransposedReadBecomesTranspose) {
+  Compiled c(
+      "      parameter (n = 32)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(j,i)\n"
+      "        enddo\n      enddo\n      end\n",
+      /*dist_dim=*/0);
+  ASSERT_EQ(c.count(CommClass::Transpose), 1);
+  EXPECT_DOUBLE_EQ(c.first(CommClass::Transpose)->bytes, 32.0 * 32.0 * 4.0);
+}
+
+TEST(CompModel, RecurrencePlacementInnerLoop) {
+  // Dependence on the INNER loop: one strip per outer iteration.
+  Compiled c(
+      "      parameter (n = 32)\n"
+      "      real x(n,n)\n"
+      "      do j = 1, n\n        do i = 2, n\n"
+      "          x(i,j) = x(i-1,j)\n"
+      "        enddo\n      enddo\n      end\n",
+      /*dist_dim=*/0);
+  ASSERT_EQ(c.count(CommClass::Recurrence), 1);
+  const CommEvent* e = c.first(CommClass::Recurrence);
+  EXPECT_EQ(e->strips, 32);               // one per j iteration
+  EXPECT_DOUBLE_EQ(e->bytes, 4.0);        // one element per strip
+  EXPECT_TRUE(c.result.has_recurrence());
+  EXPECT_EQ(c.result.recurrence_strips(), 32);
+}
+
+TEST(CompModel, RecurrencePlacementOuterLoop) {
+  // Dependence on the OUTER loop: a single strip (sequential chain).
+  Compiled c(
+      "      parameter (n = 32)\n"
+      "      real x(n,n)\n"
+      "      do j = 2, n\n        do i = 1, n\n"
+      "          x(i,j) = x(i,j-1)\n"
+      "        enddo\n      enddo\n      end\n",
+      /*dist_dim=*/1);
+  const CommEvent* e = c.first(CommClass::Recurrence);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->strips, 1);
+  EXPECT_DOUBLE_EQ(e->bytes, 32.0 * 4.0);  // whole cross-section at once
+}
+
+TEST(CompModel, RecurrenceOnSerialDimIsFree) {
+  Compiled c(
+      "      parameter (n = 32)\n"
+      "      real x(n,n)\n"
+      "      do j = 1, n\n        do i = 2, n\n"
+      "          x(i,j) = x(i-1,j)\n"
+      "        enddo\n      enddo\n      end\n",
+      /*dist_dim=*/1);
+  EXPECT_TRUE(c.result.events.empty());
+  EXPECT_FALSE(c.result.has_recurrence());
+}
+
+TEST(CompModel, UnpartitionedStatementGathers) {
+  // d is written at a FIXED position along the distributed dimension, so
+  // the statement executes on one slab; reading b across the whole
+  // distributed dimension forces a gather onto that slab.
+  Compiled c(
+      "      parameter (n = 32)\n"
+      "      real d(n,n), b(n,n)\n"
+      "      do j = 1, n\n"
+      "        do i = 1, n\n"
+      "          d(i,1) = b(i,j)\n"
+      "        enddo\n"
+      "      enddo\n      end\n",
+      /*dist_dim=*/1);
+  EXPECT_EQ(c.count(CommClass::Gather), 1);
+  EXPECT_LT(c.result.partitioned_fraction, 1.0);
+}
+
+TEST(CompModel, VectorizationOffSendsElements) {
+  CompileOptions off;
+  off.message_vectorization = false;
+  Compiled on(kStencil, 0);
+  Compiled c(kStencil, 0, 8, off);
+  const CommEvent* ev = c.first(CommClass::Shift);
+  const CommEvent* ev_on = on.first(CommClass::Shift);
+  ASSERT_NE(ev, nullptr);
+  ASSERT_NE(ev_on, nullptr);
+  EXPECT_DOUBLE_EQ(ev->bytes, 4.0);        // one element per message
+  EXPECT_DOUBLE_EQ(ev->messages, 32.0);    // whole boundary, one at a time
+  EXPECT_DOUBLE_EQ(ev->bytes * ev->messages, ev_on->bytes * ev_on->messages);
+}
+
+TEST(CompModel, CoalescingMergesSameArrayShifts) {
+  // Two reads of b at distance 1 and 2: coalesced into ONE message paying
+  // the larger boundary.
+  const char* src =
+      "      parameter (n = 32)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 3, n\n"
+      "          a(i,j) = b(i-1,j) + b(i-2,j)\n"
+      "        enddo\n      enddo\n      end\n";
+  Compiled merged(src, 0);
+  EXPECT_EQ(merged.count(CommClass::Shift), 1);
+  EXPECT_EQ(merged.first(CommClass::Shift)->shift_distance, 2);
+  CompileOptions off;
+  off.message_coalescing = false;
+  Compiled split(src, 0, 8, off);
+  EXPECT_EQ(split.count(CommClass::Shift), 2);
+}
+
+TEST(CompModel, ComputationSplitsAcrossProcs) {
+  const char* src =
+      "      parameter (n = 32)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(i,j)*2.0 + 1.0\n"
+      "        enddo\n      enddo\n      end\n";
+  Compiled c8(src, 0, 8);
+  Compiled c2(src, 0, 2);
+  EXPECT_GT(c8.result.flops_real, 0.0);
+  EXPECT_NEAR(c2.result.flops_real / c8.result.flops_real, 4.0, 1e-9);
+  EXPECT_NEAR(c2.result.mem_accesses / c8.result.mem_accesses, 4.0, 1e-9);
+}
+
+} // namespace
+} // namespace al::compmodel

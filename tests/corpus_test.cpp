@@ -1,0 +1,118 @@
+// Corpus tests: the generated programs parse, the test-case grids have the
+// paper's counts, the structural properties hold for every generated size.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "fortran/inline.hpp"
+#include "fortran/parser.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al::corpus {
+namespace {
+
+TEST(Corpus, CaseCountsMatchThePaper) {
+  EXPECT_EQ(adi_cases().size(), 40u);
+  EXPECT_EQ(erlebacher_cases().size(), 21u);
+  EXPECT_EQ(tomcatv_cases().size(), 19u);
+  EXPECT_EQ(shallow_cases().size(), 19u);
+  EXPECT_EQ(all_cases().size(), 99u);  // the paper's 99 experiments
+}
+
+TEST(Corpus, CaseNamesAreDescriptive) {
+  const TestCase c{"adi", 256, Dtype::DoublePrecision, 16};
+  EXPECT_EQ(c.name(), "adi n=256 double P=16");
+}
+
+TEST(Corpus, SourceForDispatches) {
+  for (const char* prog : {"adi", "erlebacher", "tomcatv", "shallow"}) {
+    const TestCase c{prog, 32, Dtype::Real, 4};
+    const std::string src = source_for(c);
+    EXPECT_NE(src.find(std::string("program ") + prog), std::string::npos);
+  }
+  EXPECT_THROW((void)source_for(TestCase{"nope", 8, Dtype::Real, 2}),
+               std::invalid_argument);
+}
+
+TEST(Corpus, TypeKeywordSubstitution) {
+  EXPECT_NE(adi_source(16, Dtype::Real).find("real x(n,n)"), std::string::npos);
+  EXPECT_NE(adi_source(16, Dtype::DoublePrecision).find("double precision x(n,n)"),
+            std::string::npos);
+}
+
+class CorpusPrograms : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusPrograms, ParsesCleanlyAtSeveralSizes) {
+  for (long n : {16L, 64L}) {
+    const TestCase c{GetParam(), n, Dtype::DoublePrecision, 4};
+    EXPECT_NO_THROW({
+      fortran::Program p = fortran::parse_and_check(source_for(c));
+      EXPECT_FALSE(p.body.empty());
+    }) << c.name();
+  }
+}
+
+TEST_P(CorpusPrograms, PhaseCountIsSizeIndependent) {
+  const TestCase small{GetParam(), 16, Dtype::DoublePrecision, 4};
+  const TestCase large{GetParam(), 128, Dtype::DoublePrecision, 4};
+  fortran::Program ps = fortran::parse_and_check(source_for(small));
+  fortran::Program pl = fortran::parse_and_check(source_for(large));
+  EXPECT_EQ(pcfg::Pcfg::build(ps).num_phases(), pcfg::Pcfg::build(pl).num_phases());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CorpusPrograms,
+                         ::testing::Values("adi", "erlebacher", "tomcatv", "shallow"));
+
+TEST(Corpus, PaperPhaseCounts) {
+  auto phases = [](const std::string& src) {
+    fortran::Program p = fortran::parse_and_check(src);
+    return pcfg::Pcfg::build(p).num_phases();
+  };
+  EXPECT_EQ(phases(adi_source(32, Dtype::DoublePrecision)), 9);
+  EXPECT_EQ(phases(erlebacher_source(16, Dtype::DoublePrecision)), 40);
+  EXPECT_EQ(phases(tomcatv_source(32, Dtype::DoublePrecision)), 17);
+  EXPECT_EQ(phases(shallow_source(32, Dtype::Real)), 28);
+}
+
+TEST(Corpus, TomcatvBranchAnnotation) {
+  const std::string src = tomcatv_source(32, Dtype::DoublePrecision, 10, 0.75);
+  EXPECT_NE(src.find("!al$ prob(0.75)"), std::string::npos);
+}
+
+TEST(Corpus, ModularErlebacherInlinesToTheSameStructure) {
+  // The subroutine-per-sweep version must reduce to the hand-inlined
+  // version's 40 phases through the inliner, with the same template and
+  // alignment structure.
+  fortran::Program mod =
+      fortran::parse_and_check(erlebacher_modular_source(16, Dtype::DoublePrecision));
+  ASSERT_EQ(mod.procedures.size(), 3u);
+  DiagnosticEngine diags;
+  fortran::inline_calls(mod, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.str();
+  EXPECT_EQ(pcfg::Pcfg::build(mod).num_phases(), 40);
+}
+
+TEST(Corpus, ModularErlebacherSelectsLikeTheInlinedOne) {
+  corpus::TestCase c{"erlebacher", 32, Dtype::DoublePrecision, 8};
+  driver::ToolOptions opts;
+  opts.procs = 8;
+  auto inlined = driver::run_tool(erlebacher_source(32, Dtype::DoublePrecision), opts);
+  auto modular =
+      driver::run_tool(erlebacher_modular_source(32, Dtype::DoublePrecision), opts);
+  ASSERT_EQ(inlined->pcfg.num_phases(), modular->pcfg.num_phases());
+  // Same cost structure within numerical noise (symbol numbering differs).
+  EXPECT_NEAR(modular->selection.total_cost_us, inlined->selection.total_cost_us,
+              1e-6 * (1.0 + inlined->selection.total_cost_us));
+}
+
+TEST(Corpus, GridsRespectNodeMemory) {
+  // No grid point exceeds the 8 MB/node iPSC/860 budget by design: check
+  // the biggest tomcatv case (7 double arrays of n^2 over P nodes).
+  for (const TestCase& c : tomcatv_cases()) {
+    const double bytes_per_node = 7.0 * c.n * c.n * 8.0 / c.procs;
+    EXPECT_LT(bytes_per_node, 8.0 * 1024 * 1024) << c.name();
+  }
+}
+
+} // namespace
+} // namespace al::corpus

@@ -1,0 +1,183 @@
+// Dependence analysis tests: flow/anti distances (with loop step signs),
+// reduction recognition, conservative fallbacks.
+#include <gtest/gtest.h>
+
+#include "fortran/parser.hpp"
+#include "pcfg/dependence.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al::pcfg {
+namespace {
+
+using fortran::parse_and_check;
+using fortran::Program;
+
+struct Analyzed {
+  Program prog;
+  Phase phase;
+  PhaseDeps deps;
+
+  explicit Analyzed(const std::string& body)
+      : prog(parse_and_check(body)),
+        phase(analyze_phase(static_cast<const fortran::DoStmt&>(*prog.body[0]),
+                            prog.symbols, 0, PhaseOptions{})),
+        deps(analyze_dependences(phase, prog.symbols)) {}
+
+  int array(const char* name) const { return prog.symbols.lookup(name); }
+};
+
+TEST(Dependence, ForwardRecurrenceIsFlow) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n,n)\n"
+      "      do j = 1, n\n        do i = 2, n\n"
+      "          x(i,j) = x(i-1,j)\n"
+      "        enddo\n      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.flow_on(a.array("x"), 0));
+  EXPECT_FALSE(a.deps.flow_on(a.array("x"), 1));
+  EXPECT_EQ(a.deps.flow_distance(a.array("x"), 0), 1);
+}
+
+TEST(Dependence, ForwardReadAheadIsAnti) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n-1\n"
+      "          x(i,j) = x(i+1,j)\n"
+      "        enddo\n      enddo\n      end\n");
+  EXPECT_FALSE(a.deps.flow_on(a.array("x"), 0));
+  EXPECT_TRUE(a.deps.any_on(a.array("x"), 0));
+}
+
+TEST(Dependence, BackwardLoopFlipsTheSign) {
+  // Descending loop reading x(i+1): that is the PREVIOUS iteration -> flow.
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n,n)\n"
+      "      do j = 1, n\n        do i = n-1, 1, -1\n"
+      "          x(i,j) = x(i+1,j)\n"
+      "        enddo\n      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.flow_on(a.array("x"), 0));
+}
+
+TEST(Dependence, BackwardLoopAnti) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n,n)\n"
+      "      do j = 1, n\n        do i = n, 2, -1\n"
+      "          x(i,j) = x(i-1,j)\n"
+      "        enddo\n      enddo\n      end\n");
+  EXPECT_FALSE(a.deps.flow_on(a.array("x"), 0));
+  EXPECT_TRUE(a.deps.any_on(a.array("x"), 0));
+}
+
+TEST(Dependence, SecondDimensionRecurrence) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n,n)\n"
+      "      do j = 2, n\n        do i = 1, n\n"
+      "          x(i,j) = x(i,j-1)\n"
+      "        enddo\n      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.flow_on(a.array("x"), 1));
+  EXPECT_FALSE(a.deps.flow_on(a.array("x"), 0));
+}
+
+TEST(Dependence, CrossStatementFlow) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n), y(n)\n"
+      "      do i = 2, n\n"
+      "        y(i) = 1.0\n"
+      "        x(i) = y(i-1)\n"
+      "      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.flow_on(a.array("y"), 0));
+}
+
+TEST(Dependence, IndependentArraysHaveNoDeps) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n), y(n)\n"
+      "      do i = 1, n\n        x(i) = y(i)\n      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.deps.empty());
+}
+
+TEST(Dependence, LargerDistance) {
+  Analyzed a(
+      "      parameter (n = 16)\n      real x(n)\n"
+      "      do i = 4, n\n        x(i) = x(i-3)\n      enddo\n      end\n");
+  EXPECT_EQ(a.deps.flow_distance(a.array("x"), 0), 3);
+}
+
+TEST(Dependence, StrideTwoSkipsMismatchedParity) {
+  // write x(2i), read x(2i-1): never the same element.
+  Analyzed a(
+      "      parameter (n = 16)\n      real x(n)\n"
+      "      do i = 1, 8\n        x(2*i) = x(2*i-1)\n      enddo\n      end\n");
+  EXPECT_FALSE(a.deps.any_on(a.array("x"), 0));
+}
+
+TEST(Dependence, StrideTwoMatchingParity) {
+  // write x(2i), read x(2i-2): the previous iteration's element -> flow, 1.
+  Analyzed a(
+      "      parameter (n = 16)\n      real x(n)\n"
+      "      do i = 2, 8\n        x(2*i) = x(2*i-2)\n      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.flow_on(a.array("x"), 0));
+  EXPECT_EQ(a.deps.flow_distance(a.array("x"), 0), 1);
+}
+
+TEST(Dependence, ComplexSubscriptIsConservative) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = x(j,i)\n"
+      "        enddo\n      enddo\n      end\n");
+  // Transposed coupling: unanalyzable pair, conservatively a dependence.
+  EXPECT_TRUE(a.deps.any_on(a.array("x"), 0));
+  EXPECT_TRUE(a.deps.flow_on(a.array("x"), 0));  // conservative flow
+}
+
+TEST(Dependence, SumReductionRecognized) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n)\n      real s\n"
+      "      do i = 1, n\n        s = s + x(i)\n      enddo\n      end\n");
+  ASSERT_EQ(a.deps.reductions.size(), 1u);
+  EXPECT_EQ(a.deps.reductions[0].symbol, a.prog.symbols.lookup("s"));
+  EXPECT_FALSE(a.deps.has_serializing_scalar);
+}
+
+TEST(Dependence, ProductReductionRecognized) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n)\n      real s\n"
+      "      do i = 1, n\n        s = s * x(i)\n      enddo\n      end\n");
+  ASSERT_EQ(a.deps.reductions.size(), 1u);
+}
+
+TEST(Dependence, MaxReductionRecognized) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n)\n      real s\n"
+      "      do i = 1, n\n        s = max(s, abs(x(i)))\n      enddo\n      end\n");
+  ASSERT_EQ(a.deps.reductions.size(), 1u);
+}
+
+TEST(Dependence, NonCommutativeScalarUpdateSerializes) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n)\n      real s\n"
+      "      do i = 1, n\n        s = s / x(i)\n      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.reductions.empty());
+  EXPECT_TRUE(a.deps.has_serializing_scalar);
+}
+
+TEST(Dependence, AccumulatorOnBothSidesIsNotAReduction) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n)\n      real s\n"
+      "      do i = 1, n\n        s = s + s*x(i)\n      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.reductions.empty());
+  EXPECT_TRUE(a.deps.has_serializing_scalar);
+}
+
+TEST(Dependence, PrivatizableScalarIsNeither) {
+  Analyzed a(
+      "      parameter (n = 8)\n      real x(n)\n      real t\n"
+      "      do i = 1, n\n"
+      "        t = x(i) * 2.0\n"
+      "        x(i) = t\n"
+      "      enddo\n      end\n");
+  EXPECT_TRUE(a.deps.reductions.empty());
+  EXPECT_FALSE(a.deps.has_serializing_scalar);
+}
+
+} // namespace
+} // namespace al::pcfg

@@ -1,0 +1,155 @@
+// Distribution candidates, layout spaces (with the orientation/distribution
+// symmetry collapse of section 3.2), layouts and remap classification.
+#include <gtest/gtest.h>
+
+#include "distrib/candidates.hpp"
+#include "distrib/space.hpp"
+#include "fortran/parser.hpp"
+
+namespace al::distrib {
+namespace {
+
+using fortran::parse_and_check;
+using fortran::Program;
+
+TEST(Candidates, Exhaustive1DBlock) {
+  DistributionOptions opts;
+  opts.procs = 8;
+  const auto dists = make_distribution_candidates(2, opts);
+  ASSERT_EQ(dists.size(), 2u);
+  EXPECT_EQ(dists[0].single_distributed_dim(), 0);
+  EXPECT_EQ(dists[1].single_distributed_dim(), 1);
+  EXPECT_EQ(dists[0].total_procs(), 8);
+  EXPECT_EQ(dists[0].dim(0).kind, layout::DistKind::Block);
+}
+
+TEST(Candidates, SerialOptionAppends) {
+  DistributionOptions opts;
+  opts.procs = 4;
+  opts.include_serial = true;
+  const auto dists = make_distribution_candidates(3, opts);
+  ASSERT_EQ(dists.size(), 4u);
+  EXPECT_EQ(dists.back().num_distributed(), 0);
+  EXPECT_EQ(dists.back().total_procs(), 1);
+}
+
+TEST(Candidates, ExtendedStrategyAddsCyclicAndMeshes) {
+  DistributionOptions opts;
+  opts.procs = 8;
+  opts.strategy = Strategy::ExtendedExhaustive;
+  const auto dists = make_distribution_candidates(2, opts);
+  // 2 block + 2 cyclic + 2 block-cyclic + meshes {2x4, 4x2} on dims (0,1).
+  int cyclic = 0;
+  int meshes = 0;
+  for (const auto& d : dists) {
+    if (d.num_distributed() == 2) ++meshes;
+    for (int k = 0; k < d.rank(); ++k) {
+      if (d.dim(k).kind == layout::DistKind::Cyclic) ++cyclic;
+    }
+  }
+  EXPECT_EQ(cyclic, 2);
+  EXPECT_EQ(meshes, 2);  // 2x4 and 4x2
+  for (const auto& d : dists) EXPECT_LE(d.total_procs(), 8);
+}
+
+TEST(Distribution, StrRendering) {
+  EXPECT_EQ(layout::Distribution::block_1d(2, 0, 16).str(), "(BLOCK(16), *)");
+  EXPECT_EQ(layout::Distribution::serial(2).str(), "(*, *)");
+}
+
+TEST(Layout, ArrayDimDistributionFollowsAlignment) {
+  Program prog = parse_and_check("      real a(4,4)\n      end\n");
+  const int a = prog.symbols.lookup("a");
+  layout::Alignment align;
+  align.set(layout::ArrayAlignment{a, {1, 0}});  // transposed
+  layout::Layout l(align, layout::Distribution::block_1d(2, 0, 8));
+  // Template dim 0 is distributed; the array dim mapped there is dim 1.
+  EXPECT_FALSE(l.array_dim(a, 0).distributed());
+  EXPECT_TRUE(l.array_dim(a, 1).distributed());
+  EXPECT_EQ(l.distributed_array_dim(a, 2), 1);
+  EXPECT_EQ(l.procs_for_array(a, 2), 8);
+}
+
+TEST(Layout, DefaultsToIdentityAlignment) {
+  layout::Layout l(layout::Alignment{}, layout::Distribution::block_1d(2, 1, 4));
+  EXPECT_TRUE(l.array_dim(/*array=*/7, 1).distributed());
+  EXPECT_FALSE(l.array_dim(7, 0).distributed());
+}
+
+TEST(Layout, ClassifyRemap) {
+  Program prog = parse_and_check("      real a(4,4)\n      end\n");
+  const int a = prog.symbols.lookup("a");
+  layout::Alignment canon;
+  canon.set(layout::ArrayAlignment{a, {0, 1}});
+  layout::Alignment transp;
+  transp.set(layout::ArrayAlignment{a, {1, 0}});
+  const layout::Layout row(canon, layout::Distribution::block_1d(2, 0, 8));
+  const layout::Layout col(canon, layout::Distribution::block_1d(2, 1, 8));
+  const layout::Layout trow(transp, layout::Distribution::block_1d(2, 0, 8));
+  EXPECT_EQ(layout::classify_remap(row, row, a, 2), layout::RemapKind::None);
+  EXPECT_EQ(layout::classify_remap(row, col, a, 2), layout::RemapKind::Redistribute);
+  EXPECT_EQ(layout::classify_remap(row, trow, a, 2), layout::RemapKind::Realign);
+}
+
+TEST(LayoutSpace, OrientationDistributionSymmetryCollapses) {
+  // Paper, end of 3.2: transposed orientation distributed by row equals the
+  // canonical orientation distributed by column. The cross product of those
+  // two alignments with the two 1-D distributions must collapse 4 -> 2...
+  // here with ONE array both pairs coincide pairwise.
+  Program prog = parse_and_check("      real a(4,4)\n      end\n");
+  const int a = prog.symbols.lookup("a");
+
+  align::AlignmentSpace aspace;
+  align::AlignmentCandidate canon;
+  canon.info = cag::Partitioning(2);
+  canon.alignment.set(layout::ArrayAlignment{a, {0, 1}});
+  canon.origin = "own";
+  aspace.force_insert(canon);
+  align::AlignmentCandidate transp;
+  transp.info = cag::Partitioning(2);
+  transp.alignment.set(layout::ArrayAlignment{a, {1, 0}});
+  transp.origin = "import";
+  aspace.force_insert(transp);
+
+  DistributionOptions dopts;
+  dopts.procs = 8;
+  const auto dists = make_distribution_candidates(2, dopts);
+  const LayoutSpace space = build_layout_space(aspace, dists, {a}, prog.symbols);
+  EXPECT_EQ(space.size(), 2u);  // 2x2 cross product collapses to 2
+}
+
+TEST(LayoutSpace, DistinctEffectsAreKept) {
+  // With two arrays aligned differently the cross product stays 4.
+  Program prog = parse_and_check("      real a(4,4), b(4,4)\n      end\n");
+  const int a = prog.symbols.lookup("a");
+  const int b = prog.symbols.lookup("b");
+
+  align::AlignmentSpace aspace;
+  align::AlignmentCandidate both_canon;
+  both_canon.info = cag::Partitioning(4);
+  both_canon.alignment.set(layout::ArrayAlignment{a, {0, 1}});
+  both_canon.alignment.set(layout::ArrayAlignment{b, {0, 1}});
+  aspace.force_insert(both_canon);
+  align::AlignmentCandidate b_transposed;
+  b_transposed.info = cag::Partitioning(4);
+  b_transposed.alignment.set(layout::ArrayAlignment{a, {0, 1}});
+  b_transposed.alignment.set(layout::ArrayAlignment{b, {1, 0}});
+  aspace.force_insert(b_transposed);
+
+  DistributionOptions dopts;
+  dopts.procs = 8;
+  const auto dists = make_distribution_candidates(2, dopts);
+  const LayoutSpace space = build_layout_space(aspace, dists, {a, b}, prog.symbols);
+  EXPECT_EQ(space.size(), 4u);
+}
+
+TEST(LayoutCandidate, ParallelFlag) {
+  LayoutCandidate c;
+  c.layout = layout::Layout({}, layout::Distribution::serial(2));
+  EXPECT_FALSE(c.parallel());
+  c.layout = layout::Layout({}, layout::Distribution::block_1d(2, 0, 4));
+  EXPECT_TRUE(c.parallel());
+}
+
+} // namespace
+} // namespace al::distrib

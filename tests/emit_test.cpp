@@ -1,0 +1,90 @@
+// HPF emission tests, including the strongest property we have: the
+// annotated program is itself valid input (directives are comments), so
+// emit -> parse -> analyze must reproduce the phase structure.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "driver/emit.hpp"
+#include "driver/tool.hpp"
+#include "fortran/parser.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al::driver {
+namespace {
+
+std::unique_ptr<ToolResult> run(const std::string& src, int procs = 8,
+                                ToolOptions opts = {}) {
+  opts.procs = procs;
+  return run_tool(src, opts);
+}
+
+TEST(EmitProgram, DeclarationsReconstructed) {
+  auto r = run(corpus::adi_source(64, corpus::Dtype::DoublePrecision));
+  const std::string s = emit_annotated_program(*r);
+  EXPECT_NE(s.find("parameter (n = 64, niter = 5)"), std::string::npos);
+  EXPECT_NE(s.find("double precision x(64,64)"), std::string::npos);
+  EXPECT_NE(s.find("integer i, j, iter"), std::string::npos);
+}
+
+TEST(EmitProgram, StraightLineCodeIsKept) {
+  auto r = run(corpus::tomcatv_source(64, corpus::Dtype::DoublePrecision));
+  const std::string s = emit_annotated_program(*r);
+  // The scalar reset between phases must survive.
+  EXPECT_NE(s.find("rxm = 0"), std::string::npos);
+  EXPECT_NE(s.find("if ("), std::string::npos);  // the convergence IF
+}
+
+class EmitRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EmitRoundTrip, AnnotatedProgramReparsesWithSamePhases) {
+  const corpus::TestCase c{GetParam(), 32,
+                           std::string(GetParam()) == "shallow"
+                               ? corpus::Dtype::Real
+                               : corpus::Dtype::DoublePrecision,
+                           8};
+  ToolOptions opts;
+  opts.procs = 8;
+  auto r = run_tool(corpus::source_for(c), opts);
+  const std::string annotated = emit_annotated_program(*r);
+  // Directives are '!' comments: the emitted text is a legal program.
+  fortran::Program reparsed = fortran::parse_and_check(annotated);
+  pcfg::Pcfg g = pcfg::Pcfg::build(reparsed);
+  EXPECT_EQ(g.num_phases(), r->pcfg.num_phases());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, EmitRoundTrip,
+                         ::testing::Values("adi", "erlebacher", "tomcatv", "shallow"));
+
+TEST(EmitProgram, ReplicatedArraysAlignWithStars) {
+  // Force a replicated candidate through a pinned phase.
+  const std::string src = corpus::adi_source(64, corpus::Dtype::DoublePrecision);
+  ToolOptions opts;
+  opts.procs = 8;
+  // Symbol index of x (parameters occupy the first table slots).
+  fortran::Program probe = fortran::parse_and_check(src);
+  layout::ArrayAlignment aa;
+  aa.array = probe.symbols.lookup("x");
+  aa.axis = {0, 1};
+  aa.replicated = true;
+  layout::Alignment align;
+  align.set(aa);
+  opts.pinned_phases.emplace_back(
+      0, layout::Layout(align, layout::Distribution::block_1d(2, 0, 8)));
+  auto r = run_tool(src, opts);
+  const std::string s = emit_initial_directives(*r);
+  EXPECT_NE(s.find("ALIGN x(i,j) WITH T(*,*)"), std::string::npos);
+}
+
+TEST(EmitProgram, LowerBoundArraysPrintRanges) {
+  auto r = run(
+      "      parameter (n = 16)\n"
+      "      real a(0:n, n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = 1.0\n"
+      "        enddo\n      enddo\n      end\n");
+  const std::string s = emit_annotated_program(*r);
+  EXPECT_NE(s.find("a(0:16,16)"), std::string::npos);
+}
+
+} // namespace
+} // namespace al::driver

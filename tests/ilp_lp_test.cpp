@@ -1,0 +1,219 @@
+// Unit tests for the LP model and the bounded-variable two-phase simplex.
+#include <gtest/gtest.h>
+
+#include "ilp/lp.hpp"
+#include "ilp/simplex.hpp"
+#include "support/contracts.hpp"
+
+namespace al::ilp {
+namespace {
+
+TEST(Model, AddVariableAndLookup) {
+  Model m;
+  const int x = m.add_binary("x", 3.0);
+  const int y = m.add_continuous("y", -1.0, 5.0, 2.0);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_TRUE(m.variable(x).integer);
+  EXPECT_FALSE(m.variable(y).integer);
+  EXPECT_DOUBLE_EQ(m.variable(y).lower, -1.0);
+  EXPECT_DOUBLE_EQ(m.variable(y).upper, 5.0);
+}
+
+TEST(Model, RejectsCrossedBounds) {
+  Model m;
+  EXPECT_THROW(m.add_continuous("x", 2.0, 1.0, 0.0), ContractViolation);
+}
+
+TEST(Model, RejectsInfiniteIntegerBounds) {
+  Model m;
+  EXPECT_THROW(m.add_variable("x", 0.0, kInfinity, 1.0, true), ContractViolation);
+}
+
+TEST(Model, ConstraintValidatesVariableIndices) {
+  Model m;
+  m.add_binary("x", 1.0);
+  EXPECT_THROW(m.add_constraint("bad", {{5, 1.0}}, Rel::LE, 1.0), ContractViolation);
+}
+
+TEST(Model, ObjectiveValue) {
+  Model m;
+  m.add_binary("x", 3.0);
+  m.add_binary("y", -2.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({0.0, 1.0}), -2.0);
+}
+
+TEST(Model, IsFeasibleChecksRowsAndBounds) {
+  Model m;
+  const int x = m.add_continuous("x", 0.0, 2.0, 0.0);
+  m.add_constraint("c", {{x, 1.0}}, Rel::LE, 1.5);
+  EXPECT_TRUE(m.is_feasible({1.0}));
+  EXPECT_FALSE(m.is_feasible({1.9}));   // violates the row
+  EXPECT_FALSE(m.is_feasible({-0.5}));  // violates the bound
+  EXPECT_FALSE(m.is_feasible({}));      // wrong arity
+}
+
+TEST(Model, IsFeasibleEqualityTolerance) {
+  Model m;
+  const int x = m.add_continuous("x", 0.0, 10.0, 0.0);
+  m.add_constraint("e", {{x, 2.0}}, Rel::EQ, 4.0);
+  EXPECT_TRUE(m.is_feasible({2.0}));
+  EXPECT_TRUE(m.is_feasible({2.0 + 1e-8}));
+  EXPECT_FALSE(m.is_feasible({2.1}));
+}
+
+TEST(Model, StrMentionsEverything) {
+  Model m(Sense::Maximize);
+  const int x = m.add_binary("price", 7.0);
+  m.add_constraint("cap", {{x, 2.0}}, Rel::LE, 3.0);
+  const std::string s = m.str();
+  EXPECT_NE(s.find("maximize"), std::string::npos);
+  EXPECT_NE(s.find("price"), std::string::npos);
+  EXPECT_NE(s.find("cap"), std::string::npos);
+  EXPECT_NE(s.find("integer"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Simplex
+// ---------------------------------------------------------------------------
+
+TEST(Simplex, BasicMaximize) {
+  // max 3x + 2y  st  x + y <= 4, x <= 2  ->  (2,2), obj 10.
+  Model m(Sense::Maximize);
+  const int x = m.add_continuous("x", 0.0, kInfinity, 3.0);
+  const int y = m.add_continuous("y", 0.0, kInfinity, 2.0);
+  m.add_constraint("c1", {{x, 1.0}, {y, 1.0}}, Rel::LE, 4.0);
+  m.add_constraint("c2", {{x, 1.0}}, Rel::LE, 2.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, EqualityAndGe) {
+  // min x + y  st  x + y >= 3, x - y = 1  ->  (2,1), obj 3.
+  Model m(Sense::Minimize);
+  const int x = m.add_continuous("x", 0.0, kInfinity, 1.0);
+  const int y = m.add_continuous("y", 0.0, kInfinity, 1.0);
+  m.add_constraint("g", {{x, 1.0}, {y, 1.0}}, Rel::GE, 3.0);
+  m.add_constraint("e", {{x, 1.0}, {y, -1.0}}, Rel::EQ, 1.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, RespectsUpperBounds) {
+  // max x  st  0 <= x <= 7 (no rows at all).
+  Model m(Sense::Maximize);
+  m.add_continuous("x", 0.0, 7.0, 1.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 7.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBound) {
+  // min x  st  x >= -3 (bound), x + y >= 0, y <= 1.
+  Model m(Sense::Minimize);
+  const int x = m.add_continuous("x", -3.0, kInfinity, 1.0);
+  const int y = m.add_continuous("y", 0.0, 1.0, 0.0);
+  m.add_constraint("g", {{x, 1.0}, {y, 1.0}}, Rel::GE, 0.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.x[0], -1.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m(Sense::Minimize);
+  const int x = m.add_continuous("x", 0.0, 1.0, 1.0);
+  m.add_constraint("c", {{x, 1.0}}, Rel::GE, 2.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m(Sense::Maximize);
+  const int x = m.add_continuous("x", 0.0, kInfinity, 1.0);
+  const int y = m.add_continuous("y", 0.0, kInfinity, 0.0);
+  m.add_constraint("c", {{x, 1.0}, {y, -1.0}}, Rel::LE, 1.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, BoundOverridesForBranchAndBound) {
+  Model m(Sense::Maximize);
+  const int x = m.add_binary("x", 5.0);
+  const int y = m.add_binary("y", 4.0);
+  m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Rel::LE, 2.0);
+  // Fix x = 0 via overrides.
+  const LpResult r = solve_lp(m, {0.0, 0.0}, {0.0, 1.0});
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, CrossedOverridesAreInfeasible) {
+  Model m(Sense::Maximize);
+  m.add_binary("x", 1.0);
+  const LpResult r = solve_lp(m, {1.0}, {0.0});
+  EXPECT_EQ(r.status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DuplicateTermsAreSummed) {
+  // x + x <= 3  ->  x <= 1.5.
+  Model m(Sense::Maximize);
+  const int x = m.add_continuous("x", 0.0, kInfinity, 1.0);
+  m.add_constraint("c", {{x, 1.0}, {x, 1.0}}, Rel::LE, 3.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 1.5, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Many redundant constraints through the same vertex.
+  Model m(Sense::Maximize);
+  const int x = m.add_continuous("x", 0.0, kInfinity, 1.0);
+  const int y = m.add_continuous("y", 0.0, kInfinity, 1.0);
+  for (int k = 1; k <= 8; ++k) {
+    m.add_constraint("c" + std::to_string(k),
+                     {{x, static_cast<double>(k)}, {y, static_cast<double>(k)}}, Rel::LE,
+                     static_cast<double>(2 * k));
+  }
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsRow) {
+  // -x <= -2  (i.e. x >= 2) with min x.
+  Model m(Sense::Minimize);
+  const int x = m.add_continuous("x", 0.0, kInfinity, 1.0);
+  m.add_constraint("c", {{x, -1.0}}, Rel::LE, -2.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariableStaysFixed) {
+  Model m(Sense::Maximize);
+  const int x = m.add_continuous("x", 2.5, 2.5, 10.0);
+  const int y = m.add_continuous("y", 0.0, 1.0, 1.0);
+  m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Rel::LE, 4.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 2.5, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, StatusStrings) {
+  EXPECT_STREQ(to_string(SolveStatus::Optimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::Infeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::Unbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::IterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(SolveStatus::NodeLimit), "node-limit");
+}
+
+} // namespace
+} // namespace al::ilp

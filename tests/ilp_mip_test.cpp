@@ -1,0 +1,166 @@
+// Branch-and-bound 0-1 solver tests, including a parameterized randomized
+// cross-check against exhaustive enumeration (the property the whole
+// framework rests on: the ILP answers are OPTIMAL, like the paper's CPLEX).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ilp/branch_and_bound.hpp"
+#include "support/contracts.hpp"
+
+namespace al::ilp {
+namespace {
+
+TEST(Mip, Knapsack) {
+  Model m(Sense::Maximize);
+  const int a = m.add_binary("a", 10.0);
+  const int b = m.add_binary("b", 6.0);
+  const int c = m.add_binary("c", 4.0);
+  m.add_constraint("w", {{a, 5.0}, {b, 4.0}, {c, 3.0}}, Rel::LE, 10.0);
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 16.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[2], 0.0, 1e-9);
+}
+
+TEST(Mip, AssignmentProblem) {
+  // 3x3 assignment, cost matrix with unique optimum 1+2+3 = 6.
+  const double cost[3][3] = {{1, 9, 9}, {9, 2, 9}, {9, 9, 3}};
+  Model m(Sense::Minimize);
+  int v[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      v[i][j] = m.add_binary("x" + std::to_string(i) + std::to_string(j), cost[i][j]);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Term> row;
+    std::vector<Term> col;
+    for (int j = 0; j < 3; ++j) {
+      row.push_back({v[i][j], 1.0});
+      col.push_back({v[j][i], 1.0});
+    }
+    m.add_constraint("r" + std::to_string(i), std::move(row), Rel::EQ, 1.0);
+    m.add_constraint("c" + std::to_string(i), std::move(col), Rel::EQ, 1.0);
+  }
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 6.0, 1e-9);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(v[0][0])], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(v[1][1])], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(v[2][2])], 1.0, 1e-9);
+}
+
+TEST(Mip, Infeasible) {
+  Model m(Sense::Minimize);
+  const int x = m.add_binary("x", 1.0);
+  m.add_constraint("c", {{x, 1.0}}, Rel::GE, 2.0);
+  EXPECT_EQ(solve_mip(m).status, SolveStatus::Infeasible);
+}
+
+TEST(Mip, IntegralityGapForcesBranching) {
+  // LP relaxation is fractional (x=y=z=0.5); MIP optimum needs branching.
+  Model m(Sense::Maximize);
+  const int x = m.add_binary("x", 1.0);
+  const int y = m.add_binary("y", 1.0);
+  const int z = m.add_binary("z", 1.0);
+  m.add_constraint("xy", {{x, 1.0}, {y, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("yz", {{y, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+  EXPECT_GT(r.nodes, 1);
+}
+
+TEST(Mip, MixedIntegerContinuous) {
+  // One binary, one continuous: max 5b + y, y <= 2.5, y <= 10 b.
+  Model m(Sense::Maximize);
+  const int b = m.add_binary("b", 5.0);
+  const int y = m.add_continuous("y", 0.0, 2.5, 1.0);
+  m.add_constraint("link", {{y, 1.0}, {b, -10.0}}, Rel::LE, 0.0);
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 7.5, 1e-9);
+}
+
+TEST(Mip, NodeLimitReturnsStatus) {
+  // Odd-cycle packing: the LP relaxation is fractional (all 0.5), so the
+  // root must branch -- which a 1-node limit forbids.
+  Model m(Sense::Maximize);
+  const int x = m.add_binary("x", 1.0);
+  const int y = m.add_binary("y", 1.0);
+  const int z = m.add_binary("z", 1.0);
+  m.add_constraint("xy", {{x, 1.0}, {y, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("yz", {{y, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  MipOptions opts;
+  opts.max_nodes = 1;
+  const MipResult r = solve_mip(m, opts);
+  EXPECT_EQ(r.status, SolveStatus::NodeLimit);
+}
+
+TEST(Mip, EnumerationRejectsContinuous) {
+  Model m(Sense::Maximize);
+  m.add_continuous("x", 0.0, 1.0, 1.0);
+  EXPECT_THROW(solve_by_enumeration(m), ContractViolation);
+}
+
+TEST(Mip, EqualityConstraints) {
+  // Exactly two of four chosen, maximize weights.
+  Model m(Sense::Maximize);
+  const double w[] = {4.0, 1.0, 3.0, 2.0};
+  std::vector<Term> sum;
+  for (int j = 0; j < 4; ++j) {
+    m.add_binary("x" + std::to_string(j), w[j]);
+    sum.push_back({j, 1.0});
+  }
+  m.add_constraint("two", std::move(sum), Rel::EQ, 2.0);
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 7.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Property: branch-and-bound == exhaustive enumeration on random instances.
+// ---------------------------------------------------------------------------
+
+class MipRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipRandomized, MatchesEnumeration) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<int> coef(-5, 5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 3 + static_cast<int>(rng() % 9);
+    const int rows = 1 + static_cast<int>(rng() % 7);
+    Model m(rng() % 2 == 0 ? Sense::Maximize : Sense::Minimize);
+    for (int j = 0; j < n; ++j) m.add_binary("x" + std::to_string(j), coef(rng));
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j) {
+        const int c = coef(rng);
+        if (c != 0) terms.push_back({j, static_cast<double>(c)});
+      }
+      if (terms.empty()) continue;
+      const Rel rel = rng() % 4 == 0 ? Rel::EQ : (rng() % 2 == 0 ? Rel::LE : Rel::GE);
+      m.add_constraint("c" + std::to_string(i), std::move(terms), rel,
+                       static_cast<double>(coef(rng)));
+    }
+    const MipResult bb = solve_mip(m);
+    const MipResult en = solve_by_enumeration(m);
+    ASSERT_EQ(bb.status, en.status) << "trial " << trial << "\n" << m.str();
+    if (bb.status == SolveStatus::Optimal) {
+      EXPECT_NEAR(bb.objective, en.objective, 1e-6)
+          << "trial " << trial << "\n" << m.str();
+      EXPECT_TRUE(m.is_feasible(bb.x));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MipRandomized, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace al::ilp

@@ -1,0 +1,208 @@
+// Semi-lattice of alignment information (paper, figure 2): refinement
+// order, meet, join -- including parameterized property tests of the
+// lattice laws on pseudo-random partitionings.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cag/cag.hpp"
+#include "cag/lattice.hpp"
+#include "fortran/parser.hpp"
+
+namespace al::cag {
+namespace {
+
+TEST(Partitioning, StartsAsSingletons) {
+  Partitioning p(4);
+  EXPECT_EQ(p.num_blocks(), 4);
+  EXPECT_FALSE(p.same(0, 1));
+  EXPECT_TRUE(p.same(2, 2));
+}
+
+TEST(Partitioning, UniteMerges) {
+  Partitioning p(4);
+  p.unite(0, 1);
+  p.unite(1, 2);
+  EXPECT_TRUE(p.same(0, 2));
+  EXPECT_FALSE(p.same(0, 3));
+  EXPECT_EQ(p.num_blocks(), 2);
+}
+
+TEST(Partitioning, BlocksAreSortedByFirstMember) {
+  Partitioning p(5);
+  p.unite(3, 4);
+  p.unite(0, 2);
+  const auto blocks = p.blocks();
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(blocks[1], (std::vector<int>{1}));
+  EXPECT_EQ(blocks[2], (std::vector<int>{3, 4}));
+}
+
+TEST(Partitioning, RefinementBasics) {
+  Partitioning bottom(4);
+  Partitioning coarse(4);
+  coarse.unite(0, 1);
+  // Bottom refines everything; a coarsening does not refine the bottom.
+  EXPECT_TRUE(bottom.refines(coarse));
+  EXPECT_TRUE(bottom.refines(bottom));
+  EXPECT_FALSE(coarse.refines(bottom));
+  EXPECT_TRUE(coarse.refines(coarse));
+}
+
+TEST(Partitioning, IncomparableElements) {
+  Partitioning a(4);
+  a.unite(0, 1);
+  Partitioning b(4);
+  b.unite(2, 3);
+  EXPECT_FALSE(a.refines(b));
+  EXPECT_FALSE(b.refines(a));
+}
+
+TEST(Partitioning, MeetIsCommonRefinement) {
+  Partitioning a(4);
+  a.unite(0, 1);
+  a.unite(1, 2);
+  Partitioning b(4);
+  b.unite(1, 2);
+  b.unite(2, 3);
+  const Partitioning m = Partitioning::meet(a, b);
+  EXPECT_TRUE(m.same(1, 2));
+  EXPECT_FALSE(m.same(0, 1));
+  EXPECT_FALSE(m.same(2, 3));
+}
+
+TEST(Partitioning, JoinIsTransitiveUnion) {
+  Partitioning a(4);
+  a.unite(0, 1);
+  Partitioning b(4);
+  b.unite(1, 2);
+  const Partitioning j = Partitioning::join(a, b);
+  EXPECT_TRUE(j.same(0, 2));
+  EXPECT_FALSE(j.same(0, 3));
+}
+
+TEST(Partitioning, EquivalenceIgnoresRepresentatives) {
+  Partitioning a(4);
+  a.unite(0, 1);
+  Partitioning b(4);
+  b.unite(1, 0);
+  EXPECT_TRUE(a.equivalent(b));
+}
+
+TEST(Partitioning, ConflictDetection) {
+  fortran::Program prog = fortran::parse_and_check(
+      "      real a(2,2), b(2,2)\n      end\n");
+  const NodeUniverse uni = NodeUniverse::from_program(prog);
+  Partitioning ok(uni.size());
+  ok.unite(uni.index(prog.symbols.lookup("a"), 0), uni.index(prog.symbols.lookup("b"), 0));
+  EXPECT_FALSE(ok.has_conflict(uni));
+  Partitioning bad = ok;
+  bad.unite(uni.index(prog.symbols.lookup("a"), 0),
+            uni.index(prog.symbols.lookup("a"), 1));
+  EXPECT_TRUE(bad.has_conflict(uni));
+}
+
+TEST(Partitioning, StrSkipsSingletons) {
+  fortran::Program prog = fortran::parse_and_check(
+      "      real a(2,2), b(2,2)\n      end\n");
+  const NodeUniverse uni = NodeUniverse::from_program(prog);
+  Partitioning p(uni.size());
+  p.unite(0, 2);
+  const std::string s = p.str(uni, prog.symbols);
+  EXPECT_NE(s.find("a1"), std::string::npos);
+  EXPECT_NE(s.find("b1"), std::string::npos);
+  EXPECT_EQ(s.find("a2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Lattice laws on pseudo-random partitionings.
+// ---------------------------------------------------------------------------
+
+Partitioning random_partitioning(std::mt19937& rng, int n) {
+  Partitioning p(n);
+  const int unions = static_cast<int>(rng() % static_cast<unsigned>(n));
+  for (int k = 0; k < unions; ++k) {
+    p.unite(static_cast<int>(rng() % static_cast<unsigned>(n)),
+            static_cast<int>(rng() % static_cast<unsigned>(n)));
+  }
+  return p;
+}
+
+class LatticeLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatticeLaws, MeetRefinesBothAndIsGreatest) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int t = 0; t < 30; ++t) {
+    const int n = 4 + static_cast<int>(rng() % 12);
+    const Partitioning a = random_partitioning(rng, n);
+    const Partitioning b = random_partitioning(rng, n);
+    const Partitioning m = Partitioning::meet(a, b);
+    EXPECT_TRUE(m.refines(a));
+    EXPECT_TRUE(m.refines(b));
+    // Greatest lower bound: any common refinement refines the meet.
+    const Partitioning c = Partitioning::meet(m, random_partitioning(rng, n));
+    if (c.refines(a) && c.refines(b)) {
+      EXPECT_TRUE(c.refines(m));
+    }
+  }
+}
+
+TEST_P(LatticeLaws, JoinCoarsensBothAndIsLeast) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam() + 100));
+  for (int t = 0; t < 30; ++t) {
+    const int n = 4 + static_cast<int>(rng() % 12);
+    const Partitioning a = random_partitioning(rng, n);
+    const Partitioning b = random_partitioning(rng, n);
+    const Partitioning j = Partitioning::join(a, b);
+    EXPECT_TRUE(a.refines(j));
+    EXPECT_TRUE(b.refines(j));
+    // Least upper bound: any common coarsening is refined by the join.
+    const Partitioning c = Partitioning::join(j, random_partitioning(rng, n));
+    if (a.refines(c) && b.refines(c)) {
+      EXPECT_TRUE(j.refines(c));
+    }
+  }
+}
+
+TEST_P(LatticeLaws, OperationsAreCommutativeAndIdempotent) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam() + 200));
+  for (int t = 0; t < 30; ++t) {
+    const int n = 4 + static_cast<int>(rng() % 12);
+    const Partitioning a = random_partitioning(rng, n);
+    const Partitioning b = random_partitioning(rng, n);
+    EXPECT_TRUE(Partitioning::meet(a, b).equivalent(Partitioning::meet(b, a)));
+    EXPECT_TRUE(Partitioning::join(a, b).equivalent(Partitioning::join(b, a)));
+    EXPECT_TRUE(Partitioning::meet(a, a).equivalent(a));
+    EXPECT_TRUE(Partitioning::join(a, a).equivalent(a));
+  }
+}
+
+TEST_P(LatticeLaws, RefinementIsTransitive) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam() + 300));
+  for (int t = 0; t < 30; ++t) {
+    const int n = 4 + static_cast<int>(rng() % 12);
+    const Partitioning a = random_partitioning(rng, n);
+    const Partitioning b = Partitioning::join(a, random_partitioning(rng, n));
+    const Partitioning c = Partitioning::join(b, random_partitioning(rng, n));
+    EXPECT_TRUE(a.refines(b));
+    EXPECT_TRUE(b.refines(c));
+    EXPECT_TRUE(a.refines(c));
+  }
+}
+
+TEST_P(LatticeLaws, AbsorptionLaws) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam() + 400));
+  for (int t = 0; t < 30; ++t) {
+    const int n = 4 + static_cast<int>(rng() % 12);
+    const Partitioning a = random_partitioning(rng, n);
+    const Partitioning b = random_partitioning(rng, n);
+    EXPECT_TRUE(Partitioning::join(a, Partitioning::meet(a, b)).equivalent(a));
+    EXPECT_TRUE(Partitioning::meet(a, Partitioning::join(a, b)).equivalent(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeLaws, ::testing::Values(11, 22, 33, 44, 55));
+
+} // namespace
+} // namespace al::cag

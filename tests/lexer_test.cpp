@@ -1,0 +1,167 @@
+// Lexer unit tests: tokens, literals, comments, continuations, directives.
+#include <gtest/gtest.h>
+
+#include "fortran/lexer.hpp"
+
+namespace al::fortran {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  auto toks = lex(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  return toks;
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& toks) {
+  std::vector<Tok> out;
+  for (const auto& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto toks = lex_ok("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::End);
+}
+
+TEST(Lexer, IdentifiersAreLowercased) {
+  auto toks = lex_ok("Foo BAR_9");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "bar_9");
+}
+
+TEST(Lexer, IntegerLiteral) {
+  auto toks = lex_ok("12345");
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_EQ(toks[0].int_value, 12345);
+}
+
+TEST(Lexer, RealLiterals) {
+  auto toks = lex_ok("1.5 0.25 2. 1e3 1.5e-2 3d0 4.5D+1");
+  ASSERT_GE(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(toks[0].real_value, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].real_value, 0.25);
+  EXPECT_DOUBLE_EQ(toks[2].real_value, 2.0);
+  EXPECT_DOUBLE_EQ(toks[3].real_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[4].real_value, 0.015);
+  EXPECT_DOUBLE_EQ(toks[5].real_value, 3.0);
+  EXPECT_DOUBLE_EQ(toks[6].real_value, 45.0);
+}
+
+TEST(Lexer, IntFollowedByDotOperator) {
+  // "1.lt.2" must lex as IntLit Lt IntLit, not a real literal.
+  auto toks = lex_ok("1.lt.2");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_EQ(toks[1].kind, Tok::Lt);
+  EXPECT_EQ(toks[2].kind, Tok::IntLit);
+}
+
+TEST(Lexer, DotOperators) {
+  auto toks = lex_ok("a .lt. b .le. c .gt. d .ge. e .eq. f .ne. g .and. h .or. .not. i");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Lt, Tok::Ident, Tok::Le, Tok::Ident,
+                             Tok::Gt,    Tok::Ident, Tok::Ge, Tok::Ident, Tok::EqEq,
+                             Tok::Ident, Tok::Ne, Tok::Ident, Tok::And, Tok::Ident,
+                             Tok::Or,    Tok::Not, Tok::Ident, Tok::Newline, Tok::End};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, SymbolicRelationalOperators) {
+  auto toks = lex_ok("a < b <= c > d >= e == f");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Lt,    Tok::Ident, Tok::Le,
+                             Tok::Ident, Tok::Gt,    Tok::Ident, Tok::Ge,
+                             Tok::Ident, Tok::EqEq,  Tok::Ident, Tok::Newline, Tok::End};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, PowerVsStar) {
+  auto toks = lex_ok("a ** b * c");
+  EXPECT_EQ(toks[1].kind, Tok::Power);
+  EXPECT_EQ(toks[3].kind, Tok::Star);
+}
+
+TEST(Lexer, FixedFormCommentLines) {
+  auto toks = lex_ok("c a comment line\nC another\n* starred\n      x = 1\n");
+  // Only the assignment should produce tokens.
+  std::vector<Tok> expect = {Tok::Ident, Tok::Assign, Tok::IntLit, Tok::Newline, Tok::End};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, BangComment) {
+  auto toks = lex_ok("x = 1 ! trailing comment\n");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Assign, Tok::IntLit, Tok::Newline, Tok::End};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, AmpersandContinuation) {
+  auto toks = lex_ok("x = 1 + &\n    2\n");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Assign, Tok::IntLit, Tok::Plus,
+                             Tok::IntLit, Tok::Newline, Tok::End};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, ProbDirective) {
+  auto toks = lex_ok("!al$ prob(0.25)\nif (x .gt. 1) then\nendif\n");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::ProbDirective);
+  EXPECT_DOUBLE_EQ(toks[0].real_value, 0.25);
+  EXPECT_EQ(toks[1].kind, Tok::Newline);
+}
+
+TEST(Lexer, UnknownDirectiveWarnsButContinues) {
+  DiagnosticEngine diags;
+  auto toks = lex("!al$ frobnicate(1)\nx = 1\n", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.all().size(), 1u);  // one warning
+  // The directive line is skipped entirely.
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+}
+
+TEST(Lexer, MalformedProbDirectiveIsError) {
+  DiagnosticEngine diags;
+  (void)lex("!al$ prob(oops)\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnknownCharacterReported) {
+  DiagnosticEngine diags;
+  (void)lex("x = 1 @ 2\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnknownDotOperatorReported) {
+  DiagnosticEngine diags;
+  (void)lex("a .foo. b\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = lex_ok("x = 1\ny = 2\n");
+  // Find the token for 'y'.
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Ident && t.text == "y") {
+      EXPECT_EQ(t.loc.line, 2u);
+      return;
+    }
+  }
+  FAIL() << "token 'y' not found";
+}
+
+TEST(Lexer, NoNewlineTokenForBlankLines) {
+  auto toks = lex_ok("\n\n\nx = 1\n\n\n");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Assign, Tok::IntLit, Tok::Newline, Tok::End};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, ColonForBoundsRanges) {
+  auto toks = lex_ok("real a(0:n)");
+  bool saw_colon = false;
+  for (const auto& t : toks) saw_colon = saw_colon || t.kind == Tok::Colon;
+  EXPECT_TRUE(saw_colon);
+}
+
+} // namespace
+} // namespace al::fortran

@@ -1,0 +1,87 @@
+// Training-set file format tests: parsing, error reporting, round-trip.
+#include <gtest/gtest.h>
+
+#include "machine/io.hpp"
+
+namespace al::machine {
+namespace {
+
+TEST(TrainingIo, ParsesValidLines) {
+  DiagnosticEngine diags;
+  const TrainingSetDB db = parse_training_sets(
+      "# pattern procs bytes stride latency micros\n"
+      "shift 4 4096 unit high 1672.5\n"
+      "sendrecv 2 8 unit low 30\n"
+      "transpose 16 2.1e6 nonunit high 50000\n"
+      "\n"
+      "broadcast 8 1024 unit high 900\n",
+      diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  ASSERT_EQ(db.size(), 4u);
+  EXPECT_DOUBLE_EQ(
+      db.lookup(CommPattern::Shift, 4, 4096.0, Stride::Unit, LatencyClass::High),
+      1672.5);
+  EXPECT_DOUBLE_EQ(
+      db.lookup(CommPattern::Transpose, 16, 2.1e6, Stride::NonUnit, LatencyClass::High),
+      50000.0);
+}
+
+TEST(TrainingIo, CaseInsensitiveTokens) {
+  DiagnosticEngine diags;
+  const TrainingSetDB db =
+      parse_training_sets("SHIFT 4 100 Unit HIGH 12\n", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(TrainingIo, ReportsMalformedLinesButKeepsGoodOnes) {
+  DiagnosticEngine diags;
+  const TrainingSetDB db = parse_training_sets(
+      "shift 4 4096 unit high 1672.5\n"
+      "this is not a training line\n"
+      "shift 8 4096 unit high 1800\n",
+      diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(TrainingIo, RejectsUnknownTokens) {
+  for (const char* bad : {
+           "warp 4 100 unit high 1\n",        // pattern
+           "shift 4 100 diagonal high 1\n",   // stride
+           "shift 4 100 unit medium 1\n",     // latency
+           "shift 0 100 unit high 1\n",       // procs
+           "shift 4 -5 unit high 1\n",        // bytes
+       }) {
+    DiagnosticEngine diags;
+    const TrainingSetDB db = parse_training_sets(bad, diags);
+    EXPECT_TRUE(diags.has_errors()) << bad;
+    EXPECT_EQ(db.size(), 0u) << bad;
+  }
+}
+
+TEST(TrainingIo, ErrorsCarryLineNumbers) {
+  DiagnosticEngine diags;
+  (void)parse_training_sets("shift 4 100 unit high 1\nbad line\n", diags);
+  ASSERT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.all()[0].loc.line, 2u);
+}
+
+TEST(TrainingIo, RoundTrips) {
+  const MachineModel m = make_ipsc860();
+  const std::string text = format_training_sets(m.training);
+  DiagnosticEngine diags;
+  const TrainingSetDB back = parse_training_sets(text, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  ASSERT_EQ(back.size(), m.training.size());
+  // Spot-check a few lookups survive the round trip.
+  for (double bytes : {8.0, 4096.0, 262144.0}) {
+    EXPECT_DOUBLE_EQ(
+        back.lookup(CommPattern::SendRecv, 16, bytes, Stride::Unit, LatencyClass::High),
+        m.training.lookup(CommPattern::SendRecv, 16, bytes, Stride::Unit,
+                          LatencyClass::High));
+  }
+}
+
+} // namespace
+} // namespace al::machine

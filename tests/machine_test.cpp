@@ -1,0 +1,161 @@
+// Machine model / training set tests: interpolation semantics and the
+// structural properties the estimator relies on (latency dominance,
+// buffering penalty, pattern scaling).
+#include <gtest/gtest.h>
+
+#include "machine/training_set.hpp"
+#include "support/contracts.hpp"
+
+namespace al::machine {
+namespace {
+
+TEST(TrainingSetDB, EmptyDbIsFree) {
+  TrainingSetDB db;
+  EXPECT_DOUBLE_EQ(db.lookup(CommPattern::Shift, 4, 100.0, Stride::Unit,
+                             LatencyClass::High),
+                   0.0);
+}
+
+TEST(TrainingSetDB, ExactSampleHit) {
+  TrainingSetDB db;
+  db.add({CommPattern::Shift, 4, 100.0, Stride::Unit, LatencyClass::High, 42.0});
+  EXPECT_DOUBLE_EQ(db.lookup(CommPattern::Shift, 4, 100.0, Stride::Unit,
+                             LatencyClass::High),
+                   42.0);
+}
+
+TEST(TrainingSetDB, LinearInterpolationInBytes) {
+  TrainingSetDB db;
+  db.add({CommPattern::Shift, 4, 100.0, Stride::Unit, LatencyClass::High, 10.0});
+  db.add({CommPattern::Shift, 4, 300.0, Stride::Unit, LatencyClass::High, 30.0});
+  EXPECT_NEAR(db.lookup(CommPattern::Shift, 4, 200.0, Stride::Unit, LatencyClass::High),
+              20.0, 1e-9);
+}
+
+TEST(TrainingSetDB, ClampsBelowSmallestSample) {
+  TrainingSetDB db;
+  db.add({CommPattern::Shift, 4, 100.0, Stride::Unit, LatencyClass::High, 10.0});
+  EXPECT_DOUBLE_EQ(db.lookup(CommPattern::Shift, 4, 1.0, Stride::Unit,
+                             LatencyClass::High),
+                   10.0);
+}
+
+TEST(TrainingSetDB, ExtrapolatesAboveLargestSample) {
+  TrainingSetDB db;
+  db.add({CommPattern::Shift, 4, 100.0, Stride::Unit, LatencyClass::High, 10.0});
+  db.add({CommPattern::Shift, 4, 200.0, Stride::Unit, LatencyClass::High, 20.0});
+  EXPECT_NEAR(db.lookup(CommPattern::Shift, 4, 400.0, Stride::Unit, LatencyClass::High),
+              40.0, 1e-9);
+}
+
+TEST(TrainingSetDB, PicksNearestProcsInLogSpace) {
+  TrainingSetDB db;
+  db.add({CommPattern::Broadcast, 4, 64.0, Stride::Unit, LatencyClass::High, 11.0});
+  db.add({CommPattern::Broadcast, 64, 64.0, Stride::Unit, LatencyClass::High, 77.0});
+  EXPECT_DOUBLE_EQ(db.lookup(CommPattern::Broadcast, 8, 64.0, Stride::Unit,
+                             LatencyClass::High),
+                   11.0);
+  EXPECT_DOUBLE_EQ(db.lookup(CommPattern::Broadcast, 48, 64.0, Stride::Unit,
+                             LatencyClass::High),
+                   77.0);
+}
+
+TEST(TrainingSetDB, FamiliesDoNotBleed) {
+  TrainingSetDB db;
+  db.add({CommPattern::Shift, 4, 64.0, Stride::Unit, LatencyClass::High, 1.0});
+  db.add({CommPattern::Shift, 4, 64.0, Stride::NonUnit, LatencyClass::High, 2.0});
+  db.add({CommPattern::Shift, 4, 64.0, Stride::Unit, LatencyClass::Low, 3.0});
+  EXPECT_DOUBLE_EQ(
+      db.lookup(CommPattern::Shift, 4, 64.0, Stride::Unit, LatencyClass::High), 1.0);
+  EXPECT_DOUBLE_EQ(
+      db.lookup(CommPattern::Shift, 4, 64.0, Stride::NonUnit, LatencyClass::High), 2.0);
+  EXPECT_DOUBLE_EQ(
+      db.lookup(CommPattern::Shift, 4, 64.0, Stride::Unit, LatencyClass::Low), 3.0);
+}
+
+TEST(TrainingSetDB, RejectsBadEntries) {
+  TrainingSetDB db;
+  EXPECT_THROW(db.add({CommPattern::Shift, 0, 1.0, Stride::Unit, LatencyClass::High, 1.0}),
+               ContractViolation);
+  EXPECT_THROW(
+      db.add({CommPattern::Shift, 2, -1.0, Stride::Unit, LatencyClass::High, 1.0}),
+      ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// The synthesized iPSC/860 and Paragon models.
+// ---------------------------------------------------------------------------
+
+class MachineModels : public ::testing::TestWithParam<const char*> {
+protected:
+  MachineModel model() const {
+    return std::string(GetParam()) == "ipsc860" ? make_ipsc860() : make_paragon();
+  }
+};
+
+TEST_P(MachineModels, HasOver100TrainingSets) {
+  // The paper's prototype uses over 100 training sets.
+  EXPECT_GT(model().training.size(), 100u);
+}
+
+TEST_P(MachineModels, MonotoneInMessageSize) {
+  const MachineModel m = model();
+  double prev = -1.0;
+  for (double bytes : {64.0, 512.0, 4096.0, 32768.0}) {
+    const double t =
+        m.comm_us(CommPattern::SendRecv, 8, bytes, Stride::Unit, LatencyClass::High);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(MachineModels, BufferingCostsExtra) {
+  const MachineModel m = model();
+  EXPECT_GT(m.comm_us(CommPattern::Shift, 8, 4096.0, Stride::NonUnit, LatencyClass::High),
+            m.comm_us(CommPattern::Shift, 8, 4096.0, Stride::Unit, LatencyClass::High));
+}
+
+TEST_P(MachineModels, LowLatencyIsCheaper) {
+  const MachineModel m = model();
+  EXPECT_LT(m.comm_us(CommPattern::SendRecv, 8, 8.0, Stride::Unit, LatencyClass::Low),
+            m.comm_us(CommPattern::SendRecv, 8, 8.0, Stride::Unit, LatencyClass::High));
+}
+
+TEST_P(MachineModels, BroadcastScalesWithLogProcs) {
+  const MachineModel m = model();
+  const double p2 =
+      m.comm_us(CommPattern::Broadcast, 2, 1024.0, Stride::Unit, LatencyClass::High);
+  const double p64 =
+      m.comm_us(CommPattern::Broadcast, 64, 1024.0, Stride::Unit, LatencyClass::High);
+  EXPECT_NEAR(p64 / p2, 6.0, 0.5);  // log2(64)/log2(2)
+}
+
+TEST_P(MachineModels, DoubleFlopsCostMoreThanReal) {
+  const MachineModel m = model();
+  EXPECT_GT(m.flop_us(fortran::ScalarType::DoublePrecision),
+            m.flop_us(fortran::ScalarType::Real));
+  EXPECT_GT(m.flop_us_real, 0.0);
+  EXPECT_GT(m.mem_us, 0.0);
+  EXPECT_GT(m.node_memory_bytes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, MachineModels, ::testing::Values("ipsc860", "paragon"));
+
+TEST(MachineModels, ParagonHasFasterLinksThanIpsc) {
+  const MachineModel ipsc = make_ipsc860();
+  const MachineModel paragon = make_paragon();
+  const double big = 262144.0;
+  EXPECT_LT(paragon.comm_us(CommPattern::SendRecv, 8, big, Stride::Unit,
+                            LatencyClass::High),
+            ipsc.comm_us(CommPattern::SendRecv, 8, big, Stride::Unit,
+                         LatencyClass::High) / 5.0);
+}
+
+TEST(MachineModels, PatternNames) {
+  EXPECT_STREQ(to_string(CommPattern::Shift), "shift");
+  EXPECT_STREQ(to_string(CommPattern::Transpose), "transpose");
+  EXPECT_STREQ(to_string(CommPattern::Reduction), "reduction");
+}
+
+} // namespace
+} // namespace al::machine

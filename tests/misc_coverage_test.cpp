@@ -1,0 +1,278 @@
+// Coverage for the remaining corners: import dominance, greedy resolution
+// validity properties, simulator internals, experiment-harness fallbacks,
+// rendering of the extended distribution kinds, transposed ALIGN emission.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cag/greedy_resolution.hpp"
+#include "corpus/corpus.hpp"
+#include "driver/emit.hpp"
+#include "driver/testcase.hpp"
+#include "driver/tool.hpp"
+#include "fortran/parser.hpp"
+#include "sim/spmd.hpp"
+
+namespace al {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Import dominance margin.
+// ---------------------------------------------------------------------------
+
+TEST(ImportDominance, ScaledSourceAlwaysWinsConflicts) {
+  // Sink prefers transposed (heavy); source prefers canonical (light).
+  // Regardless of the raw weight imbalance, the IMPORT must carry the
+  // source's scheme because of the dominance scaling.
+  fortran::Program prog = fortran::parse_and_check(
+      "      parameter (n = 16)\n"
+      "      real x(n,n), y(n,n)\n"
+      // Source class phase: canonical coupling, tiny arrays -> light edges.
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(i,j)\n"
+      "        enddo\n      enddo\n"
+      // Sink class phase: transposed coupling, twice (heavier).
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          x(i,j) = y(j,i) + y(j,i)*2.0\n"
+      "        enddo\n      enddo\n"
+      "      end\n");
+  pcfg::Pcfg g = pcfg::Pcfg::build(prog);
+  cag::NodeUniverse uni = cag::NodeUniverse::from_program(prog);
+  align::AlignmentAnalysis res = align::analyze_alignment(prog, g, uni, 2);
+  ASSERT_EQ(res.partition.classes.size(), 2u);
+  // Import class 0 (canonical) into class 1 (transposed).
+  const align::ImportResult imp = align::import_candidate(
+      res.partition.classes[0], res.partition.classes[1], 2);
+  ASSERT_TRUE(imp.had_conflict);
+  const int x = prog.symbols.lookup("x");
+  const int y = prog.symbols.lookup("y");
+  EXPECT_EQ(imp.candidate.alignment.axis_of(x, 0), imp.candidate.alignment.axis_of(y, 0));
+  EXPECT_EQ(imp.candidate.alignment.axis_of(x, 1), imp.candidate.alignment.axis_of(y, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Greedy resolution: validity properties on random CAGs.
+// ---------------------------------------------------------------------------
+
+class GreedyValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyValidity, AssignmentsAreAlwaysLegal) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int narrays = 2 + static_cast<int>(rng() % 4);
+    std::string src = "      program g\n";
+    for (int a = 0; a < narrays; ++a)
+      src += "      real w" + std::to_string(a) + "(4,4)\n";
+    src += "      end\n";
+    fortran::Program prog = fortran::parse_and_check(src);
+    cag::NodeUniverse uni = cag::NodeUniverse::from_program(prog);
+    cag::Cag g(&uni);
+    for (int e = 0; e < narrays * 3; ++e) {
+      const int a = static_cast<int>(rng() % static_cast<unsigned>(narrays));
+      int b = static_cast<int>(rng() % static_cast<unsigned>(narrays));
+      if (a == b) b = (b + 1) % narrays;
+      g.add_edge_weight(uni.index(a, static_cast<int>(rng() % 2)),
+                        uni.index(b, static_cast<int>(rng() % 2)),
+                        1.0 + static_cast<double>(rng() % 100), uni.index(a, 0));
+    }
+    const cag::Resolution r = cag::resolve_alignment_greedy(g, 2);
+    // Legality: two dims of one array never share a partition.
+    for (int a = 0; a < narrays; ++a) {
+      const auto nodes = uni.nodes_of(prog.symbols.lookup("w" + std::to_string(a)));
+      const int p0 = r.part_of[static_cast<std::size_t>(nodes[0])];
+      const int p1 = r.part_of[static_cast<std::size_t>(nodes[1])];
+      if (p0 >= 0 && p1 >= 0) EXPECT_NE(p0, p1);
+    }
+    // Accounting: satisfied + cut == total weight.
+    EXPECT_NEAR(r.satisfied_weight + r.cut_weight, g.total_weight(), 1e-9);
+    // Satisfied edges really are in one partition.
+    for (const cag::CagEdge& e : g.edges()) {
+      const int pu = r.part_of[static_cast<std::size_t>(e.u)];
+      const int pv = r.part_of[static_cast<std::size_t>(e.v)];
+      if (r.info.same(e.u, e.v)) EXPECT_TRUE(pu >= 0 && pu == pv);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyValidity, ::testing::Values(3, 5, 7));
+
+// ---------------------------------------------------------------------------
+// Simulator internals.
+// ---------------------------------------------------------------------------
+
+TEST(SimInternals, UnevenBlocksSlowTheLastBoundary) {
+  // extent 10 over 4 procs: ceil-blocks 3,3,3,1 -- the simulated phase is
+  // bounded by the biggest block, so it must exceed extent 12 over 4
+  // (blocks 3,3,3,3 with the same per-element work).
+  fortran::Program prog = fortran::parse_and_check(
+      "      parameter (n = 12)\n"
+      "      real a(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = a(i,j)*0.5 + 1.0\n"
+      "        enddo\n      enddo\n      end\n");
+  pcfg::Pcfg g = pcfg::Pcfg::build(prog);
+  const pcfg::PhaseDeps deps = pcfg::analyze_dependences(g.phase(0), prog.symbols);
+  const machine::MachineModel m = machine::make_ipsc860();
+  const sim::NetworkParams net = sim::NetworkParams::for_machine(m);
+
+  sim::PhaseSimInput in;
+  in.phase = &g.phase(0);
+  in.deps = &deps;
+  in.jitter_amplitude = 0.0;  // isolate the block-imbalance effect
+  in.compiled = compmodel::compile_phase(
+      g.phase(0), deps, layout::Layout({}, layout::Distribution::block_1d(2, 0, 4)),
+      prog.symbols);
+  in.dist_extent = 12;
+  const double balanced = sim::simulate_phase_us(in, net, m);
+  in.dist_extent = 10;  // same per-proc average work, skewed blocks
+  const double skewed = sim::simulate_phase_us(in, net, m);
+  EXPECT_GT(skewed, balanced * 1.1);
+}
+
+TEST(SimInternals, JitterAmplitudeZeroIsExactlyDeterministic) {
+  fortran::Program prog = fortran::parse_and_check(
+      "      parameter (n = 8)\n      real a(n)\n"
+      "      do i = 1, n\n        a(i) = a(i) + 1.0\n      enddo\n      end\n");
+  pcfg::Pcfg g = pcfg::Pcfg::build(prog);
+  const pcfg::PhaseDeps deps = pcfg::analyze_dependences(g.phase(0), prog.symbols);
+  const machine::MachineModel m = machine::make_ipsc860();
+  const sim::NetworkParams net = sim::NetworkParams::for_machine(m);
+  sim::PhaseSimInput in;
+  in.phase = &g.phase(0);
+  in.deps = &deps;
+  in.jitter_amplitude = 0.0;
+  in.compiled = compmodel::compile_phase(
+      g.phase(0), deps, layout::Layout({}, layout::Distribution::block_1d(1, 0, 4)),
+      prog.symbols);
+  in.dist_extent = 8;
+  in.seed = 1;
+  const double t1 = sim::simulate_phase_us(in, net, m);
+  in.seed = 999;  // seed must not matter at zero amplitude
+  const double t2 = sim::simulate_phase_us(in, net, m);
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering of extended kinds; transposed ALIGN emission.
+// ---------------------------------------------------------------------------
+
+TEST(Rendering, CyclicDistributions) {
+  std::vector<layout::DimDistribution> dims(2);
+  dims[0] = layout::DimDistribution{layout::DistKind::Cyclic, 8, 1};
+  dims[1] = layout::DimDistribution{layout::DistKind::BlockCyclic, 4, 16};
+  const layout::Distribution d{std::move(dims)};
+  EXPECT_EQ(d.str(), "(CYCLIC(8), CYCLIC(16)x4)");
+  EXPECT_EQ(d.total_procs(), 32);
+  EXPECT_EQ(d.single_distributed_dim(), -1);
+  EXPECT_EQ(d.num_distributed(), 2);
+}
+
+TEST(Rendering, TransposedAlignDirective) {
+  // Pin a transposed alignment and check the inverted ALIGN directive.
+  const std::string src = corpus::adi_source(64, corpus::Dtype::DoublePrecision);
+  fortran::Program probe = fortran::parse_and_check(src);
+  layout::ArrayAlignment aa;
+  aa.array = probe.symbols.lookup("x");
+  aa.axis = {1, 0};
+  layout::Alignment align;
+  align.set(aa);
+  driver::ToolOptions opts;
+  opts.procs = 8;
+  opts.pinned_phases.emplace_back(
+      0, layout::Layout(align, layout::Distribution::block_1d(2, 0, 8)));
+  auto r = driver::run_tool(src, opts);
+  const std::string s = driver::emit_initial_directives(*r);
+  EXPECT_NE(s.find("ALIGN x(i,j) WITH T(j,i)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment harness internals.
+// ---------------------------------------------------------------------------
+
+TEST(Harness, PinnedSpacesStillEvaluate) {
+  // With a single-candidate (pinned) space, candidate_for_distribution must
+  // fall back gracefully and the alternatives still evaluate.
+  const std::string src = corpus::adi_source(64, corpus::Dtype::DoublePrecision);
+  driver::ToolOptions opts;
+  opts.procs = 8;
+  opts.pinned_phases.emplace_back(
+      0, layout::Layout({}, layout::Distribution::block_1d(2, 1, 8)));
+  auto r = driver::run_tool(src, opts);
+  const driver::CaseReport rep = driver::evaluate_alternatives(*r);
+  EXPECT_GE(rep.alternatives.size(), 2u);
+  for (const driver::Alternative& a : rep.alternatives) {
+    EXPECT_EQ(a.assignment[0], 0);  // only one candidate exists for phase 0
+  }
+}
+
+TEST(Harness, LossFractionIsZeroWhenToolWins) {
+  corpus::TestCase c{"shallow", 128, corpus::Dtype::Real, 8};
+  driver::ToolOptions opts;
+  opts.procs = 8;
+  auto r = driver::run_tool(corpus::source_for(c), opts);
+  const driver::CaseReport rep = driver::evaluate_alternatives(*r);
+  if (rep.picked_best) EXPECT_DOUBLE_EQ(rep.loss_fraction, 0.0);
+  EXPECT_EQ(rep.best_measured >= 0, true);
+  EXPECT_EQ(rep.best_estimated >= 0, true);
+}
+
+// ---------------------------------------------------------------------------
+// Remap pair construction.
+// ---------------------------------------------------------------------------
+
+TEST(RemapPairs, ConnectConsecutiveReferencesAcrossGaps) {
+  // q referenced in phases 0 and 2 only: the pair (0,2) must exist even
+  // though phase 1 sits between them.
+  fortran::Program prog = fortran::parse_and_check(
+      "      parameter (n = 8)\n"
+      "      real q(n,n), r(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          q(i,j) = 1.0\n"
+      "        enddo\n      enddo\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          r(i,j) = 2.0\n"
+      "        enddo\n      enddo\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          r(i,j) = q(i,j)\n"
+      "        enddo\n      enddo\n"
+      "      end\n");
+  pcfg::Pcfg g = pcfg::Pcfg::build(prog);
+  const auto pairs = select::remap_pairs(g);
+  const int q = prog.symbols.lookup("q");
+  bool found = false;
+  for (const select::RemapPair& p : pairs) {
+    if (p.src == 0 && p.dst == 2) {
+      found = true;
+      EXPECT_NE(std::find(p.arrays.begin(), p.arrays.end(), q), p.arrays.end());
+      EXPECT_DOUBLE_EQ(p.traversals, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RemapPairs, LoopWrapPairExists) {
+  fortran::Program prog = fortran::parse_and_check(
+      "      parameter (n = 8)\n"
+      "      real q(n,n), r(n,n)\n"
+      "      do it = 1, 10\n"
+      "        do j = 1, n\n          do i = 1, n\n"
+      "            q(i,j) = r(i,j)\n"
+      "          enddo\n        enddo\n"
+      "        do j = 1, n\n          do i = 1, n\n"
+      "            r(i,j) = q(i,j)\n"
+      "          enddo\n        enddo\n"
+      "      enddo\n      end\n");
+  pcfg::Pcfg g = pcfg::Pcfg::build(prog);
+  const auto pairs = select::remap_pairs(g);
+  bool wrap = false;
+  for (const select::RemapPair& p : pairs) {
+    if (p.src == 1 && p.dst == 0) {
+      wrap = true;
+      EXPECT_DOUBLE_EQ(p.traversals, 9.0);  // 10 iterations -> 9 wraps
+    }
+  }
+  EXPECT_TRUE(wrap);
+}
+
+} // namespace
+} // namespace al

@@ -1,0 +1,125 @@
+// Multi-dimensional distribution tests (the paper's future-work extension):
+// 2-D mesh cost structure in the compiler model and the surface-to-volume
+// payoff in the end-to-end estimates.
+#include <gtest/gtest.h>
+
+#include "compmodel/compile.hpp"
+#include "corpus/corpus.hpp"
+#include "driver/testcase.hpp"
+#include "driver/tool.hpp"
+#include "fortran/parser.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al {
+namespace {
+
+layout::Distribution mesh_2d(int p1, int p2) {
+  std::vector<layout::DimDistribution> dims(2);
+  dims[0] = layout::DimDistribution{layout::DistKind::Block, p1, 1};
+  dims[1] = layout::DimDistribution{layout::DistKind::Block, p2, 1};
+  return layout::Distribution(std::move(dims));
+}
+
+struct Compiled2D {
+  fortran::Program prog;
+  pcfg::Pcfg pcfg;
+  pcfg::PhaseDeps deps;
+  compmodel::CompiledPhase result;
+
+  Compiled2D(const std::string& src, const layout::Distribution& dist)
+      : prog(fortran::parse_and_check(src)),
+        pcfg(pcfg::Pcfg::build(prog)),
+        deps(pcfg::analyze_dependences(pcfg.phase(0), prog.symbols)),
+        result(compmodel::compile_phase(pcfg.phase(0), deps,
+                                        layout::Layout({}, dist), prog.symbols)) {}
+};
+
+const char* kBothShifts =
+    "      parameter (n = 64)\n"
+    "      real a(n,n), b(n,n)\n"
+    "      do j = 2, n\n        do i = 2, n\n"
+    "          a(i,j) = b(i-1,j) + b(i,j-1)\n"
+    "        enddo\n      enddo\n      end\n";
+
+TEST(MultiDim, TwoDistributedDimsMakeTwoShifts) {
+  Compiled2D c(kBothShifts, mesh_2d(4, 4));
+  int shifts = 0;
+  for (const auto& e : c.result.events) {
+    if (e.cls == compmodel::CommClass::Shift) ++shifts;
+  }
+  EXPECT_EQ(shifts, 2);  // one boundary per distributed dimension
+  EXPECT_EQ(c.result.procs, 16);
+}
+
+TEST(MultiDim, BoundaryShrinksWithTheOtherMeshDim) {
+  // 1-D over 16 procs: boundary cross-section = full column (64 reals).
+  // 4x4 mesh: each boundary is a quarter column (16 reals).
+  Compiled2D one_d(kBothShifts, layout::Distribution::block_1d(2, 0, 16));
+  Compiled2D mesh(kBothShifts, mesh_2d(4, 4));
+  double one_d_bytes = 0.0;
+  double mesh_bytes = 0.0;
+  for (const auto& e : one_d.result.events) one_d_bytes += e.bytes;
+  for (const auto& e : mesh.result.events) {
+    EXPECT_DOUBLE_EQ(e.bytes, 64.0 / 4.0 * 4.0);  // 16 reals
+    mesh_bytes = std::max(mesh_bytes, e.bytes);
+  }
+  EXPECT_DOUBLE_EQ(one_d_bytes, 64.0 * 4.0);
+  EXPECT_LT(mesh_bytes, one_d_bytes);
+}
+
+TEST(MultiDim, ComputationDividesByTheWholeMesh) {
+  Compiled2D mesh(kBothShifts, mesh_2d(4, 4));
+  Compiled2D one_d(kBothShifts, layout::Distribution::block_1d(2, 0, 16));
+  EXPECT_NEAR(mesh.result.flops_real, one_d.result.flops_real, 1e-9);
+}
+
+TEST(MultiDim, RecurrenceUnderMeshStillPipelines) {
+  Compiled2D c(
+      "      parameter (n = 64)\n"
+      "      real x(n,n)\n"
+      "      do j = 1, n\n        do i = 2, n\n"
+      "          x(i,j) = x(i-1,j)\n"
+      "        enddo\n      enddo\n      end\n",
+      mesh_2d(4, 4));
+  EXPECT_TRUE(c.result.has_recurrence());
+  // Strips stay one-per-outer-iteration; the strip payload shrinks with
+  // the second mesh dimension (but never below one element).
+  const auto* rec = [&]() -> const compmodel::CommEvent* {
+    for (const auto& e : c.result.events) {
+      if (e.cls == compmodel::CommClass::Recurrence) return &e;
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->strips, 64);
+  EXPECT_DOUBLE_EQ(rec->bytes, 4.0);  // one element
+}
+
+TEST(MultiDim, ExtendedSearchBeats1DForBigStencilsAtScale) {
+  corpus::TestCase c{"shallow", 512, corpus::Dtype::Real, 64};
+  driver::ToolOptions basic;
+  basic.procs = 64;
+  driver::ToolOptions ext = basic;
+  ext.distribution_strategy = distrib::Strategy::ExtendedExhaustive;
+  auto tb = driver::run_tool(corpus::source_for(c), basic);
+  auto te = driver::run_tool(corpus::source_for(c), ext);
+  EXPECT_LT(te->selection.total_cost_us, tb->selection.total_cost_us);
+  // And the winner really is a 2-D mesh on the main stencil phases.
+  const layout::Distribution& d = te->chosen_layout(5).distribution();
+  EXPECT_EQ(d.num_distributed(), 2);
+}
+
+TEST(MultiDim, SimulatorHandlesMeshLayouts) {
+  corpus::TestCase c{"shallow", 128, corpus::Dtype::Real, 16};
+  driver::ToolOptions ext;
+  ext.procs = 16;
+  ext.distribution_strategy = distrib::Strategy::ExtendedExhaustive;
+  auto tool = driver::run_tool(corpus::source_for(c), ext);
+  const auto rep = driver::evaluate_alternatives(*tool);
+  for (const auto& alt : rep.alternatives) {
+    EXPECT_GT(alt.meas_us, 0.0) << alt.name;
+  }
+}
+
+} // namespace
+} // namespace al

@@ -1,0 +1,104 @@
+// Orientation selection tests: mapping alignment partitions onto template
+// dimensions, with and without a reference alignment.
+#include <gtest/gtest.h>
+
+#include "cag/conflict.hpp"
+#include "cag/orientation.hpp"
+#include "fortran/parser.hpp"
+
+namespace al::cag {
+namespace {
+
+using fortran::parse_and_check;
+using fortran::Program;
+
+struct Fixture {
+  Program prog = parse_and_check("      real a(4,4), b(4,4)\n      end\n");
+  NodeUniverse uni = NodeUniverse::from_program(prog);
+  int a = prog.symbols.lookup("a");
+  int b = prog.symbols.lookup("b");
+};
+
+Resolution make_resolution(const Fixture& f, int a1_part, int a2_part, int b1_part,
+                           int b2_part) {
+  Resolution r;
+  r.part_of.assign(static_cast<std::size_t>(f.uni.size()), -1);
+  r.part_of[static_cast<std::size_t>(f.uni.index(f.a, 0))] = a1_part;
+  r.part_of[static_cast<std::size_t>(f.uni.index(f.a, 1))] = a2_part;
+  r.part_of[static_cast<std::size_t>(f.uni.index(f.b, 0))] = b1_part;
+  r.part_of[static_cast<std::size_t>(f.uni.index(f.b, 1))] = b2_part;
+  r.info = Partitioning(f.uni.size());
+  return r;
+}
+
+TEST(Orientation, IdentityPreferredWithoutReference) {
+  Fixture f;
+  const Resolution r = make_resolution(f, 0, 1, 0, 1);
+  const layout::Alignment al = orient(r, f.uni, 2, {f.a, f.b});
+  EXPECT_EQ(al.axis_of(f.a, 0), 0);
+  EXPECT_EQ(al.axis_of(f.a, 1), 1);
+  EXPECT_EQ(al.axis_of(f.b, 0), 0);
+  EXPECT_EQ(al.axis_of(f.b, 1), 1);
+}
+
+TEST(Orientation, SwappedPartitionsStillPreferNaturalDims) {
+  Fixture f;
+  // Partition 1 holds the first dims, partition 0 the second: the
+  // orientation should map partition 1 -> template dim 0.
+  const Resolution r = make_resolution(f, 1, 0, 1, 0);
+  const layout::Alignment al = orient(r, f.uni, 2, {f.a, f.b});
+  EXPECT_EQ(al.axis_of(f.a, 0), 0);
+  EXPECT_EQ(al.axis_of(f.b, 1), 1);
+}
+
+TEST(Orientation, TransposedGroupStaysTransposed) {
+  Fixture f;
+  // a1 with b2 in partition 0; a2 with b1 in partition 1: whatever the
+  // orientation, a and b end up transposed RELATIVE to each other.
+  const Resolution r = make_resolution(f, 0, 1, 1, 0);
+  const layout::Alignment al = orient(r, f.uni, 2, {f.a, f.b});
+  EXPECT_EQ(al.axis_of(f.a, 0), al.axis_of(f.b, 1));
+  EXPECT_EQ(al.axis_of(f.a, 1), al.axis_of(f.b, 0));
+  EXPECT_NE(al.axis_of(f.a, 0), al.axis_of(f.a, 1));
+}
+
+TEST(Orientation, ReferenceOverridesNaturalOrder) {
+  Fixture f;
+  const Resolution r = make_resolution(f, 0, 1, 0, 1);
+  // Reference aligns everything transposed; the orientation should follow.
+  layout::Alignment ref;
+  ref.set(layout::ArrayAlignment{f.a, {1, 0}});
+  ref.set(layout::ArrayAlignment{f.b, {1, 0}});
+  const layout::Alignment al = orient(r, f.uni, 2, {f.a, f.b}, &ref);
+  EXPECT_EQ(al.axis_of(f.a, 0), 1);
+  EXPECT_EQ(al.axis_of(f.a, 1), 0);
+}
+
+TEST(Orientation, UnconstrainedDimsFillFreeAxes) {
+  Fixture f;
+  // Only a's first dim is pinned (partition 0); everything else must still
+  // get distinct axes per array.
+  Resolution r = make_resolution(f, 0, -1, -1, -1);
+  const layout::Alignment al = orient(r, f.uni, 2, {f.a, f.b});
+  EXPECT_NE(al.axis_of(f.a, 0), al.axis_of(f.a, 1));
+  EXPECT_NE(al.axis_of(f.b, 0), al.axis_of(f.b, 1));
+}
+
+TEST(Orientation, LowerRankArrayEmbeds) {
+  Program prog = parse_and_check("      real m(4,4), v(4)\n      end\n");
+  NodeUniverse uni = NodeUniverse::from_program(prog);
+  const int m = prog.symbols.lookup("m");
+  const int v = prog.symbols.lookup("v");
+  Resolution r;
+  r.part_of.assign(static_cast<std::size_t>(uni.size()), -1);
+  // v1 aligned with m2.
+  r.part_of[static_cast<std::size_t>(uni.index(m, 0))] = 0;
+  r.part_of[static_cast<std::size_t>(uni.index(m, 1))] = 1;
+  r.part_of[static_cast<std::size_t>(uni.index(v, 0))] = 1;
+  r.info = Partitioning(uni.size());
+  const layout::Alignment al = orient(r, uni, 2, {m, v});
+  EXPECT_EQ(al.axis_of(v, 0), al.axis_of(m, 1));
+}
+
+} // namespace
+} // namespace al::cag

@@ -1,0 +1,265 @@
+// Parser unit tests: declarations, statements, expression structure,
+// error recovery, and round-tripping through the pretty printer.
+#include <gtest/gtest.h>
+
+#include "fortran/parser.hpp"
+
+namespace al::fortran {
+namespace {
+
+Program parse_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  auto p = parse_program(src, diags);
+  EXPECT_TRUE(p.has_value()) << diags.str();
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  return std::move(*p);
+}
+
+void expect_parse_error(std::string_view src) {
+  DiagnosticEngine diags;
+  auto p = parse_program(src, diags);
+  EXPECT_TRUE(!p.has_value() || diags.has_errors());
+}
+
+TEST(Parser, ProgramName) {
+  Program p = parse_ok("      program hello\n      end\n");
+  EXPECT_EQ(p.name, "hello");
+  EXPECT_TRUE(p.body.empty());
+}
+
+TEST(Parser, DefaultsProgramName) {
+  Program p = parse_ok("      x = 1\n      end\n");
+  EXPECT_EQ(p.name, "main");
+}
+
+TEST(Parser, ScalarAndArrayDeclarations) {
+  Program p = parse_ok(
+      "      program t\n"
+      "      parameter (n = 10)\n"
+      "      real a(n,n), b(n), s\n"
+      "      integer i\n"
+      "      double precision d(2*n)\n"
+      "      end\n");
+  const int a = p.symbols.lookup("a");
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(p.symbols.at(a).kind, SymbolKind::Array);
+  EXPECT_EQ(p.symbols.at(a).rank(), 2);
+  EXPECT_EQ(p.symbols.at(a).dims[0].extent(), 10);
+  const int b = p.symbols.lookup("b");
+  EXPECT_EQ(p.symbols.at(b).rank(), 1);
+  const int s = p.symbols.lookup("s");
+  EXPECT_EQ(p.symbols.at(s).kind, SymbolKind::Scalar);
+  const int d = p.symbols.lookup("d");
+  EXPECT_EQ(p.symbols.at(d).type, ScalarType::DoublePrecision);
+  EXPECT_EQ(p.symbols.at(d).dims[0].extent(), 20);
+}
+
+TEST(Parser, LowerBoundRanges) {
+  Program p = parse_ok(
+      "      real a(0:9, -1:1)\n"
+      "      end\n");
+  const Symbol& a = p.symbols.at(p.symbols.lookup("a"));
+  EXPECT_EQ(a.dims[0].lower, 0);
+  EXPECT_EQ(a.dims[0].upper, 9);
+  EXPECT_EQ(a.dims[0].extent(), 10);
+  EXPECT_EQ(a.dims[1].extent(), 3);
+}
+
+TEST(Parser, ParameterArithmetic) {
+  Program p = parse_ok(
+      "      parameter (n = 4, m = n*n + 2, k = 2**3)\n"
+      "      end\n");
+  EXPECT_EQ(p.symbols.at(p.symbols.lookup("m")).param_value, 18);
+  EXPECT_EQ(p.symbols.at(p.symbols.lookup("k")).param_value, 8);
+}
+
+TEST(Parser, RejectsRedeclaration) {
+  expect_parse_error("      real x, x\n      end\n");
+}
+
+TEST(Parser, RejectsNonConstantBounds) {
+  expect_parse_error("      real a(m)\n      end\n");  // m undeclared
+}
+
+TEST(Parser, DoLoopWithStep) {
+  Program p = parse_ok(
+      "      do i = 10, 1, -1\n"
+      "        x = i\n"
+      "      enddo\n"
+      "      end\n");
+  ASSERT_EQ(p.body.size(), 1u);
+  ASSERT_EQ(p.body[0]->kind, StmtKind::Do);
+  const auto& d = static_cast<const DoStmt&>(*p.body[0]);
+  EXPECT_EQ(d.var, "i");
+  ASSERT_NE(d.step, nullptr);
+  EXPECT_EQ(d.body.size(), 1u);
+}
+
+TEST(Parser, EndDoTwoWords) {
+  Program p = parse_ok(
+      "      do i = 1, 3\n"
+      "        x = i\n"
+      "      end do\n"
+      "      end\n");
+  EXPECT_EQ(p.body.size(), 1u);
+}
+
+TEST(Parser, NestedLoops) {
+  Program p = parse_ok(
+      "      do i = 1, 3\n"
+      "        do j = 1, 4\n"
+      "          x = i + j\n"
+      "        enddo\n"
+      "      enddo\n"
+      "      end\n");
+  const auto& outer = static_cast<const DoStmt&>(*p.body[0]);
+  ASSERT_EQ(outer.body.size(), 1u);
+  EXPECT_EQ(outer.body[0]->kind, StmtKind::Do);
+}
+
+TEST(Parser, IfThenElse) {
+  Program p = parse_ok(
+      "      if (x .gt. 1) then\n"
+      "        y = 1\n"
+      "      else\n"
+      "        y = 2\n"
+      "      endif\n"
+      "      end\n");
+  ASSERT_EQ(p.body[0]->kind, StmtKind::If);
+  const auto& i = static_cast<const IfStmt&>(*p.body[0]);
+  EXPECT_EQ(i.then_body.size(), 1u);
+  EXPECT_EQ(i.else_body.size(), 1u);
+  EXPECT_LT(i.branch_probability, 0.0);  // unannotated
+}
+
+TEST(Parser, EndIfTwoWords) {
+  Program p = parse_ok(
+      "      if (x .gt. 1) then\n"
+      "        y = 1\n"
+      "      end if\n"
+      "      end\n");
+  EXPECT_EQ(p.body[0]->kind, StmtKind::If);
+}
+
+TEST(Parser, OneLineLogicalIf) {
+  Program p = parse_ok("      if (x .lt. 0) x = 0\n      end\n");
+  ASSERT_EQ(p.body[0]->kind, StmtKind::If);
+  const auto& i = static_cast<const IfStmt&>(*p.body[0]);
+  ASSERT_EQ(i.then_body.size(), 1u);
+  EXPECT_EQ(i.then_body[0]->kind, StmtKind::Assign);
+  EXPECT_TRUE(i.else_body.empty());
+}
+
+TEST(Parser, ProbDirectiveAttachesToIf) {
+  Program p = parse_ok(
+      "!al$ prob(0.9)\n"
+      "      if (x .gt. 1) then\n"
+      "        y = 1\n"
+      "      endif\n"
+      "      end\n");
+  const auto& i = static_cast<const IfStmt&>(*p.body[0]);
+  EXPECT_DOUBLE_EQ(i.branch_probability, 0.9);
+}
+
+TEST(Parser, ContinueStatement) {
+  Program p = parse_ok("      continue\n      end\n");
+  EXPECT_EQ(p.body[0]->kind, StmtKind::Continue);
+}
+
+TEST(Parser, ArrayAssignment) {
+  Program p = parse_ok(
+      "      real a(5,5)\n"
+      "      a(1,2) = 3.5\n"
+      "      end\n");
+  const auto& a = static_cast<const AssignStmt&>(*p.body[0]);
+  ASSERT_EQ(a.lhs->kind, ExprKind::ArrayRef);
+  EXPECT_EQ(static_cast<const ArrayRefExpr&>(*a.lhs).subscripts.size(), 2u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  Program p = parse_ok("      x = 1 + 2 * 3 ** 2\n      end\n");
+  // 1 + (2 * (3 ** 2)): the top node is Add.
+  const auto& a = static_cast<const AssignStmt&>(*p.body[0]);
+  ASSERT_EQ(a.rhs->kind, ExprKind::Binary);
+  const auto& add = static_cast<const BinaryExpr&>(*a.rhs);
+  EXPECT_EQ(add.op, BinOp::Add);
+  ASSERT_EQ(add.rhs->kind, ExprKind::Binary);
+  const auto& mul = static_cast<const BinaryExpr&>(*add.rhs);
+  EXPECT_EQ(mul.op, BinOp::Mul);
+  ASSERT_EQ(mul.rhs->kind, ExprKind::Binary);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*mul.rhs).op, BinOp::Pow);
+}
+
+TEST(Parser, UnaryMinusBindsTighterThanAdd) {
+  Program p = parse_ok("      x = -y + 2\n      end\n");
+  const auto& a = static_cast<const AssignStmt&>(*p.body[0]);
+  const auto& add = static_cast<const BinaryExpr&>(*a.rhs);
+  EXPECT_EQ(add.op, BinOp::Add);
+  EXPECT_EQ(add.lhs->kind, ExprKind::Unary);
+}
+
+TEST(Parser, LogicalOperatorPrecedence) {
+  // a .lt. b .and. c .gt. d .or. e .eq. f  ->  Or at the top.
+  Program p = parse_ok(
+      "      if (a .lt. b .and. c .gt. d .or. e .eq. f) then\n"
+      "        x = 1\n"
+      "      endif\n"
+      "      end\n");
+  const auto& i = static_cast<const IfStmt&>(*p.body[0]);
+  ASSERT_EQ(i.cond->kind, ExprKind::Binary);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*i.cond).op, BinOp::Or);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  Program p = parse_ok("      x = (1 + 2) * 3\n      end\n");
+  const auto& a = static_cast<const AssignStmt&>(*p.body[0]);
+  const auto& mul = static_cast<const BinaryExpr&>(*a.rhs);
+  EXPECT_EQ(mul.op, BinOp::Mul);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*mul.lhs).op, BinOp::Add);
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  Program p = parse_ok("      x = 2 ** 3 ** 2\n      end\n");
+  const auto& a = static_cast<const AssignStmt&>(*p.body[0]);
+  const auto& outer = static_cast<const BinaryExpr&>(*a.rhs);
+  EXPECT_EQ(outer.op, BinOp::Pow);
+  // Right child is itself 3 ** 2.
+  EXPECT_EQ(outer.rhs->kind, ExprKind::Binary);
+}
+
+TEST(Parser, MissingEnddoIsError) {
+  expect_parse_error("      do i = 1, 3\n        x = i\n      end\n");
+}
+
+TEST(Parser, GarbageStatementIsError) {
+  expect_parse_error("      + 1\n      end\n");
+}
+
+TEST(Parser, AssignToExpressionIsError) {
+  expect_parse_error("      1 = x\n      end\n");
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const char* src =
+      "      program rt\n"
+      "      parameter (n = 4)\n"
+      "      real a(n,n)\n"
+      "      do i = 1, n\n"
+      "        do j = 1, n\n"
+      "          a(i,j) = a(i,j) + 1.0\n"
+      "        enddo\n"
+      "      enddo\n"
+      "      end\n";
+  Program p1 = parse_and_check(src);
+  const std::string printed = to_string(p1);
+  EXPECT_NE(printed.find("program rt"), std::string::npos);
+  EXPECT_NE(printed.find("do i = 1, n"), std::string::npos);
+  EXPECT_NE(printed.find("a(i,j)"), std::string::npos);
+}
+
+TEST(Parser, ParseAndCheckThrowsOnErrors) {
+  EXPECT_THROW((void)parse_and_check("      do i = 1\n      end\n"), FatalError);
+}
+
+} // namespace
+} // namespace al::fortran

@@ -1,0 +1,169 @@
+// Phase control flow graph tests: frequencies, transitions (including loop
+// back edges and branches), reverse postorder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fortran/parser.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al::pcfg {
+namespace {
+
+using fortran::parse_and_check;
+
+double transition_count(const Pcfg& g, int src, int dst) {
+  for (const Transition& t : g.transitions()) {
+    if (t.src == src && t.dst == dst) return t.traversals;
+  }
+  return 0.0;
+}
+
+TEST(Pcfg, StraightLinePhases) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n), b(n)\n"
+      "      do i = 1, n\n        a(i) = 0.0\n      enddo\n"
+      "      do i = 1, n\n        b(i) = a(i)\n      enddo\n"
+      "      end\n"));
+  ASSERT_EQ(g.num_phases(), 2);
+  EXPECT_DOUBLE_EQ(g.frequency(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.frequency(1), 1.0);
+  EXPECT_DOUBLE_EQ(transition_count(g, -1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(transition_count(g, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(transition_count(g, 1, -1), 1.0);
+}
+
+TEST(Pcfg, TimeLoopMultipliesFrequencyAndAddsBackEdge) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n), b(n)\n"
+      "      do iter = 1, 10\n"
+      "        do i = 1, n\n          a(i) = b(i)\n        enddo\n"
+      "        do i = 1, n\n          b(i) = a(i)\n        enddo\n"
+      "      enddo\n"
+      "      end\n"));
+  ASSERT_EQ(g.num_phases(), 2);
+  EXPECT_DOUBLE_EQ(g.frequency(0), 10.0);
+  EXPECT_DOUBLE_EQ(g.frequency(1), 10.0);
+  EXPECT_DOUBLE_EQ(transition_count(g, 0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(transition_count(g, 1, 0), 9.0);  // back edge
+  EXPECT_DOUBLE_EQ(transition_count(g, -1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(transition_count(g, 1, -1), 1.0);
+}
+
+TEST(Pcfg, BranchProbabilitySplitsTraversals) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n), b(n)\n"
+      "      do i = 1, n\n        a(i) = 0.0\n      enddo\n"
+      "!al$ prob(0.25)\n"
+      "      if (a(1) .gt. 0.0) then\n"
+      "        do i = 1, n\n          b(i) = 1.0\n        enddo\n"
+      "      else\n"
+      "        do i = 1, n\n          b(i) = 2.0\n        enddo\n"
+      "      endif\n"
+      "      end\n"));
+  ASSERT_EQ(g.num_phases(), 3);
+  EXPECT_DOUBLE_EQ(g.frequency(1), 0.25);
+  EXPECT_DOUBLE_EQ(g.frequency(2), 0.75);
+  EXPECT_DOUBLE_EQ(transition_count(g, 0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(transition_count(g, 0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(transition_count(g, 1, -1), 0.25);
+  EXPECT_DOUBLE_EQ(transition_count(g, 2, -1), 0.75);
+}
+
+TEST(Pcfg, IfWithOnlyThenPhases) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n), b(n)\n"
+      "      do i = 1, n\n        a(i) = 0.0\n      enddo\n"
+      "      if (a(1) .gt. 0.0) then\n"
+      "        do i = 1, n\n          b(i) = 1.0\n        enddo\n"
+      "      endif\n"
+      "      do i = 1, n\n        a(i) = b(i)\n      enddo\n"
+      "      end\n"));
+  ASSERT_EQ(g.num_phases(), 3);
+  EXPECT_DOUBLE_EQ(g.frequency(1), 0.5);  // guessed probability
+  // Control reaches phase 2 both through and around the branch.
+  EXPECT_DOUBLE_EQ(transition_count(g, 0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(transition_count(g, 1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(g.frequency(2), 1.0);
+}
+
+TEST(Pcfg, NestedSequentialLoops) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n)\n"
+      "      do it = 1, 3\n"
+      "        do jt = 1, 5\n"
+      "          do i = 1, n\n            a(i) = a(i) + 1.0\n          enddo\n"
+      "        enddo\n"
+      "      enddo\n"
+      "      end\n"));
+  ASSERT_EQ(g.num_phases(), 1);
+  EXPECT_DOUBLE_EQ(g.frequency(0), 15.0);
+  EXPECT_DOUBLE_EQ(transition_count(g, 0, 0), 14.0);  // self back edge
+}
+
+TEST(Pcfg, ZeroTripLoopContributesNothing) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n), b(n)\n"
+      "      do i = 1, n\n        b(i) = 0.0\n      enddo\n"
+      "      do iter = 5, 1\n"  // zero-trip
+      "        do i = 1, n\n          a(i) = 1.0\n        enddo\n"
+      "      enddo\n"
+      "      end\n"));
+  // The phase inside the dead loop is not reachable; only one phase with
+  // frequency. (The phase node may exist but with zero frequency, or be
+  // omitted entirely -- either way phase 0 dominates.)
+  EXPECT_GE(g.num_phases(), 1);
+  EXPECT_DOUBLE_EQ(g.frequency(0), 1.0);
+}
+
+TEST(Pcfg, ReversePostorderStartsAtEntry) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n), b(n), c(n)\n"
+      "      do i = 1, n\n        a(i) = 0.0\n      enddo\n"
+      "      do i = 1, n\n        b(i) = a(i)\n      enddo\n"
+      "      do i = 1, n\n        c(i) = b(i)\n      enddo\n"
+      "      end\n"));
+  const std::vector<int> order = g.reverse_postorder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(Pcfg, ReversePostorderCoversCyclicGraph) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n), b(n)\n"
+      "      do iter = 1, 3\n"
+      "        do i = 1, n\n          a(i) = b(i)\n        enddo\n"
+      "        do i = 1, n\n          b(i) = a(i)\n        enddo\n"
+      "      enddo\n"
+      "      end\n"));
+  const std::vector<int> order = g.reverse_postorder();
+  ASSERT_EQ(order.size(), 2u);
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1}));
+}
+
+TEST(Pcfg, StrIsInformative) {
+  Pcfg g = Pcfg::build(parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n)\n"
+      "      do i = 1, n\n        a(i) = 0.0\n      enddo\n"
+      "      end\n"));
+  const std::string s = g.str();
+  EXPECT_NE(s.find("1 phases"), std::string::npos);
+  EXPECT_NE(s.find("entry"), std::string::npos);
+  EXPECT_NE(s.find("exit"), std::string::npos);
+}
+
+} // namespace
+} // namespace al::pcfg

@@ -1,0 +1,217 @@
+// Estimator + layout graph + selection tests, including the property the
+// framework stands on: the 0-1 selection equals an independent exact DP on
+// chain/cycle-structured problems (both on the corpus and on random chains).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "select/dp_selection.hpp"
+#include "select/ilp_selection.hpp"
+
+namespace al::select {
+namespace {
+
+TEST(Estimator, RemapCostZeroForSameLayout) {
+  corpus::TestCase c{"adi", 64, corpus::Dtype::Real, 4};
+  auto tool = driver::run_tool(corpus::source_for(c), [] {
+    driver::ToolOptions o;
+    o.procs = 4;
+    return o;
+  }());
+  const layout::Layout& l = tool->spaces[0].candidates()[0].layout;
+  EXPECT_DOUBLE_EQ(tool->estimator->remap_us(l, l, tool->pcfg.phase(0).arrays), 0.0);
+}
+
+TEST(Estimator, RemapCostPositiveAcrossDistributions) {
+  corpus::TestCase c{"adi", 64, corpus::Dtype::Real, 4};
+  driver::ToolOptions o;
+  o.procs = 4;
+  auto tool = driver::run_tool(corpus::source_for(c), o);
+  ASSERT_GE(tool->spaces[2].candidates().size(), 2u);
+  const layout::Layout& a = tool->spaces[2].candidates()[0].layout;
+  const layout::Layout& b = tool->spaces[2].candidates()[1].layout;
+  EXPECT_GT(tool->estimator->remap_us(a, b, tool->pcfg.phase(2).arrays), 0.0);
+}
+
+TEST(LayoutGraph, ShapeMatchesSpaces) {
+  corpus::TestCase c{"adi", 64, corpus::Dtype::Real, 4};
+  driver::ToolOptions o;
+  o.procs = 4;
+  auto tool = driver::run_tool(corpus::source_for(c), o);
+  const LayoutGraph& g = tool->graph;
+  ASSERT_EQ(g.num_phases(), 9);
+  for (int p = 0; p < g.num_phases(); ++p) {
+    EXPECT_EQ(static_cast<std::size_t>(g.num_candidates(p)),
+              tool->spaces[static_cast<std::size_t>(p)].size());
+    for (int i = 0; i < g.num_candidates(p); ++i) {
+      EXPECT_GE(g.node_cost_us[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)],
+                0.0);
+    }
+  }
+  EXPECT_FALSE(g.edges.empty());
+  for (const LayoutEdgeBlock& e : g.edges) {
+    EXPECT_GE(e.traversals, 0.0);
+    EXPECT_EQ(e.remap_us.size(),
+              static_cast<std::size_t>(g.num_candidates(e.src_phase)));
+  }
+}
+
+TEST(Selection, AssignmentCostMatchesManualSum) {
+  LayoutGraph g;
+  g.node_cost_us = {{10.0, 20.0}, {5.0, 1.0}};
+  g.estimates.resize(2);
+  LayoutEdgeBlock e;
+  e.src_phase = 0;
+  e.dst_phase = 1;
+  e.traversals = 3.0;
+  e.remap_us = {{0.0, 7.0}, {7.0, 0.0}};
+  g.edges.push_back(e);
+  EXPECT_DOUBLE_EQ(assignment_cost(g, {0, 0}), 15.0);
+  EXPECT_DOUBLE_EQ(assignment_cost(g, {0, 1}), 10.0 + 1.0 + 21.0);
+}
+
+TEST(Selection, PrefersCheapStaticOverRemap) {
+  // Two phases, two candidates: candidate 0 cheap in both, remap expensive.
+  LayoutGraph g;
+  g.node_cost_us = {{10.0, 12.0}, {10.0, 12.0}};
+  g.estimates.resize(2);
+  LayoutEdgeBlock e;
+  e.src_phase = 0;
+  e.dst_phase = 1;
+  e.traversals = 1.0;
+  e.remap_us = {{0.0, 100.0}, {100.0, 0.0}};
+  g.edges.push_back(e);
+  const SelectionResult r = select_layouts_ilp(g);
+  EXPECT_EQ(r.chosen, (std::vector<int>{0, 0}));
+  EXPECT_DOUBLE_EQ(r.total_cost_us, 20.0);
+  EXPECT_DOUBLE_EQ(r.remap_cost_us, 0.0);
+}
+
+TEST(Selection, PaysRemapWhenItWins) {
+  // Phase 0 strongly prefers candidate 0, phase 1 strongly prefers 1; the
+  // remap is cheap -- the dynamic layout must win.
+  LayoutGraph g;
+  g.node_cost_us = {{10.0, 500.0}, {500.0, 10.0}};
+  g.estimates.resize(2);
+  LayoutEdgeBlock e;
+  e.src_phase = 0;
+  e.dst_phase = 1;
+  e.traversals = 1.0;
+  e.remap_us = {{0.0, 5.0}, {5.0, 0.0}};
+  g.edges.push_back(e);
+  const SelectionResult r = select_layouts_ilp(g);
+  EXPECT_EQ(r.chosen, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(r.remap_cost_us, 5.0);
+}
+
+TEST(Selection, SuboptimalPerPhasePicksCanBeGloballyOptimal) {
+  // The paper's key observation: the optimal program layout may consist of
+  // per-phase SUBOPTIMAL candidates. Phase 1's best candidate (1) would
+  // force remaps on both sides that cost more than the 2 it saves.
+  LayoutGraph g;
+  g.node_cost_us = {{10.0, 10.0}, {12.0, 10.0}, {10.0, 10.0}};
+  g.estimates.resize(3);
+  for (int e = 0; e < 2; ++e) {
+    LayoutEdgeBlock blk;
+    blk.src_phase = e;
+    blk.dst_phase = e + 1;
+    blk.traversals = 1.0;
+    blk.remap_us = {{0.0, 50.0}, {50.0, 0.0}};
+    g.edges.push_back(blk);
+  }
+  // Pin phases 0 and 2 to candidate 0 by making candidate 1 terrible there.
+  g.node_cost_us[0][1] = 1000.0;
+  g.node_cost_us[2][1] = 1000.0;
+  const SelectionResult r = select_layouts_ilp(g);
+  EXPECT_EQ(r.chosen, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(Selection, DpRefusesCorpusGraphs) {
+  // Corpus programs produce per-array remap pairs that skip phases (the
+  // shared read-only array of Erlebacher connects phase 1 to phase 14
+  // directly), so the chain-DP must decline and the ILP is the only exact
+  // engine -- exactly why the paper formulates selection as 0-1 IP.
+  corpus::TestCase c{"erlebacher", 32, corpus::Dtype::DoublePrecision, 8};
+  driver::ToolOptions o;
+  o.procs = 8;
+  auto tool = driver::run_tool(corpus::source_for(c), o);
+  EXPECT_FALSE(select_layouts_dp(tool->graph).has_value());
+}
+
+// Randomized chains: DP oracle == ILP.
+class SelectionRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectionRandomized, IlpMatchesDpOnChains) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 12; ++trial) {
+    const int phases = 2 + static_cast<int>(rng() % 6);
+    const bool cycle = rng() % 2 == 0;
+    LayoutGraph g;
+    g.node_cost_us.resize(static_cast<std::size_t>(phases));
+    g.estimates.resize(static_cast<std::size_t>(phases));
+    std::vector<int> cands(static_cast<std::size_t>(phases));
+    for (int p = 0; p < phases; ++p) {
+      cands[static_cast<std::size_t>(p)] = 2 + static_cast<int>(rng() % 3);
+      for (int i = 0; i < cands[static_cast<std::size_t>(p)]; ++i) {
+        g.node_cost_us[static_cast<std::size_t>(p)].push_back(
+            static_cast<double>(rng() % 1000));
+      }
+    }
+    const int nedges = phases - 1 + (cycle ? 1 : 0);
+    for (int e = 0; e < nedges; ++e) {
+      LayoutEdgeBlock blk;
+      blk.src_phase = e;
+      blk.dst_phase = (e + 1) % phases;
+      blk.traversals = 1.0 + static_cast<double>(rng() % 5);
+      blk.remap_us.resize(
+          static_cast<std::size_t>(cands[static_cast<std::size_t>(blk.src_phase)]));
+      for (auto& row : blk.remap_us) {
+        for (int j = 0; j < cands[static_cast<std::size_t>(blk.dst_phase)]; ++j) {
+          row.push_back(rng() % 3 == 0 ? 0.0 : static_cast<double>(rng() % 400));
+        }
+      }
+      g.edges.push_back(std::move(blk));
+    }
+    const SelectionResult ilp = select_layouts_ilp(g);
+    const auto dp = select_layouts_dp(g);
+    ASSERT_TRUE(dp.has_value());
+    EXPECT_NEAR(ilp.total_cost_us, dp->total_cost_us, 1e-6) << "trial " << trial;
+    EXPECT_NEAR(assignment_cost(g, ilp.chosen), ilp.total_cost_us, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionRandomized,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(DpSelection, RefusesNonChainGraphs) {
+  LayoutGraph g;
+  g.node_cost_us = {{1.0}, {1.0}, {1.0}};
+  g.estimates.resize(3);
+  // Diamond: 0 -> 1, 0 -> 2 (out-degree 2).
+  for (int dst : {1, 2}) {
+    LayoutEdgeBlock e;
+    e.src_phase = 0;
+    e.dst_phase = dst;
+    e.traversals = 1.0;
+    e.remap_us = {{0.0}};
+    g.edges.push_back(e);
+  }
+  EXPECT_FALSE(select_layouts_dp(g).has_value());
+}
+
+TEST(Selection, ReportsIlpStatistics) {
+  corpus::TestCase c{"adi", 64, corpus::Dtype::Real, 4};
+  driver::ToolOptions o;
+  o.procs = 4;
+  auto tool = driver::run_tool(corpus::source_for(c), o);
+  EXPECT_GT(tool->selection.ilp_variables, 0);
+  EXPECT_GT(tool->selection.ilp_constraints, 0);
+  EXPECT_GT(tool->selection.solve_ms, 0.0);
+  // The paper's bar: every 0-1 instance solved well under 1.1 seconds.
+  EXPECT_LT(tool->selection.solve_ms, 1100.0);
+}
+
+} // namespace
+} // namespace al::select

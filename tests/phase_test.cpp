@@ -1,0 +1,200 @@
+// Phase recognition and per-phase analysis tests (paper, section 2.1).
+#include <gtest/gtest.h>
+
+#include "fortran/parser.hpp"
+#include "pcfg/pcfg.hpp"
+
+namespace al::pcfg {
+namespace {
+
+using fortran::parse_and_check;
+using fortran::Program;
+
+TEST(PhaseRecognition, TimeLoopIsNotAPhaseRoot) {
+  Program p = parse_and_check(
+      "      parameter (n = 8)\n"
+      "      real a(n)\n"
+      "      do iter = 1, 10\n"
+      "        do i = 1, n\n"
+      "          a(i) = a(i) + 1.0\n"
+      "        enddo\n"
+      "      enddo\n"
+      "      end\n");
+  const auto& outer = static_cast<const fortran::DoStmt&>(*p.body[0]);
+  EXPECT_FALSE(loop_is_phase_root(outer, p.symbols));
+  const auto& inner = static_cast<const fortran::DoStmt&>(*outer.body[0]);
+  EXPECT_TRUE(loop_is_phase_root(inner, p.symbols));
+}
+
+TEST(PhaseRecognition, IvUsedOnlyAsValueIsNotAPhase) {
+  Program p = parse_and_check(
+      "      parameter (n = 8)\n"
+      "      real a(n)\n"
+      "      do k = 1, 10\n"
+      "        a(1) = a(1) + k\n"  // k as a VALUE, not a subscript
+      "      enddo\n"
+      "      end\n");
+  const auto& loop = static_cast<const fortran::DoStmt&>(*p.body[0]);
+  EXPECT_FALSE(loop_is_phase_root(loop, p.symbols));
+}
+
+TEST(PhaseRecognition, IvInsideSubscriptExpression) {
+  Program p = parse_and_check(
+      "      parameter (n = 8)\n"
+      "      real a(n)\n"
+      "      do k = 1, 4\n"
+      "        a(2*k-1) = 0.0\n"
+      "      enddo\n"
+      "      end\n");
+  const auto& loop = static_cast<const fortran::DoStmt&>(*p.body[0]);
+  EXPECT_TRUE(loop_is_phase_root(loop, p.symbols));
+}
+
+TEST(PhaseAnalysis, LoopDescriptors) {
+  Program p = parse_and_check(
+      "      parameter (n = 16)\n"
+      "      real a(n,n)\n"
+      "      do j = 1, n\n"
+      "        do i = 2, n, 2\n"
+      "          a(i,j) = 0.0\n"
+      "        enddo\n"
+      "      enddo\n"
+      "      end\n");
+  const auto& root = static_cast<const fortran::DoStmt&>(*p.body[0]);
+  const Phase ph = analyze_phase(root, p.symbols, 0, PhaseOptions{});
+  ASSERT_EQ(ph.loops.size(), 2u);
+  EXPECT_EQ(ph.loops[0].depth, 0);
+  EXPECT_EQ(ph.loops[0].trip(), 16);
+  EXPECT_EQ(ph.loops[1].depth, 1);
+  EXPECT_EQ(ph.loops[1].lo, 2);
+  EXPECT_EQ(ph.loops[1].step, 2);
+  EXPECT_EQ(ph.loops[1].trip(), 8);
+  EXPECT_TRUE(ph.loops[1].bounds_exact);
+  EXPECT_NE(ph.loop_for_iv(ph.loops[1].iv_symbol), nullptr);
+  EXPECT_EQ(ph.loop_for_iv(-123), nullptr);
+}
+
+TEST(PhaseAnalysis, NegativeStepTrip) {
+  Program p = parse_and_check(
+      "      parameter (n = 10)\n"
+      "      real a(n)\n"
+      "      do i = n-1, 1, -1\n"
+      "        a(i) = a(i+1)\n"
+      "      enddo\n"
+      "      end\n");
+  const auto& root = static_cast<const fortran::DoStmt&>(*p.body[0]);
+  const Phase ph = analyze_phase(root, p.symbols, 0, PhaseOptions{});
+  EXPECT_EQ(ph.loops[0].trip(), 9);
+}
+
+TEST(PhaseAnalysis, CollectsReadsAndWrites) {
+  Program p = parse_and_check(
+      "      parameter (n = 8)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n"
+      "        do i = 1, n\n"
+      "          a(i,j) = b(i,j) + b(i-1,j)\n"
+      "        enddo\n"
+      "      enddo\n"
+      "      end\n");
+  const auto& root = static_cast<const fortran::DoStmt&>(*p.body[0]);
+  const Phase ph = analyze_phase(root, p.symbols, 0, PhaseOptions{});
+  ASSERT_EQ(ph.refs.size(), 3u);
+  int writes = 0;
+  for (const Reference& r : ph.refs) {
+    if (r.is_write) ++writes;
+    EXPECT_EQ(r.enclosing_ivs.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.frequency, 64.0);
+    EXPECT_EQ(r.stmt_id, ph.refs[0].stmt_id);  // one statement
+  }
+  EXPECT_EQ(writes, 1);
+  ASSERT_EQ(ph.arrays.size(), 2u);
+  EXPECT_TRUE(ph.references_array(p.symbols.lookup("a")));
+  EXPECT_TRUE(ph.references_array(p.symbols.lookup("b")));
+  EXPECT_FALSE(ph.references_array(999));
+}
+
+TEST(PhaseAnalysis, DistinctStatementsGetDistinctIds) {
+  Program p = parse_and_check(
+      "      parameter (n = 8)\n"
+      "      real a(n), b(n)\n"
+      "      do i = 1, n\n"
+      "        a(i) = 1.0\n"
+      "        b(i) = a(i)\n"
+      "      enddo\n"
+      "      end\n");
+  const auto& root = static_cast<const fortran::DoStmt&>(*p.body[0]);
+  const Phase ph = analyze_phase(root, p.symbols, 0, PhaseOptions{});
+  ASSERT_EQ(ph.refs.size(), 3u);
+  EXPECT_NE(ph.refs[0].stmt_id, ph.refs[1].stmt_id);
+  EXPECT_EQ(ph.refs[1].stmt_id, ph.refs[2].stmt_id);
+}
+
+TEST(PhaseAnalysis, FlopAccountingByPrecision) {
+  Program p = parse_and_check(
+      "      parameter (n = 4)\n"
+      "      real a(n)\n"
+      "      double precision d(n)\n"
+      "      do i = 1, n\n"
+      "        a(i) = a(i) + 1.0\n"
+      "        d(i) = d(i) * 2.0\n"
+      "      enddo\n"
+      "      end\n");
+  const auto& root = static_cast<const fortran::DoStmt&>(*p.body[0]);
+  const Phase ph = analyze_phase(root, p.symbols, 0, PhaseOptions{});
+  EXPECT_DOUBLE_EQ(ph.flops_real, 4.0);    // one add per iteration
+  EXPECT_DOUBLE_EQ(ph.flops_double, 4.0);  // one mul per iteration
+  EXPECT_DOUBLE_EQ(ph.mem_accesses, 16.0); // four refs per iteration
+}
+
+TEST(PhaseAnalysis, DivisionCostsMoreThanAdd) {
+  Program pa = parse_and_check(
+      "      parameter (n = 4)\n      real a(n)\n"
+      "      do i = 1, n\n        a(i) = a(i) + 2.0\n      enddo\n      end\n");
+  Program pd = parse_and_check(
+      "      parameter (n = 4)\n      real a(n)\n"
+      "      do i = 1, n\n        a(i) = a(i) / 2.0\n      enddo\n      end\n");
+  const Phase fa = analyze_phase(static_cast<const fortran::DoStmt&>(*pa.body[0]),
+                                 pa.symbols, 0, PhaseOptions{});
+  const Phase fd = analyze_phase(static_cast<const fortran::DoStmt&>(*pd.body[0]),
+                                 pd.symbols, 0, PhaseOptions{});
+  EXPECT_GT(fd.flops_real, fa.flops_real);
+}
+
+TEST(PhaseAnalysis, BranchProbabilityScalesFrequency) {
+  const char* tmpl =
+      "      parameter (n = 8)\n"
+      "      real a(n), b(n)\n"
+      "      do i = 1, n\n"
+      "%s"
+      "        if (b(i) .gt. 0.0) then\n"
+      "          a(i) = 1.0\n"
+      "        endif\n"
+      "      enddo\n"
+      "      end\n";
+  char with_prob[512];
+  std::snprintf(with_prob, sizeof with_prob, tmpl, "!al$ prob(0.25)\n");
+  char without[512];
+  std::snprintf(without, sizeof without, tmpl, "");
+
+  auto freq_of_write = [](const Program& p, const PhaseOptions& opts) {
+    const auto& root = static_cast<const fortran::DoStmt&>(*p.body[0]);
+    const Phase ph = analyze_phase(root, p.symbols, 0, opts);
+    for (const Reference& r : ph.refs) {
+      if (r.is_write) return r.frequency;
+    }
+    return -1.0;
+  };
+
+  Program annotated = parse_and_check(with_prob);
+  Program plain = parse_and_check(without);
+  PhaseOptions use;
+  EXPECT_DOUBLE_EQ(freq_of_write(annotated, use), 2.0);  // 8 * 0.25
+  EXPECT_DOUBLE_EQ(freq_of_write(plain, use), 4.0);      // 8 * 0.5 guess
+  PhaseOptions ignore;
+  ignore.use_annotated_probabilities = false;
+  EXPECT_DOUBLE_EQ(freq_of_write(annotated, ignore), 4.0);
+}
+
+} // namespace
+} // namespace al::pcfg

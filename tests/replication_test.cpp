@@ -1,0 +1,136 @@
+// Replication tests (paper 2.2.2: candidate distributions may "replicate
+// dimensions on each processor"): layout semantics, remap classification
+// and costs, compiler-model behaviour, candidate generation, end to end.
+#include <gtest/gtest.h>
+
+#include "compmodel/compile.hpp"
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "fortran/parser.hpp"
+#include "pcfg/pcfg.hpp"
+#include "perf/remap.hpp"
+
+namespace al {
+namespace {
+
+layout::Alignment replicated_alignment(int array, int rank) {
+  layout::ArrayAlignment aa;
+  aa.array = array;
+  for (int k = 0; k < rank; ++k) aa.axis.push_back(k);
+  aa.replicated = true;
+  layout::Alignment out;
+  out.set(std::move(aa));
+  return out;
+}
+
+TEST(Replication, ReplicatedArrayHasNoDistributedDims) {
+  layout::Layout l(replicated_alignment(7, 2), layout::Distribution::block_1d(2, 0, 8));
+  EXPECT_FALSE(l.array_dim(7, 0).distributed());
+  EXPECT_FALSE(l.array_dim(7, 1).distributed());
+  EXPECT_EQ(l.distributed_array_dim(7, 2), -1);
+  EXPECT_EQ(l.procs_for_array(7, 2), 1);
+  // Other arrays still follow the distribution.
+  EXPECT_TRUE(l.array_dim(8, 0).distributed());
+}
+
+TEST(Replication, RemapClassification) {
+  const layout::Layout rep(replicated_alignment(0, 2),
+                           layout::Distribution::block_1d(2, 0, 8));
+  const layout::Layout dist(layout::Alignment{},
+                            layout::Distribution::block_1d(2, 0, 8));
+  EXPECT_EQ(layout::classify_remap(dist, rep, 0, 2), layout::RemapKind::Replicate);
+  EXPECT_EQ(layout::classify_remap(rep, dist, 0, 2), layout::RemapKind::Dereplicate);
+  EXPECT_EQ(layout::classify_remap(rep, rep, 0, 2), layout::RemapKind::None);
+}
+
+TEST(Replication, RemapCosts) {
+  fortran::Program prog =
+      fortran::parse_and_check("      real a(64,64)\n      end\n");
+  const int a = prog.symbols.lookup("a");
+  const machine::MachineModel m = machine::make_ipsc860();
+  const layout::Layout rep(replicated_alignment(a, 2),
+                           layout::Distribution::block_1d(2, 0, 8));
+  const layout::Layout dist(layout::Alignment{},
+                            layout::Distribution::block_1d(2, 0, 8));
+  // Replication pays an allgather; dereplication is free.
+  EXPECT_GT(perf::array_remap_us(dist, rep, a, prog.symbols, m), 0.0);
+  EXPECT_DOUBLE_EQ(perf::array_remap_us(rep, dist, a, prog.symbols, m), 0.0);
+}
+
+TEST(Replication, ReadsOfReplicatedArraysAreFree) {
+  fortran::Program prog = fortran::parse_and_check(
+      "      parameter (n = 32)\n"
+      "      real a(n,n), b(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = b(j,i)\n"  // transposed read: normally a transpose
+      "        enddo\n      enddo\n      end\n");
+  pcfg::Pcfg g = pcfg::Pcfg::build(prog);
+  const pcfg::PhaseDeps deps = pcfg::analyze_dependences(g.phase(0), prog.symbols);
+  const int b = prog.symbols.lookup("b");
+  const layout::Layout l(replicated_alignment(b, 2),
+                         layout::Distribution::block_1d(2, 0, 8));
+  const auto compiled =
+      compmodel::compile_phase(g.phase(0), deps, l, prog.symbols);
+  EXPECT_TRUE(compiled.events.empty());
+  EXPECT_DOUBLE_EQ(compiled.partitioned_fraction, 1.0);
+}
+
+TEST(Replication, WritesToReplicatedArraysRunEverywhere) {
+  fortran::Program prog = fortran::parse_and_check(
+      "      parameter (n = 32)\n"
+      "      real a(n,n)\n"
+      "      do j = 1, n\n        do i = 1, n\n"
+      "          a(i,j) = 1.0\n"
+      "        enddo\n      enddo\n      end\n");
+  pcfg::Pcfg g = pcfg::Pcfg::build(prog);
+  const pcfg::PhaseDeps deps = pcfg::analyze_dependences(g.phase(0), prog.symbols);
+  const int a = prog.symbols.lookup("a");
+  const layout::Layout l(replicated_alignment(a, 2),
+                         layout::Distribution::block_1d(2, 0, 8));
+  const auto compiled =
+      compmodel::compile_phase(g.phase(0), deps, l, prog.symbols);
+  // Unpartitioned: the full computation runs on every node.
+  EXPECT_DOUBLE_EQ(compiled.partitioned_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(compiled.flops_real, 0.0);  // no flops in this statement
+  EXPECT_GT(compiled.mem_accesses, 0.0);
+}
+
+TEST(Replication, CandidateGenerationDoublesTheSpace) {
+  corpus::TestCase c{"erlebacher", 32, corpus::Dtype::DoublePrecision, 8};
+  driver::ToolOptions plain;
+  plain.procs = 8;
+  driver::ToolOptions repl = plain;
+  repl.replicate_unwritten = true;
+  auto tp = driver::run_tool(corpus::source_for(c), plain);
+  auto tr = driver::run_tool(corpus::source_for(c), repl);
+  // Sweep phases read f without writing it: they gain replication variants.
+  bool grew = false;
+  for (int p = 0; p < tp->pcfg.num_phases(); ++p) {
+    EXPECT_GE(tr->spaces[static_cast<std::size_t>(p)].size(),
+              tp->spaces[static_cast<std::size_t>(p)].size());
+    if (tr->spaces[static_cast<std::size_t>(p)].size() >
+        tp->spaces[static_cast<std::size_t>(p)].size())
+      grew = true;
+  }
+  EXPECT_TRUE(grew);
+  // A superset search space can only improve the optimal selection.
+  EXPECT_LE(tr->selection.total_cost_us, tp->selection.total_cost_us * (1.0 + 1e-9));
+}
+
+TEST(Replication, OversizedArraysAreNotReplicated) {
+  // 512x512 double = 2 MB/array; set an artificial machine with tiny nodes.
+  corpus::TestCase c{"erlebacher", 64, corpus::Dtype::DoublePrecision, 8};
+  driver::ToolOptions opts;
+  opts.procs = 8;
+  opts.replicate_unwritten = true;
+  opts.machine.node_memory_bytes = 1024;  // nothing fits
+  auto tool = driver::run_tool(corpus::source_for(c), opts);
+  for (const auto& space : tool->spaces) {
+    for (const auto& cand : space.candidates()) {
+      EXPECT_EQ(cand.label.find("+replicated"), std::string::npos);
+    }
+  }
+}
+
+} // namespace
+} // namespace al

@@ -1,0 +1,83 @@
+// Static performance report tests.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "driver/report.hpp"
+#include "support/contracts.hpp"
+#include "driver/tool.hpp"
+
+namespace al::driver {
+namespace {
+
+std::unique_ptr<ToolResult> adi(int procs = 8) {
+  ToolOptions opts;
+  opts.procs = procs;
+  return run_tool(corpus::adi_source(64, corpus::Dtype::DoublePrecision), opts);
+}
+
+TEST(Report, CoversEveryPhase) {
+  auto r = adi();
+  const std::string s = performance_report(*r);
+  for (int p = 0; p < r->pcfg.num_phases(); ++p) {
+    EXPECT_NE(s.find(r->pcfg.phase(p).label), std::string::npos) << p;
+  }
+  EXPECT_NE(s.find("estimated totals"), std::string::npos);
+  EXPECT_NE(s.find("Intel iPSC/860"), std::string::npos);
+}
+
+TEST(Report, ShowsExecutionSchemes) {
+  // Large Adi: the tool keeps the static row layout, whose x sweeps are
+  // fine-grain pipelines.
+  ToolOptions opts;
+  opts.procs = 16;
+  auto r = run_tool(corpus::adi_source(512, corpus::Dtype::DoublePrecision), opts);
+  const std::string s = performance_report(*r);
+  EXPECT_NE(s.find("fine-grain pipeline"), std::string::npos);
+  EXPECT_NE(s.find("loosely-synchronous"), std::string::npos);
+}
+
+TEST(Report, PhaseReportListsMessages) {
+  auto r = adi();
+  // Phase 3 (x forward sweep) under the row layout has a recurrence event.
+  int row_cand = 0;
+  const auto& cands = r->spaces[3].candidates();
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].layout.distribution().single_distributed_dim() == 0)
+      row_cand = static_cast<int>(i);
+  }
+  const std::string s = phase_report(*r, 3, row_cand);
+  EXPECT_NE(s.find("recurrence"), std::string::npos);
+  EXPECT_NE(s.find("pipeline strip"), std::string::npos);
+}
+
+TEST(Report, RejectsBadCandidateIndex) {
+  auto r = adi();
+  EXPECT_THROW((void)phase_report(*r, 0, 99), ContractViolation);
+}
+
+TEST(Report, MarksUnpartitionedWork) {
+  ToolOptions opts;
+  opts.procs = 8;
+  auto r = run_tool(
+      "      parameter (n = 32)\n"
+      "      real d(n,n), b(n,n)\n"
+      "      do j = 1, n\n"
+      "        do i = 1, n\n"
+      "          d(i,1) = b(i,j)\n"
+      "        enddo\n"
+      "      enddo\n      end\n",
+      opts);
+  // Find a candidate distributing dim 2 (the write is fixed there).
+  const auto& cands = r->spaces[0].candidates();
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].layout.distribution().single_distributed_dim() == 1) {
+      const std::string s = phase_report(*r, 0, static_cast<int>(i));
+      EXPECT_NE(s.find("unpartitioned"), std::string::npos);
+      return;
+    }
+  }
+  FAIL() << "no dim-2 candidate found";
+}
+
+} // namespace
+} // namespace al::driver

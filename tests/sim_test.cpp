@@ -1,0 +1,163 @@
+// SPMD simulator tests: determinism, jitter bounds, wavefront behaviour,
+// boundary-processor effects, program-level measurement.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "fortran/parser.hpp"
+#include "sim/measure.hpp"
+
+namespace al::sim {
+namespace {
+
+TEST(Hash, DeterministicAndSpread) {
+  EXPECT_EQ(hash64(1), hash64(1));
+  EXPECT_NE(hash64(1), hash64(2));
+  EXPECT_NE(hash64(0), 0u);
+}
+
+TEST(Jitter, WithinAmplitude) {
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    const double j = jitter(k, 0.05);
+    EXPECT_GE(j, 0.95);
+    EXPECT_LE(j, 1.05);
+  }
+}
+
+TEST(Jitter, ZeroAmplitudeIsUnity) {
+  EXPECT_DOUBLE_EQ(jitter(123, 0.0), 1.0);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push({3.0, 1, 0});
+  q.push({1.0, 2, 0});
+  q.push({2.0, 3, 0});
+  EXPECT_EQ(q.pop().proc, 2);
+  EXPECT_EQ(q.pop().proc, 3);
+  EXPECT_EQ(q.pop().proc, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Network, CalibratedFromMachineModel) {
+  const machine::MachineModel m = machine::make_ipsc860();
+  const NetworkParams net = NetworkParams::for_machine(m);
+  EXPECT_GT(net.per_byte_us, 0.0);
+  EXPECT_GT(net.send_overhead_us, 0.0);
+  // A simulated unit-stride message should be in the same ballpark as the
+  // training-set value for the same size.
+  const double sim = message_us(net, 4096.0, machine::Stride::Unit);
+  const double train = m.comm_us(machine::CommPattern::SendRecv, 2, 4096.0,
+                                 machine::Stride::Unit, machine::LatencyClass::High);
+  EXPECT_NEAR(sim / train, 1.0, 0.35);
+}
+
+TEST(Network, StridedCostsMore) {
+  const NetworkParams net = NetworkParams::for_machine(machine::make_ipsc860());
+  EXPECT_GT(message_us(net, 8192.0, machine::Stride::NonUnit),
+            message_us(net, 8192.0, machine::Stride::Unit));
+}
+
+// ---------------------------------------------------------------------------
+// Program-level measurement.
+// ---------------------------------------------------------------------------
+
+struct ToolFixture {
+  std::unique_ptr<driver::ToolResult> tool;
+
+  explicit ToolFixture(const char* prog = "adi", long n = 64, int procs = 8) {
+    corpus::TestCase c{prog, n,
+                       std::string(prog) == "shallow" ? corpus::Dtype::Real
+                                                      : corpus::Dtype::DoublePrecision,
+                       procs};
+    driver::ToolOptions o;
+    o.procs = procs;
+    tool = driver::run_tool(corpus::source_for(c), o);
+  }
+
+  Measurement measure(const std::vector<int>& chosen, std::uint64_t seed = 0x5EED) {
+    return measure_program(*tool->estimator, tool->templ, tool->spaces, chosen, seed);
+  }
+};
+
+TEST(Measure, DeterministicForSameSeed) {
+  ToolFixture f;
+  const Measurement a = f.measure(f.tool->selection.chosen);
+  const Measurement b = f.measure(f.tool->selection.chosen);
+  EXPECT_DOUBLE_EQ(a.total_us, b.total_us);
+}
+
+TEST(Measure, DifferentSeedsDifferSlightly) {
+  ToolFixture f;
+  const Measurement a = f.measure(f.tool->selection.chosen, 1);
+  const Measurement b = f.measure(f.tool->selection.chosen, 2);
+  EXPECT_NE(a.total_us, b.total_us);
+  EXPECT_NEAR(a.total_us / b.total_us, 1.0, 0.15);
+}
+
+TEST(Measure, StaticAssignmentHasNoRemapCost) {
+  ToolFixture f;
+  // All phases on candidate 0 = one static layout.
+  std::vector<int> all0(static_cast<std::size_t>(f.tool->pcfg.num_phases()), 0);
+  const Measurement m = f.measure(all0);
+  EXPECT_DOUBLE_EQ(m.remap_us, 0.0);
+  EXPECT_GT(m.total_us, 0.0);
+}
+
+TEST(Measure, DynamicAssignmentPaysRemap) {
+  ToolFixture f;
+  std::vector<int> mixed(static_cast<std::size_t>(f.tool->pcfg.num_phases()), 0);
+  mixed[4] = 1;  // flip one phase in the middle of the Adi time loop
+  const Measurement m = f.measure(mixed);
+  EXPECT_GT(m.remap_us, 0.0);
+}
+
+TEST(Measure, PhaseBreakdownSumsToTotal) {
+  ToolFixture f;
+  const Measurement m = f.measure(f.tool->selection.chosen);
+  double sum = m.remap_us;
+  for (double v : m.phase_us) sum += v;
+  EXPECT_NEAR(sum, m.total_us, 1e-6 * m.total_us);
+}
+
+TEST(Measure, MoreProcsHelpParallelPrograms) {
+  ToolFixture f2("shallow", 128, 2);
+  ToolFixture f16("shallow", 128, 16);
+  const double t2 = f2.measure(f2.tool->selection.chosen).total_us;
+  const double t16 = f16.measure(f16.tool->selection.chosen).total_us;
+  EXPECT_LT(t16, t2);
+}
+
+TEST(Measure, MeasurementTracksEstimateLoosely) {
+  // The simulator and the estimator disagree in the details (that is the
+  // point) but must stay within a factor ~2 on the tool's selection.
+  ToolFixture f;
+  const Measurement m = f.measure(f.tool->selection.chosen);
+  const double est = f.tool->selection.total_cost_us;
+  EXPECT_GT(m.total_us / est, 0.5);
+  EXPECT_LT(m.total_us / est, 2.0);
+}
+
+TEST(Measure, SequentializedLayoutIsSlowest) {
+  // Adi: the column layout sequentializes two phases; it must measure worse
+  // than the row layout (the paper's universal Adi result).
+  ToolFixture f("adi", 128, 8);
+  std::vector<int> row;
+  std::vector<int> col;
+  for (int p = 0; p < f.tool->pcfg.num_phases(); ++p) {
+    int r = 0;
+    int c = 0;
+    const auto& cands = f.tool->spaces[static_cast<std::size_t>(p)].candidates();
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const int dim = cands[i].layout.distribution().single_distributed_dim();
+      if (dim == 0) r = static_cast<int>(i);
+      if (dim == 1) c = static_cast<int>(i);
+    }
+    row.push_back(r);
+    col.push_back(c);
+  }
+  EXPECT_LT(f.measure(row).total_us, f.measure(col).total_us);
+}
+
+} // namespace
+} // namespace al::sim

@@ -1,0 +1,159 @@
+// Affine subscript analysis tests.
+#include <gtest/gtest.h>
+
+#include "fortran/parser.hpp"
+#include "pcfg/subscripts.hpp"
+
+namespace al::pcfg {
+namespace {
+
+using fortran::Program;
+
+struct Fixture {
+  Program prog;
+  int iv_i;
+  int iv_j;
+
+  Fixture()
+      : prog(fortran::parse_and_check(
+            "      program subs\n"
+            "      parameter (n = 100)\n"
+            "      real a(n,n)\n"
+            "      integer i, j, m\n"
+            "      end\n")) {
+    iv_i = prog.symbols.lookup("i");
+    iv_j = prog.symbols.lookup("j");
+  }
+
+  /// Parses `text` as the first subscript of a(<text>, 1) and analyzes it.
+  SubscriptInfo analyze(const std::string& text) {
+    Program p = fortran::parse_and_check(
+        "      program one\n"
+        "      parameter (n = 100)\n"
+        "      real a(n,n)\n"
+        "      integer i, j, m\n"
+        "      x = a(" + text + ", 1)\n"
+        "      end\n");
+    const auto& assign = static_cast<const fortran::AssignStmt&>(*p.body[0]);
+    const auto& ref = static_cast<const fortran::ArrayRefExpr&>(*assign.rhs);
+    // IVs by symbol index in the fresh program.
+    std::vector<int> ivs = {p.symbols.lookup("i"), p.symbols.lookup("j")};
+    return analyze_subscript(*ref.subscripts[0], p.symbols, ivs);
+  }
+};
+
+TEST(Subscripts, PlainIv) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("i");
+  EXPECT_EQ(s.form, SubscriptForm::Affine);
+  EXPECT_EQ(s.coef, 1);
+  EXPECT_EQ(s.offset, 0);
+  EXPECT_TRUE(s.offset_exact);
+}
+
+TEST(Subscripts, OffsetForms) {
+  Fixture f;
+  EXPECT_EQ(f.analyze("i+1").offset, 1);
+  EXPECT_EQ(f.analyze("i-3").offset, -3);
+  EXPECT_EQ(f.analyze("1+i").offset, 1);
+}
+
+TEST(Subscripts, ScaledIv) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("2*i - 1");
+  EXPECT_EQ(s.form, SubscriptForm::Affine);
+  EXPECT_EQ(s.coef, 2);
+  EXPECT_EQ(s.offset, -1);
+}
+
+TEST(Subscripts, NegatedIv) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("n - i");
+  EXPECT_EQ(s.form, SubscriptForm::Affine);
+  EXPECT_EQ(s.coef, -1);
+  EXPECT_EQ(s.offset, 100);  // n folds to its PARAMETER value
+  EXPECT_TRUE(s.offset_exact);
+}
+
+TEST(Subscripts, ConstantIsInvariant) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("5");
+  EXPECT_EQ(s.form, SubscriptForm::Invariant);
+  EXPECT_EQ(s.offset, 5);
+  EXPECT_TRUE(s.offset_exact);
+}
+
+TEST(Subscripts, ParameterIsInvariant) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("n");
+  EXPECT_EQ(s.form, SubscriptForm::Invariant);
+  EXPECT_EQ(s.offset, 100);
+}
+
+TEST(Subscripts, NonIvScalarIsInvariantButInexact) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("m");
+  EXPECT_EQ(s.form, SubscriptForm::Invariant);
+  EXPECT_FALSE(s.offset_exact);
+}
+
+TEST(Subscripts, IvPlusSymbolicIsAffineInexact) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("i + m");
+  EXPECT_EQ(s.form, SubscriptForm::Affine);
+  EXPECT_EQ(s.coef, 1);
+  EXPECT_FALSE(s.offset_exact);
+}
+
+TEST(Subscripts, CoupledIvsAreComplex) {
+  Fixture f;
+  EXPECT_EQ(f.analyze("i + j").form, SubscriptForm::Complex);
+  EXPECT_EQ(f.analyze("i - j").form, SubscriptForm::Complex);
+}
+
+TEST(Subscripts, IvCancellation) {
+  Fixture f;
+  // i + j - j is affine in i alone.
+  const SubscriptInfo s = f.analyze("i + j - j");
+  EXPECT_EQ(s.form, SubscriptForm::Affine);
+  EXPECT_EQ(s.coef, 1);
+}
+
+TEST(Subscripts, NonlinearIsComplex) {
+  Fixture f;
+  EXPECT_EQ(f.analyze("i*i").form, SubscriptForm::Complex);
+  EXPECT_EQ(f.analyze("i*j").form, SubscriptForm::Complex);
+}
+
+TEST(Subscripts, DivisionRules) {
+  Fixture f;
+  // Exact constant division folds; anything else is Complex.
+  EXPECT_EQ(f.analyze("n/2").form, SubscriptForm::Invariant);
+  EXPECT_EQ(f.analyze("n/2").offset, 50);
+  EXPECT_EQ(f.analyze("i/2").form, SubscriptForm::Complex);
+  EXPECT_EQ(f.analyze("n/3").form, SubscriptForm::Complex);  // inexact
+}
+
+TEST(Subscripts, ConstantTimesParenthesizedIv) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("2*(i+1)");
+  EXPECT_EQ(s.form, SubscriptForm::Affine);
+  EXPECT_EQ(s.coef, 2);
+  EXPECT_EQ(s.offset, 2);
+}
+
+TEST(Subscripts, ArrayRefInsideSubscriptIsComplex) {
+  Fixture f;
+  EXPECT_EQ(f.analyze("a(i,1)").form, SubscriptForm::Complex);
+}
+
+TEST(Subscripts, AffineInHelper) {
+  Fixture f;
+  const SubscriptInfo s = f.analyze("i+1");
+  // iv symbols differ per program instance; check via the form:
+  EXPECT_TRUE(s.affine_in(s.iv_symbol));
+  EXPECT_FALSE(s.affine_in(s.iv_symbol + 999));
+}
+
+} // namespace
+} // namespace al::pcfg

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+
+namespace al {
+namespace {
+
+TEST(Text, ToLower) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Text, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Text, StartsWithCi) {
+  EXPECT_TRUE(starts_with_ci("!AL$ prob", "!al$"));
+  EXPECT_FALSE(starts_with_ci("!a", "!al$"));
+}
+
+TEST(Text, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Text, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+}
+
+TEST(Contracts, ViolationThrows) {
+  EXPECT_THROW(AL_EXPECTS(false), ContractViolation);
+  EXPECT_NO_THROW(AL_EXPECTS(true));
+  EXPECT_THROW(AL_ASSERT(1 == 2), ContractViolation);
+}
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagnosticEngine d;
+  EXPECT_FALSE(d.has_errors());
+  d.warning(SourceLoc{1, 2}, "w");
+  d.error(SourceLoc{3, 4}, "e");
+  d.note(SourceLoc{}, "n");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_EQ(d.all().size(), 3u);
+  const std::string s = d.str();
+  EXPECT_NE(s.find("error 3:4: e"), std::string::npos);
+  EXPECT_NE(s.find("warning 1:2: w"), std::string::npos);
+  EXPECT_NE(s.find("<unknown>"), std::string::npos);
+}
+
+} // namespace
+} // namespace al

@@ -1,0 +1,176 @@
+// The data layout assistant as a command-line tool.
+//
+//   autolayout [options] program.f
+//
+//   -p, --procs N          processors to lay out for        (default 16)
+//   -m, --machine NAME     ipsc860 | paragon                (default ipsc860)
+//   -t, --training FILE    load a training-set file over the machine model
+//   -x, --extended         extended distribution search (cyclic, 2-D meshes)
+//   -g, --guess-probs      ignore !al$ prob annotations (50% guess)
+//   -s, --scalar-expand    expand scalar temporaries before analysis
+//   -R, --replicate        consider replicating read-only arrays
+//   -r, --report           also time every alternative on the simulator
+//   -d, --directives       print the annotated program with HPF directives
+//   -v, --verbose          per-phase static performance report
+//   -q, --quiet            only the final layout
+//
+// Exit status: 0 on success, 1 on usage/frontend errors.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "autolayout.hpp"
+#include "driver/report.hpp"
+#include "machine/io.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-p procs] [-m ipsc860|paragon] [-t training.tsv]\n"
+               "          [-x] [-g] [-r] [-d] [-q] program.f\n",
+               argv0);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace al;
+  driver::ToolOptions opts;
+  opts.procs = 16;
+  bool report = false;
+  bool verbose = false;
+  bool directives = false;
+  bool quiet = false;
+  std::string machine_name = "ipsc860";
+  std::string training_file;
+  std::string input;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "-p" || a == "--procs") {
+      opts.procs = std::atoi(need_value("--procs"));
+      if (opts.procs < 1) {
+        std::fprintf(stderr, "%s: bad processor count\n", argv[0]);
+        return 1;
+      }
+    } else if (a == "-m" || a == "--machine") {
+      machine_name = need_value("--machine");
+    } else if (a == "-t" || a == "--training") {
+      training_file = need_value("--training");
+    } else if (a == "-x" || a == "--extended") {
+      opts.distribution_strategy = distrib::Strategy::ExtendedExhaustive;
+    } else if (a == "-g" || a == "--guess-probs") {
+      opts.phase.use_annotated_probabilities = false;
+    } else if (a == "-s" || a == "--scalar-expand") {
+      opts.scalar_expansion = true;
+    } else if (a == "-R" || a == "--replicate") {
+      opts.replicate_unwritten = true;
+    } else if (a == "-r" || a == "--report") {
+      report = true;
+    } else if (a == "-v" || a == "--verbose") {
+      verbose = true;
+    } else if (a == "-d" || a == "--directives") {
+      directives = true;
+    } else if (a == "-q" || a == "--quiet") {
+      quiet = true;
+    } else if (a == "-h" || a == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], a.c_str());
+      usage(argv[0]);
+      return 1;
+    } else if (input.empty()) {
+      input = a;
+    } else {
+      std::fprintf(stderr, "%s: more than one input file\n", argv[0]);
+      return 1;
+    }
+  }
+  if (input.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  if (machine_name == "ipsc860") {
+    opts.machine = machine::make_ipsc860();
+  } else if (machine_name == "paragon") {
+    opts.machine = machine::make_paragon();
+  } else {
+    std::fprintf(stderr, "%s: unknown machine '%s'\n", argv[0], machine_name.c_str());
+    return 1;
+  }
+
+  try {
+    if (!training_file.empty()) {
+      std::ifstream ts(training_file);
+      if (!ts) {
+        std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0], training_file.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << ts.rdbuf();
+      DiagnosticEngine diags;
+      machine::TrainingSetDB db = machine::parse_training_sets(buf.str(), diags);
+      if (diags.has_errors()) {
+        std::fprintf(stderr, "%s: %s", argv[0], diags.str().c_str());
+        return 1;
+      }
+      opts.machine.training = std::move(db);
+      opts.machine.name += " (+" + training_file + ")";
+    }
+
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0], input.c_str());
+      return 1;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+
+    auto result = driver::run_tool(src.str(), opts);
+
+    if (!quiet) {
+      std::printf("machine:   %s, %d processors\n", opts.machine.name.c_str(),
+                  opts.procs);
+      std::printf("template:  %s\n", result->templ.str().c_str());
+      std::printf("phases:    %d in %zu alignment class(es)\n",
+                  result->pcfg.num_phases(),
+                  result->alignment.partition.classes.size());
+      std::printf("selection: %d vars, %d constraints, %.1f ms, %s layout\n\n",
+                  result->selection.ilp_variables, result->selection.ilp_constraints,
+                  result->selection.solve_ms,
+                  result->is_dynamic() ? "DYNAMIC" : "static");
+    }
+    for (int p = 0; p < result->pcfg.num_phases(); ++p) {
+      std::printf("phase %2d: %s\n", p,
+                  result->chosen_layout(p).str(result->program.symbols).c_str());
+    }
+
+    if (verbose) {
+      std::printf("\n%s", driver::performance_report(*result).c_str());
+    }
+    if (report) {
+      std::printf("\n%s",
+                  driver::report_table(driver::evaluate_alternatives(*result)).c_str());
+    }
+    if (directives) {
+      std::printf("\n%s", driver::emit_annotated_program(*result).c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+  return 0;
+}
