@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alignment_ablation.dir/alignment_ablation.cpp.o"
+  "CMakeFiles/alignment_ablation.dir/alignment_ablation.cpp.o.d"
+  "alignment_ablation"
+  "alignment_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alignment_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

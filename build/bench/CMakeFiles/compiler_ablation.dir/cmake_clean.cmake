@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_ablation.dir/compiler_ablation.cpp.o"
+  "CMakeFiles/compiler_ablation.dir/compiler_ablation.cpp.o.d"
+  "compiler_ablation"
+  "compiler_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

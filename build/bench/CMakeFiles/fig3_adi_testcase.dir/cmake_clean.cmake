@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_adi_testcase.dir/fig3_adi_testcase.cpp.o"
+  "CMakeFiles/fig3_adi_testcase.dir/fig3_adi_testcase.cpp.o.d"
+  "fig3_adi_testcase"
+  "fig3_adi_testcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_adi_testcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_adi.dir/fig4_adi.cpp.o"
+  "CMakeFiles/fig4_adi.dir/fig4_adi.cpp.o.d"
+  "fig4_adi"
+  "fig4_adi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

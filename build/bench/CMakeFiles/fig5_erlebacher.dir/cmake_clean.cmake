@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_erlebacher.dir/fig5_erlebacher.cpp.o"
+  "CMakeFiles/fig5_erlebacher.dir/fig5_erlebacher.cpp.o.d"
+  "fig5_erlebacher"
+  "fig5_erlebacher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_erlebacher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tomcatv.dir/fig6_tomcatv.cpp.o"
+  "CMakeFiles/fig6_tomcatv.dir/fig6_tomcatv.cpp.o.d"
+  "fig6_tomcatv"
+  "fig6_tomcatv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tomcatv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

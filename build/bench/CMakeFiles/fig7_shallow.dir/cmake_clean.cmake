@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_shallow.dir/fig7_shallow.cpp.o"
+  "CMakeFiles/fig7_shallow.dir/fig7_shallow.cpp.o.d"
+  "fig7_shallow"
+  "fig7_shallow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_shallow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

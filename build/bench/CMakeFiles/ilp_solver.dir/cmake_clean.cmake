@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_solver.dir/ilp_solver.cpp.o"
+  "CMakeFiles/ilp_solver.dir/ilp_solver.cpp.o.d"
+  "ilp_solver"
+  "ilp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_ops.dir/lattice_ops.cpp.o"
+  "CMakeFiles/lattice_ops.dir/lattice_ops.cpp.o.d"
+  "lattice_ops"
+  "lattice_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

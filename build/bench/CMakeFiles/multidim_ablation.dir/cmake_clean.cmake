@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidim_ablation.dir/multidim_ablation.cpp.o"
+  "CMakeFiles/multidim_ablation.dir/multidim_ablation.cpp.o.d"
+  "multidim_ablation"
+  "multidim_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidim_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_ablation.dir/replication_ablation.cpp.o"
+  "CMakeFiles/replication_ablation.dir/replication_ablation.cpp.o.d"
+  "replication_ablation"
+  "replication_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_summary.dir/table_summary.cpp.o"
+  "CMakeFiles/table_summary.dir/table_summary.cpp.o.d"
+  "table_summary"
+  "table_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

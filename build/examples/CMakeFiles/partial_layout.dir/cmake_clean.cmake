@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_layout.dir/partial_layout.cpp.o"
+  "CMakeFiles/partial_layout.dir/partial_layout.cpp.o.d"
+  "partial_layout"
+  "partial_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/heuristic.cpp" "src/CMakeFiles/autolayout.dir/align/heuristic.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/align/heuristic.cpp.o.d"
+  "/root/repo/src/align/import.cpp" "src/CMakeFiles/autolayout.dir/align/import.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/align/import.cpp.o.d"
+  "/root/repo/src/align/phase_classes.cpp" "src/CMakeFiles/autolayout.dir/align/phase_classes.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/align/phase_classes.cpp.o.d"
+  "/root/repo/src/align/space.cpp" "src/CMakeFiles/autolayout.dir/align/space.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/align/space.cpp.o.d"
+  "/root/repo/src/cag/builder.cpp" "src/CMakeFiles/autolayout.dir/cag/builder.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/cag/builder.cpp.o.d"
+  "/root/repo/src/cag/cag.cpp" "src/CMakeFiles/autolayout.dir/cag/cag.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/cag/cag.cpp.o.d"
+  "/root/repo/src/cag/conflict.cpp" "src/CMakeFiles/autolayout.dir/cag/conflict.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/cag/conflict.cpp.o.d"
+  "/root/repo/src/cag/greedy_resolution.cpp" "src/CMakeFiles/autolayout.dir/cag/greedy_resolution.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/cag/greedy_resolution.cpp.o.d"
+  "/root/repo/src/cag/ilp_formulation.cpp" "src/CMakeFiles/autolayout.dir/cag/ilp_formulation.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/cag/ilp_formulation.cpp.o.d"
+  "/root/repo/src/cag/lattice.cpp" "src/CMakeFiles/autolayout.dir/cag/lattice.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/cag/lattice.cpp.o.d"
+  "/root/repo/src/cag/orientation.cpp" "src/CMakeFiles/autolayout.dir/cag/orientation.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/cag/orientation.cpp.o.d"
+  "/root/repo/src/compmodel/compile.cpp" "src/CMakeFiles/autolayout.dir/compmodel/compile.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/compmodel/compile.cpp.o.d"
+  "/root/repo/src/compmodel/messages.cpp" "src/CMakeFiles/autolayout.dir/compmodel/messages.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/compmodel/messages.cpp.o.d"
+  "/root/repo/src/compmodel/reference_class.cpp" "src/CMakeFiles/autolayout.dir/compmodel/reference_class.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/compmodel/reference_class.cpp.o.d"
+  "/root/repo/src/corpus/adi.cpp" "src/CMakeFiles/autolayout.dir/corpus/adi.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/corpus/adi.cpp.o.d"
+  "/root/repo/src/corpus/corpus.cpp" "src/CMakeFiles/autolayout.dir/corpus/corpus.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/corpus/corpus.cpp.o.d"
+  "/root/repo/src/corpus/erlebacher.cpp" "src/CMakeFiles/autolayout.dir/corpus/erlebacher.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/corpus/erlebacher.cpp.o.d"
+  "/root/repo/src/corpus/shallow.cpp" "src/CMakeFiles/autolayout.dir/corpus/shallow.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/corpus/shallow.cpp.o.d"
+  "/root/repo/src/corpus/tomcatv.cpp" "src/CMakeFiles/autolayout.dir/corpus/tomcatv.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/corpus/tomcatv.cpp.o.d"
+  "/root/repo/src/distrib/candidates.cpp" "src/CMakeFiles/autolayout.dir/distrib/candidates.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/distrib/candidates.cpp.o.d"
+  "/root/repo/src/distrib/space.cpp" "src/CMakeFiles/autolayout.dir/distrib/space.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/distrib/space.cpp.o.d"
+  "/root/repo/src/driver/emit.cpp" "src/CMakeFiles/autolayout.dir/driver/emit.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/driver/emit.cpp.o.d"
+  "/root/repo/src/driver/report.cpp" "src/CMakeFiles/autolayout.dir/driver/report.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/driver/report.cpp.o.d"
+  "/root/repo/src/driver/testcase.cpp" "src/CMakeFiles/autolayout.dir/driver/testcase.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/driver/testcase.cpp.o.d"
+  "/root/repo/src/driver/tool.cpp" "src/CMakeFiles/autolayout.dir/driver/tool.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/driver/tool.cpp.o.d"
+  "/root/repo/src/execmodel/classify.cpp" "src/CMakeFiles/autolayout.dir/execmodel/classify.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/execmodel/classify.cpp.o.d"
+  "/root/repo/src/execmodel/estimate.cpp" "src/CMakeFiles/autolayout.dir/execmodel/estimate.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/execmodel/estimate.cpp.o.d"
+  "/root/repo/src/fortran/ast.cpp" "src/CMakeFiles/autolayout.dir/fortran/ast.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/fortran/ast.cpp.o.d"
+  "/root/repo/src/fortran/inline.cpp" "src/CMakeFiles/autolayout.dir/fortran/inline.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/fortran/inline.cpp.o.d"
+  "/root/repo/src/fortran/lexer.cpp" "src/CMakeFiles/autolayout.dir/fortran/lexer.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/fortran/lexer.cpp.o.d"
+  "/root/repo/src/fortran/parser.cpp" "src/CMakeFiles/autolayout.dir/fortran/parser.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/fortran/parser.cpp.o.d"
+  "/root/repo/src/fortran/scalar_expand.cpp" "src/CMakeFiles/autolayout.dir/fortran/scalar_expand.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/fortran/scalar_expand.cpp.o.d"
+  "/root/repo/src/fortran/sema.cpp" "src/CMakeFiles/autolayout.dir/fortran/sema.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/fortran/sema.cpp.o.d"
+  "/root/repo/src/fortran/symbols.cpp" "src/CMakeFiles/autolayout.dir/fortran/symbols.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/fortran/symbols.cpp.o.d"
+  "/root/repo/src/ilp/branch_and_bound.cpp" "src/CMakeFiles/autolayout.dir/ilp/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/ilp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/ilp/lp.cpp" "src/CMakeFiles/autolayout.dir/ilp/lp.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/ilp/lp.cpp.o.d"
+  "/root/repo/src/ilp/simplex.cpp" "src/CMakeFiles/autolayout.dir/ilp/simplex.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/ilp/simplex.cpp.o.d"
+  "/root/repo/src/layout/alignment.cpp" "src/CMakeFiles/autolayout.dir/layout/alignment.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/layout/alignment.cpp.o.d"
+  "/root/repo/src/layout/distribution.cpp" "src/CMakeFiles/autolayout.dir/layout/distribution.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/layout/distribution.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/CMakeFiles/autolayout.dir/layout/layout.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/layout/layout.cpp.o.d"
+  "/root/repo/src/layout/template_map.cpp" "src/CMakeFiles/autolayout.dir/layout/template_map.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/layout/template_map.cpp.o.d"
+  "/root/repo/src/machine/io.cpp" "src/CMakeFiles/autolayout.dir/machine/io.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/machine/io.cpp.o.d"
+  "/root/repo/src/machine/ipsc860.cpp" "src/CMakeFiles/autolayout.dir/machine/ipsc860.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/machine/ipsc860.cpp.o.d"
+  "/root/repo/src/machine/paragon.cpp" "src/CMakeFiles/autolayout.dir/machine/paragon.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/machine/paragon.cpp.o.d"
+  "/root/repo/src/machine/training_set.cpp" "src/CMakeFiles/autolayout.dir/machine/training_set.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/machine/training_set.cpp.o.d"
+  "/root/repo/src/pcfg/dependence.cpp" "src/CMakeFiles/autolayout.dir/pcfg/dependence.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/pcfg/dependence.cpp.o.d"
+  "/root/repo/src/pcfg/pcfg.cpp" "src/CMakeFiles/autolayout.dir/pcfg/pcfg.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/pcfg/pcfg.cpp.o.d"
+  "/root/repo/src/pcfg/phase.cpp" "src/CMakeFiles/autolayout.dir/pcfg/phase.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/pcfg/phase.cpp.o.d"
+  "/root/repo/src/pcfg/subscripts.cpp" "src/CMakeFiles/autolayout.dir/pcfg/subscripts.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/pcfg/subscripts.cpp.o.d"
+  "/root/repo/src/perf/estimator.cpp" "src/CMakeFiles/autolayout.dir/perf/estimator.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/perf/estimator.cpp.o.d"
+  "/root/repo/src/perf/remap.cpp" "src/CMakeFiles/autolayout.dir/perf/remap.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/perf/remap.cpp.o.d"
+  "/root/repo/src/select/dp_selection.cpp" "src/CMakeFiles/autolayout.dir/select/dp_selection.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/select/dp_selection.cpp.o.d"
+  "/root/repo/src/select/ilp_selection.cpp" "src/CMakeFiles/autolayout.dir/select/ilp_selection.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/select/ilp_selection.cpp.o.d"
+  "/root/repo/src/select/layout_graph.cpp" "src/CMakeFiles/autolayout.dir/select/layout_graph.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/select/layout_graph.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/autolayout.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/measure.cpp" "src/CMakeFiles/autolayout.dir/sim/measure.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/sim/measure.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/autolayout.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/spmd.cpp" "src/CMakeFiles/autolayout.dir/sim/spmd.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/sim/spmd.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/autolayout.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/text.cpp" "src/CMakeFiles/autolayout.dir/support/text.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/support/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

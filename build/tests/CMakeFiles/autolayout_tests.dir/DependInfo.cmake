@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/align_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/align_test.cpp.o.d"
+  "/root/repo/tests/cag_ilp_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/cag_ilp_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/cag_ilp_test.cpp.o.d"
+  "/root/repo/tests/cag_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/cag_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/cag_test.cpp.o.d"
+  "/root/repo/tests/compmodel_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/compmodel_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/compmodel_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/dependence_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/dependence_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/dependence_test.cpp.o.d"
+  "/root/repo/tests/distrib_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/distrib_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/distrib_test.cpp.o.d"
+  "/root/repo/tests/driver_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/driver_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/driver_test.cpp.o.d"
+  "/root/repo/tests/emit_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/emit_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/emit_test.cpp.o.d"
+  "/root/repo/tests/execmodel_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/execmodel_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/execmodel_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/ilp_lp_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/ilp_lp_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/ilp_lp_test.cpp.o.d"
+  "/root/repo/tests/ilp_mip_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/ilp_mip_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/ilp_mip_test.cpp.o.d"
+  "/root/repo/tests/inline_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/inline_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/inline_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lattice_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/lattice_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/lattice_test.cpp.o.d"
+  "/root/repo/tests/lexer_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/machine_io_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/machine_io_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/machine_io_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/misc_coverage_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/multidim_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/multidim_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/multidim_test.cpp.o.d"
+  "/root/repo/tests/orientation_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/orientation_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/orientation_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/pcfg_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/pcfg_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/pcfg_test.cpp.o.d"
+  "/root/repo/tests/perf_select_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/perf_select_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/perf_select_test.cpp.o.d"
+  "/root/repo/tests/phase_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/phase_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/phase_test.cpp.o.d"
+  "/root/repo/tests/replication_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/replication_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/replication_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/scalar_expand_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/scalar_expand_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/scalar_expand_test.cpp.o.d"
+  "/root/repo/tests/sema_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/sema_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/sema_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/subscripts_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/subscripts_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/subscripts_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/autolayout_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/autolayout_tests.dir/support_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autolayout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

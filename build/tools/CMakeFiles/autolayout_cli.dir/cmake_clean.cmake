@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolayout_cli.dir/autolayout_cli.cpp.o"
+  "CMakeFiles/autolayout_cli.dir/autolayout_cli.cpp.o.d"
+  "autolayout"
+  "autolayout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolayout_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
