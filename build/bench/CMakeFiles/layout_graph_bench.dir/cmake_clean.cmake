@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_graph_bench.dir/layout_graph_bench.cpp.o"
+  "CMakeFiles/layout_graph_bench.dir/layout_graph_bench.cpp.o.d"
+  "layout_graph_bench"
+  "layout_graph_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_graph_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

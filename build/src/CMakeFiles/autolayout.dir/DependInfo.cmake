@@ -57,6 +57,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/pcfg/pcfg.cpp" "src/CMakeFiles/autolayout.dir/pcfg/pcfg.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/pcfg/pcfg.cpp.o.d"
   "/root/repo/src/pcfg/phase.cpp" "src/CMakeFiles/autolayout.dir/pcfg/phase.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/pcfg/phase.cpp.o.d"
   "/root/repo/src/pcfg/subscripts.cpp" "src/CMakeFiles/autolayout.dir/pcfg/subscripts.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/pcfg/subscripts.cpp.o.d"
+  "/root/repo/src/perf/estimate_cache.cpp" "src/CMakeFiles/autolayout.dir/perf/estimate_cache.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/perf/estimate_cache.cpp.o.d"
   "/root/repo/src/perf/estimator.cpp" "src/CMakeFiles/autolayout.dir/perf/estimator.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/perf/estimator.cpp.o.d"
   "/root/repo/src/perf/remap.cpp" "src/CMakeFiles/autolayout.dir/perf/remap.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/perf/remap.cpp.o.d"
   "/root/repo/src/select/dp_selection.cpp" "src/CMakeFiles/autolayout.dir/select/dp_selection.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/select/dp_selection.cpp.o.d"
@@ -68,6 +69,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/spmd.cpp" "src/CMakeFiles/autolayout.dir/sim/spmd.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/sim/spmd.cpp.o.d"
   "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/autolayout.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/support/diagnostics.cpp.o.d"
   "/root/repo/src/support/text.cpp" "src/CMakeFiles/autolayout.dir/support/text.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/support/text.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/autolayout.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/autolayout.dir/support/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -208,7 +208,8 @@ src/CMakeFiles/autolayout.dir/distrib/space.cpp.o: \
  /root/repo/src/cag/conflict.hpp /root/repo/src/layout/alignment.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/layout/layout.hpp /root/repo/src/layout/distribution.hpp \
+ /root/repo/src/layout/layout.hpp /usr/include/c++/12/array \
+ /root/repo/src/layout/distribution.hpp \
  /root/repo/src/layout/template_map.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

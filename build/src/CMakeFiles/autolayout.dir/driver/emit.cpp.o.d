@@ -214,8 +214,8 @@ src/CMakeFiles/autolayout.dir/driver/emit.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/distrib/candidates.hpp \
  /root/repo/src/layout/distribution.hpp /root/repo/src/distrib/space.hpp \
- /root/repo/src/layout/layout.hpp /root/repo/src/layout/template_map.hpp \
- /root/repo/src/fortran/inline.hpp \
+ /root/repo/src/layout/layout.hpp /usr/include/c++/12/array \
+ /root/repo/src/layout/template_map.hpp /root/repo/src/fortran/inline.hpp \
  /root/repo/src/fortran/scalar_expand.hpp \
  /root/repo/src/fortran/parser.hpp \
  /root/repo/src/machine/training_set.hpp \
@@ -223,14 +223,33 @@ src/CMakeFiles/autolayout.dir/driver/emit.cpp.o: \
  /root/repo/src/compmodel/messages.hpp \
  /root/repo/src/compmodel/reference_class.hpp \
  /root/repo/src/pcfg/dependence.hpp /root/repo/src/execmodel/estimate.hpp \
- /root/repo/src/execmodel/classify.hpp /root/repo/src/perf/remap.hpp \
+ /root/repo/src/execmodel/classify.hpp \
+ /root/repo/src/perf/estimate_cache.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/perf/remap.hpp \
  /root/repo/src/select/ilp_selection.hpp \
- /root/repo/src/select/layout_graph.hpp /usr/include/c++/12/algorithm \
+ /root/repo/src/select/layout_graph.hpp \
+ /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \

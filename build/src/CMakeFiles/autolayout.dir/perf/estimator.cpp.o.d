@@ -126,9 +126,9 @@ src/CMakeFiles/autolayout.dir/perf/estimator.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/layout/layout.hpp /root/repo/src/layout/alignment.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/layout/layout.hpp /usr/include/c++/12/array \
+ /root/repo/src/layout/alignment.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -212,4 +212,13 @@ src/CMakeFiles/autolayout.dir/perf/estimator.cpp.o: \
  /root/repo/src/pcfg/dependence.hpp /root/repo/src/pcfg/phase.hpp \
  /root/repo/src/pcfg/subscripts.hpp /root/repo/src/execmodel/estimate.hpp \
  /root/repo/src/execmodel/classify.hpp /root/repo/src/pcfg/pcfg.hpp \
- /root/repo/src/perf/remap.hpp
+ /root/repo/src/perf/estimate_cache.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/perf/remap.hpp

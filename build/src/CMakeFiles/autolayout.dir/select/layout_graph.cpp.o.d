@@ -209,7 +209,8 @@ src/CMakeFiles/autolayout.dir/select/layout_graph.cpp.o: \
  /root/repo/src/cag/conflict.hpp /root/repo/src/layout/alignment.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/layout/layout.hpp /root/repo/src/layout/distribution.hpp \
+ /root/repo/src/layout/layout.hpp /usr/include/c++/12/array \
+ /root/repo/src/layout/distribution.hpp \
  /root/repo/src/layout/template_map.hpp \
  /root/repo/src/execmodel/estimate.hpp \
  /root/repo/src/execmodel/classify.hpp \
@@ -219,12 +220,35 @@ src/CMakeFiles/autolayout.dir/select/layout_graph.cpp.o: \
  /root/repo/src/machine/training_set.hpp \
  /root/repo/src/pcfg/dependence.hpp /root/repo/src/pcfg/phase.hpp \
  /root/repo/src/pcfg/subscripts.hpp /root/repo/src/perf/estimator.hpp \
- /root/repo/src/pcfg/pcfg.hpp /root/repo/src/perf/remap.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/pcfg/pcfg.hpp /root/repo/src/perf/estimate_cache.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/perf/remap.hpp \
+ /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/support/contracts.hpp

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolayout_parallel_tests.dir/parallel_determinism_test.cpp.o"
+  "CMakeFiles/autolayout_parallel_tests.dir/parallel_determinism_test.cpp.o.d"
+  "CMakeFiles/autolayout_parallel_tests.dir/thread_pool_test.cpp.o"
+  "CMakeFiles/autolayout_parallel_tests.dir/thread_pool_test.cpp.o.d"
+  "autolayout_parallel_tests"
+  "autolayout_parallel_tests.pdb"
+  "autolayout_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolayout_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -312,6 +312,19 @@ tests/CMakeFiles/autolayout_tests.dir/scalar_expand_test.cpp.o: \
  /root/repo/src/compmodel/messages.hpp \
  /root/repo/src/compmodel/reference_class.hpp \
  /root/repo/src/pcfg/dependence.hpp /root/repo/src/execmodel/estimate.hpp \
- /root/repo/src/execmodel/classify.hpp /root/repo/src/perf/remap.hpp \
+ /root/repo/src/execmodel/classify.hpp \
+ /root/repo/src/perf/estimate_cache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/perf/remap.hpp \
  /root/repo/src/select/ilp_selection.hpp \
- /root/repo/src/select/layout_graph.hpp
+ /root/repo/src/select/layout_graph.hpp \
+ /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread

@@ -69,6 +69,33 @@ std::string performance_report(const ToolResult& result) {
      << format_fixed(result.selection.node_cost_us / 1e6, 3) << " s + remaps "
      << format_fixed(result.selection.remap_cost_us / 1e6, 3) << " s = "
      << format_fixed(result.selection.total_cost_us / 1e6, 3) << " s\n";
+  os << "\n" << stage_report(result.timings);
+  return os.str();
+}
+
+std::string stage_report(const StageTimings& t) {
+  std::ostringstream os;
+  os << "tool stages (wall clock, " << t.threads << " estimation thread"
+     << (t.threads == 1 ? "" : "s") << "):\n";
+  os << "  frontend   " << format_fixed(t.frontend_ms, 2) << " ms\n";
+  os << "  pcfg       " << format_fixed(t.pcfg_ms, 2) << " ms\n";
+  os << "  alignment  " << format_fixed(t.alignment_ms, 2) << " ms\n";
+  os << "  spaces     " << format_fixed(t.spaces_ms, 2) << " ms\n";
+  os << "  estimation " << format_fixed(t.graph_ms, 2) << " ms  (nodes "
+     << format_fixed(t.graph.node_ms, 2) << " ms, edges "
+     << format_fixed(t.graph.edge_ms, 2) << " ms)\n";
+  os << "  selection  " << format_fixed(t.selection_ms, 2) << " ms\n";
+  os << "  total      " << format_fixed(t.total_ms, 2) << " ms\n";
+  const perf::CacheStats& c = t.cache;
+  if (c.hits() + c.misses() == 0) {
+    os << "estimator cache: disabled\n";
+  } else {
+    os << "estimator cache: estimates " << c.estimate_hits << " hit / "
+       << c.estimate_misses << " miss, remaps " << c.remap_hits << " hit / "
+       << c.remap_misses << " miss, per-array " << c.array_hits << " hit / "
+       << c.array_misses << " miss (" << format_fixed(c.hit_rate() * 100.0, 1)
+       << "% overall)\n";
+  }
   return os.str();
 }
 

@@ -20,4 +20,9 @@ namespace al::driver {
 [[nodiscard]] std::string phase_report(const ToolResult& result, int phase,
                                        int candidate);
 
+/// The tool's own cost profile: per-stage wall clock, estimation-stage
+/// thread count, and estimator cache hit/miss counters. Appended to the
+/// performance report; also available standalone (the CLI's --verbose).
+[[nodiscard]] std::string stage_report(const StageTimings& timings);
+
 } // namespace al::driver

@@ -1,9 +1,11 @@
 #include "driver/tool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "select/layout_graph.hpp"
 #include "support/contracts.hpp"
+#include "support/thread_pool.hpp"
 
 namespace al::driver {
 
@@ -26,6 +28,13 @@ bool ToolResult::is_dynamic() const {
 }
 
 std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  const auto since_ms = [](Clock::time_point from) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - from).count();
+  };
+  const auto t_start = Clock::now();
+  auto t0 = t_start;
+
   auto r = std::make_unique<ToolResult>();
   r->options = opts;
 
@@ -39,11 +48,15 @@ std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions&
       throw FatalError("inlining failed:\n" + diags.str());
   }
   if (opts.scalar_expansion) fortran::expand_scalars(r->program);
+  r->timings.frontend_ms = since_ms(t0);
+  t0 = Clock::now();
 
   // 1. Phases + PCFG (framework step 1).
   r->pcfg = pcfg::Pcfg::build(r->program, opts.phase);
   if (r->pcfg.num_phases() == 0)
     throw FatalError("program contains no phases (no loops subscript any array)");
+  r->timings.pcfg_ms = since_ms(t0);
+  t0 = Clock::now();
 
   // 2a. Alignment search spaces (framework step 2, first half).
   r->templ = layout::ProgramTemplate::from_program(r->program);
@@ -51,6 +64,8 @@ std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions&
   r->alignment =
       align::analyze_alignment(r->program, r->pcfg, r->universe, r->templ.rank,
                                opts.alignment);
+  r->timings.alignment_ms = since_ms(t0);
+  t0 = Clock::now();
 
   // 2b. Distribution candidates and per-phase layout spaces.
   distrib::DistributionOptions dopts;
@@ -93,13 +108,34 @@ std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions&
         r->pcfg.phase(p).arrays, r->program.symbols, sopts));
   }
 
-  // 3. Performance estimation (framework step 3).
+  r->timings.spaces_ms = since_ms(t0);
+  t0 = Clock::now();
+
+  // 3. Performance estimation (framework step 3), fanned out over a worker
+  // pool sized by opts.threads. threads == 1 skips the pool entirely -- the
+  // exact pre-concurrency code path; the output is bit-identical either way.
   r->estimator = std::make_unique<perf::Estimator>(r->program, r->pcfg, r->options.machine,
                                                    opts.compiler);
-  r->graph = select::build_layout_graph(*r->estimator, r->spaces);
+  r->estimator->enable_cache(opts.estimator_cache);
+  const int threads =
+      opts.threads > 0 ? opts.threads : support::ThreadPool::default_threads();
+  if (threads > 1) {
+    support::ThreadPool pool(threads);
+    r->graph = select::build_layout_graph(*r->estimator, r->spaces, &pool,
+                                          &r->timings.graph);
+  } else {
+    r->graph = select::build_layout_graph(*r->estimator, r->spaces, nullptr,
+                                          &r->timings.graph);
+  }
+  r->timings.threads = threads;
+  r->timings.graph_ms = since_ms(t0);
+  t0 = Clock::now();
 
   // 4. Layout selection via 0-1 integer programming (framework step 4).
   r->selection = select::select_layouts_ilp(r->graph);
+  r->timings.selection_ms = since_ms(t0);
+  r->timings.cache = r->estimator->cache_stats();
+  r->timings.total_ms = since_ms(t_start);
   return r;
 }
 

@@ -26,6 +26,13 @@ struct ToolOptions {
   machine::MachineModel machine = machine::make_ipsc860();
   pcfg::PhaseOptions phase;
   compmodel::CompileOptions compiler;
+  /// Worker threads for the performance-estimation stage. 0 = one per
+  /// hardware core; 1 = run everything on the calling thread (exactly the
+  /// old serial behavior). Results are bit-identical for every setting.
+  int threads = 0;
+  /// Memoize estimator queries across candidates/phases (hit/miss counters
+  /// are reported). Off re-runs the full compiler model per query.
+  bool estimator_cache = true;
   /// Expand scalar temporaries into arrays before analysis (the paper's
   /// prototype always did; our corpus does not need it, so default off).
   bool scalar_expansion = false;
@@ -39,6 +46,22 @@ struct ToolOptions {
   /// listed here are pinned to the given layout; the tool extends the
   /// layout to the rest of the program.
   std::vector<std::pair<int, layout::Layout>> pinned_phases;
+};
+
+/// Wall-clock of each pipeline stage of one run_tool call, plus the
+/// estimation stage's parallelism/caching counters -- the data behind the
+/// report's "tool stages" block.
+struct StageTimings {
+  double frontend_ms = 0.0;   ///< parse + sema + inline (+ scalar expansion)
+  double pcfg_ms = 0.0;       ///< phase splitting + PCFG
+  double alignment_ms = 0.0;  ///< CAG + alignment search spaces
+  double spaces_ms = 0.0;     ///< distribution candidates x alignments
+  double graph_ms = 0.0;      ///< performance estimation (the hot stage)
+  double selection_ms = 0.0;  ///< 0-1 ILP
+  double total_ms = 0.0;
+  int threads = 1;            ///< workers used by the estimation stage
+  select::GraphBuildStats graph;  ///< node/edge split of graph_ms
+  perf::CacheStats cache;         ///< estimator memo hits/misses
 };
 
 /// Everything the tool produced. Not movable (internal references); returned
@@ -55,6 +78,7 @@ struct ToolResult {
   std::unique_ptr<perf::Estimator> estimator; ///< references members above
   select::LayoutGraph graph;
   select::SelectionResult selection;
+  StageTimings timings;
 
   ToolResult() = default;
   ToolResult(const ToolResult&) = delete;

@@ -26,31 +26,23 @@ struct NodeOrder {
   }
 };
 
-/// Picks the integer variable whose LP value is farthest from integral.
+/// Picks the integer variable whose LP value is farthest from integral
+/// (the distance to the nearest integer never exceeds 0.5, so "farthest"
+/// means "closest to one half"). Returns -1 when every integer variable is
+/// within `tol` of an integer.
 int most_fractional(const Model& model, const std::vector<double>& x, double tol) {
   int best = -1;
-  double best_frac = tol;
+  double best_frac = tol;  // anything <= tol counts as integral
   for (int j = 0; j < model.num_variables(); ++j) {
     if (!model.variable(j).integer) continue;
     const double v = x[static_cast<std::size_t>(j)];
     const double frac = std::abs(v - std::round(v));
-    const double score = std::min(frac, 1.0 - frac) + frac * 0.0;
-    const double dist = std::min(std::abs(v - std::floor(v)), std::abs(std::ceil(v) - v));
-    (void)score;
-    const double from_half = 0.5 - std::abs(dist - 0.5);  // closeness to .5
-    if (dist > tol && from_half > best_frac) {
-      best_frac = from_half;
+    if (frac > best_frac) {
+      best_frac = frac;
       best = j;
     }
   }
-  if (best >= 0) return best;
-  // Fallback: first fractional at all.
-  for (int j = 0; j < model.num_variables(); ++j) {
-    if (!model.variable(j).integer) continue;
-    const double v = x[static_cast<std::size_t>(j)];
-    if (std::abs(v - std::round(v)) > tol) return j;
-  }
-  return -1;
+  return best;
 }
 
 } // namespace

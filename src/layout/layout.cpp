@@ -41,6 +41,73 @@ std::string Layout::str(const fortran::SymbolTable& symbols) const {
   return os.str();
 }
 
+namespace {
+
+// One multiply-xorshift round per 64-bit word and lane (the fingerprint
+// sits on the estimator's hot path, so hashing must stay in the tens of
+// nanoseconds). The two lanes use unrelated odd multipliers, making them
+// independent hash functions over the same word stream.
+void mix_into(std::uint64_t& h, std::uint64_t v, std::uint64_t mult) {
+  h = (h ^ v) * mult;
+  h ^= h >> 29;
+}
+
+struct TwoLanes {
+  std::uint64_t lo = 0x8f3a496c12f78c1dULL;
+  std::uint64_t hi = 0x6a09e667f3bcc909ULL;
+  void mix(std::uint64_t v) {
+    mix_into(lo, v, 0x9e3779b97f4a7c15ULL);
+    mix_into(hi, v, 0xc2b2ae3d27d4eb4fULL);
+  }
+};
+
+} // namespace
+
+Fingerprint fingerprint(const Layout& l) {
+  TwoLanes h;
+  h.mix(l.alignment().arrays().size());
+  for (const ArrayAlignment& aa : l.alignment().arrays()) {
+    h.mix(static_cast<std::uint64_t>(aa.array) << 1 | (aa.replicated ? 1 : 0));
+    h.mix(aa.axis.size());
+    for (int a : aa.axis) h.mix(static_cast<std::uint64_t>(a));
+  }
+  h.mix(static_cast<std::uint64_t>(l.distribution().rank()));
+  for (const DimDistribution& d : l.distribution().dims()) {
+    h.mix(static_cast<std::uint64_t>(d.kind) << 32 |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(d.procs)));
+    h.mix(static_cast<std::uint64_t>(d.block));
+  }
+  return Fingerprint{h.lo, h.hi};
+}
+
+ArrayMapping ArrayMapping::of(const Layout& l, int array, int rank) {
+  AL_EXPECTS(rank >= 0 && rank <= kMaxRank);
+  ArrayMapping m;
+  m.replicated = l.alignment().is_replicated(array);
+  m.rank = rank;
+  m.total_procs = l.distribution().total_procs();
+  for (int k = 0; k < rank; ++k) {
+    m.axes[static_cast<std::size_t>(k)] = l.alignment().axis_of(array, k);
+    m.dims[static_cast<std::size_t>(k)] = l.array_dim(array, k);
+  }
+  return m;
+}
+
+std::uint64_t ArrayMapping::hash() const {
+  std::uint64_t h = 0x27d4eb2f165667c5ULL;
+  auto mix = [&h](std::uint64_t v) { mix_into(h, v, 0x9e3779b97f4a7c15ULL); };
+  mix(static_cast<std::uint64_t>(rank) << 1 | (replicated ? 1 : 0));
+  mix(static_cast<std::uint64_t>(total_procs));
+  for (int k = 0; k < rank; ++k) {
+    const DimDistribution& d = dims[static_cast<std::size_t>(k)];
+    mix(static_cast<std::uint64_t>(axes[static_cast<std::size_t>(k)]));
+    mix(static_cast<std::uint64_t>(d.kind) << 32 |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(d.procs)));
+    mix(static_cast<std::uint64_t>(d.block));
+  }
+  return h;
+}
+
 RemapKind classify_remap(const Layout& from, const Layout& to, int array, int rank) {
   const bool from_rep = from.alignment().is_replicated(array);
   const bool to_rep = to.alignment().is_replicated(array);

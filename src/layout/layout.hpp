@@ -3,6 +3,9 @@
 // after selection, the layout in force during a phase.
 #pragma once
 
+#include <array>
+#include <cstdint>
+
 #include "layout/alignment.hpp"
 #include "layout/distribution.hpp"
 #include "layout/template_map.hpp"
@@ -52,5 +55,42 @@ enum class RemapKind {
 /// layout changes `from` -> `to`.
 [[nodiscard]] RemapKind classify_remap(const Layout& from, const Layout& to, int array,
                                        int rank);
+
+/// Canonical 128-bit fingerprint of a layout: two independent 64-bit hash
+/// lanes over every field `operator==` compares, so equal layouts always
+/// produce equal fingerprints. The estimator's memo cache uses the
+/// fingerprint AS the identity (no stored layout to re-compare): a wrong
+/// cache answer needs a simultaneous collision in both lanes across the few
+/// hundred layouts of one run, i.e. odds around 2^-120 -- far below any
+/// hardware error rate.
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+[[nodiscard]] Fingerprint fingerprint(const Layout& l);
+
+/// The canonical per-array view of a layout: exactly the fields
+/// `array_remap_us` reads (replication, the array dims' template axes and
+/// their distributions, machine size). Two layouts that differ elsewhere --
+/// e.g. phase-restricted alignments of different phases -- still induce
+/// EQUAL mappings for a shared array, which is what makes the estimator's
+/// per-array remap memo hit across the whole program. Fixed-size storage:
+/// extraction and comparison never allocate.
+struct ArrayMapping {
+  static constexpr int kMaxRank = 7;  // Fortran's dimension limit
+
+  bool replicated = false;
+  int rank = 0;
+  int total_procs = 1;
+  std::array<int, kMaxRank> axes{};
+  std::array<DimDistribution, kMaxRank> dims{};
+
+  [[nodiscard]] static ArrayMapping of(const Layout& l, int array, int rank);
+  [[nodiscard]] std::uint64_t hash() const;
+
+  friend bool operator==(const ArrayMapping&, const ArrayMapping&) = default;
+};
 
 } // namespace al::layout

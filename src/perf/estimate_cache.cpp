@@ -1,0 +1,155 @@
+#include "perf/estimate_cache.hpp"
+
+namespace al::perf {
+
+namespace {
+
+// Same multiply-xorshift round as layout::fingerprint; folding extra words
+// (phase number, array ids, the second fingerprint) into an existing lane
+// keeps its distribution.
+void fold(std::uint64_t& h, std::uint64_t v, std::uint64_t mult) {
+  h = (h ^ v) * mult;
+  h ^= h >> 29;
+}
+constexpr std::uint64_t kLoMult = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kHiMult = 0xc2b2ae3d27d4eb4fULL;
+
+} // namespace
+
+EstimateCache::Key128 EstimateCache::estimate_key(int phase,
+                                                  const layout::Fingerprint& fp) {
+  Key128 k{fp.lo, fp.hi};
+  fold(k.lo, static_cast<std::uint64_t>(phase), kLoMult);
+  fold(k.hi, static_cast<std::uint64_t>(phase), kHiMult);
+  return k;
+}
+
+EstimateCache::Key128 EstimateCache::remap_key(const layout::Fingerprint& from,
+                                               const layout::Fingerprint& to,
+                                               const std::vector<int>& arrays) {
+  // Order matters (remapping A->B is not B->A): `to` is folded into `from`'s
+  // lanes, not combined symmetrically.
+  Key128 k{from.lo, from.hi};
+  fold(k.lo, to.lo, kLoMult);
+  fold(k.hi, to.hi, kHiMult);
+  for (int a : arrays) {
+    fold(k.lo, static_cast<std::uint64_t>(a), kLoMult);
+    fold(k.hi, static_cast<std::uint64_t>(a), kHiMult);
+  }
+  return k;
+}
+
+std::uint64_t EstimateCache::array_key(int array, const layout::ArrayMapping& from,
+                                       const layout::ArrayMapping& to) {
+  std::uint64_t h = from.hash();
+  fold(h, to.hash(), kLoMult);
+  fold(h, static_cast<std::uint64_t>(array), kLoMult);
+  return h;
+}
+
+std::optional<execmodel::PhaseEstimate> EstimateCache::find_estimate(
+    int phase, const layout::Fingerprint& fp) const {
+  const Key128 key = estimate_key(phase, fp);
+  Shard& s = shard_for(key.lo);
+  {
+    std::lock_guard lock(s.m);
+    if (auto it = s.estimates.find(key); it != s.estimates.end()) {
+      estimate_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  estimate_misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void EstimateCache::store_estimate(int phase, const layout::Fingerprint& fp,
+                                   const execmodel::PhaseEstimate& est) {
+  const Key128 key = estimate_key(phase, fp);
+  Shard& s = shard_for(key.lo);
+  std::lock_guard lock(s.m);
+  s.estimates.emplace(key, est);
+}
+
+std::optional<double> EstimateCache::find_remap(const layout::Fingerprint& from,
+                                                const layout::Fingerprint& to,
+                                                const std::vector<int>& arrays) const {
+  const Key128 key = remap_key(from, to, arrays);
+  Shard& s = shard_for(key.lo);
+  {
+    std::lock_guard lock(s.m);
+    if (auto it = s.remaps.find(key); it != s.remaps.end()) {
+      remap_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  remap_misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void EstimateCache::store_remap(const layout::Fingerprint& from,
+                                const layout::Fingerprint& to,
+                                const std::vector<int>& arrays, double us) {
+  const Key128 key = remap_key(from, to, arrays);
+  Shard& s = shard_for(key.lo);
+  std::lock_guard lock(s.m);
+  s.remaps.emplace(key, us);
+}
+
+std::optional<double> EstimateCache::find_array_remap(
+    int array, const layout::ArrayMapping& from, const layout::ArrayMapping& to) const {
+  const std::uint64_t key = array_key(array, from, to);
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard lock(s.m);
+    if (auto it = s.array_remaps.find(key); it != s.array_remaps.end()) {
+      for (const ArrayEntry& e : it->second) {
+        if (e.from == from && e.to == to) {
+          array_hits_.fetch_add(1, std::memory_order_relaxed);
+          return e.us;
+        }
+      }
+    }
+  }
+  array_misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void EstimateCache::store_array_remap(int array, const layout::ArrayMapping& from,
+                                      const layout::ArrayMapping& to, double us) {
+  const std::uint64_t key = array_key(array, from, to);
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.m);
+  std::vector<ArrayEntry>& chain = s.array_remaps[key];
+  for (const ArrayEntry& e : chain) {
+    if (e.from == from && e.to == to) return;  // another thread raced us here
+  }
+  chain.push_back(ArrayEntry{from, to, us});
+}
+
+CacheStats EstimateCache::stats() const {
+  CacheStats st;
+  st.estimate_hits = estimate_hits_.load(std::memory_order_relaxed);
+  st.estimate_misses = estimate_misses_.load(std::memory_order_relaxed);
+  st.remap_hits = remap_hits_.load(std::memory_order_relaxed);
+  st.remap_misses = remap_misses_.load(std::memory_order_relaxed);
+  st.array_hits = array_hits_.load(std::memory_order_relaxed);
+  st.array_misses = array_misses_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void EstimateCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard lock(s.m);
+    s.estimates.clear();
+    s.remaps.clear();
+    s.array_remaps.clear();
+  }
+  estimate_hits_.store(0, std::memory_order_relaxed);
+  estimate_misses_.store(0, std::memory_order_relaxed);
+  remap_hits_.store(0, std::memory_order_relaxed);
+  remap_misses_.store(0, std::memory_order_relaxed);
+  array_hits_.store(0, std::memory_order_relaxed);
+  array_misses_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace al::perf

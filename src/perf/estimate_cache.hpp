@@ -1,0 +1,126 @@
+// Thread-safe memoization of the performance estimator (DESIGN.md section
+// 8). The compiler+execution model is a pure function of (phase, layout),
+// and the remap model a pure function of (from-layout, to-layout, arrays);
+// both are re-invoked with identical arguments many times while the layout
+// graph is built. Three memo levels:
+//
+//   * estimates, keyed (phase, layout fingerprint) -- repeated queries of
+//     the same candidate (reports, alternative evaluation, rebuilt graphs);
+//   * whole remap queries, keyed (from fp, to fp, array set);
+//   * single-array remap costs, keyed (array, from MAPPING, to MAPPING) --
+//     the level that exploits cross-phase redundancy: phases restrict their
+//     alignments to different array sets, so whole layouts rarely repeat
+//     across phases, but each shared array's induced mapping does.
+//
+// The first two levels trust the 128-bit layout fingerprint as identity
+// (see layout::Fingerprint -- a wrong answer needs a simultaneous collision
+// in both independent lanes, odds ~2^-120). The per-array level verifies
+// its compact fixed-size ArrayMapping keys exactly; no level ever copies a
+// Layout, so a miss costs one small map insert. Buckets are sharded so
+// concurrent estimator calls rarely contend on one mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "execmodel/estimate.hpp"
+#include "layout/layout.hpp"
+
+namespace al::perf {
+
+struct CacheStats {
+  std::uint64_t estimate_hits = 0;
+  std::uint64_t estimate_misses = 0;
+  std::uint64_t remap_hits = 0;    ///< whole (from, to, arrays) queries
+  std::uint64_t remap_misses = 0;
+  std::uint64_t array_hits = 0;    ///< per-array sub-queries of remap misses
+  std::uint64_t array_misses = 0;
+
+  /// Query-level totals (per-array sub-queries are accounted separately).
+  [[nodiscard]] std::uint64_t hits() const { return estimate_hits + remap_hits; }
+  [[nodiscard]] std::uint64_t misses() const { return estimate_misses + remap_misses; }
+  /// Hit fraction over all lookups at every level; 0 when nothing was
+  /// looked up.
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits() + misses() + array_hits + array_misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(hits() + array_hits) / static_cast<double>(total);
+  }
+};
+
+class EstimateCache {
+public:
+  /// Probes the (phase, layout) estimate memo; counts a hit or miss.
+  [[nodiscard]] std::optional<execmodel::PhaseEstimate> find_estimate(
+      int phase, const layout::Fingerprint& fp) const;
+  void store_estimate(int phase, const layout::Fingerprint& fp,
+                      const execmodel::PhaseEstimate& est);
+
+  /// Probes the whole-query (from, to, arrays) remap memo.
+  [[nodiscard]] std::optional<double> find_remap(const layout::Fingerprint& from,
+                                                 const layout::Fingerprint& to,
+                                                 const std::vector<int>& arrays) const;
+  void store_remap(const layout::Fingerprint& from, const layout::Fingerprint& to,
+                   const std::vector<int>& arrays, double us);
+
+  /// Probes the per-array memo (exact: mappings are compared, not trusted).
+  [[nodiscard]] std::optional<double> find_array_remap(
+      int array, const layout::ArrayMapping& from, const layout::ArrayMapping& to) const;
+  void store_array_remap(int array, const layout::ArrayMapping& from,
+                         const layout::ArrayMapping& to, double us);
+
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+private:
+  struct Key128 {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    friend bool operator==(const Key128&, const Key128&) = default;
+  };
+  struct Key128Hash {
+    std::size_t operator()(const Key128& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct ArrayEntry {
+    layout::ArrayMapping from;
+    layout::ArrayMapping to;
+    double us = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex m;
+    std::unordered_map<Key128, execmodel::PhaseEstimate, Key128Hash> estimates;
+    std::unordered_map<Key128, double, Key128Hash> remaps;
+    // Chained: the 64-bit mapping-pair hash is only a bucket key here.
+    std::unordered_map<std::uint64_t, std::vector<ArrayEntry>> array_remaps;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t h) const {
+    return shards_[static_cast<std::size_t>(h) % kShards];
+  }
+  [[nodiscard]] static Key128 estimate_key(int phase, const layout::Fingerprint& fp);
+  [[nodiscard]] static Key128 remap_key(const layout::Fingerprint& from,
+                                        const layout::Fingerprint& to,
+                                        const std::vector<int>& arrays);
+  [[nodiscard]] static std::uint64_t array_key(int array,
+                                               const layout::ArrayMapping& from,
+                                               const layout::ArrayMapping& to);
+
+  mutable std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::uint64_t> estimate_hits_{0};
+  mutable std::atomic<std::uint64_t> estimate_misses_{0};
+  mutable std::atomic<std::uint64_t> remap_hits_{0};
+  mutable std::atomic<std::uint64_t> remap_misses_{0};
+  mutable std::atomic<std::uint64_t> array_hits_{0};
+  mutable std::atomic<std::uint64_t> array_misses_{0};
+};
+
+} // namespace al::perf

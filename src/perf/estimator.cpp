@@ -16,13 +16,65 @@ compmodel::CompiledPhase Estimator::compile(int phase, const layout::Layout& l) 
 }
 
 execmodel::PhaseEstimate Estimator::estimate(int phase, const layout::Layout& l) const {
+  if (!cache_enabled_) {
+    const compmodel::CompiledPhase compiled = compile(phase, l);
+    return execmodel::estimate_phase(compiled, deps(phase), machine_);
+  }
+  return estimate(phase, l, layout::fingerprint(l));
+}
+
+execmodel::PhaseEstimate Estimator::estimate(int phase, const layout::Layout& l,
+                                             const layout::Fingerprint& fp) const {
+  if (cache_enabled_) {
+    if (auto hit = cache_.find_estimate(phase, fp)) return *hit;
+  }
   const compmodel::CompiledPhase compiled = compile(phase, l);
-  return execmodel::estimate_phase(compiled, deps(phase), machine_);
+  const execmodel::PhaseEstimate est =
+      execmodel::estimate_phase(compiled, deps(phase), machine_);
+  if (cache_enabled_) cache_.store_estimate(phase, fp, est);
+  return est;
 }
 
 double Estimator::remap_us(const layout::Layout& from, const layout::Layout& to,
                            const std::vector<int>& arrays) const {
-  return remap_cost_us(from, to, arrays, prog_.symbols, machine_);
+  if (!cache_enabled_) return remap_cost_us(from, to, arrays, prog_.symbols, machine_);
+  return remap_us(from, to, arrays, layout::fingerprint(from), layout::fingerprint(to));
+}
+
+double Estimator::remap_us(const layout::Layout& from, const layout::Layout& to,
+                           const std::vector<int>& arrays,
+                           const layout::Fingerprint& from_fp,
+                           const layout::Fingerprint& to_fp) const {
+  if (!cache_enabled_) return remap_cost_us(from, to, arrays, prog_.symbols, machine_);
+  if (auto hit = cache_.find_remap(from_fp, to_fp, arrays)) return *hit;
+
+  // Whole-query miss: assemble the cost per array through the mapping memo.
+  // An array whose rank exceeds ArrayMapping::kMaxRank (none in valid
+  // Fortran) would fall back to the un-memoized model.
+  double total = 0.0;
+  for (int a : arrays) {
+    const int rank = prog_.symbols.at(a).rank();
+    if (rank > layout::ArrayMapping::kMaxRank) {
+      total += array_remap_us(from, to, a, prog_.symbols, machine_);
+      continue;
+    }
+    const layout::ArrayMapping mf = layout::ArrayMapping::of(from, a, rank);
+    const layout::ArrayMapping mt = layout::ArrayMapping::of(to, a, rank);
+    if (auto hit = cache_.find_array_remap(a, mf, mt)) {
+      total += *hit;
+      continue;
+    }
+    const double us = array_remap_us(from, to, a, prog_.symbols, machine_);
+    cache_.store_array_remap(a, mf, mt, us);
+    total += us;
+  }
+  cache_.store_remap(from_fp, to_fp, arrays, total);
+  return total;
+}
+
+void Estimator::enable_cache(bool on) {
+  if (!on) cache_.clear();
+  cache_enabled_ = on;
 }
 
 } // namespace al::perf

@@ -2,6 +2,14 @@
 // layout of every phase and every remap edge, caching the per-phase
 // dependence summaries. This is the single object the layout-selection step
 // and the assistant tool query.
+//
+// `estimate` and `remap_us` are pure functions of their arguments and of
+// immutable construction-time state, so they are safe to call from many
+// threads at once. Both are memoized through a thread-safe EstimateCache
+// (on by default): phases share candidate layouts, so the same (phase,
+// layout) and (from, to, arrays) queries recur heavily while the layout
+// graph is built. Disable the cache (`enable_cache(false)`) to benchmark
+// the raw model.
 #pragma once
 
 #include <vector>
@@ -10,6 +18,7 @@
 #include "execmodel/estimate.hpp"
 #include "machine/training_set.hpp"
 #include "pcfg/pcfg.hpp"
+#include "perf/estimate_cache.hpp"
 #include "perf/remap.hpp"
 
 namespace al::perf {
@@ -20,15 +29,36 @@ public:
             const machine::MachineModel& machine,
             compmodel::CompileOptions opts = {});
 
-  /// Compiler model output for (phase, layout).
+  /// Compiler model output for (phase, layout). Never memoized (callers
+  /// want the full message list, which the cache does not keep).
   [[nodiscard]] compmodel::CompiledPhase compile(int phase, const layout::Layout& l) const;
 
   /// Estimated execution time of ONE entry of phase `phase` under `l`.
   [[nodiscard]] execmodel::PhaseEstimate estimate(int phase, const layout::Layout& l) const;
 
+  /// Same, with `l`'s fingerprint already computed -- the layout-graph
+  /// builder hashes each candidate once instead of once per query.
+  [[nodiscard]] execmodel::PhaseEstimate estimate(int phase, const layout::Layout& l,
+                                                  const layout::Fingerprint& fp) const;
+
   /// Remap cost for switching the given arrays between two layouts.
   [[nodiscard]] double remap_us(const layout::Layout& from, const layout::Layout& to,
                                 const std::vector<int>& arrays) const;
+
+  /// Same, with both fingerprints precomputed. On a whole-query miss the
+  /// per-array memo is consulted before the remap model: an array's cost
+  /// depends only on its own mapping under each layout, which recurs across
+  /// phases even when the whole layouts differ.
+  [[nodiscard]] double remap_us(const layout::Layout& from, const layout::Layout& to,
+                                const std::vector<int>& arrays,
+                                const layout::Fingerprint& from_fp,
+                                const layout::Fingerprint& to_fp) const;
+
+  /// Turns memoization on/off (on by default). Turning it off also drops
+  /// the cached entries and resets the hit/miss counters.
+  void enable_cache(bool on);
+  [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
 
   [[nodiscard]] const pcfg::PhaseDeps& deps(int phase) const {
     return deps_.at(static_cast<std::size_t>(phase));
@@ -44,6 +74,8 @@ private:
   const machine::MachineModel& machine_;
   compmodel::CompileOptions opts_;
   std::vector<pcfg::PhaseDeps> deps_;
+  bool cache_enabled_ = true;
+  mutable EstimateCache cache_;
 };
 
 } // namespace al::perf

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <map>
 
 #include "support/contracts.hpp"
 
@@ -22,12 +21,14 @@ std::optional<SelectionResult> select_layouts_dp(const LayoutGraph& graph) {
   // Structure check: forward edges must form a path 0->1->...->n-1 in SOME
   // phase order; we accept at most one back edge closing a single cycle.
   // Collect successor sets.
-  std::map<std::pair<int, int>, const LayoutEdgeBlock*> edge_of;
+  // successor[p]: the (single) outgoing edge of phase p. Duplicate edges
+  // between the same pair bail out like any other out-degree violation.
+  std::vector<const LayoutEdgeBlock*> successor(static_cast<std::size_t>(n), nullptr);
   std::vector<int> out_deg(static_cast<std::size_t>(n), 0);
   std::vector<int> in_deg(static_cast<std::size_t>(n), 0);
   for (const LayoutEdgeBlock& e : graph.edges) {
-    if (edge_of.count({e.src_phase, e.dst_phase}) != 0) return std::nullopt;
-    edge_of[{e.src_phase, e.dst_phase}] = &e;
+    if (successor[static_cast<std::size_t>(e.src_phase)] != nullptr) return std::nullopt;
+    successor[static_cast<std::size_t>(e.src_phase)] = &e;
     ++out_deg[static_cast<std::size_t>(e.src_phase)];
     ++in_deg[static_cast<std::size_t>(e.dst_phase)];
   }
@@ -59,13 +60,7 @@ std::optional<SelectionResult> select_layouts_dp(const LayoutGraph& graph) {
     if (visited[static_cast<std::size_t>(cur)]) return std::nullopt;
     visited[static_cast<std::size_t>(cur)] = 1;
     order.push_back(cur);
-    const LayoutEdgeBlock* next = nullptr;
-    for (const auto& [key, e] : edge_of) {
-      if (key.first == cur) {
-        next = e;
-        break;
-      }
-    }
+    const LayoutEdgeBlock* next = successor[static_cast<std::size_t>(cur)];
     if (next == nullptr) break;
     if (next->dst_phase == start) {
       back_edge = next;

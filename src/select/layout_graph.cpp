@@ -1,7 +1,9 @@
 #include "select/layout_graph.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <utility>
 
 #include "support/contracts.hpp"
 
@@ -76,42 +78,92 @@ std::vector<RemapPair> remap_pairs(const pcfg::Pcfg& pcfg) {
 }
 
 LayoutGraph build_layout_graph(const perf::Estimator& estimator,
-                               const std::vector<distrib::LayoutSpace>& spaces) {
+                               const std::vector<distrib::LayoutSpace>& spaces,
+                               support::ThreadPool* pool, GraphBuildStats* stats) {
+  using Clock = std::chrono::steady_clock;
   const pcfg::Pcfg& pcfg = estimator.pcfg();
   AL_EXPECTS(static_cast<int>(spaces.size()) == pcfg.num_phases());
 
+  GraphBuildStats st;
+  st.threads = pool != nullptr ? std::max(pool->num_threads(), 1) : 1;
+
+  // Each candidate layout is hashed once up front; every estimator query
+  // below passes the precomputed fingerprint.
+  std::vector<std::vector<layout::Fingerprint>> fps(spaces.size());
+  for (std::size_t p = 0; p < spaces.size(); ++p) {
+    for (const distrib::LayoutCandidate& c : spaces[p].candidates())
+      fps[p].push_back(layout::fingerprint(c.layout));
+  }
+
+  // Node costs: every (phase, candidate) estimate is independent, so the
+  // pairs are flattened into one task list and each result lands in its
+  // pre-sized slot -- the graph is identical for any thread count.
   LayoutGraph g;
   g.node_cost_us.resize(spaces.size());
   g.estimates.resize(spaces.size());
+  std::vector<std::pair<int, int>> nodes;  // (phase, candidate)
   for (int p = 0; p < pcfg.num_phases(); ++p) {
     const auto& cands = spaces[static_cast<std::size_t>(p)].candidates();
     AL_EXPECTS(!cands.empty());
-    const double freq = pcfg.frequency(p);
-    for (const distrib::LayoutCandidate& c : cands) {
-      const execmodel::PhaseEstimate est = estimator.estimate(p, c.layout);
-      g.estimates[static_cast<std::size_t>(p)].push_back(est);
-      g.node_cost_us[static_cast<std::size_t>(p)].push_back(est.total_us() * freq);
-    }
+    g.estimates[static_cast<std::size_t>(p)].resize(cands.size());
+    g.node_cost_us[static_cast<std::size_t>(p)].resize(cands.size());
+    for (int i = 0; i < static_cast<int>(cands.size()); ++i) nodes.emplace_back(p, i);
   }
+  const auto node_t0 = Clock::now();
+  support::parallel_for(pool, nodes.size(), [&](std::size_t k) {
+    const auto [p, i] = nodes[k];
+    const distrib::LayoutCandidate& c =
+        spaces[static_cast<std::size_t>(p)].candidates()[static_cast<std::size_t>(i)];
+    const execmodel::PhaseEstimate est = estimator.estimate(
+        p, c.layout, fps[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)]);
+    g.estimates[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)] = est;
+    g.node_cost_us[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)] =
+        est.total_us() * pcfg.frequency(p);
+  });
+  st.node_ms = std::chrono::duration<double, std::milli>(Clock::now() - node_t0).count();
 
-  for (const RemapPair& pr : remap_pairs(pcfg)) {
+  // Edge blocks: pre-size every block, fan the (block, src-candidate) rows
+  // out as one flat list, then drop all-zero blocks afterwards -- same
+  // blocks in the same order as the serial code produced.
+  const std::vector<RemapPair> pairs = remap_pairs(pcfg);
+  std::vector<LayoutEdgeBlock> blocks(pairs.size());
+  std::vector<std::pair<int, int>> rows;  // (block index, src candidate)
+  for (std::size_t b = 0; b < pairs.size(); ++b) {
+    const RemapPair& pr = pairs[b];
     const auto& src_c = spaces[static_cast<std::size_t>(pr.src)].candidates();
     const auto& dst_c = spaces[static_cast<std::size_t>(pr.dst)].candidates();
-    LayoutEdgeBlock block;
-    block.src_phase = pr.src;
-    block.dst_phase = pr.dst;
-    block.traversals = pr.traversals;
-    block.remap_us.resize(src_c.size(), std::vector<double>(dst_c.size(), 0.0));
+    blocks[b].src_phase = pr.src;
+    blocks[b].dst_phase = pr.dst;
+    blocks[b].traversals = pr.traversals;
+    blocks[b].remap_us.resize(src_c.size(), std::vector<double>(dst_c.size(), 0.0));
+    for (int i = 0; i < static_cast<int>(src_c.size()); ++i)
+      rows.emplace_back(static_cast<int>(b), i);
+  }
+  const auto edge_t0 = Clock::now();
+  support::parallel_for(pool, rows.size(), [&](std::size_t k) {
+    const auto [b, i] = rows[k];
+    const RemapPair& pr = pairs[static_cast<std::size_t>(b)];
+    const layout::Layout& src =
+        spaces[static_cast<std::size_t>(pr.src)].candidates()[static_cast<std::size_t>(i)].layout;
+    const auto& dst_c = spaces[static_cast<std::size_t>(pr.dst)].candidates();
+    const layout::Fingerprint& src_fp =
+        fps[static_cast<std::size_t>(pr.src)][static_cast<std::size_t>(i)];
+    const auto& dst_fps = fps[static_cast<std::size_t>(pr.dst)];
+    auto& row = blocks[static_cast<std::size_t>(b)].remap_us[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < dst_c.size(); ++j) {
+      row[j] = estimator.remap_us(src, dst_c[j].layout, pr.arrays, src_fp, dst_fps[j]);
+    }
+  });
+  st.edge_ms = std::chrono::duration<double, std::milli>(Clock::now() - edge_t0).count();
+
+  for (LayoutEdgeBlock& block : blocks) {
     bool any = false;
-    for (std::size_t i = 0; i < src_c.size(); ++i) {
-      for (std::size_t j = 0; j < dst_c.size(); ++j) {
-        block.remap_us[i][j] =
-            estimator.remap_us(src_c[i].layout, dst_c[j].layout, pr.arrays);
-        any = any || block.remap_us[i][j] > 0.0;
-      }
+    for (const auto& row : block.remap_us) {
+      for (double c : row) any = any || c > 0.0;
     }
     if (any) g.edges.push_back(std::move(block));
   }
+  if (stats != nullptr) *stats = st;
   return g;
 }
 

@@ -10,6 +10,7 @@
 #include "distrib/space.hpp"
 #include "execmodel/estimate.hpp"
 #include "perf/estimator.hpp"
+#include "support/thread_pool.hpp"
 
 namespace al::select {
 
@@ -56,8 +57,22 @@ struct LayoutGraph {
   }
 };
 
-/// Evaluates every candidate and every possible remap.
+/// Wall-clock breakdown of one build_layout_graph call, for driver/report
+/// and the perf baseline bench.
+struct GraphBuildStats {
+  double node_ms = 0.0;  ///< estimating all (phase, candidate) nodes
+  double edge_ms = 0.0;  ///< filling all remap-cost edge blocks
+  int threads = 1;       ///< workers used (1 = the serial path)
+  [[nodiscard]] double total_ms() const { return node_ms + edge_ms; }
+};
+
+/// Evaluates every candidate and every possible remap. When `pool` is
+/// non-null, node estimates and edge remap cells fan out over its workers;
+/// every value is written to a pre-sized slot, so the resulting graph is
+/// bit-identical for any thread count (including the serial path). `stats`,
+/// when non-null, receives the per-stage wall clock.
 [[nodiscard]] LayoutGraph build_layout_graph(
-    const perf::Estimator& estimator, const std::vector<distrib::LayoutSpace>& spaces);
+    const perf::Estimator& estimator, const std::vector<distrib::LayoutSpace>& spaces,
+    support::ThreadPool* pool = nullptr, GraphBuildStats* stats = nullptr);
 
 } // namespace al::select

@@ -1,0 +1,70 @@
+// A small fixed-size worker pool over one bounded FIFO work queue, plus a
+// blocking `parallel_for` helper. This is the concurrency substrate of the
+// performance-estimation stage (DESIGN.md section 8): the estimator's work
+// items are pure functions of immutable inputs, so the pool only has to
+// provide fan-out, back-pressure, and exception transport -- no work
+// stealing, no futures.
+//
+// Guarantees:
+//   * `submit` blocks while the queue is full (bounded back-pressure).
+//   * The destructor drains every queued task before joining the workers.
+//   * `parallel_for` is safe to call from inside a pool worker: nested
+//     calls degrade to the serial loop instead of deadlocking on the queue.
+//   * The first exception thrown by a `parallel_for` body is rethrown in
+//     the calling thread after every index has been claimed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace al::support {
+
+class ThreadPool {
+public:
+  /// `threads` <= 0 picks `default_threads()`. A 1-thread pool is legal but
+  /// `parallel_for` bypasses it (the caller runs the loop itself).
+  explicit ThreadPool(int threads = 0, std::size_t queue_capacity = 256);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task; blocks while the queue is at capacity. Tasks must
+  /// not throw (wrap bodies that can -- `parallel_for` does).
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is one of THIS pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
+
+  /// Hardware concurrency, never less than 1.
+  [[nodiscard]] static int default_threads();
+
+private:
+  void worker_loop(const std::stop_token& stop);
+
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t capacity_;
+  std::vector<std::jthread> workers_;  // last member: joins before the rest dies
+};
+
+/// Runs `fn(i)` for every i in [0, n), fanning chunks of `grain` indices out
+/// over `pool` while the calling thread works the same chunk stream; returns
+/// when all n indices have finished. Runs the plain serial loop when `pool`
+/// is null, has fewer than two workers, the trip count is tiny, or the
+/// caller already is a pool worker (nested use). Rethrows the first
+/// exception any chunk threw. Index order within the whole loop is
+/// unspecified; bodies must write to disjoint slots.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn, std::size_t grain = 1);
+
+} // namespace al::support

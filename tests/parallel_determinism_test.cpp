@@ -1,0 +1,113 @@
+// Thread-count invariance of the whole tool (DESIGN.md section 8): the
+// estimation stage may fan out over any number of workers and memoize
+// repeated queries, but every graph value and the final selection must be
+// bit-identical to the serial, uncached run. Also covers the cache
+// accounting: layouts shared across candidates/phases must actually hit.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "layout/layout.hpp"
+
+namespace al::driver {
+namespace {
+
+std::unique_ptr<ToolResult> run(const char* prog, long n, int procs, int threads,
+                                bool cache) {
+  corpus::TestCase c{prog, n,
+                     std::string(prog) == "shallow" ? corpus::Dtype::Real
+                                                    : corpus::Dtype::DoublePrecision,
+                     procs};
+  ToolOptions opts;
+  opts.procs = procs;
+  opts.threads = threads;
+  opts.estimator_cache = cache;
+  return run_tool(corpus::source_for(c), opts);
+}
+
+void expect_identical(const ToolResult& a, const ToolResult& b) {
+  // Selection: same candidate picked per phase, same exact costs.
+  ASSERT_EQ(a.selection.chosen, b.selection.chosen);
+  EXPECT_EQ(a.selection.total_cost_us, b.selection.total_cost_us);
+  EXPECT_EQ(a.selection.node_cost_us, b.selection.node_cost_us);
+  EXPECT_EQ(a.selection.remap_cost_us, b.selection.remap_cost_us);
+  // Graph: every node cost and every remap cell, bitwise.
+  ASSERT_EQ(a.graph.node_cost_us, b.graph.node_cost_us);
+  ASSERT_EQ(a.graph.edges.size(), b.graph.edges.size());
+  for (std::size_t e = 0; e < a.graph.edges.size(); ++e) {
+    EXPECT_EQ(a.graph.edges[e].src_phase, b.graph.edges[e].src_phase);
+    EXPECT_EQ(a.graph.edges[e].dst_phase, b.graph.edges[e].dst_phase);
+    EXPECT_EQ(a.graph.edges[e].traversals, b.graph.edges[e].traversals);
+    EXPECT_EQ(a.graph.edges[e].remap_us, b.graph.edges[e].remap_us);
+  }
+}
+
+TEST(ParallelDeterminism, AdiThreads1Vs8) {
+  auto serial = run("adi", 64, 8, /*threads=*/1, /*cache=*/false);
+  auto parallel = run("adi", 64, 8, /*threads=*/8, /*cache=*/true);
+  expect_identical(*serial, *parallel);
+}
+
+TEST(ParallelDeterminism, TomcatvThreads1Vs8) {
+  // Tomcatv has the alignment conflict, so candidate spaces differ in size
+  // across phases -- the interesting case for slot bookkeeping.
+  auto serial = run("tomcatv", 64, 8, /*threads=*/1, /*cache=*/false);
+  auto parallel = run("tomcatv", 64, 8, /*threads=*/8, /*cache=*/true);
+  expect_identical(*serial, *parallel);
+}
+
+TEST(ParallelDeterminism, ShallowCachedVsUncachedSerial) {
+  // Memoization alone (no threads) must not change a single bit either.
+  auto uncached = run("shallow", 64, 8, /*threads=*/1, /*cache=*/false);
+  auto cached = run("shallow", 64, 8, /*threads=*/1, /*cache=*/true);
+  expect_identical(*uncached, *cached);
+}
+
+TEST(ParallelDeterminism, CacheCountersAccount) {
+  auto r = run("adi", 64, 8, /*threads=*/4, /*cache=*/true);
+  const perf::CacheStats stats = r->estimator->cache_stats();
+  // Phases share candidate layouts, so the estimate memo must hit...
+  EXPECT_GT(stats.estimate_hits + stats.remap_hits, 0u);
+  // ...and misses equal the distinct queries actually computed.
+  EXPECT_GT(stats.estimate_misses, 0u);
+  // Every graph node needed one estimate: hits + misses covers them all.
+  std::size_t nodes = 0;
+  for (const auto& row : r->graph.node_cost_us) nodes += row.size();
+  EXPECT_GE(stats.estimate_hits + stats.estimate_misses, nodes);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+  // Timings surfaced for the report.
+  EXPECT_EQ(r->timings.threads, 4);
+  EXPECT_EQ(r->timings.graph.threads, 4);
+  EXPECT_GE(r->timings.graph_ms, r->timings.graph.total_ms());
+  EXPECT_GT(r->timings.total_ms, 0.0);
+}
+
+TEST(ParallelDeterminism, DisabledCacheCountsNothing) {
+  auto r = run("adi", 64, 8, /*threads=*/2, /*cache=*/false);
+  const perf::CacheStats stats = r->estimator->cache_stats();
+  EXPECT_EQ(stats.hits(), 0u);
+  EXPECT_EQ(stats.misses(), 0u);
+}
+
+TEST(ParallelDeterminism, FingerprintMatchesEquality) {
+  auto r = run("tomcatv", 64, 8, 1, true);
+  // Across all candidate layouts of all phases: equal layouts must share a
+  // fingerprint (the converse -- no collisions -- holds on this corpus and
+  // keeps the cache fast, but only equality is required for correctness).
+  for (const auto& sa : r->spaces) {
+    for (const auto& ca : sa.candidates()) {
+      for (const auto& sb : r->spaces) {
+        for (const auto& cb : sb.candidates()) {
+          const bool equal = ca.layout == cb.layout;
+          const bool same_fp =
+              layout::fingerprint(ca.layout) == layout::fingerprint(cb.layout);
+          if (equal) EXPECT_TRUE(same_fp);
+          EXPECT_EQ(equal, same_fp);  // collision-freeness on the corpus
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace al::driver

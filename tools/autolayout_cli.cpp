@@ -3,6 +3,10 @@
 //   autolayout [options] program.f
 //
 //   -p, --procs N          processors to lay out for        (default 16)
+//   -j, --threads N        estimation worker threads; 0 = one per hardware
+//                          core (default), 1 = fully serial. Any value
+//                          yields bit-identical layouts.
+//   -C, --no-cache         disable estimator memoization (model benchmarks)
 //   -m, --machine NAME     ipsc860 | paragon                (default ipsc860)
 //   -t, --training FILE    load a training-set file over the machine model
 //   -x, --extended         extended distribution search (cyclic, 2-D meshes)
@@ -16,6 +20,7 @@
 //
 // Exit status: 0 on success, 1 on usage/frontend errors.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -30,8 +35,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [-p procs] [-m ipsc860|paragon] [-t training.tsv]\n"
-               "          [-x] [-g] [-r] [-d] [-q] program.f\n",
+               "usage: %s [-p procs] [-j threads] [-m ipsc860|paragon] [-t training.tsv]\n"
+               "          [-x] [-g] [-C] [-r] [-d] [-q] program.f\n",
                argv0);
 }
 
@@ -64,6 +69,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: bad processor count\n", argv[0]);
         return 1;
       }
+    } else if (a == "-j" || a == "--threads") {
+      // atoi would turn garbage into 0, which is a VALID count (hardware
+      // default) -- require the whole value to be numeric.
+      const char* v = need_value("--threads");
+      char* end = nullptr;
+      opts.threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || opts.threads < 0) {
+        std::fprintf(stderr, "%s: bad thread count '%s'\n", argv[0], v);
+        return 1;
+      }
+    } else if (a == "-C" || a == "--no-cache") {
+      opts.estimator_cache = false;
     } else if (a == "-m" || a == "--machine") {
       machine_name = need_value("--machine");
     } else if (a == "-t" || a == "--training") {
