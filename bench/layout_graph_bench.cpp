@@ -16,7 +16,11 @@
 #include "corpus/corpus.hpp"
 #include "driver/tool.hpp"
 #include "select/layout_graph.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/text.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -64,7 +68,11 @@ double time_once(const al::driver::ToolResult& tool, int threads, bool cache,
 } // namespace
 
 int main(int argc, char** argv) {
-  int runs = argc > 1 ? std::atoi(argv[1]) : 5;
+  int runs = 5;
+  if (argc > 1 && !al::parse_int(argv[1], 1, 1'000'000, runs)) {
+    std::fprintf(stderr, "usage: %s [runs-per-config]\n", argv[0]);
+    return 1;
+  }
   runs = std::max(runs, 5);  // median of >= 5, per the perf-baseline contract
 
   const std::vector<TestCase> cases = {
@@ -80,6 +88,10 @@ int main(int argc, char** argv) {
                       thread_counts.end());
 
   std::vector<Row> rows;
+  // One traced (non-timed) build per program, appended to the JSON so the
+  // BENCH file carries span-level detail alongside the medians.
+  std::vector<std::pair<std::string, std::vector<al::support::SpanRecord>>> traces;
+  al::support::Metrics::instance().reset();
   for (const TestCase& c : cases) {
     // One frontend+alignment pass per program; the timed region is exactly
     // the estimation stage (run_tool is configured serial here, its own
@@ -117,23 +129,65 @@ int main(int argc, char** argv) {
         rows.push_back(std::move(row));
       }
     }
+
+    // Timed samples are done (tracing stayed disabled for them); run one
+    // traced build for the span detail.
+    al::support::Tracer& tracer = al::support::Tracer::instance();
+    tracer.set_enabled(true);
+    tracer.reset();
+    al::select::GraphBuildStats traced_stats;
+    (void)time_once(*tool, al::support::ThreadPool::default_threads(), true,
+                    &traced_stats);
+    traces.emplace_back(c.program, tracer.snapshot());
+    tracer.set_enabled(false);
   }
 
   std::ofstream out("BENCH_layout_graph.json");
-  out << "{\n  \"bench\": \"build_layout_graph\",\n  \"runs_per_config\": " << runs
-      << ",\n  \"hardware_threads\": " << al::support::ThreadPool::default_threads()
-      << ",\n  \"baseline\": \"threads=1 cache=off (pre-concurrency code path)\",\n"
-      << "  \"results\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    out << "    {\"program\": \"" << r.program << "\", \"threads\": " << r.threads
-        << ", \"cache\": " << (r.cache ? "true" : "false")
-        << ", \"median_ms\": " << r.median_ms << ", \"node_ms\": " << r.node_ms
-        << ", \"edge_ms\": " << r.edge_ms << ", \"runs\": " << r.runs
-        << ", \"speedup_vs_serial_nocache\": " << r.speedup << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  al::support::JsonWriter w(out);
+  w.begin_object();
+  w.kv("bench", "build_layout_graph");
+  w.kv("schema_version", 1);
+  w.kv("runs_per_config", runs);
+  w.kv("hardware_threads", al::support::ThreadPool::default_threads());
+  w.kv("baseline", "threads=1 cache=off (pre-concurrency code path)");
+  w.key("results").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.kv("program", r.program);
+    w.kv("threads", r.threads);
+    w.kv("cache", r.cache);
+    w.kv("median_ms", r.median_ms);
+    w.kv("node_ms", r.node_ms);
+    w.kv("edge_ms", r.edge_ms);
+    w.kv("runs", r.runs);
+    w.kv("speedup_vs_serial_nocache", r.speedup);
+    w.end_object();
   }
-  out << "  ]\n}\n";
+  w.end_array();
+  w.key("counters").begin_object();
+  for (const auto& s : al::support::Metrics::instance().snapshot()) {
+    if (!s.is_gauge) w.kv(s.name, s.count);
+  }
+  w.end_object();
+  w.key("traced_builds").begin_array();
+  for (const auto& [program, spans] : traces) {
+    w.begin_object();
+    w.kv("program", program);
+    w.key("spans").begin_array();
+    for (const al::support::SpanRecord& s : spans) {
+      w.begin_object();
+      w.kv("name", s.name);
+      w.kv("start_us", static_cast<double>(s.start_ns) / 1e3);
+      w.kv("dur_us", static_cast<double>(s.dur_ns) / 1e3);
+      w.kv("thread", s.thread);
+      w.kv("depth", static_cast<unsigned>(s.depth));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   std::printf("\nwrote BENCH_layout_graph.json\n");
   return 0;
 }

@@ -1,0 +1,28 @@
+// Machine-readable run report (DESIGN.md section 9): one schema-versioned
+// JSON document per run_tool call, carrying everything the printf reports
+// show and everything they do not -- the phase table with candidate-space
+// sizes, the selected layout per phase, the stage spans behind StageTimings,
+// the ILP solver's node/pivot counts, the estimator-cache counters and
+// occupancy, the whole metrics registry, and (when tracing is enabled) the
+// raw span buffer. The document is what a service front-end or a regression
+// harness consumes; the CLI's --json flag writes it to a file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "driver/tool.hpp"
+
+namespace al::driver {
+
+/// Bump when a field is renamed/removed or its meaning changes; adding
+/// fields is backward-compatible and does not bump.
+inline constexpr int kJsonReportSchemaVersion = 1;
+
+/// Streams the full run document for `result`.
+void write_json_report(const ToolResult& result, std::ostream& os);
+
+/// Same document as a string.
+[[nodiscard]] std::string json_report(const ToolResult& result);
+
+} // namespace al::driver

@@ -1,11 +1,12 @@
 #include "driver/tool.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "select/layout_graph.hpp"
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace al::driver {
 
@@ -28,114 +29,130 @@ bool ToolResult::is_dynamic() const {
 }
 
 std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions& opts) {
-  using Clock = std::chrono::steady_clock;
-  const auto since_ms = [](Clock::time_point from) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - from).count();
-  };
-  const auto t_start = Clock::now();
-  auto t0 = t_start;
+  // Each stage runs inside a TraceSpan: the span feeds StageTimings (always)
+  // and the trace buffer (when tracing is on), so the printf report and the
+  // --trace/--json exports can never disagree about what was measured.
+  support::TraceSpan total_span("tool.run");
 
   auto r = std::make_unique<ToolResult>();
   r->options = opts;
 
-  // 0. Frontend (+ inlining: the analysis itself is intra-procedural, like
-  // the paper's prototype, so multi-procedure inputs are inlined first).
-  r->program = fortran::parse_and_check(source);
-  if (!r->program.procedures.empty()) {
-    DiagnosticEngine diags;
-    fortran::inline_calls(r->program, diags);
-    if (diags.has_errors())
-      throw FatalError("inlining failed:\n" + diags.str());
-  }
-  if (opts.scalar_expansion) fortran::expand_scalars(r->program);
-  r->timings.frontend_ms = since_ms(t0);
-  t0 = Clock::now();
-
-  // 1. Phases + PCFG (framework step 1).
-  r->pcfg = pcfg::Pcfg::build(r->program, opts.phase);
-  if (r->pcfg.num_phases() == 0)
-    throw FatalError("program contains no phases (no loops subscript any array)");
-  r->timings.pcfg_ms = since_ms(t0);
-  t0 = Clock::now();
-
-  // 2a. Alignment search spaces (framework step 2, first half).
-  r->templ = layout::ProgramTemplate::from_program(r->program);
-  r->universe = cag::NodeUniverse::from_program(r->program);
-  r->alignment =
-      align::analyze_alignment(r->program, r->pcfg, r->universe, r->templ.rank,
-                               opts.alignment);
-  r->timings.alignment_ms = since_ms(t0);
-  t0 = Clock::now();
-
-  // 2b. Distribution candidates and per-phase layout spaces.
-  distrib::DistributionOptions dopts;
-  dopts.strategy = opts.distribution_strategy;
-  dopts.procs = opts.procs;
-  r->distributions = distrib::make_distribution_candidates(r->templ.rank, dopts);
-  for (int p = 0; p < r->pcfg.num_phases(); ++p) {
-    // Pinned phases keep exactly the user's layout.
-    const auto pin =
-        std::find_if(opts.pinned_phases.begin(), opts.pinned_phases.end(),
-                     [&](const auto& pr) { return pr.first == p; });
-    if (pin != opts.pinned_phases.end()) {
-      distrib::LayoutSpace space;
-      distrib::LayoutCandidate cand;
-      cand.layout = pin->second;
-      cand.label = "pinned by user";
-      space.add(std::move(cand));
-      r->spaces.push_back(std::move(space));
-      continue;
+  {
+    // 0. Frontend (+ inlining: the analysis itself is intra-procedural, like
+    // the paper's prototype, so multi-procedure inputs are inlined first).
+    support::TraceSpan span("stage.frontend");
+    r->program = fortran::parse_and_check(source);
+    if (!r->program.procedures.empty()) {
+      DiagnosticEngine diags;
+      fortran::inline_calls(r->program, diags);
+      if (diags.has_errors())
+        throw FatalError("inlining failed:\n" + diags.str());
     }
-    distrib::LayoutSpaceOptions sopts;
-    if (opts.replicate_unwritten) {
-      // Replication candidates: arrays this phase never writes and that fit
-      // comfortably (a quarter of node memory) when fully copied.
-      const pcfg::Phase& ph = r->pcfg.phase(p);
-      for (int a : ph.arrays) {
-        bool written = false;
-        for (const pcfg::Reference& ref : ph.refs) {
-          if (ref.array == a && ref.is_write) written = true;
-        }
-        if (written) continue;
-        const fortran::Symbol& sym = r->program.symbols.at(a);
-        const long bytes = sym.element_count() * fortran::size_in_bytes(sym.type);
-        if (bytes * 4 <= opts.machine.node_memory_bytes)
-          sopts.replicable_arrays.push_back(a);
+    if (opts.scalar_expansion) fortran::expand_scalars(r->program);
+    r->timings.frontend_ms = span.stop_ms();
+  }
+
+  {
+    // 1. Phases + PCFG (framework step 1).
+    support::TraceSpan span("stage.pcfg");
+    r->pcfg = pcfg::Pcfg::build(r->program, opts.phase);
+    if (r->pcfg.num_phases() == 0)
+      throw FatalError("program contains no phases (no loops subscript any array)");
+    r->timings.pcfg_ms = span.stop_ms();
+  }
+
+  {
+    // 2a. Alignment search spaces (framework step 2, first half).
+    support::TraceSpan span("stage.alignment");
+    r->templ = layout::ProgramTemplate::from_program(r->program);
+    r->universe = cag::NodeUniverse::from_program(r->program);
+    r->alignment =
+        align::analyze_alignment(r->program, r->pcfg, r->universe, r->templ.rank,
+                                 opts.alignment);
+    r->timings.alignment_ms = span.stop_ms();
+  }
+
+  {
+    // 2b. Distribution candidates and per-phase layout spaces.
+    support::TraceSpan span("stage.spaces");
+    distrib::DistributionOptions dopts;
+    dopts.strategy = opts.distribution_strategy;
+    dopts.procs = opts.procs;
+    r->distributions = distrib::make_distribution_candidates(r->templ.rank, dopts);
+    for (int p = 0; p < r->pcfg.num_phases(); ++p) {
+      // Pinned phases keep exactly the user's layout.
+      const auto pin =
+          std::find_if(opts.pinned_phases.begin(), opts.pinned_phases.end(),
+                       [&](const auto& pr) { return pr.first == p; });
+      if (pin != opts.pinned_phases.end()) {
+        distrib::LayoutSpace space;
+        distrib::LayoutCandidate cand;
+        cand.layout = pin->second;
+        cand.label = "pinned by user";
+        space.add(std::move(cand));
+        r->spaces.push_back(std::move(space));
+        continue;
       }
+      distrib::LayoutSpaceOptions sopts;
+      if (opts.replicate_unwritten) {
+        // Replication candidates: arrays this phase never writes and that fit
+        // comfortably (a quarter of node memory) when fully copied.
+        const pcfg::Phase& ph = r->pcfg.phase(p);
+        for (int a : ph.arrays) {
+          bool written = false;
+          for (const pcfg::Reference& ref : ph.refs) {
+            if (ref.array == a && ref.is_write) written = true;
+          }
+          if (written) continue;
+          const fortran::Symbol& sym = r->program.symbols.at(a);
+          const long bytes = sym.element_count() * fortran::size_in_bytes(sym.type);
+          if (bytes * 4 <= opts.machine.node_memory_bytes)
+            sopts.replicable_arrays.push_back(a);
+        }
+      }
+      r->spaces.push_back(distrib::build_layout_space(
+          r->alignment.phase_spaces[static_cast<std::size_t>(p)], r->distributions,
+          r->pcfg.phase(p).arrays, r->program.symbols, sopts));
     }
-    r->spaces.push_back(distrib::build_layout_space(
-        r->alignment.phase_spaces[static_cast<std::size_t>(p)], r->distributions,
-        r->pcfg.phase(p).arrays, r->program.symbols, sopts));
+    r->timings.spaces_ms = span.stop_ms();
   }
 
-  r->timings.spaces_ms = since_ms(t0);
-  t0 = Clock::now();
-
-  // 3. Performance estimation (framework step 3), fanned out over a worker
-  // pool sized by opts.threads. threads == 1 skips the pool entirely -- the
-  // exact pre-concurrency code path; the output is bit-identical either way.
-  r->estimator = std::make_unique<perf::Estimator>(r->program, r->pcfg, r->options.machine,
-                                                   opts.compiler);
-  r->estimator->enable_cache(opts.estimator_cache);
-  const int threads =
-      opts.threads > 0 ? opts.threads : support::ThreadPool::default_threads();
-  if (threads > 1) {
-    support::ThreadPool pool(threads);
-    r->graph = select::build_layout_graph(*r->estimator, r->spaces, &pool,
-                                          &r->timings.graph);
-  } else {
-    r->graph = select::build_layout_graph(*r->estimator, r->spaces, nullptr,
-                                          &r->timings.graph);
+  {
+    // 3. Performance estimation (framework step 3), fanned out over a worker
+    // pool sized by opts.threads. threads == 1 skips the pool entirely -- the
+    // exact pre-concurrency code path; the output is bit-identical either way.
+    support::TraceSpan span("stage.estimation");
+    r->estimator = std::make_unique<perf::Estimator>(r->program, r->pcfg,
+                                                     r->options.machine, opts.compiler);
+    r->estimator->enable_cache(opts.estimator_cache);
+    const int threads =
+        opts.threads > 0 ? opts.threads : support::ThreadPool::default_threads();
+    if (threads > 1) {
+      support::ThreadPool pool(threads);
+      r->graph = select::build_layout_graph(*r->estimator, r->spaces, &pool,
+                                            &r->timings.graph);
+    } else {
+      r->graph = select::build_layout_graph(*r->estimator, r->spaces, nullptr,
+                                            &r->timings.graph);
+    }
+    r->timings.threads = threads;
+    r->timings.graph_ms = span.stop_ms();
   }
-  r->timings.threads = threads;
-  r->timings.graph_ms = since_ms(t0);
-  t0 = Clock::now();
 
-  // 4. Layout selection via 0-1 integer programming (framework step 4).
-  r->selection = select::select_layouts_ilp(r->graph);
-  r->timings.selection_ms = since_ms(t0);
+  {
+    // 4. Layout selection via 0-1 integer programming (framework step 4).
+    support::TraceSpan span("stage.selection");
+    r->selection = select::select_layouts_ilp(r->graph);
+    r->timings.selection_ms = span.stop_ms();
+  }
+
   r->timings.cache = r->estimator->cache_stats();
-  r->timings.total_ms = since_ms(t_start);
+  r->timings.total_ms = total_span.stop_ms();
+
+  support::Metrics& m = support::Metrics::instance();
+  m.counter("tool.runs").add();
+  m.counter("tool.phases").add(static_cast<std::uint64_t>(r->pcfg.num_phases()));
+  r->estimator->publish_cache_metrics(m);
   return r;
 }
 

@@ -1,6 +1,8 @@
 #include "fortran/lexer.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "support/text.hpp"
@@ -190,13 +192,25 @@ private:
     Token t;
     t.loc = loc;
     t.text = spell;
+    // strtol/strtod clamp silently on ERANGE (LONG_MAX / HUGE_VAL), which
+    // would turn an overlong literal into a wrong constant -- diagnose it.
+    errno = 0;
+    char* endp = nullptr;
     if (is_real) {
       t.kind = Tok::RealLit;
-      t.real_value = std::strtod(spell.c_str(), nullptr);
+      t.real_value = std::strtod(spell.c_str(), &endp);
+      if (errno == ERANGE && (t.real_value == HUGE_VAL || t.real_value == -HUGE_VAL))
+        diags_.error(loc, "real literal '" + spell + "' out of range");
+      // ERANGE underflow (denormal/zero result) keeps the nearest
+      // representable value; that is the best available answer.
     } else {
       t.kind = Tok::IntLit;
-      t.int_value = std::strtol(spell.c_str(), nullptr, 10);
+      t.int_value = std::strtol(spell.c_str(), &endp, 10);
+      if (errno == ERANGE)
+        diags_.error(loc, "integer literal '" + spell + "' out of range");
     }
+    if (endp != spell.c_str() + spell.size())
+      diags_.error(loc, "malformed numeric literal '" + spell + "'");
     return t;
   }
 

@@ -8,6 +8,8 @@
 
 #include "ilp/simplex.hpp"
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace al::ilp {
 namespace {
@@ -48,7 +50,18 @@ int most_fractional(const Model& model, const std::vector<double>& x, double tol
 } // namespace
 
 MipResult solve_mip(const Model& model, MipOptions opts) {
+  support::TraceSpan span("ilp.solve_mip");
   MipResult result;
+  // Publishes on every return path (result is the NRVO'd return object, so
+  // its node/pivot totals are final when the guard runs).
+  struct MetricsGuard {
+    const MipResult& r;
+    ~MetricsGuard() {
+      support::Metrics& m = support::Metrics::instance();
+      m.counter("ilp.mip_solves").add();
+      m.counter("ilp.bb_nodes").add(static_cast<std::uint64_t>(r.nodes));
+    }
+  } metrics_guard{result};
   const double sense_sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
 
   SimplexOptions lp_opts;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
 
 namespace al::ilp {
 namespace {
@@ -428,7 +429,14 @@ LpResult solve_lp(const Model& model, const std::vector<double>& lower,
     }
   }
   Simplex s(model, lower, upper, opts);
-  return s.run(model);
+  LpResult res = s.run(model);
+  static support::Metrics::Counter& solves =
+      support::Metrics::instance().counter("ilp.lp_solves");
+  static support::Metrics::Counter& pivots =
+      support::Metrics::instance().counter("ilp.simplex_pivots");
+  solves.add();
+  pivots.add(static_cast<std::uint64_t>(res.iterations));
+  return res;
 }
 
 } // namespace al::ilp

@@ -1,5 +1,9 @@
 #include "perf/estimate_cache.hpp"
 
+#include <algorithm>
+
+#include "support/metrics.hpp"
+
 namespace al::perf {
 
 namespace {
@@ -135,6 +139,43 @@ CacheStats EstimateCache::stats() const {
   st.array_hits = array_hits_.load(std::memory_order_relaxed);
   st.array_misses = array_misses_.load(std::memory_order_relaxed);
   return st;
+}
+
+EstimateCache::Occupancy EstimateCache::occupancy() const {
+  Occupancy occ;
+  occ.shards = kShards;
+  for (const Shard& s : shards_) {
+    std::lock_guard lock(s.m);
+    std::size_t chained = 0;
+    for (const auto& [key, chain] : s.array_remaps) chained += chain.size();
+    occ.estimates += s.estimates.size();
+    occ.remaps += s.remaps.size();
+    occ.array_remaps += chained;
+    occ.max_shard_entries = std::max(
+        occ.max_shard_entries, s.estimates.size() + s.remaps.size() + chained);
+  }
+  return occ;
+}
+
+void EstimateCache::publish_metrics(support::Metrics& metrics) const {
+  const CacheStats st = stats();
+  metrics.counter("estimate_cache.estimate_hits").add(st.estimate_hits);
+  metrics.counter("estimate_cache.estimate_misses").add(st.estimate_misses);
+  metrics.counter("estimate_cache.remap_hits").add(st.remap_hits);
+  metrics.counter("estimate_cache.remap_misses").add(st.remap_misses);
+  metrics.counter("estimate_cache.array_hits").add(st.array_hits);
+  metrics.counter("estimate_cache.array_misses").add(st.array_misses);
+  metrics.set_gauge("estimate_cache.hit_rate", st.hit_rate());
+
+  const Occupancy occ = occupancy();
+  metrics.set_gauge("estimate_cache.entries.estimates",
+                    static_cast<double>(occ.estimates));
+  metrics.set_gauge("estimate_cache.entries.remaps", static_cast<double>(occ.remaps));
+  metrics.set_gauge("estimate_cache.entries.array_remaps",
+                    static_cast<double>(occ.array_remaps));
+  metrics.set_gauge("estimate_cache.shards", static_cast<double>(occ.shards));
+  metrics.set_gauge("estimate_cache.max_shard_entries",
+                    static_cast<double>(occ.max_shard_entries));
 }
 
 void EstimateCache::clear() {

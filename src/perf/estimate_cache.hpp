@@ -31,6 +31,10 @@
 #include "execmodel/estimate.hpp"
 #include "layout/layout.hpp"
 
+namespace al::support {
+class Metrics;
+}
+
 namespace al::perf {
 
 struct CacheStats {
@@ -77,6 +81,21 @@ public:
 
   [[nodiscard]] CacheStats stats() const;
   void clear();
+
+  /// Entry counts per memo level plus the fullest shard's share -- the data
+  /// behind the "is the sharding balanced?" question at scale.
+  struct Occupancy {
+    std::size_t estimates = 0;
+    std::size_t remaps = 0;
+    std::size_t array_remaps = 0;        ///< chained entries, not buckets
+    std::size_t max_shard_entries = 0;   ///< busiest shard, all levels summed
+    std::size_t shards = 0;
+  };
+  [[nodiscard]] Occupancy occupancy() const;
+
+  /// Exports hit/miss counters, hit rate, and per-level/per-shard occupancy
+  /// into the registry under "estimate_cache.*".
+  void publish_metrics(support::Metrics& metrics) const;
 
 private:
   struct Key128 {

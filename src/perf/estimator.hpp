@@ -59,6 +59,13 @@ public:
   void enable_cache(bool on);
   [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] EstimateCache::Occupancy cache_occupancy() const {
+    return cache_.occupancy();
+  }
+  /// Exports the cache's counters/occupancy into the metrics registry.
+  void publish_cache_metrics(support::Metrics& metrics) const {
+    cache_.publish_metrics(metrics);
+  }
 
   [[nodiscard]] const pcfg::PhaseDeps& deps(int phase) const {
     return deps_.at(static_cast<std::size_t>(phase));

@@ -1,11 +1,12 @@
 #include "select/layout_graph.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <utility>
 
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace al::select {
 
@@ -80,7 +81,7 @@ std::vector<RemapPair> remap_pairs(const pcfg::Pcfg& pcfg) {
 LayoutGraph build_layout_graph(const perf::Estimator& estimator,
                                const std::vector<distrib::LayoutSpace>& spaces,
                                support::ThreadPool* pool, GraphBuildStats* stats) {
-  using Clock = std::chrono::steady_clock;
+  support::TraceSpan build_span("graph.build");
   const pcfg::Pcfg& pcfg = estimator.pcfg();
   AL_EXPECTS(static_cast<int>(spaces.size()) == pcfg.num_phases());
 
@@ -109,7 +110,7 @@ LayoutGraph build_layout_graph(const perf::Estimator& estimator,
     g.node_cost_us[static_cast<std::size_t>(p)].resize(cands.size());
     for (int i = 0; i < static_cast<int>(cands.size()); ++i) nodes.emplace_back(p, i);
   }
-  const auto node_t0 = Clock::now();
+  support::TraceSpan node_span("graph.nodes");
   support::parallel_for(pool, nodes.size(), [&](std::size_t k) {
     const auto [p, i] = nodes[k];
     const distrib::LayoutCandidate& c =
@@ -120,7 +121,7 @@ LayoutGraph build_layout_graph(const perf::Estimator& estimator,
     g.node_cost_us[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)] =
         est.total_us() * pcfg.frequency(p);
   });
-  st.node_ms = std::chrono::duration<double, std::milli>(Clock::now() - node_t0).count();
+  st.node_ms = node_span.stop_ms();
 
   // Edge blocks: pre-size every block, fan the (block, src-candidate) rows
   // out as one flat list, then drop all-zero blocks afterwards -- same
@@ -139,7 +140,7 @@ LayoutGraph build_layout_graph(const perf::Estimator& estimator,
     for (int i = 0; i < static_cast<int>(src_c.size()); ++i)
       rows.emplace_back(static_cast<int>(b), i);
   }
-  const auto edge_t0 = Clock::now();
+  support::TraceSpan edge_span("graph.edges");
   support::parallel_for(pool, rows.size(), [&](std::size_t k) {
     const auto [b, i] = rows[k];
     const RemapPair& pr = pairs[static_cast<std::size_t>(b)];
@@ -154,16 +155,25 @@ LayoutGraph build_layout_graph(const perf::Estimator& estimator,
       row[j] = estimator.remap_us(src, dst_c[j].layout, pr.arrays, src_fp, dst_fps[j]);
     }
   });
-  st.edge_ms = std::chrono::duration<double, std::milli>(Clock::now() - edge_t0).count();
+  st.edge_ms = edge_span.stop_ms();
 
+  std::size_t edge_cells = 0;
   for (LayoutEdgeBlock& block : blocks) {
     bool any = false;
     for (const auto& row : block.remap_us) {
+      edge_cells += row.size();
       for (double c : row) any = any || c > 0.0;
     }
     if (any) g.edges.push_back(std::move(block));
   }
   if (stats != nullptr) *stats = st;
+
+  support::Metrics& m = support::Metrics::instance();
+  m.counter("layout_graph.builds").add();
+  m.counter("layout_graph.node_estimates").add(nodes.size());
+  m.counter("layout_graph.remap_pairs").add(pairs.size());
+  m.counter("layout_graph.edge_cells").add(edge_cells);
+  m.counter("layout_graph.edge_blocks_kept").add(g.edges.size());
   return g;
 }
 

@@ -1,0 +1,151 @@
+// A minimal streaming JSON writer -- the one serializer behind the driver's
+// --json run report, the --trace export, and the BENCH_*.json files, so
+// every machine-readable artifact the tool emits is built (and escaped) the
+// same way. Header-only; no DOM, no dependencies.
+//
+// Usage is push-style and checked only by construction order:
+//
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.key("schema_version").value(1);
+//   w.key("rows").begin_array();
+//   w.value("a").value(3.5);
+//   w.end_array();
+//   w.end_object();            // emits a trailing newline at depth 0
+//
+// Doubles are written with %.10g (NaN/inf become null -- JSON has neither).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace al::support {
+
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream& os, int indent_width = 2)
+      : os_(os), indent_width_(indent_width) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Object member name; must be followed by a value / begin_*.
+  JsonWriter& key(std::string_view name) {
+    separate(/*is_key=*/true);
+    os_ << '"' << escape(name) << "\": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) { return raw('"' + escape(s) + '"'); }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(const std::string& s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) { return raw(b ? "true" : "false"); }
+  /// One template for every integral type (separate overloads collide with
+  /// the platform's int64_t/uint64_t typedefs).
+  template <class T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    return raw(std::to_string(v));
+  }
+  JsonWriter& value(double v) {
+    if (!std::isfinite(v)) return null();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return raw(buf);
+  }
+  JsonWriter& null() { return raw("null"); }
+
+  template <class T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] static std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+private:
+  struct Level {
+    char close = '}';
+    int items = 0;
+  };
+
+  JsonWriter& open(char c) {
+    separate(/*is_key=*/false);
+    os_ << c;
+    levels_.push_back(Level{c == '{' ? '}' : ']', 0});
+    return *this;
+  }
+
+  JsonWriter& close(char expected) {
+    const Level lv = levels_.back();
+    levels_.pop_back();
+    if (lv.items > 0) newline_indent();
+    os_ << expected;
+    if (levels_.empty()) os_ << '\n';
+    return *this;
+  }
+
+  JsonWriter& raw(const std::string& text) {
+    separate(/*is_key=*/false);
+    os_ << text;
+    return *this;
+  }
+
+  /// Comma/newline bookkeeping before the next token. Keys separate; the
+  /// value that follows a key does not (it continues the "key": line).
+  void separate(bool is_key) {
+    if (pending_value_ && !is_key) {
+      pending_value_ = false;
+      return;
+    }
+    if (!levels_.empty()) {
+      if (levels_.back().items > 0) os_ << ',';
+      ++levels_.back().items;
+      newline_indent();
+    }
+    pending_value_ = false;
+  }
+
+  void newline_indent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < levels_.size() * static_cast<std::size_t>(indent_width_); ++i)
+      os_ << ' ';
+  }
+
+  std::ostream& os_;
+  int indent_width_;
+  std::vector<Level> levels_;
+  bool pending_value_ = false;
+};
+
+} // namespace al::support

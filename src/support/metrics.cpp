@@ -1,0 +1,62 @@
+#include "support/metrics.hpp"
+
+namespace al::support {
+
+Metrics& Metrics::instance() {
+  static Metrics m;
+  return m;
+}
+
+Metrics::Counter& Metrics::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+void Metrics::set_gauge(std::string_view name, double value) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::vector<Metrics::Sample> Metrics::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  // Both maps iterate name-sorted; merge to keep the whole snapshot sorted.
+  auto ci = counters_.begin();
+  auto gi = gauges_.begin();
+  while (ci != counters_.end() || gi != gauges_.end()) {
+    const bool take_counter =
+        gi == gauges_.end() ||
+        (ci != counters_.end() && ci->first < gi->first);
+    Sample s;
+    if (take_counter) {
+      s.name = ci->first;
+      s.count = ci->second->value();
+      ++ci;
+    } else {
+      s.name = gi->first;
+      s.is_gauge = true;
+      s.gauge = gi->second;
+      ++gi;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Metrics::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->value_.store(0, std::memory_order_relaxed);
+  gauges_.clear();
+}
+
+} // namespace al::support

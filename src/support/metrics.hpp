@@ -1,0 +1,74 @@
+// Process-wide named counters and gauges (DESIGN.md section 9) -- the
+// machine-readable side of the observability layer. Counters are monotonic
+// atomics meant for hot paths: `counter()` does one locked name lookup and
+// returns a handle with a STABLE ADDRESS (reset zeroes in place, it never
+// deletes), so call sites hoist the lookup into a `static` local and pay
+// one relaxed fetch_add per event afterwards. Gauges are last-write-wins
+// doubles for end-of-stage facts (cache occupancy, hit rates).
+//
+// The registry feeds driver/json_report and the bench emitter; printf-style
+// reporting stays where it was -- this is the structured transport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace al::support {
+
+class Metrics {
+public:
+  class Counter {
+  public:
+    void add(std::uint64_t delta = 1) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Metrics;
+    std::atomic<std::uint64_t> value_{0};
+  };
+
+  /// The process-wide registry.
+  [[nodiscard]] static Metrics& instance();
+
+  /// Finds or creates the counter `name`. The returned reference stays
+  /// valid (and keeps its address) for the life of the process.
+  [[nodiscard]] Counter& counter(std::string_view name);
+
+  /// Sets gauge `name` (created on first set).
+  void set_gauge(std::string_view name, double value);
+
+  struct Sample {
+    std::string name;
+    bool is_gauge = false;
+    std::uint64_t count = 0;  ///< counters
+    double gauge = 0.0;       ///< gauges
+  };
+
+  /// All counters and gauges, sorted by name.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Zeroes every counter (in place -- handles stay valid) and drops all
+  /// gauges.
+  void reset();
+
+private:
+  Metrics() = default;
+
+  mutable std::mutex mutex_;
+  // Node-based so Counter addresses survive rehashing; transparent
+  // comparator so lookups take string_view without allocating.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+} // namespace al::support

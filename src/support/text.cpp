@@ -1,7 +1,9 @@
 #include "support/text.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace al {
 
@@ -58,6 +60,26 @@ std::string pad_left(std::string_view s, std::size_t width) {
   std::string out(s.substr(0, width));
   if (out.size() < width) out.insert(out.begin(), width - out.size(), ' ');
   return out;
+}
+
+bool parse_long(std::string_view s, long min, long max, long& out) {
+  // strtol needs a terminated buffer; command-line values are short.
+  const std::string buf(trim(s));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return false;  // trailing junk ("16x")
+  if (errno == ERANGE || v < min || v > max) return false;
+  out = v;
+  return true;
+}
+
+bool parse_int(std::string_view s, int min, int max, int& out) {
+  long v = 0;
+  if (!parse_long(s, min, max, v)) return false;
+  out = static_cast<int>(v);
+  return true;
 }
 
 } // namespace al

@@ -26,4 +26,12 @@ namespace al {
 [[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
 [[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
 
+/// Strict base-10 integer parse for command-line values: the WHOLE string
+/// must be a number in [min, max] -- empty input, trailing junk ("16x"),
+/// and out-of-range values all fail (atoi accepts the first two silently).
+/// On success writes `out` and returns true; on failure leaves `out` alone.
+[[nodiscard]] bool parse_long(std::string_view s, long min, long max, long& out);
+/// Same, for int-sized values.
+[[nodiscard]] bool parse_int(std::string_view s, int min, int max, int& out);
+
 } // namespace al

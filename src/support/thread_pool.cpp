@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace al::support {
 namespace {
@@ -62,7 +64,16 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
       queue_.pop_front();
     }
     not_full_.notify_one();
-    task();
+    // Per-task observability: one counter bump always (hoisted handle, one
+    // relaxed fetch_add), a recorded span only while tracing is on.
+    static Metrics::Counter& tasks = Metrics::instance().counter("thread_pool.tasks");
+    tasks.add();
+    if (Tracer::instance().enabled()) {
+      TraceSpan span("pool.task");
+      task();
+    } else {
+      task();
+    }
   }
   g_current_pool = nullptr;
 }
@@ -91,13 +102,20 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   auto st = std::make_shared<State>();
   st->n = n;
 
+  static Metrics::Counter& chunks_run = Metrics::instance().counter("thread_pool.parallel_chunks");
   auto drain = [st, &fn, grain] {
     for (;;) {
       const std::size_t begin = st->next.fetch_add(grain);
       if (begin >= st->n) return;
       const std::size_t end = std::min(begin + grain, st->n);
+      chunks_run.add();
       try {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
+        if (Tracer::instance().enabled()) {
+          TraceSpan span("pool.chunk");
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } else {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        }
       } catch (...) {
         std::lock_guard lock(st->m);
         if (!st->error) st->error = std::current_exception();

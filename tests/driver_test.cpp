@@ -3,10 +3,13 @@
 // HPF directive emission.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "corpus/corpus.hpp"
 #include "driver/emit.hpp"
 #include "driver/testcase.hpp"
 #include "driver/tool.hpp"
+#include "support/text.hpp"
 
 namespace al::driver {
 namespace {
@@ -123,6 +126,31 @@ TEST(Driver, ShallowPicksColumnDistribution) {
       EXPECT_EQ(r->chosen_layout(ph).distributed_array_dim(u, 2), 1) << "phase " << ph;
     }
   }
+}
+
+TEST(Driver, BadNumericFlagValuesRejected) {
+  // The CLI's --procs/--threads share this parser; atoi's old behavior
+  // ("16x" -> 16, "abc" -> 0) must be gone, and failures must leave the
+  // destination untouched.
+  constexpr int kMax = std::numeric_limits<int>::max();
+  int out = -1;
+  EXPECT_FALSE(parse_int("16x", 1, kMax, out));
+  EXPECT_FALSE(parse_int("", 1, kMax, out));
+  EXPECT_FALSE(parse_int("abc", 1, kMax, out));
+  EXPECT_FALSE(parse_int("0", 1, kMax, out));     // below the --procs minimum
+  EXPECT_FALSE(parse_int("1 2", 1, kMax, out));
+  EXPECT_FALSE(parse_int("99999999999999999999", 1, kMax, out));
+  EXPECT_EQ(out, -1);  // untouched through every failure
+  EXPECT_TRUE(parse_int("16", 1, kMax, out));
+  EXPECT_EQ(out, 16);
+  EXPECT_TRUE(parse_int(" 8 ", 1, kMax, out));  // trimmed
+  EXPECT_EQ(out, 8);
+  EXPECT_TRUE(parse_int("0", 0, kMax, out));  // 0 is valid for --threads
+  EXPECT_EQ(out, 0);
+  long lout = -1;
+  EXPECT_FALSE(parse_long("12cols", 1, 1 << 20, lout));
+  EXPECT_TRUE(parse_long("4096", 1, 1 << 20, lout));
+  EXPECT_EQ(lout, 4096);
 }
 
 TEST(Driver, NoPhasesThrows) {

@@ -38,6 +38,29 @@ TEST(Lexer, IntegerLiteral) {
   EXPECT_EQ(toks[0].int_value, 12345);
 }
 
+TEST(Lexer, IntegerLiteralOverflowReported) {
+  // Pre-fix behavior: strtol saturated silently and the program "compiled"
+  // with LONG_MAX. Overflow must be a lexer diagnostic.
+  DiagnosticEngine diags;
+  (void)lex("n = 99999999999999999999999999999\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.str().find("out of range"), std::string::npos) << diags.str();
+}
+
+TEST(Lexer, HugeRealExponentReported) {
+  DiagnosticEngine diags;
+  (void)lex("x = 1.0e99999\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.str().find("out of range"), std::string::npos) << diags.str();
+}
+
+TEST(Lexer, InRangeLiteralsStayExact) {
+  auto toks = lex_ok("2147483647 1.0e300");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].int_value, 2147483647L);
+  EXPECT_DOUBLE_EQ(toks[1].real_value, 1.0e300);
+}
+
 TEST(Lexer, RealLiterals) {
   auto toks = lex_ok("1.5 0.25 2. 1e3 1.5e-2 3d0 4.5D+1");
   ASSERT_GE(toks.size(), 7u);

@@ -1,0 +1,183 @@
+// Observability-layer tests: span nesting/containment, recording under the
+// worker pool (this file lives in the tsan-labelled binary so the same
+// suites rerun under -DAL_SANITIZE=thread), disabled-mode zero allocation,
+// and the metrics registry's concurrency guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+// Counting replacements for the global allocator: the disabled-span test
+// asserts the hot path performs ZERO allocations. Replacing scalar
+// new/delete is enough -- the default array forms forward here.
+static std::atomic<long> g_alloc_count{0};
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace al::support {
+namespace {
+
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().reset();
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothingAndAllocateNothing) {
+  const long before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("disabled");
+    (void)span;
+  }
+  const long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+}
+
+TEST_F(TraceTest, StopMsMeasuresEvenWhenDisabled) {
+  TraceSpan span("timed");
+  // Burn a little wall clock so the duration is strictly positive.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double ms = span.stop_ms();
+  EXPECT_GT(ms, 0.0);
+  EXPECT_EQ(span.stop_ms(), ms);  // idempotent
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansCarryDepthAndContainment) {
+  Tracer::instance().set_enabled(true);
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+      TraceSpan leaf("leaf");
+    }
+    TraceSpan sibling("sibling");
+  }
+  const std::vector<SpanRecord> spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 4u);  // recorded in close order
+  EXPECT_STREQ(spans[0].name, "leaf");
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_STREQ(spans[2].name, "sibling");
+  EXPECT_STREQ(spans[3].name, "outer");
+  EXPECT_EQ(spans[3].depth, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_EQ(spans[0].depth, 2);
+  // The outer span contains every other span's interval.
+  const SpanRecord& outer = spans[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(spans[i].start_ns, outer.start_ns);
+    EXPECT_LE(spans[i].start_ns + spans[i].dur_ns, outer.start_ns + outer.dur_ns);
+  }
+}
+
+TEST_F(TraceTest, RecordsFromPoolWorkersWithoutLossOrRace) {
+  Tracer::instance().set_enabled(true);
+  constexpr std::size_t kN = 500;
+  {
+    ThreadPool pool(4);
+    parallel_for(&pool, kN, [](std::size_t) { TraceSpan span("work"); });
+  }
+  Tracer::instance().set_enabled(false);
+  std::size_t work_spans = 0;
+  for (const SpanRecord& s : Tracer::instance().snapshot()) {
+    if (std::string(s.name) == "work") ++work_spans;
+  }
+  EXPECT_EQ(work_spans, kN);
+  EXPECT_EQ(Tracer::instance().dropped(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  Tracer::instance().set_enabled(true);
+  { TraceSpan span("hello"); }
+  Tracer::instance().set_enabled(false);
+  const std::string doc = Tracer::instance().chrome_trace_json();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"hello\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ResetDropsSpans) {
+  Tracer::instance().set_enabled(true);
+  { TraceSpan span("gone"); }
+  EXPECT_EQ(Tracer::instance().size(), 1u);
+  Tracer::instance().reset();
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+}
+
+TEST(MetricsTest, ConcurrentAddsSumExactly) {
+  Metrics::Counter& c = Metrics::instance().counter("test.concurrent_adds");
+  const std::uint64_t base = c.value();
+  constexpr std::size_t kN = 10000;
+  {
+    ThreadPool pool(4);
+    parallel_for(&pool, kN, [&c](std::size_t) { c.add(); });
+  }
+  EXPECT_EQ(c.value(), base + kN);
+}
+
+TEST(MetricsTest, ResetZeroesInPlaceKeepingHandles) {
+  Metrics::Counter& c = Metrics::instance().counter("test.reset_handle");
+  c.add(7);
+  EXPECT_GE(c.value(), 7u);
+  Metrics::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // the old handle still works after reset
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(&c, &Metrics::instance().counter("test.reset_handle"));
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAndTyped) {
+  Metrics::instance().reset();
+  Metrics::instance().counter("test.b_counter").add(2);
+  Metrics::instance().set_gauge("test.a_gauge", 1.5);
+  const std::vector<Metrics::Sample> samples = Metrics::instance().snapshot();
+  ASSERT_GE(samples.size(), 2u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  for (const auto& s : samples) {
+    if (s.name == "test.b_counter") {
+      saw_counter = true;
+      EXPECT_FALSE(s.is_gauge);
+      EXPECT_EQ(s.count, 2u);
+    }
+    if (s.name == "test.a_gauge") {
+      saw_gauge = true;
+      EXPECT_TRUE(s.is_gauge);
+      EXPECT_DOUBLE_EQ(s.gauge, 1.5);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+}
+
+} // namespace
+} // namespace al::support

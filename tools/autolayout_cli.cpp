@@ -17,6 +17,10 @@
 //   -d, --directives       print the annotated program with HPF directives
 //   -v, --verbose          per-phase static performance report
 //   -q, --quiet            only the final layout
+//   -J, --json FILE        write the full run as a schema-versioned JSON
+//                          document ("-" = stdout)
+//   -T, --trace FILE       enable span tracing and write a Chrome trace-event
+//                          file ("-" = stdout; load in chrome://tracing)
 //
 // Exit status: 0 on success, 1 on usage/frontend errors.
 #include <cstdio>
@@ -24,20 +28,43 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "autolayout.hpp"
+#include "driver/json_report.hpp"
 #include "driver/report.hpp"
 #include "machine/io.hpp"
+#include "support/metrics.hpp"
+#include "support/text.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-p procs] [-j threads] [-m ipsc860|paragon] [-t training.tsv]\n"
-               "          [-x] [-g] [-C] [-r] [-d] [-q] program.f\n",
+               "          [-x] [-g] [-C] [-r] [-d] [-q] [-J out.json] [-T trace.json]\n"
+               "          program.f\n",
                argv0);
+}
+
+/// Writes `text` to `path` ("-" = stdout). Returns false on I/O failure.
+bool write_text_file(const char* argv0, const std::string& path,
+                     const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write '%s'\n", argv0, path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
 }
 
 } // namespace
@@ -52,6 +79,8 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::string machine_name = "ipsc860";
   std::string training_file;
+  std::string json_file;
+  std::string trace_file;
   std::string input;
 
   for (int i = 1; i < argc; ++i) {
@@ -64,18 +93,18 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "-p" || a == "--procs") {
-      opts.procs = std::atoi(need_value("--procs"));
-      if (opts.procs < 1) {
-        std::fprintf(stderr, "%s: bad processor count\n", argv[0]);
+      // atoi accepts "16x" as 16 and garbage as 0 -- every numeric flag goes
+      // through the strict whole-string parse instead.
+      const char* v = need_value("--procs");
+      if (!parse_int(v, 1, std::numeric_limits<int>::max(), opts.procs)) {
+        std::fprintf(stderr, "%s: bad processor count '%s'\n", argv[0], v);
         return 1;
       }
     } else if (a == "-j" || a == "--threads") {
-      // atoi would turn garbage into 0, which is a VALID count (hardware
-      // default) -- require the whole value to be numeric.
+      // 0 is a VALID count here (hardware default), so rejecting garbage
+      // cannot be left to the value check.
       const char* v = need_value("--threads");
-      char* end = nullptr;
-      opts.threads = static_cast<int>(std::strtol(v, &end, 10));
-      if (end == v || *end != '\0' || opts.threads < 0) {
+      if (!parse_int(v, 0, std::numeric_limits<int>::max(), opts.threads)) {
         std::fprintf(stderr, "%s: bad thread count '%s'\n", argv[0], v);
         return 1;
       }
@@ -101,6 +130,10 @@ int main(int argc, char** argv) {
       directives = true;
     } else if (a == "-q" || a == "--quiet") {
       quiet = true;
+    } else if (a == "-J" || a == "--json") {
+      json_file = need_value("--json");
+    } else if (a == "-T" || a == "--trace") {
+      trace_file = need_value("--trace");
     } else if (a == "-h" || a == "--help") {
       usage(argv[0]);
       return 0;
@@ -156,7 +189,27 @@ int main(int argc, char** argv) {
     std::ostringstream src;
     src << in.rdbuf();
 
+    // One CLI invocation is one run: start the observability layer clean so
+    // the exported counters/spans describe exactly this run.
+    support::Metrics::instance().reset();
+    if (!trace_file.empty()) {
+      support::Tracer::instance().set_enabled(true);
+      support::Tracer::instance().reset();
+    }
+
     auto result = driver::run_tool(src.str(), opts);
+
+    if (!json_file.empty() &&
+        !write_text_file(argv[0], json_file, driver::json_report(*result)))
+      return 1;
+    if (!trace_file.empty() &&
+        !write_text_file(argv[0], trace_file,
+                         support::Tracer::instance().chrome_trace_json()))
+      return 1;
+
+    // "-" sends a machine-readable document to stdout; mixing the human
+    // listing into the same stream would corrupt it for consumers.
+    if (json_file == "-" || trace_file == "-") return 0;
 
     if (!quiet) {
       std::printf("machine:   %s, %d processors\n", opts.machine.name.c_str(),
