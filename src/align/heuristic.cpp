@@ -18,7 +18,7 @@ AlignmentAnalysis analyze_alignment(const fortran::Program& prog, const pcfg::Pc
     if (opts.scale_by_frequency) bopts.cost_scale = std::max(pcfg.frequency(p), 1e-6);
     cag::Cag raw = cag::build_phase_cag(pcfg.phase(p), universe, prog.symbols, bopts);
     if (raw.has_conflict()) {
-      cag::Resolution res = cag::resolve_alignment(raw, template_rank);
+      cag::Resolution res = cag::resolve_alignment(raw, template_rank, opts.mip);
       out.ilp_resolutions.push_back(res);
       out.phase_cags.push_back(cag::satisfied_subgraph(raw, res));
     } else {
@@ -36,7 +36,7 @@ AlignmentAnalysis analyze_alignment(const fortran::Program& prog, const pcfg::Pc
   std::vector<AlignmentCandidate> own(ncls);
   for (std::size_t c = 0; c < ncls; ++c) {
     const PhaseClass& cls = out.partition.classes[c];
-    cag::Resolution res = cag::resolve_alignment(cls.cag, template_rank);
+    cag::Resolution res = cag::resolve_alignment(cls.cag, template_rank, opts.mip);
     AlignmentCandidate cand;
     cand.info = restrict_info(res.info, universe, cls.arrays);
     cand.alignment = cag::orient(res, universe, template_rank, cls.arrays, nullptr);
@@ -45,12 +45,14 @@ AlignmentAnalysis analyze_alignment(const fortran::Program& prog, const pcfg::Pc
     own[c] = cand;
     out.class_spaces[c].insert(std::move(cand));
   }
+  ImportOptions iopts = opts.import;
+  iopts.mip = opts.mip;  // one budget governs every alignment solve
   for (std::size_t sink = 0; sink < ncls; ++sink) {
     for (std::size_t src = 0; src < ncls; ++src) {
       if (src == sink) continue;
       ImportResult imp = import_candidate(out.partition.classes[src],
                                           out.partition.classes[sink], template_rank,
-                                          opts.import);
+                                          iopts);
       if (imp.had_conflict) out.ilp_resolutions.push_back(imp.resolution);
       imp.candidate.origin = "import(" + std::to_string(src) + ")";
       out.class_spaces[sink].insert(std::move(imp.candidate));

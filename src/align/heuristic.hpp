@@ -20,6 +20,10 @@ struct AlignmentAnalysisOptions {
   /// are joined (hot phases' preferences should win class-internal fights).
   bool scale_by_frequency = true;
   ImportOptions import;
+  /// Budgets for every exact conflict-resolution solve (per-phase, class,
+  /// and import CAGs). Budget hits degrade to the greedy heuristic; the
+  /// resolutions' provenance fields say which path ran.
+  ilp::MipOptions mip;
 };
 
 struct AlignmentAnalysis {

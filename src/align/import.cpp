@@ -30,7 +30,7 @@ ImportResult import_candidate(const PhaseClass& source, const PhaseClass& sink,
 
   ImportResult out;
   out.had_conflict = scaled.has_conflict();
-  out.resolution = cag::resolve_alignment(scaled, template_rank);
+  out.resolution = cag::resolve_alignment(scaled, template_rank, opts.mip);
 
   // Restrict to the arrays the sink class references.
   out.candidate.info = restrict_info(out.resolution.info, uni, sink.arrays);

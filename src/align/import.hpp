@@ -7,6 +7,7 @@
 
 #include "align/phase_classes.hpp"
 #include "align/space.hpp"
+#include "ilp/branch_and_bound.hpp"
 
 namespace al::align {
 
@@ -14,6 +15,9 @@ struct ImportOptions {
   /// Extra multiplier on top of the dominance scale (1.0 = minimal
   /// domination).
   double dominance_margin = 2.0;
+  /// Budgets for the merged-CAG conflict resolution (analyze_alignment
+  /// overrides this with its own AlignmentAnalysisOptions::mip).
+  ilp::MipOptions mip;
 };
 
 struct ImportResult {

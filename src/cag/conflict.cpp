@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cag/greedy_resolution.hpp"
 #include "cag/ilp_formulation.hpp"
 #include "ilp/branch_and_bound.hpp"
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
 
 namespace al::cag {
 namespace {
@@ -134,7 +136,7 @@ Cag satisfied_subgraph(const Cag& cag, const Resolution& res) {
   return out;
 }
 
-Resolution resolve_alignment(const Cag& cag, int d) {
+Resolution resolve_alignment(const Cag& cag, int d, const ilp::MipOptions& mip) {
   if (!cag.has_conflict()) {
     // No path conflict: the components ARE a solution -- provided they can
     // be placed on distinct template dimensions (odd component/array cycles
@@ -143,22 +145,39 @@ Resolution resolve_alignment(const Cag& cag, int d) {
     if (!colors.empty()) return resolution_from_components(cag, d);
   }
   AlignmentIlp ilp = formulate_alignment_ilp(cag, d);
-  ilp::MipResult res = ilp::solve_mip(ilp.model);
-  AL_ASSERT(res.status == ilp::SolveStatus::Optimal);
+  ilp::MipResult res = ilp::solve_mip(ilp.model, mip);
 
   Resolution r;
-  const NodeUniverse& uni = cag.universe();
-  r.part_of.assign(static_cast<std::size_t>(uni.size()), -1);
-  for (std::size_t i = 0; i < ilp.nodes.size(); ++i) {
-    for (int k = 0; k < d; ++k) {
-      if (std::lround(res.x[static_cast<std::size_t>(ilp.node_var(static_cast<int>(i), k))]) == 1) {
-        r.part_of[static_cast<std::size_t>(ilp.nodes[i])] = k;
-        break;
+  if (ilp::has_solution(res.status)) {
+    // Optimal, or a budget hit with an integer incumbent: the solution
+    // vector is valid either way (never read `res.x` otherwise -- the
+    // pre-PR code asserted on Optimal in debug builds and read an empty
+    // vector in release builds).
+    const NodeUniverse& uni = cag.universe();
+    r.part_of.assign(static_cast<std::size_t>(uni.size()), -1);
+    for (std::size_t i = 0; i < ilp.nodes.size(); ++i) {
+      for (int k = 0; k < d; ++k) {
+        if (std::lround(res.x[static_cast<std::size_t>(ilp.node_var(static_cast<int>(i), k))]) == 1) {
+          r.part_of[static_cast<std::size_t>(ilp.nodes[i])] = k;
+          break;
+        }
       }
     }
+    r.info = info_from_assignment(cag, r.part_of);
+    fill_weights(cag, r);
   }
-  r.info = info_from_assignment(cag, r.part_of);
-  fill_weights(cag, r);
+  if (res.status != ilp::SolveStatus::Optimal) {
+    // Degraded: compare the incumbent (if any) against the greedy heuristic
+    // and keep whichever satisfies more edge weight (incumbent on ties).
+    support::Metrics::instance().counter("ilp.mip_fallbacks").add();
+    Resolution greedy = resolve_alignment_greedy(cag, d);
+    if (!ilp::has_solution(res.status) ||
+        greedy.satisfied_weight > r.satisfied_weight) {
+      greedy.greedy_fallback = true;
+      r = std::move(greedy);
+    }
+  }
+  r.solver_status = res.status;
   r.ilp_variables = ilp.model.num_variables();
   r.ilp_constraints = ilp.model.num_constraints();
   r.bb_nodes = res.nodes;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "cag/cag.hpp"
+#include "ilp/branch_and_bound.hpp"
 
 namespace al::cag {
 
@@ -29,6 +30,13 @@ struct Resolution {
   int ilp_constraints = 0;
   long bb_nodes = 0;
   long lp_iterations = 0;
+  // --- solver resilience provenance (DESIGN.md section 10) ---
+  /// Status of the exact 0-1 solve. Non-ILP paths (conflict-free read-off)
+  /// report Optimal: the components ARE the exact answer there.
+  ilp::SolveStatus solver_status = ilp::SolveStatus::Optimal;
+  /// True when the exact solve exhausted its budgets and the greedy
+  /// heuristic produced this resolution instead.
+  bool greedy_fallback = false;
 
   Resolution() : info(0) {}
 };
@@ -37,8 +45,11 @@ struct Resolution {
 /// read off their connected components; everything else -- including the
 /// subtle case of a path-conflict-free CAG whose component/array structure
 /// is not d-colorable (an odd cycle of array-sharing components) -- goes
-/// through the exact 0-1 formulation.
-[[nodiscard]] Resolution resolve_alignment(const Cag& cag, int d);
+/// through the exact 0-1 formulation under `mip`'s budgets. A budget hit
+/// takes the ILP incumbent or degrades to the greedy heuristic (whichever
+/// satisfies more edge weight), recorded in the result's provenance fields.
+[[nodiscard]] Resolution resolve_alignment(const Cag& cag, int d,
+                                           const ilp::MipOptions& mip = {});
 
 /// Assigns partition indices to the multi-node blocks of `p` such that
 /// blocks sharing an array receive distinct indices (exact backtracking;

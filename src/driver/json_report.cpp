@@ -52,6 +52,17 @@ void write_selection(support::JsonWriter& w, const ToolResult& r) {
   w.kv("total_cost_us", r.selection.total_cost_us);
   w.kv("node_cost_us", r.selection.node_cost_us);
   w.kv("remap_cost_us", r.selection.remap_cost_us);
+  w.kv("solver_status", ilp::to_string(r.selection.solver_status));
+  w.kv("engine", select::to_string(r.selection.engine));
+  w.kv("fallback", r.selection.is_fallback());
+  w.key("budgets").begin_object();
+  w.kv("max_nodes", r.options.mip.max_nodes);
+  w.kv("deadline_ms", r.options.mip.deadline_ms);
+  w.end_object();
+  w.key("verification").begin_object();
+  w.kv("ok", r.verification.ok);
+  w.kv("message", r.verification.message);
+  w.end_object();
   w.key("ilp").begin_object();
   w.kv("variables", r.selection.ilp_variables);
   w.kv("constraints", r.selection.ilp_constraints);
@@ -59,6 +70,20 @@ void write_selection(support::JsonWriter& w, const ToolResult& r) {
   w.kv("simplex_pivots", r.selection.lp_iterations);
   w.kv("solve_ms", r.selection.solve_ms);
   w.end_object();
+  w.end_object();
+}
+
+void write_alignment_ilp(support::JsonWriter& w, const ToolResult& r) {
+  std::uint64_t greedy = 0;
+  std::uint64_t non_optimal = 0;
+  for (const cag::Resolution& res : r.alignment.ilp_resolutions) {
+    if (res.greedy_fallback) ++greedy;
+    if (res.solver_status != ilp::SolveStatus::Optimal) ++non_optimal;
+  }
+  w.key("alignment_ilp").begin_object();
+  w.kv("resolutions", static_cast<std::uint64_t>(r.alignment.ilp_resolutions.size()));
+  w.kv("non_optimal", non_optimal);
+  w.kv("greedy_fallbacks", greedy);
   w.end_object();
 }
 
@@ -164,6 +189,7 @@ void write_json_report(const ToolResult& r, std::ostream& os) {
   w.kv("edge_blocks", static_cast<std::uint64_t>(r.graph.edges.size()));
   w.end_object();
   write_selection(w, r);
+  write_alignment_ilp(w, r);
   write_stages(w, r.timings);
   write_cache(w, r);
   write_metrics(w);

@@ -17,7 +17,13 @@ namespace al::driver {
 
 /// Bump when a field is renamed/removed or its meaning changes; adding
 /// fields is backward-compatible and does not bump.
-inline constexpr int kJsonReportSchemaVersion = 1;
+///
+/// v2: selection carries solver resilience data -- "solver_status",
+/// "engine", "fallback", the configured "budgets" (max_nodes, deadline_ms),
+/// and the independent checker's "verification" verdict; a new top-level
+/// "alignment_ilp" block summarizes conflict-resolution solves and greedy
+/// fallbacks.
+inline constexpr int kJsonReportSchemaVersion = 2;
 
 /// Streams the full run document for `result`.
 void write_json_report(const ToolResult& result, std::ostream& os);

@@ -69,6 +69,19 @@ std::string performance_report(const ToolResult& result) {
      << format_fixed(result.selection.node_cost_us / 1e6, 3) << " s + remaps "
      << format_fixed(result.selection.remap_cost_us / 1e6, 3) << " s = "
      << format_fixed(result.selection.total_cost_us / 1e6, 3) << " s\n";
+  os << "selection solver: " << ilp::to_string(result.selection.solver_status)
+     << ", engine " << select::to_string(result.selection.engine)
+     << (result.selection.is_fallback() ? " (fallback)" : "") << ", checker "
+     << (result.verification.ok ? "ok" : "FAILED: " + result.verification.message);
+  std::size_t greedy_resolutions = 0;
+  for (const cag::Resolution& res : result.alignment.ilp_resolutions) {
+    if (res.greedy_fallback) ++greedy_resolutions;
+  }
+  if (!result.alignment.ilp_resolutions.empty()) {
+    os << "; alignment ILPs " << result.alignment.ilp_resolutions.size();
+    if (greedy_resolutions > 0) os << " (" << greedy_resolutions << " greedy fallback)";
+  }
+  os << "\n";
   os << "\n" << stage_report(result.timings);
   return os.str();
 }

@@ -66,9 +66,10 @@ std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions&
     support::TraceSpan span("stage.alignment");
     r->templ = layout::ProgramTemplate::from_program(r->program);
     r->universe = cag::NodeUniverse::from_program(r->program);
-    r->alignment =
-        align::analyze_alignment(r->program, r->pcfg, r->universe, r->templ.rank,
-                                 opts.alignment);
+    align::AlignmentAnalysisOptions aopts = opts.alignment;
+    aopts.mip = opts.mip;  // one solver budget governs the whole run
+    r->alignment = align::analyze_alignment(r->program, r->pcfg, r->universe,
+                                            r->templ.rank, aopts);
     r->timings.alignment_ms = span.stop_ms();
   }
 
@@ -140,9 +141,14 @@ std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions&
   }
 
   {
-    // 4. Layout selection via 0-1 integer programming (framework step 4).
+    // 4. Layout selection via 0-1 integer programming (framework step 4),
+    // then the independent checker -- every selection is re-validated no
+    // matter which engine (ILP, incumbent, DP, greedy) produced it.
     support::TraceSpan span("stage.selection");
-    r->selection = select::select_layouts_ilp(r->graph);
+    select::SelectionOptions sopts;
+    sopts.mip = opts.mip;
+    r->selection = select::select_layouts_ilp(r->graph, sopts);
+    r->verification = select::verify_assignment(r->graph, r->selection);
     r->timings.selection_ms = span.stop_ms();
   }
 

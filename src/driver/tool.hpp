@@ -14,10 +14,12 @@
 #include "fortran/inline.hpp"
 #include "fortran/scalar_expand.hpp"
 #include "fortran/parser.hpp"
+#include "ilp/branch_and_bound.hpp"
 #include "layout/template_map.hpp"
 #include "machine/training_set.hpp"
 #include "perf/estimator.hpp"
 #include "select/ilp_selection.hpp"
+#include "select/verify.hpp"
 
 namespace al::driver {
 
@@ -42,6 +44,12 @@ struct ToolOptions {
   bool replicate_unwritten = false;
   distrib::Strategy distribution_strategy = distrib::Strategy::Exhaustive1DBlock;
   align::AlignmentAnalysisOptions alignment;
+  /// Budgets for EVERY exact 0-1 solve of the run (alignment conflict
+  /// resolution and layout selection). A budget hit never aborts the run:
+  /// the solvers degrade to the ILP incumbent, the exact chain DP, or the
+  /// greedy heuristics, and the provenance is reported (CLI --mip-nodes /
+  /// --mip-deadline-ms).
+  ilp::MipOptions mip;
   /// Partially specified layouts (the abstract's second use case): phases
   /// listed here are pinned to the given layout; the tool extends the
   /// layout to the rest of the program.
@@ -78,6 +86,9 @@ struct ToolResult {
   std::unique_ptr<perf::Estimator> estimator; ///< references members above
   select::LayoutGraph graph;
   select::SelectionResult selection;
+  /// Independent checker verdict on `selection` (run on every result,
+  /// whatever engine produced it).
+  select::VerifyResult verification;
   StageTimings timings;
 
   ToolResult() = default;

@@ -1,6 +1,7 @@
 #include "ilp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <queue>
@@ -64,6 +65,14 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
   } metrics_guard{result};
   const double sense_sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
 
+  const auto start = std::chrono::steady_clock::now();
+  auto past_deadline = [&] {
+    if (opts.deadline_ms <= 0.0) return false;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+               .count() >= opts.deadline_ms;
+  };
+
   SimplexOptions lp_opts;
   lp_opts.max_iterations = opts.max_lp_iterations;
 
@@ -94,6 +103,29 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
   double incumbent_obj = kInfinity;  // in minimization sense
   std::vector<double> incumbent_x;
   long next_id = 0;
+
+  // Every exit that may carry the incumbent funnels through here: the
+  // integer variables are rounded exactly and the objective is recomputed
+  // from the rounded point (the pre-PR limit exits skipped both, handing
+  // callers an unrounded incumbent). A limit exit with an incumbent
+  // downgrades to Feasible; without one the limit status stands and `x`
+  // stays empty.
+  auto finish = [&](SolveStatus status_without_incumbent) {
+    if (incumbent_x.empty()) {
+      result.status = status_without_incumbent;
+      return;
+    }
+    result.status = status_without_incumbent == SolveStatus::Optimal
+                        ? SolveStatus::Optimal
+                        : SolveStatus::Feasible;
+    result.x = incumbent_x;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.variable(j).integer)
+        result.x[static_cast<std::size_t>(j)] =
+            std::round(result.x[static_cast<std::size_t>(j)]);
+    }
+    result.objective = model.objective_value(result.x);
+  };
 
   std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder> open;
 
@@ -131,11 +163,12 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
 
   while (!open.empty()) {
     if (result.nodes >= opts.max_nodes) {
-      result.status = SolveStatus::NodeLimit;
-      if (!incumbent_x.empty()) {
-        result.x = incumbent_x;
-        result.objective = sense_sign * incumbent_obj;
-      }
+      finish(SolveStatus::NodeLimit);
+      return result;
+    }
+    if (past_deadline()) {
+      support::Metrics::instance().counter("ilp.deadline_hits").add();
+      finish(SolveStatus::TimeLimit);
       return result;
     }
     auto node = open.top();
@@ -146,11 +179,7 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
     ++result.nodes;
     if (lp.status == SolveStatus::Infeasible) continue;
     if (lp.status != SolveStatus::Optimal) {
-      result.status = lp.status;
-      if (!incumbent_x.empty()) {
-        result.x = incumbent_x;
-        result.objective = sense_sign * incumbent_obj;
-      }
+      finish(lp.status);
       return result;
     }
     process(node, lp);
@@ -160,15 +189,7 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
     result.status = SolveStatus::Infeasible;
     return result;
   }
-  result.status = SolveStatus::Optimal;
-  result.x = incumbent_x;
-  result.objective = sense_sign * incumbent_obj;
-  // Round integer variables exactly.
-  for (int j = 0; j < model.num_variables(); ++j) {
-    if (model.variable(j).integer)
-      result.x[static_cast<std::size_t>(j)] = std::round(result.x[static_cast<std::size_t>(j)]);
-  }
-  result.objective = model.objective_value(result.x);
+  finish(SolveStatus::Optimal);
   return result;
 }
 

@@ -12,10 +12,17 @@ struct MipOptions {
   double int_tol = 1e-6;      ///< |x - round(x)| below this counts as integral
   long max_nodes = 2'000'000; ///< safety valve; paper instances use a handful
   long max_lp_iterations = 0; ///< per-node simplex pivot limit (0 = auto)
+  /// Wall-clock budget for the whole solve, checked between branch-and-bound
+  /// nodes (a single in-flight LP is never interrupted). 0 = no deadline.
+  double deadline_ms = 0.0;
 };
 
-/// Solves `model` to proven optimality (unless a limit is hit, in which case
-/// the status says so and the incumbent -- if any -- is returned).
+/// Solves `model` to proven optimality unless a budget is hit. On a budget
+/// exit WITH an incumbent the status is `Feasible` and `x` holds the best
+/// integer solution found (integer variables exactly rounded); without an
+/// incumbent the status names the limit (`NodeLimit` / `TimeLimit` /
+/// `IterationLimit`) and `x` is empty -- never read `x` unless
+/// `has_solution(status)`.
 [[nodiscard]] MipResult solve_mip(const Model& model, MipOptions opts = {});
 
 /// Exhaustive enumeration over the integer variables (continuous variables

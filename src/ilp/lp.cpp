@@ -92,10 +92,12 @@ std::string Model::str() const {
 const char* to_string(SolveStatus s) {
   switch (s) {
     case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Feasible: return "feasible";
     case SolveStatus::Infeasible: return "infeasible";
     case SolveStatus::Unbounded: return "unbounded";
     case SolveStatus::IterationLimit: return "iteration-limit";
     case SolveStatus::NodeLimit: return "node-limit";
+    case SolveStatus::TimeLimit: return "time-limit";
   }
   return "?";
 }

@@ -91,7 +91,20 @@ private:
   std::vector<Constraint> rows_;
 };
 
-enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit, NodeLimit };
+enum class SolveStatus {
+  Optimal,         ///< proven optimal solution in `x`
+  Feasible,        ///< a limit was hit but an integer incumbent is in `x`
+  Infeasible,      ///< no solution exists
+  Unbounded,       ///< objective unbounded
+  IterationLimit,  ///< simplex pivot limit hit, no incumbent
+  NodeLimit,       ///< branch-and-bound node budget hit, no incumbent
+  TimeLimit,       ///< wall-clock deadline hit, no incumbent
+};
+
+/// True when the status guarantees a usable solution vector in `x`.
+[[nodiscard]] constexpr bool has_solution(SolveStatus s) {
+  return s == SolveStatus::Optimal || s == SolveStatus::Feasible;
+}
 
 [[nodiscard]] const char* to_string(SolveStatus s);
 

@@ -275,12 +275,14 @@ bool Simplex::iterate(const std::vector<double>& cost) {
         to = bc.upper;
       }
       if (t < -tol) t = 0.0;  // numerical: clamp slightly-infeasible basics
-      if (t < tmax - 1e-12 || (leave < 0 && t <= tmax)) {
-        if (t <= tmax) {
-          tmax = t;
-          leave = i;
-          leave_to = to;
-        }
+      // Row i becomes the blocking row when it strictly tightens the step,
+      // or -- on a degenerate tie within 1e-12 -- when no blocking row has
+      // been picked yet (a tie never displaces an earlier winner, so the
+      // lowest-index row wins ties and pivots are deterministic).
+      if (t <= tmax && (leave < 0 || t < tmax - 1e-12)) {
+        tmax = t;
+        leave = i;
+        leave_to = to;
       }
     }
 

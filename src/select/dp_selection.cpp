@@ -27,6 +27,7 @@ std::optional<SelectionResult> select_layouts_dp(const LayoutGraph& graph) {
   std::vector<int> out_deg(static_cast<std::size_t>(n), 0);
   std::vector<int> in_deg(static_cast<std::size_t>(n), 0);
   for (const LayoutEdgeBlock& e : graph.edges) {
+    if (e.remap_us.empty()) continue;  // degenerate block: free, not a chain link
     if (successor[static_cast<std::size_t>(e.src_phase)] != nullptr) return std::nullopt;
     successor[static_cast<std::size_t>(e.src_phase)] = &e;
     ++out_deg[static_cast<std::size_t>(e.src_phase)];
@@ -130,6 +131,7 @@ std::optional<SelectionResult> select_layouts_dp(const LayoutGraph& graph) {
   if (best_chosen.empty()) return std::nullopt;
 
   SelectionResult out;
+  out.engine = SelectionEngine::Dp;
   out.chosen = std::move(best_chosen);
   out.total_cost_us = assignment_cost(graph, out.chosen);
   for (int p = 0; p < n; ++p) {

@@ -1,11 +1,59 @@
 #include "select/ilp_selection.hpp"
 
 #include <chrono>
+#include <limits>
+#include <string>
 
-#include "ilp/branch_and_bound.hpp"
+#include "select/dp_selection.hpp"
 #include "support/contracts.hpp"
+#include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 
 namespace al::select {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Fills the cost breakdown of `out` from its `chosen` vector.
+void fill_costs(const LayoutGraph& graph, SelectionResult& out) {
+  out.total_cost_us = assignment_cost(graph, out.chosen);
+  out.node_cost_us = 0.0;
+  for (int p = 0; p < graph.num_phases(); ++p) {
+    out.node_cost_us += graph.node_cost_us[static_cast<std::size_t>(p)]
+                                          [static_cast<std::size_t>(
+                                              out.chosen[static_cast<std::size_t>(p)])];
+  }
+  out.remap_cost_us = out.total_cost_us - out.node_cost_us;
+}
+
+/// Reads the chosen candidate per phase out of a solved x vector.
+std::vector<int> extract_assignment(const LayoutGraph& graph,
+                                    const std::vector<std::vector<int>>& x,
+                                    const std::vector<double>& solution) {
+  std::vector<int> chosen(static_cast<std::size_t>(graph.num_phases()), 0);
+  for (int p = 0; p < graph.num_phases(); ++p) {
+    for (int i = 0; i < graph.num_candidates(p); ++i) {
+      if (solution[static_cast<std::size_t>(
+              x[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)])] > 0.5) {
+        chosen[static_cast<std::size_t>(p)] = i;
+        break;
+      }
+    }
+  }
+  return chosen;
+}
+
+} // namespace
+
+const char* to_string(SelectionEngine e) {
+  switch (e) {
+    case SelectionEngine::Ilp: return "ilp";
+    case SelectionEngine::IlpIncumbent: return "ilp-incumbent";
+    case SelectionEngine::Dp: return "dp";
+    case SelectionEngine::Greedy: return "greedy";
+  }
+  return "?";
+}
 
 double assignment_cost(const LayoutGraph& graph, const std::vector<int>& chosen) {
   AL_EXPECTS(static_cast<int>(chosen.size()) == graph.num_phases());
@@ -15,6 +63,7 @@ double assignment_cost(const LayoutGraph& graph, const std::vector<int>& chosen)
                               [static_cast<std::size_t>(chosen[static_cast<std::size_t>(p)])];
   }
   for (const LayoutEdgeBlock& e : graph.edges) {
+    if (e.remap_us.empty()) continue;  // degenerate block: no cost matrix
     const int i = chosen[static_cast<std::size_t>(e.src_phase)];
     const int j = chosen[static_cast<std::size_t>(e.dst_phase)];
     cost += e.traversals * e.remap_us[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
@@ -22,8 +71,78 @@ double assignment_cost(const LayoutGraph& graph, const std::vector<int>& chosen)
   return cost;
 }
 
-SelectionResult select_layouts_ilp(const LayoutGraph& graph) {
+SelectionResult select_layouts_greedy(const LayoutGraph& graph) {
   const auto t0 = std::chrono::steady_clock::now();
+  const int n = graph.num_phases();
+  SelectionResult out;
+  out.engine = SelectionEngine::Greedy;
+  out.chosen.assign(static_cast<std::size_t>(n), 0);
+
+  std::vector<char> decided(static_cast<std::size_t>(n), 0);
+  // Remap cost between phase `p` at candidate `i` and its already-decided
+  // neighbors. Out-of-range matrix cells (degenerate blocks) cost nothing.
+  auto neighbor_cost = [&](int p, int i) {
+    double c = 0.0;
+    for (const LayoutEdgeBlock& e : graph.edges) {
+      if (e.remap_us.empty()) continue;
+      std::size_t row;
+      std::size_t col;
+      if (e.src_phase == p && decided[static_cast<std::size_t>(e.dst_phase)]) {
+        row = static_cast<std::size_t>(i);
+        col = static_cast<std::size_t>(out.chosen[static_cast<std::size_t>(e.dst_phase)]);
+      } else if (e.dst_phase == p && decided[static_cast<std::size_t>(e.src_phase)]) {
+        row = static_cast<std::size_t>(out.chosen[static_cast<std::size_t>(e.src_phase)]);
+        col = static_cast<std::size_t>(i);
+      } else {
+        continue;
+      }
+      if (row >= e.remap_us.size() || col >= e.remap_us[row].size()) continue;
+      c += e.traversals * e.remap_us[row][col];
+    }
+    return c;
+  };
+  auto pick = [&](int p) {
+    double best = kInf;
+    int best_i = 0;
+    for (int i = 0; i < graph.num_candidates(p); ++i) {
+      const double c = graph.node_cost_us[static_cast<std::size_t>(p)]
+                                         [static_cast<std::size_t>(i)] +
+                       neighbor_cost(p, i);
+      if (c < best) {
+        best = c;
+        best_i = i;
+      }
+    }
+    out.chosen[static_cast<std::size_t>(p)] = best_i;
+  };
+
+  // Sweep 1: build up the assignment phase by phase (earlier phases fixed).
+  for (int p = 0; p < n; ++p) {
+    pick(p);
+    decided[static_cast<std::size_t>(p)] = 1;
+  }
+  // Sweep 2: one local-improvement pass against the full assignment.
+  for (int p = 0; p < n; ++p) pick(p);
+
+  fill_costs(graph, out);
+  out.solve_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return out;
+}
+
+SelectionResult select_layouts_ilp(const LayoutGraph& graph,
+                                   const SelectionOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // An empty candidate space admits no layout at all -- that is genuine
+  // infeasibility, not a solver failure, and no fallback can repair it.
+  for (int p = 0; p < graph.num_phases(); ++p) {
+    if (graph.num_candidates(p) == 0) {
+      throw InfeasibleError("layout selection infeasible: phase " +
+                            std::to_string(p) + " has an empty candidate space");
+    }
+  }
 
   ilp::Model model(ilp::Sense::Minimize);
 
@@ -49,7 +168,9 @@ SelectionResult select_layouts_ilp(const LayoutGraph& graph) {
   // constraints force y integral at any vertex the solver returns.
   for (std::size_t e = 0; e < graph.edges.size(); ++e) {
     const LayoutEdgeBlock& blk = graph.edges[e];
-    // Skip edges that cannot cost anything regardless of the choice.
+    // Skip degenerate blocks (no cost matrix) and blocks that cannot cost
+    // anything regardless of the choice.
+    if (blk.remap_us.empty()) continue;
     bool any_cost = false;
     for (const auto& row : blk.remap_us) {
       for (double c : row) {
@@ -83,25 +204,40 @@ SelectionResult select_layouts_ilp(const LayoutGraph& graph) {
     }
   }
 
-  ilp::MipResult mip = ilp::solve_mip(model);
-  AL_ASSERT(mip.status == ilp::SolveStatus::Optimal);
+  ilp::MipResult mip = ilp::solve_mip(model, opts.mip);
 
   SelectionResult out;
-  out.chosen.assign(static_cast<std::size_t>(graph.num_phases()), 0);
-  for (int p = 0; p < graph.num_phases(); ++p) {
-    for (int i = 0; i < graph.num_candidates(p); ++i) {
-      if (mip.x[static_cast<std::size_t>(x[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)])] > 0.5) {
-        out.chosen[static_cast<std::size_t>(p)] = i;
-        break;
-      }
+  if (mip.status == ilp::SolveStatus::Optimal) {
+    out.chosen = extract_assignment(graph, x, mip.x);
+    out.engine = SelectionEngine::Ilp;
+    fill_costs(graph, out);
+  } else {
+    // The solver hit a budget (or failed): degrade gracefully. Candidates
+    // are the ILP incumbent (when one exists), the exact chain DP (when the
+    // graph has that shape), and the greedy sweep; the cheapest wins, with
+    // the incumbent preferred on ties.
+    support::Metrics::instance().counter("ilp.mip_fallbacks").add();
+    SelectionResult best;
+    best.total_cost_us = kInf;
+    bool have = false;
+    if (ilp::has_solution(mip.status)) {
+      best.chosen = extract_assignment(graph, x, mip.x);
+      best.engine = SelectionEngine::IlpIncumbent;
+      fill_costs(graph, best);
+      have = true;
     }
+    if (std::optional<SelectionResult> dp = select_layouts_dp(graph);
+        dp && (!have || dp->total_cost_us < best.total_cost_us)) {
+      best = std::move(*dp);
+      have = true;
+    }
+    if (SelectionResult greedy = select_layouts_greedy(graph);
+        !have || greedy.total_cost_us < best.total_cost_us) {
+      best = std::move(greedy);
+    }
+    out = std::move(best);
   }
-  out.total_cost_us = assignment_cost(graph, out.chosen);
-  for (int p = 0; p < graph.num_phases(); ++p) {
-    out.node_cost_us += graph.node_cost_us[static_cast<std::size_t>(p)]
-                                          [static_cast<std::size_t>(out.chosen[static_cast<std::size_t>(p)])];
-  }
-  out.remap_cost_us = out.total_cost_us - out.node_cost_us;
+  out.solver_status = mip.status;
   out.ilp_variables = model.num_variables();
   out.ilp_constraints = model.num_constraints();
   out.bb_nodes = mip.nodes;

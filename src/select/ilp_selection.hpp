@@ -4,12 +4,31 @@
 //   * one binary y per edge candidate pair with nonzero remap cost,
 //     linearized product: y >= x_src + x_dst - 1
 //   * minimize  sum node_cost * x  +  sum remap_cost * traversals * y.
-// Solved to proven optimality by src/ilp (the paper used CPLEX).
+// Solved to proven optimality by src/ilp (the paper used CPLEX) under the
+// configured budgets; a budget hit degrades to the ILP incumbent, the exact
+// chain DP, or the greedy sweep -- never to a crash (DESIGN.md section 10).
 #pragma once
 
+#include "ilp/branch_and_bound.hpp"
 #include "select/layout_graph.hpp"
 
 namespace al::select {
+
+/// Which engine produced a SelectionResult.
+enum class SelectionEngine {
+  Ilp,           ///< branch and bound, proven optimal
+  IlpIncumbent,  ///< best integer solution before a budget hit
+  Dp,            ///< exact chain/cycle dynamic program (fallback)
+  Greedy,        ///< greedy sweep + improvement pass (last-resort fallback)
+};
+
+[[nodiscard]] const char* to_string(SelectionEngine e);
+
+/// Budgets for the selection solve. The defaults match the pre-budget
+/// behavior (effectively unlimited for paper-sized instances).
+struct SelectionOptions {
+  ilp::MipOptions mip;
+};
 
 struct SelectionResult {
   std::vector<int> chosen;     ///< candidate index per phase
@@ -22,12 +41,29 @@ struct SelectionResult {
   long bb_nodes = 0;
   long lp_iterations = 0;
   double solve_ms = 0.0;
+  // --- solver resilience provenance (DESIGN.md section 10) ---
+  ilp::SolveStatus solver_status = ilp::SolveStatus::Optimal;
+  SelectionEngine engine = SelectionEngine::Ilp;
+  /// True when the ILP did not prove optimality and a degraded engine
+  /// (incumbent / DP / greedy) produced `chosen`.
+  [[nodiscard]] bool is_fallback() const { return engine != SelectionEngine::Ilp; }
 };
 
-/// Selects one candidate per phase with minimal whole-program cost.
-[[nodiscard]] SelectionResult select_layouts_ilp(const LayoutGraph& graph);
+/// Selects one candidate per phase with minimal whole-program cost. When the
+/// 0-1 solve exhausts its budgets the cheapest of {ILP incumbent, exact DP,
+/// greedy sweep} is returned instead, with `engine`/`solver_status` saying
+/// which path ran. Throws al::InfeasibleError when some phase has an empty
+/// candidate space (no layout exists at all).
+[[nodiscard]] SelectionResult select_layouts_ilp(const LayoutGraph& graph,
+                                                 const SelectionOptions& opts = {});
+
+/// Greedy fallback engine: phases in order pick the candidate minimizing
+/// node cost plus remap costs to already-decided neighbors, then one
+/// improvement sweep. Always succeeds on non-degenerate graphs; not exact.
+[[nodiscard]] SelectionResult select_layouts_greedy(const LayoutGraph& graph);
 
 /// Utility: the exact cost of a given assignment (for oracles and tests).
+/// Degenerate edge blocks (empty remap matrix) contribute nothing.
 [[nodiscard]] double assignment_cost(const LayoutGraph& graph, const std::vector<int>& chosen);
 
 } // namespace al::select

@@ -1,0 +1,84 @@
+#include "select/verify.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace al::select {
+namespace {
+
+VerifyResult fail(std::string message) {
+  VerifyResult v;
+  v.ok = false;
+  v.message = std::move(message);
+  return v;
+}
+
+} // namespace
+
+VerifyResult verify_assignment(const LayoutGraph& graph, const SelectionResult& sel,
+                               double rel_tol) {
+  const int n = graph.num_phases();
+  if (static_cast<int>(sel.chosen.size()) != n) {
+    std::ostringstream os;
+    os << "assignment has " << sel.chosen.size() << " entries for " << n << " phases";
+    return fail(os.str());
+  }
+  for (int p = 0; p < n; ++p) {
+    const int c = sel.chosen[static_cast<std::size_t>(p)];
+    if (c < 0 || c >= graph.num_candidates(p)) {
+      std::ostringstream os;
+      os << "phase " << p << " chose candidate " << c << " of "
+         << graph.num_candidates(p);
+      return fail(os.str());
+    }
+    const double cost = graph.node_cost_us[static_cast<std::size_t>(p)]
+                                          [static_cast<std::size_t>(c)];
+    if (!std::isfinite(cost)) {
+      std::ostringstream os;
+      os << "phase " << p << " candidate " << c << " has non-finite node cost";
+      return fail(os.str());
+    }
+  }
+  for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+    const LayoutEdgeBlock& blk = graph.edges[e];
+    if (blk.remap_us.empty()) continue;  // degenerate block: costs nothing
+    if (blk.src_phase < 0 || blk.src_phase >= n || blk.dst_phase < 0 ||
+        blk.dst_phase >= n) {
+      std::ostringstream os;
+      os << "edge " << e << " references phase outside [0, " << n << ")";
+      return fail(os.str());
+    }
+    const std::size_t i =
+        static_cast<std::size_t>(sel.chosen[static_cast<std::size_t>(blk.src_phase)]);
+    const std::size_t j =
+        static_cast<std::size_t>(sel.chosen[static_cast<std::size_t>(blk.dst_phase)]);
+    if (i >= blk.remap_us.size() || j >= blk.remap_us[i].size()) {
+      std::ostringstream os;
+      os << "edge " << e << " remap matrix has no entry for chosen pair";
+      return fail(os.str());
+    }
+    if (!std::isfinite(blk.remap_us[i][j]) || !std::isfinite(blk.traversals)) {
+      std::ostringstream os;
+      os << "edge " << e << " has non-finite remap cost/traversals";
+      return fail(os.str());
+    }
+  }
+
+  const double recomputed = assignment_cost(graph, sel.chosen);
+  const double slack = rel_tol * std::max(1.0, std::abs(recomputed));
+  if (!std::isfinite(sel.total_cost_us) ||
+      std::abs(recomputed - sel.total_cost_us) > slack) {
+    std::ostringstream os;
+    os << "reported total " << sel.total_cost_us << " != recomputed " << recomputed;
+    return fail(os.str());
+  }
+  if (std::abs(sel.node_cost_us + sel.remap_cost_us - sel.total_cost_us) > slack) {
+    std::ostringstream os;
+    os << "node " << sel.node_cost_us << " + remap " << sel.remap_cost_us
+       << " != total " << sel.total_cost_us;
+    return fail(os.str());
+  }
+  return {};
+}
+
+} // namespace al::select

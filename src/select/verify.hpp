@@ -1,0 +1,31 @@
+// Independent selection checker (DESIGN.md section 10): every selection
+// result -- optimal, incumbent, DP, or greedy -- is re-validated against the
+// layout graph before anything downstream consumes it. The checker shares no
+// code with the engines beyond `assignment_cost`, so a bug in one engine
+// cannot silently vouch for itself.
+#pragma once
+
+#include <string>
+
+#include "select/ilp_selection.hpp"
+
+namespace al::select {
+
+struct VerifyResult {
+  bool ok = true;
+  std::string message;  ///< first violation found; empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Checks that `sel` is a well-formed assignment for `graph`:
+///   * exactly one candidate per phase, each index within the phase's space,
+///   * every cost entering the total is finite,
+///   * the recomputed total matches the reported objective within `rel_tol`
+///     (plus a small absolute slack for near-zero totals), and the
+///     node/remap split adds up.
+[[nodiscard]] VerifyResult verify_assignment(const LayoutGraph& graph,
+                                             const SelectionResult& sel,
+                                             double rel_tol = 1e-6);
+
+} // namespace al::select

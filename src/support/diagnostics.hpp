@@ -69,6 +69,15 @@ public:
   explicit FatalError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when an optimization problem handed to the tool is provably
+/// infeasible (e.g. a phase whose candidate space is empty): no layout
+/// exists, as opposed to the tool failing to find one. Kept distinct from
+/// FatalError so the CLI can map it to its own exit code.
+class InfeasibleError : public FatalError {
+public:
+  explicit InfeasibleError(const std::string& what) : FatalError(what) {}
+};
+
 std::ostream& operator<<(std::ostream& os, const Diagnostic& d);
 
 } // namespace al

@@ -187,6 +187,56 @@ TEST_P(AlignmentIlpRandom, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentIlpRandom, ::testing::Values(7, 13, 29, 31));
 
+TEST(AlignmentIlp, BudgetHitDegradesToGreedyNotAssert) {
+  // A 1-node budget on the fig-8 conflict: the exact solve cannot finish,
+  // so resolution must degrade gracefully -- valid partitioning, provenance
+  // recorded -- instead of asserting on a non-Optimal status.
+  Fig8 f;
+  ilp::MipOptions mip;
+  mip.max_nodes = 1;
+  const Resolution r = resolve_alignment(f.cag, 2, mip);
+  // Whatever path ran, the partitioning must be legal: both dims of each
+  // array in distinct partitions, every node labeled in [0, 2).
+  for (int node : {f.x1, f.x2, f.y1, f.y2}) {
+    const int part = r.part_of[static_cast<std::size_t>(node)];
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 2);
+  }
+  EXPECT_NE(r.part_of[static_cast<std::size_t>(f.x1)],
+            r.part_of[static_cast<std::size_t>(f.x2)]);
+  EXPECT_NE(r.part_of[static_cast<std::size_t>(f.y1)],
+            r.part_of[static_cast<std::size_t>(f.y2)]);
+  // Satisfied + cut always accounts for the full edge weight.
+  EXPECT_NEAR(r.satisfied_weight + r.cut_weight, 22.0, 1e-9);
+  // Provenance: either the budget sufficed (Optimal root) or the fallback
+  // is flagged; never an Optimal status with a fallback flag.
+  if (r.solver_status == ilp::SolveStatus::Optimal) {
+    EXPECT_FALSE(r.greedy_fallback);
+  } else {
+    EXPECT_TRUE(r.greedy_fallback || ilp::has_solution(r.solver_status));
+  }
+  // Greedy (= the fallback engine) finds the optimum on fig-8, so even a
+  // degraded resolution satisfies the full 18.
+  EXPECT_DOUBLE_EQ(r.satisfied_weight, 18.0);
+}
+
+TEST(AlignmentIlp, TinyDeadlineDegradesGracefully) {
+  Fig8 f;
+  ilp::MipOptions mip;
+  mip.deadline_ms = 1e-6;
+  const Resolution r = resolve_alignment(f.cag, 2, mip);
+  EXPECT_NEAR(r.satisfied_weight + r.cut_weight, 22.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.satisfied_weight, 18.0);
+}
+
+TEST(AlignmentIlp, DefaultBudgetsStayExact) {
+  Fig8 f;
+  const Resolution r = resolve_alignment(f.cag, 2, ilp::MipOptions{});
+  EXPECT_EQ(r.solver_status, ilp::SolveStatus::Optimal);
+  EXPECT_FALSE(r.greedy_fallback);
+  EXPECT_DOUBLE_EQ(r.satisfied_weight, 18.0);
+}
+
 TEST(GreedyResolution, HeaviestEdgeWins) {
   Fig8 f;
   const Resolution r = resolve_alignment_greedy(f.cag, 2);

@@ -209,10 +209,66 @@ TEST(Simplex, FixedVariableStaysFixed) {
 
 TEST(Simplex, StatusStrings) {
   EXPECT_STREQ(to_string(SolveStatus::Optimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::Feasible), "feasible");
   EXPECT_STREQ(to_string(SolveStatus::Infeasible), "infeasible");
   EXPECT_STREQ(to_string(SolveStatus::Unbounded), "unbounded");
   EXPECT_STREQ(to_string(SolveStatus::IterationLimit), "iteration-limit");
   EXPECT_STREQ(to_string(SolveStatus::NodeLimit), "node-limit");
+  EXPECT_STREQ(to_string(SolveStatus::TimeLimit), "time-limit");
+}
+
+TEST(Simplex, HasSolutionLattice) {
+  EXPECT_TRUE(has_solution(SolveStatus::Optimal));
+  EXPECT_TRUE(has_solution(SolveStatus::Feasible));
+  EXPECT_FALSE(has_solution(SolveStatus::Infeasible));
+  EXPECT_FALSE(has_solution(SolveStatus::Unbounded));
+  EXPECT_FALSE(has_solution(SolveStatus::IterationLimit));
+  EXPECT_FALSE(has_solution(SolveStatus::NodeLimit));
+  EXPECT_FALSE(has_solution(SolveStatus::TimeLimit));
+}
+
+TEST(Simplex, DegenerateRatioTestTies) {
+  // Several rows block the entering variable at exactly the same (zero)
+  // step: x <= 0 stated three times, then maximize x + y. The ratio test
+  // must pick one blocking row deterministically (lowest index wins the
+  // tie), not cycle, and still prove the optimum y = 3, x = 0.
+  Model m(Sense::Maximize);
+  const int x = m.add_continuous("x", 0.0, 10.0, 1.0);
+  const int y = m.add_continuous("y", 0.0, 10.0, 1.0);
+  m.add_constraint("c1", {{x, 1.0}}, Rel::LE, 0.0);
+  m.add_constraint("c2", {{x, 2.0}}, Rel::LE, 0.0);
+  m.add_constraint("c3", {{x, 3.0}}, Rel::LE, 0.0);
+  m.add_constraint("cy", {{y, 1.0}}, Rel::LE, 3.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 0.0, 1e-9);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(y)], 3.0, 1e-9);
+  EXPECT_NEAR(r.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateVertexTransportation) {
+  // Degenerate transportation instance: supplies (1, 1) and demands (1, 1)
+  // force basis degeneracy at every vertex (total supply == total demand,
+  // and the optimal vertex has a zero basic). Exercises repeated zero-step
+  // pivots through the tie-breaking path; must terminate at cost 2.
+  Model m(Sense::Minimize);
+  int v[2][2];
+  const double cost[2][2] = {{1.0, 9.0}, {9.0, 1.0}};
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      v[i][j] = m.add_continuous("x" + std::to_string(i) + std::to_string(j),
+                                 0.0, kInfinity, cost[i][j]);
+  for (int i = 0; i < 2; ++i) {
+    m.add_constraint("s" + std::to_string(i),
+                     {{v[i][0], 1.0}, {v[i][1], 1.0}}, Rel::EQ, 1.0);
+    m.add_constraint("d" + std::to_string(i),
+                     {{v[0][i], 1.0}, {v[1][i], 1.0}}, Rel::EQ, 1.0);
+  }
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(v[0][0])], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(v[1][1])], 1.0, 1e-9);
 }
 
 } // namespace

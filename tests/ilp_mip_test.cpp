@@ -103,6 +103,78 @@ TEST(Mip, NodeLimitReturnsStatus) {
   EXPECT_EQ(r.status, SolveStatus::NodeLimit);
 }
 
+TEST(Mip, NodeLimitWithIncumbentIsFeasible) {
+  // Same odd cycle, but a 2-node budget: the root branches, the up child
+  // (x >= 1) is popped first and its LP is integral (x=1, y=z=0), so the
+  // budget hit has an incumbent to hand back. The status must say so
+  // (Feasible, not NodeLimit) and the incumbent must come back ROUNDED with
+  // the objective recomputed from the rounded point.
+  Model m(Sense::Maximize);
+  const int x = m.add_binary("x", 1.0);
+  const int y = m.add_binary("y", 1.0);
+  const int z = m.add_binary("z", 1.0);
+  m.add_constraint("xy", {{x, 1.0}, {y, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("yz", {{y, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  MipOptions opts;
+  opts.max_nodes = 2;
+  const MipResult r = solve_mip(m, opts);
+  ASSERT_EQ(r.status, SolveStatus::Feasible);
+  EXPECT_TRUE(has_solution(r.status));
+  ASSERT_EQ(r.x.size(), 3u);
+  for (double v : r.x) EXPECT_EQ(v, std::round(v)) << "incumbent not rounded";
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+  EXPECT_TRUE(m.is_feasible(r.x));
+}
+
+TEST(Mip, NodeLimitWithoutIncumbentHasNoSolution) {
+  Model m(Sense::Maximize);
+  const int x = m.add_binary("x", 1.0);
+  const int y = m.add_binary("y", 1.0);
+  const int z = m.add_binary("z", 1.0);
+  m.add_constraint("xy", {{x, 1.0}, {y, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("yz", {{y, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  MipOptions opts;
+  opts.max_nodes = 1;  // root only: fractional, so no incumbent exists yet
+  const MipResult r = solve_mip(m, opts);
+  EXPECT_EQ(r.status, SolveStatus::NodeLimit);
+  EXPECT_FALSE(has_solution(r.status));
+  EXPECT_TRUE(r.x.empty());  // callers must never read x here
+}
+
+TEST(Mip, DeadlineReturnsTimeLimit) {
+  // A sub-microsecond wall-clock budget trips the deadline check on the
+  // first loop iteration, before any child LP is solved. The root is
+  // fractional, so there is no incumbent: TimeLimit, empty x, no assert.
+  Model m(Sense::Maximize);
+  const int x = m.add_binary("x", 1.0);
+  const int y = m.add_binary("y", 1.0);
+  const int z = m.add_binary("z", 1.0);
+  m.add_constraint("xy", {{x, 1.0}, {y, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("yz", {{y, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  MipOptions opts;
+  opts.deadline_ms = 1e-6;
+  const MipResult r = solve_mip(m, opts);
+  EXPECT_EQ(r.status, SolveStatus::TimeLimit);
+  EXPECT_FALSE(has_solution(r.status));
+  EXPECT_TRUE(r.x.empty());
+}
+
+TEST(Mip, DeadlineDisabledByDefault) {
+  // deadline_ms = 0 means "no deadline": the solver proves optimality.
+  Model m(Sense::Maximize);
+  const int a = m.add_binary("a", 10.0);
+  const int b = m.add_binary("b", 6.0);
+  m.add_constraint("w", {{a, 5.0}, {b, 4.0}}, Rel::LE, 5.0);
+  MipOptions opts;
+  opts.deadline_ms = 0.0;
+  const MipResult r = solve_mip(m, opts);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-9);
+}
+
 TEST(Mip, EnumerationRejectsContinuous) {
   Model m(Sense::Maximize);
   m.add_continuous("x", 0.0, 1.0, 1.0);

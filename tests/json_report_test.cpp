@@ -178,7 +178,7 @@ TEST(JsonReport, SchemaAndRequiredSections) {
   const std::string doc = json_report(*r);
   ASSERT_TRUE(MiniJsonParser::valid(doc)) << doc.substr(0, 400);
   EXPECT_NE(doc.find("\"schema\": \"autolayout.run\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 2"), std::string::npos);
   // Stage spans.
   for (const char* key :
        {"\"frontend_ms\"", "\"pcfg_ms\"", "\"alignment_ms\"", "\"spaces_ms\"",
@@ -199,6 +199,34 @@ TEST(JsonReport, SchemaAndRequiredSections) {
   // Metrics registry sections.
   EXPECT_NE(doc.find("\"counters\""), std::string::npos);
   EXPECT_NE(doc.find("\"gauges\""), std::string::npos);
+  // v2: solver resilience data on the selection + alignment summary.
+  for (const char* key :
+       {"\"solver_status\"", "\"engine\"", "\"fallback\"", "\"budgets\"",
+        "\"max_nodes\"", "\"deadline_ms\"", "\"verification\"",
+        "\"alignment_ilp\"", "\"greedy_fallbacks\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key;
+  }
+}
+
+// A starved node budget must still yield a well-formed v2 document that
+// records the fallback provenance and a passing checker verdict.
+TEST(JsonReport, FallbackProvenanceUnderNodeBudget) {
+  corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  ToolOptions opts;
+  opts.procs = 4;
+  opts.threads = 1;
+  opts.mip.max_nodes = 1;
+  auto r = run_tool(corpus::source_for(c), opts);
+  const std::string doc = json_report(*r);
+  ASSERT_TRUE(MiniJsonParser::valid(doc)) << doc.substr(0, 400);
+  EXPECT_NE(doc.find("\"max_nodes\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"verification\""), std::string::npos);
+  EXPECT_TRUE(r->verification.ok) << r->verification.message;
+  if (r->selection.is_fallback()) {
+    EXPECT_NE(doc.find("\"fallback\": true"), std::string::npos);
+    EXPECT_NE(doc.find(select::to_string(r->selection.engine)),
+              std::string::npos);
+  }
 }
 
 TEST(JsonReport, PhaseTableMatchesPipeline) {

@@ -3,12 +3,15 @@
 // chain/cycle-structured problems (both on the corpus and on random chains).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
 #include "corpus/corpus.hpp"
+#include "support/diagnostics.hpp"
 #include "driver/tool.hpp"
 #include "select/dp_selection.hpp"
 #include "select/ilp_selection.hpp"
+#include "select/verify.hpp"
 
 namespace al::select {
 namespace {
@@ -199,6 +202,206 @@ TEST(DpSelection, RefusesNonChainGraphs) {
     g.edges.push_back(e);
   }
   EXPECT_FALSE(select_layouts_dp(g).has_value());
+}
+
+// A small chain with a unique optimum ({0, 0}, cost 25); the per-edge
+// transportation polytope makes its LP relaxation integral, so the ILP
+// finishes at the root even under a 1-node budget.
+LayoutGraph simple_chain() {
+  LayoutGraph g;
+  g.node_cost_us = {{10.0, 10.0}, {10.0, 11.0}};
+  g.estimates.resize(2);
+  LayoutEdgeBlock e;
+  e.src_phase = 0;
+  e.dst_phase = 1;
+  e.traversals = 1.0;
+  e.remap_us = {{5.0, 6.0}, {6.0, 5.0}};
+  g.edges.push_back(e);
+  return g;
+}
+
+// A graph whose LP relaxation is genuinely fractional: a frustrated odd
+// cycle. Each edge charges 1 when both endpoints pick the SAME candidate;
+// with two candidates no 3-cycle can disagree everywhere, so the integral
+// optimum pays 1 (total 31), while the relaxation puts 0.5 everywhere,
+// pairs the half-weights on the disagreeing entries, and pays 0 (total
+// 30). The root therefore MUST branch -- which a 1-node budget forbids.
+LayoutGraph frustrated_cycle() {
+  LayoutGraph g;
+  g.node_cost_us = {{10.0, 10.0}, {10.0, 10.0}, {10.0, 10.0}};
+  g.estimates.resize(3);
+  for (int p = 0; p < 3; ++p) {
+    LayoutEdgeBlock e;
+    e.src_phase = p;
+    e.dst_phase = (p + 1) % 3;
+    e.traversals = 1.0;
+    e.remap_us = {{1.0, 0.0}, {0.0, 1.0}};
+    g.edges.push_back(e);
+  }
+  return g;
+}
+
+TEST(Selection, NodeBudgetFallsBackToDp) {
+  // max_nodes = 1 stops at the fractional root: no incumbent exists, so
+  // the selection must degrade to the exact cycle DP -- recording the
+  // budget-hit status and the engine that actually ran -- not crash.
+  const LayoutGraph g = frustrated_cycle();
+  SelectionOptions opts;
+  opts.mip.max_nodes = 1;
+  const SelectionResult r = select_layouts_ilp(g, opts);
+  EXPECT_EQ(r.solver_status, ilp::SolveStatus::NodeLimit);
+  EXPECT_TRUE(r.is_fallback());
+  EXPECT_EQ(r.engine, SelectionEngine::Dp);
+  EXPECT_NEAR(r.total_cost_us, 31.0, 1e-9);
+  EXPECT_NEAR(assignment_cost(g, r.chosen), r.total_cost_us, 1e-9);
+  EXPECT_TRUE(verify_assignment(g, r).ok);
+}
+
+TEST(Selection, TinyDeadlineFallsBackWithoutAssert) {
+  const LayoutGraph g = frustrated_cycle();
+  SelectionOptions opts;
+  opts.mip.deadline_ms = 1e-6;
+  const SelectionResult r = select_layouts_ilp(g, opts);
+  EXPECT_EQ(r.solver_status, ilp::SolveStatus::TimeLimit);
+  EXPECT_TRUE(r.is_fallback());
+  EXPECT_NEAR(r.total_cost_us, 31.0, 1e-9);  // DP still finds the optimum
+  EXPECT_TRUE(verify_assignment(g, r).ok);
+}
+
+TEST(Selection, NodeBudgetFallsBackToGreedyOnNonChainGraphs) {
+  // The frustrated cycle plus an extra (zero-cost, but structural) edge
+  // out of phase 0: out-degree 2, so the DP refuses, and a budget hit with
+  // no incumbent can only land on the greedy sweep. The result must still
+  // be a legal, verified assignment.
+  LayoutGraph g = frustrated_cycle();
+  g.node_cost_us.push_back({10.0, 10.0});
+  g.estimates.resize(4);
+  LayoutEdgeBlock extra;
+  extra.src_phase = 0;
+  extra.dst_phase = 3;
+  extra.traversals = 1.0;
+  extra.remap_us = {{0.0, 0.0}, {0.0, 0.0}};
+  g.edges.push_back(extra);
+  ASSERT_FALSE(select_layouts_dp(g).has_value());
+  SelectionOptions opts;
+  opts.mip.max_nodes = 1;
+  const SelectionResult r = select_layouts_ilp(g, opts);
+  EXPECT_TRUE(r.is_fallback());
+  EXPECT_EQ(r.engine, SelectionEngine::Greedy);
+  EXPECT_NEAR(assignment_cost(g, r.chosen), r.total_cost_us, 1e-9);
+  EXPECT_TRUE(verify_assignment(g, r).ok);
+}
+
+TEST(Selection, DefaultBudgetsMatchUnbudgetedSolve) {
+  // The acceptance bar: default budgets change NOTHING -- same engine
+  // (proven-optimal ILP), same layouts, same cost. Checked on both the
+  // root-integral chain and the graph that needs branching.
+  for (const LayoutGraph& g : {simple_chain(), frustrated_cycle()}) {
+    const SelectionResult unbudgeted = select_layouts_ilp(g);
+    EXPECT_EQ(unbudgeted.solver_status, ilp::SolveStatus::Optimal);
+    EXPECT_EQ(unbudgeted.engine, SelectionEngine::Ilp);
+    EXPECT_FALSE(unbudgeted.is_fallback());
+    const SelectionResult defaulted = select_layouts_ilp(g, SelectionOptions{});
+    EXPECT_EQ(defaulted.chosen, unbudgeted.chosen);
+    EXPECT_DOUBLE_EQ(defaulted.total_cost_us, unbudgeted.total_cost_us);
+    EXPECT_TRUE(verify_assignment(g, unbudgeted).ok);
+  }
+}
+
+TEST(Selection, EmptyEdgeBlockContributesNothing) {
+  // A degenerate edge block (empty remap matrix) used to be dereferenced
+  // via .front() while sizing the model; it must simply cost nothing.
+  LayoutGraph g;
+  g.node_cost_us = {{10.0, 20.0}, {5.0, 1.0}};
+  g.estimates.resize(2);
+  LayoutEdgeBlock degenerate;
+  degenerate.src_phase = 0;
+  degenerate.dst_phase = 1;
+  degenerate.traversals = 2.0;
+  g.edges.push_back(degenerate);  // remap_us left empty
+  LayoutEdgeBlock e;
+  e.src_phase = 0;
+  e.dst_phase = 1;
+  e.traversals = 1.0;
+  e.remap_us = {{0.0, 7.0}, {7.0, 0.0}};
+  g.edges.push_back(e);
+  EXPECT_DOUBLE_EQ(assignment_cost(g, {0, 1}), 10.0 + 1.0 + 7.0);
+  const SelectionResult r = select_layouts_ilp(g);
+  EXPECT_EQ(r.chosen, (std::vector<int>{0, 0}));  // 10 + 5 + 0 beats 18
+  EXPECT_DOUBLE_EQ(r.total_cost_us, 15.0);
+  EXPECT_TRUE(verify_assignment(g, r).ok);
+}
+
+TEST(Selection, GreedyEngineProducesLegalAssignments) {
+  const LayoutGraph g = simple_chain();
+  const SelectionResult r = select_layouts_greedy(g);
+  EXPECT_EQ(r.engine, SelectionEngine::Greedy);
+  ASSERT_EQ(r.chosen.size(), 2u);
+  EXPECT_NEAR(assignment_cost(g, r.chosen), r.total_cost_us, 1e-9);
+  EXPECT_TRUE(verify_assignment(g, r).ok);
+}
+
+TEST(Verify, AcceptsHonestResultAndRejectsCorruption) {
+  const LayoutGraph g = simple_chain();
+  const SelectionResult honest = select_layouts_ilp(g);
+  EXPECT_TRUE(verify_assignment(g, honest).ok);
+
+  SelectionResult wrong_size = honest;
+  wrong_size.chosen.push_back(0);
+  EXPECT_FALSE(verify_assignment(g, wrong_size).ok);
+
+  SelectionResult out_of_range = honest;
+  out_of_range.chosen[1] = 5;
+  const VerifyResult v1 = verify_assignment(g, out_of_range);
+  EXPECT_FALSE(v1.ok);
+  EXPECT_NE(v1.message.find("candidate"), std::string::npos);
+
+  SelectionResult tampered_total = honest;
+  tampered_total.total_cost_us += 100.0;
+  const VerifyResult v2 = verify_assignment(g, tampered_total);
+  EXPECT_FALSE(v2.ok);
+  EXPECT_NE(v2.message.find("recomputed"), std::string::npos);
+
+  SelectionResult tampered_split = honest;
+  tampered_split.node_cost_us += 100.0;
+  tampered_split.remap_cost_us -= 100.0;
+  tampered_split.total_cost_us = tampered_split.node_cost_us +
+                                 tampered_split.remap_cost_us - 100.0;
+  EXPECT_FALSE(verify_assignment(g, tampered_split).ok);
+}
+
+TEST(Selection, EmptyCandidateSpaceIsInfeasible) {
+  LayoutGraph g;
+  g.node_cost_us = {{10.0}, {}};  // phase 1 has NO candidates
+  g.estimates.resize(2);
+  EXPECT_THROW(select_layouts_ilp(g), InfeasibleError);
+}
+
+TEST(Selection, CorpusSurvivesOneNodeBudget) {
+  // The acceptance run: every corpus program under --mip-nodes 1 completes
+  // without an assertion and hands back a verified layout with fallback
+  // provenance recorded.
+  for (const char* prog : {"adi", "erlebacher", "tomcatv", "shallow"}) {
+    corpus::TestCase c{prog, 24,
+                       std::string(prog) == "shallow"
+                           ? corpus::Dtype::Real
+                           : corpus::Dtype::DoublePrecision,
+                       4};
+    driver::ToolOptions o;
+    o.procs = 4;
+    o.threads = 1;
+    o.mip.max_nodes = 1;
+    auto tool = driver::run_tool(corpus::source_for(c), o);
+    EXPECT_EQ(tool->selection.chosen.size(),
+              static_cast<std::size_t>(tool->pcfg.num_phases()))
+        << prog;
+    EXPECT_TRUE(tool->verification.ok) << prog << ": " << tool->verification.message;
+    EXPECT_TRUE(std::isfinite(tool->selection.total_cost_us)) << prog;
+    // Budget hits must be visible in the provenance, not silently absorbed.
+    if (tool->selection.solver_status != ilp::SolveStatus::Optimal) {
+      EXPECT_TRUE(tool->selection.is_fallback()) << prog;
+    }
+  }
 }
 
 TEST(Selection, ReportsIlpStatistics) {

@@ -10,6 +10,11 @@
 //   -m, --machine NAME     ipsc860 | paragon                (default ipsc860)
 //   -t, --training FILE    load a training-set file over the machine model
 //   -x, --extended         extended distribution search (cyclic, 2-D meshes)
+//   --mip-nodes N          branch-and-bound node budget per exact 0-1 solve;
+//                          a budget hit degrades to incumbent/DP/greedy
+//                          fallbacks instead of aborting
+//   --mip-deadline-ms N    wall-clock budget per exact 0-1 solve (same
+//                          graceful degradation)
 //   -g, --guess-probs      ignore !al$ prob annotations (50% guess)
 //   -s, --scalar-expand    expand scalar temporaries before analysis
 //   -R, --replicate        consider replicating read-only arrays
@@ -22,7 +27,9 @@
 //   -T, --trace FILE       enable span tracing and write a Chrome trace-event
 //                          file ("-" = stdout; load in chrome://tracing)
 //
-// Exit status: 0 on success, 1 on usage/frontend errors.
+// Exit status: 0 on success, 1 on usage/frontend/internal errors, 2 when the
+// layout problem itself is infeasible (no layout exists -- e.g. an empty
+// candidate space).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,7 +54,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-p procs] [-j threads] [-m ipsc860|paragon] [-t training.tsv]\n"
                "          [-x] [-g] [-C] [-r] [-d] [-q] [-J out.json] [-T trace.json]\n"
-               "          program.f\n",
+               "          [--mip-nodes N] [--mip-deadline-ms N] program.f\n",
                argv0);
 }
 
@@ -108,6 +115,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: bad thread count '%s'\n", argv[0], v);
         return 1;
       }
+    } else if (a == "--mip-nodes") {
+      const char* v = need_value("--mip-nodes");
+      if (!parse_long(v, 1, std::numeric_limits<long>::max(), opts.mip.max_nodes)) {
+        std::fprintf(stderr, "%s: bad node budget '%s'\n", argv[0], v);
+        return 1;
+      }
+    } else if (a == "--mip-deadline-ms") {
+      const char* v = need_value("--mip-deadline-ms");
+      long ms = 0;
+      if (!parse_long(v, 1, std::numeric_limits<long>::max(), ms)) {
+        std::fprintf(stderr, "%s: bad deadline '%s'\n", argv[0], v);
+        return 1;
+      }
+      opts.mip.deadline_ms = static_cast<double>(ms);
     } else if (a == "-C" || a == "--no-cache") {
       opts.estimator_cache = false;
     } else if (a == "-m" || a == "--machine") {
@@ -218,10 +239,19 @@ int main(int argc, char** argv) {
       std::printf("phases:    %d in %zu alignment class(es)\n",
                   result->pcfg.num_phases(),
                   result->alignment.partition.classes.size());
-      std::printf("selection: %d vars, %d constraints, %.1f ms, %s layout\n\n",
+      std::printf("selection: %d vars, %d constraints, %.1f ms, %s layout",
                   result->selection.ilp_variables, result->selection.ilp_constraints,
                   result->selection.solve_ms,
                   result->is_dynamic() ? "DYNAMIC" : "static");
+      if (result->selection.is_fallback()) {
+        std::printf(" [solver %s -> %s fallback]",
+                    ilp::to_string(result->selection.solver_status),
+                    select::to_string(result->selection.engine));
+      }
+      if (!result->verification.ok) {
+        std::printf(" [CHECKER FAILED: %s]", result->verification.message.c_str());
+      }
+      std::printf("\n\n");
     }
     for (int p = 0; p < result->pcfg.num_phases(); ++p) {
       std::printf("phase %2d: %s\n", p,
@@ -238,6 +268,12 @@ int main(int argc, char** argv) {
     if (directives) {
       std::printf("\n%s", driver::emit_annotated_program(*result).c_str());
     }
+  } catch (const InfeasibleError& e) {
+    // Not a tool failure: the problem provably admits no layout. Distinct
+    // exit code so scripted callers can tell "no solution exists" from
+    // "the tool broke".
+    std::fprintf(stderr, "%s: infeasible: %s\n", argv[0], e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return 1;
