@@ -1,0 +1,204 @@
+// Serving-layer throughput/latency baseline (DESIGN.md section 11): drives
+// Server::run_batch over a 4-program corpus request mix at 1 / 4 / 8
+// workers and writes the medians to BENCH_service.json (in the working
+// directory). Two scenarios per worker count:
+//
+//   * compute -- every request is a real pipeline run, back to back. On a
+//     multi-core host this is where worker scaling shows up; on a
+//     single-core host (the CI container: hardware_concurrency is recorded
+//     in the output) compute-bound throughput cannot exceed 1x and the
+//     row documents exactly that.
+//   * mixed   -- each request carries think-time (the protocol's delay_ms
+//     field) alongside the compute, the shape of a layout service embedded
+//     in a build system that interleaves I/O-bound work. Workers overlap
+//     the waits, so this row demonstrates the concurrency the queue and
+//     worker pool actually buy even when cores are scarce.
+//
+//   ./build/bench/service_bench [--smoke] [runs-per-config]  (default 3)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using al::corpus::Dtype;
+using al::corpus::TestCase;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+std::vector<TestCase> corpus_mix() {
+  return {{"adi", 32, Dtype::DoublePrecision, 4},
+          {"erlebacher", 16, Dtype::DoublePrecision, 4},
+          {"tomcatv", 32, Dtype::DoublePrecision, 4},
+          {"shallow", 32, Dtype::Real, 4}};
+}
+
+/// NDJSON input of `count` requests round-robining over the corpus mix.
+std::string make_input(int count, long delay_ms) {
+  const std::vector<TestCase> mix = corpus_mix();
+  std::string input;
+  for (int i = 0; i < count; ++i) {
+    const TestCase& c = mix[static_cast<std::size_t>(i) % mix.size()];
+    std::ostringstream os;
+    al::support::JsonWriter w(os, /*indent_width=*/-1);
+    w.begin_object();
+    w.kv("schema", al::service::kRequestSchema);
+    w.kv("schema_version", al::service::kProtocolVersion);
+    w.kv("id", c.program + "-" + std::to_string(i));
+    w.kv("source", al::corpus::source_for(c));
+    if (delay_ms > 0) w.kv("delay_ms", delay_ms);
+    w.key("options").begin_object();
+    w.kv("procs", c.procs);
+    w.end_object();
+    w.end_object();
+    input += os.str();
+  }
+  return input;
+}
+
+struct Row {
+  std::string scenario;
+  int workers = 0;
+  int requests = 0;
+  long delay_ms = 0;
+  int runs = 0;
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double speedup = 1.0;  // vs the 1-worker row of the same scenario
+};
+
+Row run_config(const std::string& scenario, int workers, int requests,
+               long delay_ms, int runs) {
+  Row row;
+  row.scenario = scenario;
+  row.workers = workers;
+  row.requests = requests;
+  row.delay_ms = delay_ms;
+  row.runs = runs;
+  const std::string input = make_input(requests, delay_ms);
+
+  std::vector<double> walls, p50s, p95s, p99s, maxs;
+  for (int r = 0; r < runs; ++r) {
+    al::service::ServerOptions opts;
+    opts.workers = workers;
+    opts.queue_capacity = static_cast<std::size_t>(requests) + 1;
+    al::service::Server server(opts);
+    std::istringstream in(input);
+    std::ostringstream out;
+    if (server.run_batch(in, out) != 0) {
+      std::fprintf(stderr, "service_bench: batch run failed\n");
+      std::exit(1);
+    }
+    const al::service::ServiceSummary s = server.summary();
+    if (s.ok != static_cast<std::uint64_t>(requests)) {
+      std::fprintf(stderr, "service_bench: %llu/%d requests ok\n",
+                   static_cast<unsigned long long>(s.ok), requests);
+      std::exit(1);
+    }
+    walls.push_back(s.wall_ms);
+    p50s.push_back(s.p50_ms);
+    p95s.push_back(s.p95_ms);
+    p99s.push_back(s.p99_ms);
+    maxs.push_back(s.max_ms);
+  }
+  row.wall_ms = median(walls);
+  row.throughput_rps =
+      row.wall_ms > 0.0 ? static_cast<double>(requests) / (row.wall_ms / 1e3) : 0.0;
+  row.p50_ms = median(p50s);
+  row.p95_ms = median(p95s);
+  row.p99_ms = median(p99s);
+  row.max_ms = median(maxs);
+  return row;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int runs = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      runs = std::max(1, std::atoi(argv[i]));
+    }
+  }
+  // Smoke: one repetition of a tiny mix at 1/2 workers -- enough to prove
+  // the harness end to end in CI without owning the machine for minutes.
+  if (smoke) runs = 1;
+  const int requests = smoke ? 8 : 24;
+  const long think_ms = smoke ? 10 : 50;
+  const std::vector<int> worker_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 4, 8};
+
+  std::vector<Row> rows;
+  for (const char* scenario : {"compute", "mixed"}) {
+    const long delay = std::strcmp(scenario, "mixed") == 0 ? think_ms : 0;
+    double base_rps = 0.0;
+    for (const int workers : worker_counts) {
+      Row row = run_config(scenario, workers, requests, delay, runs);
+      if (workers == 1) base_rps = row.throughput_rps;
+      row.speedup = base_rps > 0.0 ? row.throughput_rps / base_rps : 1.0;
+      std::printf("%-8s workers=%d  wall=%8.1f ms  %6.2f req/s  "
+                  "p50=%7.1f  p95=%7.1f  p99=%7.1f  speedup=%.2fx\n",
+                  row.scenario.c_str(), row.workers, row.wall_ms,
+                  row.throughput_rps, row.p50_ms, row.p95_ms, row.p99_ms,
+                  row.speedup);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::ofstream out("BENCH_service.json");
+  al::support::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "autolayout.bench.service");
+  w.kv("schema_version", 1);
+  w.kv("smoke", smoke);
+  w.kv("hardware_concurrency",
+       static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.kv("requests_per_run", requests);
+  w.kv("runs_per_config", runs);
+  w.kv("mixed_think_ms", think_ms);
+  w.key("corpus").begin_array();
+  for (const TestCase& c : corpus_mix()) w.value(c.program);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.kv("scenario", r.scenario);
+    w.kv("workers", r.workers);
+    w.kv("requests", r.requests);
+    w.kv("delay_ms", r.delay_ms);
+    w.kv("runs", r.runs);
+    w.kv("wall_ms", r.wall_ms);
+    w.kv("throughput_rps", r.throughput_rps);
+    w.kv("latency_p50_ms", r.p50_ms);
+    w.kv("latency_p95_ms", r.p95_ms);
+    w.kv("latency_p99_ms", r.p99_ms);
+    w.kv("latency_max_ms", r.max_ms);
+    w.kv("speedup_vs_1_worker", r.speedup);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("wrote BENCH_service.json\n");
+  return 0;
+}

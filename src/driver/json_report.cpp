@@ -165,6 +165,10 @@ void write_trace(support::JsonWriter& w) {
 
 void write_json_report(const ToolResult& r, std::ostream& os) {
   support::JsonWriter w(os);
+  write_json_report(r, w);
+}
+
+void write_json_report(const ToolResult& r, support::JsonWriter& w) {
   w.begin_object();
   w.kv("schema", "autolayout.run");
   w.kv("schema_version", kJsonReportSchemaVersion);

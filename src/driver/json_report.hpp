@@ -13,6 +13,10 @@
 
 #include "driver/tool.hpp"
 
+namespace al::support {
+class JsonWriter;
+}
+
 namespace al::driver {
 
 /// Bump when a field is renamed/removed or its meaning changes; adding
@@ -27,6 +31,12 @@ inline constexpr int kJsonReportSchemaVersion = 2;
 
 /// Streams the full run document for `result`.
 void write_json_report(const ToolResult& result, std::ostream& os);
+
+/// Writes the same document as ONE JSON value into an existing writer, so
+/// callers can embed the run report inside a larger envelope (the service
+/// nests it under "report" in each NDJSON response). The writer's layout
+/// (pretty vs compact) is the caller's.
+void write_json_report(const ToolResult& result, support::JsonWriter& w);
 
 /// Same document as a string.
 [[nodiscard]] std::string json_report(const ToolResult& result);

@@ -1,0 +1,300 @@
+#include "service/protocol.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "driver/json_report.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+#include "support/text.hpp"
+
+namespace al::service {
+namespace {
+
+using support::JsonValue;
+
+/// Validation state: the first failure wins and aborts the walk.
+struct Validator {
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) error = what;
+    return false;
+  }
+
+  /// Member of `obj` with an exact kind, or null when absent.
+  const JsonValue* field(const JsonValue& obj, std::string_view key,
+                         JsonValue::Kind kind) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return nullptr;
+    if (v->kind() != kind) {
+      std::string msg = "\"";
+      msg += key;
+      msg += "\" must be a ";
+      msg += JsonValue::kind_name(kind);
+      msg += ", got ";
+      msg += JsonValue::kind_name(v->kind());
+      fail(msg);
+      return nullptr;
+    }
+    return v;
+  }
+
+  bool fail_bad_integer(std::string_view key, long min, long max,
+                        const std::string& lexeme) {
+    std::string msg = "\"";
+    msg += key;
+    msg += "\" must be an integer in [";
+    msg += std::to_string(min);
+    msg += ", ";
+    msg += std::to_string(max);
+    msg += "], got ";
+    msg += lexeme;
+    return fail(msg);
+  }
+
+  /// Integer field via the CLI's strict whole-lexeme parse: "16.5", "1e9",
+  /// and out-of-range all fail exactly like their --flag counterparts.
+  bool int_field(const JsonValue& obj, std::string_view key, int min, int max,
+                 int& out) {
+    const JsonValue* v = field(obj, key, JsonValue::Kind::Number);
+    if (v == nullptr) return ok();
+    if (!parse_int(v->number_lexeme(), min, max, out))
+      return fail_bad_integer(key, min, max, v->number_lexeme());
+    return true;
+  }
+
+  bool long_field(const JsonValue& obj, std::string_view key, long min, long max,
+                  long& out) {
+    const JsonValue* v = field(obj, key, JsonValue::Kind::Number);
+    if (v == nullptr) return ok();
+    if (!parse_long(v->number_lexeme(), min, max, out))
+      return fail_bad_integer(key, min, max, v->number_lexeme());
+    return true;
+  }
+
+  bool bool_field(const JsonValue& obj, std::string_view key, bool& out) {
+    const JsonValue* v = field(obj, key, JsonValue::Kind::Bool);
+    if (v == nullptr) return ok();
+    out = v->as_bool();
+    return true;
+  }
+
+  /// Strictness: every member of `obj` must be one of `known`.
+  template <std::size_t N>
+  bool only_keys(const JsonValue& obj, const char* const (&known)[N],
+                 std::string_view where) {
+    for (const auto& [key, value] : obj.members()) {
+      bool found = false;
+      for (const char* k : known)
+        if (key == k) found = true;
+      if (!found)
+        return fail("unknown key \"" + key + "\" in " + std::string(where));
+    }
+    return true;
+  }
+};
+
+bool apply_options(const JsonValue& o, driver::ToolOptions& opts, Validator& v) {
+  static constexpr const char* kKnown[] = {
+      "procs",           "machine",         "threads",
+      "extended",        "estimator_cache", "scalar_expansion",
+      "replicate_unwritten", "mip_max_nodes", "mip_deadline_ms"};
+  if (!v.only_keys(o, kKnown, "\"options\"")) return false;
+
+  v.int_field(o, "procs", 1, std::numeric_limits<int>::max(), opts.procs);
+  v.int_field(o, "threads", 0, std::numeric_limits<int>::max(), opts.threads);
+  if (const JsonValue* m = v.field(o, "machine", JsonValue::Kind::String)) {
+    if (m->as_string() == "ipsc860") {
+      opts.machine = machine::make_ipsc860();
+    } else if (m->as_string() == "paragon") {
+      opts.machine = machine::make_paragon();
+    } else {
+      return v.fail("unknown machine \"" + m->as_string() +
+                    "\" (expected \"ipsc860\" or \"paragon\")");
+    }
+  }
+  bool extended = false;
+  if (v.bool_field(o, "extended", extended) && extended)
+    opts.distribution_strategy = distrib::Strategy::ExtendedExhaustive;
+  v.bool_field(o, "estimator_cache", opts.estimator_cache);
+  v.bool_field(o, "scalar_expansion", opts.scalar_expansion);
+  v.bool_field(o, "replicate_unwritten", opts.replicate_unwritten);
+  v.long_field(o, "mip_max_nodes", 1, std::numeric_limits<long>::max(),
+               opts.mip.max_nodes);
+  long deadline = 0;
+  if (v.long_field(o, "mip_deadline_ms", 1, std::numeric_limits<long>::max(),
+                   deadline) &&
+      deadline > 0)
+    opts.mip.deadline_ms = static_cast<double>(deadline);
+  return v.ok();
+}
+
+void begin_response(support::JsonWriter& w, std::string_view id,
+                    std::string_view status) {
+  w.begin_object();
+  w.kv("schema", kResponseSchema);
+  w.kv("schema_version", kProtocolVersion);
+  w.kv("id", id);
+  w.kv("status", status);
+}
+
+} // namespace
+
+ParsedRequest parse_request(std::string_view line, std::size_t max_bytes) {
+  ParsedRequest out;
+  if (line.size() > max_bytes) {
+    out.error = "request exceeds " + std::to_string(max_bytes) + " bytes (got " +
+                std::to_string(line.size()) + ")";
+    return out;
+  }
+
+  JsonValue doc;
+  std::string parse_error;
+  if (!JsonValue::parse(line, doc, parse_error)) {
+    out.error = "malformed JSON: " + parse_error;
+    return out;
+  }
+  if (!doc.is_object()) {
+    out.error = "request must be a JSON object, got " +
+                std::string(JsonValue::kind_name(doc.kind()));
+    return out;
+  }
+
+  Validator v;
+  static constexpr const char* kKnown[] = {
+      "schema", "schema_version", "id",       "source",
+      "file",   "options",        "queue_deadline_ms", "delay_ms"};
+  v.only_keys(doc, kKnown, "request");
+
+  if (const JsonValue* s = v.field(doc, "schema", JsonValue::Kind::String);
+      v.ok()) {
+    if (s == nullptr) {
+      v.fail("missing \"schema\"");
+    } else if (s->as_string() != kRequestSchema) {
+      v.fail("unknown schema \"" + s->as_string() + "\" (expected \"" +
+             kRequestSchema + "\")");
+    }
+  }
+  if (v.ok()) {
+    int version = 0;
+    if (doc.find("schema_version") == nullptr) {
+      v.fail("missing \"schema_version\"");
+    } else if (v.int_field(doc, "schema_version", std::numeric_limits<int>::min(),
+                           std::numeric_limits<int>::max(), version) &&
+               version != kProtocolVersion) {
+      v.fail("unsupported schema_version " + std::to_string(version) +
+             " (this server speaks " + std::to_string(kProtocolVersion) + ")");
+    }
+  }
+
+  Request& req = out.request;
+  // The service's unit of parallelism is the request: run each pipeline
+  // serially unless the request explicitly asks for estimation workers.
+  req.options.threads = 1;
+
+  if (const JsonValue* id = v.field(doc, "id", JsonValue::Kind::String))
+    req.id = id->as_string();
+  const JsonValue* source = v.field(doc, "source", JsonValue::Kind::String);
+  const JsonValue* file = v.field(doc, "file", JsonValue::Kind::String);
+  if (v.ok()) {
+    if (source != nullptr && file != nullptr) {
+      v.fail("\"source\" and \"file\" are mutually exclusive");
+    } else if (source != nullptr) {
+      if (source->as_string().empty())
+        v.fail("\"source\" must not be empty");
+      else
+        req.source = source->as_string();
+    } else if (file != nullptr) {
+      if (file->as_string().empty())
+        v.fail("\"file\" must not be empty");
+      else
+        req.file = file->as_string();
+    } else {
+      v.fail("request needs \"source\" (inline Fortran) or \"file\" (a path)");
+    }
+  }
+  v.long_field(doc, "queue_deadline_ms", 1, std::numeric_limits<long>::max(),
+               req.queue_deadline_ms);
+  v.long_field(doc, "delay_ms", 0, 60'000, req.delay_ms);
+  if (const JsonValue* o = v.field(doc, "options", JsonValue::Kind::Object))
+    apply_options(*o, req.options, v);
+
+  if (!v.ok()) {
+    out.error = v.error;
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+bool load_source(Request& request, std::string& error) {
+  if (request.file.empty()) return true;
+  std::ifstream in(request.file);
+  if (!in) {
+    error = "cannot open \"" + request.file + "\"";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  request.source = buf.str();
+  if (request.source.empty()) {
+    error = "\"" + request.file + "\" is empty";
+    return false;
+  }
+  return true;
+}
+
+std::string ok_response(const Request& request, const driver::ToolResult& result,
+                        double latency_ms,
+                        const std::vector<support::MetricsScope::Delta>& counters) {
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  begin_response(w, request.id, "ok");
+  w.kv("latency_ms", latency_ms);
+  w.key("request_metrics").begin_object();
+  for (const support::MetricsScope::Delta& d : counters) w.kv(d.name, d.count);
+  w.end_object();
+  w.key("report");
+  driver::write_json_report(result, w);
+  w.end_object();
+  return os.str();
+}
+
+std::string infeasible_response(std::string_view id, std::string_view message,
+                                double latency_ms) {
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  begin_response(w, id, "infeasible");
+  w.kv("latency_ms", latency_ms);
+  w.kv("message", message);
+  w.end_object();
+  return os.str();
+}
+
+std::string error_response(std::string_view id, std::string_view kind,
+                           std::string_view message) {
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  begin_response(w, id, "error");
+  w.key("error").begin_object();
+  w.kv("kind", kind);
+  w.kv("message", message);
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string rejected_response(std::string_view id, std::string_view reason) {
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  begin_response(w, id, "rejected");
+  w.kv("reason", reason);
+  w.end_object();
+  return os.str();
+}
+
+} // namespace al::service

@@ -1,0 +1,101 @@
+// The service's wire protocol (DESIGN.md section 11): newline-delimited
+// JSON. One line = one "autolayout.request" v1 document; one line = one
+// "autolayout.response" v1 document. Framing is trivial (split on '\n'),
+// which is the point -- any language's standard library can speak it, and a
+// batch file of requests is just a text file.
+//
+// Request (v1):
+//   {"schema": "autolayout.request", "schema_version": 1,
+//    "id": "r17",                       // optional, echoed verbatim
+//    "source": "      program p\n...",  // inline Fortran, XOR
+//    "file": "programs/adi.f",          //   a path the server reads
+//    "queue_deadline_ms": 2000,         // optional admission deadline
+//    "delay_ms": 50,                    // optional think-time (load tests)
+//    "options": {                       // optional ToolOptions overrides
+//      "procs": 16, "machine": "ipsc860" | "paragon", "threads": 1,
+//      "extended": false, "estimator_cache": true,
+//      "scalar_expansion": false, "replicate_unwritten": false,
+//      "mip_max_nodes": 100000, "mip_deadline_ms": 2000}}
+//
+// Validation is STRICT: unknown keys, wrong types, out-of-range values,
+// non-integer numbers for integer fields (checked with al::parse_int /
+// al::parse_long over the raw number lexeme -- the same whole-string rule
+// the CLI applies), and oversized lines all produce a structured
+// "bad_request" response instead of killing the server.
+//
+// Response (v1): status "ok" (embeds the full schema-v2 run report under
+// "report" plus this request's own counter deltas under "request_metrics"),
+// "infeasible" (the problem provably has no layout; the CLI's exit-2
+// distinction), "rejected" (queue full / admission deadline / shutdown --
+// the request was never run), or "error" (kind "bad_request" | "tool_error").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "driver/tool.hpp"
+#include "support/metrics.hpp"
+
+namespace al::driver {
+struct ToolResult;
+}
+
+namespace al::service {
+
+inline constexpr const char* kRequestSchema = "autolayout.request";
+inline constexpr const char* kResponseSchema = "autolayout.response";
+inline constexpr int kProtocolVersion = 1;
+
+/// Default cap on one NDJSON request line. Inline sources are a few KB;
+/// 4 MiB leaves two orders of magnitude of headroom while bounding what a
+/// misbehaving client can make the server buffer.
+inline constexpr std::size_t kMaxRequestBytes = 4u << 20;
+
+/// One admitted request, decoded and validated.
+struct Request {
+  std::string id;            ///< echoed in every response ("" if absent)
+  std::string source;        ///< inline Fortran (empty when `file` is set)
+  std::string file;          ///< source path (empty when `source` is inline)
+  driver::ToolOptions options;
+  long queue_deadline_ms = 0;  ///< 0 = no admission deadline
+  long delay_ms = 0;           ///< artificial think-time before running
+};
+
+struct ParsedRequest {
+  bool ok = false;
+  Request request;     ///< valid only when ok
+  std::string error;   ///< one-line reason when !ok
+};
+
+/// Parses and strictly validates one request line. Never throws. The
+/// service's per-request defaults differ from the CLI in one way: the
+/// estimation stage runs serially (threads = 1) unless the request says
+/// otherwise, because the service's parallelism unit is the request.
+[[nodiscard]] ParsedRequest parse_request(std::string_view line,
+                                          std::size_t max_bytes = kMaxRequestBytes);
+
+/// Reads `request.file` into `request.source` (no-op for inline sources).
+/// Returns false and sets `error` when the file cannot be read.
+[[nodiscard]] bool load_source(Request& request, std::string& error);
+
+/// Success: embeds the full schema-v2 run report plus the request's own
+/// counter deltas (from the worker's MetricsScope) and its latency.
+[[nodiscard]] std::string ok_response(
+    const Request& request, const driver::ToolResult& result, double latency_ms,
+    const std::vector<support::MetricsScope::Delta>& counters);
+
+/// "No layout exists" -- the InfeasibleError / CLI-exit-2 case.
+[[nodiscard]] std::string infeasible_response(std::string_view id,
+                                              std::string_view message,
+                                              double latency_ms);
+
+/// Tool or protocol failure. `kind` is "bad_request" or "tool_error".
+[[nodiscard]] std::string error_response(std::string_view id, std::string_view kind,
+                                         std::string_view message);
+
+/// Backpressure/lifecycle: the request was not run. `reason` is e.g.
+/// "queue full", "admission deadline exceeded", "shutting down".
+[[nodiscard]] std::string rejected_response(std::string_view id,
+                                            std::string_view reason);
+
+} // namespace al::service

@@ -1,0 +1,76 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace al::service {
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+RequestQueue::Push RequestQueue::try_push(Job job) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return Push::Closed;
+    if (jobs_.size() >= capacity_) return Push::Full;
+    job.enqueued_at = std::chrono::steady_clock::now();
+    jobs_.push_back(std::move(job));
+  }
+  not_empty_.notify_one();
+  return Push::Ok;
+}
+
+RequestQueue::Push RequestQueue::push(Job job) {
+  {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || jobs_.size() < capacity_; });
+    if (closed_) return Push::Closed;
+    job.enqueued_at = std::chrono::steady_clock::now();
+    jobs_.push_back(std::move(job));
+  }
+  not_empty_.notify_one();
+  return Push::Ok;
+}
+
+bool RequestQueue::pop(Job& out) {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return false;  // closed and drained
+  out = std::move(jobs_.front());
+  jobs_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void RequestQueue::flush(const std::function<void(Job&)>& on_dropped) {
+  std::deque<Job> dropped;
+  {
+    std::lock_guard lock(mutex_);
+    dropped.swap(jobs_);
+  }
+  not_full_.notify_all();
+  for (Job& job : dropped) on_dropped(job);
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard lock(mutex_);
+  return jobs_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+} // namespace al::service

@@ -1,0 +1,77 @@
+// The service's admission queue (DESIGN.md section 11): a bounded MPMC
+// FIFO of decoded requests with EXPLICIT backpressure. Producers choose
+// their policy per call site:
+//   * `try_push` never blocks -- a full queue returns Full and the caller
+//     sends the structured "rejected: queue full" response immediately
+//     (the daemon's policy: fail fast, keep the socket loop responsive);
+//   * `push` waits for space (the batch reader's policy: a file provides
+//     natural flow control, so every line is eventually admitted).
+// Consumers block in `pop` until a job or shutdown arrives. `close()`
+// seals the queue: pushes fail, poppers drain what is left, then get
+// false. Each job carries its enqueue time so workers can enforce the
+// request's admission deadline at pop -- a request that waited longer
+// than it allowed is answered with a rejection, not run late.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "service/protocol.hpp"
+
+namespace al::service {
+
+/// One admitted unit of work: the request plus where its response line goes.
+/// `respond` must be callable from any worker thread; it is invoked exactly
+/// once per job (with the ok / infeasible / error / rejected line).
+struct Job {
+  Request request;
+  std::function<void(const std::string&)> respond;
+  std::chrono::steady_clock::time_point enqueued_at{};
+  std::size_t sequence = 0;  ///< admission order (batch mode replies in order)
+};
+
+class RequestQueue {
+public:
+  enum class Push { Ok, Full, Closed };
+
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Non-blocking admission; stamps `enqueued_at` on success.
+  [[nodiscard]] Push try_push(Job job);
+
+  /// Blocking admission: waits while full, fails only once closed.
+  [[nodiscard]] Push push(Job job);
+
+  /// Blocks until a job is available or the queue is closed AND drained.
+  /// Returns false only in the latter case (the consumer's exit signal).
+  [[nodiscard]] bool pop(Job& out);
+
+  /// Seals the queue. Idempotent. Waiting producers fail with Closed;
+  /// waiting consumers drain the backlog and then exit.
+  void close();
+
+  /// Drops every queued job, handing each to `on_dropped` (used by the
+  /// shutdown path once the grace period expires, to emit rejections).
+  void flush(const std::function<void(Job&)>& on_dropped);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const;
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Job> jobs_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+} // namespace al::service

@@ -1,0 +1,454 @@
+#include "service/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace al::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Poll granularity of every wind-down loop: how quickly the listener,
+/// readers, and wait() notice a stop request.
+constexpr int kPollMs = 100;
+
+/// `p` in [0,100] over an ALREADY SORTED sample (nearest-rank method).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx = static_cast<std::size_t>(
+      std::clamp(rank, 1.0, static_cast<double>(sorted.size())));
+  return sorted[idx - 1];
+}
+
+/// One accepted TCP connection. Shared by the reader thread and every
+/// in-flight job's respond closure, so the fd stays open until the last
+/// response for this connection was written (or failed with EPIPE).
+struct Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() { ::close(fd); }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Writes `line` (which already ends in '\n') atomically w.r.t. other
+  /// responses on this connection. A dead peer is not an error for the
+  /// server: the write is simply dropped.
+  void write_line(const std::string& line) {
+    std::lock_guard lock(write_mutex);
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // peer gone (EPIPE/ECONNRESET): nothing left to tell it
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  int fd;
+  std::mutex write_mutex;
+};
+
+} // namespace
+
+std::string ServiceSummary::json() const {
+  std::ostringstream os;
+  support::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "autolayout.service_summary");
+  w.kv("schema_version", 1);
+  w.kv("workers", workers);
+  w.key("requests").begin_object();
+  w.kv("received", received);
+  w.kv("ok", ok);
+  w.kv("infeasible", infeasible);
+  w.kv("rejected", rejected);
+  w.kv("errors", errors);
+  w.end_object();
+  w.key("latency_ms").begin_object();
+  w.kv("p50", p50_ms);
+  w.kv("p95", p95_ms);
+  w.kv("p99", p99_ms);
+  w.kv("max", max_ms);
+  w.end_object();
+  w.kv("wall_ms", wall_ms);
+  const double executed =
+      static_cast<double>(ok + infeasible) + static_cast<double>(errors);
+  w.kv("throughput_rps", wall_ms > 0.0 ? executed / (wall_ms / 1e3) : 0.0);
+  w.end_object();
+  return os.str();
+}
+
+Server::Server(const ServerOptions& opts)
+    : opts_(opts), queue_(opts.queue_capacity) {
+  opts_.workers = std::max(opts_.workers, 1);
+  stats_.workers = opts_.workers;
+}
+
+Server::~Server() {
+  request_stop();
+  // Joins happen in the jthread destructors; seal the queue first so the
+  // workers cannot sleep through them.
+  queue_.close();
+}
+
+void Server::request_stop() {
+  // Only an atomic store: this must stay callable from a signal handler.
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+void Server::record(Outcome outcome, double latency_ms) {
+  support::Metrics& m = support::Metrics::instance();
+  {
+    std::lock_guard lock(stats_mutex_);
+    switch (outcome) {
+      case Outcome::Ok: ++stats_.ok; break;
+      case Outcome::Infeasible: ++stats_.infeasible; break;
+      case Outcome::Rejected: ++stats_.rejected; break;
+      case Outcome::Error: ++stats_.errors; break;
+    }
+    if (latency_ms >= 0.0) latencies_ms_.push_back(latency_ms);
+  }
+  switch (outcome) {
+    case Outcome::Ok: m.counter("service.ok").add(); break;
+    case Outcome::Infeasible: m.counter("service.infeasible").add(); break;
+    case Outcome::Rejected: m.counter("service.rejected").add(); break;
+    case Outcome::Error: m.counter("service.errors").add(); break;
+  }
+}
+
+std::string Server::execute(Job& job) {
+  Request& req = job.request;
+  if (req.delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(req.delay_ms));
+
+  std::string io_error;
+  if (!load_source(req, io_error)) {
+    record(Outcome::Error, -1.0);
+    return error_response(req.id, "bad_request", io_error);
+  }
+
+  // The span covers one request; the scope attributes exactly this
+  // request's counters to its response, concurrency notwithstanding.
+  support::TraceSpan span("service.request");
+  support::MetricsScope scope;
+  const Clock::time_point t0 = Clock::now();
+  try {
+    const std::unique_ptr<driver::ToolResult> result =
+        driver::run_tool(req.source, req.options);
+    const double latency = ms_since(t0);
+    record(Outcome::Ok, latency);
+    return ok_response(req, *result, latency, scope.deltas());
+  } catch (const InfeasibleError& e) {
+    const double latency = ms_since(t0);
+    record(Outcome::Infeasible, latency);
+    return infeasible_response(req.id, e.what(), latency);
+  } catch (const std::exception& e) {
+    const double latency = ms_since(t0);
+    record(Outcome::Error, latency);
+    return error_response(req.id, "tool_error", e.what());
+  }
+}
+
+void Server::handle_popped(Job& job) {
+  const Request& req = job.request;
+  if (reject_all_.load(std::memory_order_relaxed)) {
+    record(Outcome::Rejected, -1.0);
+    job.respond(rejected_response(req.id, "shutting down"));
+    return;
+  }
+  if (req.queue_deadline_ms > 0) {
+    const double waited =
+        std::chrono::duration<double, std::milli>(Clock::now() - job.enqueued_at)
+            .count();
+    if (waited > static_cast<double>(req.queue_deadline_ms)) {
+      record(Outcome::Rejected, -1.0);
+      job.respond(rejected_response(req.id, "admission deadline exceeded"));
+      return;
+    }
+  }
+  job.respond(execute(job));
+}
+
+void Server::worker_loop() {
+  Job job;
+  while (queue_.pop(job)) {
+    handle_popped(job);
+    job = Job{};  // release the respond closure (and any Connection ref)
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch mode
+// ---------------------------------------------------------------------------
+
+int Server::run_batch(std::istream& in, std::ostream& out) {
+  started_at_ = Clock::now();
+  support::Metrics& m = support::Metrics::instance();
+
+  std::mutex responses_mutex;
+  std::vector<std::string> responses;
+
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+
+  std::string line;
+  std::size_t sequence = 0;
+  while (!stop_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t slot = sequence++;
+    {
+      std::lock_guard lock(responses_mutex);
+      responses.emplace_back();
+    }
+    m.counter("service.requests").add();
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.received;
+    }
+    auto respond = [&responses, &responses_mutex, slot](const std::string& r) {
+      std::lock_guard lock(responses_mutex);
+      responses[slot] = r;
+    };
+
+    ParsedRequest parsed = parse_request(line, opts_.max_request_bytes);
+    if (!parsed.ok) {
+      record(Outcome::Error, -1.0);
+      respond(error_response("", "bad_request", parsed.error));
+      continue;
+    }
+    Job job;
+    const std::string id = parsed.request.id;
+    job.request = std::move(parsed.request);
+    job.respond = respond;
+    job.sequence = slot;
+    if (queue_.push(std::move(job)) != RequestQueue::Push::Ok) {
+      record(Outcome::Rejected, -1.0);
+      respond(rejected_response(id, "shutting down"));
+    }
+  }
+
+  queue_.close();
+  workers_.clear();  // joins: every admitted job has responded
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.wall_ms = ms_since(started_at_);
+  }
+  publish_metrics();
+
+  std::lock_guard lock(responses_mutex);
+  for (const std::string& r : responses) {
+    // A response missing here would be a lost job -- answer something
+    // rather than emitting a silently short file.
+    out << (r.empty() ? error_response("", "tool_error", "request was dropped")
+                      : r);
+  }
+  out.flush();
+  return out.good() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon mode
+// ---------------------------------------------------------------------------
+
+bool Server::start() {
+  started_at_ = Clock::now();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("autolayout_serve: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    std::perror("autolayout_serve: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::jthread([this] { acceptor_loop(); });
+  return true;
+}
+
+void Server::acceptor_loop() {
+  while (!stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollMs);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard lock(connections_mutex_);
+    connections_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::connection_loop(int fd) {
+  const auto conn = std::make_shared<Connection>(fd);
+  support::Metrics& m = support::Metrics::instance();
+  std::string buffer;
+  char chunk[16 * 1024];
+
+  while (!stop_requested()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollMs);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0 || (pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (line.empty()) continue;
+
+      m.counter("service.requests").add();
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.received;
+      }
+      ParsedRequest parsed = parse_request(line, opts_.max_request_bytes);
+      if (!parsed.ok) {
+        record(Outcome::Error, -1.0);
+        conn->write_line(error_response("", "bad_request", parsed.error));
+        continue;
+      }
+      Job job;
+      const std::string id = parsed.request.id;
+      job.request = std::move(parsed.request);
+      job.respond = [conn](const std::string& r) { conn->write_line(r); };
+      switch (queue_.try_push(std::move(job))) {
+        case RequestQueue::Push::Ok: break;
+        case RequestQueue::Push::Full:
+          record(Outcome::Rejected, -1.0);
+          m.counter("service.queue_full").add();
+          conn->write_line(rejected_response(id, "queue full"));
+          break;
+        case RequestQueue::Push::Closed:
+          record(Outcome::Rejected, -1.0);
+          conn->write_line(rejected_response(id, "shutting down"));
+          break;
+      }
+    }
+    buffer.erase(0, start);
+
+    if (buffer.size() > opts_.max_request_bytes) {
+      // An unframed line this large can only be abuse or a broken client;
+      // the framing is unrecoverable, so answer once and hang up.
+      record(Outcome::Error, -1.0);
+      conn->write_line(error_response(
+          "", "bad_request",
+          "request line exceeds " + std::to_string(opts_.max_request_bytes) +
+              " bytes"));
+      break;
+    }
+  }
+}
+
+void Server::wait() {
+  // Phase 0: block until someone asked us to stop.
+  while (!stop_requested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+
+  // Phase 1: stop accepting (acceptor exits on the flag), wind down the
+  // readers (same flag), so no new work can arrive.
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard lock(connections_mutex_);
+    connections_.clear();  // jthread dtors join the readers
+  }
+
+  // Phase 2: seal the queue and drain under the grace period.
+  queue_.close();
+  const Clock::time_point grace_deadline =
+      Clock::now() + std::chrono::milliseconds(opts_.grace_ms);
+  while (queue_.size() > 0 && Clock::now() < grace_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  if (queue_.size() > 0) {
+    // Grace expired: what is still queued gets a rejection, not a run.
+    reject_all_.store(true, std::memory_order_relaxed);
+  }
+
+  // Phase 3: workers drain the (possibly reject-mode) backlog and exit.
+  workers_.clear();
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.wall_ms = ms_since(started_at_);
+  }
+  publish_metrics();
+}
+
+ServiceSummary Server::summary() const {
+  std::lock_guard lock(stats_mutex_);
+  ServiceSummary s = stats_;
+  std::vector<double> sorted = latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_ms = percentile(sorted, 50.0);
+  s.p95_ms = percentile(sorted, 95.0);
+  s.p99_ms = percentile(sorted, 99.0);
+  s.max_ms = sorted.empty() ? 0.0 : sorted.back();
+  return s;
+}
+
+void Server::publish_metrics() const {
+  const ServiceSummary s = summary();
+  support::Metrics& m = support::Metrics::instance();
+  m.set_gauge("service.latency_p50_ms", s.p50_ms);
+  m.set_gauge("service.latency_p95_ms", s.p95_ms);
+  m.set_gauge("service.latency_p99_ms", s.p99_ms);
+  m.set_gauge("service.latency_max_ms", s.max_ms);
+  m.set_gauge("service.wall_ms", s.wall_ms);
+}
+
+} // namespace al::service

@@ -1,0 +1,131 @@
+// Layout-as-a-service (DESIGN.md section 11): the serving layer that turns
+// the per-program pipeline into a request-serving subsystem. One Server
+// owns a bounded RequestQueue and N worker threads; each worker pops a
+// request, runs driver::run_tool under the request's own budgets inside a
+// MetricsScope, and answers with one NDJSON response line (the schema-v2
+// run report on success, the infeasible/exit-2 distinction, or a
+// structured error). Two front ends share that engine:
+//
+//   * run_batch(in, out) -- same-process batch mode: reads request lines
+//     from a stream, admits them with BLOCKING pushes (a file is its own
+//     flow control), and writes responses in input order.
+//   * start()/wait()     -- a POSIX TCP daemon on the loopback interface:
+//     an acceptor thread plus one reader thread per connection; admission
+//     uses try_push, so a saturated queue answers "rejected: queue full"
+//     immediately instead of stalling the socket.
+//
+// Lifecycle: request_stop() (the SIGINT/SIGTERM path -- handlers set a
+// flag and call it from normal context) stops the listener, lets readers
+// wind down, seals the queue, and drains in-flight work under a grace
+// period; work still queued when the grace expires is answered with
+// "rejected: shutting down". wait() returns once every thread is joined,
+// and summary() reports request counts and p50/p95/p99 latency (also
+// published as service.* counters/gauges in support/metrics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/queue.hpp"
+
+namespace al::service {
+
+struct ServerOptions {
+  int workers = 4;                 ///< request-executing threads
+  std::size_t queue_capacity = 64; ///< admission queue bound (backpressure)
+  int port = 0;                    ///< daemon listen port; 0 = ephemeral
+  long grace_ms = 5'000;           ///< drain budget after request_stop()
+  std::size_t max_request_bytes = kMaxRequestBytes;
+};
+
+/// End-of-life report of one Server. Latency quantiles cover EXECUTED
+/// requests (ok/infeasible/tool-error); rejections never ran.
+struct ServiceSummary {
+  std::uint64_t received = 0;   ///< lines admitted to parsing
+  std::uint64_t ok = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t rejected = 0;   ///< queue full / deadline / shutdown
+  std::uint64_t errors = 0;     ///< bad_request + tool_error
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double wall_ms = 0.0;
+  int workers = 0;
+
+  /// Pretty JSON document (schema "autolayout.service_summary" v1).
+  [[nodiscard]] std::string json() const;
+};
+
+class Server {
+public:
+  explicit Server(const ServerOptions& opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Batch mode: consumes NDJSON request lines from `in` (empty lines are
+  /// skipped), writes one response line per request to `out`, IN INPUT
+  /// ORDER, with opts.workers executing concurrently. Returns 0 when the
+  /// output stream survived, 1 on write failure. Not combinable with
+  /// start() on the same Server.
+  int run_batch(std::istream& in, std::ostream& out);
+
+  /// Daemon mode: binds 127.0.0.1:opts.port, starts the workers and the
+  /// acceptor. False (with a message on stderr) when the socket setup
+  /// fails. Use port() for the bound port when opts.port was 0.
+  bool start();
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Initiates shutdown; safe to call from any thread, more than once.
+  void request_stop();
+  [[nodiscard]] bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until the daemon fully wound down (listener closed, queue
+  /// drained or grace expired, workers joined).
+  void wait();
+
+  /// Valid after run_batch / wait() returned.
+  [[nodiscard]] ServiceSummary summary() const;
+
+private:
+  enum class Outcome { Ok, Infeasible, Rejected, Error };
+
+  void worker_loop();
+  void acceptor_loop();
+  void connection_loop(int fd);
+  /// Runs one admitted request end to end and returns its response line.
+  [[nodiscard]] std::string execute(Job& job);
+  void handle_popped(Job& job);
+  void record(Outcome outcome, double latency_ms);
+  void publish_metrics() const;
+
+  ServerOptions opts_;
+  RequestQueue queue_;
+  std::atomic<bool> stop_{false};
+  /// Set when the shutdown grace expired: workers answer remaining queued
+  /// jobs with rejections instead of running them.
+  std::atomic<bool> reject_all_{false};
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<std::jthread> workers_;
+  std::jthread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<std::jthread> connections_;
+
+  mutable std::mutex stats_mutex_;
+  std::vector<double> latencies_ms_;
+  ServiceSummary stats_;
+  std::chrono::steady_clock::time_point started_at_{};
+};
+
+} // namespace al::service

@@ -14,6 +14,11 @@
 //   w.end_object();            // emits a trailing newline at depth 0
 //
 // Doubles are written with %.10g (NaN/inf become null -- JSON has neither).
+//
+// A negative `indent_width` selects COMPACT mode: no newlines or indentation
+// inside the document, so a whole value fits on one line. This is the framing
+// the service's NDJSON protocol needs -- one request or response per line --
+// and the trailing newline at depth 0 doubles as the line terminator.
 #pragma once
 
 #include <cstdint>
@@ -115,6 +120,8 @@ private:
     return *this;
   }
 
+  [[nodiscard]] bool compact() const { return indent_width_ < 0; }
+
   JsonWriter& raw(const std::string& text) {
     separate(/*is_key=*/false);
     os_ << text;
@@ -137,6 +144,7 @@ private:
   }
 
   void newline_indent() {
+    if (compact()) return;
     os_ << '\n';
     for (std::size_t i = 0; i < levels_.size() * static_cast<std::size_t>(indent_width_); ++i)
       os_ << ' ';

@@ -1,0 +1,263 @@
+#include "support/json_parse.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace al::support {
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::Number) return 0.0;
+  return std::strtod(text_.c_str(), nullptr);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const char* JsonValue::kind_name(Kind k) {
+  switch (k) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "boolean";
+    case Kind::Number: return "number";
+    case Kind::String: return "string";
+    case Kind::Array: return "array";
+    case Kind::Object: return "object";
+  }
+  return "?";
+}
+
+/// Recursive-descent parser over a string_view. Errors carry the byte
+/// offset of the failure so protocol rejections can point at the problem.
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  bool run(JsonValue& out, std::string& error) {
+    ws();
+    if (!value(out, 0)) {
+      error = std::move(error_);
+      return false;
+    }
+    ws();
+    if (i_ != s_.size()) {
+      fail("trailing characters after JSON value");
+      error = std::move(error_);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  [[nodiscard]] char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+                              s_[i_] == '\r'))
+      ++i_;
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " at byte %zu", i_);
+      error_ = what + buf;
+    }
+    return false;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > JsonValue::kMaxDepth) return fail("nesting too deep");
+    switch (peek()) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"': out.kind_ = JsonValue::Kind::String; return string(out.text_);
+      case 't':
+        out.kind_ = JsonValue::Kind::Bool;
+        out.flag_ = true;
+        return literal("true");
+      case 'f':
+        out.kind_ = JsonValue::Kind::Bool;
+        out.flag_ = false;
+        return literal("false");
+      case 'n': out.kind_ = JsonValue::Kind::Null; return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(i_, word.size()) != word)
+      return fail("invalid literal");
+    i_ += word.size();
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!eat('"')) return fail("expected '\"'");
+    out.clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        ++i_;
+        continue;
+      }
+      ++i_;  // consume the backslash
+      if (i_ >= s_.size()) break;
+      const char esc = s_[i_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!hex4(cp)) return false;
+          // Surrogate pair: a high surrogate must be followed by \uDC00..DFFF.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            unsigned lo = 0;
+            if (i_ + 1 < s_.size() && s_[i_] == '\\' && s_[i_ + 1] == 'u') {
+              i_ += 2;
+              if (!hex4(lo)) return false;
+            }
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape sequence");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool hex4(unsigned& out) {
+    out = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (i_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[i_])))
+        return fail("invalid \\u escape");
+      const char c = s_[i_++];
+      out = out * 16 + static_cast<unsigned>(
+                           c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("expected a JSON value");
+    // No leading zeros: "0" alone or "0." is fine, "01" is not.
+    if (eat('0')) {
+      if (std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("leading zero in number");
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("digit required after decimal point");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++i_;
+      if (peek() == '+' || peek() == '-') ++i_;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("digit required in exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    out.kind_ = JsonValue::Kind::Number;
+    out.text_.assign(s_.substr(start, i_ - start));
+    return true;
+  }
+
+  bool object(JsonValue& out, int depth) {
+    out.kind_ = JsonValue::Kind::Object;
+    eat('{');
+    ws();
+    if (eat('}')) return true;
+    for (;;) {
+      ws();
+      std::string key;
+      if (!string(key)) return fail("expected object key");
+      if (out.find(key) != nullptr) return fail("duplicate key \"" + key + "\"");
+      ws();
+      if (!eat(':')) return fail("expected ':'");
+      ws();
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.members_.emplace_back(std::move(key), std::move(member));
+      ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    out.kind_ = JsonValue::Kind::Array;
+    eat('[');
+    ws();
+    if (eat(']')) return true;
+    for (;;) {
+      ws();
+      JsonValue item;
+      if (!value(item, depth + 1)) return false;
+      out.items_.push_back(std::move(item));
+      ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  std::string error_;
+};
+
+bool JsonValue::parse(std::string_view text, JsonValue& out, std::string& error) {
+  out = JsonValue();
+  return JsonParser(text).run(out, error);
+}
+
+} // namespace al::support

@@ -1,0 +1,75 @@
+// A minimal JSON reader -- the parsing counterpart of JsonWriter and the
+// foundation of the service's NDJSON protocol (DESIGN.md section 11). One
+// parsed document is a tree of JsonValue nodes.
+//
+// Two deliberate choices serve the protocol layer's strict validation:
+//   * Numbers keep their raw lexeme. Integer-valued fields are converted
+//     with al::parse_int / al::parse_long, so a request saying
+//     "procs": 16.5 or "procs": 1e9 fails the same whole-string check the
+//     CLI applies to --procs, instead of being silently truncated.
+//   * Parsing is strict: the WHOLE input must be one JSON value (callers
+//     frame NDJSON lines before parsing), objects reject duplicate keys,
+//     and nesting depth is bounded so hostile input cannot blow the stack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace al::support {
+
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_bool() const { return flag_; }
+  /// String value (decoded escapes). Only meaningful for Kind::String.
+  [[nodiscard]] const std::string& as_string() const { return text_; }
+  /// The untouched number token, e.g. "16", "-3.5", "1e9". Only for
+  /// Kind::Number; feed it to al::parse_int/parse_long for integer fields.
+  [[nodiscard]] const std::string& number_lexeme() const { return text_; }
+  /// Number as double (strtod of the lexeme; 0.0 for non-numbers).
+  [[nodiscard]] double as_double() const;
+
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Object member by key, or nullptr. Only meaningful for Kind::Object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Human name of a kind ("object", "number", ...) for error messages.
+  [[nodiscard]] static const char* kind_name(Kind k);
+
+  /// Parses exactly one JSON document from `text` (leading/trailing
+  /// whitespace allowed, nothing else). On failure returns false and sets
+  /// `error` to a one-line description with a byte offset.
+  [[nodiscard]] static bool parse(std::string_view text, JsonValue& out,
+                                  std::string& error);
+
+  /// Maximum container nesting the parser accepts.
+  static constexpr int kMaxDepth = 64;
+
+private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::Null;
+  bool flag_ = false;
+  std::string text_;  ///< string value or number lexeme
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace al::support

@@ -1,6 +1,44 @@
 #include "support/metrics.hpp"
 
+#include <algorithm>
+
 namespace al::support {
+
+thread_local MetricsScope* MetricsScope::current_ = nullptr;
+
+MetricsScope::MetricsScope() : prev_(current_) { current_ = this; }
+
+MetricsScope::~MetricsScope() {
+  current_ = prev_;
+  if (prev_ != nullptr) {
+    // Fold into the enclosing scope so nesting never loses increments.
+    for (const auto& [counter, delta] : tally_) prev_->tally_[counter] += delta;
+  }
+}
+
+MetricsScope* MetricsScope::current() { return current_; }
+
+std::vector<MetricsScope::Delta> MetricsScope::deltas() const {
+  const Metrics& registry = Metrics::instance();
+  std::vector<Delta> out;
+  out.reserve(tally_.size());
+  for (const auto& [counter, delta] : tally_) {
+    Delta d;
+    d.name = registry.name_of(counter);
+    d.count = delta;
+    if (!d.name.empty()) out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Delta& a, const Delta& b) { return a.name < b.name; });
+  return out;
+}
+
+std::uint64_t MetricsScope::delta(std::string_view name) const {
+  for (const auto& [counter, delta] : tally_) {
+    if (Metrics::instance().name_of(counter) == name) return delta;
+  }
+  return 0;
+}
 
 Metrics& Metrics::instance() {
   static Metrics m;
@@ -24,6 +62,14 @@ void Metrics::set_gauge(std::string_view name, double value) {
   } else {
     it->second = value;
   }
+}
+
+std::string Metrics::name_of(const void* counter) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    if (c.get() == counter) return name;
+  }
+  return {};
 }
 
 std::vector<Metrics::Sample> Metrics::snapshot() const {

@@ -8,6 +8,17 @@
 //
 // The registry feeds driver/json_report and the bench emitter; printf-style
 // reporting stays where it was -- this is the structured transport.
+//
+// Because the registry is process-global, CONCURRENT pipeline runs (the
+// service's whole point) interleave their increments. MetricsScope is the
+// per-request fix: an RAII scope that, while active on a thread, tallies a
+// private delta of every Counter::add issued BY THAT THREAD. A service
+// worker wraps each request in a scope and gets exactly that request's
+// ilp.*/cache counters, no matter what the other workers are doing. The
+// global registry still sees every increment (scopes observe, they do not
+// redirect). Limitations are documented in DESIGN.md section 11: increments
+// from helper threads the request itself spawns (estimation pools with
+// threads > 1) land outside the scope, and the span Tracer stays global.
 #pragma once
 
 #include <atomic>
@@ -21,12 +32,51 @@
 
 namespace al::support {
 
+class Metrics;
+
+/// Thread-local delta attribution for one region of work (one service
+/// request). Scopes nest: closing an inner scope folds its tally into the
+/// enclosing one, so the outer scope still sees the full region.
+class MetricsScope {
+public:
+  MetricsScope();
+  ~MetricsScope();
+
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+  struct Delta {
+    std::string name;
+    std::uint64_t count = 0;
+  };
+
+  /// Counters incremented on this thread while the scope was active,
+  /// name-sorted. Names resolve through the global registry.
+  [[nodiscard]] std::vector<Delta> deltas() const;
+
+  /// Delta of one counter by name (0 when it never fired in this scope).
+  [[nodiscard]] std::uint64_t delta(std::string_view name) const;
+
+  /// The innermost scope active on the calling thread, or nullptr.
+  [[nodiscard]] static MetricsScope* current();
+
+  /// Internal: called from Counter::add on the owning thread.
+  void note(const void* counter, std::uint64_t delta) { tally_[counter] += delta; }
+
+private:
+  MetricsScope* prev_;                          ///< enclosing scope (stacked)
+  std::map<const void*, std::uint64_t> tally_;  ///< Counter* -> delta
+
+  static thread_local MetricsScope* current_;
+};
+
 class Metrics {
 public:
   class Counter {
   public:
     void add(std::uint64_t delta = 1) {
       value_.fetch_add(delta, std::memory_order_relaxed);
+      if (MetricsScope* scope = MetricsScope::current()) scope->note(this, delta);
     }
     [[nodiscard]] std::uint64_t value() const {
       return value_.load(std::memory_order_relaxed);
@@ -56,6 +106,10 @@ public:
 
   /// All counters and gauges, sorted by name.
   [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Name of a counter previously returned by `counter()`, or "" when the
+  /// pointer is not one of ours (linear scan; only used by MetricsScope).
+  [[nodiscard]] std::string name_of(const void* counter) const;
 
   /// Zeroes every counter (in place -- handles stay valid) and drops all
   /// gauges.

@@ -1,0 +1,108 @@
+// Reentrancy audit of driver::run_tool, backed by a test: the service's
+// workers call the whole pipeline concurrently from independent threads
+// (NOT the estimator's own worker pool -- each call here is fully serial
+// inside, threads=1), so every run must be isolated from its neighbours.
+// The audit found no mutable function-local statics and no shared caches
+// across ToolResult instances; this test makes the claim checkable under
+// -DAL_SANITIZE=thread (ctest -L tsan), and additionally pins down
+// MetricsScope: each thread's scope must attribute exactly its own
+// request's counters even while eight pipelines increment the same
+// process-global counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "support/metrics.hpp"
+
+namespace al::driver {
+namespace {
+
+std::vector<corpus::TestCase> reentrancy_corpus() {
+  return {{"adi", 32, corpus::Dtype::DoublePrecision, 4},
+          {"erlebacher", 16, corpus::Dtype::DoublePrecision, 4},
+          {"tomcatv", 32, corpus::Dtype::DoublePrecision, 4},
+          {"shallow", 32, corpus::Dtype::Real, 4}};
+}
+
+std::unique_ptr<ToolResult> run_serial(const corpus::TestCase& c) {
+  ToolOptions opts;
+  opts.procs = c.procs;
+  opts.threads = 1;
+  return run_tool(corpus::source_for(c), opts);
+}
+
+/// The decision-relevant outputs of a run, for exact comparison.
+std::string fingerprint(const ToolResult& r) {
+  std::string fp;
+  for (int p = 0; p < r.pcfg.num_phases(); ++p) {
+    fp += std::to_string(r.selection.chosen.at(static_cast<std::size_t>(p)));
+    fp += ':';
+    fp += r.chosen_layout(p).str(r.program.symbols);
+    fp += '\n';
+  }
+  fp += "total=" + std::to_string(r.selection.total_cost_us);
+  fp += " node=" + std::to_string(r.selection.node_cost_us);
+  fp += " remap=" + std::to_string(r.selection.remap_cost_us);
+  return fp;
+}
+
+TEST(DriverReentrancy, EightThreadsOverTheCorpusMatchSerialRuns) {
+  const std::vector<corpus::TestCase> cases = reentrancy_corpus();
+
+  // Serial references first, single-threaded.
+  std::vector<std::string> expected;
+  for (const corpus::TestCase& c : cases) expected.push_back(fingerprint(*run_serial(c)));
+
+  // 8 threads, each running the whole 4-program corpus concurrently with
+  // everyone else (32 pipeline executions in flight across 8 threads).
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::string>> got(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (const corpus::TestCase& c : cases)
+          got[static_cast<std::size_t>(t)].push_back(fingerprint(*run_serial(c)));
+      });
+    }
+  }
+
+  for (int t = 0; t < kThreads; ++t)
+    for (std::size_t i = 0; i < cases.size(); ++i)
+      EXPECT_EQ(got[static_cast<std::size_t>(t)][i], expected[i])
+          << cases[i].program << " on thread " << t;
+}
+
+TEST(DriverReentrancy, MetricsScopeAttributesPerThread) {
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  constexpr int kThreads = 8;
+  std::vector<std::uint64_t> runs_delta(kThreads, 0);
+  std::vector<std::uint64_t> total_deltas(kThreads, 0);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        support::MetricsScope scope;
+        run_serial(c);
+        runs_delta[static_cast<std::size_t>(t)] = scope.delta("tool.runs");
+        for (const support::MetricsScope::Delta& d : scope.deltas())
+          total_deltas[static_cast<std::size_t>(t)] += d.count;
+      });
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    // The global counter saw 8 increments; each scope saw exactly its own.
+    EXPECT_EQ(runs_delta[static_cast<std::size_t>(t)], 1u) << "thread " << t;
+    EXPECT_GT(total_deltas[static_cast<std::size_t>(t)], 1u) << "thread " << t;
+  }
+}
+
+} // namespace
+} // namespace al::driver

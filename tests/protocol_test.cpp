@@ -1,0 +1,352 @@
+// Protocol-layer tests (DESIGN.md section 11): the JSON reader primitive
+// (strictness, escapes, depth bound, number lexemes), request validation
+// (malformed JSON, unknown schema/version/keys, missing source, oversized
+// lines, integer fields held to the CLI's whole-lexeme parse), and the
+// response builders (single-line framing, well-formedness, and the
+// budget-exceeded request surviving with fallback provenance -- PR 3's
+// --mip-nodes 1 pattern, now over the wire).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+#include "support/metrics.hpp"
+
+namespace al::service {
+namespace {
+
+using support::JsonValue;
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(JsonValue::parse(text, v, error)) << error;
+  return v;
+}
+
+std::string parse_fail(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(text, v, error)) << text;
+  return error;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue (the reader primitive)
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, ScalarsAndContainers) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool());
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_ok("-12.5e2").number_lexeme(), "-12.5e2");
+  EXPECT_DOUBLE_EQ(parse_ok("-12.5e2").as_double(), -1250.0);
+
+  const JsonValue arr = parse_ok("[1, \"two\", [3]]");
+  ASSERT_EQ(arr.items().size(), 3u);
+  EXPECT_EQ(arr.items()[1].as_string(), "two");
+
+  const JsonValue obj = parse_ok("{\"a\": 1, \"b\": {\"c\": true}}");
+  ASSERT_NE(obj.find("b"), nullptr);
+  EXPECT_TRUE(obj.find("b")->find("c")->as_bool());
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonParse, DecodesEscapes) {
+  EXPECT_EQ(parse_ok("\"a\\n\\t\\\"b\\\\\"").as_string(), "a\n\t\"b\\");
+  EXPECT_EQ(parse_ok("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").as_string(), "\xc3\xa9");       // e-acute
+  EXPECT_EQ(parse_ok("\"\\ud83d\\ude00\"").as_string(),             // emoji
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsGarbage) {
+  parse_fail("");
+  parse_fail("{");
+  parse_fail("[1,]");
+  parse_fail("{\"a\":}");
+  parse_fail("nul");
+  parse_fail("01");          // leading zero
+  parse_fail("1. ");         // digit required after '.'
+  parse_fail("\"unterminated");
+  parse_fail("\"bad \\q escape\"");
+  parse_fail("\"\\ud83d alone\"");  // unpaired surrogate
+  parse_fail("{} trailing");
+  parse_fail("{\"a\":1,\"a\":2}");  // duplicate key
+}
+
+TEST(JsonParse, DepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < JsonValue::kMaxDepth + 8; ++i) deep += '[';
+  const std::string error = parse_fail(deep);
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonParse, RoundTripsWriterEscaping) {
+  // Whatever JsonWriter emits, JsonValue must read back verbatim.
+  const std::string nasty = "line\nbreak\ttab \"quote\" back\\slash \x01";
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  w.begin_object();
+  w.kv("s", nasty);
+  w.end_object();
+  const JsonValue doc = parse_ok(os.str());
+  EXPECT_EQ(doc.find("s")->as_string(), nasty);
+}
+
+// ---------------------------------------------------------------------------
+// Request validation
+// ---------------------------------------------------------------------------
+
+std::string minimal_request(const std::string& extra = "") {
+  return "{\"schema\":\"autolayout.request\",\"schema_version\":1,"
+         "\"source\":\"x\"" +
+         extra + "}";
+}
+
+TEST(Protocol, ParsesMinimalRequest) {
+  const ParsedRequest p = parse_request(minimal_request(",\"id\":\"r1\""));
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.id, "r1");
+  EXPECT_EQ(p.request.source, "x");
+  // Service defaults: serial estimation; everything else as the CLI.
+  EXPECT_EQ(p.request.options.threads, 1);
+  EXPECT_EQ(p.request.options.procs, 16);
+  EXPECT_TRUE(p.request.options.estimator_cache);
+}
+
+TEST(Protocol, AppliesOptionOverrides) {
+  const ParsedRequest p = parse_request(minimal_request(
+      ",\"options\":{\"procs\":8,\"machine\":\"paragon\",\"threads\":2,"
+      "\"extended\":true,\"estimator_cache\":false,\"scalar_expansion\":true,"
+      "\"replicate_unwritten\":true,\"mip_max_nodes\":17,"
+      "\"mip_deadline_ms\":250},\"queue_deadline_ms\":1000,\"delay_ms\":5"));
+  ASSERT_TRUE(p.ok) << p.error;
+  const driver::ToolOptions& o = p.request.options;
+  EXPECT_EQ(o.procs, 8);
+  EXPECT_EQ(o.machine.name, "Intel Paragon");
+  EXPECT_EQ(o.threads, 2);
+  EXPECT_EQ(o.distribution_strategy, distrib::Strategy::ExtendedExhaustive);
+  EXPECT_FALSE(o.estimator_cache);
+  EXPECT_TRUE(o.scalar_expansion);
+  EXPECT_TRUE(o.replicate_unwritten);
+  EXPECT_EQ(o.mip.max_nodes, 17);
+  EXPECT_DOUBLE_EQ(o.mip.deadline_ms, 250.0);
+  EXPECT_EQ(p.request.queue_deadline_ms, 1000);
+  EXPECT_EQ(p.request.delay_ms, 5);
+}
+
+TEST(Protocol, RejectsMalformedJson) {
+  const ParsedRequest p = parse_request("{\"schema\": oops}");
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("malformed JSON"), std::string::npos) << p.error;
+}
+
+TEST(Protocol, RejectsNonObjectAndWrongSchema) {
+  EXPECT_NE(parse_request("[1,2]").error.find("must be a JSON object"),
+            std::string::npos);
+  EXPECT_NE(parse_request("{\"schema\":\"other.schema\",\"schema_version\":1,"
+                          "\"source\":\"x\"}")
+                .error.find("unknown schema"),
+            std::string::npos);
+  EXPECT_NE(parse_request("{\"schema_version\":1,\"source\":\"x\"}")
+                .error.find("missing \"schema\""),
+            std::string::npos);
+}
+
+TEST(Protocol, RejectsUnknownSchemaVersion) {
+  const ParsedRequest p = parse_request(
+      "{\"schema\":\"autolayout.request\",\"schema_version\":2,"
+      "\"source\":\"x\"}");
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("unsupported schema_version 2"), std::string::npos)
+      << p.error;
+  EXPECT_FALSE(
+      parse_request("{\"schema\":\"autolayout.request\",\"source\":\"x\"}").ok);
+}
+
+TEST(Protocol, RejectsMissingOrAmbiguousSource) {
+  EXPECT_NE(parse_request(
+                "{\"schema\":\"autolayout.request\",\"schema_version\":1}")
+                .error.find("needs \"source\""),
+            std::string::npos);
+  EXPECT_NE(parse_request("{\"schema\":\"autolayout.request\","
+                          "\"schema_version\":1,\"source\":\"x\","
+                          "\"file\":\"y.f\"}")
+                .error.find("mutually exclusive"),
+            std::string::npos);
+  EXPECT_NE(parse_request("{\"schema\":\"autolayout.request\","
+                          "\"schema_version\":1,\"source\":\"\"}")
+                .error.find("must not be empty"),
+            std::string::npos);
+}
+
+TEST(Protocol, RejectsUnknownKeysEverywhere) {
+  EXPECT_NE(parse_request(minimal_request(",\"sourc\":\"typo\""))
+                .error.find("unknown key \"sourc\""),
+            std::string::npos);
+  EXPECT_NE(parse_request(minimal_request(",\"options\":{\"proc\":4}"))
+                .error.find("unknown key \"proc\""),
+            std::string::npos);
+}
+
+TEST(Protocol, IntegerFieldsUseStrictLexemeParse) {
+  // Fractional, exponent, and out-of-range forms that a double conversion
+  // would silently accept all fail the CLI's whole-string integer rule.
+  EXPECT_FALSE(parse_request(minimal_request(",\"options\":{\"procs\":16.5}")).ok);
+  EXPECT_FALSE(parse_request(minimal_request(",\"options\":{\"procs\":1e2}")).ok);
+  EXPECT_FALSE(parse_request(minimal_request(",\"options\":{\"procs\":0}")).ok);
+  EXPECT_FALSE(parse_request(minimal_request(",\"options\":{\"procs\":\"16\"}")).ok);
+  EXPECT_FALSE(
+      parse_request(minimal_request(",\"options\":{\"mip_max_nodes\":0}")).ok);
+  EXPECT_TRUE(
+      parse_request(minimal_request(",\"options\":{\"procs\":16}")).ok);
+}
+
+TEST(Protocol, RejectsUnknownMachine) {
+  const ParsedRequest p =
+      parse_request(minimal_request(",\"options\":{\"machine\":\"cm5\"}"));
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("unknown machine"), std::string::npos);
+}
+
+TEST(Protocol, RejectsOversizedRequest) {
+  const std::string line = minimal_request();
+  const ParsedRequest p = parse_request(line, /*max_bytes=*/line.size() - 1);
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("exceeds"), std::string::npos) << p.error;
+  EXPECT_TRUE(parse_request(line, line.size()).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Response builders
+// ---------------------------------------------------------------------------
+
+/// Every response must be ONE line of well-formed JSON ending in '\n'.
+void expect_ndjson(const std::string& response) {
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response.back(), '\n');
+  EXPECT_EQ(std::count(response.begin(), response.end(), '\n'), 1);
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(JsonValue::parse(response, doc, error)) << error;
+}
+
+TEST(Protocol, ErrorAndRejectionResponsesAreSingleLine) {
+  const std::string err =
+      error_response("r1", "bad_request", "broken\nwith newline");
+  expect_ndjson(err);
+  const JsonValue doc = parse_ok(err);
+  EXPECT_EQ(doc.find("status")->as_string(), "error");
+  EXPECT_EQ(doc.find("error")->find("kind")->as_string(), "bad_request");
+
+  const std::string rej = rejected_response("r2", "queue full");
+  expect_ndjson(rej);
+  EXPECT_EQ(parse_ok(rej).find("reason")->as_string(), "queue full");
+
+  const std::string inf = infeasible_response("r3", "no candidates", 1.5);
+  expect_ndjson(inf);
+  EXPECT_EQ(parse_ok(inf).find("status")->as_string(), "infeasible");
+}
+
+TEST(Protocol, OkResponseEmbedsSchemaV2Report) {
+  corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  Request req;
+  req.id = "ok1";
+  req.source = corpus::source_for(c);
+  req.options.procs = 4;
+  req.options.threads = 1;
+
+  support::MetricsScope scope;
+  const std::unique_ptr<driver::ToolResult> result =
+      driver::run_tool(req.source, req.options);
+  const std::string response =
+      ok_response(req, *result, 12.5, scope.deltas());
+  expect_ndjson(response);
+
+  const JsonValue doc = parse_ok(response);
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  EXPECT_EQ(doc.find("id")->as_string(), "ok1");
+  const JsonValue* report = doc.find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->find("schema")->as_string(), "autolayout.run");
+  EXPECT_EQ(report->find("schema_version")->number_lexeme(), "2");
+  ASSERT_NE(report->find("phases"), nullptr);
+  EXPECT_EQ(report->find("phases")->items().size(),
+            static_cast<std::size_t>(result->pcfg.num_phases()));
+  // The request's own counters rode along (the pipeline ran inside the
+  // scope, so at least tool.runs must be attributed).
+  const JsonValue* metrics = doc.find("request_metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("tool.runs"), nullptr);
+  EXPECT_EQ(metrics->find("tool.runs")->number_lexeme(), "1");
+}
+
+// PR 3's survival pattern over the wire: a starved node budget must come
+// back as a normal "ok" response whose report records the fallback
+// provenance, never as an error.
+TEST(Protocol, BudgetExceededRequestSurvivesWithProvenance) {
+  corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  ParsedRequest p = parse_request(
+      "{\"schema\":\"autolayout.request\",\"schema_version\":1,"
+      "\"id\":\"b1\",\"source\":" );
+  // Build the request programmatically: the source needs JSON escaping.
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  w.begin_object();
+  w.kv("schema", kRequestSchema);
+  w.kv("schema_version", kProtocolVersion);
+  w.kv("id", "b1");
+  w.kv("source", corpus::source_for(c));
+  w.key("options").begin_object();
+  w.kv("procs", 4);
+  w.kv("mip_max_nodes", 1);
+  w.end_object();
+  w.end_object();
+  p = parse_request(os.str());
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.options.mip.max_nodes, 1);
+
+  support::MetricsScope scope;
+  const std::unique_ptr<driver::ToolResult> result =
+      driver::run_tool(p.request.source, p.request.options);
+  EXPECT_TRUE(result->verification.ok) << result->verification.message;
+  const std::string response =
+      ok_response(p.request, *result, 1.0, scope.deltas());
+  expect_ndjson(response);
+  const JsonValue doc = parse_ok(response);
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  const JsonValue* selection = doc.find("report")->find("selection");
+  ASSERT_NE(selection, nullptr);
+  EXPECT_EQ(selection->find("budgets")->find("max_nodes")->number_lexeme(), "1");
+  ASSERT_NE(selection->find("verification"), nullptr);
+  EXPECT_TRUE(selection->find("verification")->find("ok")->as_bool());
+  // Whether this graph needs more than one node is the solver's business;
+  // the provenance fields just have to be present and consistent.
+  ASSERT_NE(selection->find("solver_status"), nullptr);
+  ASSERT_NE(selection->find("engine"), nullptr);
+  ASSERT_NE(selection->find("fallback"), nullptr);
+}
+
+TEST(Protocol, LoadSourceReadsFilesAndFailsStructurally) {
+  Request req;
+  req.file = "/nonexistent/path/nowhere.f";
+  std::string error;
+  EXPECT_FALSE(load_source(req, error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  Request inline_req;
+  inline_req.source = "already here";
+  EXPECT_TRUE(load_source(inline_req, error));
+  EXPECT_EQ(inline_req.source, "already here");
+}
+
+} // namespace
+} // namespace al::service

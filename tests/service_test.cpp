@@ -1,0 +1,479 @@
+// Service-layer tests (DESIGN.md section 11): the admission queue's
+// backpressure contract, batch mode's central acceptance property (layout
+// selections identical to the standalone tool at any worker count),
+// structured rejections under saturation and admission deadlines, graceful
+// shutdown, and a multi-client concurrent round-trip over a real loopback
+// socket. The whole file runs under -DAL_SANITIZE=thread via the "tsan"
+// ctest label.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "driver/json_report.hpp"
+#include "driver/tool.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+
+namespace al::service {
+namespace {
+
+using support::JsonValue;
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------------------
+
+Job make_job(const std::string& id) {
+  Job job;
+  job.request.id = id;
+  job.respond = [](const std::string&) {};
+  return job;
+}
+
+TEST(RequestQueue, TryPushFailsFastWhenFull) {
+  RequestQueue q(2);
+  EXPECT_EQ(q.try_push(make_job("a")), RequestQueue::Push::Ok);
+  EXPECT_EQ(q.try_push(make_job("b")), RequestQueue::Push::Ok);
+  EXPECT_EQ(q.try_push(make_job("c")), RequestQueue::Push::Full);
+  EXPECT_EQ(q.size(), 2u);
+
+  Job out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.request.id, "a");  // FIFO
+  EXPECT_EQ(q.try_push(make_job("c")), RequestQueue::Push::Ok);
+}
+
+TEST(RequestQueue, CloseDrainsThenReleasesConsumers) {
+  RequestQueue q(4);
+  EXPECT_EQ(q.try_push(make_job("a")), RequestQueue::Push::Ok);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.try_push(make_job("b")), RequestQueue::Push::Closed);
+  EXPECT_EQ(q.push(make_job("b")), RequestQueue::Push::Closed);
+
+  Job out;
+  EXPECT_TRUE(q.pop(out));   // backlog still drains
+  EXPECT_EQ(out.request.id, "a");
+  EXPECT_FALSE(q.pop(out));  // then consumers are released
+}
+
+TEST(RequestQueue, BlockingPushWaitsForSpace) {
+  RequestQueue q(1);
+  EXPECT_EQ(q.push(make_job("a")), RequestQueue::Push::Ok);
+
+  std::atomic<bool> pushed{false};
+  std::jthread producer([&] {
+    EXPECT_EQ(q.push(make_job("b")), RequestQueue::Push::Ok);
+    pushed.store(true);
+  });
+  // The producer must be blocked while the queue is full...
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(pushed.load());
+  // ...and admitted as soon as a consumer makes room.
+  Job out;
+  ASSERT_TRUE(q.pop(out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.request.id, "b");
+}
+
+TEST(RequestQueue, FlushHandsBackEveryQueuedJob) {
+  RequestQueue q(8);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(q.try_push(make_job(std::to_string(i))), RequestQueue::Push::Ok);
+  std::vector<std::string> dropped;
+  q.flush([&](Job& job) { dropped.push_back(job.request.id); });
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(dropped, (std::vector<std::string>{"0", "1", "2", "3", "4"}));
+}
+
+// ---------------------------------------------------------------------------
+// Shared request plumbing
+// ---------------------------------------------------------------------------
+
+std::vector<corpus::TestCase> service_corpus() {
+  return {{"adi", 32, corpus::Dtype::DoublePrecision, 4},
+          {"erlebacher", 16, corpus::Dtype::DoublePrecision, 4},
+          {"tomcatv", 32, corpus::Dtype::DoublePrecision, 4},
+          {"shallow", 32, corpus::Dtype::Real, 4}};
+}
+
+/// One NDJSON request line for a corpus case. `extra` is raw JSON spliced
+/// into the top-level object (e.g. "\"delay_ms\":200").
+std::string request_line(const corpus::TestCase& c, const std::string& id,
+                         const std::string& extra = "") {
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  w.begin_object();
+  w.kv("schema", kRequestSchema);
+  w.kv("schema_version", kProtocolVersion);
+  w.kv("id", id);
+  w.kv("source", corpus::source_for(c));
+  w.key("options").begin_object();
+  w.kv("procs", c.procs);
+  w.end_object();
+  w.end_object();
+  std::string line = os.str();  // ends "}\n"
+  if (!extra.empty()) line.insert(line.size() - 2, "," + extra);
+  return line;
+}
+
+JsonValue parse_response(const std::string& line) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(JsonValue::parse(line, doc, error)) << error << "\n" << line;
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Batch mode
+// ---------------------------------------------------------------------------
+
+std::vector<JsonValue> run_batch_lines(const std::string& input, int workers,
+                                       std::size_t queue = 64) {
+  ServerOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = queue;
+  Server server(opts);
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(server.run_batch(in, out), 0);
+
+  std::vector<JsonValue> docs;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) docs.push_back(parse_response(line));
+  return docs;
+}
+
+/// The layout decision of a report: per-phase chosen candidate indices and
+/// layouts plus the selection's total cost. This is the "identical layout
+/// selections" acceptance from the issue -- timings and counters may differ
+/// run to run; these values may not.
+std::string selection_fingerprint(const JsonValue& report) {
+  std::string fp;
+  for (const JsonValue& phase : report.find("phases")->items()) {
+    fp += phase.find("chosen")->number_lexeme();
+    fp += ':';
+    fp += phase.find("chosen_layout")->as_string();
+    fp += '\n';
+  }
+  const JsonValue* sel = report.find("selection");
+  fp += "total=";
+  fp += sel->find("total_cost_us")->number_lexeme();
+  fp += " dynamic=";
+  fp += sel->find("dynamic")->as_bool() ? "1" : "0";
+  return fp;
+}
+
+TEST(ServiceBatch, MatchesStandaloneToolAtAnyWorkerCount) {
+  const std::vector<corpus::TestCase> cases = service_corpus();
+
+  // Reference: the standalone pipeline, exactly as `autolayout --json`.
+  std::vector<std::string> expected;
+  for (const corpus::TestCase& c : cases) {
+    driver::ToolOptions opts;
+    opts.procs = c.procs;
+    opts.threads = 1;
+    const auto result = driver::run_tool(corpus::source_for(c), opts);
+    JsonValue report;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(driver::json_report(*result), report, error))
+        << error;
+    expected.push_back(selection_fingerprint(report));
+  }
+
+  std::string input;
+  for (const corpus::TestCase& c : cases) input += request_line(c, c.program);
+
+  for (const int workers : {1, 8}) {
+    const std::vector<JsonValue> docs = run_batch_lines(input, workers);
+    ASSERT_EQ(docs.size(), cases.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      // Batch mode answers in input order regardless of completion order.
+      EXPECT_EQ(docs[i].find("id")->as_string(), cases[i].program);
+      ASSERT_EQ(docs[i].find("status")->as_string(), "ok");
+      EXPECT_EQ(selection_fingerprint(*docs[i].find("report")), expected[i])
+          << cases[i].program << " workers=" << workers;
+    }
+  }
+}
+
+TEST(ServiceBatch, AnswersBadLinesInPlace) {
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  std::string input;
+  input += request_line(c, "good1");
+  input += "{\"schema\": broken\n";
+  input += "{\"schema\":\"autolayout.request\",\"schema_version\":1}\n";
+  input += request_line(c, "good2");
+
+  const std::vector<JsonValue> docs = run_batch_lines(input, 2);
+  ASSERT_EQ(docs.size(), 4u);
+  EXPECT_EQ(docs[0].find("status")->as_string(), "ok");
+  EXPECT_EQ(docs[1].find("status")->as_string(), "error");
+  EXPECT_EQ(docs[1].find("error")->find("kind")->as_string(), "bad_request");
+  EXPECT_EQ(docs[2].find("status")->as_string(), "error");
+  EXPECT_NE(docs[2]
+                .find("error")
+                ->find("message")
+                ->as_string()
+                .find("needs \"source\""),
+            std::string::npos);
+  EXPECT_EQ(docs[3].find("status")->as_string(), "ok");
+  EXPECT_EQ(docs[3].find("id")->as_string(), "good2");
+}
+
+TEST(ServiceBatch, SummaryCountsOutcomes) {
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(opts);
+  std::istringstream in(request_line(c, "a") + "not json\n" +
+                        request_line(c, "b"));
+  std::ostringstream out;
+  ASSERT_EQ(server.run_batch(in, out), 0);
+
+  const ServiceSummary s = server.summary();
+  EXPECT_EQ(s.received, 3u);
+  EXPECT_EQ(s.ok, 2u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_GT(s.p50_ms, 0.0);
+  EXPECT_GE(s.max_ms, s.p99_ms);
+
+  // The summary document parses and carries the schema envelope.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::parse(s.json(), doc, error)) << error;
+  EXPECT_EQ(doc.find("schema")->as_string(), "autolayout.service_summary");
+  EXPECT_EQ(doc.find("requests")->find("ok")->number_lexeme(), "2");
+}
+
+// ---------------------------------------------------------------------------
+// Daemon mode over a real loopback socket
+// ---------------------------------------------------------------------------
+
+/// A minimal blocking NDJSON client for one loopback connection.
+class TestClient {
+public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd_, line.data() + off, line.size() - off, 0);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Blocks until one full response line arrived (empty on EOF).
+  std::string recv_line() {
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return std::string();
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(ServiceDaemon, ConcurrentClientsRoundTrip) {
+  ServerOptions opts;
+  opts.workers = 4;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+  ASSERT_GT(server.port(), 0);
+
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::atomic<int> ok_count{0};
+  {
+    std::vector<std::jthread> clients;
+    clients.reserve(kClients);
+    for (int ci = 0; ci < kClients; ++ci) {
+      clients.emplace_back([&, ci] {
+        TestClient client(server.port());
+        for (int r = 0; r < kPerClient; ++r) {
+          std::string id = "c";
+          id += std::to_string(ci);
+          id += '-';
+          id += std::to_string(r);
+          client.send_line(request_line(c, id));
+          const std::string line = client.recv_line();
+          ASSERT_FALSE(line.empty());
+          const JsonValue doc = parse_response(line);
+          EXPECT_EQ(doc.find("id")->as_string(), id);
+          if (doc.find("status")->as_string() == "ok") ok_count.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ok_count.load(), kClients * kPerClient);
+
+  server.request_stop();
+  server.wait();
+  const ServiceSummary s = server.summary();
+  EXPECT_EQ(s.ok, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.rejected, 0u);
+}
+
+TEST(ServiceDaemon, SaturatedQueueRejectsStructurally) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  TestClient client(server.port());
+  // The first request parks the only worker in its think-time; the second
+  // fills the one-slot queue; the burst after that must bounce immediately.
+  client.send_line(request_line(c, "busy", "\"delay_ms\":400"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  client.send_line(request_line(c, "queued"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  constexpr int kBurst = 3;
+  for (int i = 0; i < kBurst; ++i)
+    client.send_line(request_line(c, "burst" + std::to_string(i)));
+
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < 2 + kBurst; ++i) {
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty());
+    const JsonValue doc = parse_response(line);
+    const std::string status = doc.find("status")->as_string();
+    if (status == "ok") {
+      ++ok;
+    } else {
+      ASSERT_EQ(status, "rejected");
+      EXPECT_EQ(doc.find("reason")->as_string(), "queue full");
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(rejected, kBurst);
+
+  server.request_stop();
+  server.wait();
+  EXPECT_EQ(server.summary().rejected, static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(ServiceDaemon, AdmissionDeadlineRejectsLateWork) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  TestClient client(server.port());
+  // The worker is busy for 300ms; the second request only tolerates 1ms of
+  // queueing, so by the time it is popped its admission deadline has passed.
+  client.send_line(request_line(c, "busy", "\"delay_ms\":300"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  client.send_line(request_line(c, "impatient", "\"queue_deadline_ms\":1"));
+
+  int ok = 0, deadline_rejects = 0;
+  for (int i = 0; i < 2; ++i) {
+    const JsonValue doc = parse_response(client.recv_line());
+    if (doc.find("status")->as_string() == "ok") {
+      ++ok;
+    } else {
+      EXPECT_EQ(doc.find("status")->as_string(), "rejected");
+      EXPECT_EQ(doc.find("id")->as_string(), "impatient");
+      EXPECT_EQ(doc.find("reason")->as_string(), "admission deadline exceeded");
+      ++deadline_rejects;
+    }
+  }
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(deadline_rejects, 1);
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(ServiceDaemon, ShutdownWithoutGraceRejectsQueuedWork) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  opts.grace_ms = 0;  // no drain budget: queued-but-unstarted work is rejected
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  TestClient client(server.port());
+  // The only worker sits in its think-time long enough for the whole
+  // shutdown sequence (listener + readers wind down, zero-grace drain,
+  // reject_all) to complete before it frees up.
+  client.send_line(request_line(c, "busy", "\"delay_ms\":800"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  client.send_line(request_line(c, "stranded1"));
+  client.send_line(request_line(c, "stranded2"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  server.request_stop();
+  // wait() performs the drain-and-reject phases, so it must run while this
+  // thread reads the responses.
+  std::jthread waiter([&] { server.wait(); });
+
+  // The in-flight request still completes; the stranded ones are answered
+  // with structured shutdown rejections before the connection closes.
+  int ok = 0, shutdown_rejects = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty()) << "connection closed before all responses";
+    const JsonValue doc = parse_response(line);
+    if (doc.find("status")->as_string() == "ok") {
+      ++ok;
+    } else {
+      EXPECT_EQ(doc.find("status")->as_string(), "rejected");
+      EXPECT_EQ(doc.find("reason")->as_string(), "shutting down");
+      ++shutdown_rejects;
+    }
+  }
+  waiter.join();
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(shutdown_rejects, 2);
+  EXPECT_EQ(server.summary().rejected, 2u);
+}
+
+} // namespace
+} // namespace al::service

@@ -2,6 +2,7 @@
 
 #include "support/contracts.hpp"
 #include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 #include "support/text.hpp"
 
 namespace al {
@@ -60,6 +61,46 @@ TEST(Diagnostics, CollectsAndCounts) {
   EXPECT_NE(s.find("error 3:4: e"), std::string::npos);
   EXPECT_NE(s.find("warning 1:2: w"), std::string::npos);
   EXPECT_NE(s.find("<unknown>"), std::string::npos);
+}
+
+TEST(MetricsScope, CapturesOnlyIncrementsInsideTheScope) {
+  support::Metrics& m = support::Metrics::instance();
+  m.counter("scope_test.a").add();  // outside any scope: global only
+  {
+    support::MetricsScope scope;
+    EXPECT_EQ(support::MetricsScope::current(), &scope);
+    m.counter("scope_test.a").add(3);
+    m.counter("scope_test.b").add();
+    EXPECT_EQ(scope.delta("scope_test.a"), 3u);
+    EXPECT_EQ(scope.delta("scope_test.b"), 1u);
+    EXPECT_EQ(scope.delta("scope_test.never"), 0u);
+
+    const std::vector<support::MetricsScope::Delta> deltas = scope.deltas();
+    // Sorted by name, only touched counters.
+    bool saw_a = false;
+    for (const support::MetricsScope::Delta& d : deltas)
+      if (d.name == "scope_test.a") saw_a = true;
+    EXPECT_TRUE(saw_a);
+  }
+  EXPECT_EQ(support::MetricsScope::current(), nullptr);
+  // The global counter kept every increment, scoped or not.
+  EXPECT_GE(m.counter("scope_test.a").value(), 4u);
+}
+
+TEST(MetricsScope, NestedScopesFoldIntoTheParent) {
+  support::Metrics& m = support::Metrics::instance();
+  support::MetricsScope outer;
+  m.counter("scope_test.nest").add();
+  {
+    support::MetricsScope inner;
+    m.counter("scope_test.nest").add(2);
+    EXPECT_EQ(inner.delta("scope_test.nest"), 2u);
+    // The outer scope has not seen the inner increments yet.
+    EXPECT_EQ(outer.delta("scope_test.nest"), 1u);
+  }
+  // On destruction the inner tally folds into its parent: the outer scope
+  // accounts for everything that happened while it was active.
+  EXPECT_EQ(outer.delta("scope_test.nest"), 3u);
 }
 
 } // namespace

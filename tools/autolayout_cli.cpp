@@ -1,6 +1,6 @@
 // The data layout assistant as a command-line tool.
 //
-//   autolayout [options] program.f
+//   autolayout [options] program.f      ("-" reads the program from stdin)
 //
 //   -p, --procs N          processors to lay out for        (default 16)
 //   -j, --threads N        estimation worker threads; 0 = one per hardware
@@ -158,7 +158,9 @@ int main(int argc, char** argv) {
     } else if (a == "-h" || a == "--help") {
       usage(argv[0]);
       return 0;
-    } else if (!a.empty() && a[0] == '-') {
+    } else if (a != "-" && !a.empty() && a[0] == '-') {
+      // A bare "-" is the stdin input path (mirroring "-" = stdout for
+      // --json/--trace), not an option.
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], a.c_str());
       usage(argv[0]);
       return 1;
@@ -202,13 +204,17 @@ int main(int argc, char** argv) {
       opts.machine.name += " (+" + training_file + ")";
     }
 
-    std::ifstream in(input);
-    if (!in) {
-      std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0], input.c_str());
-      return 1;
-    }
     std::ostringstream src;
-    src << in.rdbuf();
+    if (input == "-") {
+      src << std::cin.rdbuf();
+    } else {
+      std::ifstream in(input);
+      if (!in) {
+        std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0], input.c_str());
+        return 1;
+      }
+      src << in.rdbuf();
+    }
 
     // One CLI invocation is one run: start the observability layer clean so
     // the exported counters/spans describe exactly this run.

@@ -1,0 +1,358 @@
+// Load generator / client for autolayout_serve's NDJSON-over-TCP daemon.
+//
+//   autolayout_client --port N [options]
+//
+//   --port N            server port on 127.0.0.1 (required)
+//   --file FILE         send request lines from FILE ("-" = stdin) instead
+//                       of generating them
+//   --corpus LIST       comma-separated programs to generate requests for
+//                       (default "adi,erlebacher,tomcatv,shallow")
+//   --n SIZE            generated problem size               (default 32)
+//   --procs N           generated processor count            (default 4)
+//   --repeat K          repetitions of the corpus mix        (default 1)
+//   --connections C     parallel TCP connections             (default 1)
+//   --deadline-ms N     queue_deadline_ms stamped on generated requests
+//   --out FILE          dump raw response lines ("-" = stdout)
+//
+// Requests are split round-robin over the connections; each connection
+// counts response statuses and measures per-request latency (send to
+// response line). The final line on stdout is a one-line JSON summary:
+//   {"schema":"autolayout.client_summary", "sent":..., "ok":...,
+//    "rejected":..., "infeasible":..., "errors":..., "wall_ms":...,
+//    "throughput_rps":..., "p50_ms":..., "p95_ms":..., "p99_ms":...}
+//
+// Exit status: 0 when every response arrived (whatever its status), 1 on
+// usage/connect/protocol failures.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Tally {
+  std::uint64_t sent = 0, ok = 0, rejected = 0, infeasible = 0, errors = 0;
+  std::vector<double> latencies_ms;
+  bool transport_failed = false;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(v.size()));
+  return v[static_cast<std::size_t>(std::clamp(
+             rank, 1.0, static_cast<double>(v.size()))) - 1];
+}
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one '\n'-terminated line (without the terminator). False on EOF
+/// or a transport error.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// One connection's work: send its requests one by one, await each
+/// response (the protocol preserves order per connection only when the
+/// server has one worker, so match on "status" not on position -- every
+/// response to THIS connection's requests arrives on this socket).
+void drive_connection(int port, const std::vector<std::string>& requests,
+                      Tally& tally, std::mutex& out_mutex, std::ostream* out) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) {
+    tally.transport_failed = true;
+    return;
+  }
+  std::string buffer, line;
+  for (const std::string& req : requests) {
+    const Clock::time_point t0 = Clock::now();
+    if (!send_all(fd, req)) {
+      tally.transport_failed = true;
+      break;
+    }
+    ++tally.sent;
+    if (!read_line(fd, buffer, line)) {
+      tally.transport_failed = true;
+      break;
+    }
+    tally.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    if (out != nullptr) {
+      std::lock_guard lock(out_mutex);
+      *out << line << '\n';
+    }
+    al::support::JsonValue doc;
+    std::string parse_error;
+    if (!al::support::JsonValue::parse(line, doc, parse_error) ||
+        doc.find("status") == nullptr) {
+      ++tally.errors;
+      continue;
+    }
+    const std::string& status = doc.find("status")->as_string();
+    if (status == "ok") {
+      ++tally.ok;
+    } else if (status == "rejected") {
+      ++tally.rejected;
+    } else if (status == "infeasible") {
+      ++tally.infeasible;
+    } else {
+      ++tally.errors;
+    }
+  }
+  ::close(fd);
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--file FILE | --corpus LIST] [--n SIZE]\n"
+               "          [--procs N] [--repeat K] [--connections C]\n"
+               "          [--deadline-ms N] [--out FILE]\n",
+               argv0);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace al;
+  int port = 0;
+  std::string file;
+  std::string corpus_list = "adi,erlebacher,tomcatv,shallow";
+  long n = 32;
+  int procs = 4;
+  int repeat = 1;
+  int connections = 1;
+  long deadline_ms = 0;
+  std::string out_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    bool bad = false;
+    if (a == "--port") {
+      bad = !parse_int(need_value("--port"), 1, 65535, port);
+    } else if (a == "--file") {
+      file = need_value("--file");
+    } else if (a == "--corpus") {
+      corpus_list = need_value("--corpus");
+    } else if (a == "--n") {
+      bad = !parse_long(need_value("--n"), 8, 4096, n);
+    } else if (a == "--procs") {
+      bad = !parse_int(need_value("--procs"), 1, 1 << 20, procs);
+    } else if (a == "--repeat") {
+      bad = !parse_int(need_value("--repeat"), 1, 1 << 20, repeat);
+    } else if (a == "--connections") {
+      bad = !parse_int(need_value("--connections"), 1, 1024, connections);
+    } else if (a == "--deadline-ms") {
+      bad = !parse_long(need_value("--deadline-ms"), 1,
+                        std::numeric_limits<long>::max(), deadline_ms);
+    } else if (a == "--out") {
+      out_file = need_value("--out");
+    } else if (a == "-h" || a == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], a.c_str());
+      usage(argv[0]);
+      return 1;
+    }
+    if (bad) {
+      std::fprintf(stderr, "%s: bad value for %s\n", argv[0], a.c_str());
+      return 1;
+    }
+  }
+  if (port == 0) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  // Assemble the request lines.
+  std::vector<std::string> requests;
+  if (!file.empty()) {
+    std::ifstream in_file;
+    std::istream* in = &std::cin;
+    if (file != "-") {
+      in_file.open(file);
+      if (!in_file) {
+        std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0], file.c_str());
+        return 1;
+      }
+      in = &in_file;
+    }
+    std::string line;
+    while (std::getline(*in, line))
+      if (!line.empty()) requests.push_back(line + '\n');
+  } else {
+    std::vector<std::string> programs;
+    for (std::string_view name : split(corpus_list, ','))
+      programs.emplace_back(trim(name));
+    int id = 0;
+    for (int r = 0; r < repeat; ++r) {
+      for (const std::string& prog : programs) {
+        corpus::TestCase c{prog, n,
+                           prog == "shallow" ? corpus::Dtype::Real
+                                             : corpus::Dtype::DoublePrecision,
+                           procs};
+        std::ostringstream os;
+        support::JsonWriter w(os, /*indent_width=*/-1);
+        w.begin_object();
+        w.kv("schema", service::kRequestSchema);
+        w.kv("schema_version", service::kProtocolVersion);
+        w.kv("id", "c" + std::to_string(id++));
+        w.kv("source", corpus::source_for(c));
+        if (deadline_ms > 0) w.kv("queue_deadline_ms", deadline_ms);
+        w.key("options").begin_object();
+        w.kv("procs", procs);
+        w.end_object();
+        w.end_object();
+        requests.push_back(os.str());
+      }
+    }
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "%s: nothing to send\n", argv[0]);
+    return 1;
+  }
+
+  std::ofstream out_stream;
+  std::ostream* out = nullptr;
+  if (!out_file.empty()) {
+    if (out_file == "-") {
+      out = &std::cout;
+    } else {
+      out_stream.open(out_file);
+      if (!out_stream) {
+        std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], out_file.c_str());
+        return 1;
+      }
+      out = &out_stream;
+    }
+  }
+
+  // Round-robin split over the connections, one thread each.
+  connections = std::min<int>(connections, static_cast<int>(requests.size()));
+  std::vector<std::vector<std::string>> shards(
+      static_cast<std::size_t>(connections));
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    shards[i % static_cast<std::size_t>(connections)].push_back(
+        std::move(requests[i]));
+
+  std::vector<Tally> tallies(static_cast<std::size_t>(connections));
+  std::mutex out_mutex;
+  const Clock::time_point t0 = Clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        drive_connection(port, shards[static_cast<std::size_t>(c)],
+                         tallies[static_cast<std::size_t>(c)], out_mutex, out);
+      });
+    }
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  Tally total;
+  std::vector<double> latencies;
+  for (const Tally& t : tallies) {
+    total.sent += t.sent;
+    total.ok += t.ok;
+    total.rejected += t.rejected;
+    total.infeasible += t.infeasible;
+    total.errors += t.errors;
+    total.transport_failed = total.transport_failed || t.transport_failed;
+    latencies.insert(latencies.end(), t.latencies_ms.begin(),
+                     t.latencies_ms.end());
+  }
+
+  {
+    support::JsonWriter w(std::cout, /*indent_width=*/-1);
+    w.begin_object();
+    w.kv("schema", "autolayout.client_summary");
+    w.kv("schema_version", 1);
+    w.kv("sent", total.sent);
+    w.kv("ok", total.ok);
+    w.kv("rejected", total.rejected);
+    w.kv("infeasible", total.infeasible);
+    w.kv("errors", total.errors);
+    w.kv("connections", connections);
+    w.kv("wall_ms", wall_ms);
+    w.kv("throughput_rps",
+         wall_ms > 0.0 ? static_cast<double>(latencies.size()) / (wall_ms / 1e3)
+                       : 0.0);
+    w.kv("p50_ms", percentile(latencies, 50.0));
+    w.kv("p95_ms", percentile(latencies, 95.0));
+    w.kv("p99_ms", percentile(latencies, 99.0));
+    w.end_object();
+  }
+  return total.transport_failed ? 1 : 0;
+}

@@ -1,0 +1,179 @@
+// The layout assistant as a service (DESIGN.md section 11).
+//
+//   autolayout_serve --batch requests.ndjson        one-shot batch mode
+//   autolayout_serve --port 7461                    NDJSON-over-TCP daemon
+//
+//   --batch FILE           read request lines from FILE ("-" = stdin) and
+//                          exit when done; responses go to --out
+//   --port N               listen on 127.0.0.1:N (0 = ephemeral; the bound
+//                          port is printed to stderr)
+//   --workers N            request-executing threads        (default 4)
+//   --queue N              admission queue capacity; a full queue answers
+//                          "rejected: queue full"           (default 64)
+//   --grace-ms N           drain budget after SIGINT/SIGTERM (default 5000)
+//   --max-request-bytes N  per-line size cap                (default 4 MiB)
+//   --out FILE             batch responses ("-" = stdout, the default)
+//   --summary FILE         final service summary JSON ("-" = stderr, the
+//                          default; always emitted)
+//
+// Wire format: one "autolayout.request" v1 JSON document per line in, one
+// "autolayout.response" v1 document per line out (see src/service/protocol).
+// SIGINT/SIGTERM stop the listener, drain in-flight work under --grace-ms,
+// and answer anything still queued with "rejected: shutting down".
+//
+// Exit status: 0 on clean shutdown / completed batch, 1 on setup or I/O
+// errors. Per-request failures are responses, not exit codes.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "service/server.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+al::service::Server* g_server = nullptr;
+
+/// Only an atomic store happens behind this call -- async-signal-safe.
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--batch FILE | --port N) [--workers N] [--queue N]\n"
+               "          [--grace-ms N] [--max-request-bytes N] [--out FILE]\n"
+               "          [--summary FILE]\n",
+               argv0);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace al;
+  service::ServerOptions opts;
+  std::string batch_file;
+  std::string out_file = "-";
+  std::string summary_file = "-";
+  bool daemon = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    auto int_flag = [&](const char* flag, int min, int& out) {
+      const char* v = need_value(flag);
+      if (!parse_int(v, min, std::numeric_limits<int>::max(), out)) {
+        std::fprintf(stderr, "%s: bad value for %s: '%s'\n", argv[0], flag, v);
+        std::exit(1);
+      }
+    };
+    if (a == "--batch") {
+      batch_file = need_value("--batch");
+    } else if (a == "--port") {
+      int port = 0;
+      const char* v = need_value("--port");
+      if (!parse_int(v, 0, 65535, port)) {
+        std::fprintf(stderr, "%s: bad port '%s'\n", argv[0], v);
+        return 1;
+      }
+      opts.port = port;
+      daemon = true;
+    } else if (a == "--workers") {
+      int_flag("--workers", 1, opts.workers);
+    } else if (a == "--queue") {
+      int capacity = 0;
+      int_flag("--queue", 1, capacity);
+      opts.queue_capacity = static_cast<std::size_t>(capacity);
+    } else if (a == "--grace-ms") {
+      long grace = 0;
+      const char* v = need_value("--grace-ms");
+      if (!parse_long(v, 0, std::numeric_limits<long>::max(), grace)) {
+        std::fprintf(stderr, "%s: bad grace '%s'\n", argv[0], v);
+        return 1;
+      }
+      opts.grace_ms = grace;
+    } else if (a == "--max-request-bytes") {
+      int bytes = 0;
+      int_flag("--max-request-bytes", 1, bytes);
+      opts.max_request_bytes = static_cast<std::size_t>(bytes);
+    } else if (a == "--out") {
+      out_file = need_value("--out");
+    } else if (a == "--summary") {
+      summary_file = need_value("--summary");
+    } else if (a == "-h" || a == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], a.c_str());
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (!daemon && batch_file.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+  if (daemon && !batch_file.empty()) {
+    std::fprintf(stderr, "%s: --batch and --port are mutually exclusive\n",
+                 argv[0]);
+    return 1;
+  }
+
+  service::Server server(opts);
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  int rc = 0;
+  if (daemon) {
+    if (!server.start()) return 1;
+    std::fprintf(stderr, "%s: listening on 127.0.0.1:%d (%d workers, queue %zu)\n",
+                 argv[0], server.port(), opts.workers, opts.queue_capacity);
+    server.wait();
+  } else {
+    std::ifstream in_file;
+    std::istream* in = &std::cin;
+    if (batch_file != "-") {
+      in_file.open(batch_file);
+      if (!in_file) {
+        std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0], batch_file.c_str());
+        return 1;
+      }
+      in = &in_file;
+    }
+    std::ofstream out_stream;
+    std::ostream* out = &std::cout;
+    if (out_file != "-") {
+      out_stream.open(out_file);
+      if (!out_stream) {
+        std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], out_file.c_str());
+        return 1;
+      }
+      out = &out_stream;
+    }
+    rc = server.run_batch(*in, *out);
+  }
+
+  const std::string summary = server.summary().json();
+  if (summary_file == "-") {
+    std::fputs(summary.c_str(), stderr);
+  } else {
+    std::ofstream sf(summary_file);
+    if (!sf) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], summary_file.c_str());
+      return 1;
+    }
+    sf << summary;
+  }
+  g_server = nullptr;
+  return rc;
+}
