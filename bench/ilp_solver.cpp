@@ -1,139 +1,331 @@
-// ILP micro-benchmarks (google-benchmark): solve times of the actual 0-1
-// instances the four programs generate -- alignment conflict resolution and
-// data layout selection -- compared against the paper's CPLEX-on-SPARC-10
-// numbers (Adi 60 ms, Erlebacher 120 ms, Tomcatv 480/1030 + 160 ms,
-// Shallow 150 ms; everything under 1.1 s).
-#include <benchmark/benchmark.h>
+// MIP engine benchmark (DESIGN.md section 12): solves the ACTUAL 0-1
+// instances the four corpus programs generate -- inter-dimensional alignment
+// and data layout selection, the two problems the paper hands to CPLEX --
+// once with the full engine (dual-simplex warm starts, 0-1 presolve,
+// pseudo-cost branching, dominance pruning) and once with everything off
+// (cold LPs, no presolve, most-fractional branching). Medians, total simplex
+// iterations, per-node LP work, and presolve reduction ratios go to
+// BENCH_ilp.json in the working directory; the two configurations must agree
+// on every optimal objective and every checked layout selection or the
+// benchmark FAILS (exit 1).
+//
+//   ./build/bench/ilp_solver [runs-per-config]   (default 5, min 5)
+//   ./build/bench/ilp_solver --smoke             tiny instances, 1 run (ctest)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "cag/builder.hpp"
 #include "cag/ilp_formulation.hpp"
 #include "corpus/corpus.hpp"
 #include "driver/tool.hpp"
 #include "ilp/branch_and_bound.hpp"
-#include "ilp/simplex.hpp"
 #include "select/ilp_selection.hpp"
+#include "select/verify.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/text.hpp"
 
 namespace {
 
-using namespace al;
+using al::corpus::Dtype;
+using al::corpus::TestCase;
+using Clock = std::chrono::steady_clock;
 
-std::unique_ptr<driver::ToolResult> tool_for(const std::string& prog, long n, int procs) {
-  driver::ToolOptions opts;
-  opts.procs = procs;
-  corpus::TestCase c{prog, n, prog == "shallow" ? corpus::Dtype::Real
-                                                : corpus::Dtype::DoublePrecision,
-                     procs};
-  return driver::run_tool(corpus::source_for(c), opts);
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
-void BM_SelectionIlp(benchmark::State& state, const std::string& prog, long n) {
-  auto tool = tool_for(prog, n, 16);
-  for (auto _ : state) {
-    select::SelectionResult r = select::select_layouts_ilp(tool->graph);
-    benchmark::DoNotOptimize(r.total_cost_us);
-  }
-  state.counters["vars"] = tool->selection.ilp_variables;
-  state.counters["constraints"] = tool->selection.ilp_constraints;
+al::ilp::MipOptions cold_options() {
+  al::ilp::MipOptions o;
+  o.warm_start = false;
+  o.presolve = false;
+  o.branching = al::ilp::Branching::MostFractional;
+  return o;
 }
 
-void BM_TomcatvAlignmentIlp(benchmark::State& state) {
-  // Rebuild and resolve the conflicted merged CAG of Tomcatv's import step.
-  auto tool = tool_for("tomcatv", 128, 16);
-  // Re-run one conflicted resolution: merge the two class CAGs.
-  const auto& classes = tool->alignment.partition.classes;
-  if (classes.size() < 2) {
-    state.SkipWithError("expected two phase classes");
-    return;
-  }
-  cag::Cag merged = classes[0].cag;
-  merged.merge_scaled(classes[1].cag, 1.0);
-  if (!merged.has_conflict()) {
-    state.SkipWithError("expected an alignment conflict");
-    return;
-  }
-  for (auto _ : state) {
-    cag::Resolution r = cag::resolve_alignment(merged, tool->templ.rank);
-    benchmark::DoNotOptimize(r.satisfied_weight);
-  }
-  cag::AlignmentIlp form = cag::formulate_alignment_ilp(merged, tool->templ.rank);
-  state.counters["vars"] = form.model.num_variables();
-  state.counters["constraints"] = form.model.num_constraints();
-}
+/// One engine configuration's measurement of one instance family.
+struct EngineStats {
+  double median_ms = 0.0;
+  long lp_iterations = 0;  ///< total simplex pivots (deterministic per config)
+  long bb_nodes = 0;
+  long warm_starts = 0;
+  long warm_start_failures = 0;
+  int presolve_fixed_vars = 0;
+  int presolve_removed_rows = 0;
+  int dominated_candidates = 0;
+};
 
-/// Synthetic SELECTION-SHAPED 0-1 instances at the paper's problem scale:
-/// `phases` one-of-K groups chained by transportation-style remap blocks --
-/// the structure the paper's data layout selection instances actually have.
-/// (Dense random packing instances of the same size are NP-hard in practice
-/// for any branch-and-bound without cutting planes, and nothing the
-/// framework ever generates.)
-void BM_Synthetic01(benchmark::State& state) {
-  const int phases = static_cast<int>(state.range(0));
-  const int cands = static_cast<int>(state.range(1));
-  std::uint64_t s = 0x243F6A8885A308D3ULL;
-  auto rnd = [&s]() {
-    s ^= s << 13;
-    s ^= s >> 7;
-    s ^= s << 17;
-    return s;
-  };
-  ilp::Model m(ilp::Sense::Minimize);
-  std::vector<std::vector<int>> x(static_cast<std::size_t>(phases));
-  for (int p = 0; p < phases; ++p) {
-    std::vector<ilp::Term> one;
-    for (int i = 0; i < cands; ++i) {
-      const int v = m.add_binary("x" + std::to_string(p) + "_" + std::to_string(i),
-                                 static_cast<double>(rnd() % 1000));
-      x[static_cast<std::size_t>(p)].push_back(v);
-      one.push_back({v, 1.0});
-    }
-    m.add_constraint("one" + std::to_string(p), std::move(one), ilp::Rel::EQ, 1.0);
+struct ProgramReport {
+  std::string program;
+  // Selection MIP.
+  int sel_variables = 0;
+  int sel_constraints = 0;
+  EngineStats sel_cold;
+  EngineStats sel_warm;
+  bool sel_objectives_match = false;
+  bool sel_selections_match = false;
+  bool sel_verified = false;
+  // Alignment MIPs (all conflicted instances of the program).
+  int align_models = 0;
+  EngineStats align_cold;
+  EngineStats align_warm;
+  bool align_objectives_match = true;
+};
+
+/// Collects every conflicted alignment 0-1 model the program produces: one
+/// per alignment class whose CAG carries an inter-dimensional conflict, plus
+/// the merged two-class instance (Tomcatv's import step resolves that one).
+std::vector<al::ilp::Model> alignment_models(const al::driver::ToolResult& tool) {
+  std::vector<al::ilp::Model> models;
+  const auto& classes = tool.alignment.partition.classes;
+  for (const auto& cls : classes) {
+    if (!cls.cag.has_conflict()) continue;
+    models.push_back(
+        al::cag::formulate_alignment_ilp(cls.cag, tool.templ.rank).model);
   }
-  for (int p = 0; p + 1 < phases; ++p) {
-    std::vector<std::vector<int>> y(static_cast<std::size_t>(cands));
-    for (int i = 0; i < cands; ++i) {
-      for (int j = 0; j < cands; ++j) {
-        y[static_cast<std::size_t>(i)].push_back(m.add_continuous(
-            "y" + std::to_string(p) + "_" + std::to_string(i) + std::to_string(j), 0.0,
-            1.0, i == j ? 0.0 : static_cast<double>(rnd() % 500)));
-      }
-    }
-    for (int i = 0; i < cands; ++i) {
-      std::vector<ilp::Term> row;
-      for (int j = 0; j < cands; ++j) row.push_back({y[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
-      row.push_back({x[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)], -1.0});
-      m.add_constraint("r" + std::to_string(p) + "_" + std::to_string(i), std::move(row),
-                       ilp::Rel::EQ, 0.0);
-      std::vector<ilp::Term> col;
-      for (int j = 0; j < cands; ++j) col.push_back({y[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], 1.0});
-      col.push_back({x[static_cast<std::size_t>(p + 1)][static_cast<std::size_t>(i)], -1.0});
-      m.add_constraint("c" + std::to_string(p) + "_" + std::to_string(i), std::move(col),
-                       ilp::Rel::EQ, 0.0);
+  if (classes.size() >= 2) {
+    al::cag::Cag merged = classes[0].cag;
+    merged.merge_scaled(classes[1].cag, 1.0);
+    if (merged.has_conflict()) {
+      models.push_back(
+          al::cag::formulate_alignment_ilp(merged, tool.templ.rank).model);
     }
   }
-  for (auto _ : state) {
-    ilp::MipResult r = ilp::solve_mip(m);
-    benchmark::DoNotOptimize(r.objective);
-  }
-  state.counters["vars"] = m.num_variables();
-  state.counters["constraints"] = m.num_constraints();
+  return models;
 }
 
-BENCHMARK_CAPTURE(BM_SelectionIlp, adi, std::string("adi"), 256L)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SelectionIlp, erlebacher, std::string("erlebacher"), 64L)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SelectionIlp, tomcatv, std::string("tomcatv"), 128L)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SelectionIlp, shallow, std::string("shallow"), 384L)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TomcatvAlignmentIlp)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Synthetic01)
-    ->Args({9, 3})    // Adi-sized:     ~60 vars  (paper: 61 vars, 60 ms)
-    ->Args({28, 3})   // Shallow-sized: ~250 vars (paper: 228 vars, 150 ms)
-    ->Args({17, 4})   // Tomcatv-sized: ~330 vars (paper: 336 vars, 160 ms)
-    ->Args({40, 3})   // Erlebacher-sized          (paper: 327 vars, 120 ms)
-    ->Unit(benchmark::kMillisecond);
+void write_engine(al::support::JsonWriter& w, const char* key, const EngineStats& s) {
+  w.key(key).begin_object();
+  w.kv("median_ms", s.median_ms);
+  w.kv("lp_iterations", s.lp_iterations);
+  w.kv("bb_nodes", s.bb_nodes);
+  w.kv("iterations_per_node",
+       s.bb_nodes > 0 ? static_cast<double>(s.lp_iterations) /
+                            static_cast<double>(s.bb_nodes)
+                      : 0.0);
+  w.kv("warm_starts", s.warm_starts);
+  w.kv("warm_start_failures", s.warm_start_failures);
+  w.kv("presolve_fixed_vars", s.presolve_fixed_vars);
+  w.kv("presolve_removed_rows", s.presolve_removed_rows);
+  w.kv("dominated_candidates", s.dominated_candidates);
+  w.end_object();
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int runs = 5;
+  bool smoke = false;
+  if (argc > 1) {
+    if (std::string(argv[1]) == "--smoke") {
+      smoke = true;
+      runs = 1;
+    } else if (!al::parse_int(argv[1], 1, 1'000'000, runs)) {
+      std::fprintf(stderr, "usage: %s [runs-per-config | --smoke]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (!smoke) runs = std::max(runs, 5);
+
+  const std::vector<TestCase> cases =
+      smoke ? std::vector<TestCase>{{"adi", 32, Dtype::DoublePrecision, 4},
+                                    {"tomcatv", 32, Dtype::DoublePrecision, 4}}
+            : std::vector<TestCase>{{"adi", 256, Dtype::DoublePrecision, 16},
+                                    {"erlebacher", 64, Dtype::DoublePrecision, 16},
+                                    {"tomcatv", 128, Dtype::DoublePrecision, 16},
+                                    {"shallow", 384, Dtype::Real, 16}};
+
+  al::support::Metrics::instance().reset();
+  std::vector<ProgramReport> reports;
+  bool all_equivalent = true;
+
+  for (const TestCase& c : cases) {
+    al::driver::ToolOptions topts;
+    topts.procs = c.procs;
+    topts.threads = 1;
+    const auto tool = al::driver::run_tool(al::corpus::source_for(c), topts);
+
+    ProgramReport rep;
+    rep.program = c.program;
+
+    // --- Layout selection: full engine vs cold baseline ------------------
+    al::select::SelectionOptions warm_sel;  // defaults = the full engine
+    al::select::SelectionOptions cold_sel;
+    cold_sel.mip = cold_options();
+    cold_sel.dominance = false;
+
+    al::select::SelectionResult warm_r;
+    al::select::SelectionResult cold_r;
+    for (const bool warm : {false, true}) {
+      std::vector<double> samples;
+      al::select::SelectionResult r;
+      for (int i = 0; i < runs; ++i) {
+        const auto t0 = Clock::now();
+        r = al::select::select_layouts_ilp(tool->graph, warm ? warm_sel : cold_sel);
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+      }
+      EngineStats& s = warm ? rep.sel_warm : rep.sel_cold;
+      s.median_ms = median(samples);
+      s.lp_iterations = r.lp_iterations;
+      s.bb_nodes = r.bb_nodes;
+      s.warm_starts = r.warm_starts;
+      s.warm_start_failures = r.warm_start_failures;
+      s.presolve_fixed_vars = r.presolve_fixed_vars;
+      s.presolve_removed_rows = r.presolve_removed_rows;
+      s.dominated_candidates = r.dominated_candidates;
+      (warm ? warm_r : cold_r) = std::move(r);
+    }
+    rep.sel_variables = cold_r.ilp_variables;
+    rep.sel_constraints = cold_r.ilp_constraints;
+    rep.sel_objectives_match =
+        std::abs(warm_r.total_cost_us - cold_r.total_cost_us) <=
+        1e-6 * (1.0 + std::abs(cold_r.total_cost_us));
+    rep.sel_selections_match = warm_r.chosen == cold_r.chosen;
+    rep.sel_verified = al::select::verify_assignment(tool->graph, warm_r).ok &&
+                       al::select::verify_assignment(tool->graph, cold_r).ok;
+
+    // --- Alignment: every conflicted 0-1 instance of the program ---------
+    const std::vector<al::ilp::Model> models = alignment_models(*tool);
+    rep.align_models = static_cast<int>(models.size());
+    for (const bool warm : {false, true}) {
+      EngineStats& s = warm ? rep.align_warm : rep.align_cold;
+      std::vector<double> samples;
+      for (int i = 0; i < runs; ++i) {
+        long iters = 0;
+        long nodes = 0;
+        const auto t0 = Clock::now();
+        for (const al::ilp::Model& m : models) {
+          const al::ilp::MipResult r =
+              al::ilp::solve_mip(m, warm ? al::ilp::MipOptions{} : cold_options());
+          iters += r.lp_iterations;
+          nodes += r.nodes;
+          if (i == 0) {
+            s.warm_starts += r.warm_starts;
+            s.warm_start_failures += r.warm_start_failures;
+            s.presolve_fixed_vars += r.presolve_fixed_vars;
+            s.presolve_removed_rows += r.presolve_removed_rows;
+          }
+        }
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+        s.lp_iterations = iters;
+        s.bb_nodes = nodes;
+      }
+      s.median_ms = median(samples);
+    }
+    for (const al::ilp::Model& m : models) {
+      const al::ilp::MipResult rc = al::ilp::solve_mip(m, cold_options());
+      const al::ilp::MipResult rw = al::ilp::solve_mip(m);
+      if (rc.status != rw.status ||
+          std::abs(rc.objective - rw.objective) >
+              1e-6 * (1.0 + std::abs(rc.objective))) {
+        rep.align_objectives_match = false;
+      }
+    }
+
+    all_equivalent = all_equivalent && rep.sel_objectives_match &&
+                     rep.sel_selections_match && rep.sel_verified &&
+                     rep.align_objectives_match;
+
+    std::printf("%-12s selection %4d vars: cold %7.2f ms / %5ld it  warm %7.2f ms / %5ld it"
+                "  (warm starts %ld, presolve -%d vars -%d rows, dominance -%d)%s\n",
+                rep.program.c_str(), rep.sel_variables, rep.sel_cold.median_ms,
+                rep.sel_cold.lp_iterations, rep.sel_warm.median_ms,
+                rep.sel_warm.lp_iterations, rep.sel_warm.warm_starts,
+                rep.sel_warm.presolve_fixed_vars, rep.sel_warm.presolve_removed_rows,
+                rep.sel_warm.dominated_candidates,
+                rep.sel_selections_match && rep.sel_verified ? "" : "  MISMATCH");
+    if (rep.align_models > 0) {
+      std::printf("%-12s alignment  %d model(s): cold %7.2f ms / %5ld it  warm %7.2f ms / %5ld it%s\n",
+                  rep.program.c_str(), rep.align_models, rep.align_cold.median_ms,
+                  rep.align_cold.lp_iterations, rep.align_warm.median_ms,
+                  rep.align_warm.lp_iterations,
+                  rep.align_objectives_match ? "" : "  MISMATCH");
+    }
+    reports.push_back(std::move(rep));
+  }
+
+  long cold_iters = 0;
+  long warm_iters = 0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  for (const ProgramReport& r : reports) {
+    cold_iters += r.sel_cold.lp_iterations + r.align_cold.lp_iterations;
+    warm_iters += r.sel_warm.lp_iterations + r.align_warm.lp_iterations;
+    cold_ms += r.sel_cold.median_ms + r.align_cold.median_ms;
+    warm_ms += r.sel_warm.median_ms + r.align_warm.median_ms;
+  }
+  const double reduction =
+      warm_iters > 0 ? static_cast<double>(cold_iters) / static_cast<double>(warm_iters)
+                     : 0.0;
+
+  std::ofstream out("BENCH_ilp.json");
+  al::support::JsonWriter w(out);
+  w.begin_object();
+  w.kv("bench", "ilp_engine");
+  w.kv("schema_version", 1);
+  w.kv("runs_per_config", runs);
+  w.kv("smoke", smoke);
+  w.kv("baseline", "cold LPs, no presolve, most-fractional branching, no dominance");
+  w.key("results").begin_array();
+  for (const ProgramReport& r : reports) {
+    w.begin_object();
+    w.kv("program", r.program);
+    w.key("selection").begin_object();
+    w.kv("variables", r.sel_variables);
+    w.kv("constraints", r.sel_constraints);
+    write_engine(w, "cold", r.sel_cold);
+    write_engine(w, "warm", r.sel_warm);
+    w.kv("objectives_match", r.sel_objectives_match);
+    w.kv("selections_match", r.sel_selections_match);
+    w.kv("verified", r.sel_verified);
+    w.kv("speedup", r.sel_warm.median_ms > 0.0
+                        ? r.sel_cold.median_ms / r.sel_warm.median_ms
+                        : 0.0);
+    w.kv("iteration_reduction",
+         r.sel_warm.lp_iterations > 0
+             ? static_cast<double>(r.sel_cold.lp_iterations) /
+                   static_cast<double>(r.sel_warm.lp_iterations)
+             : 0.0);
+    w.end_object();
+    w.key("alignment").begin_object();
+    w.kv("models", r.align_models);
+    write_engine(w, "cold", r.align_cold);
+    write_engine(w, "warm", r.align_warm);
+    w.kv("objectives_match", r.align_objectives_match);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("totals").begin_object();
+  w.kv("cold_lp_iterations", cold_iters);
+  w.kv("warm_lp_iterations", warm_iters);
+  w.kv("iteration_reduction", reduction);
+  w.kv("cold_ms", cold_ms);
+  w.kv("warm_ms", warm_ms);
+  w.kv("speedup", warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  w.end_object();
+  w.key("counters").begin_object();
+  for (const auto& s : al::support::Metrics::instance().snapshot()) {
+    if (!s.is_gauge) w.kv(s.name, s.count);
+  }
+  w.end_object();
+  w.end_object();
+
+  std::printf("\ntotal simplex iterations: cold %ld, warm %ld (%.2fx reduction)\n",
+              cold_iters, warm_iters, reduction);
+  std::printf("wrote BENCH_ilp.json\n");
+  if (!all_equivalent) {
+    std::fprintf(stderr, "%s: engine configurations DISAGREE -- see BENCH_ilp.json\n",
+                 argv[0]);
+    return 1;
+  }
+  return 0;
+}

@@ -69,6 +69,16 @@ void write_selection(support::JsonWriter& w, const ToolResult& r) {
   w.kv("bb_nodes", r.selection.bb_nodes);
   w.kv("simplex_pivots", r.selection.lp_iterations);
   w.kv("solve_ms", r.selection.solve_ms);
+  // MIP engine provenance (DESIGN.md section 12).
+  w.kv("branching", ilp::to_string(r.options.mip.branching));
+  w.kv("warm_start", r.options.mip.warm_start);
+  w.kv("warm_starts", r.selection.warm_starts);
+  w.kv("warm_start_failures", r.selection.warm_start_failures);
+  w.kv("presolve", r.options.mip.presolve);
+  w.kv("presolve_fixed_vars", r.selection.presolve_fixed_vars);
+  w.kv("presolve_removed_rows", r.selection.presolve_removed_rows);
+  w.kv("dominance", r.options.dominance);
+  w.kv("dominated_candidates", r.selection.dominated_candidates);
   w.end_object();
   w.end_object();
 }

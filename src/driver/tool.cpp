@@ -147,6 +147,7 @@ std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions&
     support::TraceSpan span("stage.selection");
     select::SelectionOptions sopts;
     sopts.mip = opts.mip;
+    sopts.dominance = opts.dominance;
     r->selection = select::select_layouts_ilp(r->graph, sopts);
     r->verification = select::verify_assignment(r->graph, r->selection);
     r->timings.selection_ms = span.stop_ms();

@@ -50,6 +50,9 @@ struct ToolOptions {
   /// greedy heuristics, and the provenance is reported (CLI --mip-nodes /
   /// --mip-deadline-ms).
   ilp::MipOptions mip;
+  /// Dominance-prune candidate layouts before the selection ILP (CLI
+  /// --no-dominance turns it off). Preserves the optimal objective.
+  bool dominance = true;
   /// Partially specified layouts (the abstract's second use case): phases
   /// listed here are pinned to the given layout; the tool extends the
   /// layout to the rest of the program.

@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "ilp/presolve.hpp"
 #include "ilp/simplex.hpp"
 #include "support/contracts.hpp"
 #include "support/metrics.hpp"
@@ -18,8 +19,14 @@ namespace {
 struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
-  double bound;  // LP relaxation objective (in minimization sense)
+  double bound;  // parent LP relaxation objective (in minimization sense)
   long id;       // tie-break: prefer deeper/newer nodes (DFS-ish within a bound)
+  // Branching provenance for pseudo-cost learning: the variable whose bound
+  // flip created this node, which direction, and how fractional it was in
+  // the parent LP. -1 for the root.
+  int branch_var = -1;
+  bool branch_up = false;
+  double branch_frac = 0.0;
 };
 
 struct NodeOrder {
@@ -48,21 +55,73 @@ int most_fractional(const Model& model, const std::vector<double>& x, double tol
   return best;
 }
 
-} // namespace
+/// Per-variable average objective degradation per unit of fractionality,
+/// learned from every solved child LP. Variables that have not been branched
+/// on yet borrow the average over initialized ones (1.0 before any history).
+struct PseudoCosts {
+  std::vector<double> sum_down, sum_up;
+  std::vector<int> cnt_down, cnt_up;
 
-MipResult solve_mip(const Model& model, MipOptions opts) {
-  support::TraceSpan span("ilp.solve_mip");
-  MipResult result;
-  // Publishes on every return path (result is the NRVO'd return object, so
-  // its node/pivot totals are final when the guard runs).
-  struct MetricsGuard {
-    const MipResult& r;
-    ~MetricsGuard() {
-      support::Metrics& m = support::Metrics::instance();
-      m.counter("ilp.mip_solves").add();
-      m.counter("ilp.bb_nodes").add(static_cast<std::uint64_t>(r.nodes));
+  explicit PseudoCosts(int n)
+      : sum_down(static_cast<std::size_t>(n), 0.0),
+        sum_up(static_cast<std::size_t>(n), 0.0),
+        cnt_down(static_cast<std::size_t>(n), 0),
+        cnt_up(static_cast<std::size_t>(n), 0) {}
+
+  void record(const Node& child, double child_bound) {
+    if (child.branch_var < 0) return;
+    const auto v = static_cast<std::size_t>(child.branch_var);
+    const double delta = std::max(0.0, child_bound - child.bound);
+    if (child.branch_up) {
+      const double dist = std::max(1.0 - child.branch_frac, 1e-6);
+      sum_up[v] += delta / dist;
+      ++cnt_up[v];
+    } else {
+      const double dist = std::max(child.branch_frac, 1e-6);
+      sum_down[v] += delta / dist;
+      ++cnt_down[v];
     }
-  } metrics_guard{result};
+  }
+
+  [[nodiscard]] int pick(const Model& model, const std::vector<double>& x,
+                         double tol) const {
+    // Fallback estimate for directions with no history yet.
+    double init_sum = 0.0;
+    int init_cnt = 0;
+    for (std::size_t j = 0; j < sum_down.size(); ++j) {
+      if (cnt_down[j] > 0) { init_sum += sum_down[j] / cnt_down[j]; ++init_cnt; }
+      if (cnt_up[j] > 0) { init_sum += sum_up[j] / cnt_up[j]; ++init_cnt; }
+    }
+    const double fallback = init_cnt > 0 ? init_sum / init_cnt : 1.0;
+
+    int best = -1;
+    double best_score = -1.0;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (!model.variable(j).integer) continue;
+      const double v = x[static_cast<std::size_t>(j)];
+      const double frac = v - std::floor(v);
+      if (std::min(frac, 1.0 - frac) <= tol) continue;
+      const auto js = static_cast<std::size_t>(j);
+      const double down = cnt_down[js] > 0 ? sum_down[js] / cnt_down[js] : fallback;
+      const double up = cnt_up[js] > 0 ? sum_up[js] / cnt_up[js] : fallback;
+      const double score =
+          std::max(1e-6, down * frac) * std::max(1e-6, up * (1.0 - frac));
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    return best;
+  }
+};
+
+/// Best-first branch and bound over one model (no presolve). The node LPs
+/// share one SimplexInstance, so each is a warm dual-simplex restart from
+/// the basis of the previously solved node; best-first order is fine for
+/// this, since ANY remembered basis is a valid restart point, not just the
+/// parent's.
+MipResult branch_and_bound(const Model& model, const MipOptions& opts) {
+  MipResult result;
   const double sense_sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
 
   const auto start = std::chrono::steady_clock::now();
@@ -75,6 +134,25 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
 
   SimplexOptions lp_opts;
   lp_opts.max_iterations = opts.max_lp_iterations;
+  lp_opts.warm_pivot_budget = opts.warm_pivot_budget;
+  // The dual-crash start is part of the warm engine: disabling warm starts
+  // must reproduce the plain two-phase cold baseline on every LP.
+  lp_opts.dual_crash = opts.warm_start;
+  SimplexInstance simplex(model, lp_opts);
+  // The warm-start provenance must survive every return path.
+  struct WarmGuard {
+    MipResult& r;
+    const SimplexInstance& s;
+    ~WarmGuard() {
+      r.warm_starts = s.warm_starts();
+      r.warm_start_failures = s.warm_start_failures();
+    }
+  } warm_guard{result, simplex};
+
+  auto node_lp = [&](const Node& nd) {
+    if (!opts.warm_start) simplex.invalidate_basis();
+    return simplex.solve(nd.lower, nd.upper);
+  };
 
   auto root = std::make_shared<Node>();
   root->lower.resize(static_cast<std::size_t>(model.num_variables()));
@@ -83,8 +161,9 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
     root->lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
     root->upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
   }
+  root->bound = -kInfinity;
 
-  LpResult root_lp = solve_lp(model, root->lower, root->upper, lp_opts);
+  LpResult root_lp = node_lp(*root);
   result.lp_iterations += root_lp.iterations;
   result.nodes = 1;
   if (root_lp.status == SolveStatus::Infeasible) {
@@ -103,6 +182,7 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
   double incumbent_obj = kInfinity;  // in minimization sense
   std::vector<double> incumbent_x;
   long next_id = 0;
+  PseudoCosts pc(model.num_variables());
 
   // Every exit that may carry the incumbent funnels through here: the
   // integer variables are rounded exactly and the objective is recomputed
@@ -133,7 +213,9 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
   auto process = [&](std::shared_ptr<Node> node, const LpResult& lp) {
     const double bound = sense_sign * lp.objective;
     if (bound >= incumbent_obj - 1e-9) return;  // dominated
-    const int frac = most_fractional(model, lp.x, opts.int_tol);
+    const int frac = opts.branching == Branching::PseudoCost
+                         ? pc.pick(model, lp.x, opts.int_tol)
+                         : most_fractional(model, lp.x, opts.int_tol);
     if (frac < 0) {
       // Integral: new incumbent.
       incumbent_obj = bound;
@@ -143,18 +225,22 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
     }
     node->bound = bound;
     node->id = next_id++;
-    // Stash the branching variable in the node by splitting now into two
-    // children lazily: we store the parent and expand when popped. To keep
-    // the code simple we create both children eagerly but defer their LP
-    // solves until they are popped (their `bound` is the parent bound).
+    // Both children are created eagerly but their LP solves are deferred
+    // until they are popped (their `bound` is the parent bound).
     const double v = lp.x[static_cast<std::size_t>(frac)];
     const double fl = std::floor(v);
     auto down = std::make_shared<Node>(*node);
     down->upper[static_cast<std::size_t>(frac)] = fl;
     down->id = next_id++;
+    down->branch_var = frac;
+    down->branch_up = false;
+    down->branch_frac = v - fl;
     auto up = std::make_shared<Node>(*node);
     up->lower[static_cast<std::size_t>(frac)] = fl + 1.0;
     up->id = next_id++;
+    up->branch_var = frac;
+    up->branch_up = true;
+    up->branch_frac = v - fl;
     open.push(std::move(down));
     open.push(std::move(up));
   };
@@ -174,7 +260,7 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
     auto node = open.top();
     open.pop();
     if (node->bound >= incumbent_obj - 1e-9) continue;  // pruned since pushed
-    LpResult lp = solve_lp(model, node->lower, node->upper, lp_opts);
+    LpResult lp = node_lp(*node);
     result.lp_iterations += lp.iterations;
     ++result.nodes;
     if (lp.status == SolveStatus::Infeasible) continue;
@@ -182,6 +268,7 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
       finish(lp.status);
       return result;
     }
+    pc.record(*node, sense_sign * lp.objective);
     process(node, lp);
   }
 
@@ -190,6 +277,80 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
     return result;
   }
   finish(SolveStatus::Optimal);
+  return result;
+}
+
+} // namespace
+
+const char* to_string(Branching b) {
+  switch (b) {
+    case Branching::PseudoCost: return "pseudocost";
+    case Branching::MostFractional: return "most-fractional";
+  }
+  return "?";
+}
+
+MipResult solve_mip(const Model& model, MipOptions opts) {
+  support::TraceSpan span("ilp.solve_mip");
+  MipResult result;
+  // Publishes on every return path (result is the NRVO'd return object, so
+  // its node/pivot totals are final when the guard runs).
+  struct MetricsGuard {
+    const MipResult& r;
+    ~MetricsGuard() {
+      support::Metrics& m = support::Metrics::instance();
+      m.counter("ilp.mip_solves").add();
+      m.counter("ilp.bb_nodes").add(static_cast<std::uint64_t>(r.nodes));
+    }
+  } metrics_guard{result};
+
+  if (!opts.presolve) {
+    result = branch_and_bound(model, opts);
+    return result;
+  }
+
+  PresolveResult pre = presolve(model);
+  static support::Metrics::Counter& fixed_counter =
+      support::Metrics::instance().counter("ilp.presolve_fixed_vars");
+  static support::Metrics::Counter& rows_counter =
+      support::Metrics::instance().counter("ilp.presolve_removed_rows");
+  // "Fixed" here means ELIMINATED: fixings plus doubleton substitutions.
+  const int eliminated = pre.stats.fixed_vars + pre.stats.substituted_vars;
+  fixed_counter.add(static_cast<std::uint64_t>(eliminated));
+  rows_counter.add(static_cast<std::uint64_t>(pre.stats.removed_rows));
+  result.presolve_fixed_vars = eliminated;
+  result.presolve_removed_rows = pre.stats.removed_rows;
+
+  if (pre.infeasible) {
+    result.status = SolveStatus::Infeasible;
+    return result;
+  }
+  if (pre.all_fixed()) {
+    // Presolve solved the whole model; the belt-and-braces feasibility check
+    // guards reduction bugs at negligible cost.
+    std::vector<double> x = pre.postsolve({});
+    if (!model.is_feasible(x)) {
+      result.status = SolveStatus::Infeasible;
+      return result;
+    }
+    result.status = SolveStatus::Optimal;
+    result.x = std::move(x);
+    result.objective = model.objective_value(result.x);
+    return result;
+  }
+
+  MipResult inner = branch_and_bound(pre.reduced, opts);
+  result.status = inner.status;
+  result.nodes = inner.nodes;
+  result.lp_iterations = inner.lp_iterations;
+  result.warm_starts = inner.warm_starts;
+  result.warm_start_failures = inner.warm_start_failures;
+  if (has_solution(inner.status)) {
+    // Map back to the original variable space; the objective is recomputed
+    // on the ORIGINAL model so fixed-variable contributions are included.
+    result.x = pre.postsolve(inner.x);
+    result.objective = model.objective_value(result.x);
+  }
   return result;
 }
 

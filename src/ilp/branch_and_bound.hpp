@@ -8,6 +8,14 @@
 
 namespace al::ilp {
 
+/// Branching-variable selection rule.
+enum class Branching {
+  PseudoCost,      ///< best-first + per-variable degradation averages (default)
+  MostFractional,  ///< classic baseline: the variable closest to one half
+};
+
+[[nodiscard]] const char* to_string(Branching b);
+
 struct MipOptions {
   double int_tol = 1e-6;      ///< |x - round(x)| below this counts as integral
   long max_nodes = 2'000'000; ///< safety valve; paper instances use a handful
@@ -15,6 +23,15 @@ struct MipOptions {
   /// Wall-clock budget for the whole solve, checked between branch-and-bound
   /// nodes (a single in-flight LP is never interrupted). 0 = no deadline.
   double deadline_ms = 0.0;
+  /// Re-optimize each node LP from the previously remembered basis (dual
+  /// simplex restart) instead of rebuilding phase 1 from scratch.
+  bool warm_start = true;
+  /// Run the 0-1 presolve (ilp/presolve.hpp) before branch and bound.
+  bool presolve = true;
+  Branching branching = Branching::PseudoCost;
+  /// Dual pivots allowed per warm restart before falling back to a cold
+  /// solve (0 = auto).
+  long warm_pivot_budget = 0;
 };
 
 /// Solves `model` to proven optimality unless a budget is hit. On a budget

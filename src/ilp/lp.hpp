@@ -123,6 +123,10 @@ struct MipResult {
   std::vector<double> x;
   long nodes = 0;       ///< branch-and-bound nodes expanded
   long lp_iterations = 0; ///< total simplex pivots over all nodes
+  long warm_starts = 0;   ///< node LPs restarted from a remembered basis
+  long warm_start_failures = 0;  ///< restarts that fell back to a cold solve
+  int presolve_fixed_vars = 0;   ///< variables eliminated before branch and bound
+  int presolve_removed_rows = 0; ///< constraint rows eliminated before branch and bound
 };
 
 } // namespace al::ilp

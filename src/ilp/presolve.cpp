@@ -1,0 +1,536 @@
+#include "ilp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace al::ilp {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kFeasTol = 1e-7;
+constexpr int kMaxRounds = 8;
+
+struct WorkRow {
+  std::vector<Term> terms;  // deduped, nonzero coefficients only
+  Rel rel = Rel::LE;
+  double rhs = 0.0;
+  bool alive = true;
+};
+
+struct WorkCol {
+  double lo = 0.0;
+  double up = 0.0;
+  double obj = 0.0;
+  bool integer = false;
+  bool fixed = false;
+  bool substituted = false;  // aggregated away; value comes from postsolve
+  double value = 0.0;        // meaningful when fixed
+};
+
+class Reducer {
+public:
+  explicit Reducer(const Model& model) : model_(model) {
+    const int n = model.num_variables();
+    cols_.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const Variable& v = model.variable(j);
+      auto& c = cols_[static_cast<std::size_t>(j)];
+      c.lo = v.lower;
+      c.up = v.upper;
+      c.obj = v.objective;
+      c.integer = v.integer;
+    }
+    rows_.reserve(static_cast<std::size_t>(model.num_constraints()));
+    for (const Constraint& row : model.constraints()) {
+      WorkRow w;
+      w.rel = row.rel;
+      w.rhs = row.rhs;
+      // Merge duplicate variable mentions and drop explicit zeros so every
+      // reduction below can assume one term per variable.
+      for (const Term& t : row.terms) {
+        if (t.coef == 0.0) continue;
+        auto it = std::find_if(w.terms.begin(), w.terms.end(),
+                               [&](const Term& u) { return u.var == t.var; });
+        if (it != w.terms.end()) {
+          it->coef += t.coef;
+        } else {
+          w.terms.push_back(t);
+        }
+      }
+      w.terms.erase(std::remove_if(w.terms.begin(), w.terms.end(),
+                                   [](const Term& t) { return t.coef == 0.0; }),
+                    w.terms.end());
+      rows_.push_back(std::move(w));
+    }
+  }
+
+  PresolveResult run();
+
+private:
+  // Activity of `row` excluding fixed variables (their contribution moves to
+  // the rhs lazily via fixed_contribution).
+  [[nodiscard]] double min_activity(const WorkRow& row, int skip_var = -1) const;
+  [[nodiscard]] double max_activity(const WorkRow& row, int skip_var = -1) const;
+  [[nodiscard]] double fixed_contribution(const WorkRow& row) const;
+  [[nodiscard]] double effective_rhs(const WorkRow& row) const {
+    return row.rhs - fixed_contribution(row);
+  }
+  [[nodiscard]] int live_terms(const WorkRow& row) const;
+
+  bool fix(int var, double value);          // false on conflict with bounds
+  bool tighten(int var, double lo, double up);  // false on crossed bounds
+
+  bool pass_rows();     // redundancy, forcing, infeasibility, singletons
+  bool pass_columns();  // integer rounding, fixed detection, empty columns
+  bool pass_doubletons();
+  bool pass_coefficients();
+  bool pass_probing();
+
+  const Model& model_;
+  std::vector<WorkRow> rows_;
+  std::vector<WorkCol> cols_;
+  std::vector<PresolveResult::Substitution> subs_;
+  PresolveStats stats_;
+  bool infeasible_ = false;
+  bool changed_ = false;
+};
+
+double Reducer::min_activity(const WorkRow& row, int skip_var) const {
+  double a = 0.0;
+  for (const Term& t : row.terms) {
+    if (t.var == skip_var) continue;
+    const auto& c = cols_[static_cast<std::size_t>(t.var)];
+    if (c.fixed) continue;
+    a += t.coef > 0.0 ? t.coef * c.lo : t.coef * c.up;
+  }
+  return a;
+}
+
+double Reducer::max_activity(const WorkRow& row, int skip_var) const {
+  double a = 0.0;
+  for (const Term& t : row.terms) {
+    if (t.var == skip_var) continue;
+    const auto& c = cols_[static_cast<std::size_t>(t.var)];
+    if (c.fixed) continue;
+    a += t.coef > 0.0 ? t.coef * c.up : t.coef * c.lo;
+  }
+  return a;
+}
+
+double Reducer::fixed_contribution(const WorkRow& row) const {
+  double a = 0.0;
+  for (const Term& t : row.terms) {
+    const auto& c = cols_[static_cast<std::size_t>(t.var)];
+    if (c.fixed) a += t.coef * c.value;
+  }
+  return a;
+}
+
+int Reducer::live_terms(const WorkRow& row) const {
+  int n = 0;
+  for (const Term& t : row.terms)
+    if (!cols_[static_cast<std::size_t>(t.var)].fixed) ++n;
+  return n;
+}
+
+bool Reducer::fix(int var, double value) {
+  auto& c = cols_[static_cast<std::size_t>(var)];
+  if (c.fixed) return std::abs(c.value - value) <= kFeasTol;
+  if (value < c.lo - kFeasTol || value > c.up + kFeasTol) return false;
+  c.fixed = true;
+  c.value = c.integer ? std::round(value) : value;
+  ++stats_.fixed_vars;
+  changed_ = true;
+  return true;
+}
+
+bool Reducer::tighten(int var, double lo, double up) {
+  auto& c = cols_[static_cast<std::size_t>(var)];
+  if (c.fixed) return c.value >= lo - kFeasTol && c.value <= up + kFeasTol;
+  bool moved = false;
+  if (lo > c.lo + kTol) { c.lo = lo; moved = true; }
+  if (up < c.up - kTol) { c.up = up; moved = true; }
+  if (c.integer) {
+    const double ilo = std::ceil(c.lo - kFeasTol);
+    const double iup = std::floor(c.up + kFeasTol);
+    if (ilo > c.lo + kTol) { c.lo = ilo; moved = true; }
+    if (iup < c.up - kTol) { c.up = iup; moved = true; }
+  }
+  if (c.lo > c.up + kFeasTol) return false;
+  if (moved) changed_ = true;
+  if (c.up - c.lo <= kTol) return fix(var, 0.5 * (c.lo + c.up));
+  return true;
+}
+
+bool Reducer::pass_rows() {
+  for (auto& row : rows_) {
+    if (!row.alive) continue;
+    const double rhs = effective_rhs(row);
+    const int live = live_terms(row);
+
+    if (live == 0) {
+      const bool ok = row.rel == Rel::LE   ? rhs >= -kFeasTol
+                      : row.rel == Rel::GE ? rhs <= kFeasTol
+                                           : std::abs(rhs) <= kFeasTol;
+      if (!ok) return false;
+      row.alive = false;
+      ++stats_.removed_rows;
+      changed_ = true;
+      continue;
+    }
+
+    const double lo_act = min_activity(row);
+    const double hi_act = max_activity(row);
+
+    // Proven infeasible?
+    if ((row.rel == Rel::LE || row.rel == Rel::EQ) && lo_act > rhs + kFeasTol)
+      return false;
+    if ((row.rel == Rel::GE || row.rel == Rel::EQ) && hi_act < rhs - kFeasTol)
+      return false;
+
+    // Redundant?
+    const bool le_redundant = hi_act <= rhs + kFeasTol;
+    const bool ge_redundant = lo_act >= rhs - kFeasTol;
+    if ((row.rel == Rel::LE && le_redundant) ||
+        (row.rel == Rel::GE && ge_redundant) ||
+        (row.rel == Rel::EQ && le_redundant && ge_redundant)) {
+      row.alive = false;
+      ++stats_.removed_rows;
+      changed_ = true;
+      continue;
+    }
+
+    // Forcing: the bound-box extreme only just reaches the rhs, so every
+    // live variable must sit at its extreme-side bound.
+    const bool forces_min = (row.rel == Rel::LE || row.rel == Rel::EQ) &&
+                            lo_act >= rhs - kFeasTol;
+    const bool forces_max = (row.rel == Rel::GE || row.rel == Rel::EQ) &&
+                            hi_act <= rhs + kFeasTol;
+    if (forces_min || forces_max) {
+      for (const Term& t : row.terms) {
+        const auto& c = cols_[static_cast<std::size_t>(t.var)];
+        if (c.fixed) continue;
+        const bool to_lower = forces_min == (t.coef > 0.0);
+        if (!fix(t.var, to_lower ? c.lo : c.up)) return false;
+      }
+      row.alive = false;
+      ++stats_.removed_rows;
+      changed_ = true;
+      continue;
+    }
+
+    // Singleton row: one live variable -> becomes a bound, row dies.
+    if (live == 1) {
+      const Term* only = nullptr;
+      for (const Term& t : row.terms)
+        if (!cols_[static_cast<std::size_t>(t.var)].fixed) only = &t;
+      const double a = only->coef;
+      double lo = -kInfinity;
+      double up = kInfinity;
+      if (row.rel == Rel::LE) {
+        (a > 0.0 ? up : lo) = rhs / a;
+      } else if (row.rel == Rel::GE) {
+        (a > 0.0 ? lo : up) = rhs / a;
+      } else {
+        lo = up = rhs / a;
+      }
+      if (!tighten(only->var, lo, up)) return false;
+      row.alive = false;
+      ++stats_.removed_rows;
+      changed_ = true;
+      continue;
+    }
+  }
+  return true;
+}
+
+bool Reducer::pass_columns() {
+  const int n = static_cast<int>(cols_.size());
+  std::vector<char> appears(static_cast<std::size_t>(n), 0);
+  for (const auto& row : rows_) {
+    if (!row.alive) continue;
+    for (const Term& t : row.terms)
+      if (!cols_[static_cast<std::size_t>(t.var)].fixed)
+        appears[static_cast<std::size_t>(t.var)] = 1;
+  }
+  const bool minimize = model_.sense() == Sense::Minimize;
+  for (int j = 0; j < n; ++j) {
+    auto& c = cols_[static_cast<std::size_t>(j)];
+    if (c.fixed || c.substituted) continue;
+    if (!tighten(j, c.lo, c.up)) return false;  // integer rounding / fix
+    if (c.fixed || appears[static_cast<std::size_t>(j)]) continue;
+    // Empty column: the objective alone decides its value.
+    const double want_low = minimize ? c.obj >= 0.0 : c.obj <= 0.0;
+    const double target = want_low ? c.lo : c.up;
+    if (!std::isfinite(target)) continue;  // unbounded direction: leave it
+    if (!fix(j, target)) return false;
+  }
+  return true;
+}
+
+bool Reducer::pass_doubletons() {
+  // Doubleton-equality substitution on binary exactly-one pairs: a row
+  // x + z = 1 over two binaries means z = 1 - x everywhere. z leaves the
+  // model (its rows are rewritten onto x, its objective folds into x's up
+  // to a constant the postsolve objective recomputation absorbs) and the
+  // row dies. This is the reduction that bites the pipeline's instances:
+  // every two-candidate phase of a selection model and -- with two template
+  // partitions -- every type-1 node row of an alignment model is exactly
+  // this shape.
+  const std::size_t n_rows = rows_.size();
+  for (std::size_t ri = 0; ri < n_rows; ++ri) {
+    WorkRow& row = rows_[ri];
+    if (!row.alive || row.rel != Rel::EQ) continue;
+    if (live_terms(row) != 2) continue;
+    if (std::abs(effective_rhs(row) - 1.0) > kTol) continue;
+    const Term* ta = nullptr;
+    const Term* tb = nullptr;
+    for (const Term& t : row.terms) {
+      if (cols_[static_cast<std::size_t>(t.var)].fixed) continue;
+      (ta == nullptr ? ta : tb) = &t;
+    }
+    auto is_unit_binary = [&](const Term& t) {
+      const auto& c = cols_[static_cast<std::size_t>(t.var)];
+      return t.coef == 1.0 && c.integer && c.lo == 0.0 && c.up == 1.0;
+    };
+    if (!is_unit_binary(*ta) || !is_unit_binary(*tb)) continue;
+
+    const int keep = std::min(ta->var, tb->var);
+    const int gone = std::max(ta->var, tb->var);
+    // Rewrite every other row: g*z = g - g*x moves g to the rhs and -g onto x.
+    for (std::size_t qi = 0; qi < n_rows; ++qi) {
+      if (qi == ri) continue;
+      WorkRow& q = rows_[qi];
+      if (!q.alive) continue;
+      auto zt = std::find_if(q.terms.begin(), q.terms.end(),
+                             [&](const Term& t) { return t.var == gone; });
+      if (zt == q.terms.end()) continue;
+      const double g = zt->coef;
+      q.terms.erase(zt);
+      q.rhs -= g;
+      auto xt = std::find_if(q.terms.begin(), q.terms.end(),
+                             [&](const Term& t) { return t.var == keep; });
+      if (xt != q.terms.end()) {
+        xt->coef -= g;
+        if (xt->coef == 0.0) q.terms.erase(xt);
+      } else {
+        q.terms.push_back({keep, -g});
+      }
+    }
+    auto& zc = cols_[static_cast<std::size_t>(gone)];
+    cols_[static_cast<std::size_t>(keep)].obj -= zc.obj;  // obj_z*(1 - x)
+    zc.substituted = true;
+    subs_.push_back({gone, keep, 1.0, -1.0});
+    row.alive = false;
+    ++stats_.removed_rows;
+    ++stats_.substituted_vars;
+    changed_ = true;
+  }
+  return true;
+}
+
+bool Reducer::pass_coefficients() {
+  // Savelsbergh coefficient improvement on <= rows over binary variables.
+  // Positive a_j: when the row is vacuous at x_j = 0 (max activity of the
+  // OTHERS already <= rhs with gap d), shifting BOTH a_j and the rhs down by
+  // d preserves the 0-1 solution set exactly while cutting fractional LP
+  // points (2x + y <= 2 becomes x + y <= 1). Negative a_j: symmetric with
+  // the vacuous side at x_j = 1; the coefficient moves toward zero and the
+  // rhs stays.
+  for (auto& row : rows_) {
+    if (!row.alive || row.rel != Rel::LE) continue;
+    for (Term& t : row.terms) {
+      auto& c = cols_[static_cast<std::size_t>(t.var)];
+      if (c.fixed || !c.integer) continue;
+      if (c.lo != 0.0 || c.up != 1.0) continue;
+      if (t.coef == 0.0) continue;
+      const double others_max = max_activity(row, t.var);
+      if (!std::isfinite(others_max)) continue;
+      const double rhs = effective_rhs(row);
+      if (t.coef > 0.0) {
+        const double d = rhs - others_max;
+        if (d > kTol && t.coef > d + kTol) {
+          t.coef -= d;
+          row.rhs -= d;
+          ++stats_.tightened_coefs;
+          changed_ = true;
+        }
+      } else {
+        const double d = (rhs - t.coef) - others_max;
+        const double target = rhs - others_max;  // = t.coef + d
+        if (d > kTol && target < -kTol) {
+          t.coef = target;
+          ++stats_.tightened_coefs;
+          changed_ = true;
+        }
+      }
+    }
+    row.terms.erase(std::remove_if(row.terms.begin(), row.terms.end(),
+                                   [](const Term& t) { return t.coef == 0.0; }),
+                    row.terms.end());
+  }
+  return true;
+}
+
+bool Reducer::pass_probing() {
+  // One level of probing on "exactly one candidate" SOS rows (EQ, rhs 1,
+  // all-binary, unit coefficients): tentatively set x_j = 1, which zeroes
+  // its row-mates; if any OTHER row becomes unsatisfiable under those
+  // fixings, x_j = 0 holds in every feasible solution.
+  const int n_rows = static_cast<int>(rows_.size());
+  for (int ri = 0; ri < n_rows; ++ri) {
+    const WorkRow& sos = rows_[static_cast<std::size_t>(ri)];
+    if (!sos.alive || sos.rel != Rel::EQ) continue;
+    if (std::abs(effective_rhs(sos) - 1.0) > kTol) continue;
+    bool unit_binary = true;
+    for (const Term& t : sos.terms) {
+      const auto& c = cols_[static_cast<std::size_t>(t.var)];
+      if (c.fixed) continue;
+      if (t.coef != 1.0 || !c.integer || c.lo != 0.0 || c.up != 1.0) {
+        unit_binary = false;
+        break;
+      }
+    }
+    if (!unit_binary) continue;
+
+    for (const Term& probe : sos.terms) {
+      auto& pc = cols_[static_cast<std::size_t>(probe.var)];
+      if (pc.fixed) continue;
+      // Tentative fixings: probe.var = 1, its live row-mates = 0.
+      auto probed_value = [&](int var) -> double {
+        if (var == probe.var) return 1.0;
+        for (const Term& t : sos.terms)
+          if (t.var == var && !cols_[static_cast<std::size_t>(var)].fixed)
+            return 0.0;
+        return kInfinity;  // sentinel: not probed
+      };
+      bool contradiction = false;
+      for (int qi = 0; qi < n_rows && !contradiction; ++qi) {
+        if (qi == ri) continue;
+        const WorkRow& q = rows_[static_cast<std::size_t>(qi)];
+        if (!q.alive) continue;
+        // Activity range under the tentative fixings.
+        double lo_act = 0.0;
+        double hi_act = 0.0;
+        bool touches_probe = false;
+        for (const Term& t : q.terms) {
+          const auto& c = cols_[static_cast<std::size_t>(t.var)];
+          if (c.fixed) { lo_act += t.coef * c.value; hi_act += t.coef * c.value; continue; }
+          const double pv = probed_value(t.var);
+          if (std::isfinite(pv)) {
+            touches_probe = true;
+            lo_act += t.coef * pv;
+            hi_act += t.coef * pv;
+          } else {
+            lo_act += t.coef > 0.0 ? t.coef * c.lo : t.coef * c.up;
+            hi_act += t.coef > 0.0 ? t.coef * c.up : t.coef * c.lo;
+          }
+        }
+        if (!touches_probe) continue;
+        if ((q.rel == Rel::LE || q.rel == Rel::EQ) && lo_act > q.rhs + kFeasTol)
+          contradiction = true;
+        if ((q.rel == Rel::GE || q.rel == Rel::EQ) && hi_act < q.rhs - kFeasTol)
+          contradiction = true;
+      }
+      if (contradiction) {
+        if (!fix(probe.var, 0.0)) return false;
+        ++stats_.probed_fixings;
+      }
+    }
+  }
+  return true;
+}
+
+PresolveResult Reducer::run() {
+  PresolveResult out;
+  const int n = static_cast<int>(cols_.size());
+
+  for (int round = 0; round < kMaxRounds; ++round) {
+    changed_ = false;
+    ++stats_.rounds;
+    if (!pass_rows() || !pass_columns() || !pass_doubletons() ||
+        !pass_coefficients() || !pass_probing()) {
+      infeasible_ = true;
+      break;
+    }
+    if (!changed_) break;
+  }
+
+  out.stats = stats_;
+  out.infeasible = infeasible_;
+  out.fixed.assign(static_cast<std::size_t>(n), 0);
+  out.fixed_value.assign(static_cast<std::size_t>(n), 0.0);
+  if (infeasible_) return out;
+  out.substitutions = subs_;
+
+  // Build the reduced model over the surviving variables and rows.
+  out.reduced = Model(model_.sense());
+  std::vector<int> new_index(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    const auto& c = cols_[static_cast<std::size_t>(j)];
+    if (c.fixed) {
+      out.fixed[static_cast<std::size_t>(j)] = 1;
+      out.fixed_value[static_cast<std::size_t>(j)] = c.value;
+      continue;
+    }
+    if (c.substituted) continue;  // reconstructed by postsolve
+    new_index[static_cast<std::size_t>(j)] = out.reduced.add_variable(
+        model_.variable(j).name, c.lo, c.up, c.obj, c.integer);
+    out.orig_index.push_back(j);
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const WorkRow& row = rows_[i];
+    if (!row.alive) continue;
+    std::vector<Term> terms;
+    terms.reserve(row.terms.size());
+    for (const Term& t : row.terms) {
+      const int nj = new_index[static_cast<std::size_t>(t.var)];
+      if (nj >= 0) terms.push_back({nj, t.coef});
+    }
+    if (terms.empty()) {
+      // Everything in it got fixed since the last row pass; re-check the
+      // constant before dropping it (a round-cap exit can leave such rows
+      // unverified).
+      const double rhs = effective_rhs(row);
+      const bool ok = row.rel == Rel::LE   ? rhs >= -kFeasTol
+                      : row.rel == Rel::GE ? rhs <= kFeasTol
+                                           : std::abs(rhs) <= kFeasTol;
+      if (!ok) {
+        out.infeasible = true;
+        out.orig_index.clear();
+        out.reduced = Model(model_.sense());
+        return out;
+      }
+      continue;
+    }
+    out.reduced.add_constraint(
+        model_.constraints()[i].name, std::move(terms), row.rel,
+        effective_rhs(row));
+  }
+  return out;
+}
+
+} // namespace
+
+std::vector<double> PresolveResult::postsolve(
+    const std::vector<double>& x_reduced) const {
+  AL_EXPECTS(static_cast<int>(x_reduced.size()) == reduced.num_variables());
+  std::vector<double> x(fixed.size(), 0.0);
+  for (std::size_t j = 0; j < fixed.size(); ++j)
+    if (fixed[j]) x[j] = fixed_value[j];
+  for (std::size_t r = 0; r < orig_index.size(); ++r)
+    x[static_cast<std::size_t>(orig_index[r])] = x_reduced[r];
+  // Reverse order: a substitution's `on` variable may itself have been
+  // substituted or fixed LATER during presolve, so it resolves first here.
+  for (auto it = substitutions.rbegin(); it != substitutions.rend(); ++it)
+    x[static_cast<std::size_t>(it->var)] = it->c0 + it->c1 * x[static_cast<std::size_t>(it->on)];
+  return x;
+}
+
+PresolveResult presolve(const Model& model) {
+  return Reducer(model).run();
+}
+
+} // namespace al::ilp

@@ -1,0 +1,68 @@
+// 0-1 presolve: shrink a (mixed) 0-1 model before branch and bound.
+//
+// Both MIP formulations the layout pipeline emits -- inter-dimensional
+// alignment (cag/ilp_formulation) and layout selection (select/ilp_selection)
+// -- are dominated by "exactly one candidate per phase" SOS rows plus linking
+// rows, which reductions on this form shrink substantially: fixed-variable
+// elimination, singleton-row bound tightening, forcing/redundant-row removal,
+// empty-column fixing, doubleton-equality substitution (x + z = 1 over
+// binaries aggregates z away), coefficient tightening on binary <= rows, and
+// one level of binary probing on the exactly-one rows. The reductions are
+// EXACT: every optimal solution of the reduced model maps back (postsolve)
+// to an optimal solution of the original model, and infeasibility detected
+// here is proven infeasibility of the original.
+#pragma once
+
+#include <vector>
+
+#include "ilp/lp.hpp"
+
+namespace al::ilp {
+
+struct PresolveStats {
+  int fixed_vars = 0;        ///< variables eliminated by fixing
+  int substituted_vars = 0;  ///< variables eliminated by doubleton substitution
+  int removed_rows = 0;      ///< constraint rows eliminated
+  int tightened_coefs = 0;   ///< coefficients reduced on binary <= rows
+  int probed_fixings = 0;    ///< fixings found by probing (subset of fixed_vars)
+  int rounds = 0;            ///< fixpoint rounds executed
+};
+
+struct PresolveResult {
+  /// Presolve PROVED the original model infeasible; `reduced` is meaningless.
+  bool infeasible = false;
+  /// The shrunken model (valid when !infeasible).
+  Model reduced;
+  /// reduced variable j -> original variable index.
+  std::vector<int> orig_index;
+  /// Per ORIGINAL variable: eliminated by fixing? at which value?
+  std::vector<char> fixed;
+  std::vector<double> fixed_value;
+  /// One variable aggregation `var = c0 + c1 * x[on]` (original indices),
+  /// from a binary doubleton row x + z = 1. Recorded in discovery order;
+  /// postsolve applies them in REVERSE so chained substitutions resolve.
+  struct Substitution {
+    int var = -1;
+    int on = -1;
+    double c0 = 0.0;
+    double c1 = 0.0;
+  };
+  std::vector<Substitution> substitutions;
+  PresolveStats stats;
+
+  /// Every variable was fixed: the (unique) candidate solution is
+  /// postsolve({}) -- already verified feasible by presolve.
+  [[nodiscard]] bool all_fixed() const {
+    return !infeasible && reduced.num_variables() == 0;
+  }
+
+  /// Maps a reduced-model solution back to the original variable space.
+  [[nodiscard]] std::vector<double> postsolve(
+      const std::vector<double>& x_reduced) const;
+};
+
+/// Reduces `model`. Never alters the meaning of the problem: statuses and
+/// optimal objective values are preserved through postsolve.
+[[nodiscard]] PresolveResult presolve(const Model& model);
+
+} // namespace al::ilp

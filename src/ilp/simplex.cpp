@@ -24,35 +24,28 @@ struct Column {
 
 enum class NonbasicAt : unsigned char { Lower, Upper };
 
-class Simplex {
-public:
-  Simplex(const Model& model, const std::vector<double>& lower,
-          const std::vector<double>& upper, SimplexOptions opts)
-      : opts_(opts) {
-    build(model, lower, upper);
+enum class DualOutcome {
+  Restored,    // primal feasibility regained; polish with the primal simplex
+  Infeasible,  // a row proved no feasible point exists under these bounds
+  GiveUp,      // pivot budget or numerics -- fall back to a cold solve
+};
+
+} // namespace
+
+struct SimplexInstance::Impl {
+  Impl(const Model& model, SimplexOptions opts) : model_(&model), opts_(opts) {
+    build_base();
   }
 
-  LpResult run(const Model& model);
+  LpResult solve(const std::vector<double>& lower,
+                 const std::vector<double>& upper);
 
-private:
-  void build(const Model& model, const std::vector<double>& lower,
-             const std::vector<double>& upper);
-  void compute_basic_values();
-  // Runs simplex iterations with the given cost vector; returns false on
-  // iteration-limit.
-  bool iterate(const std::vector<double>& cost);
-  [[nodiscard]] double value_of(int j) const {
-    int bi = basic_pos_[static_cast<std::size_t>(j)];
-    if (bi >= 0) return xb_[static_cast<std::size_t>(bi)];
-    return at_[static_cast<std::size_t>(j)] == NonbasicAt::Lower
-               ? cols_[static_cast<std::size_t>(j)].lower
-               : cols_[static_cast<std::size_t>(j)].upper;
-  }
-
+  const Model* model_;
   SimplexOptions opts_;
   int m_ = 0;          // rows
   int n_struct_ = 0;   // structural variables
-  int n_ = 0;          // total columns
+  int n_base_ = 0;     // structural + slack columns (never artificials)
+  int n_ = 0;          // total columns incl. any artificials
   std::vector<Column> cols_;
   std::vector<double> b_;
   std::vector<int> basis_;       // basis_[i] = column basic in row i
@@ -60,26 +53,57 @@ private:
   std::vector<NonbasicAt> at_;   // nonbasic state (ignored for basic cols)
   std::vector<double> xb_;       // values of basic variables
   std::vector<std::vector<double>> binv_;  // dense basis inverse, m x m
-  long iterations_ = 0;
+  long iterations_ = 0;  // pivots of the solve in progress
   bool unbounded_ = false;
-  int first_artificial_ = -1;
+  int first_artificial_ = 0;
+  // True when the last solve left an artificial-free optimal basis the next
+  // solve can restart from.
+  bool have_basis_ = false;
+  // Pivots applied to binv_ since it was last rebuilt from the identity.
+  // Product-form updates drift, and warm restarts chain them across solves;
+  // past kRefactorPivots the next solve starts cold, which refactorizes.
+  long pivots_since_factor_ = 0;
+  static constexpr long kRefactorPivots = 512;
+  long warm_starts_ = 0;
+  long warm_failures_ = 0;
+
+  void build_base();
+  void reset_cold();
+  [[nodiscard]] bool crash_applicable() const;
+  void reset_crash();
+  void compute_basic_values();
+  bool iterate(const std::vector<double>& cost);
+  [[nodiscard]] DualOutcome dual_restore();
+  [[nodiscard]] LpResult run_cold();
+  [[nodiscard]] LpResult extract_optimal();
+  [[nodiscard]] std::vector<double> phase2_cost() const {
+    std::vector<double> cost(static_cast<std::size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j)
+      cost[static_cast<std::size_t>(j)] = cols_[static_cast<std::size_t>(j)].cost;
+    return cost;
+  }
+  [[nodiscard]] double value_of(int j) const {
+    int bi = basic_pos_[static_cast<std::size_t>(j)];
+    if (bi >= 0) return xb_[static_cast<std::size_t>(bi)];
+    return at_[static_cast<std::size_t>(j)] == NonbasicAt::Lower
+               ? cols_[static_cast<std::size_t>(j)].lower
+               : cols_[static_cast<std::size_t>(j)].upper;
+  }
 };
 
-void Simplex::build(const Model& model, const std::vector<double>& lower,
-                    const std::vector<double>& upper) {
+void SimplexInstance::Impl::build_base() {
+  const Model& model = *model_;
   m_ = model.num_constraints();
   n_struct_ = model.num_variables();
-  AL_EXPECTS(static_cast<int>(lower.size()) == n_struct_);
-  AL_EXPECTS(static_cast<int>(upper.size()) == n_struct_);
 
   const double sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
 
+  cols_.clear();
   cols_.resize(static_cast<std::size_t>(n_struct_));
   for (int j = 0; j < n_struct_; ++j) {
     auto& c = cols_[static_cast<std::size_t>(j)];
-    c.lower = lower[static_cast<std::size_t>(j)];
-    c.upper = upper[static_cast<std::size_t>(j)];
-    AL_EXPECTS(std::isfinite(c.lower));
+    c.lower = model.variable(j).lower;
+    c.upper = model.variable(j).upper;
     c.cost = sign * model.variable(j).objective;
   }
 
@@ -109,7 +133,15 @@ void Simplex::build(const Model& model, const std::vector<double>& lower,
     s.cost = 0.0;
     cols_.push_back(std::move(s));
   }
-  n_ = static_cast<int>(cols_.size());
+  n_base_ = static_cast<int>(cols_.size());
+  n_ = n_base_;
+  first_artificial_ = n_;
+}
+
+void SimplexInstance::Impl::reset_cold() {
+  // Drop any artificials left over from an earlier solve.
+  cols_.resize(static_cast<std::size_t>(n_base_));
+  n_ = n_base_;
 
   // Initial point: structurals nonbasic at the finite bound nearest zero,
   // slacks basic.
@@ -129,7 +161,9 @@ void Simplex::build(const Model& model, const std::vector<double>& lower,
   }
   binv_.assign(static_cast<std::size_t>(m_),
                std::vector<double>(static_cast<std::size_t>(m_), 0.0));
-  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  for (int i = 0; i < m_; ++i)
+    binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  pivots_since_factor_ = 0;
 
   compute_basic_values();
 
@@ -177,7 +211,55 @@ void Simplex::build(const Model& model, const std::vector<double>& lower,
   n_ = static_cast<int>(cols_.size());
 }
 
-void Simplex::compute_basic_values() {
+// The dual-crash start needs a dual-feasible slack basis: with every slack
+// basic, y = 0 and each column's reduced cost is its own cost, so column j
+// must offer a bound where that sign is dual-feasible -- any finite bound for
+// cost >= 0 (lower bounds are always finite here), a finite UPPER bound for
+// cost < 0.
+bool SimplexInstance::Impl::crash_applicable() const {
+  for (int j = 0; j < n_struct_; ++j) {
+    const auto& c = cols_[static_cast<std::size_t>(j)];
+    if (c.cost < 0.0 && !std::isfinite(c.upper)) return false;
+  }
+  return true;
+}
+
+// All-slack basis with every structural column parked on its cost-favorable
+// bound (negative cost -> upper, else the finite bound nearest zero). No
+// phase-1 artificials: primal infeasibility of this point is repaired by
+// dual_restore(), which the parked bounds keep dual-feasible throughout.
+void SimplexInstance::Impl::reset_crash() {
+  cols_.resize(static_cast<std::size_t>(n_base_));
+  n_ = n_base_;
+  first_artificial_ = n_;
+
+  at_.assign(static_cast<std::size_t>(n_), NonbasicAt::Lower);
+  for (int j = 0; j < n_struct_; ++j) {
+    const auto& c = cols_[static_cast<std::size_t>(j)];
+    if (c.cost < 0.0) {
+      at_[static_cast<std::size_t>(j)] = NonbasicAt::Upper;  // finite: checked
+    } else if (c.cost == 0.0 && std::isfinite(c.upper) &&
+               std::abs(c.upper) < std::abs(c.lower)) {
+      at_[static_cast<std::size_t>(j)] = NonbasicAt::Upper;
+    }
+  }
+
+  basis_.resize(static_cast<std::size_t>(m_));
+  basic_pos_.assign(static_cast<std::size_t>(n_), -1);
+  for (int i = 0; i < m_; ++i) {
+    basis_[static_cast<std::size_t>(i)] = n_struct_ + i;
+    basic_pos_[static_cast<std::size_t>(n_struct_ + i)] = i;
+  }
+  binv_.assign(static_cast<std::size_t>(m_),
+               std::vector<double>(static_cast<std::size_t>(m_), 0.0));
+  for (int i = 0; i < m_; ++i)
+    binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  pivots_since_factor_ = 0;
+
+  compute_basic_values();
+}
+
+void SimplexInstance::Impl::compute_basic_values() {
   // xb = Binv * (b - N x_N)
   std::vector<double> rhs = b_;
   for (int j = 0; j < n_; ++j) {
@@ -197,7 +279,7 @@ void Simplex::compute_basic_values() {
   }
 }
 
-bool Simplex::iterate(const std::vector<double>& cost) {
+bool SimplexInstance::Impl::iterate(const std::vector<double>& cost) {
   const double tol = opts_.tol;
   long max_iter = opts_.max_iterations;
   if (max_iter <= 0) max_iter = 200L * (m_ + n_) + 2000;
@@ -337,23 +419,141 @@ bool Simplex::iterate(const std::vector<double>& cost) {
         row[static_cast<std::size_t>(k)] -= f * prow[static_cast<std::size_t>(k)];
     }
     xb_[static_cast<std::size_t>(leave)] = enter_val;
+    ++pivots_since_factor_;
 
     if ((it & 127) == 127) compute_basic_values();  // drift control
   }
   return false;
 }
 
-LpResult Simplex::run(const Model& model) {
-  LpResult res;
+// Bounded-variable dual-simplex restoration: starting from the previous
+// optimal basis with NEW bounds already applied, repeatedly pivot the most
+// bound-violating basic variable out onto its violated bound. Entering
+// columns are chosen among those whose tableau coefficient lets the violated
+// row move back inside its bounds; among the eligible ones the dual ratio
+// test (smallest |reduced cost| / |alpha|) keeps the basis near-dual-feasible
+// so the primal polish afterwards has little left to do.
+//
+// The Infeasible conclusion is sound regardless of dual feasibility: when no
+// nonbasic column can reduce row r's violation, the current nonbasic corner
+// already MINIMIZES that row's infeasibility over the whole bound box, so no
+// feasible point exists under these bounds.
+DualOutcome SimplexInstance::Impl::dual_restore() {
+  const double tol = opts_.tol;
+  long budget = opts_.warm_pivot_budget;
+  if (budget <= 0) budget = 50L + m_;
 
-  // Quick infeasibility: crossed bound overrides.
-  for (int j = 0; j < n_struct_; ++j) {
-    const auto& c = cols_[static_cast<std::size_t>(j)];
-    if (c.lower > c.upper) {
-      res.status = SolveStatus::Infeasible;
-      return res;
+  const std::vector<double> cost = phase2_cost();
+  std::vector<double> y(static_cast<std::size_t>(m_));
+  std::vector<double> w(static_cast<std::size_t>(m_));
+
+  for (long pivots = 0;; ++pivots) {
+    // Leaving row: the most violated basic variable.
+    int r = -1;
+    double worst = tol;
+    bool leave_up = false;  // leaving variable lands on its UPPER bound
+    for (int i = 0; i < m_; ++i) {
+      const auto& bc = cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+      const double xi = xb_[static_cast<std::size_t>(i)];
+      if (std::isfinite(bc.upper) && xi - bc.upper > worst) {
+        worst = xi - bc.upper;
+        r = i;
+        leave_up = true;
+      }
+      if (std::isfinite(bc.lower) && bc.lower - xi > worst) {
+        worst = bc.lower - xi;
+        r = i;
+        leave_up = false;
+      }
     }
+    if (r < 0) return DualOutcome::Restored;
+    if (pivots >= budget) return DualOutcome::GiveUp;
+
+    // y' = c_B' * Binv for the dual ratio test.
+    for (int k = 0; k < m_; ++k) {
+      double s = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+        if (cb != 0.0) s += cb * binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+      }
+      y[static_cast<std::size_t>(k)] = s;
+    }
+    const auto& rho = binv_[static_cast<std::size_t>(r)];
+
+    int enter = -1;
+    double best_ratio = kInfinity;
+    double best_alpha = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+      const auto& c = cols_[static_cast<std::size_t>(j)];
+      if (c.lower == c.upper) continue;  // fixed: cannot move
+      double alpha = 0.0;
+      for (std::size_t k = 0; k < c.rows.size(); ++k)
+        alpha += rho[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
+      if (std::abs(alpha) <= 1e-9) continue;
+      const bool at_lower = at_[static_cast<std::size_t>(j)] == NonbasicAt::Lower;
+      // Moving j off its bound must push xb_r back toward the violated
+      // bound: xb_r -= alpha * dx_j, with dx_j > 0 from a lower bound and
+      // dx_j < 0 from an upper bound.
+      const bool eligible = leave_up ? (at_lower ? alpha > 0.0 : alpha < 0.0)
+                                     : (at_lower ? alpha < 0.0 : alpha > 0.0);
+      if (!eligible) continue;
+      double d = cost[static_cast<std::size_t>(j)];
+      for (std::size_t k = 0; k < c.rows.size(); ++k)
+        d -= y[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
+      // Reduced costs are near-dual-feasible (>= 0 at lower, <= 0 at upper);
+      // clamp tiny violations so the ratio stays nonnegative.
+      const double d_adj = std::max(at_lower ? d : -d, 0.0);
+      const double ratio = d_adj / std::abs(alpha);
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && std::abs(alpha) > std::abs(best_alpha))) {
+        best_ratio = ratio;
+        best_alpha = alpha;
+        enter = j;
+      }
+    }
+    if (enter < 0) return DualOutcome::Infeasible;
+
+    // w = Binv * a_enter; pivot `enter` into row r.
+    {
+      const auto& c = cols_[static_cast<std::size_t>(enter)];
+      for (int i = 0; i < m_; ++i) {
+        double s = 0.0;
+        const auto& row = binv_[static_cast<std::size_t>(i)];
+        for (std::size_t k = 0; k < c.rows.size(); ++k)
+          s += row[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
+        w[static_cast<std::size_t>(i)] = s;
+      }
+    }
+    const double piv = w[static_cast<std::size_t>(r)];
+    if (std::abs(piv) < 1e-9) return DualOutcome::GiveUp;
+
+    const int old = basis_[static_cast<std::size_t>(r)];
+    basic_pos_[static_cast<std::size_t>(old)] = -1;
+    at_[static_cast<std::size_t>(old)] = leave_up ? NonbasicAt::Upper : NonbasicAt::Lower;
+    basis_[static_cast<std::size_t>(r)] = enter;
+    basic_pos_[static_cast<std::size_t>(enter)] = r;
+
+    auto& prow = binv_[static_cast<std::size_t>(r)];
+    for (int k = 0; k < m_; ++k) prow[static_cast<std::size_t>(k)] /= piv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double f = w[static_cast<std::size_t>(i)];
+      if (f == 0.0) continue;
+      auto& row = binv_[static_cast<std::size_t>(i)];
+      for (int k = 0; k < m_; ++k)
+        row[static_cast<std::size_t>(k)] -= f * prow[static_cast<std::size_t>(k)];
+    }
+    // A full refresh (O(m^2)) keeps every basic value exact; warm restarts
+    // take few pivots so this stays far cheaper than re-running phase 1.
+    compute_basic_values();
+    ++iterations_;
+    ++pivots_since_factor_;
   }
+}
+
+LpResult SimplexInstance::Impl::run_cold() {
+  LpResult res;
 
   // Phase 1: drive artificials to zero.
   if (first_artificial_ < n_) {
@@ -371,7 +571,8 @@ LpResult Simplex::run(const Model& model) {
       res.iterations = iterations_;
       return res;
     }
-    // Freeze artificials at zero for phase 2.
+    // Freeze artificials at zero for phase 2 (and for any warm restart that
+    // reuses this basis later -- frozen columns can never re-enter).
     for (int j = first_artificial_; j < n_; ++j) {
       cols_[static_cast<std::size_t>(j)].lower = 0.0;
       cols_[static_cast<std::size_t>(j)].upper = 0.0;
@@ -380,10 +581,8 @@ LpResult Simplex::run(const Model& model) {
   }
 
   // Phase 2: real objective.
-  std::vector<double> cost(static_cast<std::size_t>(n_), 0.0);
-  for (int j = 0; j < n_; ++j) cost[static_cast<std::size_t>(j)] = cols_[static_cast<std::size_t>(j)].cost;
   unbounded_ = false;
-  if (!iterate(cost)) {
+  if (!iterate(phase2_cost())) {
     res.status = SolveStatus::IterationLimit;
     res.iterations = iterations_;
     return res;
@@ -393,7 +592,11 @@ LpResult Simplex::run(const Model& model) {
     res.iterations = iterations_;
     return res;
   }
+  return extract_optimal();
+}
 
+LpResult SimplexInstance::Impl::extract_optimal() {
+  LpResult res;
   compute_basic_values();
   res.status = SolveStatus::Optimal;
   res.iterations = iterations_;
@@ -405,11 +608,162 @@ LpResult Simplex::run(const Model& model) {
     v = std::clamp(v, c.lower, std::isfinite(c.upper) ? c.upper : v);
     res.x[static_cast<std::size_t>(j)] = v;
   }
-  res.objective = model.objective_value(res.x);
+  res.objective = model_->objective_value(res.x);
   return res;
 }
 
-}  // namespace
+LpResult SimplexInstance::Impl::solve(const std::vector<double>& lower,
+                                      const std::vector<double>& upper) {
+  AL_EXPECTS(static_cast<int>(lower.size()) == n_struct_);
+  AL_EXPECTS(static_cast<int>(upper.size()) == n_struct_);
+
+  static support::Metrics::Counter& solves =
+      support::Metrics::instance().counter("ilp.lp_solves");
+  static support::Metrics::Counter& pivot_count =
+      support::Metrics::instance().counter("ilp.simplex_pivots");
+  static support::Metrics::Counter& warm_count =
+      support::Metrics::instance().counter("ilp.warm_starts");
+  static support::Metrics::Counter& warm_fail_count =
+      support::Metrics::instance().counter("ilp.warm_start_failures");
+  solves.add();
+  iterations_ = 0;
+
+  // Quick infeasibility: crossed bound overrides. Decided before touching
+  // the tableau so a remembered basis stays valid for the next solve.
+  for (int j = 0; j < n_struct_; ++j) {
+    if (lower[static_cast<std::size_t>(j)] > upper[static_cast<std::size_t>(j)]) {
+      LpResult res;
+      res.status = SolveStatus::Infeasible;
+      return res;
+    }
+  }
+
+  // Apply the new bounds to the structural columns.
+  for (int j = 0; j < n_struct_; ++j) {
+    auto& c = cols_[static_cast<std::size_t>(j)];
+    c.lower = lower[static_cast<std::size_t>(j)];
+    c.upper = upper[static_cast<std::size_t>(j)];
+    AL_EXPECTS(std::isfinite(c.lower));
+  }
+
+  // Periodic refactorization: a long chain of warm restarts accumulates
+  // product-form drift in binv_, so start cold (NOT counted as a warm-start
+  // failure -- nothing went wrong) once enough pivots have stacked up.
+  if (have_basis_ && pivots_since_factor_ > kRefactorPivots) have_basis_ = false;
+
+  if (have_basis_) {
+    ++warm_starts_;
+    warm_count.add();
+    // A nonbasic column parked at an upper bound that is now infinite has no
+    // value to sit at; move it to its (always finite) lower bound.
+    for (int j = 0; j < n_struct_; ++j) {
+      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
+      if (at_[static_cast<std::size_t>(j)] == NonbasicAt::Upper &&
+          !std::isfinite(cols_[static_cast<std::size_t>(j)].upper)) {
+        at_[static_cast<std::size_t>(j)] = NonbasicAt::Lower;
+      }
+    }
+    compute_basic_values();
+
+    switch (dual_restore()) {
+      case DualOutcome::Restored: {
+        unbounded_ = false;
+        if (iterate(phase2_cost())) {
+          if (unbounded_) {
+            LpResult res;
+            res.status = SolveStatus::Unbounded;
+            res.iterations = iterations_;
+            pivot_count.add(static_cast<std::uint64_t>(res.iterations));
+            return res;
+          }
+          LpResult res = extract_optimal();
+          pivot_count.add(static_cast<std::uint64_t>(res.iterations));
+          return res;
+        }
+        // Primal polish ran out of budget -- retry cold below so the warm
+        // path can never return a worse status than the cold one.
+        break;
+      }
+      case DualOutcome::Infeasible: {
+        // The basis is still a valid factorization; keep it for next time.
+        LpResult res;
+        res.status = SolveStatus::Infeasible;
+        res.iterations = iterations_;
+        pivot_count.add(static_cast<std::uint64_t>(res.iterations));
+        return res;
+      }
+      case DualOutcome::GiveUp:
+        break;
+    }
+    ++warm_failures_;
+    warm_fail_count.add();
+    have_basis_ = false;
+  }
+
+  // No basis to restart from: before paying for phase 1, try the dual-crash
+  // start -- park every column on its cost-favorable bound and let the same
+  // dual-simplex restoration drive the slack basis primal-feasible. Budget
+  // exhaustion or numerics fall through to the two-phase cold solve.
+  if (opts_.dual_crash && crash_applicable()) {
+    reset_crash();
+    switch (dual_restore()) {
+      case DualOutcome::Restored: {
+        unbounded_ = false;
+        if (iterate(phase2_cost())) {
+          // A dual-feasible start cannot be unbounded, but guard anyway.
+          if (unbounded_) {
+            LpResult res;
+            res.status = SolveStatus::Unbounded;
+            res.iterations = iterations_;
+            pivot_count.add(static_cast<std::uint64_t>(res.iterations));
+            return res;
+          }
+          LpResult res = extract_optimal();
+          have_basis_ = true;
+          pivot_count.add(static_cast<std::uint64_t>(res.iterations));
+          return res;
+        }
+        break;  // polish hit the iteration limit -- retry cold below
+      }
+      case DualOutcome::Infeasible: {
+        // Artificial-free and a valid factorization: keep it for next time.
+        LpResult res;
+        res.status = SolveStatus::Infeasible;
+        res.iterations = iterations_;
+        have_basis_ = true;
+        pivot_count.add(static_cast<std::uint64_t>(res.iterations));
+        return res;
+      }
+      case DualOutcome::GiveUp:
+        break;
+    }
+    have_basis_ = false;
+  }
+
+  reset_cold();
+  LpResult res = run_cold();
+  have_basis_ = res.status == SolveStatus::Optimal;
+  pivot_count.add(static_cast<std::uint64_t>(res.iterations));
+  return res;
+}
+
+SimplexInstance::SimplexInstance(const Model& model, SimplexOptions opts)
+    : impl_(std::make_unique<Impl>(model, opts)) {}
+
+SimplexInstance::~SimplexInstance() = default;
+
+LpResult SimplexInstance::solve(const std::vector<double>& lower,
+                                const std::vector<double>& upper) {
+  return impl_->solve(lower, upper);
+}
+
+void SimplexInstance::invalidate_basis() { impl_->have_basis_ = false; }
+
+long SimplexInstance::warm_starts() const { return impl_->warm_starts_; }
+
+long SimplexInstance::warm_start_failures() const {
+  return impl_->warm_failures_;
+}
 
 LpResult solve_lp(const Model& model, SimplexOptions opts) {
   std::vector<double> lo(static_cast<std::size_t>(model.num_variables()));
@@ -423,22 +777,8 @@ LpResult solve_lp(const Model& model, SimplexOptions opts) {
 
 LpResult solve_lp(const Model& model, const std::vector<double>& lower,
                   const std::vector<double>& upper, SimplexOptions opts) {
-  for (std::size_t j = 0; j < lower.size(); ++j) {
-    if (lower[j] > upper[j]) {
-      LpResult res;
-      res.status = SolveStatus::Infeasible;
-      return res;
-    }
-  }
-  Simplex s(model, lower, upper, opts);
-  LpResult res = s.run(model);
-  static support::Metrics::Counter& solves =
-      support::Metrics::instance().counter("ilp.lp_solves");
-  static support::Metrics::Counter& pivots =
-      support::Metrics::instance().counter("ilp.simplex_pivots");
-  solves.add();
-  pivots.add(static_cast<std::uint64_t>(res.iterations));
-  return res;
+  SimplexInstance inst(model, opts);
+  return inst.solve(lower, upper);
 }
 
 } // namespace al::ilp

@@ -1,10 +1,23 @@
-// Bounded-variable two-phase primal simplex (revised form with an explicit
-// dense basis inverse). This is the LP core underneath the 0-1 branch-and-
-// bound solver; it is exact in the floating-point sense and handles the
+// Bounded-variable simplex core underneath the 0-1 branch-and-bound solver.
+//
+// Two entry points share one engine:
+//   * solve_lp()       -- one-shot: build a tableau, run the two-phase primal
+//                         simplex, throw the state away.
+//   * SimplexInstance  -- reusable: built ONCE per MIP solve, it keeps the
+//                         final basis (and its dense inverse) of every solve
+//                         and re-optimizes the next set of per-column bound
+//                         overrides from that basis with a bounded-variable
+//                         dual simplex. A branch-and-bound child differs from
+//                         its parent by one 0/1 bound flip, so the restart
+//                         usually needs a handful of pivots where the cold
+//                         path re-runs phase 1 from the all-slack basis.
+//
+// The engine is exact in the floating-point sense and handles the
 // paper-scale instances (hundreds of variables/constraints) in microseconds
 // to milliseconds.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ilp/lp.hpp"
@@ -12,21 +25,65 @@
 namespace al::ilp {
 
 struct SimplexOptions {
-  /// 0 means "choose automatically" (50 * (rows + cols) pivots).
+  /// 0 means "choose automatically" (200 * (rows + cols) pivots).
   long max_iterations = 0;
   /// Reduced-cost / feasibility tolerance.
   double tol = 1e-7;
+  /// Dual-simplex pivot budget for ONE warm restart; past it (or on any
+  /// numerical breakdown) the instance falls back to a cold phase-1 solve.
+  /// 0 means "choose automatically" (50 + rows).
+  long warm_pivot_budget = 0;
+  /// Basis-free solves (the first LP of a MIP, or any solve after a failed
+  /// restart) normally run the two-phase primal simplex from the all-slack
+  /// basis. When every negative-cost column has a finite upper bound -- true
+  /// of all 0-1 layout models -- that slack basis can instead be made DUAL
+  /// feasible by parking each column on its cost-favorable bound, and the
+  /// same dual-simplex restoration used for warm restarts then reaches the
+  /// optimum without phase-1 artificials. Exact either way; disabling this
+  /// reproduces the plain two-phase baseline.
+  bool dual_crash = true;
 };
 
 /// Solves the LP relaxation of `model` (integrality ignored) with the
-/// variable bounds stored in the model.
+/// variable bounds stored in the model. One-shot cold solve.
 [[nodiscard]] LpResult solve_lp(const Model& model, SimplexOptions opts = {});
 
-/// Same, but with per-variable bound overrides (used by branch and bound).
-/// `lower`/`upper` must have one entry per model variable.
+/// Same, but with per-variable bound overrides. `lower`/`upper` must have
+/// one entry per model variable.
 [[nodiscard]] LpResult solve_lp(const Model& model,
                                 const std::vector<double>& lower,
                                 const std::vector<double>& upper,
                                 SimplexOptions opts = {});
+
+/// A simplex tableau bound to one Model for its whole lifetime (the caller
+/// keeps `model` alive and structurally unchanged). The first solve() -- and
+/// any solve() after a failed restart -- runs the cold two-phase primal
+/// simplex; every later solve() applies the new bounds to the existing basis
+/// and re-optimizes with the dual simplex. Results are exact either way; the
+/// warm path only changes how many pivots it takes to get there.
+class SimplexInstance {
+public:
+  explicit SimplexInstance(const Model& model, SimplexOptions opts = {});
+  ~SimplexInstance();
+
+  SimplexInstance(const SimplexInstance&) = delete;
+  SimplexInstance& operator=(const SimplexInstance&) = delete;
+
+  /// Solves the LP relaxation under the given structural-variable bound
+  /// overrides (one entry per model variable).
+  [[nodiscard]] LpResult solve(const std::vector<double>& lower,
+                               const std::vector<double>& upper);
+
+  /// Drops the remembered basis; the next solve() starts cold.
+  void invalidate_basis();
+
+  /// Restarts attempted / restarts that fell back to a cold solve.
+  [[nodiscard]] long warm_starts() const;
+  [[nodiscard]] long warm_start_failures() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 } // namespace al::ilp

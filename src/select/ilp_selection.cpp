@@ -14,6 +14,18 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Deterministic symmetry breaking for the ILP objective. Programs like
+/// Erlebacher (three symmetric sweeps) admit COMPLETE assignments that tie
+/// on total cost; which tied optimum a simplex run reaches depends on pivot
+/// order, so two exact engine configurations could return different (equally
+/// optimal) selections. Adding kTieEpsUs * (phase + 1) * candidate to each
+/// x cost makes the index-lexicographically smallest optimum strictly
+/// cheapest: well below any genuine cost difference (node costs are O(1e3)
+/// microseconds and up), well above the solver's 1e-7 tolerances, and never
+/// visible to callers -- fill_costs() recomputes all reported costs from the
+/// graph.
+constexpr double kTieEpsUs = 1e-6;
+
 /// Fills the cost breakdown of `out` from its `chosen` vector.
 void fill_costs(const LayoutGraph& graph, SelectionResult& out) {
   out.total_cost_us = assignment_cost(graph, out.chosen);
@@ -144,15 +156,26 @@ SelectionResult select_layouts_ilp(const LayoutGraph& graph,
     }
   }
 
+  // Dominance pruning shrinks the candidate space BEFORE the ILP is ever
+  // formulated; everything below (the model, every fallback engine) runs on
+  // the pruned view `g`, and `chosen` is mapped back to original candidate
+  // indices at the very end so callers (and verify_assignment) never see
+  // pruned numbering.
+  DominancePruning pruning;
+  const bool pruned = opts.dominance;
+  if (pruned) pruning = prune_dominated_candidates(graph);
+  const LayoutGraph& g = pruned ? pruning.graph : graph;
+
   ilp::Model model(ilp::Sense::Minimize);
 
   // x variables, phase-major.
-  std::vector<std::vector<int>> x(static_cast<std::size_t>(graph.num_phases()));
-  for (int p = 0; p < graph.num_phases(); ++p) {
-    for (int i = 0; i < graph.num_candidates(p); ++i) {
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(g.num_phases()));
+  for (int p = 0; p < g.num_phases(); ++p) {
+    for (int i = 0; i < g.num_candidates(p); ++i) {
       x[static_cast<std::size_t>(p)].push_back(model.add_binary(
           "x_" + std::to_string(p) + "_" + std::to_string(i),
-          graph.node_cost_us[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)]));
+          g.node_cost_us[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)] +
+              kTieEpsUs * (p + 1) * i));
     }
     std::vector<ilp::Term> terms;
     for (int v : x[static_cast<std::size_t>(p)]) terms.push_back({v, 1.0});
@@ -166,8 +189,8 @@ SelectionResult select_layouts_ilp(const LayoutGraph& graph,
   // integral, so the LP relaxation is strong and branch and bound almost
   // always finishes at the root. y may stay continuous: with binary x the
   // constraints force y integral at any vertex the solver returns.
-  for (std::size_t e = 0; e < graph.edges.size(); ++e) {
-    const LayoutEdgeBlock& blk = graph.edges[e];
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    const LayoutEdgeBlock& blk = g.edges[e];
     // Skip degenerate blocks (no cost matrix) and blocks that cannot cost
     // anything regardless of the choice.
     if (blk.remap_us.empty()) continue;
@@ -208,40 +231,57 @@ SelectionResult select_layouts_ilp(const LayoutGraph& graph,
 
   SelectionResult out;
   if (mip.status == ilp::SolveStatus::Optimal) {
-    out.chosen = extract_assignment(graph, x, mip.x);
+    out.chosen = extract_assignment(g, x, mip.x);
     out.engine = SelectionEngine::Ilp;
-    fill_costs(graph, out);
+    fill_costs(g, out);
   } else {
     // The solver hit a budget (or failed): degrade gracefully. Candidates
     // are the ILP incumbent (when one exists), the exact chain DP (when the
     // graph has that shape), and the greedy sweep; the cheapest wins, with
-    // the incumbent preferred on ties.
+    // the incumbent preferred on ties. Every fallback runs on the same
+    // (possibly pruned) view the ILP saw, so their `chosen` vectors share
+    // one numbering.
     support::Metrics::instance().counter("ilp.mip_fallbacks").add();
     SelectionResult best;
     best.total_cost_us = kInf;
     bool have = false;
     if (ilp::has_solution(mip.status)) {
-      best.chosen = extract_assignment(graph, x, mip.x);
+      best.chosen = extract_assignment(g, x, mip.x);
       best.engine = SelectionEngine::IlpIncumbent;
-      fill_costs(graph, best);
+      fill_costs(g, best);
       have = true;
     }
-    if (std::optional<SelectionResult> dp = select_layouts_dp(graph);
+    if (std::optional<SelectionResult> dp = select_layouts_dp(g);
         dp && (!have || dp->total_cost_us < best.total_cost_us)) {
       best = std::move(*dp);
       have = true;
     }
-    if (SelectionResult greedy = select_layouts_greedy(graph);
+    if (SelectionResult greedy = select_layouts_greedy(g);
         !have || greedy.total_cost_us < best.total_cost_us) {
       best = std::move(greedy);
     }
     out = std::move(best);
+  }
+  if (pruned) {
+    // Back to original candidate numbering; re-fill the cost breakdown from
+    // the original graph (values are identical -- the pruned matrices are
+    // slices -- but the invariants should hold against the caller's graph).
+    for (int p = 0; p < graph.num_phases(); ++p) {
+      auto& c = out.chosen[static_cast<std::size_t>(p)];
+      c = pruning.kept[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)];
+    }
+    fill_costs(graph, out);
+    out.dominated_candidates = pruning.dropped;
   }
   out.solver_status = mip.status;
   out.ilp_variables = model.num_variables();
   out.ilp_constraints = model.num_constraints();
   out.bb_nodes = mip.nodes;
   out.lp_iterations = mip.lp_iterations;
+  out.warm_starts = mip.warm_starts;
+  out.warm_start_failures = mip.warm_start_failures;
+  out.presolve_fixed_vars = mip.presolve_fixed_vars;
+  out.presolve_removed_rows = mip.presolve_removed_rows;
   out.solve_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
                      .count();

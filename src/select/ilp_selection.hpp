@@ -28,6 +28,10 @@ enum class SelectionEngine {
 /// behavior (effectively unlimited for paper-sized instances).
 struct SelectionOptions {
   ilp::MipOptions mip;
+  /// Dominance-prune the candidate layouts before formulating the ILP
+  /// (prune_dominated_candidates). Preserves the optimal objective value;
+  /// `chosen` always indexes the ORIGINAL graph either way.
+  bool dominance = true;
 };
 
 struct SelectionResult {
@@ -41,6 +45,12 @@ struct SelectionResult {
   long bb_nodes = 0;
   long lp_iterations = 0;
   double solve_ms = 0.0;
+  // --- MIP engine provenance (DESIGN.md section 12) ---
+  long warm_starts = 0;          ///< node LPs restarted from a remembered basis
+  long warm_start_failures = 0;  ///< restarts that fell back to a cold solve
+  int presolve_fixed_vars = 0;   ///< variables presolve eliminated
+  int presolve_removed_rows = 0; ///< rows presolve eliminated
+  int dominated_candidates = 0;  ///< candidate layouts pruned before the ILP
   // --- solver resilience provenance (DESIGN.md section 10) ---
   ilp::SolveStatus solver_status = ilp::SolveStatus::Optimal;
   SelectionEngine engine = SelectionEngine::Ilp;

@@ -177,4 +177,97 @@ LayoutGraph build_layout_graph(const perf::Estimator& estimator,
   return g;
 }
 
+DominancePruning prune_dominated_candidates(const LayoutGraph& graph) {
+  const int n = graph.num_phases();
+
+  // dominates(p, k, i): swapping candidate i of phase p for candidate k can
+  // never increase any assignment's total cost. `strict` distinguishes real
+  // domination from exact duplicates (those are broken by index so the
+  // relation stays antisymmetric and at least one candidate survives).
+  auto dominates = [&](int p, int k, int i) {
+    bool strict = false;
+    const auto& costs = graph.node_cost_us[static_cast<std::size_t>(p)];
+    const double ck = costs[static_cast<std::size_t>(k)];
+    const double ci = costs[static_cast<std::size_t>(i)];
+    if (ck > ci) return false;
+    if (ck < ci) strict = true;
+    for (const LayoutEdgeBlock& e : graph.edges) {
+      if (e.remap_us.empty()) continue;
+      if (e.src_phase == p) {
+        const auto& rk = e.remap_us[static_cast<std::size_t>(k)];
+        const auto& ri = e.remap_us[static_cast<std::size_t>(i)];
+        for (std::size_t j = 0; j < ri.size(); ++j) {
+          if (rk[j] > ri[j]) return false;
+          if (rk[j] < ri[j]) strict = true;
+        }
+      }
+      if (e.dst_phase == p) {
+        for (const auto& row : e.remap_us) {
+          if (row[static_cast<std::size_t>(k)] > row[static_cast<std::size_t>(i)]) return false;
+          if (row[static_cast<std::size_t>(k)] < row[static_cast<std::size_t>(i)]) strict = true;
+        }
+      }
+    }
+    return strict || k < i;
+  };
+
+  DominancePruning out;
+  out.kept.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    const int c = graph.num_candidates(p);
+    for (int i = 0; i < c; ++i) {
+      bool dominated = false;
+      for (int k = 0; k < c && !dominated; ++k) {
+        if (k != i && dominates(p, k, i)) dominated = true;
+      }
+      if (dominated) {
+        ++out.dropped;
+      } else {
+        out.kept[static_cast<std::size_t>(p)].push_back(i);
+      }
+    }
+    AL_ASSERT(c == 0 || !out.kept[static_cast<std::size_t>(p)].empty());
+  }
+
+  // Slice the graph down to the surviving candidates.
+  LayoutGraph& g = out.graph;
+  g.node_cost_us.resize(static_cast<std::size_t>(n));
+  g.estimates.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    const auto ps = static_cast<std::size_t>(p);
+    for (int i : out.kept[ps]) {
+      g.node_cost_us[ps].push_back(
+          graph.node_cost_us[ps][static_cast<std::size_t>(i)]);
+      if (ps < graph.estimates.size() &&
+          static_cast<std::size_t>(i) < graph.estimates[ps].size()) {
+        g.estimates[ps].push_back(graph.estimates[ps][static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  for (const LayoutEdgeBlock& e : graph.edges) {
+    LayoutEdgeBlock blk;
+    blk.src_phase = e.src_phase;
+    blk.dst_phase = e.dst_phase;
+    blk.traversals = e.traversals;
+    if (!e.remap_us.empty()) {
+      const auto& rows = out.kept[static_cast<std::size_t>(e.src_phase)];
+      const auto& cols = out.kept[static_cast<std::size_t>(e.dst_phase)];
+      blk.remap_us.reserve(rows.size());
+      for (int i : rows) {
+        const auto& src_row = e.remap_us[static_cast<std::size_t>(i)];
+        std::vector<double> row;
+        row.reserve(cols.size());
+        for (int j : cols) row.push_back(src_row[static_cast<std::size_t>(j)]);
+        blk.remap_us.push_back(std::move(row));
+      }
+    }
+    g.edges.push_back(std::move(blk));
+  }
+
+  support::Metrics::instance()
+      .counter("select.dominated_candidates")
+      .add(static_cast<std::uint64_t>(out.dropped));
+  return out;
+}
+
 } // namespace al::select

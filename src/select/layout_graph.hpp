@@ -75,4 +75,24 @@ struct GraphBuildStats {
     const perf::Estimator& estimator, const std::vector<distrib::LayoutSpace>& spaces,
     support::ThreadPool* pool = nullptr, GraphBuildStats* stats = nullptr);
 
+/// A dominance-pruned copy of a layout graph plus the index maps back to the
+/// original candidate numbering.
+struct DominancePruning {
+  LayoutGraph graph;
+  /// kept[p][i'] = the ORIGINAL candidate index behind pruned candidate i'
+  /// of phase p (strictly increasing per phase).
+  std::vector<std::vector<int>> kept;
+  int dropped = 0;
+};
+
+/// Drops candidate layouts that can never appear in an optimal selection
+/// (the paper's section 4 search-space pruning): candidate `i` of a phase is
+/// dominated by candidate `k` when k's node cost and EVERY incident remap
+/// edge cost (its row in out-edges, its column in in-edges) are <= i's --
+/// strictly better somewhere, or all-equal with k < i so exact duplicates
+/// keep their lowest index. Swapping `k` for `i` in any assignment can then
+/// only lower the total, so pruning preserves the optimal objective value.
+/// At least one candidate always survives per phase.
+[[nodiscard]] DominancePruning prune_dominated_candidates(const LayoutGraph& graph);
+
 } // namespace al::select

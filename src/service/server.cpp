@@ -19,6 +19,7 @@
 #include "support/diagnostics.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace al::service {
@@ -106,7 +107,10 @@ std::string ServiceSummary::json() const {
 
 Server::Server(const ServerOptions& opts)
     : opts_(opts), queue_(opts.queue_capacity) {
-  opts_.workers = std::max(opts_.workers, 1);
+  // <= 0 means "auto": one worker per CPU this process may actually run on.
+  // An explicit count is honoured verbatim (tests oversubscribe on purpose).
+  opts_.workers = opts_.workers > 0 ? opts_.workers
+                                    : support::ThreadPool::default_threads();
   stats_.workers = opts_.workers;
 }
 

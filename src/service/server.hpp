@@ -36,7 +36,9 @@
 namespace al::service {
 
 struct ServerOptions {
-  int workers = 4;                 ///< request-executing threads
+  int workers = 0;                 ///< request-executing threads; <= 0 =
+                                   ///  one per usable CPU (affinity-clamped,
+                                   ///  see ThreadPool::default_threads)
   std::size_t queue_capacity = 64; ///< admission queue bound (backpressure)
   int port = 0;                    ///< daemon listen port; 0 = ephemeral
   long grace_ms = 5'000;           ///< drain budget after request_stop()
@@ -82,6 +84,10 @@ public:
   /// fails. Use port() for the bound port when opts.port was 0.
   bool start();
   [[nodiscard]] int port() const { return port_; }
+
+  /// Worker-thread count after defaulting (opts.workers <= 0 resolves to
+  /// ThreadPool::default_threads() at construction).
+  [[nodiscard]] int workers() const { return opts_.workers; }
 
   /// Initiates shutdown; safe to call from any thread, more than once.
   void request_stop();

@@ -1,5 +1,9 @@
 #include "support/thread_pool.hpp"
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include <algorithm>
 #include <atomic>
 #include <exception>
@@ -37,8 +41,23 @@ ThreadPool::~ThreadPool() {
 }
 
 int ThreadPool::default_threads() {
+  // hardware_concurrency() reports the machine, not the process: inside a
+  // container pinned to one core it can still answer 2+, and every default
+  // above the usable-CPU count makes the pool SLOWER than serial (measured
+  // in BENCH_layout_graph.json). Prefer the scheduling-affinity count and
+  // clamp it by hardware_concurrency() when both are known.
+  int n = 0;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) n = CPU_COUNT(&set);
+#endif
   const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
+  if (hc > 0) {
+    const int cap = static_cast<int>(hc);
+    n = n > 0 ? std::min(n, cap) : cap;
+  }
+  return std::max(n, 1);
 }
 
 bool ThreadPool::on_worker_thread() const { return g_current_pool == this; }

@@ -43,7 +43,12 @@ public:
   /// True when the calling thread is one of THIS pool's workers.
   [[nodiscard]] bool on_worker_thread() const;
 
-  /// Hardware concurrency, never less than 1.
+  /// CPUs actually usable by THIS process, never less than 1: the
+  /// scheduling-affinity count where the OS exposes one (containers often
+  /// pin far fewer cores than the machine has), clamped to
+  /// hardware_concurrency(). Every thread/worker default routes through
+  /// here so an over-subscribed default cannot make the pool slower than
+  /// the serial path.
   [[nodiscard]] static int default_threads();
 
 private:

@@ -1,0 +1,234 @@
+// 0-1 presolve unit tests (ilp/presolve.hpp): each reduction in isolation
+// (fixing, singleton rows, forcing rows, redundancy, infeasibility proofs,
+// coefficient tightening, probing) plus the postsolve round-trip property
+// the MIP wrapper relies on: solving the REDUCED model and mapping back
+// yields a feasible, equally-optimal solution of the ORIGINAL model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/presolve.hpp"
+
+namespace al::ilp {
+namespace {
+
+TEST(Presolve, FixedVariableIsEliminated) {
+  Model m(Sense::Minimize);
+  const int a = m.add_variable("a", 1.0, 1.0, 5.0, true);  // lo == up
+  const int b = m.add_binary("b", 1.0);
+  m.add_constraint("r", {{a, 1.0}, {b, 1.0}}, Rel::LE, 2.0);
+  (void)a;
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_GE(pre.stats.fixed_vars, 1);
+  EXPECT_LT(pre.reduced.num_variables(), m.num_variables());
+  ASSERT_TRUE(pre.fixed[0]);
+  EXPECT_NEAR(pre.fixed_value[0], 1.0, 1e-9);
+
+  // b survives (or was itself fixed); postsolve restores a = 1 regardless.
+  std::vector<double> x_red(static_cast<std::size_t>(pre.reduced.num_variables()), 0.0);
+  const std::vector<double> x = pre.postsolve(x_red);
+  ASSERT_EQ(static_cast<int>(x.size()), m.num_variables());
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  (void)b;
+}
+
+TEST(Presolve, SingletonRowRoundsBinaryBoundToZero) {
+  // x <= 0.4 on a binary: integer bound rounding fixes x = 0 and drops the row.
+  Model m(Sense::Minimize);
+  m.add_binary("x", -1.0);
+  m.add_constraint("cap", {{0, 1.0}}, Rel::LE, 0.4);
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  ASSERT_TRUE(pre.all_fixed());
+  const std::vector<double> x = pre.postsolve({});
+  EXPECT_NEAR(x[0], 0.0, 1e-9);
+  EXPECT_GE(pre.stats.removed_rows, 1);
+}
+
+TEST(Presolve, ForcingRowFixesEveryTerm) {
+  // x + y <= 0 over binaries: min activity equals the rhs, so both sit at 0.
+  Model m(Sense::Minimize);
+  m.add_binary("x", -3.0);
+  m.add_binary("y", -2.0);
+  m.add_constraint("zero", {{0, 1.0}, {1, 1.0}}, Rel::LE, 0.0);
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  ASSERT_TRUE(pre.all_fixed());
+  const std::vector<double> x = pre.postsolve({});
+  EXPECT_NEAR(x[0], 0.0, 1e-9);
+  EXPECT_NEAR(x[1], 0.0, 1e-9);
+}
+
+TEST(Presolve, RedundantRowIsRemovedVariablesSurvive) {
+  Model m(Sense::Minimize);
+  m.add_binary("x", 1.0);
+  m.add_binary("y", 1.0);
+  m.add_constraint("loose", {{0, 1.0}, {1, 1.0}}, Rel::LE, 5.0);  // max activity 2
+  m.add_constraint("tie", {{0, 1.0}, {1, 1.0}}, Rel::GE, 1.0);
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_GE(pre.stats.removed_rows, 1);
+  EXPECT_EQ(pre.reduced.num_variables(), 2);
+  EXPECT_EQ(pre.reduced.num_constraints(), 1);
+}
+
+TEST(Presolve, ProvesInfeasibilityByActivityBounds) {
+  // x + y >= 3 over two binaries: max activity 2 < 3.
+  Model m(Sense::Minimize);
+  m.add_binary("x", 0.0);
+  m.add_binary("y", 0.0);
+  m.add_constraint("impossible", {{0, 1.0}, {1, 1.0}}, Rel::GE, 3.0);
+
+  const PresolveResult pre = presolve(m);
+  EXPECT_TRUE(pre.infeasible);
+
+  // And the solver wrapper reports it as a proven Infeasible.
+  const MipResult r = solve_mip(m);
+  EXPECT_EQ(r.status, SolveStatus::Infeasible);
+}
+
+TEST(Presolve, CoefficientTighteningPreservesOptimum) {
+  // 2x + y <= 2 over binaries admits exactly the 0-1 points of x + y <= 1,
+  // so Savelsbergh tightening may shift the coefficient and the rhs together
+  // -- but only together; shrinking the coefficient alone would weaken the
+  // row into x + y <= 2 and wrongly admit (1,1).
+  Model m(Sense::Maximize);
+  m.add_binary("x", 3.0);
+  m.add_binary("y", 2.0);
+  m.add_constraint("k", {{0, 2.0}, {1, 1.0}}, Rel::LE, 2.0);
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_GE(pre.stats.tightened_coefs, 1);
+
+  const MipResult fast = solve_mip(m);
+  const MipResult oracle = solve_by_enumeration(m);
+  ASSERT_EQ(fast.status, SolveStatus::Optimal);
+  ASSERT_EQ(oracle.status, SolveStatus::Optimal);
+  EXPECT_NEAR(fast.objective, oracle.objective, 1e-6);
+  EXPECT_TRUE(m.is_feasible(fast.x));
+}
+
+TEST(Presolve, ProbingFixesContradictoryBinary) {
+  // Exactly-one row x0 + x1 + x2 = 1; probing x0 = 1 zeroes its mates, which
+  // makes x1 + x2 >= 1 unsatisfiable -- so x0 must be 0. Neither row fixes
+  // anything on its own.
+  Model m(Sense::Minimize);
+  m.add_binary("x0", -3.0);  // tempting, but infeasible once probed
+  m.add_binary("x1", 1.0);
+  m.add_binary("x2", 2.0);
+  m.add_constraint("sos", {{0, 1.0}, {1, 1.0}, {2, 1.0}}, Rel::EQ, 1.0);
+  m.add_constraint("need", {{1, 1.0}, {2, 1.0}}, Rel::GE, 1.0);
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_GE(pre.stats.probed_fixings, 1);
+  ASSERT_TRUE(pre.fixed[0]);
+  EXPECT_NEAR(pre.fixed_value[0], 0.0, 1e-9);
+
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-6);  // x1 = 1 is the cheapest survivor
+  EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+}
+
+TEST(Presolve, PostsolveRoundTripMatchesDirectSolve) {
+  // A small layout-selection-shaped model: two exactly-one phases plus
+  // linking rows and a fixed variable thrown in. Solving the reduced model
+  // and postsolving must equal solving the original directly.
+  Model m(Sense::Minimize);
+  const int a0 = m.add_binary("a0", 4.0);
+  const int a1 = m.add_binary("a1", 7.0);
+  const int b0 = m.add_binary("b0", 5.0);
+  const int b1 = m.add_binary("b1", 1.0);
+  const int pin = m.add_variable("pin", 1.0, 1.0, 2.0, true);
+  m.add_constraint("phase_a", {{a0, 1.0}, {a1, 1.0}}, Rel::EQ, 1.0);
+  m.add_constraint("phase_b", {{b0, 1.0}, {b1, 1.0}}, Rel::EQ, 1.0);
+  // Remap penalty linkage: picking a0 with b1 costs extra unless pin pays.
+  m.add_constraint("link", {{a0, 1.0}, {b1, 1.0}, {pin, -1.0}}, Rel::LE, 1.0);
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_GE(pre.stats.fixed_vars, 1);  // at least `pin`
+
+  MipOptions raw;
+  raw.presolve = false;
+  const MipResult direct = solve_mip(m, raw);
+  ASSERT_EQ(direct.status, SolveStatus::Optimal);
+
+  if (!pre.all_fixed()) {
+    const MipResult red = solve_mip(pre.reduced, raw);
+    ASSERT_EQ(red.status, SolveStatus::Optimal);
+    const std::vector<double> x = pre.postsolve(red.x);
+    ASSERT_TRUE(m.is_feasible(x));
+    EXPECT_NEAR(m.objective_value(x), direct.objective, 1e-6);
+  }
+
+  // The production path (presolve on) agrees too.
+  const MipResult prod = solve_mip(m);
+  ASSERT_EQ(prod.status, SolveStatus::Optimal);
+  EXPECT_NEAR(prod.objective, direct.objective, 1e-6);
+  EXPECT_GE(prod.presolve_fixed_vars, 1);
+}
+
+TEST(Presolve, DoubletonSubstitutionAggregatesBinaryPair) {
+  // x + z = 1 over binaries: z = 1 - x leaves the model entirely; the
+  // objective folds onto x and the postsolve reconstructs z.
+  Model m(Sense::Minimize);
+  m.add_binary("x", 3.0);
+  m.add_binary("z", 1.0);
+  m.add_constraint("pair", {{0, 1.0}, {1, 1.0}}, Rel::EQ, 1.0);
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_GE(pre.stats.substituted_vars, 1);
+  ASSERT_TRUE(pre.all_fixed());  // x becomes an empty column and gets fixed
+  const std::vector<double> x = pre.postsolve({});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0] + x[1], 1.0, 1e-9);
+  EXPECT_NEAR(m.objective_value(x), 1.0, 1e-9);  // z = 1 is the cheap corner
+}
+
+TEST(Presolve, DoubletonSubstitutionRewritesLinkingRows) {
+  // Two 2-candidate phases plus a linearized-product linking row -- the
+  // selection model's exact shape. Substitution must rewrite the linking
+  // row onto the kept variables without changing any answer.
+  Model m(Sense::Minimize);
+  const int x0 = m.add_binary("x0", 1.0);
+  const int x1 = m.add_binary("x1", 2.0);
+  const int z0 = m.add_binary("z0", 1.0);
+  const int z1 = m.add_binary("z1", 3.0);
+  const int y = m.add_binary("y", 5.0);
+  m.add_constraint("phase_x", {{x0, 1.0}, {x1, 1.0}}, Rel::EQ, 1.0);
+  m.add_constraint("phase_z", {{z0, 1.0}, {z1, 1.0}}, Rel::EQ, 1.0);
+  m.add_constraint("link", {{x0, 1.0}, {z0, 1.0}, {y, -1.0}}, Rel::LE, 1.0);
+
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_GE(pre.stats.substituted_vars, 2);
+
+  const MipResult fast = solve_mip(m);
+  const MipResult oracle = solve_by_enumeration(m);
+  ASSERT_EQ(fast.status, SolveStatus::Optimal);
+  ASSERT_EQ(oracle.status, SolveStatus::Optimal);
+  EXPECT_NEAR(fast.objective, oracle.objective, 1e-6);
+  ASSERT_TRUE(m.is_feasible(fast.x));
+  EXPECT_GE(fast.presolve_fixed_vars, 2);  // substitutions count as eliminated
+}
+
+TEST(Presolve, EmptyModelAllFixed) {
+  Model m(Sense::Minimize);
+  const PresolveResult pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  EXPECT_TRUE(pre.all_fixed());
+  EXPECT_TRUE(pre.postsolve({}).empty());
+}
+
+} // namespace
+} // namespace al::ilp

@@ -26,6 +26,7 @@
 #include "service/server.hpp"
 #include "support/json.hpp"
 #include "support/json_parse.hpp"
+#include "support/thread_pool.hpp"
 
 namespace al::service {
 namespace {
@@ -235,6 +236,23 @@ TEST(ServiceBatch, AnswersBadLinesInPlace) {
             std::string::npos);
   EXPECT_EQ(docs[3].find("status")->as_string(), "ok");
   EXPECT_EQ(docs[3].find("id")->as_string(), "good2");
+}
+
+// Regression: the worker default used to be a hard-coded 4, oversubscribing
+// the 1-core container the benchmarks run on. 0 (the default) now means
+// "auto" = ThreadPool::default_threads(); explicit counts stay verbatim.
+TEST(ServiceBatch, WorkerCountDefaultsToUsableCpus) {
+  {
+    ServerOptions opts;  // workers = 0 = auto
+    Server server(opts);
+    EXPECT_EQ(server.workers(), support::ThreadPool::default_threads());
+  }
+  {
+    ServerOptions opts;
+    opts.workers = 7;  // explicit oversubscription is a valid choice
+    Server server(opts);
+    EXPECT_EQ(server.workers(), 7);
+  }
 }
 
 TEST(ServiceBatch, SummaryCountsOutcomes) {

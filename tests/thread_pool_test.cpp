@@ -4,8 +4,13 @@
 // (null pool, tiny trip counts) behave identically.
 #include <gtest/gtest.h>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "support/thread_pool.hpp"
@@ -15,6 +20,28 @@ namespace {
 
 TEST(ThreadPool, DefaultThreadsAtLeastOne) {
   EXPECT_GE(ThreadPool::default_threads(), 1);
+}
+
+// Regression: on a container pinned to fewer CPUs than the machine has,
+// hardware_concurrency() oversells the parallelism and the estimation pool
+// defaults SLOWER than serial. The default must respect both the process
+// affinity mask and hardware_concurrency().
+TEST(ThreadPool, DefaultThreadsClampedToUsableCpus) {
+  const int def = ThreadPool::default_threads();
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc > 0) EXPECT_LE(def, static_cast<int>(hc));
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    EXPECT_LE(def, CPU_COUNT(&set));
+  }
+#endif
+}
+
+TEST(ThreadPool, DefaultConstructedPoolUsesDefaultThreads) {
+  ThreadPool pool;  // threads = 0 picks default_threads()
+  EXPECT_EQ(pool.num_threads(), ThreadPool::default_threads());
 }
 
 TEST(ThreadPool, SubmittedTasksAllRunBeforeDestruction) {

@@ -14,7 +14,15 @@
 //                          a budget hit degrades to incumbent/DP/greedy
 //                          fallbacks instead of aborting
 //   --mip-deadline-ms N    wall-clock budget per exact 0-1 solve (same
-//                          graceful degradation)
+//                          graceful degradation); 0 expires immediately,
+//                          forcing every solve onto the fallback ladder
+//   --mip-branching RULE   branch-and-bound variable selection: pseudocost
+//                          (default) or most-fractional (baseline)
+//   --no-warm-start        solve every B&B node LP cold (disable the dual-
+//                          simplex basis reuse)
+//   --no-presolve          skip the 0-1 presolve before branch and bound
+//   --no-dominance         keep dominated candidate layouts in the
+//                          selection ILP
 //   -g, --guess-probs      ignore !al$ prob annotations (50% guess)
 //   -s, --scalar-expand    expand scalar temporaries before analysis
 //   -R, --replicate        consider replicating read-only arrays
@@ -54,7 +62,9 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-p procs] [-j threads] [-m ipsc860|paragon] [-t training.tsv]\n"
                "          [-x] [-g] [-C] [-r] [-d] [-q] [-J out.json] [-T trace.json]\n"
-               "          [--mip-nodes N] [--mip-deadline-ms N] program.f\n",
+               "          [--mip-nodes N] [--mip-deadline-ms N]\n"
+               "          [--mip-branching pseudocost|most-fractional]\n"
+               "          [--no-warm-start] [--no-presolve] [--no-dominance] program.f\n",
                argv0);
 }
 
@@ -124,11 +134,31 @@ int main(int argc, char** argv) {
     } else if (a == "--mip-deadline-ms") {
       const char* v = need_value("--mip-deadline-ms");
       long ms = 0;
-      if (!parse_long(v, 1, std::numeric_limits<long>::max(), ms)) {
+      if (!parse_long(v, 0, std::numeric_limits<long>::max(), ms)) {
         std::fprintf(stderr, "%s: bad deadline '%s'\n", argv[0], v);
         return 1;
       }
-      opts.mip.deadline_ms = static_cast<double>(ms);
+      // MipOptions treats <= 0 as "no deadline", so an explicit zero maps to
+      // an already-expired deadline: every exact solve gives up at its first
+      // check and the degradation ladder supplies the answer.
+      opts.mip.deadline_ms = ms > 0 ? static_cast<double>(ms) : 1e-9;
+    } else if (a == "--mip-branching") {
+      const std::string v = need_value("--mip-branching");
+      if (v == "pseudocost") {
+        opts.mip.branching = ilp::Branching::PseudoCost;
+      } else if (v == "most-fractional") {
+        opts.mip.branching = ilp::Branching::MostFractional;
+      } else {
+        std::fprintf(stderr, "%s: bad branching rule '%s' (pseudocost|most-fractional)\n",
+                     argv[0], v.c_str());
+        return 1;
+      }
+    } else if (a == "--no-warm-start") {
+      opts.mip.warm_start = false;
+    } else if (a == "--no-presolve") {
+      opts.mip.presolve = false;
+    } else if (a == "--no-dominance") {
+      opts.dominance = false;
     } else if (a == "-C" || a == "--no-cache") {
       opts.estimator_cache = false;
     } else if (a == "-m" || a == "--machine") {

@@ -7,7 +7,9 @@
 //                          exit when done; responses go to --out
 //   --port N               listen on 127.0.0.1:N (0 = ephemeral; the bound
 //                          port is printed to stderr)
-//   --workers N            request-executing threads        (default 4)
+//   --workers N            request-executing threads; 0 = one per usable
+//                          CPU (the default; affinity-clamped on pinned
+//                          containers)
 //   --queue N              admission queue capacity; a full queue answers
 //                          "rejected: queue full"           (default 64)
 //   --grace-ms N           drain budget after SIGINT/SIGTERM (default 5000)
@@ -88,7 +90,8 @@ int main(int argc, char** argv) {
       opts.port = port;
       daemon = true;
     } else if (a == "--workers") {
-      int_flag("--workers", 1, opts.workers);
+      // 0 is valid: "auto", one worker per usable CPU.
+      int_flag("--workers", 0, opts.workers);
     } else if (a == "--queue") {
       int capacity = 0;
       int_flag("--queue", 1, capacity);
@@ -137,7 +140,7 @@ int main(int argc, char** argv) {
   if (daemon) {
     if (!server.start()) return 1;
     std::fprintf(stderr, "%s: listening on 127.0.0.1:%d (%d workers, queue %zu)\n",
-                 argv[0], server.port(), opts.workers, opts.queue_capacity);
+                 argv[0], server.port(), server.workers(), opts.queue_capacity);
     server.wait();
   } else {
     std::ifstream in_file;
