@@ -1,21 +1,37 @@
-// Serving-layer throughput/latency baseline (DESIGN.md section 11): drives
-// Server::run_batch over a 4-program corpus request mix at 1 / 4 / 8
-// workers and writes the medians to BENCH_service.json (in the working
-// directory). Two scenarios per worker count:
+// Serving-layer throughput/latency baseline (DESIGN.md sections 11 and 13):
+// drives Server::run_batch over corpus request mixes and writes the medians
+// to BENCH_service.json (in the working directory). Four scenarios:
 //
-//   * compute -- every request is a real pipeline run, back to back. On a
+//   * compute  -- every request is a real pipeline run, back to back. On a
 //     multi-core host this is where worker scaling shows up; on a
 //     single-core host (the CI container: hardware_concurrency is recorded
 //     in the output) compute-bound throughput cannot exceed 1x and the
 //     row documents exactly that.
-//   * mixed   -- each request carries think-time (the protocol's delay_ms
+//   * mixed    -- each request carries think-time (the protocol's delay_ms
 //     field) alongside the compute, the shape of a layout service embedded
 //     in a build system that interleaves I/O-bound work. Workers overlap
 //     the waits, so this row demonstrates the concurrency the queue and
 //     worker pool actually buy even when cores are scarce.
+//   * repeat90 / repeat98 -- the whole-run result cache's scenarios: ~90%
+//     (resp. ~98%) of requests repeat an already-submitted (program,
+//     options) triple and are served from the cache, the rest are fresh
+//     keys that must compute. Hit and miss latency quantiles are reported
+//     separately, plus the throughput multiple over this run's compute
+//     1-worker row (the cache's whole value proposition: repeats cost a
+//     hash, not a pipeline).
 //
-//   ./build/bench/service_bench [--smoke] [runs-per-config]  (default 3)
+// Before writing the report the bench VERIFIES the cache's contract: the
+// report served by a hit must match a cold (fresh-server) run of the same
+// request on every semantically meaningful section -- everything except the
+// wall-clock/observability blocks (stages, estimator_cache occupancy,
+// metrics, trace, selection solve time). A mismatch exits nonzero; the
+// service.cache_smoke ctest runs exactly this under --smoke.
+//
+//   ./build/bench/service_bench [--smoke] [--verify-cache] [runs-per-config]
+//   (default 3 runs per config; --verify-cache = contract check only, the
+//   service.cache_smoke ctest)
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,11 +44,13 @@
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "support/json.hpp"
+#include "support/json_parse.hpp"
 
 namespace {
 
 using al::corpus::Dtype;
 using al::corpus::TestCase;
+using al::support::JsonValue;
 
 double median(std::vector<double> v) {
   std::sort(v.begin(), v.end());
@@ -47,25 +65,54 @@ std::vector<TestCase> corpus_mix() {
           {"shallow", 32, Dtype::Real, 4}};
 }
 
+std::string request_line(const TestCase& c, const std::string& id,
+                         long delay_ms = 0) {
+  std::ostringstream os;
+  al::support::JsonWriter w(os, /*indent_width=*/-1);
+  w.begin_object();
+  w.kv("schema", al::service::kRequestSchema);
+  w.kv("schema_version", al::service::kProtocolVersion);
+  w.kv("id", id);
+  w.kv("source", al::corpus::source_for(c));
+  if (delay_ms > 0) w.kv("delay_ms", delay_ms);
+  w.key("options").begin_object();
+  w.kv("procs", c.procs);
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
 /// NDJSON input of `count` requests round-robining over the corpus mix.
 std::string make_input(int count, long delay_ms) {
   const std::vector<TestCase> mix = corpus_mix();
   std::string input;
   for (int i = 0; i < count; ++i) {
     const TestCase& c = mix[static_cast<std::size_t>(i) % mix.size()];
-    std::ostringstream os;
-    al::support::JsonWriter w(os, /*indent_width=*/-1);
-    w.begin_object();
-    w.kv("schema", al::service::kRequestSchema);
-    w.kv("schema_version", al::service::kProtocolVersion);
-    w.kv("id", c.program + "-" + std::to_string(i));
-    w.kv("source", al::corpus::source_for(c));
-    if (delay_ms > 0) w.kv("delay_ms", delay_ms);
-    w.key("options").begin_object();
-    w.kv("procs", c.procs);
-    w.end_object();
-    w.end_object();
-    input += os.str();
+    input += request_line(c, c.program + "-" + std::to_string(i), delay_ms);
+  }
+  return input;
+}
+
+/// Cache-scenario input: every `unique_every`-th request is a FRESH
+/// (program, n, procs) triple nobody submitted before (a guaranteed cache
+/// miss); everything else repeats the 4-program working set (hits once the
+/// working set is warm). unique_every = 10 gives the ~90% repeat mix,
+/// 50 the ~98% one.
+std::string make_repeat_input(int count, int unique_every) {
+  const std::vector<TestCase> mix = corpus_mix();
+  std::string input;
+  int fresh = 0;
+  for (int i = 0; i < count; ++i) {
+    if (i % unique_every == 0) {
+      // Vary n and procs so every fresh request is a distinct cache key.
+      const TestCase unique{"adi", 16 + 4 * (fresh / 14),
+                            Dtype::DoublePrecision, 2 + fresh % 14};
+      input += request_line(unique, "fresh-" + std::to_string(fresh));
+      ++fresh;
+    } else {
+      const TestCase& c = mix[static_cast<std::size_t>(i) % mix.size()];
+      input += request_line(c, c.program + "-" + std::to_string(i));
+    }
   }
   return input;
 }
@@ -83,19 +130,32 @@ struct Row {
   double p99_ms = 0.0;
   double max_ms = 0.0;
   double speedup = 1.0;  // vs the 1-worker row of the same scenario
+  // Run-cache scenarios only:
+  bool cache_scenario = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double hit_p50_ms = 0.0, hit_p95_ms = 0.0, hit_p99_ms = 0.0;
+  double miss_p50_ms = 0.0, miss_p95_ms = 0.0, miss_p99_ms = 0.0;
+  double speedup_vs_compute_1w = 0.0;   // vs this run's compute 1-worker row
+  double speedup_vs_pr4_baseline = 0.0; // vs the recorded PR-4 single-worker
+                                        // compute baseline (the >= 10x target)
 };
 
-Row run_config(const std::string& scenario, int workers, int requests,
-               long delay_ms, int runs) {
+/// The committed single-worker compute throughput the run cache was built
+/// against (BENCH_service.json before this change, hardware_concurrency 1).
+constexpr double kPr4Compute1wBaselineRps = 79.66821032;
+
+Row run_config(const std::string& scenario, const std::string& input,
+               int workers, int requests, long delay_ms, int runs) {
   Row row;
   row.scenario = scenario;
   row.workers = workers;
   row.requests = requests;
   row.delay_ms = delay_ms;
   row.runs = runs;
-  const std::string input = make_input(requests, delay_ms);
 
   std::vector<double> walls, p50s, p95s, p99s, maxs;
+  std::vector<double> hit50s, hit95s, hit99s, miss50s, miss95s, miss99s;
   for (int r = 0; r < runs; ++r) {
     al::service::ServerOptions opts;
     opts.workers = workers;
@@ -118,6 +178,14 @@ Row run_config(const std::string& scenario, int workers, int requests,
     p95s.push_back(s.p95_ms);
     p99s.push_back(s.p99_ms);
     maxs.push_back(s.max_ms);
+    hit50s.push_back(s.hit_p50_ms);
+    hit95s.push_back(s.hit_p95_ms);
+    hit99s.push_back(s.hit_p99_ms);
+    miss50s.push_back(s.miss_p50_ms);
+    miss95s.push_back(s.miss_p95_ms);
+    miss99s.push_back(s.miss_p99_ms);
+    row.cache_hits = s.cache_hits;    // deterministic per input; last run's
+    row.cache_misses = s.cache_misses;
   }
   row.wall_ms = median(walls);
   row.throughput_rps =
@@ -126,36 +194,206 @@ Row run_config(const std::string& scenario, int workers, int requests,
   row.p95_ms = median(p95s);
   row.p99_ms = median(p99s);
   row.max_ms = median(maxs);
+  row.hit_p50_ms = median(hit50s);
+  row.hit_p95_ms = median(hit95s);
+  row.hit_p99_ms = median(hit99s);
+  row.miss_p50_ms = median(miss50s);
+  row.miss_p95_ms = median(miss95s);
+  row.miss_p99_ms = median(miss99s);
   return row;
+}
+
+// ---------------------------------------------------------------------------
+// Hit-vs-cold verification
+// ---------------------------------------------------------------------------
+
+/// Canonical serialization of a report with the volatile (wall-clock and
+/// observability) parts removed: the top-level stages/estimator_cache/
+/// metrics/trace sections and the selection's solve_ms. What remains is the
+/// semantic payload -- layouts, costs, provenance -- which a cache hit must
+/// reproduce exactly.
+void semantic_subset(const JsonValue& v, std::string& out, int depth = 0) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, val] : v.members()) {
+        if (depth == 0 && (key == "stages" || key == "estimator_cache" ||
+                           key == "counters" || key == "gauges" ||
+                           key == "trace"))
+          continue;
+        if (key == "solve_ms") continue;
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += key;
+        out += "\":";
+        semantic_subset(val, out, depth + 1);
+      }
+      out += '}';
+      return;
+    }
+    case JsonValue::Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        semantic_subset(item, out, depth + 1);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::String:
+      out += '"';
+      out += al::support::JsonWriter::escape(v.as_string());
+      out += '"';
+      return;
+    case JsonValue::Kind::Number:
+      out += v.number_lexeme();
+      return;
+    case JsonValue::Kind::Bool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::Null:
+      out += "null";
+      return;
+  }
+}
+
+/// One batch -> parsed responses in input order.
+std::vector<JsonValue> run_lines(const std::string& input) {
+  al::service::ServerOptions opts;
+  opts.workers = 1;
+  al::service::Server server(opts);
+  std::istringstream in(input);
+  std::ostringstream out;
+  if (server.run_batch(in, out) != 0) {
+    std::fprintf(stderr, "service_bench: verification batch failed\n");
+    std::exit(1);
+  }
+  std::vector<JsonValue> docs;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    JsonValue doc;
+    std::string error;
+    if (!JsonValue::parse(line, doc, error)) {
+      std::fprintf(stderr, "service_bench: bad response JSON: %s\n", error.c_str());
+      std::exit(1);
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::string report_subset(const JsonValue& response, const char* what) {
+  const JsonValue* report = response.find("report");
+  if (report == nullptr) {
+    std::fprintf(stderr, "service_bench: %s response carries no report\n", what);
+    std::exit(1);
+  }
+  std::string subset;
+  semantic_subset(*report, subset);
+  return subset;
+}
+
+/// The acceptance check: a hit-served report equals a COLD run's report
+/// (fresh server, so a genuinely independent compute) on the semantic
+/// subset, for every corpus program. Exits nonzero on any divergence.
+void verify_hit_matches_cold() {
+  for (const TestCase& c : corpus_mix()) {
+    // Fresh server: one cold compute.
+    const std::vector<JsonValue> cold = run_lines(request_line(c, "cold"));
+    // Second fresh server: the same request twice; the repeat is the hit.
+    const std::vector<JsonValue> pair =
+        run_lines(request_line(c, "w") + request_line(c, "h"));
+    if (cold.size() != 1 || pair.size() != 2) {
+      std::fprintf(stderr, "service_bench: verification got %zu+%zu responses\n",
+                   cold.size(), pair.size());
+      std::exit(1);
+    }
+    const JsonValue* disposition = pair[1].find("cache");
+    if (disposition == nullptr || disposition->as_string() != "hit") {
+      std::fprintf(stderr, "service_bench: %s repeat was not served as a hit\n",
+                   c.program.c_str());
+      std::exit(1);
+    }
+    const std::string cold_subset = report_subset(cold[0], "cold");
+    const std::string hit_subset = report_subset(pair[1], "hit");
+    if (cold_subset != hit_subset) {
+      // Leave the full payloads on disk for diagnosis.
+      std::ofstream("cache_verify_cold.json") << cold_subset << '\n';
+      std::ofstream("cache_verify_hit.json") << hit_subset << '\n';
+      std::fprintf(stderr,
+                   "service_bench: %s hit report DIVERGES from cold run "
+                   "(full subsets in cache_verify_{cold,hit}.json)\n"
+                   "  cold: %.200s...\n  hit:  %.200s...\n",
+                   c.program.c_str(), cold_subset.c_str(), hit_subset.c_str());
+      std::exit(1);
+    }
+    std::printf("verify   %-10s hit report == cold report (%zu bytes compared)\n",
+                c.program.c_str(), cold_subset.size());
+  }
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool verify_only = false;
   int runs = 3;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--verify-cache") == 0) {
+      // The service.cache_smoke ctest: just the hit-vs-cold contract plus a
+      // tiny repeat mix, no BENCH_service.json rewrite.
+      verify_only = true;
       smoke = true;
     } else {
       runs = std::max(1, std::atoi(argv[i]));
     }
   }
+  if (verify_only) {
+    verify_hit_matches_cold();
+    const int n = 20;
+    Row row = run_config("repeat90", make_repeat_input(n, 10), 1, n, 0, 1);
+    if (row.cache_hits == 0) {
+      std::fprintf(stderr, "service_bench: repeat mix produced no cache hits\n");
+      return 1;
+    }
+    std::printf("cache verification ok (%llu hits / %llu misses in repeat mix)\n",
+                static_cast<unsigned long long>(row.cache_hits),
+                static_cast<unsigned long long>(row.cache_misses));
+    return 0;
+  }
   // Smoke: one repetition of a tiny mix at 1/2 workers -- enough to prove
   // the harness end to end in CI without owning the machine for minutes.
   if (smoke) runs = 1;
   const int requests = smoke ? 8 : 24;
+  const int repeat_requests = smoke ? 20 : 200;
   const long think_ms = smoke ? 10 : 50;
   const std::vector<int> worker_counts =
       smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 4, 8};
+  const std::vector<int> cache_worker_counts =
+      smoke ? std::vector<int>{1} : std::vector<int>{1, 4};
+
+  // The cache contract first: a broken cache makes the throughput rows
+  // meaningless.
+  verify_hit_matches_cold();
 
   std::vector<Row> rows;
+  double compute_1w_rps = 0.0;
   for (const char* scenario : {"compute", "mixed"}) {
     const long delay = std::strcmp(scenario, "mixed") == 0 ? think_ms : 0;
+    const std::string input = make_input(requests, delay);
     double base_rps = 0.0;
     for (const int workers : worker_counts) {
-      Row row = run_config(scenario, workers, requests, delay, runs);
+      Row row = run_config(scenario, input, workers, requests, delay, runs);
       if (workers == 1) base_rps = row.throughput_rps;
+      if (workers == 1 && std::strcmp(scenario, "compute") == 0)
+        compute_1w_rps = row.throughput_rps;
       row.speedup = base_rps > 0.0 ? row.throughput_rps / base_rps : 1.0;
       std::printf("%-8s workers=%d  wall=%8.1f ms  %6.2f req/s  "
                   "p50=%7.1f  p95=%7.1f  p99=%7.1f  speedup=%.2fx\n",
@@ -166,15 +404,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::pair<const char*, int> repeat_scenarios[] = {{"repeat90", 10},
+                                                          {"repeat98", 50}};
+  for (const auto& [scenario, unique_every] : repeat_scenarios) {
+    const std::string input = make_repeat_input(repeat_requests, unique_every);
+    double base_rps = 0.0;
+    for (const int workers : cache_worker_counts) {
+      Row row =
+          run_config(scenario, input, workers, repeat_requests, 0, runs);
+      row.cache_scenario = true;
+      if (workers == 1) base_rps = row.throughput_rps;
+      row.speedup = base_rps > 0.0 ? row.throughput_rps / base_rps : 1.0;
+      row.speedup_vs_compute_1w =
+          compute_1w_rps > 0.0 ? row.throughput_rps / compute_1w_rps : 0.0;
+      row.speedup_vs_pr4_baseline = row.throughput_rps / kPr4Compute1wBaselineRps;
+      std::printf(
+          "%-8s workers=%d  wall=%8.1f ms  %7.2f req/s  hits=%llu misses=%llu  "
+          "hit p50/p95/p99=%5.2f/%5.2f/%5.2f ms  miss p50/p95/p99=%5.1f/%5.1f/"
+          "%5.1f ms  vs compute-1w=%.1fx  vs pr4-baseline=%.1fx\n",
+          row.scenario.c_str(), row.workers, row.wall_ms, row.throughput_rps,
+          static_cast<unsigned long long>(row.cache_hits),
+          static_cast<unsigned long long>(row.cache_misses), row.hit_p50_ms,
+          row.hit_p95_ms, row.hit_p99_ms, row.miss_p50_ms, row.miss_p95_ms,
+          row.miss_p99_ms, row.speedup_vs_compute_1w,
+          row.speedup_vs_pr4_baseline);
+      rows.push_back(std::move(row));
+    }
+  }
+
   std::ofstream out("BENCH_service.json");
   al::support::JsonWriter w(out);
   w.begin_object();
   w.kv("schema", "autolayout.bench.service");
-  w.kv("schema_version", 1);
+  w.kv("schema_version", 2);  // v2: repeat90/repeat98 rows + cache fields
   w.kv("smoke", smoke);
   w.kv("hardware_concurrency",
        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   w.kv("requests_per_run", requests);
+  w.kv("repeat_requests_per_run", repeat_requests);
+  w.kv("pr4_compute_1w_baseline_rps", kPr4Compute1wBaselineRps);
   w.kv("runs_per_config", runs);
   w.kv("mixed_think_ms", think_ms);
   w.key("corpus").begin_array();
@@ -195,6 +463,18 @@ int main(int argc, char** argv) {
     w.kv("latency_p99_ms", r.p99_ms);
     w.kv("latency_max_ms", r.max_ms);
     w.kv("speedup_vs_1_worker", r.speedup);
+    if (r.cache_scenario) {
+      w.kv("cache_hits", r.cache_hits);
+      w.kv("cache_misses", r.cache_misses);
+      w.kv("hit_latency_p50_ms", r.hit_p50_ms);
+      w.kv("hit_latency_p95_ms", r.hit_p95_ms);
+      w.kv("hit_latency_p99_ms", r.hit_p99_ms);
+      w.kv("miss_latency_p50_ms", r.miss_p50_ms);
+      w.kv("miss_latency_p95_ms", r.miss_p95_ms);
+      w.kv("miss_latency_p99_ms", r.miss_p99_ms);
+      w.kv("speedup_vs_compute_1_worker", r.speedup_vs_compute_1w);
+      w.kv("speedup_vs_pr4_baseline", r.speedup_vs_pr4_baseline);
+    }
     w.end_object();
   }
   w.end_array();

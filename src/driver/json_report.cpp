@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "perf/run_cache.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -137,6 +138,15 @@ void write_cache(support::JsonWriter& w, const ToolResult& r) {
   w.end_object();
 }
 
+// Schema v3: the run's whole-run-cache identity. "key" appears only when a
+// cache was consulted (it is the content address the run was filed under).
+void write_run_cache(support::JsonWriter& w, const RunCacheInfo& rc) {
+  w.key("run_cache").begin_object();
+  w.kv("consulted", rc.consulted);
+  if (rc.consulted) w.kv("key", perf::RunKey{rc.key_lo, rc.key_hi}.hex());
+  w.end_object();
+}
+
 void write_metrics(support::JsonWriter& w) {
   const std::vector<support::Metrics::Sample> samples =
       support::Metrics::instance().snapshot();
@@ -206,6 +216,7 @@ void write_json_report(const ToolResult& r, support::JsonWriter& w) {
   write_alignment_ilp(w, r);
   write_stages(w, r.timings);
   write_cache(w, r);
+  write_run_cache(w, r.run_cache);
   write_metrics(w);
   write_trace(w);
   w.end_object();

@@ -27,7 +27,13 @@ namespace al::driver {
 /// and the independent checker's "verification" verdict; a new top-level
 /// "alignment_ilp" block summarizes conflict-resolution solves and greedy
 /// fallbacks.
-inline constexpr int kJsonReportSchemaVersion = 2;
+///
+/// v3: a new OPTIONAL top-level "run_cache" block carries the run's cache
+/// identity ("consulted" plus the 128-bit content-address "key" when a
+/// whole-run cache was probed). Purely additive -- every v2 field is
+/// unchanged, so v2 readers keep working; the bump marks that two documents
+/// differing only in "run_cache" describe the same run.
+inline constexpr int kJsonReportSchemaVersion = 3;
 
 /// Streams the full run document for `result`.
 void write_json_report(const ToolResult& result, std::ostream& os);

@@ -1,0 +1,188 @@
+#include "driver/run_cache.hpp"
+
+#include <sstream>
+
+#include "driver/json_report.hpp"
+#include "support/json.hpp"
+
+namespace al::driver {
+namespace {
+
+/// Folds CRLF/CR line ends to LF, strips trailing spaces/tabs from every
+/// line, and guarantees a final newline -- whitespace noise a transport or
+/// editor adds must map to the same key, while any token change (including
+/// interior whitespace) changes it.
+std::string canonicalize_source(std::string_view source) {
+  std::string out;
+  out.reserve(source.size() + 1);
+  std::size_t i = 0;
+  while (i < source.size()) {
+    std::size_t eol = i;
+    while (eol < source.size() && source[eol] != '\n' && source[eol] != '\r') {
+      ++eol;
+    }
+    std::size_t end = eol;
+    while (end > i && (source[end - 1] == ' ' || source[end - 1] == '\t')) {
+      --end;
+    }
+    out.append(source.substr(i, end - i));
+    out += '\n';
+    i = eol;
+    if (i < source.size()) {
+      i += (source[i] == '\r' && i + 1 < source.size() && source[i + 1] == '\n')
+               ? 2
+               : 1;
+    }
+  }
+  return out;
+}
+
+void mix_machine(perf::RunDigest& d, const machine::MachineModel& m) {
+  d.mix_bytes(m.name);
+  d.mix_double(m.flop_us_real);
+  d.mix_double(m.flop_us_double);
+  d.mix_double(m.mem_us);
+  d.mix(static_cast<std::uint64_t>(m.node_memory_bytes));
+  d.mix(static_cast<std::uint64_t>(m.max_procs));
+  d.mix(m.training.size());
+  for (const machine::TrainingEntry& e : m.training.entries()) {
+    d.mix(static_cast<std::uint64_t>(e.pattern) << 32 |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.procs)));
+    d.mix(static_cast<std::uint64_t>(e.stride) << 1 |
+          static_cast<std::uint64_t>(e.latency));
+    d.mix_double(e.bytes);
+    d.mix_double(e.micros);
+  }
+}
+
+void mix_mip(perf::RunDigest& d, const ilp::MipOptions& mip) {
+  // Budgets select WHICH answer (fallback ladder rung) and the engine
+  // switches change the provenance fields the report carries -- all of it
+  // is identity. int_tol/iteration caps bound the same solves.
+  d.mix_double(mip.int_tol);
+  d.mix(static_cast<std::uint64_t>(mip.max_nodes));
+  d.mix(static_cast<std::uint64_t>(mip.max_lp_iterations));
+  d.mix_double(mip.deadline_ms);
+  d.mix(static_cast<std::uint64_t>(mip.warm_start) << 2 |
+        static_cast<std::uint64_t>(mip.presolve) << 1 |
+        static_cast<std::uint64_t>(mip.branching));
+  d.mix(static_cast<std::uint64_t>(mip.warm_pivot_budget));
+}
+
+} // namespace
+
+perf::RunKey run_cache_key(std::string_view source, const ToolOptions& opts) {
+  perf::RunDigest d;
+  d.mix_bytes(canonicalize_source(source));
+
+  mix_machine(d, opts.machine);
+
+  d.mix(static_cast<std::uint64_t>(opts.procs));
+  d.mix_double(opts.phase.default_branch_probability);
+  d.mix(static_cast<std::uint64_t>(opts.phase.use_annotated_probabilities));
+  d.mix(static_cast<std::uint64_t>(opts.compiler.message_vectorization) << 3 |
+        static_cast<std::uint64_t>(opts.compiler.message_coalescing) << 2 |
+        static_cast<std::uint64_t>(opts.compiler.coarse_grain_pipelining) << 1 |
+        static_cast<std::uint64_t>(opts.compiler.loop_interchange));
+  d.mix(static_cast<std::uint64_t>(opts.scalar_expansion) << 2 |
+        static_cast<std::uint64_t>(opts.replicate_unwritten) << 1 |
+        static_cast<std::uint64_t>(opts.dominance));
+  d.mix(static_cast<std::uint64_t>(opts.distribution_strategy));
+  d.mix(static_cast<std::uint64_t>(opts.alignment.scale_by_frequency));
+  d.mix_double(opts.alignment.import.dominance_margin);
+  // One MipOptions governs the whole run (run_tool overrides the alignment
+  // copy with opts.mip), so one mix covers every exact solve.
+  mix_mip(d, opts.mip);
+
+  d.mix(opts.pinned_phases.size());
+  for (const auto& [phase, layout] : opts.pinned_phases) {
+    const layout::Fingerprint fp = layout::fingerprint(layout);
+    d.mix(static_cast<std::uint64_t>(phase));
+    d.mix(fp.lo);
+    d.mix(fp.hi);
+  }
+
+  // EXCLUDED by design: opts.threads (results are bit-identical at any
+  // count), opts.estimator_cache (memoization only), opts.run_cache (the
+  // consult toggle cannot be part of what it addresses).
+  return d.key();
+}
+
+namespace {
+
+/// The run report as ONE compact line (no trailing newline) -- the bytes
+/// the cache stores and every hit re-serves verbatim.
+std::string compact_report(const ToolResult& result) {
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  write_json_report(result, w);
+  std::string json = os.str();
+  if (!json.empty() && json.back() == '\n') json.pop_back();
+  return json;
+}
+
+/// Runs the pipeline and packages the miss-shaped result.
+void compute_into(CachedRunResult& out, std::string_view source,
+                  const ToolOptions& opts) {
+  out.result = run_tool(source, opts);
+  out.result->run_cache.consulted = out.consulted;
+  out.result->run_cache.key_lo = out.key.lo;
+  out.result->run_cache.key_hi = out.key.hi;
+  out.report_json = compact_report(*out.result);
+  out.program = out.result->program.name;
+  out.engine = select::to_string(out.result->selection.engine);
+}
+
+} // namespace
+
+CachedRunResult run_tool_cached(std::string_view source, const ToolOptions& opts,
+                                perf::RunCache* cache) {
+  CachedRunResult out;
+  if (cache == nullptr || !opts.run_cache) {
+    compute_into(out, source, opts);
+    return out;
+  }
+
+  out.consulted = true;
+  out.key = run_cache_key(source, opts);
+  auto serve_hit = [&](const std::shared_ptr<const perf::CachedRun>& cached) {
+    out.hit = true;
+    out.report_json = cached->report_json;
+    out.program = cached->program;
+    out.engine = cached->engine;
+  };
+  for (;;) {
+    if (std::shared_ptr<const perf::CachedRun> cached = cache->find(out.key)) {
+      serve_hit(cached);
+      return out;
+    }
+    if (cache->begin_fill(out.key) == perf::RunCache::FillRole::Leader) {
+      // Double-check under leadership: a previous leader may have landed the
+      // fill between our miss probe and acquiring the slot. Without this,
+      // "N identical submissions cost one compute" would only be
+      // probabilistic.
+      if (std::shared_ptr<const perf::CachedRun> cached = cache->find(out.key)) {
+        cache->end_fill(out.key);
+        serve_hit(cached);
+        return out;
+      }
+      try {
+        compute_into(out, source, opts);
+      } catch (...) {
+        // Failed runs are not cached: release the key so a follower can
+        // retry (and fail with ITS OWN structured error, not a stale one).
+        cache->end_fill(out.key);
+        throw;
+      }
+      cache->insert(out.key, perf::CachedRun{out.report_json, out.program,
+                                             out.engine,
+                                             out.result->timings.total_ms});
+      cache->end_fill(out.key);
+      return out;
+    }
+    // Follower: the leader finished (or aborted) -- loop re-probes, and
+    // takes over the fill if the leader's run threw.
+  }
+}
+
+} // namespace al::driver

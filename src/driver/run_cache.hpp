@@ -1,0 +1,62 @@
+// Whole-run cache consult/fill wrapper around driver::run_tool (DESIGN.md
+// section 13). The cache key is a 128-bit content address of everything
+// that determines the answer:
+//
+//   * the CANONICALIZED program source (CRLF folded to LF, trailing
+//     horizontal whitespace stripped per line -- editor noise must not
+//     defeat the cache, real token changes must);
+//   * every ToolOptions field that can change the selected layouts or the
+//     reported provenance: procs, phase probabilities, compiler model
+//     switches, scalar expansion, replication, distribution strategy,
+//     alignment analysis knobs, the FULL MipOptions (budgets change which
+//     fallback answers, branching/warm-start/presolve change provenance
+//     fields the report carries), dominance, and pinned phases;
+//   * the machine-model identity: name, scalar cost parameters, and every
+//     training-set entry (the same source laid out for a different target
+//     is a different answer -- ADHA's (program x machine) cache identity).
+//
+// Deliberately EXCLUDED: observability-only knobs -- threads (bit-identical
+// results by contract), estimator_cache (memoization, not semantics), and
+// the run_cache consult toggle itself. tests/run_cache_test.cpp pins both
+// lists by flipping each option class.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "driver/tool.hpp"
+#include "perf/run_cache.hpp"
+
+namespace al::driver {
+
+/// Content address of (source, options, machine). Pure; safe to call from
+/// any thread.
+[[nodiscard]] perf::RunKey run_cache_key(std::string_view source,
+                                         const ToolOptions& opts);
+
+/// What run_tool_cached produced. Exactly one of two shapes:
+///   * hit  -- `report_json` is the cached compact report; `result` is null
+///             (the pipeline never ran);
+///   * miss -- `result` is the freshly computed ToolResult and
+///             `report_json` its compact schema-versioned report (the bytes
+///             that were just cached, when a cache was consulted).
+struct CachedRunResult {
+  std::unique_ptr<ToolResult> result;
+  std::string report_json;   ///< compact JSON document, no trailing newline
+  bool hit = false;
+  bool consulted = false;    ///< false when cache was null or opted out
+  perf::RunKey key;          ///< valid only when consulted
+  std::string program;       ///< program name (provenance, hit or miss)
+  std::string engine;        ///< selection engine (provenance, hit or miss)
+};
+
+/// Cache-consult/fill wrapper: probes `cache` (when non-null and
+/// opts.run_cache), serves hits without running the pipeline, and
+/// single-flights concurrent misses of the same key so N identical
+/// simultaneous submissions cost one compute. Throws exactly what run_tool
+/// throws; failed runs are never cached (each submitter retries).
+[[nodiscard]] CachedRunResult run_tool_cached(std::string_view source,
+                                              const ToolOptions& opts,
+                                              perf::RunCache* cache);
+
+} // namespace al::driver

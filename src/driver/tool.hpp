@@ -5,6 +5,7 @@
 // all inspectable, as the tool-oriented design demands.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
@@ -57,6 +58,18 @@ struct ToolOptions {
   /// listed here are pinned to the given layout; the tool extends the
   /// layout to the rest of the program.
   std::vector<std::pair<int, layout::Layout>> pinned_phases;
+  /// Consult the whole-run result cache for this run (driver/run_cache;
+  /// CLI --no-run-cache, protocol options.run_cache). Observability-only:
+  /// the flag never changes the answer, so it is NOT part of the cache key.
+  bool run_cache = true;
+};
+
+/// Cache identity of one run, for the JSON report's "run_cache" block.
+/// run_tool_cached fills it; a plain run_tool leaves consulted = false.
+struct RunCacheInfo {
+  bool consulted = false;    ///< a run cache was probed for this run
+  std::uint64_t key_lo = 0;  ///< 128-bit content address (valid when consulted)
+  std::uint64_t key_hi = 0;
 };
 
 /// Wall-clock of each pipeline stage of one run_tool call, plus the
@@ -93,6 +106,7 @@ struct ToolResult {
   /// whatever engine produced it).
   select::VerifyResult verification;
   StageTimings timings;
+  RunCacheInfo run_cache;
 
   ToolResult() = default;
   ToolResult(const ToolResult&) = delete;

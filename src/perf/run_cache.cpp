@@ -1,0 +1,184 @@
+#include "perf/run_cache.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "support/metrics.hpp"
+
+namespace al::perf {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Same round as layout::fingerprint's lanes: one multiply-xorshift per
+// 64-bit word, two unrelated odd multipliers.
+void mix_into(std::uint64_t& h, std::uint64_t v, std::uint64_t mult) {
+  h = (h ^ v) * mult;
+  h ^= h >> 29;
+}
+
+} // namespace
+
+std::string RunKey::hex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof buf, "%016llx.%016llx",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+  return buf;
+}
+
+void RunDigest::mix(std::uint64_t v) {
+  mix_into(lo_, v, 0x9e3779b97f4a7c15ULL);
+  mix_into(hi_, v, 0xc2b2ae3d27d4eb4fULL);
+}
+
+void RunDigest::mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+
+void RunDigest::mix_bytes(std::string_view bytes) {
+  mix(bytes.size());
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (const char c : bytes) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << (filled * 8);
+    if (++filled == 8) {
+      mix(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) mix(word);
+}
+
+RunCache::RunCache(RunCacheConfig config) : config_(config) {
+  const std::size_t shards = config_.shards == 0 ? 1 : config_.shards;
+  config_.shards = shards;
+  shards_ = std::make_unique<Shard[]>(shards);
+  // Per-shard shares of the global caps (rounded up so the sum covers the
+  // cap; the usual sharded-LRU approximation). 0 stays "unbounded".
+  shard_entry_cap_ =
+      config_.max_entries == 0 ? 0 : (config_.max_entries + shards - 1) / shards;
+  shard_byte_cap_ =
+      config_.max_bytes == 0 ? 0 : (config_.max_bytes + shards - 1) / shards;
+}
+
+std::shared_ptr<const CachedRun> RunCache::find(const RunKey& key) {
+  const Clock::time_point t0 = Clock::now();
+  std::shared_ptr<const CachedRun> out;
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard lock(shard.m);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // MRU bump
+      out = it->second->run;
+    }
+  }
+  lookup_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
+  if (out != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void RunCache::insert(const RunKey& key, CachedRun run) {
+  auto entry = std::make_shared<const CachedRun>(std::move(run));
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.m);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place (a benign duplicate fill): swap the payload, keep
+    // the MRU position the re-fill earned.
+    shard.bytes -= it->second->run->bytes();
+    it->second->run = std::move(entry);
+    shard.bytes += it->second->run->bytes();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(entry)});
+    shard.bytes += shard.lru.front().run->bytes();
+    shard.index.emplace(key, shard.lru.begin());
+  }
+  fills_.fetch_add(1, std::memory_order_relaxed);
+  enforce_caps(shard, key);
+}
+
+void RunCache::enforce_caps(Shard& shard, const RunKey& keep) {
+  const auto over = [&] {
+    return (shard_entry_cap_ != 0 && shard.lru.size() > shard_entry_cap_) ||
+           (shard_byte_cap_ != 0 && shard.bytes > shard_byte_cap_);
+  };
+  while (over() && !shard.lru.empty()) {
+    auto victim = std::prev(shard.lru.end());
+    if (victim->key == keep) {
+      // Survivor guarantee: the entry just inserted is never its own
+      // victim, even when it alone exceeds the byte cap.
+      if (shard.lru.size() == 1) break;
+      victim = std::prev(victim);
+    }
+    shard.bytes -= victim->run->bytes();
+    shard.index.erase(victim->key);
+    shard.lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+RunCache::FillRole RunCache::begin_fill(const RunKey& key) {
+  std::unique_lock lock(fill_mutex_);
+  if (in_flight_.insert(key).second) return FillRole::Leader;
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  fill_done_.wait(lock, [&] { return in_flight_.count(key) == 0; });
+  return FillRole::Follower;
+}
+
+void RunCache::end_fill(const RunKey& key) {
+  {
+    std::lock_guard lock(fill_mutex_);
+    in_flight_.erase(key);
+  }
+  fill_done_.notify_all();
+}
+
+RunCacheStats RunCache::stats() const {
+  RunCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.fills = fills_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.single_flight_waits = waits_.load(std::memory_order_relaxed);
+  s.lookup_ns = lookup_ns_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard lock(shard.m);
+    s.entries += shard.lru.size();
+    s.bytes += shard.bytes;
+  }
+  return s;
+}
+
+void RunCache::clear() {
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.m);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+void RunCache::publish_metrics(support::Metrics& metrics) const {
+  const RunCacheStats s = stats();
+  metrics.set_gauge("service.cache_entries", static_cast<double>(s.entries));
+  metrics.set_gauge("service.cache_bytes", static_cast<double>(s.bytes));
+  metrics.set_gauge("service.cache_evictions", static_cast<double>(s.evictions));
+  metrics.set_gauge("service.cache_hit_rate", s.hit_rate());
+  metrics.set_gauge("service.cache_lookup_us", s.mean_lookup_us());
+}
+
+} // namespace al::perf

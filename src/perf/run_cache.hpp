@@ -1,0 +1,188 @@
+// Whole-run result cache (DESIGN.md section 13). The pipeline is a pure
+// function of (program source, semantically-relevant ToolOptions, machine
+// model): rerunning it on an identical triple re-derives an identical
+// schema-versioned report. At service traffic most requests ARE identical
+// triples -- re-submissions of programs the tool already laid out -- so the
+// cache stores the completed compact JSON report keyed by a 128-bit digest
+// of the triple and serves repeats without touching the compute queue.
+//
+// Three pieces:
+//
+//   * RunKey -- the 128-bit content address. Derivation lives in
+//     driver/run_cache (it needs ToolOptions); this module only trusts the
+//     two-lane digest as identity, exactly like the estimator memo trusts
+//     layout::Fingerprint (a wrong answer needs a simultaneous collision in
+//     two independent 64-bit lanes, odds ~2^-120).
+//   * RunCache -- a sharded LRU bounded by BOTH an entry cap and a byte cap
+//     (reports are kilobytes; a byte bound is what actually limits memory).
+//     Per-shard mutexes so 8 service workers probing concurrently do not
+//     serialize on one lock; entries are shared_ptr so an eviction never
+//     invalidates a reader mid-serve.
+//   * Single-flight -- begin_fill/end_fill gate concurrent misses of the
+//     SAME key: one leader computes, followers block until the fill lands
+//     and then re-probe as hits. N identical simultaneous submissions cost
+//     one pipeline run, not N.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace al::support {
+class Metrics;
+}
+
+namespace al::perf {
+
+/// Content address of one run: digest of (canonicalized source, answer-
+/// changing ToolOptions, machine-model identity). Built with RunDigest.
+struct RunKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const RunKey&, const RunKey&) = default;
+
+  /// "0123456789abcdef.fedcba9876543210" -- the form reports print.
+  [[nodiscard]] std::string hex() const;
+};
+
+struct RunKeyHash {
+  std::size_t operator()(const RunKey& k) const {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Two independent multiply-xorshift lanes over a 64-bit word stream -- the
+/// same construction as layout::fingerprint, reused for the run digest.
+class RunDigest {
+public:
+  void mix(std::uint64_t v);
+  void mix_double(double v);
+  /// Hashes the bytes verbatim (length-prefixed, so "ab"+"c" != "a"+"bc").
+  void mix_bytes(std::string_view bytes);
+  [[nodiscard]] RunKey key() const { return RunKey{lo_, hi_}; }
+
+private:
+  std::uint64_t lo_ = 0x8f3a496c12f78c1dULL;
+  std::uint64_t hi_ = 0x6a09e667f3bcc909ULL;
+};
+
+/// One cached run: the completed compact schema-versioned JSON report
+/// (exactly the bytes a cold run serialized, no trailing newline) plus
+/// selection provenance for logs and summaries.
+struct CachedRun {
+  std::string report_json;
+  std::string program;       ///< program name (provenance)
+  std::string engine;        ///< selection engine that produced the layout
+  double compute_ms = 0.0;   ///< the fill run's wall time
+
+  [[nodiscard]] std::size_t bytes() const {
+    return report_json.size() + program.size() + engine.size() + sizeof(*this);
+  }
+};
+
+struct RunCacheConfig {
+  std::size_t max_entries = 1024;        ///< 0 = unbounded
+  std::size_t max_bytes = 64u << 20;     ///< 0 = unbounded (64 MiB default)
+  std::size_t shards = 8;                ///< clamped to >= 1
+};
+
+struct RunCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;               ///< successful insertions
+  std::uint64_t evictions = 0;
+  std::uint64_t single_flight_waits = 0; ///< followers that blocked on a leader
+  std::uint64_t lookup_ns = 0;           ///< summed find() time
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+  /// Mean find() latency in microseconds (0 when nothing was looked up).
+  [[nodiscard]] double mean_lookup_us() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(lookup_ns) / 1e3 / static_cast<double>(total);
+  }
+};
+
+class RunCache {
+public:
+  explicit RunCache(RunCacheConfig config = {});
+
+  RunCache(const RunCache&) = delete;
+  RunCache& operator=(const RunCache&) = delete;
+
+  /// Probes the cache; a hit bumps the entry to MRU. The returned entry
+  /// stays valid even if it is evicted while the caller serializes it.
+  [[nodiscard]] std::shared_ptr<const CachedRun> find(const RunKey& key);
+
+  /// Inserts (or replaces) `run` under `key`, then evicts LRU entries until
+  /// the shard is back under its entry/byte caps. The newest entry always
+  /// survives, even when it alone exceeds the byte cap.
+  void insert(const RunKey& key, CachedRun run);
+
+  /// Single-flight gate for a missed key. Leader: the caller owns the fill
+  /// and MUST call end_fill(key) when done (success or failure). Follower:
+  /// the call blocked until the current leader ended; the caller should
+  /// re-probe with find() (and may become the new leader if the fill failed).
+  enum class FillRole { Leader, Follower };
+  [[nodiscard]] FillRole begin_fill(const RunKey& key);
+  void end_fill(const RunKey& key);
+
+  [[nodiscard]] RunCacheStats stats() const;
+  void clear();
+
+  [[nodiscard]] const RunCacheConfig& config() const { return config_; }
+
+  /// Exports service.cache_* gauges (occupancy, evictions, mean lookup)
+  /// into the registry; the hit/miss counters are incremented live by the
+  /// serving layer so request attribution works.
+  void publish_metrics(support::Metrics& metrics) const;
+
+private:
+  struct Entry {
+    RunKey key;
+    std::shared_ptr<const CachedRun> run;
+  };
+  struct Shard {
+    mutable std::mutex m;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<RunKey, std::list<Entry>::iterator, RunKeyHash> index;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const RunKey& key) const {
+    return shards_[static_cast<std::size_t>(RunKeyHash{}(key)) % config_.shards];
+  }
+  /// Caller holds `shard.m`. Evicts from the LRU tail, sparing `keep`.
+  void enforce_caps(Shard& shard, const RunKey& keep);
+
+  RunCacheConfig config_;
+  std::size_t shard_entry_cap_ = 0;  ///< per-shard share of max_entries (0 = unbounded)
+  std::size_t shard_byte_cap_ = 0;   ///< per-shard share of max_bytes (0 = unbounded)
+  // unique_ptr<[]> rather than vector: Shard holds a mutex and never moves.
+  std::unique_ptr<Shard[]> shards_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> fills_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> waits_{0};
+  mutable std::atomic<std::uint64_t> lookup_ns_{0};
+
+  std::mutex fill_mutex_;
+  std::condition_variable fill_done_;
+  std::unordered_set<RunKey, RunKeyHash> in_flight_;
+};
+
+} // namespace al::perf

@@ -101,8 +101,9 @@ struct Validator {
 bool apply_options(const JsonValue& o, driver::ToolOptions& opts, Validator& v) {
   static constexpr const char* kKnown[] = {
       "procs",           "machine",         "threads",
-      "extended",        "estimator_cache", "scalar_expansion",
-      "replicate_unwritten", "mip_max_nodes", "mip_deadline_ms"};
+      "extended",        "estimator_cache", "run_cache",
+      "scalar_expansion",    "replicate_unwritten",
+      "mip_max_nodes",   "mip_deadline_ms"};
   if (!v.only_keys(o, kKnown, "\"options\"")) return false;
 
   v.int_field(o, "procs", 1, std::numeric_limits<int>::max(), opts.procs);
@@ -121,6 +122,7 @@ bool apply_options(const JsonValue& o, driver::ToolOptions& opts, Validator& v) 
   if (v.bool_field(o, "extended", extended) && extended)
     opts.distribution_strategy = distrib::Strategy::ExtendedExhaustive;
   v.bool_field(o, "estimator_cache", opts.estimator_cache);
+  v.bool_field(o, "run_cache", opts.run_cache);
   v.bool_field(o, "scalar_expansion", opts.scalar_expansion);
   v.bool_field(o, "replicate_unwritten", opts.replicate_unwritten);
   v.long_field(o, "mip_max_nodes", 1, std::numeric_limits<long>::max(),
@@ -255,11 +257,28 @@ std::string ok_response(const Request& request, const driver::ToolResult& result
   support::JsonWriter w(os, /*indent_width=*/-1);
   begin_response(w, request.id, "ok");
   w.kv("latency_ms", latency_ms);
+  w.kv("cache", "off");
   w.key("request_metrics").begin_object();
   for (const support::MetricsScope::Delta& d : counters) w.kv(d.name, d.count);
   w.end_object();
   w.key("report");
   driver::write_json_report(result, w);
+  w.end_object();
+  return os.str();
+}
+
+std::string ok_response(const Request& request, std::string_view report_json,
+                        std::string_view cache, double latency_ms,
+                        const std::vector<support::MetricsScope::Delta>& counters) {
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent_width=*/-1);
+  begin_response(w, request.id, "ok");
+  w.kv("latency_ms", latency_ms);
+  w.kv("cache", cache);
+  w.key("request_metrics").begin_object();
+  for (const support::MetricsScope::Delta& d : counters) w.kv(d.name, d.count);
+  w.end_object();
+  w.key("report").raw_value(report_json);
   w.end_object();
   return os.str();
 }

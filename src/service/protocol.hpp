@@ -13,7 +13,7 @@
 //    "delay_ms": 50,                    // optional think-time (load tests)
 //    "options": {                       // optional ToolOptions overrides
 //      "procs": 16, "machine": "ipsc860" | "paragon", "threads": 1,
-//      "extended": false, "estimator_cache": true,
+//      "extended": false, "estimator_cache": true, "run_cache": true,
 //      "scalar_expansion": false, "replicate_unwritten": false,
 //      "mip_max_nodes": 100000, "mip_deadline_ms": 2000}}
 //
@@ -23,11 +23,12 @@
 // the CLI applies), and oversized lines all produce a structured
 // "bad_request" response instead of killing the server.
 //
-// Response (v1): status "ok" (embeds the full schema-v2 run report under
-// "report" plus this request's own counter deltas under "request_metrics"),
-// "infeasible" (the problem provably has no layout; the CLI's exit-2
-// distinction), "rejected" (queue full / admission deadline / shutdown --
-// the request was never run), or "error" (kind "bad_request" | "tool_error").
+// Response (v1): status "ok" (embeds the full schema-v3 run report under
+// "report", a "cache" disposition -- "hit" | "miss" | "off" -- plus this
+// request's own counter deltas under "request_metrics"), "infeasible" (the
+// problem provably has no layout; the CLI's exit-2 distinction), "rejected"
+// (queue full / admission deadline / shutdown -- the request was never run),
+// or "error" (kind "bad_request" | "tool_error").
 #pragma once
 
 #include <string>
@@ -78,10 +79,20 @@ struct ParsedRequest {
 /// Returns false and sets `error` when the file cannot be read.
 [[nodiscard]] bool load_source(Request& request, std::string& error);
 
-/// Success: embeds the full schema-v2 run report plus the request's own
-/// counter deltas (from the worker's MetricsScope) and its latency.
+/// Success: embeds the full schema-v3 run report plus the request's own
+/// counter deltas (from the worker's MetricsScope) and its latency. This
+/// overload serializes `result` itself; the envelope says "cache": "off".
 [[nodiscard]] std::string ok_response(
     const Request& request, const driver::ToolResult& result, double latency_ms,
+    const std::vector<support::MetricsScope::Delta>& counters);
+
+/// Success from a PRE-SERIALIZED compact report (the run-cache hot path):
+/// `report_json` is spliced into the envelope verbatim, so a cache hit
+/// serves byte-identical report bytes to the run that filled the entry.
+/// `cache` is the disposition shown to the client: "hit", "miss", or "off".
+[[nodiscard]] std::string ok_response(
+    const Request& request, std::string_view report_json, std::string_view cache,
+    double latency_ms,
     const std::vector<support::MetricsScope::Delta>& counters);
 
 /// "No layout exists" -- the InfeasibleError / CLI-exit-2 case.

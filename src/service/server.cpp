@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <cstring>
 #include <istream>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
 
+#include "driver/run_cache.hpp"
 #include "support/diagnostics.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
@@ -47,6 +49,12 @@ double percentile(const std::vector<double>& sorted, double p) {
 /// One accepted TCP connection. Shared by the reader thread and every
 /// in-flight job's respond closure, so the fd stays open until the last
 /// response for this connection was written (or failed with EPIPE).
+///
+/// The protocol is pipelined: the reader assigns each parsed line a
+/// per-connection sequence number at PARSE time, and write_ordered releases
+/// completed responses strictly in that order -- a response that finishes
+/// ahead of an earlier request is held until the gap closes. Clients can
+/// therefore stream N requests and match the N response lines positionally.
 struct Connection {
   explicit Connection(int fd) : fd(fd) {}
   ~Connection() { ::close(fd); }
@@ -54,14 +62,39 @@ struct Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Writes `line` (which already ends in '\n') atomically w.r.t. other
-  /// responses on this connection. A dead peer is not an error for the
-  /// server: the write is simply dropped.
-  void write_line(const std::string& line) {
+  /// Completes the response for request `seq` on this connection. If it is
+  /// the next one due, sends it plus every consecutive held successor in
+  /// ONE coalesced write; otherwise parks it until the gap closes. A dead
+  /// peer is not an error for the server: writes are simply dropped (order
+  /// bookkeeping still advances so later completions do not pile up).
+  void write_ordered(std::uint64_t seq, const std::string& line) {
     std::lock_guard lock(write_mutex);
+    if (seq != next_send) {
+      held.emplace(seq, line);
+      return;
+    }
+    outbuf.clear();
+    outbuf += line;
+    ++next_send;
+    for (auto it = held.find(next_send); it != held.end();
+         it = held.find(next_send)) {
+      outbuf += it->second;
+      held.erase(it);
+      ++next_send;
+    }
+    send_all(outbuf);
+  }
+
+  int fd;
+  std::mutex write_mutex;
+  /// Reader-thread state: sequence number handed to the next parsed line.
+  std::uint64_t next_parse = 0;
+
+private:
+  void send_all(const std::string& bytes) {
     std::size_t off = 0;
-    while (off < line.size()) {
-      const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
                                MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -71,8 +104,10 @@ struct Connection {
     }
   }
 
-  int fd;
-  std::mutex write_mutex;
+  /// Guarded by write_mutex.
+  std::uint64_t next_send = 0;
+  std::map<std::uint64_t, std::string> held;
+  std::string outbuf;  ///< reused coalescing buffer (allocate once, not per line)
 };
 
 } // namespace
@@ -97,6 +132,25 @@ std::string ServiceSummary::json() const {
   w.kv("p99", p99_ms);
   w.kv("max", max_ms);
   w.end_object();
+  w.key("cache").begin_object();
+  w.kv("hits", cache_hits);
+  w.kv("misses", cache_misses);
+  const std::uint64_t consulted = cache_hits + cache_misses;
+  w.kv("hit_rate", consulted == 0
+                       ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(consulted));
+  w.key("hit_latency_ms").begin_object();
+  w.kv("p50", hit_p50_ms);
+  w.kv("p95", hit_p95_ms);
+  w.kv("p99", hit_p99_ms);
+  w.end_object();
+  w.key("miss_latency_ms").begin_object();
+  w.kv("p50", miss_p50_ms);
+  w.kv("p95", miss_p95_ms);
+  w.kv("p99", miss_p99_ms);
+  w.end_object();
+  w.end_object();
   w.kv("wall_ms", wall_ms);
   const double executed =
       static_cast<double>(ok + infeasible) + static_cast<double>(errors);
@@ -112,6 +166,7 @@ Server::Server(const ServerOptions& opts)
   opts_.workers = opts_.workers > 0 ? opts_.workers
                                     : support::ThreadPool::default_threads();
   stats_.workers = opts_.workers;
+  if (opts_.run_cache) cache_ = std::make_unique<perf::RunCache>(opts_.cache);
 }
 
 Server::~Server() {
@@ -126,7 +181,7 @@ void Server::request_stop() {
   stop_.store(true, std::memory_order_relaxed);
 }
 
-void Server::record(Outcome outcome, double latency_ms) {
+void Server::record(Outcome outcome, double latency_ms, CacheSide side) {
   support::Metrics& m = support::Metrics::instance();
   {
     std::lock_guard lock(stats_mutex_);
@@ -137,6 +192,17 @@ void Server::record(Outcome outcome, double latency_ms) {
       case Outcome::Error: ++stats_.errors; break;
     }
     if (latency_ms >= 0.0) latencies_ms_.push_back(latency_ms);
+    switch (side) {
+      case CacheSide::None: break;
+      case CacheSide::Hit:
+        ++stats_.cache_hits;
+        if (latency_ms >= 0.0) hit_latencies_ms_.push_back(latency_ms);
+        break;
+      case CacheSide::Miss:
+        ++stats_.cache_misses;
+        if (latency_ms >= 0.0) miss_latencies_ms_.push_back(latency_ms);
+        break;
+    }
   }
   switch (outcome) {
     case Outcome::Ok: m.counter("service.ok").add(); break;
@@ -144,6 +210,10 @@ void Server::record(Outcome outcome, double latency_ms) {
     case Outcome::Rejected: m.counter("service.rejected").add(); break;
     case Outcome::Error: m.counter("service.errors").add(); break;
   }
+  // Per-REQUEST disposition counters (one increment per response, unlike
+  // the probe-level stats inside RunCache -- a queued miss probes twice).
+  if (side == CacheSide::Hit) m.counter("service.cache_hits").add();
+  if (side == CacheSide::Miss) m.counter("service.cache_misses").add();
 }
 
 std::string Server::execute(Job& job) {
@@ -163,11 +233,18 @@ std::string Server::execute(Job& job) {
   support::MetricsScope scope;
   const Clock::time_point t0 = Clock::now();
   try {
-    const std::unique_ptr<driver::ToolResult> result =
-        driver::run_tool(req.source, req.options);
+    // Consult-or-fill: a repeat that slipped past the admission probe (or
+    // was filled by a concurrent worker while this one queued) is still a
+    // hit here; identical concurrent misses are single-flighted.
+    const driver::CachedRunResult r =
+        driver::run_tool_cached(req.source, req.options, cache_.get());
     const double latency = ms_since(t0);
-    record(Outcome::Ok, latency);
-    return ok_response(req, *result, latency, scope.deltas());
+    const CacheSide side = !r.consulted ? CacheSide::None
+                           : r.hit      ? CacheSide::Hit
+                                        : CacheSide::Miss;
+    record(Outcome::Ok, latency, side);
+    const char* disposition = !r.consulted ? "off" : r.hit ? "hit" : "miss";
+    return ok_response(req, r.report_json, disposition, latency, scope.deltas());
   } catch (const InfeasibleError& e) {
     const double latency = ms_since(t0);
     record(Outcome::Infeasible, latency);
@@ -177,6 +254,25 @@ std::string Server::execute(Job& job) {
     record(Outcome::Error, latency);
     return error_response(req.id, "tool_error", e.what());
   }
+}
+
+bool Server::try_serve_from_cache(const Request& req, std::string& response) {
+  // Eligibility: the cache must be on (server AND request), the source must
+  // already be in hand (file reads belong on a worker, not the reader
+  // thread), and think-time must be honoured (delay_ms models a slow
+  // client, which a cache must not optimize away).
+  if (cache_ == nullptr || !req.options.run_cache || !req.file.empty() ||
+      req.delay_ms > 0) {
+    return false;
+  }
+  const Clock::time_point t0 = Clock::now();
+  const perf::RunKey key = driver::run_cache_key(req.source, req.options);
+  const std::shared_ptr<const perf::CachedRun> hit = cache_->find(key);
+  if (hit == nullptr) return false;
+  const double latency = ms_since(t0);
+  record(Outcome::Ok, latency, CacheSide::Hit);
+  response = ok_response(req, hit->report_json, "hit", latency, {});
+  return true;
 }
 
 void Server::handle_popped(Job& job) {
@@ -245,6 +341,13 @@ int Server::run_batch(std::istream& in, std::ostream& out) {
     if (!parsed.ok) {
       record(Outcome::Error, -1.0);
       respond(error_response("", "bad_request", parsed.error));
+      continue;
+    }
+    // Cache short-circuit BEFORE admission: a resident repeat never
+    // occupies a queue slot or a worker.
+    std::string cached_line;
+    if (try_serve_from_cache(parsed.request, cached_line)) {
+      respond(cached_line);
       continue;
     }
     Job job;
@@ -361,26 +464,40 @@ void Server::connection_loop(int fd) {
         std::lock_guard lock(stats_mutex_);
         ++stats_.received;
       }
+      // The line's position on this connection, fixed at parse time: every
+      // response path below must answer under this sequence number so the
+      // pipelined client can match responses to requests by position.
+      const std::uint64_t seq = conn->next_parse++;
       ParsedRequest parsed = parse_request(line, opts_.max_request_bytes);
       if (!parsed.ok) {
         record(Outcome::Error, -1.0);
-        conn->write_line(error_response("", "bad_request", parsed.error));
+        conn->write_ordered(seq, error_response("", "bad_request", parsed.error));
+        continue;
+      }
+      // Cache short-circuit BEFORE admission: a resident repeat is answered
+      // from this reader thread -- no queue slot, no worker, no competition
+      // with computing requests.
+      std::string cached_line;
+      if (try_serve_from_cache(parsed.request, cached_line)) {
+        conn->write_ordered(seq, cached_line);
         continue;
       }
       Job job;
       const std::string id = parsed.request.id;
       job.request = std::move(parsed.request);
-      job.respond = [conn](const std::string& r) { conn->write_line(r); };
+      job.respond = [conn, seq](const std::string& r) {
+        conn->write_ordered(seq, r);
+      };
       switch (queue_.try_push(std::move(job))) {
         case RequestQueue::Push::Ok: break;
         case RequestQueue::Push::Full:
           record(Outcome::Rejected, -1.0);
           m.counter("service.queue_full").add();
-          conn->write_line(rejected_response(id, "queue full"));
+          conn->write_ordered(seq, rejected_response(id, "queue full"));
           break;
         case RequestQueue::Push::Closed:
           record(Outcome::Rejected, -1.0);
-          conn->write_line(rejected_response(id, "shutting down"));
+          conn->write_ordered(seq, rejected_response(id, "shutting down"));
           break;
       }
     }
@@ -390,10 +507,12 @@ void Server::connection_loop(int fd) {
       // An unframed line this large can only be abuse or a broken client;
       // the framing is unrecoverable, so answer once and hang up.
       record(Outcome::Error, -1.0);
-      conn->write_line(error_response(
-          "", "bad_request",
-          "request line exceeds " + std::to_string(opts_.max_request_bytes) +
-              " bytes"));
+      conn->write_ordered(
+          conn->next_parse++,
+          error_response("", "bad_request",
+                         "request line exceeds " +
+                             std::to_string(opts_.max_request_bytes) +
+                             " bytes"));
       break;
     }
   }
@@ -442,6 +561,16 @@ ServiceSummary Server::summary() const {
   s.p95_ms = percentile(sorted, 95.0);
   s.p99_ms = percentile(sorted, 99.0);
   s.max_ms = sorted.empty() ? 0.0 : sorted.back();
+  sorted = hit_latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.hit_p50_ms = percentile(sorted, 50.0);
+  s.hit_p95_ms = percentile(sorted, 95.0);
+  s.hit_p99_ms = percentile(sorted, 99.0);
+  sorted = miss_latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.miss_p50_ms = percentile(sorted, 50.0);
+  s.miss_p95_ms = percentile(sorted, 95.0);
+  s.miss_p99_ms = percentile(sorted, 99.0);
   return s;
 }
 
@@ -453,6 +582,9 @@ void Server::publish_metrics() const {
   m.set_gauge("service.latency_p99_ms", s.p99_ms);
   m.set_gauge("service.latency_max_ms", s.max_ms);
   m.set_gauge("service.wall_ms", s.wall_ms);
+  // service.cache_hits/misses counters are incremented per response in
+  // record(); this adds the occupancy/eviction/lookup gauges.
+  if (cache_ != nullptr) cache_->publish_metrics(m);
 }
 
 } // namespace al::service

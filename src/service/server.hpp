@@ -1,9 +1,10 @@
 // Layout-as-a-service (DESIGN.md section 11): the serving layer that turns
 // the per-program pipeline into a request-serving subsystem. One Server
-// owns a bounded RequestQueue and N worker threads; each worker pops a
-// request, runs driver::run_tool under the request's own budgets inside a
-// MetricsScope, and answers with one NDJSON response line (the schema-v2
-// run report on success, the infeasible/exit-2 distinction, or a
+// owns a bounded RequestQueue, N worker threads, and (unless disabled) a
+// whole-run result cache (DESIGN.md section 13); each worker pops a
+// request, runs driver::run_tool_cached under the request's own budgets
+// inside a MetricsScope, and answers with one NDJSON response line (the
+// schema-v3 run report on success, the infeasible/exit-2 distinction, or a
 // structured error). Two front ends share that engine:
 //
 //   * run_batch(in, out) -- same-process batch mode: reads request lines
@@ -12,7 +13,19 @@
 //   * start()/wait()     -- a POSIX TCP daemon on the loopback interface:
 //     an acceptor thread plus one reader thread per connection; admission
 //     uses try_push, so a saturated queue answers "rejected: queue full"
-//     immediately instead of stalling the socket.
+//     immediately instead of stalling the socket. The protocol is
+//     PIPELINED: a client may send any number of requests back to back on
+//     one connection, and the responses come back IN REQUEST ORDER per
+//     connection (out-of-order completions are held and released in
+//     sequence), so responses match requests positionally -- no id needed.
+//
+// Cache placement: both front ends probe the run cache at ADMISSION, before
+// the queue -- a repeat request is answered from the reader thread without
+// ever contending for a worker, which is what makes the hit path O(lookup +
+// one write) instead of O(queue wait + pipeline). Misses (and file-based or
+// think-time requests) take the queue; the worker consults the cache again
+// through run_tool_cached, which also single-flights concurrent identical
+// misses so N simultaneous submissions of one program cost one compute.
 //
 // Lifecycle: request_stop() (the SIGINT/SIGTERM path -- handlers set a
 // flag and call it from normal context) stops the listener, lets readers
@@ -26,11 +39,13 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "perf/run_cache.hpp"
 #include "service/queue.hpp"
 
 namespace al::service {
@@ -43,20 +58,33 @@ struct ServerOptions {
   int port = 0;                    ///< daemon listen port; 0 = ephemeral
   long grace_ms = 5'000;           ///< drain budget after request_stop()
   std::size_t max_request_bytes = kMaxRequestBytes;
+  bool run_cache = true;           ///< whole-run result cache (--no-run-cache)
+  perf::RunCacheConfig cache;      ///< entry/byte caps + shard count
 };
 
 /// End-of-life report of one Server. Latency quantiles cover EXECUTED
-/// requests (ok/infeasible/tool-error); rejections never ran.
+/// requests (ok/infeasible/tool-error); rejections never ran. The hit_*/
+/// miss_* quantiles split the ok latencies by run-cache disposition, so a
+/// load test can report the two populations separately (hits are orders of
+/// magnitude faster and would otherwise just drag p50 down invisibly).
 struct ServiceSummary {
   std::uint64_t received = 0;   ///< lines admitted to parsing
   std::uint64_t ok = 0;
   std::uint64_t infeasible = 0;
   std::uint64_t rejected = 0;   ///< queue full / deadline / shutdown
   std::uint64_t errors = 0;     ///< bad_request + tool_error
+  std::uint64_t cache_hits = 0;   ///< ok responses served from the run cache
+  std::uint64_t cache_misses = 0; ///< ok responses that computed (cache on)
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  double hit_p50_ms = 0.0;
+  double hit_p95_ms = 0.0;
+  double hit_p99_ms = 0.0;
+  double miss_p50_ms = 0.0;
+  double miss_p95_ms = 0.0;
+  double miss_p99_ms = 0.0;
   double wall_ms = 0.0;
   int workers = 0;
 
@@ -102,8 +130,15 @@ public:
   /// Valid after run_batch / wait() returned.
   [[nodiscard]] ServiceSummary summary() const;
 
+  /// The run cache (null when the server was built with run_cache=false).
+  /// Exposed for tests and for the serve CLI's shutdown report.
+  [[nodiscard]] perf::RunCache* run_cache() { return cache_.get(); }
+
 private:
   enum class Outcome { Ok, Infeasible, Rejected, Error };
+  /// Run-cache disposition of an executed request (None = cache off or the
+  /// request opted out; the envelope's "cache" field says "off").
+  enum class CacheSide { None, Hit, Miss };
 
   void worker_loop();
   void acceptor_loop();
@@ -111,11 +146,18 @@ private:
   /// Runs one admitted request end to end and returns its response line.
   [[nodiscard]] std::string execute(Job& job);
   void handle_popped(Job& job);
-  void record(Outcome outcome, double latency_ms);
+  /// Admission-time cache probe: when `req` is eligible (inline source, no
+  /// think-time, cache on) and its key is resident, fills `response` with
+  /// the complete ok line and returns true -- the request never queues.
+  [[nodiscard]] bool try_serve_from_cache(const Request& req,
+                                          std::string& response);
+  void record(Outcome outcome, double latency_ms,
+              CacheSide side = CacheSide::None);
   void publish_metrics() const;
 
   ServerOptions opts_;
   RequestQueue queue_;
+  std::unique_ptr<perf::RunCache> cache_;
   std::atomic<bool> stop_{false};
   /// Set when the shutdown grace expired: workers answer remaining queued
   /// jobs with rejections instead of running them.
@@ -130,6 +172,8 @@ private:
 
   mutable std::mutex stats_mutex_;
   std::vector<double> latencies_ms_;
+  std::vector<double> hit_latencies_ms_;   ///< ok + served from cache
+  std::vector<double> miss_latencies_ms_;  ///< ok + computed (cache on)
   ServiceSummary stats_;
   std::chrono::steady_clock::time_point started_at_{};
 };

@@ -69,6 +69,17 @@ public:
   }
   JsonWriter& null() { return raw("null"); }
 
+  /// Splices `json` -- which MUST already be a complete serialized JSON
+  /// value -- verbatim where a value is expected. This is how the service
+  /// re-serves a cached report: the stored bytes drop into the response
+  /// envelope without a parse/re-serialize round trip (and therefore
+  /// byte-identical to the run that produced them).
+  JsonWriter& raw_value(std::string_view json) {
+    separate(/*is_key=*/false);
+    os_ << json;
+    return *this;
+  }
+
   template <class T>
   JsonWriter& kv(std::string_view k, T v) {
     key(k);

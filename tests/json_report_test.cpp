@@ -178,7 +178,7 @@ TEST(JsonReport, SchemaAndRequiredSections) {
   const std::string doc = json_report(*r);
   ASSERT_TRUE(MiniJsonParser::valid(doc)) << doc.substr(0, 400);
   EXPECT_NE(doc.find("\"schema\": \"autolayout.run\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 3"), std::string::npos);
   // Stage spans.
   for (const char* key :
        {"\"frontend_ms\"", "\"pcfg_ms\"", "\"alignment_ms\"", "\"spaces_ms\"",
@@ -206,6 +206,10 @@ TEST(JsonReport, SchemaAndRequiredSections) {
         "\"alignment_ilp\"", "\"greedy_fallbacks\""}) {
     EXPECT_NE(doc.find(key), std::string::npos) << key;
   }
+  // v3: the run-cache identity block. A plain run_tool never consulted a
+  // cache, so the block says so and carries no key.
+  EXPECT_NE(doc.find("\"run_cache\""), std::string::npos);
+  EXPECT_NE(doc.find("\"consulted\": false"), std::string::npos);
 }
 
 // A starved node budget must still yield a well-formed v2 document that

@@ -143,6 +143,20 @@ TEST(Protocol, AppliesOptionOverrides) {
   EXPECT_EQ(p.request.delay_ms, 5);
 }
 
+TEST(Protocol, ParsesRunCacheOptOut) {
+  // Default: requests are cacheable.
+  EXPECT_TRUE(parse_request(minimal_request()).request.options.run_cache);
+  const ParsedRequest p =
+      parse_request(minimal_request(",\"options\":{\"run_cache\":false}"));
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_FALSE(p.request.options.run_cache);
+  // Strictly typed: a non-bool is a structured parse error, not a default.
+  EXPECT_FALSE(
+      parse_request(minimal_request(",\"options\":{\"run_cache\":1}")).ok);
+  EXPECT_FALSE(
+      parse_request(minimal_request(",\"options\":{\"run_cache\":\"no\"}")).ok);
+}
+
 TEST(Protocol, RejectsMalformedJson) {
   const ParsedRequest p = parse_request("{\"schema\": oops}");
   ASSERT_FALSE(p.ok);
@@ -256,7 +270,7 @@ TEST(Protocol, ErrorAndRejectionResponsesAreSingleLine) {
   EXPECT_EQ(parse_ok(inf).find("status")->as_string(), "infeasible");
 }
 
-TEST(Protocol, OkResponseEmbedsSchemaV2Report) {
+TEST(Protocol, OkResponseEmbedsSchemaV3Report) {
   corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
   Request req;
   req.id = "ok1";
@@ -277,7 +291,7 @@ TEST(Protocol, OkResponseEmbedsSchemaV2Report) {
   const JsonValue* report = doc.find("report");
   ASSERT_NE(report, nullptr);
   EXPECT_EQ(report->find("schema")->as_string(), "autolayout.run");
-  EXPECT_EQ(report->find("schema_version")->number_lexeme(), "2");
+  EXPECT_EQ(report->find("schema_version")->number_lexeme(), "3");
   ASSERT_NE(report->find("phases"), nullptr);
   EXPECT_EQ(report->find("phases")->items().size(),
             static_cast<std::size_t>(result->pcfg.num_phases()));

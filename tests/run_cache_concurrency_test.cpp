@@ -1,0 +1,156 @@
+// Run-cache concurrency tests (DESIGN.md section 13), run under
+// -DAL_SANITIZE=thread via the "tsan" ctest label: N simultaneous
+// submissions of the SAME (source, options, machine) triple must cost
+// exactly ONE pipeline compute -- the single-flight guarantee -- whether the
+// callers race on run_tool_cached directly or arrive as identical service
+// requests fanned across 8 workers.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "driver/run_cache.hpp"
+#include "driver/tool.hpp"
+#include "perf/run_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+#include "support/metrics.hpp"
+
+namespace al {
+namespace {
+
+using support::JsonValue;
+
+std::string adi_source() {
+  return corpus::source_for(
+      corpus::TestCase{"adi", 24, corpus::Dtype::DoublePrecision, 4});
+}
+
+// Eight threads release from a barrier into run_tool_cached with one shared
+// cache and identical inputs: exactly one runs the pipeline (the "tool.runs"
+// counter moves by 1), the other seven are served the leader's bytes.
+TEST(RunCacheConcurrency, EightRacingCallersOneCompute) {
+  const std::string src = adi_source();
+  driver::ToolOptions opts;
+  opts.procs = 4;
+  opts.threads = 1;
+  perf::RunCache cache{perf::RunCacheConfig{}};
+
+  support::Metrics& metrics = support::Metrics::instance();
+  const std::uint64_t runs_before = metrics.counter("tool.runs").value();
+
+  constexpr int kThreads = 8;
+  std::vector<driver::CachedRunResult> results(kThreads);
+  {
+    std::barrier start(kThreads);
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        start.arrive_and_wait();
+        results[static_cast<std::size_t>(i)] =
+            driver::run_tool_cached(src, opts, &cache);
+      });
+    }
+  }
+
+  EXPECT_EQ(metrics.counter("tool.runs").value() - runs_before, 1u)
+      << "single-flight must collapse 8 identical submissions to 1 compute";
+
+  int computed = 0;
+  for (const driver::CachedRunResult& r : results) {
+    EXPECT_TRUE(r.consulted);
+    EXPECT_EQ(r.report_json, results[0].report_json)
+        << "every caller must see the same bytes";
+    EXPECT_FALSE(r.report_json.empty());
+    if (r.result != nullptr) {
+      ++computed;
+      EXPECT_FALSE(r.hit);
+    } else {
+      EXPECT_TRUE(r.hit);
+    }
+  }
+  EXPECT_EQ(computed, 1) << "exactly one caller should own the pipeline run";
+
+  const perf::RunCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.fills, 1u);
+  EXPECT_EQ(stats.hits, 7u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+// The same property through the serving layer: 8 identical requests, 8
+// workers. The admission fast path and the worker-side consult may race
+// freely; the invariant is one compute, 1 miss-shaped response, 7
+// hit-shaped responses, and identical reports.
+TEST(RunCacheConcurrency, BatchOfIdenticalRequestsSingleCompute) {
+  const corpus::TestCase c{"adi", 24, corpus::Dtype::DoublePrecision, 4};
+  std::ostringstream req;
+  for (int i = 0; i < 8; ++i) {
+    support::JsonWriter w(req, /*indent_width=*/-1);
+    w.begin_object();
+    w.kv("schema", service::kRequestSchema);
+    w.kv("schema_version", service::kProtocolVersion);
+    w.kv("id", "r" + std::to_string(i));
+    w.kv("source", corpus::source_for(c));
+    w.key("options").begin_object();
+    w.kv("procs", c.procs);
+    w.end_object();
+    w.end_object();
+  }
+
+  support::Metrics& metrics = support::Metrics::instance();
+  const std::uint64_t runs_before = metrics.counter("tool.runs").value();
+
+  service::ServerOptions opts;
+  opts.workers = 8;
+  service::Server server(opts);
+  std::istringstream in(req.str());
+  std::ostringstream out;
+  ASSERT_EQ(server.run_batch(in, out), 0);
+
+  EXPECT_EQ(metrics.counter("tool.runs").value() - runs_before, 1u);
+
+  std::set<std::string> ids;
+  std::set<std::string> reports;
+  int hits = 0;
+  int misses = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(line, doc, error)) << error << "\n" << line;
+    EXPECT_EQ(doc.find("status")->as_string(), "ok");
+    ids.insert(doc.find("id")->as_string());
+    const std::string cache = doc.find("cache")->as_string();
+    if (cache == "hit") ++hits;
+    if (cache == "miss") ++misses;
+    // "report" is the last response field and hit responses splice the
+    // cached bytes verbatim, so the raw substring comparison is exact.
+    const std::string marker = "\"report\": ";
+    const std::size_t at = line.find(marker);
+    ASSERT_NE(at, std::string::npos);
+    reports.insert(line.substr(at + marker.size(),
+                               line.size() - (at + marker.size()) - 1));
+  }
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(misses, 1);
+  EXPECT_EQ(hits, 7);
+  EXPECT_EQ(reports.size(), 1u)
+      << "hit responses must embed the same report as the computed one";
+
+  const service::ServiceSummary summary = server.summary();
+  EXPECT_EQ(summary.cache_hits, 7u);
+  EXPECT_EQ(summary.cache_misses, 1u);
+}
+
+} // namespace
+} // namespace al

@@ -1,0 +1,339 @@
+// Whole-run result cache tests (DESIGN.md section 13): the 128-bit cache
+// key moves with every answer-changing input class and ignores the
+// observability-only knobs; source canonicalization absorbs editor/transport
+// whitespace noise without absorbing token changes; the sharded LRU evicts
+// in recency order under both the entry and the byte cap (newest entry
+// always survives); and a cache hit re-serves the EXACT report bytes a cold
+// run serialized, across the whole corpus.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "corpus/corpus.hpp"
+#include "driver/run_cache.hpp"
+#include "driver/tool.hpp"
+#include "layout/layout.hpp"
+#include "machine/training_set.hpp"
+#include "perf/run_cache.hpp"
+
+namespace al::driver {
+namespace {
+
+const char* kSource = "      PROGRAM T\n"
+                      "      REAL A(64,64), B(64,64)\n"
+                      "      DO 10 J = 2, 63\n"
+                      "      DO 10 I = 2, 63\n"
+                      "      A(I,J) = B(I,J) + B(I-1,J)\n"
+                      "   10 CONTINUE\n"
+                      "      END\n";
+
+ToolOptions base_options() {
+  ToolOptions opts;
+  opts.procs = 4;
+  opts.threads = 1;
+  return opts;
+}
+
+perf::RunKey key_of(const ToolOptions& opts, std::string_view src = kSource) {
+  return run_cache_key(src, opts);
+}
+
+// --------------------------------------------------------------------------
+// Key identity: every answer-changing option class moves the key.
+
+TEST(RunCacheKey, StableAcrossCalls) {
+  const ToolOptions opts = base_options();
+  EXPECT_EQ(key_of(opts), key_of(opts));
+  EXPECT_EQ(key_of(opts).hex(), key_of(opts).hex());
+}
+
+TEST(RunCacheKey, SourceChangesKey) {
+  const ToolOptions opts = base_options();
+  const perf::RunKey base = key_of(opts);
+  EXPECT_NE(base, key_of(opts, "      PROGRAM T\n      END\n"));
+  // Interior whitespace is part of the token stream as far as the key is
+  // concerned -- only TRAILING whitespace is canonicalized away.
+  EXPECT_NE(base, key_of(opts, "      PROGRAM  T\n"
+                               "      REAL A(64,64), B(64,64)\n"
+                               "      DO 10 J = 2, 63\n"
+                               "      DO 10 I = 2, 63\n"
+                               "      A(I,J) = B(I,J) + B(I-1,J)\n"
+                               "   10 CONTINUE\n"
+                               "      END\n"));
+}
+
+TEST(RunCacheKey, EveryAnswerChangingOptionClassMovesTheKey) {
+  const ToolOptions base = base_options();
+  const perf::RunKey k0 = key_of(base);
+  auto differs = [&](auto&& mutate, const char* what) {
+    ToolOptions opts = base_options();
+    mutate(opts);
+    EXPECT_NE(k0, key_of(opts)) << what;
+  };
+  differs([](ToolOptions& o) { o.procs = 8; }, "procs");
+  differs([](ToolOptions& o) { o.machine = machine::make_paragon(); },
+          "machine model");
+  differs([](ToolOptions& o) { o.phase.default_branch_probability = 0.25; },
+          "phase.default_branch_probability");
+  differs([](ToolOptions& o) { o.phase.use_annotated_probabilities = false; },
+          "phase.use_annotated_probabilities");
+  differs([](ToolOptions& o) {
+    o.compiler.message_vectorization = !o.compiler.message_vectorization;
+  }, "compiler.message_vectorization");
+  differs([](ToolOptions& o) {
+    o.compiler.message_coalescing = !o.compiler.message_coalescing;
+  }, "compiler.message_coalescing");
+  differs([](ToolOptions& o) {
+    o.compiler.coarse_grain_pipelining = !o.compiler.coarse_grain_pipelining;
+  }, "compiler.coarse_grain_pipelining");
+  differs([](ToolOptions& o) {
+    o.compiler.loop_interchange = !o.compiler.loop_interchange;
+  }, "compiler.loop_interchange");
+  differs([](ToolOptions& o) { o.scalar_expansion = true; }, "scalar_expansion");
+  differs([](ToolOptions& o) { o.replicate_unwritten = true; },
+          "replicate_unwritten");
+  differs([](ToolOptions& o) { o.dominance = false; }, "dominance");
+  differs([](ToolOptions& o) {
+    o.distribution_strategy = distrib::Strategy::ExtendedExhaustive;
+  }, "distribution_strategy");
+  differs([](ToolOptions& o) {
+    o.alignment.scale_by_frequency = !o.alignment.scale_by_frequency;
+  }, "alignment.scale_by_frequency");
+  differs([](ToolOptions& o) { o.alignment.import.dominance_margin *= 2.0; },
+          "alignment.import.dominance_margin");
+  differs([](ToolOptions& o) { o.mip.int_tol = 1e-4; }, "mip.int_tol");
+  differs([](ToolOptions& o) { o.mip.max_nodes = 7; }, "mip.max_nodes");
+  differs([](ToolOptions& o) { o.mip.max_lp_iterations = 9; },
+          "mip.max_lp_iterations");
+  differs([](ToolOptions& o) { o.mip.deadline_ms = 123.0; }, "mip.deadline_ms");
+  differs([](ToolOptions& o) { o.mip.warm_start = false; }, "mip.warm_start");
+  differs([](ToolOptions& o) { o.mip.presolve = false; }, "mip.presolve");
+  differs([](ToolOptions& o) {
+    o.mip.branching = ilp::Branching::MostFractional;
+  }, "mip.branching");
+  differs([](ToolOptions& o) { o.mip.warm_pivot_budget = 11; },
+          "mip.warm_pivot_budget");
+  differs([](ToolOptions& o) {
+    o.pinned_phases.emplace_back(0, layout::Layout{});
+  }, "pinned_phases");
+}
+
+// The bool packs in the key derivation must not let two DIFFERENT flag
+// combinations cancel out: flipping two packed bits together still moves
+// the key.
+TEST(RunCacheKey, PackedBoolsAreIndependent) {
+  ToolOptions a = base_options();
+  a.scalar_expansion = true;
+  ToolOptions b = base_options();
+  b.replicate_unwritten = true;
+  ToolOptions both = base_options();
+  both.scalar_expansion = true;
+  both.replicate_unwritten = true;
+  EXPECT_NE(key_of(a), key_of(b));
+  EXPECT_NE(key_of(a), key_of(both));
+  EXPECT_NE(key_of(b), key_of(both));
+}
+
+TEST(RunCacheKey, ObservabilityKnobsDoNotMoveTheKey) {
+  const perf::RunKey k0 = key_of(base_options());
+  auto same = [&](auto&& mutate, const char* what) {
+    ToolOptions opts = base_options();
+    mutate(opts);
+    EXPECT_EQ(k0, key_of(opts)) << what;
+  };
+  same([](ToolOptions& o) { o.threads = 8; }, "threads");
+  same([](ToolOptions& o) { o.threads = 0; }, "threads=auto");
+  same([](ToolOptions& o) { o.estimator_cache = false; }, "estimator_cache");
+  same([](ToolOptions& o) { o.run_cache = false; }, "run_cache toggle");
+}
+
+// --------------------------------------------------------------------------
+// Source canonicalization: editor/transport whitespace noise maps to the
+// same key; token changes do not.
+
+TEST(RunCacheKey, CanonicalizationAbsorbsWhitespaceNoise) {
+  const ToolOptions opts = base_options();
+  const std::string lf = "      PROGRAM T\n      END\n";
+  const perf::RunKey k0 = key_of(opts, lf);
+  // CRLF and bare-CR line ends.
+  EXPECT_EQ(k0, key_of(opts, "      PROGRAM T\r\n      END\r\n"));
+  EXPECT_EQ(k0, key_of(opts, "      PROGRAM T\r      END\r"));
+  // Trailing horizontal whitespace on any line.
+  EXPECT_EQ(k0, key_of(opts, "      PROGRAM T   \n      END\t\n"));
+  // Missing final newline.
+  EXPECT_EQ(k0, key_of(opts, "      PROGRAM T\n      END"));
+  // But LEADING whitespace is Fortran column structure -- it must count.
+  EXPECT_NE(k0, key_of(opts, "       PROGRAM T\n      END\n"));
+}
+
+// --------------------------------------------------------------------------
+// The sharded LRU: recency-ordered eviction under the entry cap, byte-cap
+// enforcement with the newest-entry survivor guarantee.
+
+perf::RunKey mk(std::uint64_t n) { return perf::RunKey{n, ~n}; }
+
+perf::CachedRun run_of(const std::string& report) {
+  return perf::CachedRun{report, "prog", "engine", 1.0};
+}
+
+TEST(RunCacheLru, EvictsLeastRecentlyUsedFirst) {
+  perf::RunCacheConfig cfg;
+  cfg.max_entries = 3;
+  cfg.max_bytes = 0;  // unbounded; this test exercises the entry cap
+  cfg.shards = 1;     // one shard so the global cap is the shard cap
+  perf::RunCache cache(cfg);
+  cache.insert(mk(1), run_of("r1"));
+  cache.insert(mk(2), run_of("r2"));
+  cache.insert(mk(3), run_of("r3"));
+  // Touch key 1: it becomes MRU, so key 2 is now the LRU victim.
+  EXPECT_NE(cache.find(mk(1)), nullptr);
+  cache.insert(mk(4), run_of("r4"));
+  EXPECT_EQ(cache.find(mk(2)), nullptr) << "LRU entry should have been evicted";
+  EXPECT_NE(cache.find(mk(1)), nullptr);
+  EXPECT_NE(cache.find(mk(3)), nullptr);
+  EXPECT_NE(cache.find(mk(4)), nullptr);
+  const perf::RunCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(RunCacheLru, ByteCapEvictsButNewestAlwaysSurvives) {
+  perf::RunCacheConfig cfg;
+  cfg.max_entries = 0;
+  cfg.max_bytes = 2 * sizeof(perf::CachedRun) + 64;  // room for ~2 small runs
+  cfg.shards = 1;
+  perf::RunCache cache(cfg);
+  cache.insert(mk(1), run_of(std::string(16, 'a')));
+  cache.insert(mk(2), run_of(std::string(16, 'b')));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  // An entry bigger than the whole cap still lands (survivor guarantee) and
+  // pushes everything else out.
+  cache.insert(mk(3), run_of(std::string(4096, 'c')));
+  EXPECT_EQ(cache.find(mk(1)), nullptr);
+  EXPECT_EQ(cache.find(mk(2)), nullptr);
+  const std::shared_ptr<const perf::CachedRun> big = cache.find(mk(3));
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big->report_json.size(), 4096u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(RunCacheLru, ReplaceInPlaceUpdatesBytesWithoutEviction) {
+  perf::RunCacheConfig cfg;
+  cfg.shards = 1;
+  perf::RunCache cache(cfg);
+  cache.insert(mk(7), run_of("short"));
+  const std::size_t bytes_before = cache.stats().bytes;
+  cache.insert(mk(7), run_of(std::string(100, 'x')));
+  const perf::RunCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, bytes_before);
+  EXPECT_EQ(stats.evictions, 0u);
+  const auto hit = cache.find(mk(7));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->report_json.size(), 100u);
+}
+
+TEST(RunCacheLru, EvictedEntryStaysReadableThroughSharedPtr) {
+  perf::RunCacheConfig cfg;
+  cfg.max_entries = 1;
+  cfg.shards = 1;
+  perf::RunCache cache(cfg);
+  cache.insert(mk(1), run_of("held"));
+  const std::shared_ptr<const perf::CachedRun> held = cache.find(mk(1));
+  ASSERT_NE(held, nullptr);
+  cache.insert(mk(2), run_of("evictor"));  // evicts key 1 while `held` lives
+  EXPECT_EQ(cache.find(mk(1)), nullptr);
+  EXPECT_EQ(held->report_json, "held");  // reader is never invalidated
+}
+
+TEST(RunCacheLru, ClearEmptiesEverything) {
+  perf::RunCache cache{perf::RunCacheConfig{}};
+  cache.insert(mk(1), run_of("a"));
+  cache.insert(mk(2), run_of("b"));
+  cache.clear();
+  const perf::RunCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(cache.find(mk(1)), nullptr);
+}
+
+// --------------------------------------------------------------------------
+// End to end: a hit re-serves the exact bytes the cold run serialized, for
+// every corpus program.
+
+TEST(RunCacheEndToEnd, HitReportIsByteIdenticalAcrossCorpus) {
+  for (const char* prog : {"adi", "erlebacher", "tomcatv", "shallow"}) {
+    corpus::TestCase c{prog, 24,
+                       std::string(prog) == "shallow"
+                           ? corpus::Dtype::Real
+                           : corpus::Dtype::DoublePrecision,
+                       4};
+    const std::string src = corpus::source_for(c);
+    ToolOptions opts = base_options();
+    perf::RunCache cache{perf::RunCacheConfig{}};
+
+    CachedRunResult cold = run_tool_cached(src, opts, &cache);
+    ASSERT_NE(cold.result, nullptr) << prog;
+    EXPECT_FALSE(cold.hit) << prog;
+    EXPECT_TRUE(cold.consulted) << prog;
+    EXPECT_FALSE(cold.report_json.empty()) << prog;
+
+    CachedRunResult warm = run_tool_cached(src, opts, &cache);
+    EXPECT_TRUE(warm.hit) << prog;
+    EXPECT_EQ(warm.result, nullptr) << prog;
+    EXPECT_EQ(warm.report_json, cold.report_json)
+        << prog << ": hit bytes differ from the cold run's report";
+    EXPECT_EQ(warm.program, cold.program) << prog;
+    EXPECT_EQ(warm.engine, cold.engine) << prog;
+
+    const perf::RunCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.fills, 1u) << prog;
+    EXPECT_EQ(stats.hits, 1u) << prog;
+  }
+}
+
+// A small runnable program (kSource exercises only key derivation and never
+// reaches the parser; these two tests run the real pipeline).
+std::string adi_source() {
+  return corpus::source_for(
+      corpus::TestCase{"adi", 24, corpus::Dtype::DoublePrecision, 4});
+}
+
+TEST(RunCacheEndToEnd, NullCacheAndOptOutComputeWithoutConsulting) {
+  ToolOptions opts = base_options();
+  CachedRunResult no_cache = run_tool_cached(adi_source(), opts, nullptr);
+  EXPECT_FALSE(no_cache.consulted);
+  EXPECT_FALSE(no_cache.hit);
+  ASSERT_NE(no_cache.result, nullptr);
+  EXPECT_FALSE(no_cache.result->run_cache.consulted);
+
+  perf::RunCache cache{perf::RunCacheConfig{}};
+  opts.run_cache = false;
+  CachedRunResult opted_out = run_tool_cached(adi_source(), opts, &cache);
+  EXPECT_FALSE(opted_out.consulted);
+  ASSERT_NE(opted_out.result, nullptr);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0u)
+      << "opted-out run must not touch the cache";
+}
+
+TEST(RunCacheEndToEnd, ConsultedRunRecordsKeyInResultAndReport) {
+  ToolOptions opts = base_options();
+  perf::RunCache cache{perf::RunCacheConfig{}};
+  CachedRunResult cold = run_tool_cached(adi_source(), opts, &cache);
+  ASSERT_NE(cold.result, nullptr);
+  EXPECT_TRUE(cold.result->run_cache.consulted);
+  EXPECT_EQ(cold.result->run_cache.key_lo, cold.key.lo);
+  EXPECT_EQ(cold.result->run_cache.key_hi, cold.key.hi);
+  // The report carries the key in hex (the v3 run_cache block).
+  EXPECT_NE(cold.report_json.find(cold.key.hex()), std::string::npos);
+  EXPECT_NE(cold.report_json.find("\"consulted\": true"), std::string::npos);
+}
+
+TEST(RunCacheKey, HexFormIsStable) {
+  const perf::RunKey k{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(k.hex(), "0123456789abcdef.fedcba9876543210");
+}
+
+} // namespace
+} // namespace al::driver

@@ -493,5 +493,126 @@ TEST(ServiceDaemon, ShutdownWithoutGraceRejectsQueuedWork) {
   EXPECT_EQ(server.summary().rejected, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Pipelining: many in-flight requests per connection, responses in REQUEST
+// order (the client matches responses positionally).
+// ---------------------------------------------------------------------------
+
+TEST(ServiceDaemon, PipelinedResponsesArriveInRequestOrder) {
+  ServerOptions opts;
+  opts.workers = 4;  // completion order WILL scramble; delivery order may not
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  TestClient client(server.port());
+  // The first request parks in think-time so every later request COMPLETES
+  // before it; a malformed line in the middle checks that parse errors are
+  // sequenced like any other response.
+  client.send_line(request_line(c, "p0", "\"delay_ms\":250"));
+  client.send_line(request_line(c, "p1"));
+  client.send_line("this is not json\n");
+  client.send_line(request_line(c, "p2"));
+  client.send_line(request_line(c, "p3"));
+
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"p0", "ok"}, {"p1", "ok"}, {"", "error"}, {"p2", "ok"}, {"p3", "ok"}};
+  for (const auto& [id, status] : expected) {
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty()) << "expected response for '" << id << "'";
+    const JsonValue doc = parse_response(line);
+    EXPECT_EQ(doc.find("id")->as_string(), id);
+    EXPECT_EQ(doc.find("status")->as_string(), status) << line;
+  }
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(ServiceDaemon, PipelinedShutdownKeepsRequestOrder) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  opts.grace_ms = 0;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  TestClient client(server.port());
+  client.send_line(request_line(c, "busy", "\"delay_ms\":600"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  client.send_line(request_line(c, "stranded1"));
+  client.send_line(request_line(c, "stranded2"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  server.request_stop();
+  std::jthread waiter([&] { server.wait(); });
+
+  // The shutdown rejections are produced almost immediately, but the
+  // ordering contract holds them behind the in-flight request's response.
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"busy", "ok"}, {"stranded1", "rejected"}, {"stranded2", "rejected"}};
+  for (const auto& [id, status] : expected) {
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty()) << "connection closed before '" << id << "'";
+    const JsonValue doc = parse_response(line);
+    EXPECT_EQ(doc.find("id")->as_string(), id);
+    EXPECT_EQ(doc.find("status")->as_string(), status) << line;
+    if (status == "rejected")
+      EXPECT_EQ(doc.find("reason")->as_string(), "shutting down");
+  }
+  waiter.join();
+}
+
+// The cache fast path answers BEFORE queue admission: with the only worker
+// parked and the one-slot queue full, a repeat of an already-cached request
+// is served as a hit where any uncached request would bounce "queue full".
+TEST(ServiceDaemon, CacheHitsBypassASaturatedQueue) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  const corpus::TestCase warm{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  const corpus::TestCase other{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  TestClient filler(server.port());
+  TestClient prober(server.port());
+
+  // Warm the cache while the worker is free.
+  prober.send_line(request_line(warm, "warm"));
+  {
+    const JsonValue doc = parse_response(prober.recv_line());
+    EXPECT_EQ(doc.find("status")->as_string(), "ok");
+    EXPECT_EQ(doc.find("cache")->as_string(), "miss");
+  }
+
+  // Park the worker (delay requests are fast-path-ineligible) and fill the
+  // queue with a DIFFERENT key so the probe cannot be served by a worker.
+  filler.send_line(request_line(warm, "busy", "\"delay_ms\":500"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  filler.send_line(request_line(other, "queued"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  prober.send_line(request_line(warm, "repeat"));
+  {
+    const JsonValue doc = parse_response(prober.recv_line());
+    EXPECT_EQ(doc.find("id")->as_string(), "repeat");
+    EXPECT_EQ(doc.find("status")->as_string(), "ok") << "fast path must not queue";
+    EXPECT_EQ(doc.find("cache")->as_string(), "hit");
+  }
+  for (int i = 0; i < 2; ++i) {
+    const JsonValue doc = parse_response(filler.recv_line());
+    EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  }
+
+  server.request_stop();
+  server.wait();
+  const ServiceSummary s = server.summary();
+  // warm + queued computed; busy (worker-side consult) + repeat were hits.
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.cache_misses, 2u);
+}
+
 } // namespace
 } // namespace al::service

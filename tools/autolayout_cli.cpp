@@ -7,6 +7,9 @@
 //                          core (default), 1 = fully serial. Any value
 //                          yields bit-identical layouts.
 //   -C, --no-cache         disable estimator memoization (model benchmarks)
+//   --no-run-cache         do not consult the whole-run result cache
+//   --run-cache-entries N  run-cache entry cap (0 = unbounded; default 1024)
+//   --run-cache-bytes N    run-cache byte cap (0 = unbounded; default 64 MiB)
 //   -m, --machine NAME     ipsc860 | paragon                (default ipsc860)
 //   -t, --training FILE    load a training-set file over the machine model
 //   -x, --extended         extended distribution search (cyclic, 2-D meshes)
@@ -51,6 +54,7 @@
 #include "autolayout.hpp"
 #include "driver/json_report.hpp"
 #include "driver/report.hpp"
+#include "driver/run_cache.hpp"
 #include "machine/io.hpp"
 #include "support/metrics.hpp"
 #include "support/text.hpp"
@@ -64,7 +68,9 @@ void usage(const char* argv0) {
                "          [-x] [-g] [-C] [-r] [-d] [-q] [-J out.json] [-T trace.json]\n"
                "          [--mip-nodes N] [--mip-deadline-ms N]\n"
                "          [--mip-branching pseudocost|most-fractional]\n"
-               "          [--no-warm-start] [--no-presolve] [--no-dominance] program.f\n",
+               "          [--no-warm-start] [--no-presolve] [--no-dominance]\n"
+               "          [--no-run-cache] [--run-cache-entries N] [--run-cache-bytes N]\n"
+               "          program.f\n",
                argv0);
 }
 
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
   bool directives = false;
   bool quiet = false;
   std::string machine_name = "ipsc860";
+  perf::RunCacheConfig cache_cfg;
   std::string training_file;
   std::string json_file;
   std::string trace_file;
@@ -161,6 +168,25 @@ int main(int argc, char** argv) {
       opts.dominance = false;
     } else if (a == "-C" || a == "--no-cache") {
       opts.estimator_cache = false;
+    } else if (a == "--no-run-cache") {
+      opts.run_cache = false;
+    } else if (a == "--run-cache-entries") {
+      const char* v = need_value("--run-cache-entries");
+      long n = 0;
+      // 0 is valid (unbounded), so the strict parse carries the rejection.
+      if (!parse_long(v, 0, std::numeric_limits<long>::max(), n)) {
+        std::fprintf(stderr, "%s: bad run-cache entry cap '%s'\n", argv[0], v);
+        return 1;
+      }
+      cache_cfg.max_entries = static_cast<std::size_t>(n);
+    } else if (a == "--run-cache-bytes") {
+      const char* v = need_value("--run-cache-bytes");
+      long n = 0;
+      if (!parse_long(v, 0, std::numeric_limits<long>::max(), n)) {
+        std::fprintf(stderr, "%s: bad run-cache byte cap '%s'\n", argv[0], v);
+        return 1;
+      }
+      cache_cfg.max_bytes = static_cast<std::size_t>(n);
     } else if (a == "-m" || a == "--machine") {
       machine_name = need_value("--machine");
     } else if (a == "-t" || a == "--training") {
@@ -254,7 +280,13 @@ int main(int argc, char** argv) {
       support::Tracer::instance().reset();
     }
 
-    auto result = driver::run_tool(src.str(), opts);
+    // One CLI invocation is one run, so its private run cache exists to
+    // give the run a cache identity (the report's "run_cache" block and the
+    // -v line below), not to save work -- services hold the long-lived one.
+    perf::RunCache run_cache(cache_cfg);
+    driver::CachedRunResult cached = driver::run_tool_cached(
+        src.str(), opts, opts.run_cache ? &run_cache : nullptr);
+    auto result = std::move(cached.result);  // fresh cache: always computed
 
     if (!json_file.empty() &&
         !write_text_file(argv[0], json_file, driver::json_report(*result)))
@@ -295,6 +327,14 @@ int main(int argc, char** argv) {
     }
 
     if (verbose) {
+      if (cached.consulted) {
+        std::printf("\nrun cache: %s (%s; caps: %zu entries, %zu bytes)\n",
+                    cached.key.hex().c_str(), cached.hit ? "hit" : "miss",
+                    run_cache.config().max_entries,
+                    run_cache.config().max_bytes);
+      } else {
+        std::printf("\nrun cache: off\n");
+      }
       std::printf("\n%s", driver::performance_report(*result).c_str());
     }
     if (report) {

@@ -11,12 +11,17 @@
 //   --procs N           generated processor count            (default 4)
 //   --repeat K          repetitions of the corpus mix        (default 1)
 //   --connections C     parallel TCP connections             (default 1)
+//   --pipeline D        max in-flight requests per connection (default 1);
+//                       the server answers each connection in request
+//                       order, so response i always matches request i
 //   --deadline-ms N     queue_deadline_ms stamped on generated requests
 //   --out FILE          dump raw response lines ("-" = stdout)
 //
 // Requests are split round-robin over the connections; each connection
-// counts response statuses and measures per-request latency (send to
-// response line). The final line on stdout is a one-line JSON summary:
+// keeps up to --pipeline requests in flight, counts response statuses, and
+// measures per-request latency (send of request i to receipt of response i
+// -- valid because the server guarantees per-connection request order).
+// The final line on stdout is a one-line JSON summary:
 //   {"schema":"autolayout.client_summary", "sent":..., "ok":...,
 //    "rejected":..., "infeasible":..., "errors":..., "wall_ms":...,
 //    "throughput_rps":..., "p50_ms":..., "p95_ms":..., "p99_ms":...}
@@ -33,6 +38,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -115,31 +121,42 @@ bool read_line(int fd, std::string& buffer, std::string& line) {
   }
 }
 
-/// One connection's work: send its requests one by one, await each
-/// response (the protocol preserves order per connection only when the
-/// server has one worker, so match on "status" not on position -- every
-/// response to THIS connection's requests arrives on this socket).
+/// One connection's work: keep up to `pipeline` requests in flight and
+/// match responses to requests POSITIONALLY -- the server answers each
+/// connection strictly in request order, so response i is request i's.
+/// pipeline=1 degenerates to the classic send/await round trip.
 void drive_connection(int port, const std::vector<std::string>& requests,
-                      Tally& tally, std::mutex& out_mutex, std::ostream* out) {
+                      int pipeline, Tally& tally, std::mutex& out_mutex,
+                      std::ostream* out) {
   const int fd = connect_loopback(port);
   if (fd < 0) {
     tally.transport_failed = true;
     return;
   }
   std::string buffer, line;
-  for (const std::string& req : requests) {
-    const Clock::time_point t0 = Clock::now();
-    if (!send_all(fd, req)) {
-      tally.transport_failed = true;
-      break;
+  std::deque<Clock::time_point> sent_at;  // front = oldest in-flight request
+  std::size_t next = 0;
+  while (!sent_at.empty() || next < requests.size()) {
+    // Fill the window before blocking on the next response.
+    while (next < requests.size() &&
+           sent_at.size() < static_cast<std::size_t>(pipeline)) {
+      if (!send_all(fd, requests[next])) {
+        tally.transport_failed = true;
+        ::close(fd);
+        return;
+      }
+      sent_at.push_back(Clock::now());
+      ++next;
+      ++tally.sent;
     }
-    ++tally.sent;
     if (!read_line(fd, buffer, line)) {
       tally.transport_failed = true;
       break;
     }
-    tally.latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    tally.latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                                     Clock::now() - sent_at.front())
+                                     .count());
+    sent_at.pop_front();
     if (out != nullptr) {
       std::lock_guard lock(out_mutex);
       *out << line << '\n';
@@ -169,7 +186,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --port N [--file FILE | --corpus LIST] [--n SIZE]\n"
                "          [--procs N] [--repeat K] [--connections C]\n"
-               "          [--deadline-ms N] [--out FILE]\n",
+               "          [--pipeline D] [--deadline-ms N] [--out FILE]\n",
                argv0);
 }
 
@@ -184,6 +201,7 @@ int main(int argc, char** argv) {
   int procs = 4;
   int repeat = 1;
   int connections = 1;
+  int pipeline = 1;
   long deadline_ms = 0;
   std::string out_file;
 
@@ -211,6 +229,8 @@ int main(int argc, char** argv) {
       bad = !parse_int(need_value("--repeat"), 1, 1 << 20, repeat);
     } else if (a == "--connections") {
       bad = !parse_int(need_value("--connections"), 1, 1024, connections);
+    } else if (a == "--pipeline") {
+      bad = !parse_int(need_value("--pipeline"), 1, 1 << 16, pipeline);
     } else if (a == "--deadline-ms") {
       bad = !parse_long(need_value("--deadline-ms"), 1,
                         std::numeric_limits<long>::max(), deadline_ms);
@@ -313,7 +333,7 @@ int main(int argc, char** argv) {
     threads.reserve(static_cast<std::size_t>(connections));
     for (int c = 0; c < connections; ++c) {
       threads.emplace_back([&, c] {
-        drive_connection(port, shards[static_cast<std::size_t>(c)],
+        drive_connection(port, shards[static_cast<std::size_t>(c)], pipeline,
                          tallies[static_cast<std::size_t>(c)], out_mutex, out);
       });
     }

@@ -14,6 +14,9 @@
 //                          "rejected: queue full"           (default 64)
 //   --grace-ms N           drain budget after SIGINT/SIGTERM (default 5000)
 //   --max-request-bytes N  per-line size cap                (default 4 MiB)
+//   --no-run-cache         disable the whole-run result cache
+//   --run-cache-entries N  run-cache entry cap (0 = unbounded; default 1024)
+//   --run-cache-bytes N    run-cache byte cap (0 = unbounded; default 64 MiB)
 //   --out FILE             batch responses ("-" = stdout, the default)
 //   --summary FILE         final service summary JSON ("-" = stderr, the
 //                          default; always emitted)
@@ -48,7 +51,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--batch FILE | --port N) [--workers N] [--queue N]\n"
                "          [--grace-ms N] [--max-request-bytes N] [--out FILE]\n"
-               "          [--summary FILE]\n",
+               "          [--no-run-cache] [--run-cache-entries N]\n"
+               "          [--run-cache-bytes N] [--summary FILE]\n",
                argv0);
 }
 
@@ -108,6 +112,25 @@ int main(int argc, char** argv) {
       int bytes = 0;
       int_flag("--max-request-bytes", 1, bytes);
       opts.max_request_bytes = static_cast<std::size_t>(bytes);
+    } else if (a == "--no-run-cache") {
+      opts.run_cache = false;
+    } else if (a == "--run-cache-entries") {
+      long n = 0;
+      const char* v = need_value("--run-cache-entries");
+      // 0 is valid (unbounded), so the strict parse carries the rejection.
+      if (!parse_long(v, 0, std::numeric_limits<long>::max(), n)) {
+        std::fprintf(stderr, "%s: bad run-cache entry cap '%s'\n", argv[0], v);
+        return 1;
+      }
+      opts.cache.max_entries = static_cast<std::size_t>(n);
+    } else if (a == "--run-cache-bytes") {
+      long n = 0;
+      const char* v = need_value("--run-cache-bytes");
+      if (!parse_long(v, 0, std::numeric_limits<long>::max(), n)) {
+        std::fprintf(stderr, "%s: bad run-cache byte cap '%s'\n", argv[0], v);
+        return 1;
+      }
+      opts.cache.max_bytes = static_cast<std::size_t>(n);
     } else if (a == "--out") {
       out_file = need_value("--out");
     } else if (a == "--summary") {
@@ -139,8 +162,11 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (daemon) {
     if (!server.start()) return 1;
-    std::fprintf(stderr, "%s: listening on 127.0.0.1:%d (%d workers, queue %zu)\n",
-                 argv[0], server.port(), server.workers(), opts.queue_capacity);
+    std::fprintf(stderr,
+                 "%s: listening on 127.0.0.1:%d (%d workers, queue %zu, "
+                 "run cache %s)\n",
+                 argv[0], server.port(), server.workers(), opts.queue_capacity,
+                 opts.run_cache ? "on" : "off");
     server.wait();
   } else {
     std::ifstream in_file;
