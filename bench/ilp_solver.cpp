@@ -22,6 +22,8 @@
 #include "cag/ilp_formulation.hpp"
 #include "corpus/corpus.hpp"
 #include "driver/tool.hpp"
+#include "gen/generator.hpp"
+#include "gen/rng.hpp"
 #include "ilp/branch_and_bound.hpp"
 #include "select/ilp_selection.hpp"
 #include "select/verify.hpp"
@@ -59,6 +61,21 @@ struct EngineStats {
   int presolve_fixed_vars = 0;
   int presolve_removed_rows = 0;
   int dominated_candidates = 0;
+};
+
+/// One point on the generated-instance scaling curve (DESIGN.md section 14):
+/// a seeded random program of a requested phase count, its selection MIP
+/// size, and both engine configurations' work on it.
+struct ScalingPoint {
+  int phases = 0;
+  int candidates = 0;
+  int variables = 0;
+  int constraints = 0;
+  EngineStats cold;
+  EngineStats warm;
+  bool objectives_match = false;
+  bool selections_match = false;
+  bool verified = false;
 };
 
 struct ProgramReport {
@@ -252,6 +269,75 @@ int main(int argc, char** argv) {
     reports.push_back(std::move(rep));
   }
 
+  // --- Generated-instance scaling series (DESIGN.md section 14) ----------
+  // Seeded random programs at growing phase counts: the corpus instances are
+  // fixed-size, so this is the only view of how the selection MIP and both
+  // engine configurations scale with program length. Same seed every run --
+  // the curve is reproducible point for point.
+  const std::vector<int> scaling_sizes =
+      smoke ? std::vector<int>{8, 16} : std::vector<int>{8, 16, 32, 64, 96};
+  std::vector<ScalingPoint> scaling;
+  for (const int size : scaling_sizes) {
+    al::gen::Rng rng(1000 + static_cast<std::uint64_t>(size));
+    al::gen::GenOptions gopts;
+    gopts.min_phases = gopts.max_phases = size;
+    gopts.max_arrays = 6;
+    const std::string src = al::gen::random_program(rng, gopts);
+    al::driver::ToolOptions topts;
+    topts.procs = 16;
+    topts.threads = 1;
+    const auto tool = al::driver::run_tool(src, topts);
+
+    ScalingPoint pt;
+    pt.phases = tool->pcfg.num_phases();
+    for (const auto& space : tool->spaces)
+      pt.candidates += static_cast<int>(space.size());
+
+    al::select::SelectionOptions warm_sel;
+    al::select::SelectionOptions cold_sel;
+    cold_sel.mip = cold_options();
+    cold_sel.dominance = false;
+    al::select::SelectionResult warm_r;
+    al::select::SelectionResult cold_r;
+    for (const bool warm : {false, true}) {
+      std::vector<double> samples;
+      al::select::SelectionResult r;
+      for (int i = 0; i < runs; ++i) {
+        const auto t0 = Clock::now();
+        r = al::select::select_layouts_ilp(tool->graph, warm ? warm_sel : cold_sel);
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+      }
+      EngineStats& s = warm ? pt.warm : pt.cold;
+      s.median_ms = median(samples);
+      s.lp_iterations = r.lp_iterations;
+      s.bb_nodes = r.bb_nodes;
+      s.warm_starts = r.warm_starts;
+      s.warm_start_failures = r.warm_start_failures;
+      s.presolve_fixed_vars = r.presolve_fixed_vars;
+      s.presolve_removed_rows = r.presolve_removed_rows;
+      s.dominated_candidates = r.dominated_candidates;
+      (warm ? warm_r : cold_r) = std::move(r);
+    }
+    pt.variables = cold_r.ilp_variables;
+    pt.constraints = cold_r.ilp_constraints;
+    pt.objectives_match =
+        std::abs(warm_r.total_cost_us - cold_r.total_cost_us) <=
+        1e-6 * (1.0 + std::abs(cold_r.total_cost_us));
+    pt.selections_match = warm_r.chosen == cold_r.chosen;
+    pt.verified = al::select::verify_assignment(tool->graph, warm_r).ok &&
+                  al::select::verify_assignment(tool->graph, cold_r).ok;
+    all_equivalent = all_equivalent && pt.objectives_match &&
+                     pt.selections_match && pt.verified;
+
+    std::printf("gen-%-8d selection %4d vars: cold %7.2f ms / %5ld it  warm %7.2f ms / %5ld it%s\n",
+                pt.phases, pt.variables, pt.cold.median_ms,
+                pt.cold.lp_iterations, pt.warm.median_ms,
+                pt.warm.lp_iterations,
+                pt.selections_match && pt.verified ? "" : "  MISMATCH");
+    scaling.push_back(pt);
+  }
+
   long cold_iters = 0;
   long warm_iters = 0;
   double cold_ms = 0.0;
@@ -270,7 +356,7 @@ int main(int argc, char** argv) {
   al::support::JsonWriter w(out);
   w.begin_object();
   w.kv("bench", "ilp_engine");
-  w.kv("schema_version", 1);
+  w.kv("schema_version", 2);
   w.kv("runs_per_config", runs);
   w.kv("smoke", smoke);
   w.kv("baseline", "cold LPs, no presolve, most-fractional branching, no dominance");
@@ -301,6 +387,28 @@ int main(int argc, char** argv) {
     write_engine(w, "warm", r.align_warm);
     w.kv("objectives_match", r.align_objectives_match);
     w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("generated_scaling").begin_array();
+  for (const ScalingPoint& p : scaling) {
+    w.begin_object();
+    w.kv("phases", p.phases);
+    w.kv("candidates", p.candidates);
+    w.kv("variables", p.variables);
+    w.kv("constraints", p.constraints);
+    write_engine(w, "cold", p.cold);
+    write_engine(w, "warm", p.warm);
+    w.kv("objectives_match", p.objectives_match);
+    w.kv("selections_match", p.selections_match);
+    w.kv("verified", p.verified);
+    w.kv("speedup",
+         p.warm.median_ms > 0.0 ? p.cold.median_ms / p.warm.median_ms : 0.0);
+    w.kv("iteration_reduction",
+         p.warm.lp_iterations > 0
+             ? static_cast<double>(p.cold.lp_iterations) /
+                   static_cast<double>(p.warm.lp_iterations)
+             : 0.0);
     w.end_object();
   }
   w.end_array();

@@ -45,6 +45,7 @@
 #include "service/server.hpp"
 #include "support/json.hpp"
 #include "support/json_parse.hpp"
+#include "support/text.hpp"
 
 namespace {
 
@@ -351,8 +352,14 @@ int main(int argc, char** argv) {
       // tiny repeat mix, no BENCH_service.json rewrite.
       verify_only = true;
       smoke = true;
-    } else {
-      runs = std::max(1, std::atoi(argv[i]));
+    } else if (!al::parse_int(argv[i], 1, 1'000'000, runs)) {
+      // Strict whole-lexeme parse: "3x" or "abc" is a usage error, not 3 or
+      // a silent 1 the way atoi would have it.
+      std::fprintf(stderr,
+                   "usage: service_bench [--smoke] [--verify-cache] [runs]\n"
+                   "  runs must be an integer in [1, 1000000], got \"%s\"\n",
+                   argv[i]);
+      return 1;
     }
   }
   if (verify_only) {

@@ -1,0 +1,259 @@
+#include "gen/differential.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "driver/run_cache.hpp"
+#include "driver/tool.hpp"
+#include "perf/run_cache.hpp"
+#include "select/dp_selection.hpp"
+#include "select/verify.hpp"
+
+namespace al::gen {
+namespace {
+
+/// True when `opts.mip` leaves the solver effectively unlimited, so the ILP
+/// must prove optimality (D2's strict form).
+bool budgets_unlimited(const ilp::MipOptions& mip) {
+  const ilp::MipOptions def;
+  return mip.max_nodes >= def.max_nodes && mip.deadline_ms == 0.0 &&
+         mip.max_lp_iterations == 0;
+}
+
+bool close(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * (1.0 + std::min(std::abs(a), std::abs(b)));
+}
+
+driver::ToolOptions tool_options(const DiffOptions& opts, int threads) {
+  driver::ToolOptions t;
+  t.procs = opts.procs;
+  t.threads = threads;
+  t.mip = opts.mip;
+  return t;
+}
+
+} // namespace
+
+DiffResult check_differential(const std::string& source, const DiffOptions& opts) {
+  DiffResult r;
+  auto fail = [&](std::string what) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = std::move(what);
+    }
+    return r;
+  };
+
+  // D1: the pipeline must run.
+  std::unique_ptr<driver::ToolResult> tool;
+  try {
+    tool = driver::run_tool(source, tool_options(opts, /*threads=*/1));
+  } catch (const std::exception& e) {
+    return fail(std::string("D1: pipeline threw: ") + e.what());
+  }
+  r.phases = tool->pcfg.num_phases();
+  for (const auto& space : tool->spaces)
+    r.candidates += static_cast<int>(space.size());
+  r.ilp_variables = tool->selection.ilp_variables;
+  r.engine = tool->selection.engine;
+  r.ilp_cost_us = tool->selection.total_cost_us;
+
+  // D2: the independent checker vouches for the primary selection; with
+  // unlimited budgets the engine must be the proven-optimal ILP.
+  if (!tool->verification.ok)
+    return fail("D2: primary selection failed verification: " +
+                tool->verification.message);
+  const bool optimal = budgets_unlimited(opts.mip);
+  if (optimal && tool->selection.engine != select::SelectionEngine::Ilp)
+    return fail(std::string("D2: unlimited budgets but engine was ") +
+                select::to_string(tool->selection.engine));
+
+  // D3: the exact DP, where applicable, agrees with the ILP objective.
+  const std::optional<select::SelectionResult> dp =
+      select::select_layouts_dp(tool->graph);
+  r.dp_applicable = dp.has_value();
+  if (dp) {
+    r.dp_cost_us = dp->total_cost_us;
+    const select::VerifyResult v = select::verify_assignment(tool->graph, *dp);
+    if (!v.ok) return fail("D3: DP selection failed verification: " + v.message);
+    if (optimal && !close(dp->total_cost_us, r.ilp_cost_us, opts.rel_tol))
+      return fail("D3: DP cost " + std::to_string(dp->total_cost_us) +
+                  " != ILP cost " + std::to_string(r.ilp_cost_us) +
+                  " (both engines are exact)");
+    if (r.ilp_cost_us > dp->total_cost_us &&
+        !close(dp->total_cost_us, r.ilp_cost_us, opts.rel_tol))
+      return fail("D3: ILP cost " + std::to_string(r.ilp_cost_us) +
+                  " exceeds exact DP cost " + std::to_string(dp->total_cost_us));
+  }
+
+  // D4: greedy verifies and never beats the exact answer.
+  const select::SelectionResult greedy = select::select_layouts_greedy(tool->graph);
+  r.greedy_cost_us = greedy.total_cost_us;
+  {
+    const select::VerifyResult v = select::verify_assignment(tool->graph, greedy);
+    if (!v.ok) return fail("D4: greedy selection failed verification: " + v.message);
+  }
+  if (r.ilp_cost_us > greedy.total_cost_us &&
+      !close(greedy.total_cost_us, r.ilp_cost_us, opts.rel_tol))
+    return fail("D4: greedy cost " + std::to_string(greedy.total_cost_us) +
+                " beats the selection's cost " + std::to_string(r.ilp_cost_us));
+
+  // D5: estimation-stage parallelism must not change the answer.
+  if (opts.alt_threads > 0 && opts.alt_threads != 1) {
+    std::unique_ptr<driver::ToolResult> alt;
+    try {
+      alt = driver::run_tool(source, tool_options(opts, opts.alt_threads));
+    } catch (const std::exception& e) {
+      return fail(std::string("D5: pipeline threw at alt threads: ") + e.what());
+    }
+    if (alt->selection.chosen != tool->selection.chosen)
+      return fail("D5: selection differs between --threads 1 and --threads " +
+                  std::to_string(opts.alt_threads));
+    if (alt->selection.total_cost_us != tool->selection.total_cost_us)
+      return fail("D5: cost not bit-identical across thread counts (" +
+                  std::to_string(tool->selection.total_cost_us) + " vs " +
+                  std::to_string(alt->selection.total_cost_us) + ")");
+  }
+
+  // D6: a run-cache hit replays the cold report byte for byte.
+  if (opts.check_run_cache) {
+    perf::RunCache cache;
+    const driver::ToolOptions topts = tool_options(opts, /*threads=*/1);
+    try {
+      const driver::CachedRunResult cold = driver::run_tool_cached(source, topts, &cache);
+      const driver::CachedRunResult hit = driver::run_tool_cached(source, topts, &cache);
+      if (cold.hit) return fail("D6: first cache consult reported a hit");
+      if (!hit.hit) return fail("D6: second identical submission missed the cache");
+      if (cold.report_json != hit.report_json)
+        return fail("D6: cache-hit report bytes diverge from the cold run");
+      if (cold.result != nullptr &&
+          cold.result->selection.chosen != tool->selection.chosen)
+        return fail("D6: cached-path selection differs from the plain run");
+    } catch (const std::exception& e) {
+      return fail(std::string("D6: cached path threw: ") + e.what());
+    }
+  }
+
+  return r;
+}
+
+namespace {
+
+/// Removes phase `p`, re-anchoring the time loop and branch ranges.
+ProgramSpec remove_phase(const ProgramSpec& spec, int p) {
+  ProgramSpec out = spec;
+  out.phases.erase(out.phases.begin() + p);
+  auto shift = [p](int v) { return v > p ? v - 1 : v; };
+  if (out.time_steps > 0) {
+    out.time_begin = shift(out.time_begin);
+    out.time_end = p < out.time_end ? out.time_end - 1 : out.time_end;
+    if (out.time_begin >= out.time_end) {
+      out.time_steps = 0;
+      out.time_begin = out.time_end = 0;
+    }
+  }
+  std::vector<BranchSpec> branches;
+  for (BranchSpec b : out.branches) {
+    b.begin = shift(b.begin);
+    b.end = p < b.end ? b.end - 1 : b.end;
+    if (b.begin < b.end) branches.push_back(b);
+  }
+  out.branches = std::move(branches);
+  return out;
+}
+
+/// Drops arrays no phase references (the branch guard pins array 0 while
+/// branches remain), remapping phase indices.
+ProgramSpec remove_unused_arrays(const ProgramSpec& spec) {
+  std::vector<bool> used(spec.arrays.size(), false);
+  if (!spec.branches.empty() && !used.empty()) used[0] = true;
+  for (const PhaseSpec& p : spec.phases) {
+    used[static_cast<std::size_t>(p.lhs)] = true;
+    used[static_cast<std::size_t>(p.rhs)] = true;
+  }
+  std::vector<int> remap(spec.arrays.size(), -1);
+  ProgramSpec out = spec;
+  out.arrays.clear();
+  for (std::size_t a = 0; a < spec.arrays.size(); ++a) {
+    if (!used[a]) continue;
+    remap[a] = static_cast<int>(out.arrays.size());
+    out.arrays.push_back(spec.arrays[a]);
+  }
+  for (PhaseSpec& p : out.phases) {
+    p.lhs = remap[static_cast<std::size_t>(p.lhs)];
+    p.rhs = remap[static_cast<std::size_t>(p.rhs)];
+  }
+  return out;
+}
+
+} // namespace
+
+std::vector<ProgramSpec> shrink_candidates(const ProgramSpec& spec) {
+  std::vector<ProgramSpec> out;
+  for (int p = 0; p < spec.num_phases() && spec.num_phases() > 1; ++p)
+    out.push_back(remove_phase(spec, p));
+  if (!spec.branches.empty()) {
+    ProgramSpec t = spec;
+    t.branches.clear();
+    out.push_back(std::move(t));
+  }
+  if (spec.time_steps > 0) {
+    ProgramSpec t = spec;
+    t.time_steps = 0;
+    t.time_begin = t.time_end = 0;
+    out.push_back(std::move(t));
+  }
+  if (spec.time_steps > 2) {
+    ProgramSpec t = spec;
+    t.time_steps = 2;
+    out.push_back(std::move(t));
+  }
+  {
+    const ProgramSpec t = remove_unused_arrays(spec);
+    if (t.arrays.size() < spec.arrays.size()) out.push_back(t);
+  }
+  if (spec.n > 8) {
+    ProgramSpec t = spec;
+    t.n = std::max<long>(8, t.n / 2);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::optional<ShrinkOutcome> shrink_failure(const ProgramSpec& spec,
+                                            const FailureOracle& oracle) {
+  DiffResult fail = oracle(spec);
+  if (fail.ok) return std::nullopt;
+
+  ShrinkOutcome out;
+  out.spec = spec;
+  out.failure = std::move(fail);
+  // Greedy descent: take the first candidate that still fails, repeat to a
+  // fixpoint. Bounded so a flaky failure cannot loop forever.
+  constexpr int kMaxSteps = 512;
+  bool progressed = true;
+  while (progressed && out.steps < kMaxSteps) {
+    progressed = false;
+    for (ProgramSpec& cand : shrink_candidates(out.spec)) {
+      if (!spec_is_valid(cand)) continue;
+      DiffResult res = oracle(cand);
+      if (res.ok) continue;
+      out.spec = std::move(cand);
+      out.failure = std::move(res);
+      ++out.steps;
+      progressed = true;
+      break;
+    }
+  }
+  out.source = emit_fortran(out.spec);
+  return out;
+}
+
+std::optional<ShrinkOutcome> shrink_failure(const ProgramSpec& spec,
+                                            const DiffOptions& opts) {
+  return shrink_failure(spec, [&opts](const ProgramSpec& s) {
+    return check_differential(emit_fortran(s), opts);
+  });
+}
+
+} // namespace al::gen

@@ -1,0 +1,93 @@
+// Differential oracle for the whole pipeline (DESIGN.md section 14): run one
+// generated program through every selection engine and every execution mode
+// and assert the invariants that must hold for ANY valid input:
+//
+//   D1  the pipeline runs without throwing;
+//   D2  the ILP selection passes the independent checker
+//       (select::verify_assignment), and with unlimited budgets the engine
+//       is the proven-optimal ILP;
+//   D3  the exact chain/cycle DP, when its structural precondition holds,
+//       verifies AND matches the ILP objective exactly (both are exact);
+//   D4  the greedy engine verifies and never beats the ILP:
+//       cost(ILP) <= cost(DP) <= ... and cost(ILP) <= cost(greedy);
+//   D5  selections are deterministic across --threads settings
+//       (bit-identical costs, identical chosen vectors);
+//   D6  a whole-run-cache hit returns byte-identical report JSON and the
+//       same selection as the cold run.
+//
+// check_differential evaluates all six on one source text; shrink_failure
+// reduces a failing ProgramSpec to a minimal reproducer by spec-level
+// delta debugging (drop phases, branches, the time loop, arrays).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/spec.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "select/ilp_selection.hpp"
+
+namespace al::gen {
+
+struct DiffOptions {
+  int procs = 4;
+  /// Second estimation-thread count for the determinism cross-check (D5).
+  /// 0 skips the check (the first run always uses threads = 1).
+  int alt_threads = 4;
+  /// Run the whole-run-cache byte-identity check (D6).
+  bool check_run_cache = true;
+  /// Solver budgets. The defaults are effectively unlimited, making D2's
+  /// proven-optimal expectation valid; callers that set budgets get the
+  /// fallback ladder and D2 relaxes to "verified".
+  ilp::MipOptions mip;
+  double rel_tol = 1e-6;
+};
+
+/// Outcome of one differential run. `ok` is the conjunction of D1..D6;
+/// `failure` names the first violated invariant with context.
+struct DiffResult {
+  bool ok = true;
+  std::string failure;
+  // Provenance and statistics (valid as far as the run progressed):
+  int phases = 0;
+  int candidates = 0;      ///< total candidate layouts across phases
+  int ilp_variables = 0;   ///< size of the selection MIP
+  bool dp_applicable = false;
+  double ilp_cost_us = 0.0;
+  double dp_cost_us = 0.0;
+  double greedy_cost_us = 0.0;
+  select::SelectionEngine engine = select::SelectionEngine::Ilp;
+};
+
+[[nodiscard]] DiffResult check_differential(const std::string& source,
+                                            const DiffOptions& opts = {});
+
+/// Minimal reproducer search: greedily removes structure from `spec` while
+/// check_differential still fails, to a fixpoint. Returns nullopt when the
+/// spec does not fail in the first place.
+struct ShrinkOutcome {
+  ProgramSpec spec;     ///< the minimal failing spec
+  std::string source;   ///< its emitted source
+  DiffResult failure;   ///< how it fails
+  int steps = 0;        ///< accepted shrink edits
+};
+[[nodiscard]] std::optional<ShrinkOutcome> shrink_failure(const ProgramSpec& spec,
+                                                          const DiffOptions& opts = {});
+
+/// Generic delta debugging against an arbitrary failure oracle (result.ok ==
+/// false means "still failing"). shrink_failure(spec, DiffOptions) is this
+/// with check_differential as the oracle; tests drive it with synthetic
+/// oracles to pin minimality.
+using FailureOracle = std::function<DiffResult(const ProgramSpec&)>;
+[[nodiscard]] std::optional<ShrinkOutcome> shrink_failure(const ProgramSpec& spec,
+                                                          const FailureOracle& oracle);
+
+/// The one-step structural cuts the shrinker explores from `spec`: drop one
+/// phase, drop branches, drop or shorten the time loop, drop unused arrays,
+/// halve the problem size. Every returned spec with spec_is_valid() true is
+/// a strictly smaller program. Exposed for tests.
+[[nodiscard]] std::vector<ProgramSpec> shrink_candidates(const ProgramSpec& spec);
+
+} // namespace al::gen

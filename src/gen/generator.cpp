@@ -1,0 +1,127 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+
+namespace al::gen {
+namespace {
+
+/// Idioms legal for a (lhs, rhs) array pair, by rank.
+std::vector<Idiom> legal_idioms(const ProgramSpec& spec, int lhs, int rhs,
+                                const GenOptions& opts) {
+  const int lrank = spec.arrays[static_cast<std::size_t>(lhs)].rank;
+  const int rrank = spec.arrays[static_cast<std::size_t>(rhs)].rank;
+  const int shared = std::min(lrank, rrank);
+  // Pipeline mode needs every phase to read ONLY rhs and write lhs, or the
+  // phase-to-phase dataflow chain breaks: Init reads nothing, and the sweeps
+  // read their own lhs -- the array last written two phases back, which adds
+  // a skip edge to the layout graph.
+  std::vector<Idiom> out = {Idiom::Pointwise};
+  if (!opts.pipeline_dataflow) {
+    out.push_back(Idiom::Init);
+    out.push_back(Idiom::SweepForward);
+    out.push_back(Idiom::SweepBackward);
+  }
+  if (shared >= 1) out.push_back(Idiom::Stencil5);
+  if (shared >= 2) {
+    out.push_back(Idiom::Stencil9);
+    if (opts.allow_transpose) out.push_back(Idiom::Transpose);
+  }
+  return out;
+}
+
+} // namespace
+
+ProgramSpec random_spec(Rng& rng, const GenOptions& opts) {
+  AL_EXPECTS(opts.min_phases >= 1 && opts.min_phases <= opts.max_phases);
+  AL_EXPECTS(opts.min_arrays >= 1 && opts.min_arrays <= opts.max_arrays);
+  AL_EXPECTS(opts.min_rank >= 1 && opts.max_rank <= 3 &&
+             opts.min_rank <= opts.max_rank);
+  AL_EXPECTS(opts.n >= 8);
+
+  ProgramSpec spec;
+  spec.n = opts.n;
+  const int narrays =
+      opts.pipeline_dataflow ? 2 : rng.int_in(opts.min_arrays, opts.max_arrays);
+  const int pipeline_rank =
+      opts.pipeline_dataflow ? rng.int_in(opts.min_rank, opts.max_rank) : 0;
+  for (int a = 0; a < narrays; ++a) {
+    ArrayDecl decl;
+    decl.name = "q" + std::to_string(a);
+    // Pipeline mode ping-pongs between two arrays, so both take one rank.
+    decl.rank = opts.pipeline_dataflow ? pipeline_rank
+                                       : rng.int_in(opts.min_rank, opts.max_rank);
+    spec.arrays.push_back(std::move(decl));
+  }
+
+  const int nphases = rng.int_in(opts.min_phases, opts.max_phases);
+  for (int p = 0; p < nphases; ++p) {
+    PhaseSpec ph;
+    if (opts.pipeline_dataflow) {
+      // Phase p consumes what phase p-1 produced and nothing else: the
+      // layout graph becomes a chain of adjacent remap edges, the shape the
+      // exact DP selection engine requires.
+      ph.rhs = p % 2;
+      ph.lhs = 1 - ph.rhs;
+    } else {
+      ph.lhs = rng.int_in(0, narrays - 1);
+      ph.rhs = rng.int_in(0, narrays - 1);
+    }
+    if (!opts.pipeline_dataflow && rng.chance(opts.reduction_prob)) {
+      ph.idiom = Idiom::Reduction;  // writes a scalar, so not in pipeline mode
+    } else {
+      ph.idiom = rng.pick(legal_idioms(spec, ph.lhs, ph.rhs, opts));
+    }
+    const int lrank = spec.arrays[static_cast<std::size_t>(ph.lhs)].rank;
+    const int rrank = spec.arrays[static_cast<std::size_t>(ph.rhs)].rank;
+    const int shared = std::min(lrank, rrank);
+    switch (ph.idiom) {
+      case Idiom::SweepForward:
+      case Idiom::SweepBackward:
+        ph.dir = rng.int_in(0, lrank - 1);
+        break;
+      case Idiom::Stencil5:
+        ph.dir = rng.int_in(0, shared - 1);
+        if (shared >= 2) {
+          ph.dir2 = rng.int_in(0, shared - 2);
+          if (ph.dir2 >= ph.dir) ++ph.dir2;  // distinct second dimension
+        }
+        break;
+      case Idiom::Stencil9:
+      case Idiom::Transpose:
+        ph.dir = rng.int_in(0, shared - 1);
+        ph.dir2 = rng.int_in(0, shared - 2);
+        if (ph.dir2 >= ph.dir) ++ph.dir2;
+        break;
+      default:
+        break;
+    }
+    spec.phases.push_back(ph);
+  }
+
+  if (opts.max_time_steps >= 2 && rng.chance(opts.time_loop_prob)) {
+    spec.time_steps = rng.int_in(2, opts.max_time_steps);
+    spec.time_begin = rng.int_in(0, nphases - 1);
+    spec.time_end = rng.int_in(spec.time_begin + 1, nphases);
+  }
+
+  if (rng.chance(opts.branch_prob)) {
+    // One guarded region of 1-2 phases, clipped so it never straddles the
+    // time-loop boundary (spec_is_valid's invariant).
+    int begin = rng.int_in(0, nphases - 1);
+    int end = std::min(nphases, begin + rng.int_in(1, 2));
+    if (spec.time_steps > 0) {
+      if (begin < spec.time_begin) end = std::min(end, spec.time_begin);
+      else if (begin < spec.time_end) end = std::min(end, spec.time_end);
+    }
+    if (begin < end) spec.branches.push_back({begin, end});
+  }
+
+  AL_ENSURES(spec_is_valid(spec));
+  return spec;
+}
+
+std::string random_program(Rng& rng, const GenOptions& opts) {
+  return emit_fortran(random_spec(rng, opts));
+}
+
+} // namespace al::gen

@@ -1,0 +1,42 @@
+// Seeded random-program generation (DESIGN.md section 14): draws a
+// ProgramSpec from a parameterized distribution over the idiom library --
+// stencils, directional sweeps, transposes, reductions, pointwise phases --
+// over 1-D..3-D arrays, with an optional time loop and branch regions.
+//
+// Determinism: random_spec is a pure function of (rng state, options); the
+// differential harness and the tests re-derive identical programs from a
+// seed. All draws go through gen::Rng (no modulo bias).
+#pragma once
+
+#include "gen/rng.hpp"
+#include "gen/spec.hpp"
+
+namespace al::gen {
+
+struct GenOptions {
+  int min_phases = 3;
+  int max_phases = 8;
+  int min_arrays = 2;
+  int max_arrays = 4;
+  int min_rank = 1;
+  int max_rank = 3;
+  long n = 16;              ///< extent of every array dimension
+  int max_time_steps = 4;   ///< 0 disables time loops entirely
+  double time_loop_prob = 0.5;
+  double branch_prob = 0.35;     ///< chance of one guarded phase region
+  double reduction_prob = 0.15;  ///< per-phase chance of a Reduction idiom
+  bool allow_transpose = true;
+  /// Ping-pong dataflow between exactly two same-rank arrays: phase p reads
+  /// what phase p-1 wrote and nothing else, so the layout graph is a chain
+  /// of adjacent remap edges -- the shape select_layouts_dp requires.
+  /// Overrides min/max_arrays; drops Init and Reduction from the idiom mix.
+  bool pipeline_dataflow = false;
+};
+
+/// Draws one structurally valid ProgramSpec. Postcondition: spec_is_valid.
+[[nodiscard]] ProgramSpec random_spec(Rng& rng, const GenOptions& opts = {});
+
+/// random_spec + emit_fortran in one call.
+[[nodiscard]] std::string random_program(Rng& rng, const GenOptions& opts = {});
+
+} // namespace al::gen

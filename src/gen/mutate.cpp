@@ -1,0 +1,115 @@
+#include "gen/mutate.hpp"
+
+#include <cstddef>
+
+#include "support/contracts.hpp"
+
+namespace al::gen {
+namespace {
+
+/// Offset of the final "      end" line (every emitted program has one).
+std::size_t final_end_offset(const std::string& src) {
+  const std::size_t pos = src.rfind("\n      end\n");
+  AL_ASSERT(pos != std::string::npos);
+  return pos + 1;  // start of the "      end" line
+}
+
+/// `name(1,1,...)` with `rank` ones.
+std::string origin_ref(const std::string& name, int rank) {
+  std::string out = name + "(1";
+  for (int d = 1; d < rank; ++d) out += ",1";
+  out += ")";
+  return out;
+}
+
+std::string insert_before_end(const ProgramSpec& spec, const std::string& stmt) {
+  std::string src = emit_fortran(spec);
+  src.insert(final_end_offset(src), stmt);
+  return src;
+}
+
+} // namespace
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::DropEnddo: return "drop-enddo";
+    case MutationKind::UnbalanceParens: return "unbalance-parens";
+    case MutationKind::UndeclaredArray: return "undeclared-array";
+    case MutationKind::RankMismatch: return "rank-mismatch";
+    case MutationKind::AssignToParameter: return "assign-to-parameter";
+    case MutationKind::BadDoVariable: return "bad-do-variable";
+    case MutationKind::StrayCharacters: return "stray-characters";
+    case MutationKind::TruncateTail: return "truncate-tail";
+  }
+  return "?";
+}
+
+std::string mutate_invalid(const ProgramSpec& spec, MutationKind kind) {
+  AL_EXPECTS(spec_is_valid(spec));
+  const ArrayDecl& first = spec.arrays.front();
+  switch (kind) {
+    case MutationKind::DropEnddo: {
+      std::string src = emit_fortran(spec);
+      const std::size_t pos = src.rfind("enddo\n");
+      AL_ASSERT(pos != std::string::npos);
+      const std::size_t line_start = src.rfind('\n', pos);
+      src.erase(line_start + 1, pos + 6 - (line_start + 1));
+      return src;
+    }
+    case MutationKind::UnbalanceParens: {
+      // Drop the closing paren of the first subscripted assignment.
+      std::string src = emit_fortran(spec);
+      std::size_t line = 0;
+      while (line < src.size()) {
+        const std::size_t eol = src.find('\n', line);
+        const std::string_view text =
+            std::string_view(src).substr(line, eol - line);
+        if (text.find(" = ") != std::string_view::npos &&
+            text.find("(i") != std::string_view::npos) {
+          const std::size_t paren = src.rfind(')', eol);
+          AL_ASSERT(paren != std::string::npos && paren > line);
+          src.erase(paren, 1);
+          return src;
+        }
+        line = eol + 1;
+      }
+      AL_UNREACHABLE("no subscripted assignment to mutate");
+    }
+    case MutationKind::UndeclaredArray:
+      return insert_before_end(spec, "      " + origin_ref(first.name, first.rank) +
+                                         " = zz9(1) + 1.0\n");
+    case MutationKind::RankMismatch:
+      return insert_before_end(
+          spec, "      " + origin_ref(first.name, first.rank + 1) + " = 1.0\n");
+    case MutationKind::AssignToParameter:
+      return insert_before_end(spec, "      n = 3\n");
+    case MutationKind::BadDoVariable: {
+      std::string src = emit_fortran(spec);
+      const std::size_t decl = src.find("\n      integer ");
+      AL_ASSERT(decl != std::string::npos);
+      src.insert(decl + 1, "      real t\n");
+      src.insert(final_end_offset(src), "      do t = 1, 2\n      enddo\n");
+      return src;
+    }
+    case MutationKind::StrayCharacters:
+      return insert_before_end(spec, "      @ $ ?\n");
+    case MutationKind::TruncateTail: {
+      // Cut MID-statement, not at a line boundary: the parser tolerates a
+      // missing trailing "end", so a clean-boundary cut can leave a program
+      // that still parses. Cutting inside an assignment cannot.
+      const std::string src = emit_fortran(spec);
+      std::size_t cut = src.find(" = ", src.size() / 2);
+      if (cut == std::string::npos) cut = src.rfind(" = ");
+      AL_ASSERT(cut != std::string::npos);  // every program assigns something
+      return src.substr(0, cut + 2);
+    }
+  }
+  AL_UNREACHABLE("unknown mutation kind");
+}
+
+MutationKind random_mutation(Rng& rng) {
+  const int count = static_cast<int>(std::size(kAllMutations));
+  return kAllMutations[static_cast<std::size_t>(rng.int_in(0, count - 1))];
+}
+
+} // namespace al::gen

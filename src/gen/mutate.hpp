@@ -1,0 +1,42 @@
+// Invalidating mutations for negative-path frontend testing (DESIGN.md
+// section 14): each mutation takes a VALID generated program and produces a
+// source text the frontend must REJECT with structured diagnostics -- never
+// a crash, never a silent acceptance. tests/gen_test.cpp drives every
+// mutation kind through lex/parse/analyze and asserts on the diagnostics.
+#pragma once
+
+#include <string>
+
+#include "gen/rng.hpp"
+#include "gen/spec.hpp"
+
+namespace al::gen {
+
+enum class MutationKind {
+  DropEnddo,          ///< delete the final `enddo` -> unterminated DO
+  UnbalanceParens,    ///< drop a `)` from an assignment -> expression error
+  UndeclaredArray,    ///< reference an array that was never declared
+  RankMismatch,       ///< subscript an array with one extra dimension
+  AssignToParameter,  ///< assign to the PARAMETER `n`
+  BadDoVariable,      ///< loop control variable declared REAL
+  StrayCharacters,    ///< inject bytes outside the lexical alphabet
+  TruncateTail,       ///< cut the source mid-statement
+};
+
+constexpr MutationKind kAllMutations[] = {
+    MutationKind::DropEnddo,         MutationKind::UnbalanceParens,
+    MutationKind::UndeclaredArray,   MutationKind::RankMismatch,
+    MutationKind::AssignToParameter, MutationKind::BadDoVariable,
+    MutationKind::StrayCharacters,   MutationKind::TruncateTail,
+};
+
+[[nodiscard]] const char* to_string(MutationKind kind);
+
+/// Applies `kind` to the source of `spec`. The result is guaranteed to be
+/// rejected by parse_and_check (a lexical, syntactic, or semantic error).
+[[nodiscard]] std::string mutate_invalid(const ProgramSpec& spec, MutationKind kind);
+
+/// Random mutation kind (for fuzzing the negative path).
+[[nodiscard]] MutationKind random_mutation(Rng& rng);
+
+} // namespace al::gen

@@ -1,0 +1,57 @@
+// Seeded randomness for the generative workload engine. One thin wrapper
+// around std::mt19937_64 so every draw in src/gen goes through an UNBIASED
+// distribution (std::uniform_int_distribution / bernoulli_distribution)
+// instead of the modulo-biased `rng() % n` idiom the old ad-hoc fuzzer used.
+//
+// Determinism contract: the same (seed, sequence of calls) produces the same
+// draws on the same standard library. std::uniform_int_distribution's
+// algorithm is implementation-defined, so reproducer seeds are stable within
+// one toolchain (the CI image), not across standard libraries; failing
+// programs are therefore always reported as SOURCE TEXT, never only as a
+// seed (see gen::Shrinker and tools/autolayout_fuzz).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace al::gen {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi], both inclusive.
+  [[nodiscard]] int int_in(int lo, int hi) {
+    AL_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] long long_in(long lo, long hi) {
+    AL_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<long>(lo, hi)(engine_);
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) {
+    AL_EXPECTS(!v.empty());
+    return v[static_cast<std::size_t>(int_in(0, static_cast<int>(v.size()) - 1))];
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+private:
+  std::mt19937_64 engine_;
+};
+
+} // namespace al::gen

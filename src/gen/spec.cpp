@@ -1,0 +1,340 @@
+#include "gen/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace al::gen {
+namespace {
+
+const char* kLoopVar[3] = {"i", "j", "k"};
+
+/// How one nest dimension iterates, decided by the phase's idiom.
+enum class Bound {
+  Full,      ///< do v = 1, n
+  Interior,  ///< do v = 2, n-1      (stencil offsets on this dimension)
+  Forward,   ///< do v = 2, n        (ascending recurrence)
+  Backward,  ///< do v = n-1, 1, -1  (descending recurrence)
+};
+
+const char* bound_text(Bound b) {
+  switch (b) {
+    case Bound::Full: return "1, n";
+    case Bound::Interior: return "2, n-1";
+    case Bound::Forward: return "2, n";
+    case Bound::Backward: return "n-1, 1, -1";
+  }
+  return "1, n";
+}
+
+/// Indented line writer shared by every builder below.
+class Writer {
+public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  void line(std::string_view text) {
+    os_ << "      ";
+    for (int k = 0; k < depth_; ++k) os_ << "  ";
+    os_ << text << "\n";
+  }
+  void comment(std::string_view text) { os_ << "c     " << text << "\n"; }
+  void open() { ++depth_; }
+  void close() { AL_ASSERT(depth_ > 0); --depth_; }
+
+private:
+  std::ostream& os_;
+  int depth_ = 0;
+};
+
+/// Subscript list for an array of rank `arank` inside a nest of rank `nest`:
+/// loop variables for the dimensions the nest covers, the constant 2 for the
+/// rest. `off_dim`/`off` shift one covered dimension (stencils, sweeps);
+/// `swap_a`/`swap_b` exchange two dimensions (transposes).
+std::string subscript(int arank, int nest, int off_dim = -1, int off = 0,
+                      int swap_a = -1, int swap_b = -1) {
+  std::string out = "(";
+  for (int d = 0; d < arank; ++d) {
+    if (d > 0) out += ",";
+    int src = d;
+    if (d == swap_a) src = swap_b;
+    else if (d == swap_b) src = swap_a;
+    if (src >= nest) {
+      out += "2";
+      continue;
+    }
+    out += kLoopVar[src];
+    if (d == off_dim) out += off > 0 ? "+1" : "-1";
+  }
+  out += ")";
+  return out;
+}
+
+/// One phase = one loop nest; this is the composable builder the idiom
+/// library plugs statement text into.
+void emit_nest(Writer& w, int nest, const std::vector<Bound>& bounds,
+               const std::vector<std::string>& body) {
+  for (int d = nest - 1; d >= 0; --d) {
+    w.line(std::string("do ") + kLoopVar[d] + " = " +
+           bound_text(bounds[static_cast<std::size_t>(d)]));
+    w.open();
+  }
+  for (const std::string& s : body) w.line(s);
+  for (int d = 0; d < nest; ++d) {
+    w.close();
+    w.line("enddo");
+  }
+}
+
+/// True when Stencil5 also offsets along dir2 (it degrades to a 3-point
+/// stencil when only one dimension is available).
+bool stencil5_uses_dir2(const ProgramSpec& spec, const PhaseSpec& p) {
+  const int nest = spec.arrays[static_cast<std::size_t>(p.lhs)].rank;
+  const int dims = std::min(spec.arrays[static_cast<std::size_t>(p.rhs)].rank, nest);
+  return dims >= 2 && p.dir2 != p.dir && p.dir2 < dims;
+}
+
+void emit_phase(Writer& w, const ProgramSpec& spec, int index) {
+  const PhaseSpec& p = spec.phases[static_cast<std::size_t>(index)];
+  const std::string& lhs = spec.arrays[static_cast<std::size_t>(p.lhs)].name;
+  const std::string& rhs = spec.arrays[static_cast<std::size_t>(p.rhs)].name;
+  const int lrank = spec.arrays[static_cast<std::size_t>(p.lhs)].rank;
+  const int rrank = spec.arrays[static_cast<std::size_t>(p.rhs)].rank;
+  const int nest = lrank;  // the written (or reduced) array shapes the nest
+
+  std::vector<Bound> bounds(static_cast<std::size_t>(nest), Bound::Full);
+  std::vector<std::string> body;
+
+  switch (p.idiom) {
+    case Idiom::Init: {
+      std::string expr = "1.0";
+      const char* scale[3] = {"0.001", "0.002", "0.003"};
+      for (int d = 0; d < nest; ++d)
+        expr += std::string(" + ") + kLoopVar[d] + "*" + scale[d];
+      body.push_back(lhs + subscript(lrank, nest) + " = " + expr);
+      break;
+    }
+    case Idiom::Pointwise:
+      body.push_back(lhs + subscript(lrank, nest) + " = " +
+                     rhs + subscript(rrank, nest) + "*0.5 + 1.0");
+      break;
+    case Idiom::Stencil5: {
+      bounds[static_cast<std::size_t>(p.dir)] = Bound::Interior;
+      std::string expr = rhs + subscript(rrank, nest, p.dir, -1) + " + " +
+                         rhs + subscript(rrank, nest, p.dir, +1);
+      if (stencil5_uses_dir2(spec, p)) {
+        bounds[static_cast<std::size_t>(p.dir2)] = Bound::Interior;
+        expr += " + " + rhs + subscript(rrank, nest, p.dir2, -1) + " + " +
+                rhs + subscript(rrank, nest, p.dir2, +1);
+      }
+      expr += " - 4.0*" + rhs + subscript(rrank, nest);
+      body.push_back(lhs + subscript(lrank, nest) + " = " + expr);
+      break;
+    }
+    case Idiom::Stencil9: {
+      bounds[static_cast<std::size_t>(p.dir)] = Bound::Interior;
+      bounds[static_cast<std::size_t>(p.dir2)] = Bound::Interior;
+      // Face neighbors plus the four corners of the dir x dir2 plane. The
+      // corner subscripts need a double offset, built by hand here.
+      auto corner = [&](int o1, int o2) {
+        std::string s = "(";
+        for (int d = 0; d < rrank; ++d) {
+          if (d > 0) s += ",";
+          if (d >= nest) {
+            s += "2";
+            continue;
+          }
+          s += kLoopVar[d];
+          if (d == p.dir) s += o1 > 0 ? "+1" : "-1";
+          if (d == p.dir2) s += o2 > 0 ? "+1" : "-1";
+        }
+        return s + ")";
+      };
+      body.push_back(lhs + subscript(lrank, nest) + " = " +
+                     rhs + subscript(rrank, nest, p.dir, -1) + " + " +
+                     rhs + subscript(rrank, nest, p.dir, +1) + " + " +
+                     rhs + subscript(rrank, nest, p.dir2, -1) + " + " +
+                     rhs + subscript(rrank, nest, p.dir2, +1) + " &");
+      body.push_back("  + 0.5*(" + rhs + corner(-1, -1) + " + " +
+                     rhs + corner(-1, +1) + " + " + rhs + corner(+1, -1) +
+                     " + " + rhs + corner(+1, +1) + ")");
+      break;
+    }
+    case Idiom::SweepForward:
+      bounds[static_cast<std::size_t>(p.dir)] = Bound::Forward;
+      body.push_back(lhs + subscript(lrank, nest) + " = " +
+                     lhs + subscript(lrank, nest, p.dir, -1) + "*0.25 + " +
+                     rhs + subscript(rrank, nest) + "*0.5");
+      break;
+    case Idiom::SweepBackward:
+      bounds[static_cast<std::size_t>(p.dir)] = Bound::Backward;
+      body.push_back(lhs + subscript(lrank, nest) + " = " +
+                     lhs + subscript(lrank, nest, p.dir, +1) + "*0.25 + " +
+                     rhs + subscript(rrank, nest) + "*0.5");
+      break;
+    case Idiom::Transpose:
+      body.push_back(lhs + subscript(lrank, nest) + " = " +
+                     rhs + subscript(rrank, nest, -1, 0, p.dir, p.dir2));
+      break;
+    case Idiom::Reduction: {
+      std::string s = "s";  // (two-step append: GCC 12's -Wrestrict trips on
+      s += std::to_string(index);  // the one-line char* + temporary concat)
+      const std::string ref = lhs + subscript(lrank, nest);
+      w.line(s + " = 0.0");
+      body.push_back(s + " = " + s + " + " + ref + "*" + ref);
+      break;
+    }
+  }
+  emit_nest(w, nest, bounds, body);
+}
+
+} // namespace
+
+const char* to_string(Idiom idiom) {
+  switch (idiom) {
+    case Idiom::Init: return "init";
+    case Idiom::Pointwise: return "pointwise";
+    case Idiom::Stencil5: return "stencil5";
+    case Idiom::Stencil9: return "stencil9";
+    case Idiom::SweepForward: return "sweep_fwd";
+    case Idiom::SweepBackward: return "sweep_bwd";
+    case Idiom::Transpose: return "transpose";
+    case Idiom::Reduction: return "reduction";
+  }
+  return "?";
+}
+
+bool spec_is_valid(const ProgramSpec& spec, std::string* why) {
+  auto reject = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (spec.n < 8) return reject("n must be >= 8");
+  if (spec.arrays.empty()) return reject("no arrays");
+  if (spec.phases.empty()) return reject("no phases");
+  for (const ArrayDecl& a : spec.arrays) {
+    if (a.rank < 1 || a.rank > 3) return reject("array rank out of [1,3]");
+    if (a.name.empty()) return reject("unnamed array");
+  }
+  const int narrays = static_cast<int>(spec.arrays.size());
+  for (std::size_t idx = 0; idx < spec.phases.size(); ++idx) {
+    const PhaseSpec& p = spec.phases[idx];
+    const std::string where = "phase " + std::to_string(idx) + ": ";
+    if (p.lhs < 0 || p.lhs >= narrays || p.rhs < 0 || p.rhs >= narrays)
+      return reject(where + "array index out of range");
+    const int lrank = spec.arrays[static_cast<std::size_t>(p.lhs)].rank;
+    const int rrank = spec.arrays[static_cast<std::size_t>(p.rhs)].rank;
+    switch (p.idiom) {
+      case Idiom::Init:
+      case Idiom::Pointwise:
+      case Idiom::Reduction:
+        break;
+      case Idiom::Stencil5:
+        if (p.dir < 0 || p.dir >= std::min(lrank, rrank))
+          return reject(where + "stencil5 dir out of range");
+        break;
+      case Idiom::Stencil9:
+        if (std::min(lrank, rrank) < 2)
+          return reject(where + "stencil9 needs rank >= 2");
+        if (p.dir == p.dir2 || p.dir < 0 || p.dir2 < 0 ||
+            std::max(p.dir, p.dir2) >= std::min(lrank, rrank))
+          return reject(where + "stencil9 dirs invalid");
+        break;
+      case Idiom::SweepForward:
+      case Idiom::SweepBackward:
+        if (p.dir < 0 || p.dir >= lrank) return reject(where + "sweep dir out of range");
+        break;
+      case Idiom::Transpose:
+        if (p.dir == p.dir2 || p.dir < 0 || p.dir2 < 0 ||
+            std::max(p.dir, p.dir2) >= std::min(lrank, rrank))
+          return reject(where + "transpose dims invalid");
+        break;
+    }
+  }
+  const int nphases = spec.num_phases();
+  if (spec.time_steps != 0) {
+    if (spec.time_steps < 2) return reject("time loop needs >= 2 steps");
+    if (spec.time_begin < 0 || spec.time_begin >= spec.time_end ||
+        spec.time_end > nphases)
+      return reject("time-loop range invalid");
+  }
+  int prev_end = 0;
+  for (const BranchSpec& b : spec.branches) {
+    if (b.begin < prev_end || b.begin >= b.end || b.end > nphases)
+      return reject("branch ranges must be sorted, disjoint, non-empty");
+    prev_end = b.end;
+    if (spec.time_steps != 0) {
+      const bool inside = b.begin >= spec.time_begin && b.end <= spec.time_end;
+      const bool outside = b.end <= spec.time_begin || b.begin >= spec.time_end;
+      if (!inside && !outside)
+        return reject("branch straddles the time-loop boundary");
+    }
+  }
+  return true;
+}
+
+std::string emit_fortran(const ProgramSpec& spec) {
+  std::string why;
+  if (!spec_is_valid(spec, &why))
+    throw ContractViolation("gen::emit_fortran: invalid spec: " + why);
+
+  std::ostringstream os;
+  Writer w(os);
+  w.line("program " + spec.name);
+  if (spec.time_steps > 0) {
+    w.line("parameter (n = " + std::to_string(spec.n) +
+           ", niter = " + std::to_string(spec.time_steps) + ")");
+  } else {
+    w.line("parameter (n = " + std::to_string(spec.n) + ")");
+  }
+  for (const ArrayDecl& a : spec.arrays) {
+    std::string shape = "(n";
+    for (int d = 1; d < a.rank; ++d) shape += ",n";
+    shape += ")";
+    w.line("real " + a.name + shape);
+  }
+  std::string scalars;
+  for (int p = 0; p < spec.num_phases(); ++p) {
+    if (spec.phases[static_cast<std::size_t>(p)].idiom != Idiom::Reduction) continue;
+    if (!scalars.empty()) scalars += ", ";
+    scalars += "s";
+    scalars += std::to_string(p);
+  }
+  if (!scalars.empty()) w.line("real " + scalars);
+  w.line(spec.time_steps > 0 ? "integer i, j, k, it" : "integer i, j, k");
+
+  // Branch guard: the first array, indexed at its origin.
+  std::string guard = spec.arrays[0].name + "(1";
+  for (int d = 1; d < spec.arrays[0].rank; ++d) guard += ",1";
+  guard += ")";
+
+  std::size_t next_branch = 0;
+  for (int p = 0; p < spec.num_phases(); ++p) {
+    if (spec.time_steps > 0 && p == spec.time_begin) {
+      w.line("do it = 1, niter");
+      w.open();
+    }
+    if (next_branch < spec.branches.size() &&
+        spec.branches[next_branch].begin == p) {
+      w.line("if (" + guard + " .gt. 0.0) then");
+      w.open();
+    }
+    w.comment("phase " + std::to_string(p) + ": " +
+              to_string(spec.phases[static_cast<std::size_t>(p)].idiom));
+    emit_phase(w, spec, p);
+    if (next_branch < spec.branches.size() &&
+        spec.branches[next_branch].end == p + 1) {
+      w.close();
+      w.line("endif");
+      ++next_branch;
+    }
+    if (spec.time_steps > 0 && p + 1 == spec.time_end) {
+      w.close();
+      w.line("enddo");
+    }
+  }
+  w.line("end");
+  return os.str();
+}
+
+} // namespace al::gen

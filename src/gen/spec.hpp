@@ -1,0 +1,86 @@
+// The generative workload engine's program IR (DESIGN.md section 14).
+//
+// A GENERATED program is first a ProgramSpec -- arrays, a sequence of phase
+// idioms, an optional time loop, optional branches -- and only then Fortran
+// text. The split mirrors the matcher/builder architecture of LoopTactics:
+// idioms are composable builders over a shared loop-nest vocabulary, and the
+// spec is the structure every other layer manipulates (the shrinker edits
+// specs, never text), with emit_fortran as the single source-of-text.
+//
+// Every emitted program is valid input for the frontend: it round-trips
+// through the lexer, parser, and semantic analysis by construction, which
+// tests/gen_test.cpp pins for thousands of seeds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace al::gen {
+
+/// One declared array. Extents are `n` in every dimension (the spec's single
+/// problem-size parameter), so rank fully describes the shape.
+struct ArrayDecl {
+  std::string name;
+  int rank = 2;  ///< 1..3
+};
+
+/// The phase idiom library: each value is one realistic loop-nest shape the
+/// paper's workloads are built from.
+enum class Idiom {
+  Init,          ///< lhs(...) = f(loop vars)                (initialization)
+  Pointwise,     ///< lhs = rhs*c + c'                       (aligned copy)
+  Stencil5,      ///< lhs = sum of rhs face neighbors        (3-point in 1-D)
+  Stencil9,      ///< 5-point plus diagonal corners          (rank >= 2)
+  SweepForward,  ///< lhs recurrence along `dir`, ascending  (ADI elimination)
+  SweepBackward, ///< lhs recurrence along `dir`, descending (back substitution)
+  Transpose,     ///< lhs(i,j,..) = rhs(j,i,..)              (dims dir<->dir2)
+  Reduction,     ///< s = s + lhs(...)^2                     (reads lhs only)
+};
+
+[[nodiscard]] const char* to_string(Idiom idiom);
+
+/// One phase: an idiom instantiated over concrete arrays and directions.
+struct PhaseSpec {
+  Idiom idiom = Idiom::Pointwise;
+  int lhs = 0;   ///< index into ProgramSpec::arrays (the array swept/written;
+                 ///< for Reduction, the array READ into the scalar)
+  int rhs = 0;   ///< second array (ignored by Init/Reduction; may equal lhs)
+  int dir = 0;   ///< swept dimension (sweeps) / offset dimension (stencils)
+  int dir2 = 1;  ///< second transposed dimension (Transpose only)
+};
+
+/// A contiguous run of phases wrapped in `if (...) then ... endif`.
+struct BranchSpec {
+  int begin = 0;  ///< first wrapped phase
+  int end = 0;    ///< one past the last wrapped phase
+};
+
+struct ProgramSpec {
+  std::string name = "gen";
+  long n = 16;         ///< extent of every array dimension
+  int time_steps = 0;  ///< 0 = no time loop; >= 2 wraps [time_begin, time_end)
+  int time_begin = 0;
+  int time_end = 0;
+  std::vector<ArrayDecl> arrays;
+  std::vector<PhaseSpec> phases;
+  /// Disjoint, sorted, and never straddling the time-loop boundary.
+  std::vector<BranchSpec> branches;
+
+  [[nodiscard]] int num_phases() const { return static_cast<int>(phases.size()); }
+  /// True when phase `p` sits inside the time loop.
+  [[nodiscard]] bool in_time_loop(int p) const {
+    return time_steps > 0 && p >= time_begin && p < time_end;
+  }
+};
+
+/// Renders the spec as Fortran-subset source accepted by fortran::lex /
+/// parse_program / analyze. Deterministic: equal specs emit equal bytes.
+[[nodiscard]] std::string emit_fortran(const ProgramSpec& spec);
+
+/// Structural validity of a spec (indices in range, idiom/rank constraints,
+/// branch and time-loop ranges well formed). emit_fortran asserts this; the
+/// generator and shrinker maintain it as an invariant.
+[[nodiscard]] bool spec_is_valid(const ProgramSpec& spec, std::string* why = nullptr);
+
+} // namespace al::gen

@@ -4,11 +4,18 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/contracts.hpp"
+
 namespace al::support {
 
 double JsonValue::as_double() const {
-  if (kind_ != Kind::Number) return 0.0;
-  return std::strtod(text_.c_str(), nullptr);
+  AL_EXPECTS(kind_ == Kind::Number);
+  char* end = nullptr;
+  const double value = std::strtod(text_.c_str(), &end);
+  // The parser only stores grammar-valid number lexemes, so strtod must
+  // consume every byte; a partial parse means the value is corrupted.
+  AL_ENSURES(end == text_.c_str() + text_.size());
+  return value;
 }
 
 const JsonValue* JsonValue::find(std::string_view key) const {

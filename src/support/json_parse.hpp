@@ -40,7 +40,10 @@ public:
   /// The untouched number token, e.g. "16", "-3.5", "1e9". Only for
   /// Kind::Number; feed it to al::parse_int/parse_long for integer fields.
   [[nodiscard]] const std::string& number_lexeme() const { return text_; }
-  /// Number as double (strtod of the lexeme; 0.0 for non-numbers).
+  /// Number as double (strtod of the full lexeme). Contract-checked: calling
+  /// it on a non-number, or on a lexeme strtod cannot consume entirely,
+  /// throws ContractViolation instead of silently returning 0.0. Callers
+  /// that may hold a non-number must test is_number() first.
   [[nodiscard]] double as_double() const;
 
   [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }

@@ -1,0 +1,113 @@
+// Differential smoke over the generative engine (DESIGN.md section 14): a
+// fast tier-1 slice of what tools/autolayout_fuzz runs at scale. Every
+// generated program must hold invariants D1..D6 (verified selections, ILP <=
+// DP <= greedy cost ordering, thread determinism, run-cache byte identity).
+// The full harness runs thousands of programs; this suite pins >= 200 into
+// every ctest run so a regression in any engine is caught before commit.
+#include <gtest/gtest.h>
+
+#include "gen/differential.hpp"
+#include "gen/generator.hpp"
+#include "gen/rng.hpp"
+#include "select/ilp_selection.hpp"
+
+namespace al {
+namespace {
+
+// 150 programs at the default shape: mixed ranks, branches, partial time
+// loops. Together with the chain-only and deep cases below, the suite runs
+// 200+ generated programs per ctest invocation.
+TEST(Differential, DefaultShapeSmoke) {
+  gen::Rng rng(20260807);
+  gen::GenOptions gopts;
+  gen::DiffOptions dopts;
+  for (int k = 0; k < 150; ++k) {
+    const gen::ProgramSpec spec = gen::random_spec(rng, gopts);
+    const std::string src = gen::emit_fortran(spec);
+    const gen::DiffResult res = gen::check_differential(src, dopts);
+    ASSERT_TRUE(res.ok) << "program " << k << ": " << res.failure << "\n"
+                        << src;
+    // Unlimited budgets: the winning engine is always the proven-optimal ILP.
+    EXPECT_EQ(res.engine, select::SelectionEngine::Ilp);
+    EXPECT_GT(res.phases, 0);
+    EXPECT_GT(res.candidates, 0);
+  }
+}
+
+// Chain-only shape: no branches, no time loop, and pipeline dataflow (phase
+// p reads exactly what phase p-1 wrote), so the layout graph is a chain and
+// the exact DP's structural precondition holds for EVERY program. This keeps
+// D3 (DP verifies and matches the ILP objective exactly) from being a
+// rarely-taken path in the default mix.
+TEST(Differential, ChainOnlyShapeExercisesDpOracle) {
+  gen::Rng rng(777);
+  gen::GenOptions gopts;
+  gopts.branch_prob = 0.0;
+  gopts.time_loop_prob = 0.0;
+  gopts.pipeline_dataflow = true;
+  // Rank-1 arrays can collapse to a single candidate layout per phase, which
+  // leaves the layout graph with no remap edges and the DP without a chain.
+  gopts.min_rank = 2;
+  gen::DiffOptions dopts;
+  int dp_hits = 0;
+  for (int k = 0; k < 50; ++k) {
+    const gen::ProgramSpec spec = gen::random_spec(rng, gopts);
+    ASSERT_TRUE(spec.branches.empty());
+    ASSERT_EQ(spec.time_steps, 0);
+    const std::string src = gen::emit_fortran(spec);
+    const gen::DiffResult res = gen::check_differential(src, dopts);
+    ASSERT_TRUE(res.ok) << "program " << k << ": " << res.failure << "\n"
+                        << src;
+    if (res.dp_applicable) {
+      ++dp_hits;
+      // Both engines are exact, so the objectives must agree.
+      EXPECT_NEAR(res.dp_cost_us, res.ilp_cost_us,
+                  1e-6 * (1.0 + res.ilp_cost_us));
+      EXPECT_LE(res.ilp_cost_us,
+                res.greedy_cost_us * (1.0 + 1e-9) + 1e-9);
+    }
+  }
+  EXPECT_EQ(dp_hits, 50) << "chain-shaped programs must all admit the DP";
+}
+
+// A handful of much deeper programs: tens of phases, more arrays, bigger
+// selection MIPs. Slower per program, so only a few of them in tier 1.
+TEST(Differential, DeepProgramsHoldInvariants) {
+  gen::Rng rng(31337);
+  gen::GenOptions gopts;
+  gopts.min_phases = 24;
+  gopts.max_phases = 40;
+  gopts.max_arrays = 6;
+  gen::DiffOptions dopts;
+  for (int k = 0; k < 3; ++k) {
+    const gen::ProgramSpec spec = gen::random_spec(rng, gopts);
+    const std::string src = gen::emit_fortran(spec);
+    const gen::DiffResult res = gen::check_differential(src, dopts);
+    ASSERT_TRUE(res.ok) << "program " << k << ": " << res.failure << "\n"
+                        << src;
+    EXPECT_GE(res.phases, 24);
+    // At least one candidate layout survives dominance pruning per phase.
+    EXPECT_GE(res.candidates, res.phases);
+  }
+}
+
+// check_differential is itself deterministic: same source, same options,
+// bit-identical costs on repeat evaluation.
+TEST(Differential, RepeatEvaluationIsBitIdentical) {
+  gen::Rng rng(4242);
+  const gen::ProgramSpec spec = gen::random_spec(rng, {});
+  const std::string src = gen::emit_fortran(spec);
+  gen::DiffOptions dopts;
+  const gen::DiffResult a = gen::check_differential(src, dopts);
+  const gen::DiffResult b = gen::check_differential(src, dopts);
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_EQ(a.ilp_cost_us, b.ilp_cost_us);
+  EXPECT_EQ(a.greedy_cost_us, b.greedy_cost_us);
+  EXPECT_EQ(a.dp_applicable, b.dp_applicable);
+  EXPECT_EQ(a.dp_cost_us, b.dp_cost_us);
+  EXPECT_EQ(a.ilp_variables, b.ilp_variables);
+}
+
+} // namespace
+} // namespace al

@@ -14,6 +14,7 @@
 #include "corpus/corpus.hpp"
 #include "driver/tool.hpp"
 #include "service/protocol.hpp"
+#include "support/contracts.hpp"
 #include "support/json.hpp"
 #include "support/json_parse.hpp"
 #include "support/metrics.hpp"
@@ -57,6 +58,22 @@ TEST(JsonParse, ScalarsAndContainers) {
   ASSERT_NE(obj.find("b"), nullptr);
   EXPECT_TRUE(obj.find("b")->find("c")->as_bool());
   EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonParse, AsDoubleRejectsNonNumbers) {
+  // as_double on a non-number is a caller bug: ContractViolation, never a
+  // silent 0.0 (which "0" also maps to, making corruption invisible).
+  EXPECT_THROW((void)parse_ok("null").as_double(), ContractViolation);
+  EXPECT_THROW((void)parse_ok("true").as_double(), ContractViolation);
+  EXPECT_THROW((void)parse_ok("\"3.5\"").as_double(), ContractViolation);
+  EXPECT_THROW((void)parse_ok("[1]").as_double(), ContractViolation);
+  EXPECT_THROW((void)parse_ok("{}").as_double(), ContractViolation);
+  // Callers that may hold any kind gate on is_number() first.
+  const JsonValue v = parse_ok("42");
+  ASSERT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_ok("0").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_ok("1e3").as_double(), 1000.0);
 }
 
 TEST(JsonParse, DecodesEscapes) {
