@@ -52,8 +52,11 @@ std::vector<std::vector<int>> Partitioning::blocks() const {
   std::vector<std::vector<int>> out;
   out.reserve(by_root.size());
   for (auto& [root, members] : by_root) out.push_back(std::move(members));
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  // Full lexicographic order. Comparing fronts alone leaves equal-front
+  // groups in unspecified relative order under std::sort -- blocks of a
+  // disjoint partition can't tie today, but callers sorting merged or
+  // projected group lists through here must stay deterministic everywhere.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -70,7 +70,8 @@ void write_selection(support::JsonWriter& w, const ToolResult& r) {
   w.kv("bb_nodes", r.selection.bb_nodes);
   w.kv("simplex_pivots", r.selection.lp_iterations);
   w.kv("solve_ms", r.selection.solve_ms);
-  // MIP engine provenance (DESIGN.md section 12).
+  // MIP engine provenance (DESIGN.md sections 12 and 15).
+  w.kv("lp_core", ilp::to_string(r.options.mip.lp_core));
   w.kv("branching", ilp::to_string(r.options.mip.branching));
   w.kv("warm_start", r.options.mip.warm_start);
   w.kv("warm_starts", r.selection.warm_starts);
@@ -80,6 +81,9 @@ void write_selection(support::JsonWriter& w, const ToolResult& r) {
   w.kv("presolve_removed_rows", r.selection.presolve_removed_rows);
   w.kv("dominance", r.options.dominance);
   w.kv("dominated_candidates", r.selection.dominated_candidates);
+  w.kv("cuts", r.options.mip.cuts);
+  w.kv("cuts_added", r.selection.cuts_added);
+  w.kv("partial_pricing", r.options.mip.partial_pricing);
   w.end_object();
   w.end_object();
 }

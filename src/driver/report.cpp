@@ -73,12 +73,14 @@ std::string performance_report(const ToolResult& result) {
      << ", engine " << select::to_string(result.selection.engine)
      << (result.selection.is_fallback() ? " (fallback)" : "") << ", checker "
      << (result.verification.ok ? "ok" : "FAILED: " + result.verification.message);
-  os << "\nmip engine: " << ilp::to_string(result.options.mip.branching)
+  os << "\nmip engine: " << ilp::to_string(result.options.mip.lp_core)
+     << " core, " << ilp::to_string(result.options.mip.branching)
      << " branching, warm starts " << result.selection.warm_starts << " ("
      << result.selection.warm_start_failures << " cold fallbacks), presolve -"
      << result.selection.presolve_fixed_vars << " vars -"
      << result.selection.presolve_removed_rows << " rows, dominance -"
-     << result.selection.dominated_candidates << " candidates";
+     << result.selection.dominated_candidates << " candidates, cuts +"
+     << result.selection.cuts_added;
   std::size_t greedy_resolutions = 0;
   for (const cag::Resolution& res : result.alignment.ilp_resolutions) {
     if (res.greedy_fallback) ++greedy_resolutions;

@@ -67,6 +67,12 @@ void mix_mip(perf::RunDigest& d, const ilp::MipOptions& mip) {
         static_cast<std::uint64_t>(mip.presolve) << 1 |
         static_cast<std::uint64_t>(mip.branching));
   d.mix(static_cast<std::uint64_t>(mip.warm_pivot_budget));
+  // The LP core and cut separation both change provenance fields (cuts
+  // change the node/pivot counts the report carries; core selection is
+  // reported); partial pricing changes pivot paths and counts.
+  d.mix(static_cast<std::uint64_t>(mip.lp_core) << 2 |
+        static_cast<std::uint64_t>(mip.cuts) << 1 |
+        static_cast<std::uint64_t>(mip.partial_pricing));
 }
 
 } // namespace

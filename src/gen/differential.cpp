@@ -134,6 +134,34 @@ DiffResult check_differential(const std::string& source, const DiffOptions& opts
     }
   }
 
+  // D7: the sparse revised-simplex core and the dense-inverse oracle must
+  // land on the same verified selection. The selection MIP's tie-break
+  // epsilons make its optimum unique, so under unlimited budgets this is
+  // equality of `chosen`, not merely of cost.
+  if (opts.check_lp_cores) {
+    select::SelectionOptions sel;
+    sel.mip = opts.mip;
+    sel.mip.lp_core = opts.mip.lp_core == ilp::LpCore::Sparse
+                          ? ilp::LpCore::Dense
+                          : ilp::LpCore::Sparse;
+    try {
+      const select::SelectionResult other = select::select_layouts_ilp(tool->graph, sel);
+      const select::VerifyResult v = select::verify_assignment(tool->graph, other);
+      if (!v.ok)
+        return fail("D7: cross-core selection failed verification: " + v.message);
+      if (optimal) {
+        if (other.chosen != tool->selection.chosen)
+          return fail("D7: sparse and dense LP cores chose different layouts");
+        if (!close(other.total_cost_us, tool->selection.total_cost_us, opts.rel_tol))
+          return fail("D7: cross-core cost " + std::to_string(other.total_cost_us) +
+                      " != primary cost " +
+                      std::to_string(tool->selection.total_cost_us));
+      }
+    } catch (const std::exception& e) {
+      return fail(std::string("D7: cross-core solve threw: ") + e.what());
+    }
+  }
+
   return r;
 }
 

@@ -13,9 +13,13 @@
 //   D5  selections are deterministic across --threads settings
 //       (bit-identical costs, identical chosen vectors);
 //   D6  a whole-run-cache hit returns byte-identical report JSON and the
-//       same selection as the cold run.
+//       same selection as the cold run;
+//   D7  (opt-in: check_lp_cores) the sparse revised-simplex LP core and the
+//       dense-inverse oracle land on the SAME verified selection -- the
+//       selection MIP's tie-break epsilons make the optimum unique, so this
+//       is equality of `chosen`, not merely of cost.
 //
-// check_differential evaluates all six on one source text; shrink_failure
+// check_differential evaluates all of these on one source text; shrink_failure
 // reduces a failing ProgramSpec to a minimal reproducer by spec-level
 // delta debugging (drop phases, branches, the time loop, arrays).
 #pragma once
@@ -38,6 +42,10 @@ struct DiffOptions {
   int alt_threads = 4;
   /// Run the whole-run-cache byte-identity check (D6).
   bool check_run_cache = true;
+  /// Re-solve the selection MIP with the OTHER LP core (sparse vs dense)
+  /// and require an identical verified selection (D7). Off by default --
+  /// it re-runs the exact solve -- and on by default in autolayout_fuzz.
+  bool check_lp_cores = false;
   /// Solver budgets. The defaults are effectively unlimited, making D2's
   /// proven-optimal expectation valid; callers that set budgets get the
   /// fallback ladder and D2 relaxes to "verified".

@@ -1,0 +1,150 @@
+// Basis factorizations for the revised simplex (DESIGN.md section 15).
+//
+// The simplex engine never forms B^-1 explicitly; it needs exactly four
+// operations against the current basis matrix B (whose column at basis
+// position i is the constraint column of the variable basic in row i):
+//
+//   ftran      x := B^-1 x        (basic values, entering-column image)
+//   btran      y := B^-T y        (simplex multipliers from c_B)
+//   unit_btran rho := e_r' B^-1   (the pivot row of the dual ratio test)
+//   update     replace basis column r after a pivot
+//
+// Two implementations share this interface:
+//
+//   * SparseBasisFactor -- the production core: a Markowitz-ordered sparse
+//     LU factorization (triangular peeling falls out of the min-count pivot
+//     rule; the residual bump is eliminated with threshold pivoting and a
+//     scatter-accumulator) plus product-form sparse eta updates layered on
+//     top of the factors. Every operation costs O(nnz(L)+nnz(U)+nnz(etas)),
+//     so a pivot is linear in the factorization's fill, not quadratic in m.
+//
+//   * DenseBasisFactor -- the m x m explicit-inverse core the engine used
+//     before the sparse refactor, retained behind `--lp-core dense` as a
+//     differential oracle: both cores must reach the same optimum on every
+//     instance. Updates are O(m^2) row operations on the stored inverse.
+//
+// Factorizations are owned by one SimplexInstance and are not thread-safe.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace al::ilp {
+
+/// Read-only view of one sparse basis column (row indices + coefficients).
+/// The pointed-to storage must outlive the factor() call that receives it.
+struct BasisColumn {
+  const int* rows = nullptr;
+  const double* vals = nullptr;
+  int nnz = 0;
+};
+
+class BasisFactor {
+public:
+  virtual ~BasisFactor() = default;
+
+  /// Factors the m x m basis whose column at position i is `cols[i]`.
+  /// Discards any previous factorization and update etas. Returns false when
+  /// the basis is numerically singular (no pivot above tolerance).
+  [[nodiscard]] virtual bool factor(const std::vector<BasisColumn>& cols,
+                                    int m) = 0;
+
+  /// v := B^-1 v. Input is indexed by constraint row, output by basis
+  /// position (the two index spaces coincide dimensionally).
+  virtual void ftran(std::vector<double>& v) const = 0;
+
+  /// out := B^-1 a for a sparse column `a` (scatter + ftran; the dense core
+  /// overrides this with the cheaper inverse-times-sparse-column loop).
+  virtual void ftran_col(const BasisColumn& a, std::vector<double>& out) const;
+
+  /// v := B^-T v. Input indexed by basis position (e.g. c_B), output by
+  /// constraint row.
+  virtual void btran(std::vector<double>& v) const = 0;
+
+  /// rho := e_r' B^-1 -- row r of the basis inverse.
+  virtual void unit_btran(int r, std::vector<double>& rho) const = 0;
+
+  /// Accounts for a pivot replacing the basis column at position `r`, where
+  /// `w = B^-1 a_enter` (the ftran image already computed for the ratio
+  /// test). Returns false when |w_r| is too small to update stably -- the
+  /// caller must refactorize from the new basis instead.
+  [[nodiscard]] virtual bool update(int r, const std::vector<double>& w) = 0;
+
+  /// True when the accumulated update etas have outgrown the factorization
+  /// and a scheduled refactorization would pay for itself. The dense core
+  /// never asks for one (its update cost does not grow with the chain).
+  [[nodiscard]] virtual bool wants_refactor() const = 0;
+
+  /// Updates applied since the last successful factor().
+  [[nodiscard]] virtual long updates_since_factor() const = 0;
+
+  /// Dimension of the last factored basis (0 before the first factor()).
+  [[nodiscard]] int dim() const { return m_; }
+
+protected:
+  int m_ = 0;
+};
+
+/// Markowitz-ordered sparse LU with product-form eta updates.
+class SparseBasisFactor final : public BasisFactor {
+public:
+  SparseBasisFactor() = default;
+
+  [[nodiscard]] bool factor(const std::vector<BasisColumn>& cols, int m) override;
+  void ftran(std::vector<double>& v) const override;
+  void btran(std::vector<double>& v) const override;
+  void unit_btran(int r, std::vector<double>& rho) const override;
+  [[nodiscard]] bool update(int r, const std::vector<double>& w) override;
+  [[nodiscard]] bool wants_refactor() const override;
+  [[nodiscard]] long updates_since_factor() const override;
+
+private:
+  /// One elimination column per pivot k: v[row] -= mult * v[prow_[k]].
+  struct LCol {
+    std::vector<int> rows;
+    std::vector<double> mults;
+  };
+  std::vector<LCol> lcols_;
+  std::vector<double> udiag_;  ///< pivot value per pivot index
+  /// U row k: entries in later pivot columns, as (pivot index j > k, value).
+  std::vector<std::vector<std::pair<int, double>>> urows_;
+  /// U column j: the same entries transposed, as (pivot index k < j, value).
+  std::vector<std::vector<std::pair<int, double>>> ucols_;
+  std::vector<int> prow_;  ///< pivot k -> constraint row
+  std::vector<int> pcol_;  ///< pivot k -> basis position
+  long lu_nnz_ = 0;        ///< fill of the last factorization (L + U + diag)
+
+  /// One product-form update: B_new = B_old * E with column r of E = w.
+  struct Eta {
+    int r = 0;
+    double piv = 0.0;           ///< w_r
+    std::vector<int> rows;      ///< off-pivot nonzeros of w
+    std::vector<double> vals;
+  };
+  std::vector<Eta> etas_;
+  long eta_nnz_ = 0;
+
+  mutable std::vector<double> xhat_;  ///< solve scratch, sized m_
+};
+
+/// Explicit dense inverse (the legacy core). O(m^2) storage and update.
+class DenseBasisFactor final : public BasisFactor {
+public:
+  DenseBasisFactor() = default;
+
+  [[nodiscard]] bool factor(const std::vector<BasisColumn>& cols, int m) override;
+  void ftran(std::vector<double>& v) const override;
+  void ftran_col(const BasisColumn& a, std::vector<double>& out) const override;
+  void btran(std::vector<double>& v) const override;
+  void unit_btran(int r, std::vector<double>& rho) const override;
+  [[nodiscard]] bool update(int r, const std::vector<double>& w) override;
+  [[nodiscard]] bool wants_refactor() const override { return false; }
+  [[nodiscard]] long updates_since_factor() const override { return updates_; }
+
+private:
+  std::vector<double> binv_;  ///< row-major m x m
+  long updates_ = 0;
+  mutable std::vector<double> scratch_;
+};
+
+} // namespace al::ilp

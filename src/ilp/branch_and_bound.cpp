@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "ilp/cuts.hpp"
 #include "ilp/presolve.hpp"
 #include "ilp/simplex.hpp"
 #include "support/contracts.hpp"
@@ -138,6 +139,8 @@ MipResult branch_and_bound(const Model& model, const MipOptions& opts) {
   // The dual-crash start is part of the warm engine: disabling warm starts
   // must reproduce the plain two-phase cold baseline on every LP.
   lp_opts.dual_crash = opts.warm_start;
+  lp_opts.core = opts.lp_core;
+  lp_opts.partial_pricing = opts.partial_pricing;
   SimplexInstance simplex(model, lp_opts);
   // The warm-start provenance must survive every return path.
   struct WarmGuard {
@@ -304,8 +307,32 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
     }
   } metrics_guard{result};
 
+  // Root cut strengthening happens on a copy of whatever model reaches
+  // branch and bound (the original, or presolve's reduction). Cuts are extra
+  // ROWS only -- the variable space is untouched, so postsolve and the
+  // result mapping below never see them.
+  auto run_bb = [&](const Model& target, int* cuts_added) {
+    if (!opts.cuts) return branch_and_bound(target, opts);
+    Model strengthened = target;
+    SimplexOptions lp_opts;
+    lp_opts.max_iterations = opts.max_lp_iterations;
+    lp_opts.dual_crash = opts.warm_start;
+    lp_opts.core = opts.lp_core;
+    lp_opts.partial_pricing = opts.partial_pricing;
+    CutOptions copts;
+    copts.int_tol = opts.int_tol;
+    // The cut loop gets a slice of the deadline; branch and bound re-checks
+    // the full budget from its own start.
+    copts.deadline_ms = opts.deadline_ms > 0.0 ? opts.deadline_ms * 0.25 : 0.0;
+    const CutStats cs = strengthen_root(strengthened, lp_opts, copts);
+    *cuts_added = cs.total();
+    return branch_and_bound(strengthened, opts);
+  };
+
   if (!opts.presolve) {
-    result = branch_and_bound(model, opts);
+    int cuts_added = 0;
+    result = run_bb(model, &cuts_added);
+    result.cuts_added = cuts_added;
     return result;
   }
 
@@ -339,7 +366,9 @@ MipResult solve_mip(const Model& model, MipOptions opts) {
     return result;
   }
 
-  MipResult inner = branch_and_bound(pre.reduced, opts);
+  int cuts_added = 0;
+  MipResult inner = run_bb(pre.reduced, &cuts_added);
+  result.cuts_added = cuts_added;
   result.status = inner.status;
   result.nodes = inner.nodes;
   result.lp_iterations = inner.lp_iterations;

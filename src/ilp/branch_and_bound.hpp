@@ -5,6 +5,7 @@
 #pragma once
 
 #include "ilp/lp.hpp"
+#include "ilp/simplex.hpp"
 
 namespace al::ilp {
 
@@ -32,6 +33,14 @@ struct MipOptions {
   /// Dual pivots allowed per warm restart before falling back to a cold
   /// solve (0 = auto).
   long warm_pivot_budget = 0;
+  /// Basis representation of every node LP (see LpCore). Both cores are
+  /// exact; Dense is the legacy inverse kept as a differential oracle.
+  LpCore lp_core = LpCore::Sparse;
+  /// Sectioned cyclic pricing in the primal simplex (simplex.hpp).
+  bool partial_pricing = true;
+  /// Root cutting planes: derive clique/cover cuts from the LP relaxation
+  /// before branch and bound (ilp/cuts.hpp). Never changes the optimum.
+  bool cuts = true;
 };
 
 /// Solves `model` to proven optimality unless a budget is hit. On a budget

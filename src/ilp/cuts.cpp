@@ -1,0 +1,288 @@
+#include "ilp/cuts.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace al::ilp {
+namespace {
+
+constexpr double kActTol = 1e-7;
+
+// One normalized `<=` view of a model row: GE rows are negated, EQ rows
+// produce two views. Activity bounds over the current variable bounds let
+// pairwise probing ask "can x_i and x_j both be 1?" in O(1) per shared row.
+struct RowView {
+  const Constraint* row = nullptr;
+  double sign = 1.0;   // +1 as-is, -1 negated (GE / the >= half of EQ)
+  double rhs = 0.0;
+  double act_min = 0.0;  // minimum activity of sign*row over the bound box
+};
+
+[[nodiscard]] double min_contribution(double coef, const Variable& v) {
+  return coef > 0.0 ? coef * v.lower : coef * v.upper;
+}
+
+// For a binary forced to 1, how much the row's minimum activity rises.
+[[nodiscard]] double force_one_delta(double coef, const Variable& v) {
+  return coef - min_contribution(coef, v);
+}
+
+} // namespace
+
+CutStats strengthen_root(Model& model, const SimplexOptions& lp_opts,
+                         const CutOptions& opts) {
+  support::TraceSpan span("ilp.cuts");
+  static support::Metrics::Counter& clique_count =
+      support::Metrics::instance().counter("ilp.clique_cuts");
+  static support::Metrics::Counter& cover_count =
+      support::Metrics::instance().counter("ilp.cover_cuts");
+  static support::Metrics::Counter& round_count =
+      support::Metrics::instance().counter("ilp.cut_rounds");
+
+  CutStats stats;
+  const int n = model.num_variables();
+  if (n == 0) return stats;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto out_of_time = [&] {
+    if (opts.deadline_ms <= 0.0) return false;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+               .count() >= opts.deadline_ms;
+  };
+
+  // Dedup across rounds: a clique re-separated at a later fractional point
+  // must not be appended twice.
+  std::set<std::vector<int>> seen_cliques;
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    if (out_of_time()) break;
+    const LpResult lp = solve_lp(model, lp_opts);
+    if (lp.status != SolveStatus::Optimal) break;
+
+    // Fractional binaries, most fractional first (ties: lower index).
+    std::vector<int> frac;
+    for (int j = 0; j < n; ++j) {
+      const Variable& v = model.variable(j);
+      if (!v.integer || v.lower != 0.0 || v.upper != 1.0) continue;
+      const double x = lp.x[static_cast<std::size_t>(j)];
+      if (std::min(x, 1.0 - x) > opts.int_tol) frac.push_back(j);
+    }
+    if (frac.empty()) break;  // integral root: nothing to cut
+    std::stable_sort(frac.begin(), frac.end(), [&](int a, int b) {
+      const double fa = lp.x[static_cast<std::size_t>(a)];
+      const double fb = lp.x[static_cast<std::size_t>(b)];
+      return std::min(fa, 1.0 - fa) > std::min(fb, 1.0 - fb);
+    });
+    if (static_cast<int>(frac.size()) > opts.max_probe_candidates)
+      frac.resize(static_cast<std::size_t>(opts.max_probe_candidates));
+
+    // Row views with activity bounds (built per round: earlier rounds append
+    // cut rows, which later rounds may probe too).
+    std::vector<RowView> views;
+    views.reserve(static_cast<std::size_t>(model.num_constraints()) * 2);
+    for (const Constraint& row : model.constraints()) {
+      const auto add_view = [&](double sign) {
+        RowView rv;
+        rv.row = &row;
+        rv.sign = sign;
+        rv.rhs = sign * row.rhs;
+        double amin = 0.0;
+        for (const Term& t : row.terms)
+          amin += min_contribution(sign * t.coef, model.variable(t.var));
+        rv.act_min = amin;
+        views.push_back(rv);
+      };
+      if (row.rel != Rel::GE) add_view(1.0);   // LE and the <= half of EQ
+      if (row.rel != Rel::LE) add_view(-1.0);  // GE and the >= half of EQ
+    }
+    // Per-candidate view lists: views[vi] touching candidate j.
+    std::vector<std::vector<std::pair<int, double>>> cand_views(frac.size());
+    for (int vi = 0; vi < static_cast<int>(views.size()); ++vi) {
+      const RowView& rv = views[static_cast<std::size_t>(vi)];
+      for (const Term& t : rv.row->terms) {
+        const auto it = std::find(frac.begin(), frac.end(), t.var);
+        if (it == frac.end()) continue;
+        cand_views[static_cast<std::size_t>(it - frac.begin())].emplace_back(
+            vi, rv.sign * t.coef);
+      }
+    }
+
+    // --- pairwise conflict graph over the candidates ----------------------
+    const int nc = static_cast<int>(frac.size());
+    std::vector<std::uint64_t> adj(static_cast<std::size_t>(nc), 0);
+    std::vector<double> coef_i(views.size(), 0.0);
+    std::vector<int> touched;
+    for (int a = 0; a < nc; ++a) {
+      touched.clear();
+      for (const auto& [vi, c] : cand_views[static_cast<std::size_t>(a)]) {
+        coef_i[static_cast<std::size_t>(vi)] = c;
+        touched.push_back(vi);
+      }
+      const Variable& va = model.variable(frac[static_cast<std::size_t>(a)]);
+      for (int b = a + 1; b < nc; ++b) {
+        const Variable& vb = model.variable(frac[static_cast<std::size_t>(b)]);
+        bool conflict = false;
+        for (const auto& [vi, cb] : cand_views[static_cast<std::size_t>(b)]) {
+          const double ca = coef_i[static_cast<std::size_t>(vi)];
+          if (ca == 0.0) continue;  // row does not touch `a`
+          const RowView& rv = views[static_cast<std::size_t>(vi)];
+          const double forced = rv.act_min + force_one_delta(ca, va) +
+                                force_one_delta(cb, vb);
+          if (forced > rv.rhs + kActTol) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) {
+          adj[static_cast<std::size_t>(a)] |= std::uint64_t{1} << b;
+          adj[static_cast<std::size_t>(b)] |= std::uint64_t{1} << a;
+        }
+      }
+      for (const int vi : touched) coef_i[static_cast<std::size_t>(vi)] = 0.0;
+    }
+
+    // --- greedy clique extension + violation filter -----------------------
+    int added = 0;
+    for (int a = 0; a < nc && added < opts.max_cuts_per_round; ++a) {
+      if (adj[static_cast<std::size_t>(a)] == 0) continue;
+      std::uint64_t common = adj[static_cast<std::size_t>(a)];
+      std::vector<int> clique{a};
+      double xsum = lp.x[static_cast<std::size_t>(frac[static_cast<std::size_t>(a)])];
+      // Extend by the highest-LP-value compatible candidate each step
+      // (candidates are fractionality-sorted; scan order breaks ties).
+      while (common != 0) {
+        int pick = -1;
+        double pick_x = -1.0;
+        for (int b = 0; b < nc; ++b) {
+          if (!(common & (std::uint64_t{1} << b))) continue;
+          const double xb = lp.x[static_cast<std::size_t>(frac[static_cast<std::size_t>(b)])];
+          if (xb > pick_x) {
+            pick_x = xb;
+            pick = b;
+          }
+        }
+        if (pick < 0) break;
+        clique.push_back(pick);
+        xsum += pick_x;
+        common &= adj[static_cast<std::size_t>(pick)];
+        common &= ~(std::uint64_t{1} << pick);
+      }
+      if (clique.size() < 2 || xsum <= 1.0 + opts.min_violation) continue;
+      std::vector<int> vars;
+      vars.reserve(clique.size());
+      for (const int c : clique) vars.push_back(frac[static_cast<std::size_t>(c)]);
+      std::sort(vars.begin(), vars.end());
+      if (!seen_cliques.insert(vars).second) continue;
+      std::vector<Term> terms;
+      terms.reserve(vars.size());
+      for (const int v : vars) terms.push_back({v, 1.0});
+      model.add_constraint(
+          "cut.clique." + std::to_string(stats.clique_cuts), std::move(terms),
+          Rel::LE, 1.0);
+      ++stats.clique_cuts;
+      clique_count.add();
+      ++added;
+    }
+
+    // --- cover cuts on all-binary knapsack rows ---------------------------
+    // (Cut rows appended by earlier rounds are scanned too, but once the LP
+    // enforces them their covers can no longer be violated, so the
+    // violation filter keeps them out.)
+    for (const RowView& rv : views) {
+      if (added >= opts.max_cuts_per_round) break;
+      const Constraint& row = *rv.row;
+      if (row.terms.size() < 2) continue;
+      bool all_binary = true;
+      for (const Term& t : row.terms) {
+        const Variable& v = model.variable(t.var);
+        if (!v.integer || v.lower != 0.0 || v.upper != 1.0) {
+          all_binary = false;
+          break;
+        }
+      }
+      if (!all_binary) continue;
+      // Complement negative coefficients: a*x with a<0 becomes |a|*(1-xbar),
+      // shifting the rhs. Items then form a knapsack sum(a'_j z_j) <= b'.
+      struct Item {
+        int var;
+        double a;      // positive weight
+        bool comp;     // z = 1 - x
+        double z;      // LP value of z
+      };
+      std::vector<Item> items;
+      double b = rv.rhs;
+      for (const Term& t : row.terms) {
+        const double a = rv.sign * t.coef;
+        if (a == 0.0) continue;
+        const double x = lp.x[static_cast<std::size_t>(t.var)];
+        if (a > 0.0) {
+          items.push_back({t.var, a, false, x});
+        } else {
+          items.push_back({t.var, -a, true, 1.0 - x});
+          b += -a;
+        }
+      }
+      if (b < 0.0 || items.size() < 2) continue;
+      double weight_all = 0.0;
+      for (const Item& it : items) weight_all += it.a;
+      if (weight_all <= b + kActTol) continue;  // no cover exists
+      // Greedy minimal cover: cheapest (1-z)/a first.
+      std::stable_sort(items.begin(), items.end(), [](const Item& p, const Item& q) {
+        return (1.0 - p.z) / p.a < (1.0 - q.z) / q.a;
+      });
+      std::vector<const Item*> cover;
+      double weight = 0.0;
+      for (const Item& it : items) {
+        cover.push_back(&it);
+        weight += it.a;
+        if (weight > b + kActTol) break;
+      }
+      if (weight <= b + kActTol) continue;
+      // Minimality: drop members whose removal keeps it a cover.
+      for (std::size_t t = 0; t < cover.size();) {
+        if (weight - cover[t]->a > b + kActTol) {
+          weight -= cover[t]->a;
+          cover.erase(cover.begin() + static_cast<std::ptrdiff_t>(t));
+        } else {
+          ++t;
+        }
+      }
+      if (cover.size() < 2) continue;
+      double zsum = 0.0;
+      for (const Item* it : cover) zsum += it->z;
+      const double cap = static_cast<double>(cover.size()) - 1.0;
+      if (zsum <= cap + opts.min_violation) continue;
+      // Translate sum(z_C) <= |C|-1 back to original variables.
+      std::vector<Term> terms;
+      double rhs = cap;
+      for (const Item* it : cover) {
+        if (it->comp) {
+          terms.push_back({it->var, -1.0});
+          rhs -= 1.0;
+        } else {
+          terms.push_back({it->var, 1.0});
+        }
+      }
+      model.add_constraint("cut.cover." + std::to_string(stats.cover_cuts),
+                           std::move(terms), Rel::LE, rhs);
+      ++stats.cover_cuts;
+      cover_count.add();
+      ++added;
+    }
+
+    ++stats.rounds;
+    round_count.add();
+    if (added == 0) break;
+  }
+  return stats;
+}
+
+} // namespace al::ilp

@@ -1,0 +1,55 @@
+// Root cutting planes for 0-1 models: clique and cover cuts.
+//
+// The selection MIPs are built from exactly-one SOS rows (one layout per
+// phase) plus linking rows; their LP relaxations go fractional exactly where
+// several near-tied layouts share a phase. Two classic cut families tighten
+// the root relaxation without touching the integer solution set:
+//
+//   * Clique cuts.  Pairwise probing on the rows' activity bounds (the same
+//     arithmetic as presolve's probing pass) finds binaries that can never
+//     both be 1; greedily extending those conflicts into cliques yields
+//     sum(x_C) <= 1 rows. Conflicts INSIDE one exactly-one row reproduce the
+//     row itself and can never be violated; the cuts that survive the
+//     violation filter are precisely the ones stitching conflicts across
+//     rows, which the LP could not see.
+//
+//   * Cover cuts.  For an all-binary knapsack row sum(a_j x_j) <= b (negative
+//     coefficients complemented first), a greedy minimal cover C with
+//     sum(a_C) > b gives sum(x_C) <= |C| - 1.
+//
+// Every cut is valid for every integer-feasible point, so branch and bound
+// below the strengthened root returns the same optimum; only the node count
+// changes. Separation runs in rounds (resolve LP, separate, append) until no
+// violated cut is found or the budget runs out.
+#pragma once
+
+#include "ilp/lp.hpp"
+#include "ilp/simplex.hpp"
+
+namespace al::ilp {
+
+struct CutOptions {
+  double int_tol = 1e-6;     ///< integrality tolerance for the "skip" check
+  int max_rounds = 5;        ///< separation rounds at the root
+  int max_probe_candidates = 64;  ///< fractional binaries probed pairwise
+  int max_cuts_per_round = 32;
+  double min_violation = 1e-4;  ///< LP-point violation a cut must show
+  /// Wall-clock budget for the whole cut loop (0 = none).
+  double deadline_ms = 0.0;
+};
+
+struct CutStats {
+  int clique_cuts = 0;
+  int cover_cuts = 0;
+  int rounds = 0;
+  [[nodiscard]] int total() const { return clique_cuts + cover_cuts; }
+};
+
+/// Appends violated clique/cover cuts to `model` (as extra constraint rows)
+/// by repeatedly solving its LP relaxation with `lp_opts` and separating at
+/// the fractional point. The model's integer solution set -- and therefore
+/// its MIP optimum -- is unchanged.
+CutStats strengthen_root(Model& model, const SimplexOptions& lp_opts,
+                         const CutOptions& opts = {});
+
+} // namespace al::ilp

@@ -127,6 +127,7 @@ struct MipResult {
   long warm_start_failures = 0;  ///< restarts that fell back to a cold solve
   int presolve_fixed_vars = 0;   ///< variables eliminated before branch and bound
   int presolve_removed_rows = 0; ///< constraint rows eliminated before branch and bound
+  int cuts_added = 0;            ///< clique/cover rows appended at the root
 };
 
 } // namespace al::ilp

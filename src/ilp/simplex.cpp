@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ilp/basis.hpp"
 #include "support/contracts.hpp"
 #include "support/metrics.hpp"
 
@@ -15,7 +16,7 @@ namespace {
 // (GE rows are negated to LE first, EQ slacks are fixed to [0,0]); then
 // phase-1 artificials as needed.
 struct Column {
-  std::vector<int> rows;     // row indices of nonzeros
+  std::vector<int> rows;     // row indices of nonzeros (ascending)
   std::vector<double> vals;  // matching coefficients
   double lower = 0.0;
   double upper = kInfinity;
@@ -30,10 +31,29 @@ enum class DualOutcome {
   GiveUp,      // pivot budget or numerics -- fall back to a cold solve
 };
 
+// Residual threshold of the sampled drift probe: a basic column whose ftran
+// image differs from its unit vector by more than this forces an early
+// refactorization.
+constexpr double kDriftTol = 1e-6;
+// Pivots between drift probes (one ftran_col each -- cheap).
+constexpr int kDriftProbeStride = 64;
+
+[[nodiscard]] BasisColumn view_of(const Column& c) {
+  return BasisColumn{c.rows.data(), c.vals.data(),
+                     static_cast<int>(c.rows.size())};
+}
+
 } // namespace
 
 struct SimplexInstance::Impl {
   Impl(const Model& model, SimplexOptions opts) : model_(&model), opts_(opts) {
+    if (opts_.core == LpCore::Dense) {
+      factor_ = std::make_unique<DenseBasisFactor>();
+    } else {
+      factor_ = std::make_unique<SparseBasisFactor>();
+    }
+    refactor_limit_ =
+        opts_.refactor_interval > 0 ? opts_.refactor_interval : 512;
     build_base();
   }
 
@@ -52,30 +72,46 @@ struct SimplexInstance::Impl {
   std::vector<int> basic_pos_;   // column -> row index in basis, or -1
   std::vector<NonbasicAt> at_;   // nonbasic state (ignored for basic cols)
   std::vector<double> xb_;       // values of basic variables
-  std::vector<std::vector<double>> binv_;  // dense basis inverse, m x m
+  std::unique_ptr<BasisFactor> factor_;
   long iterations_ = 0;  // pivots of the solve in progress
   bool unbounded_ = false;
   int first_artificial_ = 0;
   // True when the last solve left an artificial-free optimal basis the next
   // solve can restart from.
   bool have_basis_ = false;
-  // Pivots applied to binv_ since it was last rebuilt from the identity.
-  // Product-form updates drift, and warm restarts chain them across solves;
-  // past kRefactorPivots the next solve starts cold, which refactorizes.
+  // Pivots applied to the factorization since it was last rebuilt. The
+  // sparse core refactorizes in place (keeping warm chains alive) when this
+  // passes refactor_limit_, when its eta file outgrows the factors, or when
+  // the sampled drift probe fires; the dense core keeps the legacy policy of
+  // starting the next solve cold once the chain is long enough.
   long pivots_since_factor_ = 0;
-  static constexpr long kRefactorPivots = 512;
+  long refactor_limit_ = 512;
+  long probe_tick_ = 0;   // pivots since construction, drives probe cadence
+  int drift_probe_ = 0;   // rotating basis position sampled by the probe
+  long refactorizations_ = 0;
+  int price_cursor_ = 0;  // partial-pricing section cursor
   long warm_starts_ = 0;
   long warm_failures_ = 0;
+  std::vector<double> probe_;  // drift-probe scratch
+  std::vector<double> rho_;    // dual pivot-row scratch
 
   void build_base();
+  [[nodiscard]] bool refactor_now();
+  [[nodiscard]] bool after_pivot();
   void reset_cold();
   [[nodiscard]] bool crash_applicable() const;
   void reset_crash();
   void compute_basic_values();
+  [[nodiscard]] int price(const std::vector<double>& cost,
+                          const std::vector<double>& y, bool bland,
+                          double& enter_dir);
   bool iterate(const std::vector<double>& cost);
   [[nodiscard]] DualOutcome dual_restore();
   [[nodiscard]] LpResult run_cold();
   [[nodiscard]] LpResult extract_optimal();
+  [[nodiscard]] bool sparse_core() const {
+    return opts_.core == LpCore::Sparse;
+  }
   [[nodiscard]] std::vector<double> phase2_cost() const {
     std::vector<double> cost(static_cast<std::size_t>(n_), 0.0);
     for (int j = 0; j < n_; ++j)
@@ -138,6 +174,59 @@ void SimplexInstance::Impl::build_base() {
   first_artificial_ = n_;
 }
 
+bool SimplexInstance::Impl::refactor_now() {
+  static support::Metrics::Counter& refactor_count =
+      support::Metrics::instance().counter("ilp.refactorizations");
+  std::vector<BasisColumn> bc(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i)
+    bc[static_cast<std::size_t>(i)] =
+        view_of(cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])]);
+  ++refactorizations_;
+  refactor_count.add();
+  pivots_since_factor_ = 0;
+  if (!factor_->factor(bc, m_)) {
+    have_basis_ = false;
+    return false;
+  }
+  return true;
+}
+
+// Post-pivot housekeeping: schedules refactorizations (sparse core) and runs
+// the sampled basis-residual drift probe (both cores). Every
+// kDriftProbeStride pivots one basic column is pushed through ftran; its
+// image should be a unit vector, and any residual past kDriftTol means the
+// update chain has drifted -- refactorize NOW instead of trusting it for
+// another few hundred pivots. Returns false when a needed refactorization
+// failed (caller bails out; the cold path rebuilds from the slack basis).
+bool SimplexInstance::Impl::after_pivot() {
+  static support::Metrics::Counter& drift_count =
+      support::Metrics::instance().counter("ilp.drift_refactorizations");
+  ++pivots_since_factor_;
+  ++probe_tick_;
+  bool need = false;
+  if (sparse_core()) {
+    need = factor_->wants_refactor() || pivots_since_factor_ >= refactor_limit_;
+  }
+  if (!need && probe_tick_ % kDriftProbeStride == 0 && m_ > 0) {
+    const int i = drift_probe_ % m_;
+    ++drift_probe_;
+    factor_->ftran_col(
+        view_of(cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])]),
+        probe_);
+    double resid = 0.0;
+    for (int k = 0; k < m_; ++k) {
+      const double expect = k == i ? 1.0 : 0.0;
+      resid = std::max(resid, std::abs(probe_[static_cast<std::size_t>(k)] - expect));
+    }
+    if (resid > kDriftTol) {
+      need = true;
+      drift_count.add();
+    }
+  }
+  if (need) return refactor_now();
+  return true;
+}
+
 void SimplexInstance::Impl::reset_cold() {
   // Drop any artificials left over from an earlier solve.
   cols_.resize(static_cast<std::size_t>(n_base_));
@@ -159,11 +248,9 @@ void SimplexInstance::Impl::reset_cold() {
     basis_[static_cast<std::size_t>(i)] = n_struct_ + i;
     basic_pos_[static_cast<std::size_t>(n_struct_ + i)] = i;
   }
-  binv_.assign(static_cast<std::size_t>(m_),
-               std::vector<double>(static_cast<std::size_t>(m_), 0.0));
-  for (int i = 0; i < m_; ++i)
-    binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
-  pivots_since_factor_ = 0;
+  // The all-slack basis is the identity; factoring it cannot fail.
+  const bool ok = refactor_now();
+  AL_ASSERT(ok);
 
   compute_basic_values();
 
@@ -174,15 +261,12 @@ void SimplexInstance::Impl::reset_cold() {
     const int sj = n_struct_ + i;
     const auto& sc = cols_[static_cast<std::size_t>(sj)];
     const double v = xb_[static_cast<std::size_t>(i)];
-    double resid = 0.0;
     double coef = 0.0;
     if (v > sc.upper + opts_.tol) {
       // slack forced to its upper bound; artificial with +1 takes the excess
-      resid = v - sc.upper;
       coef = 1.0;
       at_[static_cast<std::size_t>(sj)] = NonbasicAt::Upper;
     } else if (v < sc.lower - opts_.tol) {
-      resid = sc.lower - v;
       coef = -1.0;
       at_[static_cast<std::size_t>(sj)] = NonbasicAt::Lower;
     } else {
@@ -202,13 +286,14 @@ void SimplexInstance::Impl::reset_cold() {
     basic_pos_[static_cast<std::size_t>(sj)] = -1;
     basis_[static_cast<std::size_t>(i)] = aj;
     basic_pos_[static_cast<std::size_t>(aj)] = i;
-    xb_[static_cast<std::size_t>(i)] = resid;
-    // binv row stays the identity row but the basis column has coefficient
-    // `coef`, so scale the inverse row accordingly.
-    for (int k = 0; k < m_; ++k)
-      binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] *= coef;
   }
   n_ = static_cast<int>(cols_.size());
+  if (first_artificial_ < n_) {
+    // Still diagonal (+-1 entries), so this cannot fail either.
+    const bool ok2 = refactor_now();
+    AL_ASSERT(ok2);
+    compute_basic_values();
+  }
 }
 
 // The dual-crash start needs a dual-feasible slack basis: with every slack
@@ -250,11 +335,8 @@ void SimplexInstance::Impl::reset_crash() {
     basis_[static_cast<std::size_t>(i)] = n_struct_ + i;
     basic_pos_[static_cast<std::size_t>(n_struct_ + i)] = i;
   }
-  binv_.assign(static_cast<std::size_t>(m_),
-               std::vector<double>(static_cast<std::size_t>(m_), 0.0));
-  for (int i = 0; i < m_; ++i)
-    binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
-  pivots_since_factor_ = 0;
+  const bool ok = refactor_now();
+  AL_ASSERT(ok);
 
   compute_basic_values();
 }
@@ -270,13 +352,90 @@ void SimplexInstance::Impl::compute_basic_values() {
     for (std::size_t k = 0; k < c.rows.size(); ++k)
       rhs[static_cast<std::size_t>(c.rows[k])] -= c.vals[k] * v;
   }
-  xb_.assign(static_cast<std::size_t>(m_), 0.0);
-  for (int i = 0; i < m_; ++i) {
-    double s = 0.0;
-    const auto& row = binv_[static_cast<std::size_t>(i)];
-    for (int k = 0; k < m_; ++k) s += row[static_cast<std::size_t>(k)] * rhs[static_cast<std::size_t>(k)];
-    xb_[static_cast<std::size_t>(i)] = s;
+  factor_->ftran(rhs);
+  xb_ = std::move(rhs);
+}
+
+// Entering-column selection for the primal simplex. `y` holds the simplex
+// multipliers (B^-T c_B). Bland mode always runs a full lowest-index scan;
+// otherwise partial pricing walks ~n/8-column sections round-robin from
+// price_cursor_ and returns the best candidate of the first section that has
+// one. A cycle with no candidate doubles as the optimality proof, exactly
+// like full Dantzig pricing -- only the order of intermediate bases changes.
+int SimplexInstance::Impl::price(const std::vector<double>& cost,
+                                 const std::vector<double>& y, bool bland,
+                                 double& enter_dir) {
+  const double tol = opts_.tol;
+  auto candidate = [&](int j, double& d, double& dir) -> bool {
+    if (basic_pos_[static_cast<std::size_t>(j)] >= 0) return false;
+    const auto& c = cols_[static_cast<std::size_t>(j)];
+    if (c.lower == c.upper) return false;  // fixed
+    d = cost[static_cast<std::size_t>(j)];
+    for (std::size_t k = 0; k < c.rows.size(); ++k)
+      d -= y[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
+    if (at_[static_cast<std::size_t>(j)] == NonbasicAt::Lower && d < -tol) {
+      dir = 1.0;
+      return true;
+    }
+    if (at_[static_cast<std::size_t>(j)] == NonbasicAt::Upper && d > tol) {
+      dir = -1.0;
+      return true;
+    }
+    return false;
+  };
+
+  if (bland) {
+    for (int j = 0; j < n_; ++j) {
+      double d, dir;
+      if (candidate(j, d, dir)) {
+        enter_dir = dir;
+        return j;
+      }
+    }
+    return -1;
   }
+
+  if (!opts_.partial_pricing) {
+    int enter = -1;
+    double best = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      double d, dir;
+      if (!candidate(j, d, dir)) continue;
+      const double score = std::abs(d);
+      if (score > best) {
+        best = score;
+        enter = j;
+        enter_dir = dir;
+      }
+    }
+    return enter;
+  }
+
+  const int section = std::max(64, n_ / 8);
+  const int nsec = (n_ + section - 1) / section;
+  if (price_cursor_ >= nsec) price_cursor_ = 0;
+  for (int s = 0; s < nsec; ++s) {
+    const int sec = (price_cursor_ + s) % nsec;
+    const int lo = sec * section;
+    const int hi = std::min(n_, lo + section);
+    int enter = -1;
+    double best = 0.0;
+    for (int j = lo; j < hi; ++j) {
+      double d, dir;
+      if (!candidate(j, d, dir)) continue;
+      const double score = std::abs(d);
+      if (score > best) {
+        best = score;
+        enter = j;
+        enter_dir = dir;
+      }
+    }
+    if (enter >= 0) {
+      price_cursor_ = sec;
+      return enter;
+    }
+  }
+  return -1;
 }
 
 bool SimplexInstance::Impl::iterate(const std::vector<double>& cost) {
@@ -291,49 +450,20 @@ bool SimplexInstance::Impl::iterate(const std::vector<double>& cost) {
   std::vector<double> w(static_cast<std::size_t>(m_));
 
   for (long it = 0; it < max_iter; ++it, ++iterations_) {
-    // y' = c_B' * Binv
-    for (int k = 0; k < m_; ++k) {
-      double s = 0.0;
-      for (int i = 0; i < m_; ++i) {
-        const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
-        if (cb != 0.0) s += cb * binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
-      }
-      y[static_cast<std::size_t>(k)] = s;
-    }
+    // y = B^-T c_B
+    for (int i = 0; i < m_; ++i)
+      y[static_cast<std::size_t>(i)] =
+          cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+    factor_->btran(y);
 
     // Pricing: pick entering column.
     const bool bland = stall > 2L * (m_ + 16);
-    int enter = -1;
-    double best = tol;
     double enter_dir = 0.0;  // +1 increase from lower, -1 decrease from upper
-    for (int j = 0; j < n_; ++j) {
-      if (basic_pos_[static_cast<std::size_t>(j)] >= 0) continue;
-      const auto& c = cols_[static_cast<std::size_t>(j)];
-      if (c.lower == c.upper) continue;  // fixed
-      double d = cost[static_cast<std::size_t>(j)];
-      for (std::size_t k = 0; k < c.rows.size(); ++k)
-        d -= y[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
-      double dir = 0.0;
-      if (at_[static_cast<std::size_t>(j)] == NonbasicAt::Lower && d < -tol) dir = 1.0;
-      else if (at_[static_cast<std::size_t>(j)] == NonbasicAt::Upper && d > tol) dir = -1.0;
-      else continue;
-      const double score = std::abs(d);
-      if (bland) { enter = j; enter_dir = dir; break; }
-      if (score > best) { best = score; enter = j; enter_dir = dir; }
-    }
+    const int enter = price(cost, y, bland, enter_dir);
     if (enter < 0) return true;  // optimal for this cost vector
 
     // w = Binv * a_enter
-    {
-      const auto& c = cols_[static_cast<std::size_t>(enter)];
-      for (int i = 0; i < m_; ++i) {
-        double s = 0.0;
-        const auto& row = binv_[static_cast<std::size_t>(i)];
-        for (std::size_t k = 0; k < c.rows.size(); ++k)
-          s += row[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
-        w[static_cast<std::size_t>(i)] = s;
-      }
-    }
+    factor_->ftran_col(view_of(cols_[static_cast<std::size_t>(enter)]), w);
 
     // Ratio test: how far can the entering variable move?
     const auto& ec = cols_[static_cast<std::size_t>(enter)];
@@ -405,21 +535,13 @@ bool SimplexInstance::Impl::iterate(const std::vector<double>& cost) {
     basis_[static_cast<std::size_t>(leave)] = enter;
     basic_pos_[static_cast<std::size_t>(enter)] = leave;
 
-    // Eliminate: make Binv reflect the new basis.
-    const double piv = w[static_cast<std::size_t>(leave)];
-    AL_ASSERT(std::abs(piv) > 1e-12);
-    auto& prow = binv_[static_cast<std::size_t>(leave)];
-    for (int k = 0; k < m_; ++k) prow[static_cast<std::size_t>(k)] /= piv;
-    for (int i = 0; i < m_; ++i) {
-      if (i == leave) continue;
-      const double f = w[static_cast<std::size_t>(i)];
-      if (f == 0.0) continue;
-      auto& row = binv_[static_cast<std::size_t>(i)];
-      for (int k = 0; k < m_; ++k)
-        row[static_cast<std::size_t>(k)] -= f * prow[static_cast<std::size_t>(k)];
+    // Make the factorization reflect the new basis; an update the factor
+    // rejects as unstable turns into an immediate refactorization.
+    if (!factor_->update(leave, w)) {
+      if (!refactor_now()) return false;
     }
     xb_[static_cast<std::size_t>(leave)] = enter_val;
-    ++pivots_since_factor_;
+    if (!after_pivot()) return false;
 
     if ((it & 127) == 127) compute_basic_values();  // drift control
   }
@@ -437,7 +559,8 @@ bool SimplexInstance::Impl::iterate(const std::vector<double>& cost) {
 // The Infeasible conclusion is sound regardless of dual feasibility: when no
 // nonbasic column can reduce row r's violation, the current nonbasic corner
 // already MINIMIZES that row's infeasibility over the whole bound box, so no
-// feasible point exists under these bounds.
+// feasible point exists under these bounds. (That proof needs the FULL
+// entering scan -- partial pricing never applies here.)
 DualOutcome SimplexInstance::Impl::dual_restore() {
   const double tol = opts_.tol;
   long budget = opts_.warm_pivot_budget;
@@ -469,16 +592,13 @@ DualOutcome SimplexInstance::Impl::dual_restore() {
     if (r < 0) return DualOutcome::Restored;
     if (pivots >= budget) return DualOutcome::GiveUp;
 
-    // y' = c_B' * Binv for the dual ratio test.
-    for (int k = 0; k < m_; ++k) {
-      double s = 0.0;
-      for (int i = 0; i < m_; ++i) {
-        const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
-        if (cb != 0.0) s += cb * binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
-      }
-      y[static_cast<std::size_t>(k)] = s;
-    }
-    const auto& rho = binv_[static_cast<std::size_t>(r)];
+    // y = B^-T c_B for the dual ratio test; rho = row r of the inverse.
+    for (int i = 0; i < m_; ++i)
+      y[static_cast<std::size_t>(i)] =
+          cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+    factor_->btran(y);
+    factor_->unit_btran(r, rho_);
+    const auto& rho = rho_;
 
     int enter = -1;
     double best_ratio = kInfinity;
@@ -515,16 +635,7 @@ DualOutcome SimplexInstance::Impl::dual_restore() {
     if (enter < 0) return DualOutcome::Infeasible;
 
     // w = Binv * a_enter; pivot `enter` into row r.
-    {
-      const auto& c = cols_[static_cast<std::size_t>(enter)];
-      for (int i = 0; i < m_; ++i) {
-        double s = 0.0;
-        const auto& row = binv_[static_cast<std::size_t>(i)];
-        for (std::size_t k = 0; k < c.rows.size(); ++k)
-          s += row[static_cast<std::size_t>(c.rows[k])] * c.vals[k];
-        w[static_cast<std::size_t>(i)] = s;
-      }
-    }
+    factor_->ftran_col(view_of(cols_[static_cast<std::size_t>(enter)]), w);
     const double piv = w[static_cast<std::size_t>(r)];
     if (std::abs(piv) < 1e-9) return DualOutcome::GiveUp;
 
@@ -534,21 +645,14 @@ DualOutcome SimplexInstance::Impl::dual_restore() {
     basis_[static_cast<std::size_t>(r)] = enter;
     basic_pos_[static_cast<std::size_t>(enter)] = r;
 
-    auto& prow = binv_[static_cast<std::size_t>(r)];
-    for (int k = 0; k < m_; ++k) prow[static_cast<std::size_t>(k)] /= piv;
-    for (int i = 0; i < m_; ++i) {
-      if (i == r) continue;
-      const double f = w[static_cast<std::size_t>(i)];
-      if (f == 0.0) continue;
-      auto& row = binv_[static_cast<std::size_t>(i)];
-      for (int k = 0; k < m_; ++k)
-        row[static_cast<std::size_t>(k)] -= f * prow[static_cast<std::size_t>(k)];
+    if (!factor_->update(r, w)) {
+      if (!refactor_now()) return DualOutcome::GiveUp;
     }
-    // A full refresh (O(m^2)) keeps every basic value exact; warm restarts
-    // take few pivots so this stays far cheaper than re-running phase 1.
+    if (!after_pivot()) return DualOutcome::GiveUp;
+    // A full refresh (one ftran) keeps every basic value exact; warm
+    // restarts take few pivots so this stays far cheaper than phase 1.
     compute_basic_values();
     ++iterations_;
-    ++pivots_since_factor_;
   }
 }
 
@@ -646,10 +750,18 @@ LpResult SimplexInstance::Impl::solve(const std::vector<double>& lower,
     AL_EXPECTS(std::isfinite(c.lower));
   }
 
-  // Periodic refactorization: a long chain of warm restarts accumulates
-  // product-form drift in binv_, so start cold (NOT counted as a warm-start
-  // failure -- nothing went wrong) once enough pivots have stacked up.
-  if (have_basis_ && pivots_since_factor_ > kRefactorPivots) have_basis_ = false;
+  // Long warm-restart chains accumulate update-form drift. The sparse core
+  // refactorizes in place and keeps the basis; the dense core keeps the
+  // legacy policy of starting cold (NOT counted as a warm-start failure --
+  // nothing went wrong).
+  if (have_basis_ &&
+      (pivots_since_factor_ > refactor_limit_ || factor_->wants_refactor())) {
+    if (sparse_core()) {
+      if (!refactor_now()) have_basis_ = false;
+    } else {
+      have_basis_ = false;
+    }
+  }
 
   if (have_basis_) {
     ++warm_starts_;
@@ -763,6 +875,10 @@ long SimplexInstance::warm_starts() const { return impl_->warm_starts_; }
 
 long SimplexInstance::warm_start_failures() const {
   return impl_->warm_failures_;
+}
+
+long SimplexInstance::refactorizations() const {
+  return impl_->refactorizations_;
 }
 
 LpResult solve_lp(const Model& model, SimplexOptions opts) {

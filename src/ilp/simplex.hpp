@@ -4,7 +4,7 @@
 //   * solve_lp()       -- one-shot: build a tableau, run the two-phase primal
 //                         simplex, throw the state away.
 //   * SimplexInstance  -- reusable: built ONCE per MIP solve, it keeps the
-//                         final basis (and its dense inverse) of every solve
+//                         final basis (and its factorization) of every solve
 //                         and re-optimizes the next set of per-column bound
 //                         overrides from that basis with a bounded-variable
 //                         dual simplex. A branch-and-bound child differs from
@@ -24,6 +24,15 @@
 
 namespace al::ilp {
 
+/// Which basis representation the engine runs on. Sparse is the production
+/// core (Markowitz LU + sparse eta updates, O(fill) per pivot); Dense keeps
+/// the explicit m x m inverse (O(m^2) per pivot) as a differential oracle.
+enum class LpCore : unsigned char { Sparse, Dense };
+
+[[nodiscard]] constexpr const char* to_string(LpCore c) {
+  return c == LpCore::Sparse ? "sparse" : "dense";
+}
+
 struct SimplexOptions {
   /// 0 means "choose automatically" (200 * (rows + cols) pivots).
   long max_iterations = 0;
@@ -42,6 +51,19 @@ struct SimplexOptions {
   /// optimum without phase-1 artificials. Exact either way; disabling this
   /// reproduces the plain two-phase baseline.
   bool dual_crash = true;
+  /// Basis representation. Both cores are exact and reach identical optima;
+  /// they differ only in per-pivot cost (see LpCore).
+  LpCore core = LpCore::Sparse;
+  /// Cyclic sectioned pricing for the primal entering step: scan ~n/8-column
+  /// sections round-robin and take the best candidate of the first section
+  /// that has one, falling back to a full pass (which also proves optimality)
+  /// when a cycle finds nothing. Off = classic full Dantzig pricing. The
+  /// dual entering scan is always full -- its infeasibility proof needs it.
+  bool partial_pricing = true;
+  /// Pivots between scheduled refactorizations. 0 means "choose
+  /// automatically" (512, plus whatever the sparse core's eta-growth and the
+  /// sampled basis-residual drift check trigger earlier).
+  long refactor_interval = 0;
 };
 
 /// Solves the LP relaxation of `model` (integrality ignored) with the
@@ -80,6 +102,10 @@ public:
   /// Restarts attempted / restarts that fell back to a cold solve.
   [[nodiscard]] long warm_starts() const;
   [[nodiscard]] long warm_start_failures() const;
+
+  /// Basis refactorizations performed (scheduled, eta-growth, or triggered
+  /// by the sampled basis-residual drift check).
+  [[nodiscard]] long refactorizations() const;
 
 private:
   struct Impl;

@@ -16,7 +16,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 std::optional<SelectionResult> select_layouts_dp(const LayoutGraph& graph) {
   const auto t0 = std::chrono::steady_clock::now();
   const int n = graph.num_phases();
-  if (n == 0) return std::nullopt;
+  if (n == 0) {
+    // A zero-phase program has nothing to select: the empty assignment is
+    // the (trivially verified) optimum, with zero cost. Returning it here --
+    // instead of bouncing to the next fallback rung -- also guards the
+    // order.front() accesses below, which would be UB on an empty chain.
+    SelectionResult out;
+    out.engine = SelectionEngine::Dp;
+    out.solve_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    return out;
+  }
 
   // Structure check: forward edges must form a path 0->1->...->n-1 in SOME
   // phase order; we accept at most one back edge closing a single cycle.

@@ -282,6 +282,7 @@ SelectionResult select_layouts_ilp(const LayoutGraph& graph,
   out.warm_start_failures = mip.warm_start_failures;
   out.presolve_fixed_vars = mip.presolve_fixed_vars;
   out.presolve_removed_rows = mip.presolve_removed_rows;
+  out.cuts_added = mip.cuts_added;
   out.solve_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
                      .count();

@@ -51,6 +51,7 @@ struct SelectionResult {
   int presolve_fixed_vars = 0;   ///< variables presolve eliminated
   int presolve_removed_rows = 0; ///< rows presolve eliminated
   int dominated_candidates = 0;  ///< candidate layouts pruned before the ILP
+  int cuts_added = 0;            ///< root clique/cover cuts (DESIGN.md §15)
   // --- solver resilience provenance (DESIGN.md section 10) ---
   ilp::SolveStatus solver_status = ilp::SolveStatus::Optimal;
   SelectionEngine engine = SelectionEngine::Ilp;

@@ -63,6 +63,9 @@ TEST(Mip, Infeasible) {
 
 TEST(Mip, IntegralityGapForcesBranching) {
   // LP relaxation is fractional (x=y=z=0.5); MIP optimum needs branching.
+  // Root clique cuts would close this gap without any branching (the odd
+  // cycle IS a clique), so they are disabled: this test pins the branching
+  // machinery itself.
   Model m(Sense::Maximize);
   const int x = m.add_binary("x", 1.0);
   const int y = m.add_binary("y", 1.0);
@@ -70,7 +73,9 @@ TEST(Mip, IntegralityGapForcesBranching) {
   m.add_constraint("xy", {{x, 1.0}, {y, 1.0}}, Rel::LE, 1.0);
   m.add_constraint("yz", {{y, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
   m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
-  const MipResult r = solve_mip(m);
+  MipOptions opts;
+  opts.cuts = false;
+  const MipResult r = solve_mip(m, opts);
   ASSERT_EQ(r.status, SolveStatus::Optimal);
   EXPECT_NEAR(r.objective, 1.0, 1e-9);
   EXPECT_GT(r.nodes, 1);
@@ -99,6 +104,7 @@ TEST(Mip, NodeLimitReturnsStatus) {
   m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
   MipOptions opts;
   opts.max_nodes = 1;
+  opts.cuts = false;  // clique cuts would make the root integral
   const MipResult r = solve_mip(m, opts);
   EXPECT_EQ(r.status, SolveStatus::NodeLimit);
 }
@@ -118,6 +124,7 @@ TEST(Mip, NodeLimitWithIncumbentIsFeasible) {
   m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
   MipOptions opts;
   opts.max_nodes = 2;
+  opts.cuts = false;  // clique cuts would make the root integral
   const MipResult r = solve_mip(m, opts);
   ASSERT_EQ(r.status, SolveStatus::Feasible);
   EXPECT_TRUE(has_solution(r.status));
@@ -137,6 +144,7 @@ TEST(Mip, NodeLimitWithoutIncumbentHasNoSolution) {
   m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
   MipOptions opts;
   opts.max_nodes = 1;  // root only: fractional, so no incumbent exists yet
+  opts.cuts = false;   // clique cuts would make the root integral
   const MipResult r = solve_mip(m, opts);
   EXPECT_EQ(r.status, SolveStatus::NodeLimit);
   EXPECT_FALSE(has_solution(r.status));

@@ -1,0 +1,279 @@
+// Golden differential suite for the sparse revised-simplex core (DESIGN.md
+// section 15): the sparse Markowitz-LU + eta-update engine and the legacy
+// dense-inverse oracle must be answer-identical -- same statuses, same
+// objectives, same selections -- on random LPs, random 0-1 MIPs (with
+// exhaustive enumeration as a third oracle), the paper corpus, and a large
+// set of generated programs. Also pins the refactorization machinery the
+// sparse core rides on: the scheduled-interval counter and the sampled
+// basis-residual drift probe both surface through
+// SimplexInstance::refactorizations().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "gen/differential.hpp"
+#include "gen/generator.hpp"
+#include "gen/rng.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/simplex.hpp"
+
+namespace al::ilp {
+namespace {
+
+bool close(double a, double b, double tol = 1e-6) {
+  return std::abs(a - b) <= tol * (1.0 + std::min(std::abs(a), std::abs(b)));
+}
+
+/// A random bounded-variable LP: every column lives in [0, ub] so the
+/// problem is never unbounded; rows mix LE/GE/EQ so infeasible instances
+/// occur too (both cores must agree on those as well).
+Model random_lp(std::mt19937& rng, int n, int m) {
+  std::uniform_real_distribution<double> coef(-4.0, 4.0);
+  std::uniform_real_distribution<double> ubd(0.5, 3.0);
+  std::uniform_int_distribution<int> nnz_d(2, std::max(2, n / 2));
+  std::uniform_int_distribution<int> var_d(0, n - 1);
+  std::uniform_int_distribution<int> rel_d(0, 9);
+  Model model(rng() % 2 == 0 ? Sense::Minimize : Sense::Maximize);
+  for (int j = 0; j < n; ++j) {
+    model.add_continuous("x" + std::to_string(j), 0.0, ubd(rng), coef(rng));
+  }
+  for (int r = 0; r < m; ++r) {
+    const int nnz = nnz_d(rng);
+    std::vector<Term> terms;
+    double row_max = 0.0;  // activity with every var at its upper bound
+    for (int k = 0; k < nnz; ++k) {
+      const int v = var_d(rng);
+      const double a = coef(rng);
+      terms.push_back({v, a});
+      if (a > 0.0) row_max += a * model.variable(v).upper;
+    }
+    // Bias the rhs toward feasibility without guaranteeing it.
+    std::uniform_real_distribution<double> rhs_d(-1.0, std::max(1.0, row_max));
+    const int pick = rel_d(rng);
+    const Rel rel = pick < 6 ? Rel::LE : (pick < 8 ? Rel::GE : Rel::EQ);
+    model.add_constraint("r" + std::to_string(r), std::move(terms), rel, rhs_d(rng));
+  }
+  return model;
+}
+
+/// A random packing LP: positive data, LE rows, maximize. x = 0 is always
+/// feasible and the bounds keep it finite, so every instance is Optimal --
+/// the shape the refactorization tests need a guaranteed pivot path on.
+Model random_packing_lp(std::mt19937& rng, int n, int m) {
+  std::uniform_real_distribution<double> coef(0.2, 3.0);
+  std::uniform_real_distribution<double> ubd(0.5, 3.0);
+  std::uniform_int_distribution<int> nnz_d(2, std::max(2, n / 3));
+  std::uniform_int_distribution<int> var_d(0, n - 1);
+  Model model(Sense::Maximize);
+  for (int j = 0; j < n; ++j)
+    model.add_continuous("x" + std::to_string(j), 0.0, ubd(rng), coef(rng));
+  for (int r = 0; r < m; ++r) {
+    const int nnz = nnz_d(rng);
+    std::vector<Term> terms;
+    double row_max = 0.0;
+    for (int k = 0; k < nnz; ++k) {
+      const int v = var_d(rng);
+      const double a = coef(rng);
+      terms.push_back({v, a});
+      row_max += a * model.variable(v).upper;
+    }
+    std::uniform_real_distribution<double> rhs_d(0.3 * row_max, 0.8 * row_max);
+    model.add_constraint("r" + std::to_string(r), std::move(terms), Rel::LE,
+                         rhs_d(rng));
+  }
+  return model;
+}
+
+/// A random small 0-1 model for the three-way MIP oracle test.
+Model random_binary_mip(std::mt19937& rng, int n, int m) {
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  std::uniform_int_distribution<int> nnz_d(2, n);
+  std::uniform_int_distribution<int> var_d(0, n - 1);
+  Model model(Sense::Minimize);
+  for (int j = 0; j < n; ++j)
+    model.add_binary("b" + std::to_string(j), coef(rng));
+  for (int r = 0; r < m; ++r) {
+    const int nnz = nnz_d(rng);
+    std::vector<Term> terms;
+    double pos = 0.0;
+    for (int k = 0; k < nnz; ++k) {
+      const double a = coef(rng);
+      terms.push_back({var_d(rng), a});
+      if (a > 0.0) pos += a;
+    }
+    std::uniform_real_distribution<double> rhs_d(-0.5, pos);
+    model.add_constraint("r" + std::to_string(r), std::move(terms), Rel::LE,
+                         rhs_d(rng));
+  }
+  return model;
+}
+
+TEST(SparseDiff, RandomLpsMatchDenseOracle) {
+  std::mt19937 rng(2026);
+  int optimal = 0, infeasible = 0;
+  for (int t = 0; t < 200; ++t) {
+    const int n = 3 + static_cast<int>(rng() % 18);
+    const int m = 2 + static_cast<int>(rng() % 12);
+    const Model model = random_lp(rng, n, m);
+    SimplexOptions sparse;
+    sparse.core = LpCore::Sparse;
+    SimplexOptions dense;
+    dense.core = LpCore::Dense;
+    const LpResult rs = solve_lp(model, sparse);
+    const LpResult rd = solve_lp(model, dense);
+    ASSERT_EQ(rs.status, rd.status) << "trial " << t;
+    if (rs.status == SolveStatus::Optimal) {
+      ++optimal;
+      EXPECT_TRUE(close(rs.objective, rd.objective))
+          << "trial " << t << ": sparse " << rs.objective << " dense "
+          << rd.objective;
+      EXPECT_TRUE(model.is_feasible(rs.x)) << "trial " << t;
+      // Pricing strategy changes the pivot path, never the answer.
+      SimplexOptions full = sparse;
+      full.partial_pricing = false;
+      const LpResult rf = solve_lp(model, full);
+      ASSERT_EQ(rf.status, SolveStatus::Optimal) << "trial " << t;
+      EXPECT_TRUE(close(rf.objective, rs.objective)) << "trial " << t;
+    } else {
+      ++infeasible;
+    }
+  }
+  // The distribution must actually exercise both outcomes.
+  EXPECT_GT(optimal, 50);
+  EXPECT_GT(infeasible, 10);
+}
+
+TEST(SparseDiff, RandomMipsMatchDenseAndEnumeration) {
+  std::mt19937 rng(4096);
+  for (int t = 0; t < 40; ++t) {
+    const int n = 3 + static_cast<int>(rng() % 9);  // <= 11 binaries
+    const int m = 2 + static_cast<int>(rng() % 6);
+    const Model model = random_binary_mip(rng, n, m);
+    MipOptions sparse;
+    sparse.lp_core = LpCore::Sparse;
+    MipOptions dense;
+    dense.lp_core = LpCore::Dense;
+    const MipResult rs = solve_mip(model, sparse);
+    const MipResult rd = solve_mip(model, dense);
+    const MipResult oracle = solve_by_enumeration(model);
+    ASSERT_EQ(rs.status, oracle.status) << "trial " << t;
+    ASSERT_EQ(rd.status, oracle.status) << "trial " << t;
+    if (has_solution(oracle.status)) {
+      EXPECT_TRUE(close(rs.objective, oracle.objective))
+          << "trial " << t << ": sparse " << rs.objective << " enum "
+          << oracle.objective;
+      EXPECT_TRUE(close(rd.objective, oracle.objective))
+          << "trial " << t << ": dense " << rd.objective << " enum "
+          << oracle.objective;
+      EXPECT_TRUE(model.is_feasible(rs.x)) << "trial " << t;
+      EXPECT_TRUE(model.is_feasible(rd.x)) << "trial " << t;
+    }
+  }
+}
+
+// The scheduled refactorization interval: with a tiny interval a solve that
+// takes more than a handful of pivots must rebuild the factorization at
+// least once, and the rebuilt basis must finish on the same optimum.
+TEST(SparseCore, ScheduledRefactorizationCounterAdvances) {
+  std::mt19937 rng(11);
+  const Model model = random_packing_lp(rng, 40, 25);
+  SimplexOptions base;
+  base.core = LpCore::Sparse;
+  const LpResult ref = solve_lp(model, base);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+
+  SimplexOptions tight = base;
+  tight.refactor_interval = 2;
+  SimplexInstance inst(model, tight);
+  const std::vector<Variable>& vars = model.variables();
+  std::vector<double> lower, upper;
+  for (const Variable& v : vars) {
+    lower.push_back(v.lower);
+    upper.push_back(v.upper);
+  }
+  const LpResult r = inst.solve(lower, upper);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_TRUE(close(r.objective, ref.objective));
+  EXPECT_GE(inst.refactorizations(), 1)
+      << "a 2-pivot interval over " << r.iterations
+      << " pivots must have refactorized";
+}
+
+// Warm restarts keep the counter monotone: bound flips re-solved through the
+// dual simplex still run the scheduled-refactor policy.
+TEST(SparseCore, WarmRestartsKeepRefactoring) {
+  std::mt19937 rng(13);
+  const Model model = random_packing_lp(rng, 30, 18);
+  SimplexOptions tight;
+  tight.core = LpCore::Sparse;
+  tight.refactor_interval = 2;
+  SimplexInstance inst(model, tight);
+  std::vector<double> lower, upper;
+  for (const Variable& v : model.variables()) {
+    lower.push_back(v.lower);
+    upper.push_back(v.upper);
+  }
+  const LpResult first = inst.solve(lower, upper);
+  ASSERT_EQ(first.status, SolveStatus::Optimal);
+  const long after_first = inst.refactorizations();
+  // Tighten a few columns one at a time (the branch-and-bound access
+  // pattern) and re-solve warm.
+  long pivots = first.iterations;
+  for (int j = 0; j < 6; ++j) {
+    std::vector<double> u = upper;
+    u[static_cast<std::size_t>(j)] = 0.0;
+    const LpResult r = inst.solve(lower, u);
+    ASSERT_TRUE(r.status == SolveStatus::Optimal ||
+                r.status == SolveStatus::Infeasible)
+        << to_string(r.status);
+    pivots += r.iterations;
+  }
+  EXPECT_GE(inst.refactorizations(), after_first);
+  if (pivots > 16) {
+    EXPECT_GT(inst.refactorizations(), after_first)
+        << pivots << " total pivots at interval 2 must refactorize again";
+  }
+}
+
+// --------------------------------------------------------------------------
+// Golden end-to-end differential: corpus + generated programs, sparse core
+// against the dense oracle (D7), selections identical.
+
+TEST(SparseDiff, CorpusSelectionsMatchDenseOracle) {
+  for (const char* prog : {"adi", "erlebacher", "tomcatv", "shallow"}) {
+    const corpus::TestCase c{prog, 24,
+                             std::string(prog) == "shallow"
+                                 ? corpus::Dtype::Real
+                                 : corpus::Dtype::DoublePrecision,
+                             4};
+    gen::DiffOptions d;
+    d.check_lp_cores = true;
+    d.check_run_cache = false;  // D6 has its own suite
+    d.alt_threads = 0;          // D5 has its own suite
+    const gen::DiffResult res = gen::check_differential(corpus::source_for(c), d);
+    EXPECT_TRUE(res.ok) << prog << ": " << res.failure;
+  }
+}
+
+TEST(SparseDiff, GeneratedProgramsMatchDenseOracle) {
+  gen::Rng rng(777);
+  gen::DiffOptions d;
+  d.check_lp_cores = true;
+  d.check_run_cache = false;
+  d.alt_threads = 0;
+  constexpr int kPrograms = 500;
+  for (int k = 0; k < kPrograms; ++k) {
+    const gen::ProgramSpec spec = gen::random_spec(rng);
+    const std::string source = gen::emit_fortran(spec);
+    const gen::DiffResult res = gen::check_differential(source, d);
+    ASSERT_TRUE(res.ok) << "program " << k << ": " << res.failure << "\n"
+                        << source;
+  }
+}
+
+} // namespace
+} // namespace al::ilp

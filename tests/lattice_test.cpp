@@ -3,7 +3,9 @@
 // lattice laws on pseudo-random partitionings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <utility>
 
 #include "cag/cag.hpp"
 #include "cag/lattice.hpp"
@@ -37,6 +39,59 @@ TEST(Partitioning, BlocksAreSortedByFirstMember) {
   EXPECT_EQ(blocks[0], (std::vector<int>{0, 2}));
   EXPECT_EQ(blocks[1], (std::vector<int>{1}));
   EXPECT_EQ(blocks[2], (std::vector<int>{3, 4}));
+}
+
+// Regression: blocks() used to sort groups by their FRONT member only, which
+// leaves equal-front groups in unspecified relative order under std::sort.
+// Disjoint blocks cannot tie on their (minimum) front today, so the bug was
+// latent -- this pins the stronger contract: full lexicographic order, and
+// byte-identical output regardless of unite order, representative choice, or
+// interleaved path-compression state.
+TEST(Partitioning, BlocksAreDeterministicAcrossConstructionOrder) {
+  const int n = 12;
+  // Target partition: {0,4,8} {1,5,9} {2,6,10} {3,7,11}.
+  const std::vector<std::pair<int, int>> unions = {
+      {0, 4}, {4, 8}, {1, 5}, {5, 9}, {2, 6}, {6, 10}, {3, 7}, {7, 11}};
+  std::vector<std::vector<std::vector<int>>> results;
+  std::mt19937 rng(7);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<std::pair<int, int>> shuffled = unions;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    Partitioning p(n);
+    for (const auto& [u, v] : shuffled) {
+      // Randomize argument order (representative/rank choice) and poke
+      // block() mid-build to vary path-compression state.
+      if (rng() & 1u) {
+        p.unite(u, v);
+      } else {
+        p.unite(v, u);
+      }
+      (void)p.block(static_cast<int>(rng() % static_cast<unsigned>(n)));
+    }
+    results.push_back(p.blocks());
+  }
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    EXPECT_EQ(results[0], results[t]) << "construction order " << t;
+  }
+  ASSERT_EQ(results[0].size(), 4u);
+  EXPECT_EQ(results[0][0], (std::vector<int>{0, 4, 8}));
+  EXPECT_EQ(results[0][3], (std::vector<int>{3, 7, 11}));
+}
+
+TEST(Partitioning, BlocksAreFullyLexicographicallySorted) {
+  std::mt19937 rng(31);
+  for (int t = 0; t < 50; ++t) {
+    const int n = 3 + static_cast<int>(rng() % 20);
+    Partitioning p(n);
+    const int unions = static_cast<int>(rng() % static_cast<unsigned>(2 * n));
+    for (int k = 0; k < unions; ++k) {
+      p.unite(static_cast<int>(rng() % static_cast<unsigned>(n)),
+              static_cast<int>(rng() % static_cast<unsigned>(n)));
+    }
+    const auto blocks = p.blocks();
+    // Full lexicographic comparison (vector<int>::operator<), not front-only.
+    EXPECT_TRUE(std::is_sorted(blocks.begin(), blocks.end()));
+  }
 }
 
 TEST(Partitioning, RefinementBasics) {

@@ -7,6 +7,7 @@
 #include <random>
 
 #include "corpus/corpus.hpp"
+#include "gen/generator.hpp"
 #include "support/diagnostics.hpp"
 #include "driver/tool.hpp"
 #include "select/dp_selection.hpp"
@@ -375,6 +376,61 @@ TEST(Selection, EmptyCandidateSpaceIsInfeasible) {
   g.node_cost_us = {{10.0}, {}};  // phase 1 has NO candidates
   g.estimates.resize(2);
   EXPECT_THROW(select_layouts_ilp(g), InfeasibleError);
+}
+
+// Regression: select_layouts_dp on a ZERO-phase graph used to run straight
+// into order.front() on an empty chain (UB). A phase-free program has
+// nothing to select -- the empty assignment is the verified optimum, and the
+// DP must return it instead of bouncing the ladder to the greedy rung.
+TEST(DpSelection, ZeroPhaseGraphYieldsTrivialVerifiedSelection) {
+  const LayoutGraph g;  // zero phases, no edges
+  const auto dp = select_layouts_dp(g);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(dp->engine, SelectionEngine::Dp);
+  EXPECT_TRUE(dp->chosen.empty());
+  EXPECT_DOUBLE_EQ(dp->total_cost_us, 0.0);
+  EXPECT_DOUBLE_EQ(dp->node_cost_us, 0.0);
+  EXPECT_DOUBLE_EQ(dp->remap_cost_us, 0.0);
+  const VerifyResult v = verify_assignment(g, *dp);
+  EXPECT_TRUE(v.ok) << v.message;
+  // The full ladder must survive the same degenerate graph (the empty-
+  // candidate infeasibility check has no phase to trip on).
+  const SelectionResult ladder = select_layouts_ilp(g);
+  EXPECT_TRUE(ladder.chosen.empty());
+  EXPECT_TRUE(verify_assignment(g, ladder).ok);
+}
+
+// Same degeneracy reached end to end: a generated spec with every phase
+// stripped is a declarations-only program (emit_fortran refuses phase-free
+// specs, so the test emits the generated arrays itself), and its layout
+// graph has zero phases all the way through the driver.
+// A generated degenerate program — a random spec's array declarations with
+// every phase stripped — must fail cleanly, not crash. The driver's contract
+// (pinned by Driver.NoPhasesThrows) is a structured FatalError for phase-free
+// programs; the zero-phase selection APIs themselves are covered above. The
+// point of this test is that the old order.front() UB in the DP is dead: the
+// degenerate input produces a diagnostic, never undefined behavior.
+TEST(DpSelection, GeneratedDegenerateProgramIsRejectedCleanly) {
+  gen::Rng rng(20260807u);
+  const gen::ProgramSpec spec = gen::random_spec(rng);
+  std::string src = "      program degen\n";
+  for (const gen::ArrayDecl& a : spec.arrays) {
+    std::string shape = "(" + std::to_string(spec.n);
+    for (int d = 1; d < a.rank; ++d) shape += "," + std::to_string(spec.n);
+    shape += ")";
+    src += "      real " + a.name + shape + "\n";
+  }
+  src += "      end\n";
+  driver::ToolOptions o;
+  o.procs = 4;
+  o.threads = 1;
+  try {
+    (void)driver::run_tool(src, o);
+    FAIL() << "phase-free program must be rejected";
+  } catch (const FatalError& e) {
+    EXPECT_NE(std::string(e.what()).find("no phases"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Selection, CorpusSurvivesOneNodeBudget) {

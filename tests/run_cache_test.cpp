@@ -114,6 +114,11 @@ TEST(RunCacheKey, EveryAnswerChangingOptionClassMovesTheKey) {
   }, "mip.branching");
   differs([](ToolOptions& o) { o.mip.warm_pivot_budget = 11; },
           "mip.warm_pivot_budget");
+  differs([](ToolOptions& o) { o.mip.lp_core = ilp::LpCore::Dense; },
+          "mip.lp_core");
+  differs([](ToolOptions& o) { o.mip.cuts = false; }, "mip.cuts");
+  differs([](ToolOptions& o) { o.mip.partial_pricing = false; },
+          "mip.partial_pricing");
   differs([](ToolOptions& o) {
     o.pinned_phases.emplace_back(0, layout::Layout{});
   }, "pinned_phases");

@@ -21,6 +21,12 @@
 //                          forcing every solve onto the fallback ladder
 //   --mip-branching RULE   branch-and-bound variable selection: pseudocost
 //                          (default) or most-fractional (baseline)
+//   --lp-core CORE         simplex basis representation: sparse (Markowitz
+//                          LU + eta updates, default) or dense (explicit
+//                          inverse oracle; same answers, O(m^2) pivots)
+//   --no-cuts              skip clique/cover cut separation at the B&B root
+//   --no-partial-pricing   full Dantzig pricing instead of the sectioned
+//                          round-robin scan
 //   --no-warm-start        solve every B&B node LP cold (disable the dual-
 //                          simplex basis reuse)
 //   --no-presolve          skip the 0-1 presolve before branch and bound
@@ -68,6 +74,7 @@ void usage(const char* argv0) {
                "          [-x] [-g] [-C] [-r] [-d] [-q] [-J out.json] [-T trace.json]\n"
                "          [--mip-nodes N] [--mip-deadline-ms N]\n"
                "          [--mip-branching pseudocost|most-fractional]\n"
+               "          [--lp-core sparse|dense] [--no-cuts] [--no-partial-pricing]\n"
                "          [--no-warm-start] [--no-presolve] [--no-dominance]\n"
                "          [--no-run-cache] [--run-cache-entries N] [--run-cache-bytes N]\n"
                "          program.f\n",
@@ -160,6 +167,21 @@ int main(int argc, char** argv) {
                      argv[0], v.c_str());
         return 1;
       }
+    } else if (a == "--lp-core") {
+      const std::string v = need_value("--lp-core");
+      if (v == "sparse") {
+        opts.mip.lp_core = ilp::LpCore::Sparse;
+      } else if (v == "dense") {
+        opts.mip.lp_core = ilp::LpCore::Dense;
+      } else {
+        std::fprintf(stderr, "%s: bad LP core '%s' (sparse|dense)\n", argv[0],
+                     v.c_str());
+        return 1;
+      }
+    } else if (a == "--no-cuts") {
+      opts.mip.cuts = false;
+    } else if (a == "--no-partial-pricing") {
+      opts.mip.partial_pricing = false;
     } else if (a == "--no-warm-start") {
       opts.mip.warm_start = false;
     } else if (a == "--no-presolve") {

@@ -8,7 +8,11 @@
 //   autolayout_fuzz [--count N] [--seed S] [--procs P] [--threads T]
 //                   [--min-phases A] [--max-phases B] [--max-arrays K]
 //                   [--max-rank R] [--n EXTENT] [--no-cache-check]
-//                   [--no-shrink] [--quiet]
+//                   [--no-core-check] [--no-shrink] [--quiet]
+//
+// The sparse-vs-dense LP core cross-check (D7) is ON by default here: every
+// generated selection MIP is re-solved with the dense-inverse oracle and the
+// selections must be identical. --no-core-check restores D1-D6 only.
 //
 // Exit status: 0 = every program held all invariants, 1 = a failure (the
 // reproducer is on stderr), 2 = usage error.
@@ -32,7 +36,7 @@ int usage(const char* argv0) {
       "usage: %s [--count N] [--seed S] [--procs P] [--threads T]\n"
       "          [--min-phases A] [--max-phases B] [--max-arrays K]\n"
       "          [--max-rank R] [--n EXTENT] [--no-cache-check]\n"
-      "          [--no-shrink] [--quiet]\n",
+      "          [--no-core-check] [--no-shrink] [--quiet]\n",
       argv0);
   return 2;
 }
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   al::gen::GenOptions gopts;
   al::gen::DiffOptions dopts;
+  dopts.check_lp_cores = true;  // D7 on by default in the fuzzer
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
       gopts.n = scratch;
     } else if (std::strcmp(arg, "--no-cache-check") == 0) {
       dopts.check_run_cache = false;
+    } else if (std::strcmp(arg, "--no-core-check") == 0) {
+      dopts.check_lp_cores = false;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       shrink = false;
     } else if (std::strcmp(arg, "--quiet") == 0) {
