@@ -18,11 +18,16 @@ constexpr double kActTol = 1e-7;
 // One normalized `<=` view of a model row: GE rows are negated, EQ rows
 // produce two views. Activity bounds over the current variable bounds let
 // pairwise probing ask "can x_i and x_j both be 1?" in O(1) per shared row.
+//
+// Views own their data: the separation loops below append cut rows to the
+// model while views are still being scanned, and `model.constraints()` may
+// reallocate on append, so a view must not point into it. Terms are stored
+// with the view's sign already applied and duplicate variables merged
+// (`Model::add_constraint` allows repeats, which are summed).
 struct RowView {
-  const Constraint* row = nullptr;
-  double sign = 1.0;   // +1 as-is, -1 negated (GE / the >= half of EQ)
+  std::vector<Term> terms;  // sign-applied, one entry per variable
   double rhs = 0.0;
-  double act_min = 0.0;  // minimum activity of sign*row over the bound box
+  double act_min = 0.0;  // minimum activity of the view over the bound box
 };
 
 [[nodiscard]] double min_contribution(double coef, const Variable& v) {
@@ -81,24 +86,42 @@ CutStats strengthen_root(Model& model, const SimplexOptions& lp_opts,
       const double fb = lp.x[static_cast<std::size_t>(b)];
       return std::min(fa, 1.0 - fa) > std::min(fb, 1.0 - fb);
     });
-    if (static_cast<int>(frac.size()) > opts.max_probe_candidates)
-      frac.resize(static_cast<std::size_t>(opts.max_probe_candidates));
+    // The conflict graph below stores adjacency as one 64-bit mask per
+    // candidate, so at most 64 candidates are probed regardless of the option.
+    const int cand_cap = std::min(opts.max_probe_candidates, 64);
+    if (static_cast<int>(frac.size()) > cand_cap)
+      frac.resize(static_cast<std::size_t>(cand_cap));
 
     // Row views with activity bounds (built per round: earlier rounds append
     // cut rows, which later rounds may probe too).
     std::vector<RowView> views;
     views.reserve(static_cast<std::size_t>(model.num_constraints()) * 2);
+    std::vector<Term> merged;
     for (const Constraint& row : model.constraints()) {
+      merged.assign(row.terms.begin(), row.terms.end());
+      std::sort(merged.begin(), merged.end(),
+                [](const Term& p, const Term& q) { return p.var < q.var; });
+      std::size_t w = 0;
+      for (const Term& t : merged) {
+        if (w > 0 && merged[w - 1].var == t.var)
+          merged[w - 1].coef += t.coef;
+        else
+          merged[w++] = t;
+      }
+      merged.resize(w);
       const auto add_view = [&](double sign) {
         RowView rv;
-        rv.row = &row;
-        rv.sign = sign;
         rv.rhs = sign * row.rhs;
+        rv.terms.reserve(merged.size());
         double amin = 0.0;
-        for (const Term& t : row.terms)
-          amin += min_contribution(sign * t.coef, model.variable(t.var));
+        for (const Term& t : merged) {
+          const double c = sign * t.coef;
+          if (c == 0.0) continue;
+          rv.terms.push_back({t.var, c});
+          amin += min_contribution(c, model.variable(t.var));
+        }
         rv.act_min = amin;
-        views.push_back(rv);
+        views.push_back(std::move(rv));
       };
       if (row.rel != Rel::GE) add_view(1.0);   // LE and the <= half of EQ
       if (row.rel != Rel::LE) add_view(-1.0);  // GE and the >= half of EQ
@@ -107,11 +130,11 @@ CutStats strengthen_root(Model& model, const SimplexOptions& lp_opts,
     std::vector<std::vector<std::pair<int, double>>> cand_views(frac.size());
     for (int vi = 0; vi < static_cast<int>(views.size()); ++vi) {
       const RowView& rv = views[static_cast<std::size_t>(vi)];
-      for (const Term& t : rv.row->terms) {
+      for (const Term& t : rv.terms) {
         const auto it = std::find(frac.begin(), frac.end(), t.var);
         if (it == frac.end()) continue;
         cand_views[static_cast<std::size_t>(it - frac.begin())].emplace_back(
-            vi, rv.sign * t.coef);
+            vi, t.coef);
       }
     }
 
@@ -198,10 +221,9 @@ CutStats strengthen_root(Model& model, const SimplexOptions& lp_opts,
     // violation filter keeps them out.)
     for (const RowView& rv : views) {
       if (added >= opts.max_cuts_per_round) break;
-      const Constraint& row = *rv.row;
-      if (row.terms.size() < 2) continue;
+      if (rv.terms.size() < 2) continue;
       bool all_binary = true;
-      for (const Term& t : row.terms) {
+      for (const Term& t : rv.terms) {
         const Variable& v = model.variable(t.var);
         if (!v.integer || v.lower != 0.0 || v.upper != 1.0) {
           all_binary = false;
@@ -219,9 +241,8 @@ CutStats strengthen_root(Model& model, const SimplexOptions& lp_opts,
       };
       std::vector<Item> items;
       double b = rv.rhs;
-      for (const Term& t : row.terms) {
-        const double a = rv.sign * t.coef;
-        if (a == 0.0) continue;
+      for (const Term& t : rv.terms) {
+        const double a = t.coef;
         const double x = lp.x[static_cast<std::size_t>(t.var)];
         if (a > 0.0) {
           items.push_back({t.var, a, false, x});

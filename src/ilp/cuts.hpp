@@ -31,7 +31,9 @@ namespace al::ilp {
 struct CutOptions {
   double int_tol = 1e-6;     ///< integrality tolerance for the "skip" check
   int max_rounds = 5;        ///< separation rounds at the root
-  int max_probe_candidates = 64;  ///< fractional binaries probed pairwise
+  /// Fractional binaries probed pairwise. The conflict graph stores adjacency
+  /// as one 64-bit mask per candidate, so values above 64 are clamped to 64.
+  int max_probe_candidates = 64;
   int max_cuts_per_round = 32;
   double min_violation = 1e-4;  ///< LP-point violation a cut must show
   /// Wall-clock budget for the whole cut loop (0 = none).

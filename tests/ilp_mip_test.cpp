@@ -7,6 +7,7 @@
 #include <random>
 
 #include "ilp/branch_and_bound.hpp"
+#include "ilp/cuts.hpp"
 #include "support/contracts.hpp"
 
 namespace al::ilp {
@@ -241,6 +242,82 @@ TEST_P(MipRandomized, MatchesEnumeration) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MipRandomized, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Cuts, CliqueAndCoverInOneRoundKeepOptimum) {
+  // Separates BOTH cut families in the same round: an odd cycle yields a
+  // clique cut and a knapsack row yields a cover cut. The clique phase
+  // appends rows to the model while the cover scan is still pending --
+  // regression for the row views dangling into the reallocated constraint
+  // vector (views must own their data).
+  Model m(Sense::Maximize);
+  const int x = m.add_binary("x", 1.0);
+  const int y = m.add_binary("y", 1.0);
+  const int z = m.add_binary("z", 1.0);
+  m.add_constraint("xy", {{x, 1.0}, {y, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("yz", {{y, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("xz", {{x, 1.0}, {z, 1.0}}, Rel::LE, 1.0);
+  const int d = m.add_binary("d", 10.0);
+  const int e = m.add_binary("e", 10.0);
+  const int f = m.add_binary("f", 10.0);
+  m.add_constraint("knap", {{d, 5.0}, {e, 5.0}, {f, 5.0}}, Rel::LE, 12.0);
+  const CutStats cs = strengthen_root(m, SimplexOptions{});
+  EXPECT_GE(cs.clique_cuts, 1);
+  EXPECT_GE(cs.cover_cuts, 1);
+  // The strengthened model's MIP optimum is unchanged: one of {x,y,z} plus
+  // two of {d,e,f}.
+  MipOptions opts;
+  opts.cuts = false;  // already strengthened; solve as-is
+  const MipResult r = solve_mip(m, opts);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 21.0, 1e-9);
+}
+
+TEST(Cuts, DuplicateTermsAreSummedWhenProbing) {
+  // "dup" repeats variable `a`; Model::add_constraint semantics sum the
+  // coefficients, so the row is 1.2a + b <= 1.5 and a,b conflict. Probing
+  // that keeps only one duplicate's coefficient (0.2 or 1.0) sees no
+  // conflict and misses the triangle clique -- regression for the scatter
+  // overwriting instead of merging duplicate terms.
+  Model m(Sense::Maximize);
+  const int a = m.add_binary("a", 1.0);
+  const int b = m.add_binary("b", 1.0);
+  const int c = m.add_binary("c", 1.0);
+  m.add_constraint("dup", {{a, 1.0}, {a, 0.2}, {b, 1.0}}, Rel::LE, 1.5);
+  m.add_constraint("bc", {{b, 1.0}, {c, 1.0}}, Rel::LE, 1.0);
+  m.add_constraint("ac", {{a, 1.0}, {c, 1.0}}, Rel::LE, 1.0);
+  const CutStats cs = strengthen_root(m, SimplexOptions{});
+  EXPECT_GE(cs.clique_cuts, 1);
+  // The triangle cut a+b+c <= 1 makes the root integral at the optimum 1.
+  const LpResult root = solve_lp(m);
+  ASSERT_EQ(root.status, SolveStatus::Optimal);
+  EXPECT_NEAR(root.objective, 1.0, 1e-6);
+  MipOptions opts;
+  opts.cuts = false;
+  const MipResult r = solve_mip(m, opts);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(Cuts, ProbeCandidateCountClampedTo64) {
+  // 100 fractional binaries with max_probe_candidates above the 64-bit
+  // adjacency mask's capacity: the separator must clamp instead of shifting
+  // by >= 64 (UB). No pair cut is violated (each pair sums to exactly 1.0),
+  // so the model and optimum are untouched.
+  Model m(Sense::Maximize);
+  for (int i = 0; i < 50; ++i) {
+    const int u = m.add_binary("u" + std::to_string(i), 1.0);
+    const int v = m.add_binary("v" + std::to_string(i), 1.0);
+    m.add_constraint("pair" + std::to_string(i), {{u, 1.0}, {v, 1.0}},
+                     Rel::LE, 1.0);
+  }
+  CutOptions copts;
+  copts.max_probe_candidates = 1000;
+  const CutStats cs = strengthen_root(m, SimplexOptions{}, copts);
+  EXPECT_EQ(cs.total(), 0);
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 50.0, 1e-9);
+}
 
 } // namespace
 } // namespace al::ilp
