@@ -1,0 +1,272 @@
+// Simulator-as-oracle benchmark (DESIGN.md section 16): the closed-loop
+// grading of the estimator the paper could only do by timing node programs
+// on a physical iPSC/860 (section 4). Two experiments go to BENCH_sim.json:
+//
+//  1. VALIDATION -- the four corpus programs plus a generated scaling
+//     series (8..64+ phases) run with oracle validation: per-program
+//     predicted-vs-simulated error of the chosen layout, pairwise ranking
+//     inversions over the sampled rival assignments, and the
+//     chosen-vs-rival verdict. ANY rival the simulator ranks more than the
+//     margin below the chosen layout FAILS the benchmark (exit 1).
+//
+//  2. CALIBRATION -- oracle::calibrate_machine sweeps the pattern simulator
+//     over the full (pattern x procs x bytes x stride x latency) grid, fits
+//     TrainingEntry tables by least squares in TrainingSetDB::lookup's
+//     interpolation model, and the calibrated model (a) round-trips through
+//     machine::io byte-exactly, (b) yields verified selections on the whole
+//     corpus, (c) reports its fit residuals. Any failure exits 1.
+//
+//   ./build/bench/sim_oracle [rivals]   (default 8)
+//   ./build/bench/sim_oracle --smoke    tiny cases, 3 rivals (ctest)
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "gen/generator.hpp"
+#include "gen/rng.hpp"
+#include "machine/io.hpp"
+#include "oracle/calibrate.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using al::corpus::Dtype;
+using al::corpus::TestCase;
+
+struct ValidationRow {
+  std::string name;
+  int phases = 0;
+  int rivals = 0;
+  double predicted_us = 0.0;
+  double simulated_us = 0.0;
+  double total_rel_error = 0.0;
+  double mean_abs_phase_error = 0.0;
+  double max_abs_phase_error = 0.0;
+  int pairs = 0;
+  int inversions = 0;
+  int chosen_inversions = 0;
+  double worst_rival_gap = 0.0;
+  bool ok = false;
+};
+
+ValidationRow row_from(const std::string& name, const al::driver::ToolResult& r) {
+  const al::oracle::ValidationReport& o = r.oracle;
+  ValidationRow row;
+  row.name = name;
+  row.phases = r.pcfg.num_phases();
+  row.rivals = static_cast<int>(o.rivals.size());
+  row.predicted_us = o.chosen.predicted_us;
+  row.simulated_us = o.chosen.simulated_us;
+  row.total_rel_error = o.total_rel_error;
+  row.mean_abs_phase_error = o.mean_abs_phase_error;
+  row.max_abs_phase_error = o.max_abs_phase_error;
+  row.pairs = o.pairs;
+  row.inversions = o.inversions;
+  row.chosen_inversions = o.chosen_inversions;
+  row.worst_rival_gap = o.worst_rival_gap;
+  row.ok = o.ok;
+  return row;
+}
+
+void write_row(al::support::JsonWriter& w, const ValidationRow& r) {
+  w.begin_object();
+  w.kv("name", r.name);
+  w.kv("phases", r.phases);
+  w.kv("rivals", r.rivals);
+  w.kv("predicted_us", r.predicted_us);
+  w.kv("simulated_us", r.simulated_us);
+  w.kv("total_rel_error", r.total_rel_error);
+  w.kv("mean_abs_phase_error", r.mean_abs_phase_error);
+  w.kv("max_abs_phase_error", r.max_abs_phase_error);
+  w.kv("pairs", r.pairs);
+  w.kv("inversions", r.inversions);
+  w.kv("inversion_rate",
+       r.pairs > 0 ? static_cast<double>(r.inversions) / r.pairs : 0.0);
+  w.kv("chosen_inversions", r.chosen_inversions);
+  w.kv("worst_rival_gap", r.worst_rival_gap);
+  w.kv("ok", r.ok);
+  w.end_object();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int rivals = 8;
+  if (argc > 1) {
+    if (std::string(argv[1]) == "--smoke") {
+      smoke = true;
+      rivals = 3;
+    } else if (!al::parse_int(argv[1], 0, 4096, rivals)) {
+      std::fprintf(stderr, "usage: %s [rivals | --smoke]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  al::support::Metrics::instance().reset();
+  bool all_ok = true;
+
+  al::driver::ToolOptions opts;
+  opts.threads = 1;
+  opts.validate = true;
+  opts.validate_rivals = rivals;
+
+  // --- 1. Validation: corpus + generated scaling series -------------------
+  const std::vector<TestCase> cases =
+      smoke ? std::vector<TestCase>{{"adi", 32, Dtype::DoublePrecision, 4},
+                                    {"erlebacher", 16, Dtype::DoublePrecision, 4},
+                                    {"tomcatv", 32, Dtype::DoublePrecision, 4},
+                                    {"shallow", 32, Dtype::Real, 4}}
+            : std::vector<TestCase>{{"adi", 256, Dtype::DoublePrecision, 16},
+                                    {"erlebacher", 64, Dtype::DoublePrecision, 16},
+                                    {"tomcatv", 128, Dtype::DoublePrecision, 16},
+                                    {"shallow", 256, Dtype::Real, 16}};
+  std::vector<ValidationRow> corpus_rows;
+  for (const TestCase& c : cases) {
+    opts.procs = c.procs;
+    const auto tool = al::driver::run_tool(al::corpus::source_for(c), opts);
+    corpus_rows.push_back(row_from(c.name(), *tool));
+    const ValidationRow& row = corpus_rows.back();
+    all_ok = all_ok && row.ok;
+    std::printf("%-28s phases %3d  err %+6.1f%%  inversions %d/%d  %s\n",
+                row.name.c_str(), row.phases, row.total_rel_error * 100.0,
+                row.inversions, row.pairs, row.ok ? "ok" : "CHOSEN-INVERSION");
+  }
+
+  const std::vector<int> scaling_sizes =
+      smoke ? std::vector<int>{8} : std::vector<int>{8, 16, 32, 64, 80};
+  std::vector<ValidationRow> generated_rows;
+  opts.procs = 16;
+  for (const int size : scaling_sizes) {
+    al::gen::Rng rng(2000 + static_cast<std::uint64_t>(size));
+    al::gen::GenOptions gopts;
+    gopts.min_phases = gopts.max_phases = size;
+    gopts.max_arrays = 6;
+    const auto tool = al::driver::run_tool(al::gen::random_program(rng, gopts), opts);
+    generated_rows.push_back(row_from("gen-" + std::to_string(size), *tool));
+    const ValidationRow& row = generated_rows.back();
+    all_ok = all_ok && row.ok;
+    std::printf("%-28s phases %3d  err %+6.1f%%  inversions %d/%d  %s\n",
+                row.name.c_str(), row.phases, row.total_rel_error * 100.0,
+                row.inversions, row.pairs, row.ok ? "ok" : "CHOSEN-INVERSION");
+  }
+
+  // --- 2. Calibration: sweep + fit + io round-trip + corpus re-selection --
+  const al::oracle::CalibrationOptions copts =
+      smoke ? al::oracle::CalibrationOptions::smoke()
+            : al::oracle::CalibrationOptions{};
+  const al::oracle::CalibrationResult cal =
+      al::oracle::calibrate_machine(al::machine::make_ipsc860(), copts);
+  std::printf("calibration: %d entries from %d probes, rms residual %.2f%%, "
+              "max %.2f%%\n",
+              cal.entries, cal.measurements, cal.rms_rel_residual * 100.0,
+              cal.max_rel_residual * 100.0);
+
+  // machine::io round-trip: format -> parse -> format must be byte-stable
+  // and preserve every entry.
+  bool io_roundtrip = true;
+  {
+    const std::string text = al::machine::format_training_sets(cal.model.training);
+    al::DiagnosticEngine diags;
+    const al::machine::TrainingSetDB parsed =
+        al::machine::parse_training_sets(text, diags);
+    io_roundtrip = !diags.has_errors() &&
+                   parsed.size() == cal.model.training.size() &&
+                   al::machine::format_training_sets(parsed) == text;
+    if (!io_roundtrip) {
+      std::fprintf(stderr, "%s: calibrated model does NOT round-trip machine::io\n",
+                   argv[0]);
+      all_ok = false;
+    }
+  }
+
+  // Re-run the corpus under the calibrated model: every selection must pass
+  // the independent checker and the oracle's chosen-vs-rival gate.
+  std::vector<ValidationRow> calibrated_rows;
+  bool calibrated_verified = true;
+  {
+    al::driver::ToolOptions copts2 = opts;
+    copts2.machine = cal.model;
+    for (const TestCase& c : cases) {
+      copts2.procs = c.procs;
+      const auto tool = al::driver::run_tool(al::corpus::source_for(c), copts2);
+      calibrated_rows.push_back(row_from(c.name(), *tool));
+      calibrated_verified = calibrated_verified && tool->verification.ok;
+      all_ok = all_ok && calibrated_rows.back().ok && tool->verification.ok;
+    }
+    std::printf("calibrated model: %zu corpus selections %s\n", cases.size(),
+                calibrated_verified ? "verified" : "FAILED VERIFICATION");
+  }
+
+  std::ofstream out("BENCH_sim.json");
+  al::support::JsonWriter w(out);
+  w.begin_object();
+  w.kv("bench", "sim_oracle");
+  w.kv("schema_version", 1);
+  w.kv("smoke", smoke);
+  w.kv("rivals", rivals);
+  w.kv("margin", opts.validate_margin);
+  w.kv("sim_seed", static_cast<std::uint64_t>(opts.sim_seed));
+  w.key("corpus").begin_array();
+  for (const ValidationRow& r : corpus_rows) write_row(w, r);
+  w.end_array();
+  w.key("generated").begin_array();
+  for (const ValidationRow& r : generated_rows) write_row(w, r);
+  w.end_array();
+  w.key("calibration").begin_object();
+  w.kv("model", cal.model.name);
+  w.kv("entries", cal.entries);
+  w.kv("families", static_cast<std::uint64_t>(cal.families.size()));
+  w.kv("probes", cal.measurements);
+  w.kv("rms_rel_residual", cal.rms_rel_residual);
+  w.kv("max_rel_residual", cal.max_rel_residual);
+  w.kv("io_roundtrip", io_roundtrip);
+  w.kv("corpus_selections_verified", calibrated_verified);
+  w.key("corpus_under_calibrated_model").begin_array();
+  for (const ValidationRow& r : calibrated_rows) write_row(w, r);
+  w.end_array();
+  // The worst-fit families, so a residual regression names its pattern.
+  double worst = -1.0;
+  const al::oracle::FamilyFit* worst_fit = nullptr;
+  for (const al::oracle::FamilyFit& f : cal.families) {
+    if (f.max_rel_residual > worst) {
+      worst = f.max_rel_residual;
+      worst_fit = &f;
+    }
+  }
+  if (worst_fit != nullptr) {
+    w.key("worst_family").begin_object();
+    w.kv("pattern", al::machine::to_string(worst_fit->pattern));
+    w.kv("procs", worst_fit->procs);
+    w.kv("stride",
+         worst_fit->stride == al::machine::Stride::Unit ? "unit" : "nonunit");
+    w.kv("latency",
+         worst_fit->latency == al::machine::LatencyClass::High ? "high" : "low");
+    w.kv("max_rel_residual", worst_fit->max_rel_residual);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("counters").begin_object();
+  for (const auto& s : al::support::Metrics::instance().snapshot()) {
+    if (!s.is_gauge) w.kv(s.name, s.count);
+  }
+  w.end_object();
+  w.end_object();
+
+  std::printf("wrote BENCH_sim.json\n");
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "%s: oracle gate FAILED (chosen-vs-rival inversion, io "
+                 "round-trip, or verification) -- see BENCH_sim.json\n",
+                 argv[0]);
+    return 1;
+  }
+  return 0;
+}

@@ -110,6 +110,7 @@ void write_stages(support::JsonWriter& w, const StageTimings& t) {
   w.kv("spaces_ms", t.spaces_ms);
   w.kv("estimation_ms", t.graph_ms);
   w.kv("selection_ms", t.selection_ms);
+  w.kv("oracle_ms", t.oracle_ms);
   w.kv("total_ms", t.total_ms);
   w.kv("threads", t.threads);
   w.key("graph").begin_object();
@@ -139,6 +140,53 @@ void write_cache(support::JsonWriter& w, const ToolResult& r) {
   w.kv("shards", static_cast<std::uint64_t>(occ.shards));
   w.kv("max_shard_entries", static_cast<std::uint64_t>(occ.max_shard_entries));
   w.end_object();
+  w.end_object();
+}
+
+// Schema v3 (additive): the simulator-as-oracle verdict. Everything beyond
+// "ran" appears only when the validation stage actually ran.
+void write_oracle(support::JsonWriter& w, const ToolResult& r) {
+  const oracle::ValidationReport& o = r.oracle;
+  w.key("oracle").begin_object();
+  w.kv("ran", o.ran);
+  if (o.ran) {
+    w.kv("ok", o.ok);
+    if (!o.message.empty()) w.kv("message", o.message);
+    w.kv("seed", static_cast<std::uint64_t>(r.options.sim_seed));
+    w.kv("margin", r.options.validate_margin);
+    w.key("chosen").begin_object();
+    w.kv("predicted_us", o.chosen.predicted_us);
+    w.kv("simulated_us", o.chosen.simulated_us);
+    w.kv("total_rel_error", o.total_rel_error);
+    w.kv("mean_abs_phase_error", o.mean_abs_phase_error);
+    w.kv("max_abs_phase_error", o.max_abs_phase_error);
+    w.end_object();
+    w.key("phases").begin_array();
+    for (const oracle::PhaseValidation& p : o.phases) {
+      w.begin_object();
+      w.kv("predicted_us", p.predicted_us);
+      w.kv("simulated_us", p.simulated_us);
+      w.kv("rel_error", p.rel_error);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("rivals").begin_array();
+    for (const oracle::SimulatedRival& riv : o.rivals) {
+      w.begin_object();
+      w.kv("label", riv.label);
+      w.kv("predicted_us", riv.predicted_us);
+      w.kv("simulated_us", riv.simulated_us);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("ranking").begin_object();
+    w.kv("pairs", o.pairs);
+    w.kv("inversions", o.inversions);
+    w.kv("inversion_rate", o.inversion_rate());
+    w.kv("chosen_inversions", o.chosen_inversions);
+    w.kv("worst_rival_gap", o.worst_rival_gap);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -218,6 +266,7 @@ void write_json_report(const ToolResult& r, support::JsonWriter& w) {
   w.end_object();
   write_selection(w, r);
   write_alignment_ilp(w, r);
+  write_oracle(w, r);
   write_stages(w, r.timings);
   write_cache(w, r);
   write_run_cache(w, r.run_cache);

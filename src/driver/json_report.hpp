@@ -33,6 +33,12 @@ namespace al::driver {
 /// whole-run cache was probed). Purely additive -- every v2 field is
 /// unchanged, so v2 readers keep working; the bump marks that two documents
 /// differing only in "run_cache" describe the same run.
+///
+/// Still v3 (additive): a top-level "oracle" block reports the
+/// simulator-as-oracle validation when ToolOptions::validate ran the stage
+/// ("ran": false otherwise) -- predicted-vs-simulated error of the chosen
+/// assignment (total, per phase), the simulated rival assignments, ranking
+/// inversions, and the chosen-vs-rival verdict; "stages" gains "oracle_ms".
 inline constexpr int kJsonReportSchemaVersion = 3;
 
 /// Streams the full run document for `result`.

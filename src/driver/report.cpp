@@ -106,6 +106,8 @@ std::string stage_report(const StageTimings& t) {
      << format_fixed(t.graph.node_ms, 2) << " ms, edges "
      << format_fixed(t.graph.edge_ms, 2) << " ms)\n";
   os << "  selection  " << format_fixed(t.selection_ms, 2) << " ms\n";
+  if (t.oracle_ms > 0.0)
+    os << "  oracle     " << format_fixed(t.oracle_ms, 2) << " ms\n";
   os << "  total      " << format_fixed(t.total_ms, 2) << " ms\n";
   const perf::CacheStats& c = t.cache;
   if (c.hits() + c.misses() == 0) {

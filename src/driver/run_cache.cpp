@@ -108,9 +108,21 @@ perf::RunKey run_cache_key(std::string_view source, const ToolOptions& opts) {
     d.mix(fp.hi);
   }
 
+  // Oracle validation changes the report's "oracle" block, so its knobs are
+  // identity -- but ONLY while validation is on. A validate-off run never
+  // simulates: its report is byte-identical at every sim_seed, and mixing
+  // the seed anyway would shatter the cache for plain runs.
+  d.mix(static_cast<std::uint64_t>(opts.validate));
+  if (opts.validate) {
+    d.mix(static_cast<std::uint64_t>(opts.validate_rivals));
+    d.mix_double(opts.validate_margin);
+    d.mix(opts.sim_seed);
+  }
+
   // EXCLUDED by design: opts.threads (results are bit-identical at any
   // count), opts.estimator_cache (memoization only), opts.run_cache (the
-  // consult toggle cannot be part of what it addresses).
+  // consult toggle cannot be part of what it addresses); sim_seed /
+  // validate_rivals / validate_margin while opts.validate is off (see above).
   return d.key();
 }
 

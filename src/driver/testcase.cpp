@@ -98,11 +98,13 @@ CaseReport evaluate_alternatives(const ToolResult& r) {
     rep.alternatives[static_cast<std::size_t>(rep.tool_index)].is_tool_choice = true;
   }
 
-  // Cost every alternative with the estimator and the simulator.
+  // Cost every alternative with the estimator and the simulator (under the
+  // run's configured seed, so --sim-seed reaches every simulation).
   for (Alternative& alt : rep.alternatives) {
     alt.est_us = select::assignment_cost(r.graph, alt.assignment);
-    alt.meas_us =
-        sim::measure_program(*r.estimator, r.templ, r.spaces, alt.assignment).total_us;
+    alt.meas_us = sim::measure_program(*r.estimator, r.templ, r.spaces, alt.assignment,
+                                       r.options.sim_seed)
+                      .total_us;
   }
 
   rep.best_measured = static_cast<int>(

@@ -153,6 +153,20 @@ std::unique_ptr<ToolResult> run_tool(std::string_view source, const ToolOptions&
     r->timings.selection_ms = span.stop_ms();
   }
 
+  if (opts.validate) {
+    // 5. Simulator-as-oracle validation (DESIGN.md section 16): ground the
+    // selection against the SPMD simulator. Runs after the checker so a
+    // broken selection fails fast on the cheap invariant first.
+    support::TraceSpan span("stage.oracle");
+    oracle::ValidationOptions vopts;
+    vopts.rivals = opts.validate_rivals;
+    vopts.margin = opts.validate_margin;
+    vopts.seed = opts.sim_seed;
+    r->oracle = oracle::validate_selection(*r->estimator, r->templ, r->spaces,
+                                           r->graph, r->selection, vopts);
+    r->timings.oracle_ms = span.stop_ms();
+  }
+
   r->timings.cache = r->estimator->cache_stats();
   r->timings.total_ms = total_span.stop_ms();
 

@@ -18,6 +18,7 @@
 #include "ilp/branch_and_bound.hpp"
 #include "layout/template_map.hpp"
 #include "machine/training_set.hpp"
+#include "oracle/validate.hpp"
 #include "perf/estimator.hpp"
 #include "select/ilp_selection.hpp"
 #include "select/verify.hpp"
@@ -62,6 +63,20 @@ struct ToolOptions {
   /// CLI --no-run-cache, protocol options.run_cache). Observability-only:
   /// the flag never changes the answer, so it is NOT part of the cache key.
   bool run_cache = true;
+  /// Run the simulator-as-oracle validation stage after selection (CLI
+  /// --validate[=K], protocol options.validate): simulate the chosen
+  /// assignment plus `validate_rivals` sampled rivals and grade the
+  /// estimator's ranking. Fills ToolResult::oracle and the report's
+  /// "oracle" block; part of the run-cache key only while on.
+  bool validate = false;
+  int validate_rivals = 8;
+  /// Chosen-vs-rival slowdown a validation tolerates before flagging
+  /// (oracle::ValidationOptions::margin).
+  double validate_margin = 0.25;
+  /// Seed for every simulator jitter stream and for rival sampling (CLI
+  /// --sim-seed, protocol options.sim_seed). Only observable -- and only in
+  /// the cache key -- when validation runs; plain runs never simulate.
+  std::uint64_t sim_seed = 0x5EED;
 };
 
 /// Cache identity of one run, for the JSON report's "run_cache" block.
@@ -82,6 +97,7 @@ struct StageTimings {
   double spaces_ms = 0.0;     ///< distribution candidates x alignments
   double graph_ms = 0.0;      ///< performance estimation (the hot stage)
   double selection_ms = 0.0;  ///< 0-1 ILP
+  double oracle_ms = 0.0;     ///< oracle validation (0 unless --validate)
   double total_ms = 0.0;
   int threads = 1;            ///< workers used by the estimation stage
   select::GraphBuildStats graph;  ///< node/edge split of graph_ms
@@ -105,6 +121,9 @@ struct ToolResult {
   /// Independent checker verdict on `selection` (run on every result,
   /// whatever engine produced it).
   select::VerifyResult verification;
+  /// Simulator-as-oracle verdict (oracle.ran == false unless
+  /// ToolOptions::validate requested the stage).
+  oracle::ValidationReport oracle;
   StageTimings timings;
   RunCacheInfo run_cache;
 

@@ -5,6 +5,7 @@
 
 #include "driver/run_cache.hpp"
 #include "driver/tool.hpp"
+#include "oracle/validate.hpp"
 #include "perf/run_cache.hpp"
 #include "select/dp_selection.hpp"
 #include "select/verify.hpp"
@@ -159,6 +160,25 @@ DiffResult check_differential(const std::string& source, const DiffOptions& opts
       }
     } catch (const std::exception& e) {
       return fail(std::string("D7: cross-core solve threw: ") + e.what());
+    }
+  }
+
+  // D8: ground the selection against the SPMD simulator -- no sampled rival
+  // may beat the chosen layout by more than the margin.
+  if (opts.check_oracle) {
+    oracle::ValidationOptions vopts;
+    vopts.rivals = opts.oracle_rivals;
+    vopts.margin = opts.oracle_margin;
+    try {
+      const oracle::ValidationReport v = oracle::validate_selection(
+          *tool->estimator, tool->templ, tool->spaces, tool->graph, tool->selection,
+          vopts);
+      r.oracle_rivals_simulated = static_cast<int>(v.rivals.size());
+      r.oracle_ranking_inversions = v.inversions;
+      r.oracle_worst_gap = v.worst_rival_gap;
+      if (!v.ok) return fail("D8: " + v.message);
+    } catch (const std::exception& e) {
+      return fail(std::string("D8: oracle validation threw: ") + e.what());
     }
   }
 

@@ -18,6 +18,12 @@
 //       dense-inverse oracle land on the SAME verified selection -- the
 //       selection MIP's tie-break epsilons make the optimum unique, so this
 //       is equality of `chosen`, not merely of cost.
+//   D8  (check_oracle, on by default) the SPMD simulator never ranks a
+//       sampled rival assignment more than `oracle_margin` below the chosen
+//       layout (oracle::validate_selection's chosen-vs-rival invariant): an
+//       estimator that selects materially slower layouts than the ground
+//       truth offers is a real bug, whatever the checker says about the
+//       ILP's own objective.
 //
 // check_differential evaluates all of these on one source text; shrink_failure
 // reduces a failing ProgramSpec to a minimal reproducer by spec-level
@@ -46,6 +52,18 @@ struct DiffOptions {
   /// and require an identical verified selection (D7). Off by default --
   /// it re-runs the exact solve -- and on by default in autolayout_fuzz.
   bool check_lp_cores = false;
+  /// Simulate the chosen selection against sampled rival assignments and
+  /// require the simulator never ranks a rival more than `oracle_margin`
+  /// below it (D8). Cheap (one simulation per rival) and on by default;
+  /// autolayout_fuzz --no-oracle-check turns it off.
+  bool check_oracle = true;
+  int oracle_rivals = 4;
+  /// Wider than the driver's 25% --validate default: generated programs run
+  /// at n=16, where the estimator's worst documented bias (fine-grain
+  /// pipelined phases underpredicted by up to ~44%, EXPERIMENTS.md) is the
+  /// largest share of total time. D8 is a tripwire for gross inversions,
+  /// not a tight corpus-scale gate.
+  double oracle_margin = 0.40;
   /// Solver budgets. The defaults are effectively unlimited, making D2's
   /// proven-optimal expectation valid; callers that set budgets get the
   /// fallback ladder and D2 relaxes to "verified".
@@ -53,8 +71,8 @@ struct DiffOptions {
   double rel_tol = 1e-6;
 };
 
-/// Outcome of one differential run. `ok` is the conjunction of D1..D6;
-/// `failure` names the first violated invariant with context.
+/// Outcome of one differential run. `ok` is the conjunction of the enabled
+/// invariants (D1..D8); `failure` names the first violated one with context.
 struct DiffResult {
   bool ok = true;
   std::string failure;
@@ -67,6 +85,10 @@ struct DiffResult {
   double dp_cost_us = 0.0;
   double greedy_cost_us = 0.0;
   select::SelectionEngine engine = select::SelectionEngine::Ilp;
+  // D8 statistics (when check_oracle ran):
+  int oracle_rivals_simulated = 0;
+  int oracle_ranking_inversions = 0;
+  double oracle_worst_gap = 0.0;  ///< worst sim(chosen)/sim(rival) - 1
 };
 
 [[nodiscard]] DiffResult check_differential(const std::string& source,

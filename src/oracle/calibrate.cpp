@@ -1,0 +1,195 @@
+#include "oracle/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/patterns.hpp"
+#include "support/contracts.hpp"
+#include "support/metrics.hpp"
+
+namespace al::oracle {
+namespace {
+
+using machine::CommPattern;
+using machine::LatencyClass;
+using machine::Stride;
+
+constexpr CommPattern kPatterns[] = {CommPattern::Shift, CommPattern::SendRecv,
+                                     CommPattern::Broadcast, CommPattern::Reduction,
+                                     CommPattern::Transpose};
+constexpr Stride kStrides[] = {Stride::Unit, Stride::NonUnit};
+constexpr LatencyClass kLatencies[] = {LatencyClass::High, LatencyClass::Low};
+
+/// Hat-function basis of TrainingSetDB::lookup: piecewise linear in RAW
+/// bytes between consecutive knots. Every probe lies within [first, last],
+/// so the clamp/extrapolate branches of lookup never apply to the fit.
+void hat_weights(const std::vector<double>& knots, double b, std::vector<double>& w) {
+  std::fill(w.begin(), w.end(), 0.0);
+  const std::size_t n = knots.size();
+  if (b <= knots.front()) {
+    w[0] = 1.0;
+    return;
+  }
+  if (b >= knots.back()) {
+    w[n - 1] = 1.0;
+    return;
+  }
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (b <= knots[k + 1]) {
+      const double t = (b - knots[k]) / (knots[k + 1] - knots[k]);
+      w[k] = 1.0 - t;
+      w[k + 1] = t;
+      return;
+    }
+  }
+}
+
+/// Solves the (tiny, symmetric positive definite) normal equations in place
+/// by Gaussian elimination with partial pivoting.
+bool solve_dense(std::vector<std::vector<double>>& a, std::vector<double>& rhs) {
+  const std::size_t n = rhs.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
+    if (std::abs(a[piv][col]) < 1e-12) return false;
+    std::swap(a[col], a[piv]);
+    std::swap(rhs[col], rhs[piv]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  for (std::size_t col = n; col-- > 0;) {
+    double s = rhs[col];
+    for (std::size_t c = col + 1; c < n; ++c) s -= a[col][c] * rhs[c];
+    rhs[col] = s / a[col][col];
+  }
+  return true;
+}
+
+} // namespace
+
+CalibrationResult calibrate_machine(const machine::MachineModel& base,
+                                    const CalibrationOptions& opts) {
+  AL_EXPECTS(opts.knots.size() >= 2);
+  AL_EXPECTS(std::is_sorted(opts.knots.begin(), opts.knots.end()));
+  AL_EXPECTS(!opts.procs.empty());
+  AL_EXPECTS(opts.repetitions >= 1);
+
+  const sim::NetworkParams net = sim::NetworkParams::for_machine(base);
+  const std::size_t nknots = opts.knots.size();
+
+  // Probe points: the knots themselves plus log-spaced interior points, so
+  // the startup-dominated small-message region is as well represented as the
+  // bandwidth-dominated tail.
+  std::vector<double> points;
+  for (std::size_t k = 0; k + 1 < nknots; ++k) {
+    points.push_back(opts.knots[k]);
+    const double llo = std::log(std::max(opts.knots[k], 1.0));
+    const double lhi = std::log(std::max(opts.knots[k + 1], 1.0));
+    for (int s = 1; s <= opts.samples_per_interval; ++s) {
+      const double f = static_cast<double>(s) / (opts.samples_per_interval + 1);
+      points.push_back(std::exp(llo + f * (lhi - llo)));
+    }
+  }
+  points.push_back(opts.knots.back());
+
+  CalibrationResult out;
+  out.model = base;
+  out.model.name = base.name + " (sim-calibrated)";
+  out.model.training = machine::TrainingSetDB{};
+
+  double sq_sum = 0.0;
+  long sq_n = 0;
+  std::uint64_t family_id = 0;
+  std::vector<double> w(nknots, 0.0);
+
+  for (const CommPattern pattern : kPatterns) {
+    for (const int procs : opts.procs) {
+      for (const Stride stride : kStrides) {
+        for (const LatencyClass latency : kLatencies) {
+          ++family_id;
+          std::vector<double> measured(points.size(), 0.0);
+          for (std::size_t i = 0; i < points.size(); ++i) {
+            double acc = 0.0;
+            for (int rep = 0; rep < opts.repetitions; ++rep) {
+              const std::uint64_t probe_seed = sim::hash64(
+                  opts.seed ^ (family_id * 0x9E3779B97F4A7C15ULL) ^
+                  (static_cast<std::uint64_t>(i) * 0xD1B54A32D192ED03ULL) ^
+                  static_cast<std::uint64_t>(rep));
+              acc += sim::simulate_pattern_us(net, pattern, procs, points[i],
+                                              stride, latency, probe_seed);
+            }
+            measured[i] = acc / opts.repetitions;
+            out.measurements += opts.repetitions;
+          }
+
+          // Least-squares knot values in the lookup interpolation model.
+          std::vector<std::vector<double>> ata(nknots, std::vector<double>(nknots, 0.0));
+          std::vector<double> atb(nknots, 0.0);
+          for (std::size_t i = 0; i < points.size(); ++i) {
+            hat_weights(opts.knots, points[i], w);
+            for (std::size_t r = 0; r < nknots; ++r) {
+              if (w[r] == 0.0) continue;
+              atb[r] += w[r] * measured[i];
+              for (std::size_t c = 0; c < nknots; ++c) ata[r][c] += w[r] * w[c];
+            }
+          }
+          std::vector<double> values = atb;
+          if (!solve_dense(ata, values)) {
+            // Degenerate support (can only happen with pathological knot
+            // grids): fall back to the raw measurements at the knots.
+            values.assign(nknots, 0.0);
+            for (std::size_t k = 0; k < nknots; ++k) {
+              hat_weights(opts.knots, opts.knots[k], w);
+              for (std::size_t i = 0; i < points.size(); ++i)
+                if (points[i] == opts.knots[k]) values[k] = measured[i];
+            }
+          }
+          for (double& v : values) v = std::max(v, 0.0);
+
+          FamilyFit fit;
+          fit.pattern = pattern;
+          fit.procs = procs;
+          fit.stride = stride;
+          fit.latency = latency;
+          fit.samples = static_cast<int>(points.size());
+          double fam_sq = 0.0;
+          for (std::size_t i = 0; i < points.size(); ++i) {
+            hat_weights(opts.knots, points[i], w);
+            double predicted = 0.0;
+            for (std::size_t k = 0; k < nknots; ++k) predicted += w[k] * values[k];
+            const double rel =
+                measured[i] > 0.0 ? (predicted - measured[i]) / measured[i] : 0.0;
+            fam_sq += rel * rel;
+            fit.max_rel_residual = std::max(fit.max_rel_residual, std::abs(rel));
+          }
+          fit.rms_rel_residual = std::sqrt(fam_sq / points.size());
+          sq_sum += fam_sq;
+          sq_n += static_cast<long>(points.size());
+          out.max_rel_residual = std::max(out.max_rel_residual, fit.max_rel_residual);
+          out.families.push_back(fit);
+
+          for (std::size_t k = 0; k < nknots; ++k) {
+            out.model.training.add(machine::TrainingEntry{
+                pattern, procs, opts.knots[k], stride, latency, values[k]});
+            ++out.entries;
+          }
+        }
+      }
+    }
+  }
+  out.rms_rel_residual = sq_n > 0 ? std::sqrt(sq_sum / sq_n) : 0.0;
+
+  support::Metrics& m = support::Metrics::instance();
+  m.counter("oracle.calibrations").add();
+  m.counter("oracle.calibration_probes").add(static_cast<std::uint64_t>(out.measurements));
+  return out;
+}
+
+} // namespace al::oracle

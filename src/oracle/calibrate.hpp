@@ -1,0 +1,76 @@
+// Simulator-as-oracle, calibration half (DESIGN.md section 16): the
+// hand-synthesized training sets in src/machine encode published machine
+// characteristics, but nothing ever FIT them against an execution source.
+// calibrate_machine inverts the oracle: it sweeps the pattern-level
+// simulator (sim/patterns) over a (pattern x procs x bytes x stride x
+// latency) grid -- densely in the message size, with several jittered
+// repetitions per point, exactly how the paper's authors probed a physical
+// iPSC/860 -- and fits TrainingEntry tables from those measurements by
+// least squares in the piecewise log-linear interpolation model
+// TrainingSetDB::lookup applies (knot values at the canonical byte samples,
+// hat-function basis between them). The result is a calibrated
+// MachineModel that round-trips through machine::io like any measured
+// training-set file, plus per-family fit residuals -- the DASH-style
+// measurement-driven adaptation loop (PAPERS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/training_set.hpp"
+
+namespace al::oracle {
+
+struct CalibrationOptions {
+  /// Processor counts to sample (each family gets entries at each count).
+  std::vector<int> procs = {2, 4, 8, 16, 32, 64, 128};
+  /// Byte-size knots of the fitted tables (the canonical training-set
+  /// samples). Must be strictly increasing, >= 2 knots.
+  std::vector<double> knots = {8, 64, 100, 512, 4096, 32768, 262144, 2097152};
+  /// Dense measurement points per knot interval (log-spaced), in addition
+  /// to the knots themselves.
+  int samples_per_interval = 4;
+  /// Jittered simulator repetitions averaged per measurement point.
+  int repetitions = 3;
+  std::uint64_t seed = 0xCA11B;
+
+  /// A deliberately tiny grid for smoke tests / ctest.
+  [[nodiscard]] static CalibrationOptions smoke() {
+    CalibrationOptions o;
+    o.procs = {2, 8};
+    o.knots = {8, 512, 32768};
+    o.samples_per_interval = 2;
+    o.repetitions = 2;
+    return o;
+  }
+};
+
+/// Fit quality of one (pattern, procs, stride, latency) family.
+struct FamilyFit {
+  machine::CommPattern pattern{};
+  int procs = 0;
+  machine::Stride stride{};
+  machine::LatencyClass latency{};
+  int samples = 0;             ///< dense measurement points fitted
+  double rms_rel_residual = 0.0;
+  double max_rel_residual = 0.0;
+};
+
+struct CalibrationResult {
+  /// The input model with its training database REPLACED by the fitted
+  /// tables (computation costs are not communication patterns and carry
+  /// over unchanged); name gains a " (sim-calibrated)" suffix.
+  machine::MachineModel model;
+  std::vector<FamilyFit> families;
+  int entries = 0;        ///< fitted TrainingEntry count
+  int measurements = 0;   ///< simulator probes taken (points x repetitions)
+  double rms_rel_residual = 0.0;  ///< over all samples of all families
+  double max_rel_residual = 0.0;
+};
+
+/// Runs the sweep-and-fit pipeline against `base`'s network behaviour
+/// (NetworkParams::for_machine). Deterministic per (base, opts).
+[[nodiscard]] CalibrationResult calibrate_machine(const machine::MachineModel& base,
+                                                  const CalibrationOptions& opts = {});
+
+} // namespace al::oracle

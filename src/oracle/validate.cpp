@@ -1,0 +1,151 @@
+#include "oracle/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "select/dp_selection.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/measure.hpp"
+#include "support/contracts.hpp"
+#include "support/metrics.hpp"
+
+namespace al::oracle {
+namespace {
+
+/// Seeded uniform candidate draw without a heavyweight RNG: splitmix the
+/// (seed, rival, phase) triple and reduce by multiply-shift. The candidate
+/// counts are tiny, so the bias of the reduction is < 1e-14.
+int draw_candidate(std::uint64_t seed, int rival, int phase, int num_candidates) {
+  AL_EXPECTS(num_candidates >= 1);
+  const std::uint64_t h =
+      sim::hash64(seed ^ (static_cast<std::uint64_t>(rival) * 0x9E3779B97F4A7C15ULL +
+                          static_cast<std::uint64_t>(phase) * 0xD1B54A32D192ED03ULL));
+  return static_cast<int>((static_cast<unsigned __int128>(h) *
+                           static_cast<unsigned>(num_candidates)) >>
+                          64);
+}
+
+} // namespace
+
+ValidationReport validate_selection(const perf::Estimator& estimator,
+                                    const layout::ProgramTemplate& templ,
+                                    const std::vector<distrib::LayoutSpace>& spaces,
+                                    const select::LayoutGraph& graph,
+                                    const select::SelectionResult& selection,
+                                    const ValidationOptions& opts) {
+  const int nphases = graph.num_phases();
+  AL_EXPECTS(static_cast<int>(spaces.size()) == nphases);
+  AL_EXPECTS(static_cast<int>(selection.chosen.size()) == nphases);
+
+  ValidationReport out;
+  out.ran = true;
+
+  auto simulate = [&](const std::vector<int>& assignment) {
+    return sim::measure_program(estimator, templ, spaces, assignment, opts.seed);
+  };
+
+  // The chosen assignment, with its per-phase split.
+  out.chosen.label = "chosen";
+  out.chosen.assignment = selection.chosen;
+  out.chosen.predicted_us = select::assignment_cost(graph, selection.chosen);
+  const sim::Measurement chosen_meas = simulate(selection.chosen);
+  out.chosen.simulated_us = chosen_meas.total_us;
+
+  out.phases.resize(static_cast<std::size_t>(nphases));
+  double abs_sum = 0.0;
+  for (int p = 0; p < nphases; ++p) {
+    PhaseValidation& pv = out.phases[static_cast<std::size_t>(p)];
+    pv.predicted_us =
+        graph.node_cost_us[static_cast<std::size_t>(p)]
+                          [static_cast<std::size_t>(selection.chosen[static_cast<std::size_t>(p)])];
+    pv.simulated_us = chosen_meas.phase_us[static_cast<std::size_t>(p)];
+    pv.rel_error = pv.simulated_us > 0.0
+                       ? (pv.simulated_us - pv.predicted_us) / pv.simulated_us
+                       : 0.0;
+    abs_sum += std::abs(pv.rel_error);
+    out.max_abs_phase_error = std::max(out.max_abs_phase_error, std::abs(pv.rel_error));
+  }
+  out.mean_abs_phase_error = nphases > 0 ? abs_sum / nphases : 0.0;
+  out.total_rel_error =
+      out.chosen.simulated_us > 0.0
+          ? (out.chosen.simulated_us - out.chosen.predicted_us) / out.chosen.simulated_us
+          : 0.0;
+
+  // Rival pool: the DP and greedy fallback picks (when they differ from the
+  // chosen assignment -- the layouts the tool WOULD have shipped had the
+  // exact solve degraded), then K seeded random assignments.
+  std::vector<SimulatedRival> rivals;
+  auto add_rival = [&](std::string label, std::vector<int> assignment) {
+    if (assignment == selection.chosen) return;
+    for (const SimulatedRival& r : rivals)
+      if (r.assignment == assignment) return;
+    SimulatedRival r;
+    r.label = std::move(label);
+    r.assignment = std::move(assignment);
+    rivals.push_back(std::move(r));
+  };
+
+  if (const std::optional<select::SelectionResult> dp = select::select_layouts_dp(graph))
+    add_rival("dp", dp->chosen);
+  add_rival("greedy", select::select_layouts_greedy(graph).chosen);
+  for (int k = 0; k < opts.rivals; ++k) {
+    std::vector<int> a(static_cast<std::size_t>(nphases), 0);
+    for (int p = 0; p < nphases; ++p)
+      a[static_cast<std::size_t>(p)] =
+          draw_candidate(opts.seed, k, p, graph.num_candidates(p));
+    add_rival("rival-" + std::to_string(k), std::move(a));
+  }
+
+  for (SimulatedRival& r : rivals) {
+    r.predicted_us = select::assignment_cost(graph, r.assignment);
+    r.simulated_us = simulate(r.assignment).total_us;
+  }
+  out.rivals = std::move(rivals);
+
+  // Ranking inversions over every unordered pair of {chosen} + rivals whose
+  // predicted order is not a tie.
+  std::vector<const SimulatedRival*> all;
+  all.push_back(&out.chosen);
+  for (const SimulatedRival& r : out.rivals) all.push_back(&r);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const double pd = all[i]->predicted_us - all[j]->predicted_us;
+      const double scale = std::max(all[i]->predicted_us, all[j]->predicted_us);
+      if (std::abs(pd) <= opts.tie_tol * (1.0 + scale)) continue;
+      ++out.pairs;
+      const double sd = all[i]->simulated_us - all[j]->simulated_us;
+      if ((pd < 0.0 && sd > 0.0) || (pd > 0.0 && sd < 0.0)) ++out.inversions;
+    }
+  }
+
+  // Chosen-vs-rival: the simulator must not rank any sampled rival more
+  // than `margin` below the selection.
+  const SimulatedRival* worst = nullptr;
+  for (const SimulatedRival& r : out.rivals) {
+    if (r.simulated_us <= 0.0) continue;
+    const double gap = out.chosen.simulated_us / r.simulated_us - 1.0;
+    if (worst == nullptr || gap > out.worst_rival_gap) {
+      out.worst_rival_gap = gap;
+      worst = &r;
+    }
+    if (out.chosen.simulated_us > r.simulated_us * (1.0 + opts.margin))
+      ++out.chosen_inversions;
+  }
+  out.ok = out.chosen_inversions == 0;
+  if (!out.ok && worst != nullptr) {
+    out.message = "simulator ranks " + worst->label + " " +
+                  std::to_string(out.worst_rival_gap * 100.0) +
+                  "% below the chosen layout (margin " +
+                  std::to_string(opts.margin * 100.0) + "%)";
+  }
+
+  support::Metrics& m = support::Metrics::instance();
+  m.counter("oracle.validations").add();
+  m.counter("oracle.rivals_simulated").add(static_cast<std::uint64_t>(out.rivals.size()));
+  m.counter("oracle.ranking_inversions").add(static_cast<std::uint64_t>(out.inversions));
+  m.counter("oracle.chosen_inversions")
+      .add(static_cast<std::uint64_t>(out.chosen_inversions));
+  return out;
+}
+
+} // namespace al::oracle

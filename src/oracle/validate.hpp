@@ -1,0 +1,103 @@
+// Simulator-as-oracle, validation half (DESIGN.md section 16): the layout
+// the tool SELECTS is only as good as the estimator that priced it, and the
+// paper grounded its estimator by timing generated node programs on a
+// physical iPSC/860 (section 4). Our substitute ground truth is the
+// discrete SPMD simulator (src/sim). validate_selection closes the loop:
+// it simulates the chosen assignment plus K seeded rival assignments drawn
+// from the candidate spaces (always including the exact-DP and greedy
+// fallback picks when they differ), and reports
+//   * per-phase and total predicted-vs-simulated error for the chosen
+//     assignment,
+//   * ranking inversions -- sampled pairs the estimator ordered opposite to
+//     the simulator,
+//   * chosen-vs-rival inversions -- rivals the simulator ranks faster than
+//     the chosen layout by more than a configurable margin (the selection
+//     picked a layout the ground truth says is materially slower: the
+//     failure the oracle exists to catch).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distrib/space.hpp"
+#include "layout/template_map.hpp"
+#include "perf/estimator.hpp"
+#include "select/ilp_selection.hpp"
+
+namespace al::oracle {
+
+struct ValidationOptions {
+  /// Seeded rival assignments sampled from the candidate spaces, in
+  /// addition to the DP/greedy picks (deduplicated against the chosen
+  /// assignment and each other).
+  int rivals = 8;
+  /// Simulator + rival-sampling seed (ToolOptions.sim_seed when wired
+  /// through the driver).
+  std::uint64_t seed = 0x5EED;
+  /// Allowed chosen-vs-rival slowdown: a rival counts as an inversion only
+  /// when sim(chosen) > sim(rival) * (1 + margin). Covers the honest
+  /// model-vs-simulator gap (jitter, contention, per-message CPU overheads
+  /// the estimator's training sets smooth over).
+  double margin = 0.25;
+  /// Predicted costs closer than this relative tolerance are ties and never
+  /// count as ranking inversions (the selection epsilons deliberately break
+  /// exact ties).
+  double tie_tol = 1e-6;
+};
+
+/// One simulated assignment: the chosen selection or a rival.
+struct SimulatedRival {
+  std::string label;            ///< "chosen", "dp", "greedy", "rival-3", ...
+  std::vector<int> assignment;  ///< candidate index per phase
+  double predicted_us = 0.0;    ///< estimator cost (assignment_cost)
+  double simulated_us = 0.0;    ///< SPMD-simulated cost (measure_program)
+};
+
+/// Per-phase predicted-vs-simulated split for the CHOSEN assignment (both
+/// sides frequency-weighted; remap costs are program-level and excluded).
+struct PhaseValidation {
+  double predicted_us = 0.0;
+  double simulated_us = 0.0;
+  /// (simulated - predicted) / simulated; 0 when the phase simulates to 0.
+  double rel_error = 0.0;
+};
+
+struct ValidationReport {
+  bool ran = false;  ///< false = validation was not requested
+  SimulatedRival chosen;
+  std::vector<SimulatedRival> rivals;  ///< deduplicated; includes dp/greedy
+  std::vector<PhaseValidation> phases;
+
+  // Whole-program error of the chosen assignment:
+  double total_rel_error = 0.0;      ///< (sim - pred) / sim
+  double mean_abs_phase_error = 0.0; ///< mean |rel_error| over phases
+  double max_abs_phase_error = 0.0;
+
+  // Ranking agreement over {chosen} + rivals:
+  int pairs = 0;              ///< pairs with a non-tied predicted order
+  int inversions = 0;         ///< pairs the simulator orders the other way
+  int chosen_inversions = 0;  ///< rivals faster than chosen beyond margin
+  /// Worst chosen-vs-rival slowdown fraction: max over rivals of
+  /// sim(chosen)/sim(rival) - 1 (negative when the chosen is fastest).
+  double worst_rival_gap = 0.0;
+
+  /// False exactly when chosen_inversions > 0.
+  bool ok = true;
+  std::string message;  ///< names the worst offending rival when !ok
+
+  [[nodiscard]] double inversion_rate() const {
+    return pairs > 0 ? static_cast<double>(inversions) / pairs : 0.0;
+  }
+};
+
+/// Simulates the selection plus sampled rivals and grades the estimator's
+/// ranking. Pure function of its arguments (the simulator is deterministic
+/// per seed); safe to call from any thread.
+[[nodiscard]] ValidationReport validate_selection(
+    const perf::Estimator& estimator, const layout::ProgramTemplate& templ,
+    const std::vector<distrib::LayoutSpace>& spaces,
+    const select::LayoutGraph& graph, const select::SelectionResult& selection,
+    const ValidationOptions& opts = {});
+
+} // namespace al::oracle

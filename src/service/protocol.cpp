@@ -103,7 +103,8 @@ bool apply_options(const JsonValue& o, driver::ToolOptions& opts, Validator& v) 
       "procs",           "machine",         "threads",
       "extended",        "estimator_cache", "run_cache",
       "scalar_expansion",    "replicate_unwritten",
-      "mip_max_nodes",   "mip_deadline_ms"};
+      "mip_max_nodes",   "mip_deadline_ms",
+      "validate",        "validate_rivals", "sim_seed"};
   if (!v.only_keys(o, kKnown, "\"options\"")) return false;
 
   v.int_field(o, "procs", 1, std::numeric_limits<int>::max(), opts.procs);
@@ -132,6 +133,15 @@ bool apply_options(const JsonValue& o, driver::ToolOptions& opts, Validator& v) 
                    deadline) &&
       deadline > 0)
     opts.mip.deadline_ms = static_cast<double>(deadline);
+  // Simulator-as-oracle validation (the report gains an "oracle" block; the
+  // seed also steers -r style simulations and, while validate is on, the
+  // run-cache identity).
+  v.bool_field(o, "validate", opts.validate);
+  v.int_field(o, "validate_rivals", 0, std::numeric_limits<int>::max(),
+              opts.validate_rivals);
+  long sim_seed = 0;
+  if (v.long_field(o, "sim_seed", 0, std::numeric_limits<long>::max(), sim_seed))
+    opts.sim_seed = static_cast<std::uint64_t>(sim_seed);
   return v.ok();
 }
 

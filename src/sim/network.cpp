@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+
 namespace al::sim {
 
 NetworkParams NetworkParams::for_machine(const machine::MachineModel& m) {
@@ -25,10 +27,14 @@ NetworkParams NetworkParams::for_machine(const machine::MachineModel& m) {
 }
 
 double message_us(const NetworkParams& net, double bytes, machine::Stride stride) {
-  double t = net.send_overhead_us + net.recv_overhead_us + bytes * net.per_byte_us;
-  if (bytes > 100.0) t += net.long_protocol_us;
+  // Zero-byte (pure synchronization) messages still pay the software
+  // overheads; negative sizes are a caller bug we defang rather than let
+  // produce negative wall time.
+  const double b = std::max(bytes, 0.0);
+  double t = net.send_overhead_us + net.recv_overhead_us + b * net.per_byte_us;
+  if (b > 100.0) t += net.long_protocol_us;
   if (stride == machine::Stride::NonUnit) {
-    t += 2.0 * (net.pack_fixed_us + bytes * net.pack_per_byte_us);
+    t += 2.0 * (net.pack_fixed_us + b * net.pack_per_byte_us);
   }
   return t;
 }

@@ -1,0 +1,31 @@
+// Pattern-level simulation: executes ONE communication-pattern instance
+// (the things a training set samples -- shift, send/recv, broadcast,
+// reduction, transpose) on the simulated network, with the same software
+// overheads, pack/unpack copies, tree structures, and deterministic jitter
+// the SPMD phase simulator charges. This is the measurement source of the
+// calibration pipeline (src/oracle/calibrate): where the paper's authors
+// timed pattern probes on a physical iPSC/860 to build their >100 training
+// sets, we time them on the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.hpp"
+
+namespace al::sim {
+
+/// Wall-clock microseconds of one execution of the pattern across `procs`
+/// processors moving `bytes` (pattern-specific meaning, matching
+/// TrainingEntry: per-message for shift/sendrecv/broadcast, reduced-value
+/// size for reduction, whole-array size for transpose). Low latency models
+/// the overlapped posting a pipelined phase achieves: the software
+/// overheads are partially hidden behind computation. `seed` drives the
+/// deterministic per-message jitter; the same seed reproduces the same
+/// "measurement" exactly.
+[[nodiscard]] double simulate_pattern_us(const NetworkParams& net,
+                                         machine::CommPattern pattern, int procs,
+                                         double bytes, machine::Stride stride,
+                                         machine::LatencyClass latency,
+                                         std::uint64_t seed);
+
+} // namespace al::sim

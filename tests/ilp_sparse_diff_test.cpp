@@ -254,6 +254,7 @@ TEST(SparseDiff, CorpusSelectionsMatchDenseOracle) {
     d.check_lp_cores = true;
     d.check_run_cache = false;  // D6 has its own suite
     d.alt_threads = 0;          // D5 has its own suite
+    d.check_oracle = false;     // D8 has its own suite (gen + fuzz smoke)
     const gen::DiffResult res = gen::check_differential(corpus::source_for(c), d);
     EXPECT_TRUE(res.ok) << prog << ": " << res.failure;
   }
@@ -265,6 +266,7 @@ TEST(SparseDiff, GeneratedProgramsMatchDenseOracle) {
   d.check_lp_cores = true;
   d.check_run_cache = false;
   d.alt_threads = 0;
+  d.check_oracle = false;  // D8 has its own suite (gen + fuzz smoke)
   constexpr int kPrograms = 500;
   for (int k = 0; k < kPrograms; ++k) {
     const gen::ProgramSpec spec = gen::random_spec(rng);

@@ -248,6 +248,36 @@ TEST(JsonReport, PhaseTableMatchesPipeline) {
   }
 }
 
+// v3 stays v3: the oracle block is ADDITIVE. Without --validate it is a
+// one-field stub; with it, the chosen/rivals/ranking sections appear and the
+// document stays well-formed at the same schema version.
+TEST(JsonReport, OracleBlockIsAdditive) {
+  auto r0 = run_small("adi", 32, 4);
+  const std::string d0 = json_report(*r0);
+  EXPECT_NE(d0.find("\"oracle\""), std::string::npos);
+  EXPECT_NE(d0.find("\"ran\": false"), std::string::npos);
+  EXPECT_EQ(d0.find("\"chosen_inversions\""), std::string::npos);
+
+  corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  ToolOptions opts;
+  opts.procs = 4;
+  opts.threads = 1;
+  opts.validate = true;
+  opts.validate_rivals = 3;
+  auto r = run_tool(corpus::source_for(c), opts);
+  EXPECT_TRUE(r->oracle.ran);
+  EXPECT_TRUE(r->oracle.ok) << r->oracle.message;
+  const std::string doc = json_report(*r);
+  ASSERT_TRUE(MiniJsonParser::valid(doc)) << doc.substr(0, 400);
+  EXPECT_NE(doc.find("\"schema_version\": 3"), std::string::npos);
+  for (const char* key :
+       {"\"oracle\"", "\"ran\": true", "\"simulated_us\"", "\"rivals\"",
+        "\"ranking\"", "\"inversions\"", "\"chosen_inversions\"",
+        "\"worst_rival_gap\"", "\"total_rel_error\"", "\"oracle_ms\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key;
+  }
+}
+
 TEST(JsonReport, WellFormedForWholeCorpus) {
   for (const char* prog : {"adi", "erlebacher", "tomcatv", "shallow"}) {
     auto r = run_small(prog, 24, 4);

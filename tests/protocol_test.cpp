@@ -160,6 +160,26 @@ TEST(Protocol, AppliesOptionOverrides) {
   EXPECT_EQ(p.request.delay_ms, 5);
 }
 
+TEST(Protocol, ParsesOracleValidationOptions) {
+  const ParsedRequest p = parse_request(minimal_request(
+      ",\"options\":{\"validate\":true,\"validate_rivals\":3,\"sim_seed\":99}"));
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.request.options.validate);
+  EXPECT_EQ(p.request.options.validate_rivals, 3);
+  EXPECT_EQ(p.request.options.sim_seed, 99u);
+  // Defaults when absent.
+  const ParsedRequest q = parse_request(minimal_request());
+  ASSERT_TRUE(q.ok) << q.error;
+  EXPECT_FALSE(q.request.options.validate);
+  EXPECT_EQ(q.request.options.sim_seed, 0x5EEDu);
+  // Strictly typed: wrong types and negative seeds are structured errors.
+  EXPECT_FALSE(parse_request(minimal_request(",\"options\":{\"validate\":1}")).ok);
+  EXPECT_FALSE(
+      parse_request(minimal_request(",\"options\":{\"sim_seed\":-1}")).ok);
+  EXPECT_FALSE(
+      parse_request(minimal_request(",\"options\":{\"validate_rivals\":-2}")).ok);
+}
+
 TEST(Protocol, ParsesRunCacheOptOut) {
   // Default: requests are cacheable.
   EXPECT_TRUE(parse_request(minimal_request()).request.options.run_cache);

@@ -153,6 +153,34 @@ TEST(RunCacheKey, ObservabilityKnobsDoNotMoveTheKey) {
   same([](ToolOptions& o) { o.run_cache = false; }, "run_cache toggle");
 }
 
+// The oracle knobs shape the report only when validation runs: with
+// --validate off the simulator never executes, so the seed and the rival
+// parameters must NOT shatter the cache; with it on, all of them move the
+// key (the oracle block they produce is part of the cached bytes).
+TEST(RunCacheKey, OracleKnobsCountOnlyWhenValidationIsOn) {
+  const perf::RunKey k0 = key_of(base_options());
+  ToolOptions seed_only = base_options();
+  seed_only.sim_seed = 12345;
+  EXPECT_EQ(k0, key_of(seed_only)) << "sim_seed with validation off";
+  ToolOptions rivals_only = base_options();
+  rivals_only.validate_rivals = 3;
+  rivals_only.validate_margin = 0.5;
+  EXPECT_EQ(k0, key_of(rivals_only)) << "rival knobs with validation off";
+
+  ToolOptions v = base_options();
+  v.validate = true;
+  const perf::RunKey kv = key_of(v);
+  EXPECT_NE(k0, kv) << "validate toggle";
+  auto differs = [&](auto&& mutate, const char* what) {
+    ToolOptions opts = v;
+    mutate(opts);
+    EXPECT_NE(kv, key_of(opts)) << what;
+  };
+  differs([](ToolOptions& o) { o.sim_seed = 12345; }, "sim_seed");
+  differs([](ToolOptions& o) { o.validate_rivals = 3; }, "validate_rivals");
+  differs([](ToolOptions& o) { o.validate_margin = 0.5; }, "validate_margin");
+}
+
 // --------------------------------------------------------------------------
 // Source canonicalization: editor/transport whitespace noise maps to the
 // same key; token changes do not.

@@ -1,0 +1,398 @@
+// Simulator-as-oracle tests (DESIGN.md section 16) plus the hardening
+// regressions for the simulator primitives they lean on: pattern-level
+// structure (tree depth vs log P, pipelining discount), jitter determinism
+// across repeated runs and threads, degenerate inputs (zero-byte messages,
+// extent 0/1, P > extent, huge sizes), validate_selection's report
+// contract, and calibrate_machine's fit + machine::io round-trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "machine/io.hpp"
+#include "oracle/calibrate.hpp"
+#include "oracle/validate.hpp"
+#include "sim/measure.hpp"
+#include "sim/patterns.hpp"
+
+namespace al::oracle {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pattern-level structure.
+// ---------------------------------------------------------------------------
+
+sim::NetworkParams net() {
+  return sim::NetworkParams::for_machine(machine::make_ipsc860());
+}
+
+double pattern_us(machine::CommPattern p, int procs, double bytes,
+                  machine::Stride stride = machine::Stride::Unit,
+                  machine::LatencyClass lat = machine::LatencyClass::High,
+                  std::uint64_t seed = 7) {
+  return sim::simulate_pattern_us(net(), p, procs, bytes, stride, lat, seed);
+}
+
+TEST(Patterns, TreeDepthTracksLogP) {
+  // Broadcast and reduction execute lg(P) tree levels, so doubling P adds
+  // one level: cost must grow monotonically in P and stay roughly linear in
+  // lg(P) (jitter is +/-3%, so per-level cost may wobble but not drift).
+  for (const machine::CommPattern p :
+       {machine::CommPattern::Broadcast, machine::CommPattern::Reduction}) {
+    double prev = 0.0;
+    std::vector<double> per_level;
+    for (const int procs : {2, 4, 8, 16, 32, 64, 128}) {
+      const double t = pattern_us(p, procs, 1024.0);
+      EXPECT_GT(t, prev) << "P=" << procs;
+      prev = t;
+      per_level.push_back(t / std::log2(static_cast<double>(procs)));
+    }
+    const double lo = *std::min_element(per_level.begin(), per_level.end());
+    const double hi = *std::max_element(per_level.begin(), per_level.end());
+    EXPECT_LT(hi / lo, 1.25) << "per-level cost drifted for pattern "
+                             << machine::to_string(p);
+  }
+}
+
+TEST(Patterns, ReductionChargesCombiningOnTopOfBroadcast) {
+  // Same tree, but every reduction level also combines values.
+  EXPECT_GT(pattern_us(machine::CommPattern::Reduction, 32, 1024.0),
+            pattern_us(machine::CommPattern::Broadcast, 32, 1024.0) * 0.999);
+}
+
+TEST(Patterns, LowLatencyClassIsCheaper) {
+  // Low latency models pipelined posting: part of the software overhead
+  // hides behind computation, so the same message must get cheaper.
+  for (const machine::CommPattern p :
+       {machine::CommPattern::Shift, machine::CommPattern::SendRecv}) {
+    EXPECT_LT(pattern_us(p, 8, 512.0, machine::Stride::Unit,
+                         machine::LatencyClass::Low),
+              pattern_us(p, 8, 512.0, machine::Stride::Unit,
+                         machine::LatencyClass::High));
+  }
+}
+
+TEST(Patterns, JitterIsDeterministicAcrossRunsAndThreads) {
+  const double reference =
+      pattern_us(machine::CommPattern::Transpose, 16, 65536.0);
+  EXPECT_EQ(reference, pattern_us(machine::CommPattern::Transpose, 16, 65536.0));
+  std::vector<double> results(8, 0.0);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&results, i] {
+      results[i] = sim::simulate_pattern_us(
+          net(), machine::CommPattern::Transpose, 16, 65536.0,
+          machine::Stride::Unit, machine::LatencyClass::High, 7);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const double r : results) EXPECT_EQ(r, reference);
+  // And a different seed really is a different measurement.
+  EXPECT_NE(reference, sim::simulate_pattern_us(
+                           net(), machine::CommPattern::Transpose, 16, 65536.0,
+                           machine::Stride::Unit, machine::LatencyClass::High, 8));
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-input hardening (generator-scale programs hit all of these).
+// ---------------------------------------------------------------------------
+
+TEST(Hardening, ZeroByteMessagesStillPayOverheads) {
+  const sim::NetworkParams n = net();
+  const double zero = sim::message_us(n, 0.0, machine::Stride::Unit);
+  EXPECT_GT(zero, 0.0);  // a synchronization message is not free
+  // Negative byte counts (degenerate extent arithmetic upstream) clamp to
+  // the zero-byte cost instead of producing negative time.
+  EXPECT_EQ(sim::message_us(n, -128.0, machine::Stride::Unit), zero);
+}
+
+TEST(Hardening, HugeMessagesStayFinite) {
+  const sim::NetworkParams n = net();
+  EXPECT_TRUE(std::isfinite(sim::message_us(n, 1e18, machine::Stride::NonUnit)));
+  EXPECT_TRUE(std::isfinite(
+      pattern_us(machine::CommPattern::Transpose, 4096, 1e18)));
+}
+
+TEST(Hardening, SingleProcessorPatternsAreFinite) {
+  for (const machine::CommPattern p :
+       {machine::CommPattern::Shift, machine::CommPattern::SendRecv,
+        machine::CommPattern::Broadcast, machine::CommPattern::Reduction,
+        machine::CommPattern::Transpose}) {
+    const double t = pattern_us(p, 1, 1024.0);
+    EXPECT_TRUE(std::isfinite(t)) << machine::to_string(p);
+    EXPECT_GE(t, 0.0) << machine::to_string(p);
+  }
+}
+
+std::unique_ptr<driver::ToolResult> run_source(const std::string& source,
+                                               int procs) {
+  driver::ToolOptions opts;
+  opts.procs = procs;
+  opts.threads = 1;
+  return driver::run_tool(source, opts);
+}
+
+TEST(Hardening, MoreProcessorsThanExtentMeasuresFinite) {
+  // P far above every array extent: the high-numbered processors own empty
+  // blocks (block_size clamps to zero) and the measurement stays finite,
+  // positive, and deterministic.
+  corpus::TestCase c{"adi", 8, corpus::Dtype::DoublePrecision, 64};
+  auto tool = run_source(corpus::source_for(c), 64);
+  const sim::Measurement a = sim::measure_program(
+      *tool->estimator, tool->templ, tool->spaces, tool->selection.chosen, 1);
+  EXPECT_TRUE(std::isfinite(a.total_us));
+  EXPECT_GT(a.total_us, 0.0);
+  const sim::Measurement b = sim::measure_program(
+      *tool->estimator, tool->templ, tool->spaces, tool->selection.chosen, 1);
+  EXPECT_DOUBLE_EQ(a.total_us, b.total_us);
+}
+
+TEST(Hardening, ExtentOneDimensionMeasuresFinite) {
+  // A distributed dimension of extent 1 (every processor but one owns
+  // nothing) must not divide by zero or go negative anywhere in the block
+  // arithmetic.
+  const char* source = "      program t\n"
+                       "      real a(1,64), b(1,64)\n"
+                       "      do j = 1, 64\n"
+                       "      a(1,j) = b(1,j) + 1.0\n"
+                       "      enddo\n"
+                       "      end\n";
+  auto tool = run_source(source, 8);
+  const sim::Measurement m = sim::measure_program(
+      *tool->estimator, tool->templ, tool->spaces, tool->selection.chosen, 1);
+  EXPECT_TRUE(std::isfinite(m.total_us));
+  EXPECT_GE(m.total_us, 0.0);
+}
+
+TEST(Hardening, ZeroDistExtentCandidatesMeasureFinite) {
+  // 2-D mesh candidates have no SINGLE distributed dimension, so the phase
+  // simulator sees dist_extent == 0 for them -- the degenerate-extent path.
+  corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  driver::ToolOptions opts;
+  opts.procs = 4;
+  opts.threads = 1;
+  opts.distribution_strategy = distrib::Strategy::ExtendedExhaustive;
+  auto tool = driver::run_tool(corpus::source_for(c), opts);
+  std::vector<int> mesh;
+  bool found = false;
+  for (int p = 0; p < tool->pcfg.num_phases(); ++p) {
+    int pick = 0;
+    const auto& cands = tool->spaces[static_cast<std::size_t>(p)].candidates();
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (cands[i].layout.distribution().single_distributed_dim() < 0) {
+        pick = static_cast<int>(i);
+        found = true;
+        break;
+      }
+    }
+    mesh.push_back(pick);
+  }
+  ASSERT_TRUE(found) << "extended spaces should offer a 2-D mesh candidate";
+  const sim::Measurement m = sim::measure_program(
+      *tool->estimator, tool->templ, tool->spaces, mesh, 1);
+  EXPECT_TRUE(std::isfinite(m.total_us));
+  EXPECT_GE(m.total_us, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Wavefront (pipelined phase) behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(Wavefront, FillDrainMonotoneInP) {
+  // Adi's column layout sequentializes two phases into pipelined wavefronts.
+  // With n well above P the compute term dominates the fill/drain skew, so
+  // adding processors must keep helping; the gain per doubling shrinks as
+  // the pipeline startup grows with P.
+  std::vector<double> totals;
+  for (const int procs : {2, 4, 8}) {
+    corpus::TestCase c{"adi", 128, corpus::Dtype::DoublePrecision, procs};
+    auto tool = run_source(corpus::source_for(c), procs);
+    std::vector<int> col;
+    for (int p = 0; p < tool->pcfg.num_phases(); ++p) {
+      int pick = 0;
+      const auto& cands = tool->spaces[static_cast<std::size_t>(p)].candidates();
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].layout.distribution().single_distributed_dim() == 1)
+          pick = static_cast<int>(i);
+      }
+      col.push_back(pick);
+    }
+    totals.push_back(sim::measure_program(*tool->estimator, tool->templ,
+                                          tool->spaces, col, 1)
+                         .total_us);
+  }
+  EXPECT_GT(totals[0], totals[1]);
+  EXPECT_GT(totals[1], totals[2]);
+  // Sub-linear speedup: the wavefront pays fill/drain, so 4x the
+  // processors must NOT give 4x the speed.
+  EXPECT_LT(totals[0] / totals[2], 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// validate_selection.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<driver::ToolResult> adi_small() {
+  corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  return run_source(corpus::source_for(c), 4);
+}
+
+ValidationReport validate(const driver::ToolResult& tool,
+                          const ValidationOptions& opts = {}) {
+  return validate_selection(*tool.estimator, tool.templ, tool.spaces,
+                            tool.graph, tool.selection, opts);
+}
+
+TEST(Validate, ReportShapeAndChosenAgreement) {
+  auto tool = adi_small();
+  ValidationOptions opts;
+  opts.rivals = 4;
+  const ValidationReport v = validate(*tool, opts);
+  EXPECT_TRUE(v.ran);
+  EXPECT_EQ(v.chosen.label, "chosen");
+  EXPECT_EQ(v.chosen.assignment, tool->selection.chosen);
+  EXPECT_GT(v.chosen.predicted_us, 0.0);
+  EXPECT_GT(v.chosen.simulated_us, 0.0);
+  EXPECT_EQ(static_cast<int>(v.phases.size()), tool->pcfg.num_phases());
+  for (const PhaseValidation& p : v.phases) {
+    EXPECT_GE(p.predicted_us, 0.0);
+    EXPECT_GE(p.simulated_us, 0.0);
+  }
+  // Rivals are distinct from the chosen assignment and from each other.
+  for (std::size_t i = 0; i < v.rivals.size(); ++i) {
+    EXPECT_NE(v.rivals[i].assignment, v.chosen.assignment) << v.rivals[i].label;
+    for (std::size_t j = i + 1; j < v.rivals.size(); ++j)
+      EXPECT_NE(v.rivals[i].assignment, v.rivals[j].assignment);
+  }
+  // The corpus pick must survive its own oracle.
+  EXPECT_TRUE(v.ok) << v.message;
+  EXPECT_EQ(v.chosen_inversions, 0);
+  EXPECT_LE(std::abs(v.total_rel_error), 0.5);
+}
+
+TEST(Validate, DeterministicPerSeed) {
+  auto tool = adi_small();
+  ValidationOptions opts;
+  opts.rivals = 3;
+  opts.seed = 42;
+  const ValidationReport a = validate(*tool, opts);
+  const ValidationReport b = validate(*tool, opts);
+  ASSERT_EQ(a.rivals.size(), b.rivals.size());
+  EXPECT_DOUBLE_EQ(a.chosen.simulated_us, b.chosen.simulated_us);
+  for (std::size_t i = 0; i < a.rivals.size(); ++i) {
+    EXPECT_EQ(a.rivals[i].assignment, b.rivals[i].assignment);
+    EXPECT_DOUBLE_EQ(a.rivals[i].simulated_us, b.rivals[i].simulated_us);
+  }
+  opts.seed = 43;
+  const ValidationReport c = validate(*tool, opts);
+  EXPECT_NE(a.chosen.simulated_us, c.chosen.simulated_us);
+}
+
+TEST(Validate, InfiniteMarginNeverFails) {
+  auto tool = adi_small();
+  ValidationOptions opts;
+  opts.rivals = 6;
+  opts.margin = 1e9;
+  const ValidationReport v = validate(*tool, opts);
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.chosen_inversions, 0);
+}
+
+TEST(Validate, ZeroRivalsStillGradesDpAndGreedyPicks) {
+  // rivals = 0 leaves only the DP/greedy picks (when they differ from the
+  // chosen assignment); the report stays well-formed either way.
+  auto tool = adi_small();
+  ValidationOptions opts;
+  opts.rivals = 0;
+  const ValidationReport v = validate(*tool, opts);
+  EXPECT_TRUE(v.ran);
+  EXPECT_TRUE(v.ok) << v.message;
+  EXPECT_GE(v.pairs, 0);
+  EXPECT_LE(v.inversions, v.pairs);
+}
+
+// ---------------------------------------------------------------------------
+// calibrate_machine.
+// ---------------------------------------------------------------------------
+
+TEST(Calibrate, SmokeGridShapeAndResiduals) {
+  const CalibrationOptions opts = CalibrationOptions::smoke();
+  const CalibrationResult cal = calibrate_machine(machine::make_ipsc860(), opts);
+  // 5 patterns x 2 procs x 2 strides x 2 latency classes, 3 knots each.
+  EXPECT_EQ(cal.families.size(), 40u);
+  EXPECT_EQ(cal.entries, 120);
+  EXPECT_EQ(static_cast<int>(cal.model.training.size()), cal.entries);
+  EXPECT_GT(cal.measurements, 0);
+  EXPECT_NE(cal.model.name.find("(sim-calibrated)"), std::string::npos);
+  // The piecewise-linear fit tracks the simulator closely: the residuals
+  // are jitter noise plus the long-protocol step the knots smooth over.
+  EXPECT_GT(cal.rms_rel_residual, 0.0);
+  EXPECT_LT(cal.rms_rel_residual, 0.15);
+  EXPECT_LT(cal.max_rel_residual, 0.5);
+  for (const FamilyFit& f : cal.families) {
+    EXPECT_GT(f.samples, 0);
+    EXPECT_LE(f.rms_rel_residual, f.max_rel_residual + 1e-12);
+  }
+}
+
+TEST(Calibrate, Deterministic) {
+  const CalibrationOptions opts = CalibrationOptions::smoke();
+  const CalibrationResult a = calibrate_machine(machine::make_ipsc860(), opts);
+  const CalibrationResult b = calibrate_machine(machine::make_ipsc860(), opts);
+  EXPECT_DOUBLE_EQ(a.rms_rel_residual, b.rms_rel_residual);
+  EXPECT_EQ(machine::format_training_sets(a.model.training),
+            machine::format_training_sets(b.model.training));
+}
+
+TEST(Calibrate, LookupAtKnotTracksSimulatedProbe) {
+  // The fitted table, read back through the production lookup path, must
+  // reproduce the simulator's cost for a mid-grid probe to within the fit's
+  // own residual budget.
+  const CalibrationOptions opts = CalibrationOptions::smoke();
+  const machine::MachineModel base = machine::make_ipsc860();
+  const CalibrationResult cal = calibrate_machine(base, opts);
+  const sim::NetworkParams n = sim::NetworkParams::for_machine(base);
+  const double fitted =
+      cal.model.comm_us(machine::CommPattern::SendRecv, 8, 512.0,
+                        machine::Stride::Unit, machine::LatencyClass::High);
+  const double simulated = sim::simulate_pattern_us(
+      n, machine::CommPattern::SendRecv, 8, 512.0, machine::Stride::Unit,
+      machine::LatencyClass::High, 7);
+  EXPECT_NEAR(fitted / simulated, 1.0, 0.25);
+}
+
+TEST(Calibrate, RoundTripsThroughMachineIo) {
+  const CalibrationResult cal =
+      calibrate_machine(machine::make_ipsc860(), CalibrationOptions::smoke());
+  const std::string text = machine::format_training_sets(cal.model.training);
+  DiagnosticEngine diags;
+  const machine::TrainingSetDB parsed = machine::parse_training_sets(text, diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(parsed.size(), cal.model.training.size());
+  EXPECT_EQ(machine::format_training_sets(parsed), text);
+}
+
+TEST(Calibrate, SelectionUnderCalibratedModelStaysVerified) {
+  const CalibrationResult cal =
+      calibrate_machine(machine::make_ipsc860(), CalibrationOptions::smoke());
+  corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  driver::ToolOptions opts;
+  opts.procs = 4;
+  opts.threads = 1;
+  opts.machine = cal.model;
+  opts.validate = true;
+  opts.validate_rivals = 3;
+  const auto tool = driver::run_tool(corpus::source_for(c), opts);
+  EXPECT_TRUE(tool->verification.ok) << tool->verification.message;
+  EXPECT_TRUE(tool->oracle.ran);
+  EXPECT_TRUE(tool->oracle.ok) << tool->oracle.message;
+}
+
+} // namespace
+} // namespace al::oracle

@@ -36,6 +36,12 @@
 //   -s, --scalar-expand    expand scalar temporaries before analysis
 //   -R, --replicate        consider replicating read-only arrays
 //   -r, --report           also time every alternative on the simulator
+//   --validate[=K]         simulator-as-oracle validation: simulate the
+//                          chosen layout plus K sampled rival assignments
+//                          (default 8) and report predicted-vs-simulated
+//                          error and ranking inversions
+//   --sim-seed N           simulator jitter / rival-sampling seed
+//                          (default 0x5EED = 24301)
 //   -d, --directives       print the annotated program with HPF directives
 //   -v, --verbose          per-phase static performance report
 //   -q, --quiet            only the final layout
@@ -77,6 +83,7 @@ void usage(const char* argv0) {
                "          [--lp-core sparse|dense] [--no-cuts] [--no-partial-pricing]\n"
                "          [--no-warm-start] [--no-presolve] [--no-dominance]\n"
                "          [--no-run-cache] [--run-cache-entries N] [--run-cache-bytes N]\n"
+               "          [--validate[=K]] [--sim-seed N]\n"
                "          program.f\n",
                argv0);
 }
@@ -221,6 +228,23 @@ int main(int argc, char** argv) {
       opts.scalar_expansion = true;
     } else if (a == "-R" || a == "--replicate") {
       opts.replicate_unwritten = true;
+    } else if (a == "--validate" || a.rfind("--validate=", 0) == 0) {
+      opts.validate = true;
+      if (a.size() > std::strlen("--validate")) {
+        const char* v = a.c_str() + std::strlen("--validate=");
+        if (!parse_int(v, 0, std::numeric_limits<int>::max(), opts.validate_rivals)) {
+          std::fprintf(stderr, "%s: bad rival count '%s'\n", argv[0], v);
+          return 1;
+        }
+      }
+    } else if (a == "--sim-seed") {
+      const char* v = need_value("--sim-seed");
+      long seed = 0;
+      if (!parse_long(v, 0, std::numeric_limits<long>::max(), seed)) {
+        std::fprintf(stderr, "%s: bad simulator seed '%s'\n", argv[0], v);
+        return 1;
+      }
+      opts.sim_seed = static_cast<std::uint64_t>(seed);
     } else if (a == "-r" || a == "--report") {
       report = true;
     } else if (a == "-v" || a == "--verbose") {
@@ -346,6 +370,15 @@ int main(int argc, char** argv) {
     for (int p = 0; p < result->pcfg.num_phases(); ++p) {
       std::printf("phase %2d: %s\n", p,
                   result->chosen_layout(p).str(result->program.symbols).c_str());
+    }
+
+    if (opts.validate && !quiet) {
+      const oracle::ValidationReport& o = result->oracle;
+      std::printf("\noracle:    %zu rival(s) simulated, total error %+.1f%%, "
+                  "ranking inversions %d/%d, chosen-vs-rival %s\n",
+                  o.rivals.size(), o.total_rel_error * 100.0, o.inversions, o.pairs,
+                  o.ok ? "OK" : "FAILED");
+      if (!o.ok) std::printf("oracle:    %s\n", o.message.c_str());
     }
 
     if (verbose) {

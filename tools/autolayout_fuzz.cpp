@@ -8,11 +8,17 @@
 //   autolayout_fuzz [--count N] [--seed S] [--procs P] [--threads T]
 //                   [--min-phases A] [--max-phases B] [--max-arrays K]
 //                   [--max-rank R] [--n EXTENT] [--no-cache-check]
-//                   [--no-core-check] [--no-shrink] [--quiet]
+//                   [--no-core-check] [--no-oracle-check]
+//                   [--oracle-margin PCT] [--no-shrink] [--quiet]
 //
 // The sparse-vs-dense LP core cross-check (D7) is ON by default here: every
 // generated selection MIP is re-solved with the dense-inverse oracle and the
 // selections must be identical. --no-core-check restores D1-D6 only.
+// The simulator-as-oracle check (D8) is also on by default: no sampled rival
+// assignment may beat the chosen layout on the SPMD simulator by more than
+// the margin (--oracle-margin, percent; default 40 -- wider than the
+// driver's --validate default because tiny generated programs maximize the
+// estimator's documented pipelining bias). --no-oracle-check disables it.
 //
 // Exit status: 0 = every program held all invariants, 1 = a failure (the
 // reproducer is on stderr), 2 = usage error.
@@ -36,7 +42,8 @@ int usage(const char* argv0) {
       "usage: %s [--count N] [--seed S] [--procs P] [--threads T]\n"
       "          [--min-phases A] [--max-phases B] [--max-arrays K]\n"
       "          [--max-rank R] [--n EXTENT] [--no-cache-check]\n"
-      "          [--no-core-check] [--no-shrink] [--quiet]\n",
+      "          [--no-core-check] [--no-oracle-check] [--oracle-margin PCT]\n"
+      "          [--no-shrink] [--quiet]\n",
       argv0);
   return 2;
 }
@@ -89,6 +96,11 @@ int main(int argc, char** argv) {
       dopts.check_run_cache = false;
     } else if (std::strcmp(arg, "--no-core-check") == 0) {
       dopts.check_lp_cores = false;
+    } else if (std::strcmp(arg, "--no-oracle-check") == 0) {
+      dopts.check_oracle = false;
+    } else if (int_flag("--oracle-margin", 0, 10'000, scratch)) {
+      if (scratch < 0) return usage(argv[0]);
+      dopts.oracle_margin = scratch / 100.0;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       shrink = false;
     } else if (std::strcmp(arg, "--quiet") == 0) {

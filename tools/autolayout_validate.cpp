@@ -1,0 +1,194 @@
+// Corpus-wide simulator-as-oracle sweep (DESIGN.md section 16): run the
+// four experiment programs plus a batch of generated programs through the
+// full pipeline with oracle validation and aggregate the estimator's
+// report card -- predicted-vs-simulated error and ranking-inversion rates.
+//
+//   autolayout_validate [--procs P] [--rivals K] [--seed S]
+//                       [--margin PCT] [--generated N] [--gen-seed S]
+//                       [--max-phases B] [--max-inversion-rate PCT]
+//                       [--calibrated] [--quiet]
+//
+//   --margin PCT              chosen-vs-rival slowdown tolerated (default 25)
+//   --generated N             generated programs to sweep (default 24)
+//   --max-phases B            phase ceiling for generated programs (default 16)
+//   --max-inversion-rate PCT  aggregate pairwise inversion-rate gate
+//                             (default 20)
+//   --calibrated              run under the sim-calibrated machine model
+//                             (oracle::calibrate_machine) instead of the
+//                             synthesized tables
+//
+// Exit status: 0 = no chosen-vs-rival inversion beyond the margin anywhere
+// AND the aggregate pairwise inversion rate is under the gate; 1 = an
+// inversion-rate regression (details on stderr); 2 = usage error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "driver/tool.hpp"
+#include "gen/generator.hpp"
+#include "gen/rng.hpp"
+#include "oracle/calibrate.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--procs P] [--rivals K] [--seed S] [--margin PCT]\n"
+               "          [--generated N] [--gen-seed S] [--max-phases B]\n"
+               "          [--max-inversion-rate PCT] [--calibrated] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+struct Totals {
+  int programs = 0;
+  int pairs = 0;
+  int inversions = 0;
+  int chosen_inversions = 0;
+  double max_abs_total_error = 0.0;
+  double worst_gap = -1.0;
+  std::string worst_program;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace al;
+  driver::ToolOptions opts;
+  opts.validate = true;
+  opts.procs = 16;
+  int generated = 24;
+  long gen_seed = 1;
+  int max_phases = 16;
+  int max_inversion_rate_pct = 20;
+  bool calibrated = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto int_flag = [&](const char* name, int min, int max, int& out) {
+      if (std::strcmp(arg, name) != 0) return false;
+      if (i + 1 >= argc || !parse_int(argv[++i], min, max, out)) {
+        std::fprintf(stderr, "%s: %s needs an integer in [%d, %d]\n", argv[0],
+                     name, min, max);
+        out = -1;
+      }
+      return true;
+    };
+    int scratch = 0;
+    if (int_flag("--procs", 1, 4096, opts.procs)) {
+      if (opts.procs < 0) return usage(argv[0]);
+    } else if (int_flag("--rivals", 0, 4096, opts.validate_rivals)) {
+      if (opts.validate_rivals < 0) return usage(argv[0]);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      long s = 0;
+      if (i + 1 >= argc || !parse_long(argv[++i], 0, 1'000'000'000L, s))
+        return usage(argv[0]);
+      opts.sim_seed = static_cast<std::uint64_t>(s);
+    } else if (int_flag("--margin", 0, 10'000, scratch)) {
+      if (scratch < 0) return usage(argv[0]);
+      opts.validate_margin = scratch / 100.0;
+    } else if (int_flag("--generated", 0, 1'000'000, generated)) {
+      if (generated < 0) return usage(argv[0]);
+    } else if (std::strcmp(arg, "--gen-seed") == 0) {
+      if (i + 1 >= argc || !parse_long(argv[++i], 0, 1'000'000'000L, gen_seed))
+        return usage(argv[0]);
+    } else if (int_flag("--max-phases", 1, 512, max_phases)) {
+      if (max_phases < 0) return usage(argv[0]);
+    } else if (int_flag("--max-inversion-rate", 0, 100, max_inversion_rate_pct)) {
+      if (max_inversion_rate_pct < 0) return usage(argv[0]);
+    } else if (std::strcmp(arg, "--calibrated") == 0) {
+      calibrated = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (calibrated) {
+    const oracle::CalibrationResult cal = oracle::calibrate_machine(opts.machine);
+    std::printf("calibrated %d training entries (rms residual %.1f%%, max %.1f%%)\n",
+                cal.entries, cal.rms_rel_residual * 100.0,
+                cal.max_rel_residual * 100.0);
+    opts.machine = cal.model;
+  }
+
+  Totals totals;
+  bool any_failed = false;
+  auto run_one = [&](const std::string& name, const std::string& source) {
+    std::unique_ptr<driver::ToolResult> r;
+    try {
+      r = driver::run_tool(source, opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s: pipeline threw: %s\n", argv[0], name.c_str(),
+                   e.what());
+      any_failed = true;
+      return;
+    }
+    const oracle::ValidationReport& o = r->oracle;
+    ++totals.programs;
+    totals.pairs += o.pairs;
+    totals.inversions += o.inversions;
+    totals.chosen_inversions += o.chosen_inversions;
+    if (std::abs(o.total_rel_error) > totals.max_abs_total_error)
+      totals.max_abs_total_error = std::abs(o.total_rel_error);
+    if (o.worst_rival_gap > totals.worst_gap) {
+      totals.worst_gap = o.worst_rival_gap;
+      totals.worst_program = name;
+    }
+    if (!quiet) {
+      std::printf("%s  phases %3d  rivals %2zu  err %+6.1f%%  inversions %d/%d"
+                  "  worst gap %+6.1f%%  %s\n",
+                  pad_right(name, 28).c_str(), r->pcfg.num_phases(),
+                  o.rivals.size(), o.total_rel_error * 100.0, o.inversions,
+                  o.pairs, o.worst_rival_gap * 100.0,
+                  o.ok ? "ok" : "CHOSEN-INVERSION");
+    }
+    if (!o.ok) {
+      std::fprintf(stderr, "%s: %s: %s\n", argv[0], name.c_str(), o.message.c_str());
+      any_failed = true;
+    }
+  };
+
+  // The paper's four experiment programs at validation-friendly sizes.
+  const std::vector<corpus::TestCase> corpus_cases = {
+      {"adi", 128, corpus::Dtype::DoublePrecision, opts.procs},
+      {"erlebacher", 32, corpus::Dtype::DoublePrecision, opts.procs},
+      {"tomcatv", 128, corpus::Dtype::DoublePrecision, opts.procs},
+      {"shallow", 128, corpus::Dtype::Real, opts.procs},
+  };
+  for (const corpus::TestCase& c : corpus_cases)
+    run_one(c.name(), corpus::source_for(c));
+
+  // Generated programs, growing toward the phase ceiling so large layout
+  // graphs (where estimator error compounds) are represented.
+  gen::Rng rng(static_cast<std::uint64_t>(gen_seed));
+  for (int k = 0; k < generated; ++k) {
+    gen::GenOptions gopts;
+    gopts.min_phases = 2 + (k * max_phases) / std::max(generated, 1) / 2;
+    gopts.max_phases = std::max(gopts.min_phases + 1,
+                                2 + (k * max_phases) / std::max(generated, 1));
+    run_one("generated-" + std::to_string(k), gen::random_program(rng, gopts));
+  }
+
+  const double rate =
+      totals.pairs > 0 ? static_cast<double>(totals.inversions) / totals.pairs : 0.0;
+  std::printf("\n%d programs: %d/%d pairwise inversions (%.1f%%), "
+              "%d chosen-vs-rival inversion(s), max |total error| %.1f%%, "
+              "worst rival gap %+.1f%% (%s)\n",
+              totals.programs, totals.inversions, totals.pairs, rate * 100.0,
+              totals.chosen_inversions, totals.max_abs_total_error * 100.0,
+              totals.worst_gap * 100.0, totals.worst_program.c_str());
+
+  if (rate * 100.0 > max_inversion_rate_pct) {
+    std::fprintf(stderr,
+                 "%s: pairwise inversion rate %.1f%% exceeds the %d%% gate\n",
+                 argv[0], rate * 100.0, max_inversion_rate_pct);
+    any_failed = true;
+  }
+  return any_failed ? 1 : 0;
+}
