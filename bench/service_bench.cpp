@@ -27,10 +27,30 @@
 // metrics, trace, selection solve time). A mismatch exits nonzero; the
 // service.cache_smoke ctest runs exactly this under --smoke.
 //
-//   ./build/bench/service_bench [--smoke] [--verify-cache] [runs-per-config]
+// The multi-process fleet (DESIGN.md section 17) gets its own scaling
+// series: shard_compute and shard_repeat90 drive a 1/2/4-shard
+// SO_REUSEPORT fleet over real loopback TCP with pipelined client
+// connections, and record throughput next to the fleet's cross-shard
+// cache hit rate (the shard_cache block of the fleet summary). On a
+// single-core host the curve is flat for compute -- the row records
+// hardware_concurrency so the number stays honest -- while the repeat mix
+// shows what the shared segment buys: repeats hit fleet-wide no matter
+// which shard the kernel picked.
+//
+//   ./build/bench/service_bench [--smoke] [--verify-cache] [--shard-smoke]
+//                               [runs-per-config]
 //   (default 3 runs per config; --verify-cache = contract check only, the
-//   service.cache_smoke ctest)
+//   service.cache_smoke ctest; --shard-smoke = 2-shard fleet under a mixed
+//   hit/miss load with the cross-shard single-compute gate, the
+//   service.shard_smoke ctest)
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +63,7 @@
 #include "corpus/corpus.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "service/shard.hpp"
 #include "support/json.hpp"
 #include "support/json_parse.hpp"
 #include "support/text.hpp"
@@ -338,11 +359,259 @@ void verify_hit_matches_cold() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Shard fleet scaling (DESIGN.md section 17)
+// ---------------------------------------------------------------------------
+
+std::uint64_t num_at(const JsonValue* obj, std::string_view key) {
+  if (obj == nullptr) return 0;
+  const JsonValue* v = obj->find(key);
+  return v != nullptr && v->is_number()
+             ? static_cast<std::uint64_t>(v->as_double())
+             : 0;
+}
+
+double dbl_at(const JsonValue* obj, std::string_view key) {
+  if (obj == nullptr) return 0.0;
+  const JsonValue* v = obj->find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+}
+
+/// One pipelined loopback connection's worth of load: connect (with retries
+/// -- right after start() the shard listeners may still be coming up), send
+/// every line, read until the same number of response lines arrived. The
+/// raw bytes are kept so ok-counting happens outside the timed region.
+struct ClientSlice {
+  std::string payload;
+  int expected_lines = 0;
+  std::string raw;
+  int lines = 0;
+};
+
+void drive_slice(int port, ClientSlice& slice) {
+  int fd = -1;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      break;
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  std::size_t off = 0;
+  while (off < slice.payload.size()) {
+    const ssize_t n = ::send(fd, slice.payload.data() + off,
+                             slice.payload.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  char chunk[1 << 16];
+  while (slice.lines < slice.expected_lines) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i)
+      if (chunk[i] == '\n') ++slice.lines;
+    slice.raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+}
+
+struct ShardRow {
+  std::string scenario;
+  int shards = 0;
+  int clients = 0;
+  int requests = 0;
+  int runs = 0;
+  double wall_ms = 0.0;        ///< client-measured: connect -> last response
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;  // merged-histogram fleet
+  std::uint64_t cache_hits = 0, cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  std::uint64_t shard_cache_hits = 0, shard_cache_fills = 0;
+  double shard_cache_hit_rate = 0.0;
+  std::string cache_mode;
+  double speedup = 1.0;  ///< vs the 1-shard row of the same scenario
+};
+
+/// One fleet configuration: `runs` cold fleets, each driven by
+/// 2*shards pipelined connections splitting `lines` round-robin. The wall
+/// clock covers only the client drive (fleet startup/teardown excluded);
+/// cache and latency stats come from the LAST run's fleet summary.
+ShardRow run_shard_config(const std::string& scenario,
+                          const std::vector<std::string>& lines, int shards,
+                          int runs) {
+  ShardRow row;
+  row.scenario = scenario;
+  row.shards = shards;
+  row.requests = static_cast<int>(lines.size());
+  row.runs = runs;
+  const int nclients =
+      std::min<int>(row.requests, std::max(2, 2 * shards));
+  row.clients = nclients;
+
+  std::vector<double> walls;
+  for (int r = 0; r < runs; ++r) {
+    std::vector<ClientSlice> slices(static_cast<std::size_t>(nclients));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      ClientSlice& s = slices[i % static_cast<std::size_t>(nclients)];
+      s.payload += lines[i];
+      ++s.expected_lines;
+    }
+
+    al::service::ShardOptions sopts;
+    sopts.shards = shards;
+    sopts.server.workers = 1;
+    sopts.server.queue_capacity = static_cast<std::size_t>(row.requests) + 1;
+    sopts.server.grace_ms = 2'000;
+    al::service::ShardSupervisor supervisor(sopts);
+    if (!supervisor.start()) {
+      std::fprintf(stderr, "service_bench: fleet start failed (%d shards)\n",
+                   shards);
+      std::exit(1);
+    }
+    int rc = -1;
+    std::thread runner([&] { rc = supervisor.run(); });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> drivers;
+    drivers.reserve(slices.size());
+    for (ClientSlice& s : slices)
+      drivers.emplace_back(
+          [&s, port = supervisor.port()] { drive_slice(port, s); });
+    for (std::thread& t : drivers) t.join();
+    const double wall = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    supervisor.request_stop();
+    runner.join();
+    if (rc != 0) {
+      std::fprintf(stderr, "service_bench: fleet run rc=%d (%d shards)\n", rc,
+                   shards);
+      std::exit(1);
+    }
+    int received = 0;
+    for (const ClientSlice& s : slices) {
+      received += s.lines;
+      if (s.lines != s.expected_lines) {
+        std::fprintf(stderr,
+                     "service_bench: connection got %d/%d responses "
+                     "(%d shards)\n",
+                     s.lines, s.expected_lines, shards);
+        std::exit(1);
+      }
+    }
+
+    JsonValue summary;
+    std::string error;
+    if (!JsonValue::parse(supervisor.fleet_summary_json(-1), summary, error)) {
+      std::fprintf(stderr, "service_bench: bad fleet summary: %s\n",
+                   error.c_str());
+      std::exit(1);
+    }
+    const JsonValue* requests = summary.find("requests");
+    if (num_at(requests, "ok") != static_cast<std::uint64_t>(row.requests)) {
+      std::fprintf(stderr,
+                   "service_bench: fleet answered %llu/%d ok (%d shards)\n",
+                   static_cast<unsigned long long>(num_at(requests, "ok")),
+                   row.requests, shards);
+      std::exit(1);
+    }
+    walls.push_back(wall);
+    const JsonValue* cache = summary.find("cache");
+    row.cache_hits = num_at(cache, "hits");
+    row.cache_misses = num_at(cache, "misses");
+    row.cache_hit_rate = dbl_at(cache, "hit_rate");
+    const JsonValue* shard_cache = summary.find("shard_cache");
+    row.shard_cache_hits = num_at(shard_cache, "hits");
+    row.shard_cache_fills = num_at(shard_cache, "fills");
+    row.shard_cache_hit_rate = dbl_at(shard_cache, "hit_rate");
+    const JsonValue* mode = summary.find("cache_mode");
+    row.cache_mode = mode != nullptr ? std::string(mode->as_string()) : "";
+    const JsonValue* lat = summary.find("latency_ms");
+    row.p50_ms = dbl_at(lat, "p50");
+    row.p95_ms = dbl_at(lat, "p95");
+    row.p99_ms = dbl_at(lat, "p99");
+    (void)received;
+  }
+  row.wall_ms = median(walls);
+  row.throughput_rps = row.wall_ms > 0.0
+                           ? static_cast<double>(row.requests) /
+                                 (row.wall_ms / 1e3)
+                           : 0.0;
+  return row;
+}
+
+/// The service.shard_smoke gate: a 2-shard fleet under a mixed hit/miss
+/// load must (a) answer everything, (b) run in shared cache mode, and
+/// (c) compute every distinct key exactly ONCE fleet-wide -- the number of
+/// fleet misses equals the number of distinct keys in the load, no matter
+/// how the kernel spread the connections. Exits nonzero on any violation.
+int run_shard_smoke() {
+  verify_hit_matches_cold();
+
+  // 40 requests, 4 fresh singletons + the 4-program working set repeated:
+  // 8 distinct keys, 32 guaranteed repeats.
+  constexpr int kRequests = 40;
+  constexpr int kDistinctKeys = 8;
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(make_repeat_input(kRequests, 10));
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line + "\n");
+  }
+  ShardRow row = run_shard_config("shard_smoke", lines, /*shards=*/2,
+                                  /*runs=*/1);
+  std::printf("shard_smoke  2 shards  %d requests over %d connections  "
+              "%.1f ms  hits=%llu misses=%llu  mode=%s\n",
+              row.requests, row.clients, row.wall_ms,
+              static_cast<unsigned long long>(row.cache_hits),
+              static_cast<unsigned long long>(row.cache_misses),
+              row.cache_mode.c_str());
+  if (row.cache_mode != "shared") {
+    std::fprintf(stderr,
+                 "service_bench: fleet cache mode is \"%s\", want shared\n",
+                 row.cache_mode.c_str());
+    return 1;
+  }
+  if (row.cache_misses != kDistinctKeys ||
+      row.cache_hits != kRequests - kDistinctKeys) {
+    std::fprintf(stderr,
+                 "service_bench: cross-shard gate FAILED: %llu misses / %llu "
+                 "hits, want exactly %d misses (one compute per distinct key "
+                 "fleet-wide) and %d hits\n",
+                 static_cast<unsigned long long>(row.cache_misses),
+                 static_cast<unsigned long long>(row.cache_hits),
+                 kDistinctKeys, kRequests - kDistinctKeys);
+    return 1;
+  }
+  std::printf("cross-shard gate ok: %d distinct keys -> %llu computes, "
+              "%llu repeat hits (shard_cache fills=%llu hits=%llu)\n",
+              kDistinctKeys,
+              static_cast<unsigned long long>(row.cache_misses),
+              static_cast<unsigned long long>(row.cache_hits),
+              static_cast<unsigned long long>(row.shard_cache_fills),
+              static_cast<unsigned long long>(row.shard_cache_hits));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
+  // Client sends race fleet teardown in the shard scenarios; an RST must
+  // not kill the bench.
+  std::signal(SIGPIPE, SIG_IGN);
   bool smoke = false;
   bool verify_only = false;
+  bool shard_smoke = false;
   int runs = 3;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -352,16 +621,22 @@ int main(int argc, char** argv) {
       // tiny repeat mix, no BENCH_service.json rewrite.
       verify_only = true;
       smoke = true;
+    } else if (std::strcmp(argv[i], "--shard-smoke") == 0) {
+      // The service.shard_smoke ctest: hit-vs-cold contract + the 2-shard
+      // cross-shard single-compute gate, no BENCH_service.json rewrite.
+      shard_smoke = true;
     } else if (!al::parse_int(argv[i], 1, 1'000'000, runs)) {
       // Strict whole-lexeme parse: "3x" or "abc" is a usage error, not 3 or
       // a silent 1 the way atoi would have it.
       std::fprintf(stderr,
-                   "usage: service_bench [--smoke] [--verify-cache] [runs]\n"
+                   "usage: service_bench [--smoke] [--verify-cache] "
+                   "[--shard-smoke] [runs]\n"
                    "  runs must be an integer in [1, 1000000], got \"%s\"\n",
                    argv[i]);
       return 1;
     }
   }
+  if (shard_smoke) return run_shard_smoke();
   if (verify_only) {
     verify_hit_matches_cold();
     const int n = 20;
@@ -439,11 +714,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The fleet scaling series: the same compute and repeat90 mixes, but over
+  // real loopback TCP against a 1/2/4-shard SO_REUSEPORT fleet (1 worker
+  // per shard, so the curve isolates process scaling).
+  const std::vector<int> shard_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  std::vector<ShardRow> shard_rows;
+  const std::pair<const char*, bool> shard_scenarios[] = {
+      {"shard_compute", false}, {"shard_repeat90", true}};
+  for (const auto& [scenario, repeat_mix] : shard_scenarios) {
+    std::vector<std::string> lines;
+    {
+      std::istringstream in(repeat_mix ? make_repeat_input(repeat_requests, 10)
+                                       : make_input(requests, 0));
+      std::string line;
+      while (std::getline(in, line)) lines.push_back(line + "\n");
+    }
+    double base_rps = 0.0;
+    for (const int shards : shard_counts) {
+      ShardRow row = run_shard_config(scenario, lines, shards, runs);
+      if (shards == 1) base_rps = row.throughput_rps;
+      row.speedup = base_rps > 0.0 ? row.throughput_rps / base_rps : 1.0;
+      std::printf("%-14s shards=%d  wall=%8.1f ms  %7.2f req/s  "
+                  "p50=%6.2f p95=%6.2f  cache hit_rate=%.2f  "
+                  "shard_cache hits=%llu fills=%llu  speedup=%.2fx\n",
+                  row.scenario.c_str(), row.shards, row.wall_ms,
+                  row.throughput_rps, row.p50_ms, row.p95_ms,
+                  row.cache_hit_rate,
+                  static_cast<unsigned long long>(row.shard_cache_hits),
+                  static_cast<unsigned long long>(row.shard_cache_fills),
+                  row.speedup);
+      shard_rows.push_back(std::move(row));
+    }
+  }
+
   std::ofstream out("BENCH_service.json");
   al::support::JsonWriter w(out);
   w.begin_object();
   w.kv("schema", "autolayout.bench.service");
-  w.kv("schema_version", 2);  // v2: repeat90/repeat98 rows + cache fields
+  w.kv("schema_version", 3);  // v2: repeat90/repeat98 rows + cache fields;
+                              // v3: shard_rows fleet scaling series
   w.kv("smoke", smoke);
   w.kv("hardware_concurrency",
        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
@@ -482,6 +792,30 @@ int main(int argc, char** argv) {
       w.kv("speedup_vs_compute_1_worker", r.speedup_vs_compute_1w);
       w.kv("speedup_vs_pr4_baseline", r.speedup_vs_pr4_baseline);
     }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("shard_rows").begin_array();
+  for (const ShardRow& r : shard_rows) {
+    w.begin_object();
+    w.kv("scenario", r.scenario);
+    w.kv("shards", r.shards);
+    w.kv("client_connections", r.clients);
+    w.kv("requests", r.requests);
+    w.kv("runs", r.runs);
+    w.kv("wall_ms", r.wall_ms);
+    w.kv("throughput_rps", r.throughput_rps);
+    w.kv("latency_p50_ms", r.p50_ms);
+    w.kv("latency_p95_ms", r.p95_ms);
+    w.kv("latency_p99_ms", r.p99_ms);
+    w.kv("cache_mode", r.cache_mode);
+    w.kv("cache_hits", r.cache_hits);
+    w.kv("cache_misses", r.cache_misses);
+    w.kv("cache_hit_rate", r.cache_hit_rate);
+    w.kv("shard_cache_hits", r.shard_cache_hits);
+    w.kv("shard_cache_fills", r.shard_cache_fills);
+    w.kv("shard_cache_hit_rate", r.shard_cache_hit_rate);
+    w.kv("speedup_vs_1_shard", r.speedup);
     w.end_object();
   }
   w.end_array();

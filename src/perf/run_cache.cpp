@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "perf/shm_cache.hpp"
 #include "support/metrics.hpp"
 
 namespace al::perf {
@@ -75,6 +76,18 @@ std::shared_ptr<const CachedRun> RunCache::find(const RunKey& key) {
       out = it->second->run;
     }
   }
+  // L1 miss: fall through to the cross-shard segment. A hit there is
+  // promoted into the L1 so the next probe never crosses process memory.
+  if (out == nullptr && shared_ != nullptr) {
+    CachedRun from_l2;
+    if (shared_->find(key, from_l2)) {
+      out = std::make_shared<const CachedRun>(std::move(from_l2));
+      insert_local(key, out);
+      shared_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shared_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   lookup_ns_.fetch_add(
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
@@ -90,6 +103,19 @@ std::shared_ptr<const CachedRun> RunCache::find(const RunKey& key) {
 
 void RunCache::insert(const RunKey& key, CachedRun run) {
   auto entry = std::make_shared<const CachedRun>(std::move(run));
+  // Write-through BEFORE the L1 insert: once insert() returns, a sibling
+  // shard probing the segment must be able to see the fill.
+  if (shared_ != nullptr) {
+    if (shared_->insert(key, *entry))
+      shared_fills_.fetch_add(1, std::memory_order_relaxed);
+    else
+      shared_rejects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  insert_local(key, std::move(entry));
+}
+
+void RunCache::insert_local(const RunKey& key,
+                            std::shared_ptr<const CachedRun> entry) {
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.m);
   const auto it = shard.index.find(key);
@@ -153,6 +179,10 @@ RunCacheStats RunCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.single_flight_waits = waits_.load(std::memory_order_relaxed);
   s.lookup_ns = lookup_ns_.load(std::memory_order_relaxed);
+  s.shared_hits = shared_hits_.load(std::memory_order_relaxed);
+  s.shared_misses = shared_misses_.load(std::memory_order_relaxed);
+  s.shared_fills = shared_fills_.load(std::memory_order_relaxed);
+  s.shared_rejects = shared_rejects_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     const Shard& shard = shards_[i];
     std::lock_guard lock(shard.m);
@@ -179,6 +209,21 @@ void RunCache::publish_metrics(support::Metrics& metrics) const {
   metrics.set_gauge("service.cache_evictions", static_cast<double>(s.evictions));
   metrics.set_gauge("service.cache_hit_rate", s.hit_rate());
   metrics.set_gauge("service.cache_lookup_us", s.mean_lookup_us());
+  if (shared_ != nullptr) {
+    // This process's traffic against the cross-shard segment, plus the
+    // segment's fleet-wide occupancy/health.
+    metrics.set_gauge("service.shard_cache_hits", static_cast<double>(s.shared_hits));
+    metrics.set_gauge("service.shard_cache_misses",
+                      static_cast<double>(s.shared_misses));
+    metrics.set_gauge("service.shard_cache_fills", static_cast<double>(s.shared_fills));
+    metrics.set_gauge("service.shard_cache_rejects",
+                      static_cast<double>(s.shared_rejects));
+    const ShmCacheStats fleet = shared_->stats();
+    metrics.set_gauge("service.shard_cache_entries",
+                      static_cast<double>(fleet.entries));
+    metrics.set_gauge("service.shard_cache_lock_busy",
+                      static_cast<double>(fleet.lock_busy));
+  }
 }
 
 } // namespace al::perf

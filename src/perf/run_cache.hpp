@@ -41,6 +41,8 @@ class Metrics;
 
 namespace al::perf {
 
+class ShmRunCache;
+
 /// Content address of one run: digest of (canonicalized source, answer-
 /// changing ToolOptions, machine-model identity). Built with RunDigest.
 struct RunKey {
@@ -102,6 +104,13 @@ struct RunCacheStats {
   std::uint64_t lookup_ns = 0;           ///< summed find() time
   std::size_t entries = 0;
   std::size_t bytes = 0;
+  // This process's view of the attached cross-shard (L2) cache; zero when
+  // no shared segment is attached. `hits` above counts L1+L2 combined --
+  // shared_hits is the subset served by promotion from the segment.
+  std::uint64_t shared_hits = 0;
+  std::uint64_t shared_misses = 0;
+  std::uint64_t shared_fills = 0;        ///< write-throughs accepted by the segment
+  std::uint64_t shared_rejects = 0;      ///< write-throughs refused (oversize/stuck stripe)
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -139,6 +148,14 @@ public:
   [[nodiscard]] FillRole begin_fill(const RunKey& key);
   void end_fill(const RunKey& key);
 
+  /// Attaches the cross-shard shared-memory cache as an L2 (non-owning;
+  /// the supervisor owns the segment and it outlives every RunCache). After
+  /// this, find() falls through to the segment on an L1 miss and promotes
+  /// hits into the L1, and insert() writes through, so a fill by any shard
+  /// is visible to all of them.
+  void attach_shared(ShmRunCache* shared) { shared_ = shared; }
+  [[nodiscard]] ShmRunCache* shared_cache() const { return shared_; }
+
   [[nodiscard]] RunCacheStats stats() const;
   void clear();
 
@@ -166,6 +183,8 @@ private:
   }
   /// Caller holds `shard.m`. Evicts from the LRU tail, sparing `keep`.
   void enforce_caps(Shard& shard, const RunKey& keep);
+  /// L1-only insertion (no write-through) -- insert() and L2 promotion.
+  void insert_local(const RunKey& key, std::shared_ptr<const CachedRun> entry);
 
   RunCacheConfig config_;
   std::size_t shard_entry_cap_ = 0;  ///< per-shard share of max_entries (0 = unbounded)
@@ -179,6 +198,12 @@ private:
   mutable std::atomic<std::uint64_t> evictions_{0};
   mutable std::atomic<std::uint64_t> waits_{0};
   mutable std::atomic<std::uint64_t> lookup_ns_{0};
+
+  ShmRunCache* shared_ = nullptr;  ///< cross-shard L2, optional
+  mutable std::atomic<std::uint64_t> shared_hits_{0};
+  mutable std::atomic<std::uint64_t> shared_misses_{0};
+  mutable std::atomic<std::uint64_t> shared_fills_{0};
+  mutable std::atomic<std::uint64_t> shared_rejects_{0};
 
   std::mutex fill_mutex_;
   std::condition_variable fill_done_;

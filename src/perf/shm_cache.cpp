@@ -1,0 +1,246 @@
+#include "perf/shm_cache.hpp"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cstring>
+#include <new>
+#include <thread>
+
+namespace al::perf {
+
+// Segment geometry. Counters and locks are std::atomic placed in the
+// mapping; MAP_SHARED + lock-free atomics make them valid across the
+// forked shards (every shard inherits the mapping at the same address).
+struct ShmRunCache::Header {
+  std::uint64_t magic = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t cell_bytes = 0;
+  std::uint64_t stripes = 0;
+  std::atomic<std::uint64_t> tick{0};  ///< global LRU clock
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> fills{0};
+  std::atomic<std::uint64_t> replacements{0};
+  std::atomic<std::uint64_t> rejected_large{0};
+  std::atomic<std::uint64_t> lock_busy{0};
+  std::atomic<std::uint64_t> entries{0};
+};
+
+struct ShmRunCache::SlotMeta {
+  std::uint64_t key_lo = 0;
+  std::uint64_t key_hi = 0;
+  std::uint64_t tick = 0;       ///< last touch (hit or fill)
+  double compute_ms = 0.0;
+  std::uint32_t report_len = 0;
+  std::uint32_t program_len = 0;
+  std::uint32_t engine_len = 0;
+  std::uint32_t used = 0;
+};
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x414c53484d434831ULL;  // "ALSHMCH1"
+
+using StripeLock = std::atomic<std::uint32_t>;
+
+static_assert(StripeLock::is_always_lock_free,
+              "stripe locks must be lock-free to work across processes");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm counters must be lock-free to work across processes");
+
+std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+std::unique_ptr<ShmRunCache> ShmRunCache::create(const ShmCacheConfig& config) {
+  ShmCacheConfig cfg = config;
+  if (cfg.slots < kWays) cfg.slots = kWays;
+  cfg.slots = align_up(cfg.slots, kWays);
+  if (cfg.cell_bytes < 256) cfg.cell_bytes = 256;
+  const std::size_t buckets = cfg.slots / kWays;
+  if (cfg.stripes == 0) cfg.stripes = 1;
+  if (cfg.stripes > buckets) cfg.stripes = buckets;
+
+  const std::size_t header_bytes = align_up(sizeof(Header), 64);
+  const std::size_t lock_bytes = align_up(cfg.stripes * sizeof(StripeLock), 64);
+  const std::size_t meta_bytes = align_up(cfg.slots * sizeof(SlotMeta), 64);
+  const std::size_t payload_bytes = cfg.slots * cfg.cell_bytes;
+  const std::size_t total =
+      align_up(header_bytes + lock_bytes + meta_bytes + payload_bytes, 4096);
+
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) return nullptr;
+
+  auto cache = std::unique_ptr<ShmRunCache>(new ShmRunCache(cfg, base, total));
+
+  // Format in place. The mapping is zero-filled by the kernel; placement-new
+  // the header so the atomics are formally constructed.
+  Header* h = new (base) Header();
+  h->magic = kMagic;
+  h->slots = cfg.slots;
+  h->cell_bytes = cfg.cell_bytes;
+  h->stripes = cfg.stripes;
+  auto* locks = reinterpret_cast<StripeLock*>(
+      static_cast<char*>(base) + header_bytes);
+  for (std::size_t i = 0; i < cfg.stripes; ++i) new (&locks[i]) StripeLock(0);
+  // SlotMeta is trivially-zero-initialized by the fresh mapping.
+  return cache;
+}
+
+ShmRunCache::ShmRunCache(const ShmCacheConfig& config, void* base,
+                         std::size_t segment_bytes)
+    : config_(config), base_(base), segment_bytes_(segment_bytes),
+      buckets_(config.slots / kWays) {}
+
+ShmRunCache::~ShmRunCache() {
+  if (base_ != nullptr) ::munmap(base_, segment_bytes_);
+}
+
+ShmRunCache::Header* ShmRunCache::header() const {
+  return static_cast<Header*>(base_);
+}
+
+ShmRunCache::SlotMeta* ShmRunCache::slot_meta(std::size_t slot) const {
+  char* p = static_cast<char*>(base_) + align_up(sizeof(Header), 64) +
+            align_up(config_.stripes * sizeof(StripeLock), 64);
+  return reinterpret_cast<SlotMeta*>(p) + slot;
+}
+
+char* ShmRunCache::cell(std::size_t slot) const {
+  char* p = static_cast<char*>(base_) + align_up(sizeof(Header), 64) +
+            align_up(config_.stripes * sizeof(StripeLock), 64) +
+            align_up(config_.slots * sizeof(SlotMeta), 64);
+  return p + slot * config_.cell_bytes;
+}
+
+std::size_t ShmRunCache::bucket_of(const RunKey& key) const {
+  return static_cast<std::size_t>(RunKeyHash{}(key)) % buckets_;
+}
+
+bool ShmRunCache::lock_stripe(std::size_t bucket) {
+  StripeLock* locks = reinterpret_cast<StripeLock*>(
+      static_cast<char*>(base_) + align_up(sizeof(Header), 64));
+  StripeLock& lock = locks[bucket % config_.stripes];
+  for (int spin = 0; spin < kSpinLimit; ++spin) {
+    std::uint32_t expected = 0;
+    if (lock.compare_exchange_weak(expected, 1, std::memory_order_acquire,
+                                   std::memory_order_relaxed))
+      return true;
+    if ((spin & 0x3f) == 0x3f) std::this_thread::yield();
+  }
+  header()->lock_busy.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ShmRunCache::unlock_stripe(std::size_t bucket) {
+  StripeLock* locks = reinterpret_cast<StripeLock*>(
+      static_cast<char*>(base_) + align_up(sizeof(Header), 64));
+  locks[bucket % config_.stripes].store(0, std::memory_order_release);
+}
+
+bool ShmRunCache::find(const RunKey& key, CachedRun& out) {
+  Header* h = header();
+  const std::size_t bucket = bucket_of(key);
+  if (!lock_stripe(bucket)) return false;
+  const std::size_t base_slot = bucket * kWays;
+  for (std::size_t w = 0; w < kWays; ++w) {
+    SlotMeta* m = slot_meta(base_slot + w);
+    if (m->used == 0 || m->key_lo != key.lo || m->key_hi != key.hi) continue;
+    const char* p = cell(base_slot + w);
+    out.report_json.assign(p, m->report_len);
+    p += m->report_len;
+    out.program.assign(p, m->program_len);
+    p += m->program_len;
+    out.engine.assign(p, m->engine_len);
+    out.compute_ms = m->compute_ms;
+    m->tick = h->tick.fetch_add(1, std::memory_order_relaxed) + 1;
+    unlock_stripe(bucket);
+    h->hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  unlock_stripe(bucket);
+  h->misses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool ShmRunCache::insert(const RunKey& key, const CachedRun& run) {
+  Header* h = header();
+  const std::size_t payload =
+      run.report_json.size() + run.program.size() + run.engine.size();
+  if (payload > config_.cell_bytes ||
+      run.report_json.size() > UINT32_MAX ||
+      run.program.size() > UINT32_MAX || run.engine.size() > UINT32_MAX) {
+    h->rejected_large.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::size_t bucket = bucket_of(key);
+  if (!lock_stripe(bucket)) return false;
+  const std::size_t base_slot = bucket * kWays;
+
+  // Way choice: the key's own slot if present, else an empty way, else the
+  // bucket-LRU victim.
+  std::size_t victim = base_slot;
+  std::uint64_t victim_tick = UINT64_MAX;
+  bool replacing = true;
+  for (std::size_t w = 0; w < kWays; ++w) {
+    SlotMeta* m = slot_meta(base_slot + w);
+    if (m->used != 0 && m->key_lo == key.lo && m->key_hi == key.hi) {
+      victim = base_slot + w;
+      break;
+    }
+    if (m->used == 0) {
+      if (replacing) {
+        victim = base_slot + w;
+        victim_tick = 0;
+        replacing = false;
+      }
+    } else if (replacing && m->tick < victim_tick) {
+      victim = base_slot + w;
+      victim_tick = m->tick;
+    }
+  }
+
+  SlotMeta* m = slot_meta(victim);
+  const bool was_used = m->used != 0;
+  char* p = cell(victim);
+  std::memcpy(p, run.report_json.data(), run.report_json.size());
+  p += run.report_json.size();
+  std::memcpy(p, run.program.data(), run.program.size());
+  p += run.program.size();
+  std::memcpy(p, run.engine.data(), run.engine.size());
+  m->key_lo = key.lo;
+  m->key_hi = key.hi;
+  m->report_len = static_cast<std::uint32_t>(run.report_json.size());
+  m->program_len = static_cast<std::uint32_t>(run.program.size());
+  m->engine_len = static_cast<std::uint32_t>(run.engine.size());
+  m->compute_ms = run.compute_ms;
+  m->tick = h->tick.fetch_add(1, std::memory_order_relaxed) + 1;
+  m->used = 1;
+  unlock_stripe(bucket);
+
+  h->fills.fetch_add(1, std::memory_order_relaxed);
+  if (was_used)
+    h->replacements.fetch_add(1, std::memory_order_relaxed);
+  else
+    h->entries.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ShmCacheStats ShmRunCache::stats() const {
+  const Header* h = header();
+  ShmCacheStats s;
+  s.hits = h->hits.load(std::memory_order_relaxed);
+  s.misses = h->misses.load(std::memory_order_relaxed);
+  s.fills = h->fills.load(std::memory_order_relaxed);
+  s.replacements = h->replacements.load(std::memory_order_relaxed);
+  s.rejected_large = h->rejected_large.load(std::memory_order_relaxed);
+  s.lock_busy = h->lock_busy.load(std::memory_order_relaxed);
+  s.entries = h->entries.load(std::memory_order_relaxed);
+  return s;
+}
+
+} // namespace al::perf

@@ -1,0 +1,104 @@
+// Cross-shard run cache on a shared-memory segment (DESIGN.md section 17).
+// The sharded daemon forks N processes; each keeps its in-process RunCache
+// as an L1, and this fixed-slot hash table -- one anonymous MAP_SHARED
+// mapping created by the supervisor BEFORE forking, so every shard inherits
+// the same pages at the same address -- is the L2 that makes a miss computed
+// by one shard a hit on all the others.
+//
+// Layout (all offsets, no pointers, so the segment is position-independent):
+//
+//   [ Header | stripe locks | SlotMeta[slots] | payload cells (slots x cell) ]
+//
+// The table is set-associative: slots are grouped into buckets of kWays
+// consecutive slots; a key hashes to one bucket and lives in one of its
+// ways. Each bucket maps to one spinlock stripe, so find/insert take
+// exactly one lock, and stripes keep unrelated keys from serializing.
+// Replacement is per-bucket LRU by a global tick counter. Entries whose
+// payload (report + program + engine) exceeds the fixed cell size are
+// REJECTED -- they stay L1-only and are counted, which bounds the segment
+// at creation time (the whole point of fixed slots).
+//
+// Crash tolerance: locks are acquired with a BOUNDED spin. If a shard is
+// SIGKILLed mid-critical-section the stripe stays locked; other shards'
+// probes then fail the spin, count a lock_busy, and degrade to an L1 miss
+// instead of deadlocking the fleet. (Payload under a stuck lock is never
+// read, so torn writes cannot be served.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "perf/run_cache.hpp"
+
+namespace al::perf {
+
+struct ShmCacheConfig {
+  std::size_t slots = 1024;           ///< total entry slots (rounded up to a bucket multiple)
+  std::size_t cell_bytes = 48u << 10; ///< payload capacity per slot (48 KiB)
+  std::size_t stripes = 64;           ///< spinlock stripes (clamped to bucket count)
+};
+
+/// Fleet-wide counters; they live in the segment itself, so every shard
+/// (and the supervisor) reads the same numbers.
+struct ShmCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;           ///< payloads written (fresh or replaced)
+  std::uint64_t replacements = 0;    ///< fills that evicted a live entry
+  std::uint64_t rejected_large = 0;  ///< payload > cell_bytes, stayed L1-only
+  std::uint64_t lock_busy = 0;       ///< bounded spins that gave up
+  std::uint64_t entries = 0;         ///< occupied slots
+};
+
+class ShmRunCache {
+public:
+  /// Maps the segment (anonymous, MAP_SHARED) and formats it. Returns null
+  /// when the mapping cannot be created -- the caller falls back to
+  /// process-local caching. Create BEFORE forking shards.
+  [[nodiscard]] static std::unique_ptr<ShmRunCache> create(
+      const ShmCacheConfig& config);
+
+  ~ShmRunCache();
+  ShmRunCache(const ShmRunCache&) = delete;
+  ShmRunCache& operator=(const ShmRunCache&) = delete;
+
+  /// Copies the entry out under the stripe lock. Returns false on miss,
+  /// oversized-probe, or a stuck stripe (bounded spin exhausted).
+  [[nodiscard]] bool find(const RunKey& key, CachedRun& out);
+
+  /// Publishes `run` under `key` (insert or replace; bucket-LRU eviction
+  /// when the bucket is full). Returns false when rejected (oversized
+  /// payload or stuck stripe).
+  bool insert(const RunKey& key, const CachedRun& run);
+
+  [[nodiscard]] ShmCacheStats stats() const;
+
+  [[nodiscard]] const ShmCacheConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t segment_bytes() const { return segment_bytes_; }
+
+  /// Ways per bucket (consecutive slots sharing one stripe).
+  static constexpr std::size_t kWays = 8;
+  /// Bounded-spin budget before a probe counts lock_busy and degrades.
+  static constexpr int kSpinLimit = 1 << 14;
+
+private:
+  struct Header;
+  struct SlotMeta;
+
+  ShmRunCache(const ShmCacheConfig& config, void* base,
+              std::size_t segment_bytes);
+
+  [[nodiscard]] Header* header() const;
+  [[nodiscard]] SlotMeta* slot_meta(std::size_t slot) const;
+  [[nodiscard]] char* cell(std::size_t slot) const;
+  [[nodiscard]] std::size_t bucket_of(const RunKey& key) const;
+  [[nodiscard]] bool lock_stripe(std::size_t bucket);
+  void unlock_stripe(std::size_t bucket);
+
+  ShmCacheConfig config_;
+  void* base_ = nullptr;
+  std::size_t segment_bytes_ = 0;
+  std::size_t buckets_ = 0;
+};
+
+} // namespace al::perf

@@ -44,7 +44,7 @@ struct Validator {
   }
 
   bool fail_bad_integer(std::string_view key, long min, long max,
-                        const std::string& lexeme) {
+                        std::string_view lexeme) {
     std::string msg = "\"";
     msg += key;
     msg += "\" must be an integer in [";
@@ -91,8 +91,13 @@ struct Validator {
       bool found = false;
       for (const char* k : known)
         if (key == k) found = true;
-      if (!found)
-        return fail("unknown key \"" + key + "\" in " + std::string(where));
+      if (!found) {
+        std::string msg = "unknown key \"";
+        msg += key;
+        msg += "\" in ";
+        msg += where;
+        return fail(msg);
+      }
     }
     return true;
   }
@@ -115,8 +120,10 @@ bool apply_options(const JsonValue& o, driver::ToolOptions& opts, Validator& v) 
     } else if (m->as_string() == "paragon") {
       opts.machine = machine::make_paragon();
     } else {
-      return v.fail("unknown machine \"" + m->as_string() +
-                    "\" (expected \"ipsc860\" or \"paragon\")");
+      std::string msg = "unknown machine \"";
+      msg += m->as_string();
+      msg += "\" (expected \"ipsc860\" or \"paragon\")";
+      return v.fail(msg);
     }
   }
   bool extended = false;
@@ -156,7 +163,8 @@ void begin_response(support::JsonWriter& w, std::string_view id,
 
 } // namespace
 
-ParsedRequest parse_request(std::string_view line, std::size_t max_bytes) {
+ParsedRequest parse_request(std::string_view line, std::size_t max_bytes,
+                            std::pmr::memory_resource* scratch) {
   ParsedRequest out;
   if (line.size() > max_bytes) {
     out.error = "request exceeds " + std::to_string(max_bytes) + " bytes (got " +
@@ -164,7 +172,10 @@ ParsedRequest parse_request(std::string_view line, std::size_t max_bytes) {
     return out;
   }
 
-  JsonValue doc;
+  // The DOM lives on the caller's arena when one is provided; everything
+  // copied into `out.request` below is a plain heap string on purpose.
+  JsonValue doc{JsonValue::allocator_type(
+      scratch != nullptr ? scratch : std::pmr::get_default_resource())};
   std::string parse_error;
   if (!JsonValue::parse(line, doc, parse_error)) {
     out.error = "malformed JSON: " + parse_error;
@@ -187,8 +198,12 @@ ParsedRequest parse_request(std::string_view line, std::size_t max_bytes) {
     if (s == nullptr) {
       v.fail("missing \"schema\"");
     } else if (s->as_string() != kRequestSchema) {
-      v.fail("unknown schema \"" + s->as_string() + "\" (expected \"" +
-             kRequestSchema + "\")");
+      std::string msg = "unknown schema \"";
+      msg += s->as_string();
+      msg += "\" (expected \"";
+      msg += kRequestSchema;
+      msg += "\")";
+      v.fail(msg);
     }
   }
   if (v.ok()) {
@@ -260,11 +275,11 @@ bool load_source(Request& request, std::string& error) {
   return true;
 }
 
-std::string ok_response(const Request& request, const driver::ToolResult& result,
-                        double latency_ms,
-                        const std::vector<support::MetricsScope::Delta>& counters) {
-  std::ostringstream os;
-  support::JsonWriter w(os, /*indent_width=*/-1);
+void ok_response_into(std::string& out, const Request& request,
+                      const driver::ToolResult& result, double latency_ms,
+                      const std::vector<support::MetricsScope::Delta>& counters) {
+  out.clear();
+  support::JsonWriter w(out, /*indent_width=*/-1);
   begin_response(w, request.id, "ok");
   w.kv("latency_ms", latency_ms);
   w.kv("cache", "off");
@@ -274,14 +289,14 @@ std::string ok_response(const Request& request, const driver::ToolResult& result
   w.key("report");
   driver::write_json_report(result, w);
   w.end_object();
-  return os.str();
 }
 
-std::string ok_response(const Request& request, std::string_view report_json,
-                        std::string_view cache, double latency_ms,
-                        const std::vector<support::MetricsScope::Delta>& counters) {
-  std::ostringstream os;
-  support::JsonWriter w(os, /*indent_width=*/-1);
+void ok_response_into(std::string& out, const Request& request,
+                      std::string_view report_json, std::string_view cache,
+                      double latency_ms,
+                      const std::vector<support::MetricsScope::Delta>& counters) {
+  out.clear();
+  support::JsonWriter w(out, /*indent_width=*/-1);
   begin_response(w, request.id, "ok");
   w.kv("latency_ms", latency_ms);
   w.kv("cache", cache);
@@ -290,40 +305,73 @@ std::string ok_response(const Request& request, std::string_view report_json,
   w.end_object();
   w.key("report").raw_value(report_json);
   w.end_object();
-  return os.str();
 }
 
-std::string infeasible_response(std::string_view id, std::string_view message,
-                                double latency_ms) {
-  std::ostringstream os;
-  support::JsonWriter w(os, /*indent_width=*/-1);
+void infeasible_response_into(std::string& out, std::string_view id,
+                              std::string_view message, double latency_ms) {
+  out.clear();
+  support::JsonWriter w(out, /*indent_width=*/-1);
   begin_response(w, id, "infeasible");
   w.kv("latency_ms", latency_ms);
   w.kv("message", message);
   w.end_object();
-  return os.str();
 }
 
-std::string error_response(std::string_view id, std::string_view kind,
-                           std::string_view message) {
-  std::ostringstream os;
-  support::JsonWriter w(os, /*indent_width=*/-1);
+void error_response_into(std::string& out, std::string_view id,
+                         std::string_view kind, std::string_view message) {
+  out.clear();
+  support::JsonWriter w(out, /*indent_width=*/-1);
   begin_response(w, id, "error");
   w.key("error").begin_object();
   w.kv("kind", kind);
   w.kv("message", message);
   w.end_object();
   w.end_object();
-  return os.str();
 }
 
-std::string rejected_response(std::string_view id, std::string_view reason) {
-  std::ostringstream os;
-  support::JsonWriter w(os, /*indent_width=*/-1);
+void rejected_response_into(std::string& out, std::string_view id,
+                            std::string_view reason) {
+  out.clear();
+  support::JsonWriter w(out, /*indent_width=*/-1);
   begin_response(w, id, "rejected");
   w.kv("reason", reason);
   w.end_object();
-  return os.str();
+}
+
+std::string ok_response(const Request& request, const driver::ToolResult& result,
+                        double latency_ms,
+                        const std::vector<support::MetricsScope::Delta>& counters) {
+  std::string out;
+  ok_response_into(out, request, result, latency_ms, counters);
+  return out;
+}
+
+std::string ok_response(const Request& request, std::string_view report_json,
+                        std::string_view cache, double latency_ms,
+                        const std::vector<support::MetricsScope::Delta>& counters) {
+  std::string out;
+  ok_response_into(out, request, report_json, cache, latency_ms, counters);
+  return out;
+}
+
+std::string infeasible_response(std::string_view id, std::string_view message,
+                                double latency_ms) {
+  std::string out;
+  infeasible_response_into(out, id, message, latency_ms);
+  return out;
+}
+
+std::string error_response(std::string_view id, std::string_view kind,
+                           std::string_view message) {
+  std::string out;
+  error_response_into(out, id, kind, message);
+  return out;
+}
+
+std::string rejected_response(std::string_view id, std::string_view reason) {
+  std::string out;
+  rejected_response_into(out, id, reason);
+  return out;
 }
 
 } // namespace al::service

@@ -31,6 +31,7 @@
 // or "error" (kind "bad_request" | "tool_error").
 #pragma once
 
+#include <memory_resource>
 #include <string>
 #include <string_view>
 
@@ -72,8 +73,15 @@ struct ParsedRequest {
 /// service's per-request defaults differ from the CLI in one way: the
 /// estimation stage runs serially (threads = 1) unless the request says
 /// otherwise, because the service's parallelism unit is the request.
-[[nodiscard]] ParsedRequest parse_request(std::string_view line,
-                                          std::size_t max_bytes = kMaxRequestBytes);
+///
+/// `scratch`, when non-null, backs the intermediate JSON DOM (the daemon
+/// passes its per-connection Arena and resets it after each line). The
+/// returned Request owns plain heap strings either way -- it outlives the
+/// scratch epoch by design (queued jobs run long after the reader has moved
+/// on to the next line).
+[[nodiscard]] ParsedRequest parse_request(
+    std::string_view line, std::size_t max_bytes = kMaxRequestBytes,
+    std::pmr::memory_resource* scratch = nullptr);
 
 /// Reads `request.file` into `request.source` (no-op for inline sources).
 /// Returns false and sets `error` when the file cannot be read.
@@ -108,5 +116,25 @@ struct ParsedRequest {
 /// "queue full", "admission deadline exceeded", "shutting down".
 [[nodiscard]] std::string rejected_response(std::string_view id,
                                             std::string_view reason);
+
+// Buffer-building variants -- the daemon's allocation-free hot path
+// (DESIGN.md section 17). Each REPLACES `out` with one complete response
+// line (trailing '\n' included); the caller owns and reuses the buffer, so
+// steady-state response framing costs zero heap traffic. The returning
+// overloads above are thin wrappers over these.
+
+void ok_response_into(std::string& out, const Request& request,
+                      const driver::ToolResult& result, double latency_ms,
+                      const std::vector<support::MetricsScope::Delta>& counters);
+void ok_response_into(std::string& out, const Request& request,
+                      std::string_view report_json, std::string_view cache,
+                      double latency_ms,
+                      const std::vector<support::MetricsScope::Delta>& counters);
+void infeasible_response_into(std::string& out, std::string_view id,
+                              std::string_view message, double latency_ms);
+void error_response_into(std::string& out, std::string_view id,
+                         std::string_view kind, std::string_view message);
+void rejected_response_into(std::string& out, std::string_view id,
+                            std::string_view reason);
 
 } // namespace al::service

@@ -1,6 +1,7 @@
 #include "service/server.hpp"
 
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -11,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <istream>
 #include <map>
 #include <memory>
@@ -18,6 +20,7 @@
 #include <sstream>
 
 #include "driver/run_cache.hpp"
+#include "perf/shm_cache.hpp"
 #include "support/diagnostics.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
@@ -56,7 +59,10 @@ double percentile(const std::vector<double>& sorted, double p) {
 /// ahead of an earlier request is held until the gap closes. Clients can
 /// therefore stream N requests and match the N response lines positionally.
 struct Connection {
-  explicit Connection(int fd) : fd(fd) {}
+  Connection(int fd, std::size_t reorder_cap,
+             std::function<void()> on_overflow)
+      : fd(fd), reorder_cap(reorder_cap == 0 ? 1 : reorder_cap),
+        on_overflow(std::move(on_overflow)) {}
   ~Connection() { ::close(fd); }
 
   Connection(const Connection&) = delete;
@@ -67,10 +73,24 @@ struct Connection {
   /// ONE coalesced write; otherwise parks it until the gap closes. A dead
   /// peer is not an error for the server: writes are simply dropped (order
   /// bookkeeping still advances so later completions do not pile up).
-  void write_ordered(std::uint64_t seq, const std::string& line) {
+  ///
+  /// The park is BOUNDED (reorder_cap): the reader already stops parsing a
+  /// connection whose buffer is full, so only completions of already-
+  /// admitted jobs can arrive here while at the cap -- those park a small
+  /// structured rejection (under `id`) instead of the payload, so a client
+  /// that streams requests but stalls its reads cannot grow server memory
+  /// without limit.
+  void write_ordered(std::uint64_t seq, const std::string& line,
+                     std::string_view id) {
     std::lock_guard lock(write_mutex);
     if (seq != next_send) {
-      held.emplace(seq, line);
+      if (held.size() >= reorder_cap) {
+        if (on_overflow) on_overflow();
+        held.emplace(seq,
+                     rejected_response(id, "response reorder buffer overflow"));
+      } else {
+        held.emplace(seq, line);
+      }
       return;
     }
     outbuf.clear();
@@ -85,7 +105,15 @@ struct Connection {
     send_all(outbuf);
   }
 
+  /// Reader backpressure probe: parked-response count right now.
+  [[nodiscard]] std::size_t held_count() {
+    std::lock_guard lock(write_mutex);
+    return held.size();
+  }
+
   int fd;
+  std::size_t reorder_cap;
+  std::function<void()> on_overflow;
   std::mutex write_mutex;
   /// Reader-thread state: sequence number handed to the next parsed line.
   std::uint64_t next_parse = 0;
@@ -112,12 +140,12 @@ private:
 
 } // namespace
 
-std::string ServiceSummary::json() const {
+std::string ServiceSummary::json(int indent_width) const {
   std::ostringstream os;
-  support::JsonWriter w(os);
+  support::JsonWriter w(os, indent_width);
   w.begin_object();
   w.kv("schema", "autolayout.service_summary");
-  w.kv("schema_version", 1);
+  w.kv("schema_version", 2);
   w.kv("workers", workers);
   w.key("requests").begin_object();
   w.kv("received", received);
@@ -125,6 +153,7 @@ std::string ServiceSummary::json() const {
   w.kv("infeasible", infeasible);
   w.kv("rejected", rejected);
   w.kv("errors", errors);
+  w.kv("reorder_overflows", reorder_overflows);
   w.end_object();
   w.key("latency_ms").begin_object();
   w.kv("p50", p50_ms);
@@ -133,6 +162,7 @@ std::string ServiceSummary::json() const {
   w.kv("max", max_ms);
   w.end_object();
   w.key("cache").begin_object();
+  w.kv("mode", cache_mode);
   w.kv("hits", cache_hits);
   w.kv("misses", cache_misses);
   const std::uint64_t consulted = cache_hits + cache_misses;
@@ -151,6 +181,23 @@ std::string ServiceSummary::json() const {
   w.kv("p99", miss_p99_ms);
   w.end_object();
   w.end_object();
+  if (cache_mode == "shared") {
+    // This process's traffic against the cross-shard segment; the fleet
+    // report adds the segment-global view.
+    w.key("shard_cache").begin_object();
+    w.kv("hits", shard_cache_hits);
+    w.kv("misses", shard_cache_misses);
+    w.kv("fills", shard_cache_fills);
+    w.kv("rejects", shard_cache_rejects);
+    w.end_object();
+  }
+  w.key("arena").begin_object();
+  w.kv("resets", arena_resets);
+  w.kv("allocs", arena_allocs);
+  w.kv("block_allocs", arena_block_allocs);
+  w.kv("reserved_bytes", arena_reserved_bytes);
+  w.kv("high_water_bytes", arena_high_water);
+  w.end_object();
   w.kv("wall_ms", wall_ms);
   const double executed =
       static_cast<double>(ok + infeasible) + static_cast<double>(errors);
@@ -166,7 +213,13 @@ Server::Server(const ServerOptions& opts)
   opts_.workers = opts_.workers > 0 ? opts_.workers
                                     : support::ThreadPool::default_threads();
   stats_.workers = opts_.workers;
-  if (opts_.run_cache) cache_ = std::make_unique<perf::RunCache>(opts_.cache);
+  if (opts_.run_cache) {
+    cache_ = std::make_unique<perf::RunCache>(opts_.cache);
+    if (opts_.shared_cache != nullptr) cache_->attach_shared(opts_.shared_cache);
+  }
+  stats_.cache_mode = cache_ == nullptr                  ? "off"
+                      : opts_.shared_cache != nullptr ? "shared"
+                                                         : "local";
 }
 
 Server::~Server() {
@@ -216,7 +269,7 @@ void Server::record(Outcome outcome, double latency_ms, CacheSide side) {
   if (side == CacheSide::Miss) m.counter("service.cache_misses").add();
 }
 
-std::string Server::execute(Job& job) {
+void Server::execute(Job& job, std::string& out) {
   Request& req = job.request;
   if (req.delay_ms > 0)
     std::this_thread::sleep_for(std::chrono::milliseconds(req.delay_ms));
@@ -224,7 +277,8 @@ std::string Server::execute(Job& job) {
   std::string io_error;
   if (!load_source(req, io_error)) {
     record(Outcome::Error, -1.0);
-    return error_response(req.id, "bad_request", io_error);
+    error_response_into(out, req.id, "bad_request", io_error);
+    return;
   }
 
   // The span covers one request; the scope attributes exactly this
@@ -244,15 +298,16 @@ std::string Server::execute(Job& job) {
                                         : CacheSide::Miss;
     record(Outcome::Ok, latency, side);
     const char* disposition = !r.consulted ? "off" : r.hit ? "hit" : "miss";
-    return ok_response(req, r.report_json, disposition, latency, scope.deltas());
+    ok_response_into(out, req, r.report_json, disposition, latency,
+                     scope.deltas());
   } catch (const InfeasibleError& e) {
     const double latency = ms_since(t0);
     record(Outcome::Infeasible, latency);
-    return infeasible_response(req.id, e.what(), latency);
+    infeasible_response_into(out, req.id, e.what(), latency);
   } catch (const std::exception& e) {
     const double latency = ms_since(t0);
     record(Outcome::Error, latency);
-    return error_response(req.id, "tool_error", e.what());
+    error_response_into(out, req.id, "tool_error", e.what());
   }
 }
 
@@ -271,15 +326,16 @@ bool Server::try_serve_from_cache(const Request& req, std::string& response) {
   if (hit == nullptr) return false;
   const double latency = ms_since(t0);
   record(Outcome::Ok, latency, CacheSide::Hit);
-  response = ok_response(req, hit->report_json, "hit", latency, {});
+  ok_response_into(response, req, hit->report_json, "hit", latency, {});
   return true;
 }
 
-void Server::handle_popped(Job& job) {
+void Server::handle_popped(Job& job, std::string& response_buf) {
   const Request& req = job.request;
   if (reject_all_.load(std::memory_order_relaxed)) {
     record(Outcome::Rejected, -1.0);
-    job.respond(rejected_response(req.id, "shutting down"));
+    rejected_response_into(response_buf, req.id, "shutting down");
+    job.respond(response_buf);
     return;
   }
   if (req.queue_deadline_ms > 0) {
@@ -288,17 +344,23 @@ void Server::handle_popped(Job& job) {
             .count();
     if (waited > static_cast<double>(req.queue_deadline_ms)) {
       record(Outcome::Rejected, -1.0);
-      job.respond(rejected_response(req.id, "admission deadline exceeded"));
+      rejected_response_into(response_buf, req.id,
+                             "admission deadline exceeded");
+      job.respond(response_buf);
       return;
     }
   }
-  job.respond(execute(job));
+  execute(job, response_buf);
+  job.respond(response_buf);
 }
 
 void Server::worker_loop() {
+  // One response buffer per worker, reused across jobs: framing a response
+  // costs zero heap traffic once the buffer has grown to working size.
+  std::string response_buf;
   Job job;
   while (queue_.pop(job)) {
-    handle_popped(job);
+    handle_popped(job, response_buf);
     job = Job{};  // release the respond closure (and any Connection ref)
   }
 }
@@ -318,7 +380,12 @@ int Server::run_batch(std::istream& in, std::ostream& out) {
   for (int i = 0; i < opts_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 
+  // Request-scoped scratch: the parsed DOM lives on this arena and is
+  // discarded wholesale by reset() before the next line -- after warm-up
+  // the parse path performs zero heap allocations per request.
+  support::Arena arena;
   std::string line;
+  std::string resp_buf;
   std::size_t sequence = 0;
   while (!stop_requested() && std::getline(in, line)) {
     if (line.empty()) continue;
@@ -337,17 +404,18 @@ int Server::run_batch(std::istream& in, std::ostream& out) {
       responses[slot] = r;
     };
 
-    ParsedRequest parsed = parse_request(line, opts_.max_request_bytes);
+    arena.reset();
+    ParsedRequest parsed = parse_request(line, opts_.max_request_bytes, &arena);
     if (!parsed.ok) {
       record(Outcome::Error, -1.0);
-      respond(error_response("", "bad_request", parsed.error));
+      error_response_into(resp_buf, "", "bad_request", parsed.error);
+      respond(resp_buf);
       continue;
     }
     // Cache short-circuit BEFORE admission: a resident repeat never
     // occupies a queue slot or a worker.
-    std::string cached_line;
-    if (try_serve_from_cache(parsed.request, cached_line)) {
-      respond(cached_line);
+    if (try_serve_from_cache(parsed.request, resp_buf)) {
+      respond(resp_buf);
       continue;
     }
     Job job;
@@ -357,12 +425,14 @@ int Server::run_batch(std::istream& in, std::ostream& out) {
     job.sequence = slot;
     if (queue_.push(std::move(job)) != RequestQueue::Push::Ok) {
       record(Outcome::Rejected, -1.0);
-      respond(rejected_response(id, "shutting down"));
+      rejected_response_into(resp_buf, id, "shutting down");
+      respond(resp_buf);
     }
   }
 
   queue_.close();
   workers_.clear();  // joins: every admitted job has responded
+  absorb_arena(arena.stats());
 
   {
     std::lock_guard lock(stats_mutex_);
@@ -394,13 +464,24 @@ bool Server::start() {
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (opts_.reuse_port) {
+    // Shard mode: N sibling processes bind the same port and the kernel
+    // load-balances accepted connections across their listen queues.
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) <
+        0) {
+      std::perror("autolayout_serve: setsockopt(SO_REUSEPORT)");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
   addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(listen_fd_, 64) < 0) {
+      ::listen(listen_fd_, opts_.listen_backlog) < 0) {
     std::perror("autolayout_serve: bind/listen");
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -425,6 +506,10 @@ void Server::acceptor_loop() {
     if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    // Request/response lines are small and latency-bound; never let Nagle
+    // hold a response back waiting for an ACK.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     std::lock_guard lock(connections_mutex_);
     connections_.emplace_back([this, fd] { connection_loop(fd); });
   }
@@ -433,9 +518,15 @@ void Server::acceptor_loop() {
 }
 
 void Server::connection_loop(int fd) {
-  const auto conn = std::make_shared<Connection>(fd);
+  const auto conn = std::make_shared<Connection>(
+      fd, opts_.reorder_cap, [this] { note_reorder_overflow(); });
   support::Metrics& m = support::Metrics::instance();
+  // Request-scoped scratch for the parsed DOM, reset per line (see
+  // run_batch). One arena per reader thread; retired into the summary's
+  // arena block when the connection closes.
+  support::Arena arena;
   std::string buffer;
+  std::string resp_buf;
   char chunk[16 * 1024];
 
   while (!stop_requested()) {
@@ -454,6 +545,13 @@ void Server::connection_loop(int fd) {
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
          nl = buffer.find('\n', start)) {
+      // Reader-side backpressure: while this connection's reorder buffer is
+      // at capacity, admitting more work could only grow it further, so
+      // stop parsing until completions drain (or shutdown).
+      while (conn->held_count() >= opts_.reorder_cap && !stop_requested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (stop_requested()) break;
+
       std::string_view line(buffer.data() + start, nl - start);
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       start = nl + 1;
@@ -468,36 +566,40 @@ void Server::connection_loop(int fd) {
       // response path below must answer under this sequence number so the
       // pipelined client can match responses to requests by position.
       const std::uint64_t seq = conn->next_parse++;
-      ParsedRequest parsed = parse_request(line, opts_.max_request_bytes);
+      arena.reset();
+      ParsedRequest parsed =
+          parse_request(line, opts_.max_request_bytes, &arena);
       if (!parsed.ok) {
         record(Outcome::Error, -1.0);
-        conn->write_ordered(seq, error_response("", "bad_request", parsed.error));
+        error_response_into(resp_buf, "", "bad_request", parsed.error);
+        conn->write_ordered(seq, resp_buf, "");
         continue;
       }
       // Cache short-circuit BEFORE admission: a resident repeat is answered
       // from this reader thread -- no queue slot, no worker, no competition
       // with computing requests.
-      std::string cached_line;
-      if (try_serve_from_cache(parsed.request, cached_line)) {
-        conn->write_ordered(seq, cached_line);
+      if (try_serve_from_cache(parsed.request, resp_buf)) {
+        conn->write_ordered(seq, resp_buf, parsed.request.id);
         continue;
       }
       Job job;
       const std::string id = parsed.request.id;
       job.request = std::move(parsed.request);
-      job.respond = [conn, seq](const std::string& r) {
-        conn->write_ordered(seq, r);
+      job.respond = [conn, seq, id](const std::string& r) {
+        conn->write_ordered(seq, r, id);
       };
       switch (queue_.try_push(std::move(job))) {
         case RequestQueue::Push::Ok: break;
         case RequestQueue::Push::Full:
           record(Outcome::Rejected, -1.0);
           m.counter("service.queue_full").add();
-          conn->write_ordered(seq, rejected_response(id, "queue full"));
+          rejected_response_into(resp_buf, id, "queue full");
+          conn->write_ordered(seq, resp_buf, id);
           break;
         case RequestQueue::Push::Closed:
           record(Outcome::Rejected, -1.0);
-          conn->write_ordered(seq, rejected_response(id, "shutting down"));
+          rejected_response_into(resp_buf, id, "shutting down");
+          conn->write_ordered(seq, resp_buf, id);
           break;
       }
     }
@@ -507,15 +609,15 @@ void Server::connection_loop(int fd) {
       // An unframed line this large can only be abuse or a broken client;
       // the framing is unrecoverable, so answer once and hang up.
       record(Outcome::Error, -1.0);
-      conn->write_ordered(
-          conn->next_parse++,
-          error_response("", "bad_request",
-                         "request line exceeds " +
-                             std::to_string(opts_.max_request_bytes) +
-                             " bytes"));
+      std::string msg = "request line exceeds ";
+      msg += std::to_string(opts_.max_request_bytes);
+      msg += " bytes";
+      error_response_into(resp_buf, "", "bad_request", msg);
+      conn->write_ordered(conn->next_parse++, resp_buf, "");
       break;
     }
   }
+  absorb_arena(arena.stats());
 }
 
 void Server::wait() {
@@ -552,9 +654,40 @@ void Server::wait() {
   publish_metrics();
 }
 
+void Server::absorb_arena(const support::ArenaStats& a) {
+  std::lock_guard lock(stats_mutex_);
+  stats_.arena_resets += a.resets;
+  stats_.arena_allocs += a.alloc_calls;
+  stats_.arena_block_allocs += a.block_allocs;
+  stats_.arena_reserved_bytes += a.bytes_reserved;
+  stats_.arena_high_water = std::max(stats_.arena_high_water, a.high_water);
+}
+
+void Server::note_reorder_overflow() {
+  support::Metrics::instance().counter("service.reorder_overflows").add();
+  std::lock_guard lock(stats_mutex_);
+  ++stats_.reorder_overflows;
+}
+
+void Server::export_histograms(support::LatencyHistogram& all,
+                               support::LatencyHistogram& hit,
+                               support::LatencyHistogram& miss) const {
+  std::lock_guard lock(stats_mutex_);
+  for (const double ms : latencies_ms_) all.add(ms);
+  for (const double ms : hit_latencies_ms_) hit.add(ms);
+  for (const double ms : miss_latencies_ms_) miss.add(ms);
+}
+
 ServiceSummary Server::summary() const {
   std::lock_guard lock(stats_mutex_);
   ServiceSummary s = stats_;
+  if (cache_ != nullptr && cache_->shared_cache() != nullptr) {
+    const perf::RunCacheStats cs = cache_->stats();
+    s.shard_cache_hits = cs.shared_hits;
+    s.shard_cache_misses = cs.shared_misses;
+    s.shard_cache_fills = cs.shared_fills;
+    s.shard_cache_rejects = cs.shared_rejects;
+  }
   std::vector<double> sorted = latencies_ms_;
   std::sort(sorted.begin(), sorted.end());
   s.p50_ms = percentile(sorted, 50.0);
@@ -582,6 +715,13 @@ void Server::publish_metrics() const {
   m.set_gauge("service.latency_p99_ms", s.p99_ms);
   m.set_gauge("service.latency_max_ms", s.max_ms);
   m.set_gauge("service.wall_ms", s.wall_ms);
+  m.set_gauge("service.arena_resets", static_cast<double>(s.arena_resets));
+  m.set_gauge("service.arena_block_allocs",
+              static_cast<double>(s.arena_block_allocs));
+  m.set_gauge("service.arena_reserved_bytes",
+              static_cast<double>(s.arena_reserved_bytes));
+  m.set_gauge("service.arena_high_water_bytes",
+              static_cast<double>(s.arena_high_water));
   // service.cache_hits/misses counters are incremented per response in
   // record(); this adds the occupancy/eviction/lookup gauges.
   if (cache_ != nullptr) cache_->publish_metrics(m);

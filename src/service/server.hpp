@@ -47,6 +47,12 @@
 
 #include "perf/run_cache.hpp"
 #include "service/queue.hpp"
+#include "support/arena.hpp"
+#include "support/histogram.hpp"
+
+namespace al::perf {
+class ShmRunCache;
+}
 
 namespace al::service {
 
@@ -60,6 +66,18 @@ struct ServerOptions {
   std::size_t max_request_bytes = kMaxRequestBytes;
   bool run_cache = true;           ///< whole-run result cache (--no-run-cache)
   perf::RunCacheConfig cache;      ///< entry/byte caps + shard count
+  int listen_backlog = 64;         ///< --listen-backlog (daemon accept queue)
+  /// Per-connection bound on out-of-order responses parked by
+  /// write_ordered. The reader stops parsing while the buffer is full
+  /// (backpressure); a completion that still overflows is answered with a
+  /// structured rejection instead of the payload.
+  std::size_t reorder_cap = 256;
+  /// Bind with SO_REUSEPORT so N sibling shard processes can share one
+  /// port (the kernel load-balances connections). Set by ShardSupervisor.
+  bool reuse_port = false;
+  /// Cross-shard L2 cache segment, owned by the supervisor and inherited
+  /// across fork; null = process-local caching only.
+  perf::ShmRunCache* shared_cache = nullptr;
 };
 
 /// End-of-life report of one Server. Latency quantiles cover EXECUTED
@@ -87,9 +105,31 @@ struct ServiceSummary {
   double miss_p99_ms = 0.0;
   double wall_ms = 0.0;
   int workers = 0;
+  /// v2: run-cache deployment -- "off" (no cache), "local" (in-process
+  /// only), or "shared" (L1 + cross-shard shm segment).
+  std::string cache_mode = "off";
+  /// v2: completions whose payload was replaced by a structured rejection
+  /// because the connection's reorder buffer was full.
+  std::uint64_t reorder_overflows = 0;
+  /// v2: this process's traffic against the cross-shard segment (all zero
+  /// in "off"/"local" modes).
+  std::uint64_t shard_cache_hits = 0;
+  std::uint64_t shard_cache_misses = 0;
+  std::uint64_t shard_cache_fills = 0;
+  std::uint64_t shard_cache_rejects = 0;
+  /// v2: request-arena accounting, summed over every reader/batch arena
+  /// that retired (resets ~= lines parsed; reserved/high_water show the
+  /// pool doing its job -- flat after warm-up).
+  std::uint64_t arena_resets = 0;
+  std::uint64_t arena_allocs = 0;
+  std::uint64_t arena_block_allocs = 0;
+  std::uint64_t arena_reserved_bytes = 0;
+  std::uint64_t arena_high_water = 0;
 
-  /// Pretty JSON document (schema "autolayout.service_summary" v1).
-  [[nodiscard]] std::string json() const;
+  /// JSON document (schema "autolayout.service_summary" v2). Pretty by
+  /// default; a negative indent gives the compact one-line form the shard
+  /// children ship to the supervisor.
+  [[nodiscard]] std::string json(int indent_width = 2) const;
 };
 
 class Server {
@@ -130,6 +170,13 @@ public:
   /// Valid after run_batch / wait() returned.
   [[nodiscard]] ServiceSummary summary() const;
 
+  /// Mergeable latency histograms over the same samples the exact
+  /// quantiles cover -- what a shard child ships to the supervisor so the
+  /// fleet report can quote approximate fleet-wide percentiles.
+  void export_histograms(support::LatencyHistogram& all,
+                         support::LatencyHistogram& hit,
+                         support::LatencyHistogram& miss) const;
+
   /// The run cache (null when the server was built with run_cache=false).
   /// Exposed for tests and for the serve CLI's shutdown report.
   [[nodiscard]] perf::RunCache* run_cache() { return cache_.get(); }
@@ -143,9 +190,10 @@ private:
   void worker_loop();
   void acceptor_loop();
   void connection_loop(int fd);
-  /// Runs one admitted request end to end and returns its response line.
-  [[nodiscard]] std::string execute(Job& job);
-  void handle_popped(Job& job);
+  /// Runs one admitted request end to end, building its response line into
+  /// the caller's reusable buffer.
+  void execute(Job& job, std::string& out);
+  void handle_popped(Job& job, std::string& response_buf);
   /// Admission-time cache probe: when `req` is eligible (inline source, no
   /// think-time, cache on) and its key is resident, fills `response` with
   /// the complete ok line and returns true -- the request never queues.
@@ -153,6 +201,9 @@ private:
                                           std::string& response);
   void record(Outcome outcome, double latency_ms,
               CacheSide side = CacheSide::None);
+  /// Folds a retiring reader/batch arena into the summary's arena block.
+  void absorb_arena(const support::ArenaStats& a);
+  void note_reorder_overflow();
   void publish_metrics() const;
 
   ServerOptions opts_;

@@ -1,0 +1,463 @@
+#include "service/shard.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+
+namespace al::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The child's Server, reachable from the signal handler (one shard child
+/// is one process, so a single static is exact).
+Server* g_shard_server = nullptr;
+
+void shard_child_signal(int) {
+  if (g_shard_server != nullptr) g_shard_server->request_stop();
+}
+
+void write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // supervisor gone; the summary is best-effort
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void emit_hist(support::JsonWriter& w, const char* name,
+               const support::LatencyHistogram& h) {
+  w.key(name).begin_object();
+  w.kv("sum_ms", h.sum_ms());
+  w.kv("max_ms", h.max_ms());
+  w.key("buckets").begin_array();
+  h.for_each_bucket([&](int bucket, std::uint64_t count) {
+    w.begin_array();
+    w.value(bucket);
+    w.value(count);
+    w.end_array();
+  });
+  w.end_array();
+  w.end_object();
+}
+
+/// Unsigned counter out of a parsed child summary; 0 for anything absent
+/// or oddly typed (a crashed child's partial line must not wedge the
+/// supervisor).
+std::uint64_t num_field(const support::JsonValue* obj, std::string_view key) {
+  if (obj == nullptr || !obj->is_object()) return 0;
+  const support::JsonValue* v = obj->find(key);
+  if (v == nullptr || !v->is_number()) return 0;
+  return static_cast<std::uint64_t>(v->as_double());
+}
+
+double dbl_field(const support::JsonValue* obj, std::string_view key) {
+  if (obj == nullptr || !obj->is_object()) return 0.0;
+  const support::JsonValue* v = obj->find(key);
+  if (v == nullptr || !v->is_number()) return 0.0;
+  return v->as_double();
+}
+
+void inject_hist(const support::JsonValue* obj, support::LatencyHistogram& h) {
+  if (obj == nullptr || !obj->is_object()) return;
+  const support::JsonValue* buckets = obj->find("buckets");
+  if (buckets != nullptr && buckets->is_array()) {
+    for (const support::JsonValue& pair : buckets->items()) {
+      if (!pair.is_array() || pair.items().size() != 2) continue;
+      const support::JsonValue& b = pair.items()[0];
+      const support::JsonValue& c = pair.items()[1];
+      if (!b.is_number() || !c.is_number()) continue;
+      h.inject(static_cast<int>(b.as_double()),
+               static_cast<std::uint64_t>(c.as_double()));
+    }
+  }
+  h.inject_extremes(dbl_field(obj, "sum_ms"), dbl_field(obj, "max_ms"));
+}
+
+} // namespace
+
+ShardSupervisor::ShardSupervisor(const ShardOptions& opts) : opts_(opts) {
+  if (opts_.shards < 1) opts_.shards = 1;
+  if (opts_.max_restarts_per_shard < 0) opts_.max_restarts_per_shard = 0;
+}
+
+ShardSupervisor::~ShardSupervisor() {
+  for (Slot& slot : slots_) {
+    if (slot.running && slot.pid > 0) ::kill(slot.pid, SIGKILL);
+    if (slot.running && slot.pid > 0) ::waitpid(slot.pid, nullptr, 0);
+    if (slot.pipe_fd >= 0) ::close(slot.pipe_fd);
+  }
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
+}
+
+void ShardSupervisor::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+bool ShardSupervisor::start() {
+  started_at_ = Clock::now();
+
+  // Reserve the port: bind with SO_REUSEPORT, never listen. The socket
+  // stays open for the supervisor's lifetime, so an ephemeral port chosen
+  // here survives every child restart.
+  reserve_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (reserve_fd_ < 0) {
+    std::perror("autolayout_serve: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(reserve_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::setsockopt(reserve_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) <
+      0) {
+    std::perror("autolayout_serve: setsockopt(SO_REUSEPORT)");
+    ::close(reserve_fd_);
+    reserve_fd_ = -1;
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.server.port));
+  if (::bind(reserve_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    std::perror("autolayout_serve: bind");
+    ::close(reserve_fd_);
+    reserve_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(reserve_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+
+  // The segment must exist BEFORE the first fork: children inherit the
+  // MAP_SHARED mapping, which is the whole attachment protocol.
+  if (opts_.shared_cache && opts_.server.run_cache) {
+    shm_cache_ = perf::ShmRunCache::create(opts_.shm);
+    if (shm_cache_ == nullptr)
+      std::fprintf(stderr,
+                   "autolayout_serve: shm segment unavailable; shards fall "
+                   "back to process-local caches\n");
+  }
+  cache_mode_ = !opts_.server.run_cache ? "off"
+                : shm_cache_ != nullptr ? "shared"
+                                        : "local";
+
+  slots_.assign(static_cast<std::size_t>(opts_.shards), Slot{});
+  for (int i = 0; i < opts_.shards; ++i) {
+    if (!spawn(i)) {
+      std::fprintf(stderr, "autolayout_serve: failed to fork shard %d\n", i);
+      request_stop();
+      for (Slot& slot : slots_)
+        if (slot.running) ::kill(slot.pid, SIGTERM);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ShardSupervisor::spawn(int index) {
+  int fds[2];
+  if (::pipe(fds) < 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: drop every supervisor-side fd it does not need. The reserve
+    // socket must NOT be held here -- the child binds its own listener.
+    ::close(fds[0]);
+    for (const Slot& slot : slots_)
+      if (slot.pipe_fd >= 0) ::close(slot.pipe_fd);
+    ::close(reserve_fd_);
+    run_child(index, fds[1]);  // _exit()s
+  }
+  ::close(fds[1]);
+  Slot& slot = slots_[static_cast<std::size_t>(index)];
+  slot.pid = pid;
+  slot.pipe_fd = fds[0];
+  slot.running = true;
+  return true;
+}
+
+void ShardSupervisor::run_child(int index, int pipe_fd) {
+  ServerOptions so = opts_.server;
+  so.port = port_;
+  so.reuse_port = true;
+  so.shared_cache = shm_cache_.get();
+
+  Server server(so);
+  g_shard_server = &server;
+  std::signal(SIGTERM, shard_child_signal);
+  std::signal(SIGINT, shard_child_signal);
+  // The end-of-life summary write must not kill the child if the
+  // supervisor is already gone; write_all handles EPIPE as best-effort.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!server.start()) {
+    std::fprintf(stderr, "autolayout_serve: shard %d failed to bind :%d\n",
+                 index, port_);
+    ::_exit(3);
+  }
+  server.wait();
+
+  // Two NDJSON lines up the pipe: the compact summary (spliced verbatim
+  // into the fleet report) and the mergeable histograms. Both fit well
+  // under the 64 KiB pipe buffer, so the writes cannot block against a
+  // supervisor that only reads after reaping us.
+  std::string out = server.summary().json(-1);
+  {
+    support::JsonWriter w(out, -1);
+    w.begin_object();
+    w.kv("shard", index);
+    support::LatencyHistogram all, hit, miss;
+    server.export_histograms(all, hit, miss);
+    emit_hist(w, "all", all);
+    emit_hist(w, "hit", hit);
+    emit_hist(w, "miss", miss);
+    w.end_object();
+  }
+  write_all(pipe_fd, out);
+  ::close(pipe_fd);
+  ::_exit(0);
+}
+
+void ShardSupervisor::collect(int index) {
+  Slot& slot = slots_[static_cast<std::size_t>(index)];
+  if (slot.pipe_fd < 0) return;
+  std::string raw;
+  char chunk[8192];
+  for (;;) {
+    const ssize_t n = ::read(slot.pipe_fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF: the child is reaped, its write end is closed
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(slot.pipe_fd);
+  slot.pipe_fd = -1;
+  if (raw.empty()) return;  // crashed child: nothing to fold in
+
+  const std::size_t nl = raw.find('\n');
+  const std::string summary_line = raw.substr(0, nl);
+  std::string hist_line;
+  if (nl != std::string::npos) {
+    hist_line = raw.substr(nl + 1);
+    if (!hist_line.empty() && hist_line.back() == '\n') hist_line.pop_back();
+  }
+
+  support::JsonValue doc;
+  std::string error;
+  if (!support::JsonValue::parse(summary_line, doc, error)) return;
+  per_shard_.emplace_back(index, summary_line);
+
+  const support::JsonValue* requests = doc.find("requests");
+  totals_.received += num_field(requests, "received");
+  totals_.ok += num_field(requests, "ok");
+  totals_.infeasible += num_field(requests, "infeasible");
+  totals_.rejected += num_field(requests, "rejected");
+  totals_.errors += num_field(requests, "errors");
+  totals_.reorder_overflows += num_field(requests, "reorder_overflows");
+  const support::JsonValue* cache = doc.find("cache");
+  totals_.cache_hits += num_field(cache, "hits");
+  totals_.cache_misses += num_field(cache, "misses");
+  const support::JsonValue* shard_cache = doc.find("shard_cache");
+  totals_.shard_hits += num_field(shard_cache, "hits");
+  totals_.shard_misses += num_field(shard_cache, "misses");
+  totals_.shard_fills += num_field(shard_cache, "fills");
+  totals_.shard_rejects += num_field(shard_cache, "rejects");
+  const support::JsonValue* arena = doc.find("arena");
+  totals_.arena_resets += num_field(arena, "resets");
+  totals_.arena_block_allocs += num_field(arena, "block_allocs");
+
+  if (!hist_line.empty()) {
+    support::JsonValue hists;
+    if (support::JsonValue::parse(hist_line, hists, error)) {
+      inject_hist(hists.find("all"), hist_all_);
+      inject_hist(hists.find("hit"), hist_hit_);
+      inject_hist(hists.find("miss"), hist_miss_);
+    }
+  }
+}
+
+void ShardSupervisor::reap_and_restart(bool restart_allowed) {
+  for (int i = 0; i < opts_.shards; ++i) {
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    if (!slot.running) continue;
+    int status = 0;
+    const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+    if (r != slot.pid) continue;
+    slot.running = false;
+    collect(i);
+    if (restart_allowed && !stop_.load(std::memory_order_relaxed)) {
+      if (slot.restarts < opts_.max_restarts_per_shard) {
+        ++slot.restarts;
+        restarts_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "autolayout_serve: shard %d exited unexpectedly "
+                     "(status 0x%x); restart %d/%d\n",
+                     i, static_cast<unsigned>(status), slot.restarts,
+                     opts_.max_restarts_per_shard);
+        if (!spawn(i))
+          std::fprintf(stderr, "autolayout_serve: restart of shard %d failed\n",
+                       i);
+      } else {
+        std::fprintf(stderr,
+                     "autolayout_serve: shard %d exceeded its restart budget; "
+                     "leaving it down\n",
+                     i);
+      }
+    }
+  }
+}
+
+int ShardSupervisor::run() {
+  int rc = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    reap_and_restart(/*restart_allowed=*/true);
+    bool any_running = false;
+    for (const Slot& slot : slots_) any_running |= slot.running;
+    if (!any_running) {
+      std::fprintf(stderr, "autolayout_serve: entire fleet is down; exiting\n");
+      rc = 1;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful stop: fan SIGTERM out; every child drains under its own
+  // --grace-ms. Allow that plus a margin, then escalate to SIGKILL.
+  for (Slot& slot : slots_)
+    if (slot.running) ::kill(slot.pid, SIGTERM);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(opts_.server.grace_ms + 10'000);
+  for (;;) {
+    reap_and_restart(/*restart_allowed=*/false);
+    bool any_running = false;
+    for (const Slot& slot : slots_) any_running |= slot.running;
+    if (!any_running) break;
+    if (Clock::now() >= deadline) {
+      for (Slot& slot : slots_) {
+        if (!slot.running) continue;
+        ::kill(slot.pid, SIGKILL);
+        ::waitpid(slot.pid, nullptr, 0);
+        slot.running = false;
+        collect(static_cast<int>(&slot - slots_.data()));
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  wall_ms_ = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                       started_at_)
+                 .count();
+  return rc;
+}
+
+std::string ShardSupervisor::fleet_summary_json(int indent_width) const {
+  std::string out;
+  support::JsonWriter w(out, indent_width);
+  w.begin_object();
+  w.kv("schema", "autolayout.fleet_summary");
+  w.kv("schema_version", 1);
+  w.kv("shards", opts_.shards);
+  w.kv("restarts", restarts());
+  w.kv("port", port_);
+  w.kv("cache_mode", cache_mode_);
+  w.key("requests").begin_object();
+  w.kv("received", totals_.received);
+  w.kv("ok", totals_.ok);
+  w.kv("infeasible", totals_.infeasible);
+  w.kv("rejected", totals_.rejected);
+  w.kv("errors", totals_.errors);
+  w.kv("reorder_overflows", totals_.reorder_overflows);
+  w.end_object();
+  w.key("cache").begin_object();
+  w.kv("hits", totals_.cache_hits);
+  w.kv("misses", totals_.cache_misses);
+  const std::uint64_t consulted = totals_.cache_hits + totals_.cache_misses;
+  w.kv("hit_rate", consulted == 0 ? 0.0
+                                  : static_cast<double>(totals_.cache_hits) /
+                                        static_cast<double>(consulted));
+  w.end_object();
+  if (cache_mode_ == "shared") {
+    w.key("shard_cache").begin_object();
+    // Summed per-process traffic (what the shards saw) ...
+    w.kv("hits", totals_.shard_hits);
+    w.kv("misses", totals_.shard_misses);
+    w.kv("fills", totals_.shard_fills);
+    w.kv("rejects", totals_.shard_rejects);
+    const std::uint64_t probes = totals_.shard_hits + totals_.shard_misses;
+    w.kv("hit_rate", probes == 0 ? 0.0
+                                 : static_cast<double>(totals_.shard_hits) /
+                                       static_cast<double>(probes));
+    // ... plus the segment's own fleet-global view.
+    if (shm_cache_ != nullptr) {
+      const perf::ShmCacheStats s = shm_cache_->stats();
+      w.key("segment").begin_object();
+      w.kv("entries", s.entries);
+      w.kv("fills", s.fills);
+      w.kv("replacements", s.replacements);
+      w.kv("rejected_large", s.rejected_large);
+      w.kv("lock_busy", s.lock_busy);
+      w.kv("slots", shm_cache_->config().slots);
+      w.kv("cell_bytes", shm_cache_->config().cell_bytes);
+      w.kv("segment_bytes", shm_cache_->segment_bytes());
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.key("arena").begin_object();
+  w.kv("resets", totals_.arena_resets);
+  w.kv("block_allocs", totals_.arena_block_allocs);
+  w.end_object();
+  // Merged-histogram fleet percentiles (+-4.5% by construction; each
+  // shard's exact quantiles are in per_shard below).
+  w.key("latency_ms").begin_object();
+  w.kv("p50", hist_all_.percentile(50.0));
+  w.kv("p95", hist_all_.percentile(95.0));
+  w.kv("p99", hist_all_.percentile(99.0));
+  w.kv("max", hist_all_.max_ms());
+  w.kv("source", "merged_histogram");
+  w.end_object();
+  w.key("hit_latency_ms").begin_object();
+  w.kv("p50", hist_hit_.percentile(50.0));
+  w.kv("p95", hist_hit_.percentile(95.0));
+  w.kv("p99", hist_hit_.percentile(99.0));
+  w.end_object();
+  w.key("miss_latency_ms").begin_object();
+  w.kv("p50", hist_miss_.percentile(50.0));
+  w.kv("p95", hist_miss_.percentile(95.0));
+  w.kv("p99", hist_miss_.percentile(99.0));
+  w.end_object();
+  w.kv("wall_ms", wall_ms_);
+  const double executed = static_cast<double>(totals_.ok + totals_.infeasible +
+                                              totals_.errors);
+  w.kv("throughput_rps", wall_ms_ > 0.0 ? executed / (wall_ms_ / 1e3) : 0.0);
+  w.key("per_shard").begin_array();
+  for (const auto& [index, summary] : per_shard_) {
+    w.begin_object();
+    w.kv("shard", index);
+    w.key("summary").raw_value(summary);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out;
+}
+
+} // namespace al::service

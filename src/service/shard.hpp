@@ -1,0 +1,154 @@
+// Multi-process sharded daemon (DESIGN.md section 17). One ShardSupervisor
+// turns the single-process Server into a fleet: it reserves a TCP port,
+// creates the cross-shard run-cache segment, forks N shard children that
+// each bind the SAME port with SO_REUSEPORT (the kernel load-balances
+// accepted connections across their listen queues), and supervises them --
+// SIGTERM fan-out on shutdown, bounded restart of crashed shards, and
+// aggregation of every child's end-of-life ServiceSummary into one fleet
+// report.
+//
+// Why processes, not more threads: a shard is a whole Server (readers +
+// workers + L1 cache) in its own address space, so a crash in one request
+// pipeline takes down 1/N of capacity instead of the daemon, and the
+// supervisor restarts exactly that shard. What must be fleet-wide crosses
+// process boundaries explicitly: the run cache through a shared-memory
+// segment (perf/ShmRunCache, created BEFORE the forks so every child
+// inherits the mapping), and the shutdown report through one pipe per child
+// (the child writes its compact summary plus its latency histograms as two
+// NDJSON lines right before _exit).
+//
+// Port reservation: the supervisor binds the port with SO_REUSEPORT but
+// NEVER listens on it, and keeps that socket open for its whole life. A
+// bound-but-not-listening socket takes no connections (only listeners join
+// the kernel's balancing group) yet keeps the port owned by this uid, so an
+// ephemeral port chosen at startup stays reusable by every restarted child.
+//
+// Fleet percentiles: exact per-shard quantiles cannot be combined, so each
+// child ships its log-bucketed LatencyHistogram (support/histogram.hpp) and
+// the supervisor merges buckets; the fleet report quotes the merged curve
+// (error bounded at +-4.5%) next to the exact per-shard numbers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "perf/shm_cache.hpp"
+#include "service/server.hpp"
+#include "support/histogram.hpp"
+
+namespace al::service {
+
+struct ShardOptions {
+  int shards = 2;                 ///< fleet size (clamped to >= 1)
+  /// Per-shard crash-restart budget; a shard that keeps dying stays dead
+  /// once exhausted (the rest of the fleet keeps serving).
+  int max_restarts_per_shard = 3;
+  /// Template for every shard's Server. port/grace_ms/workers/queue/cache
+  /// flags all apply per shard; reuse_port and shared_cache are overwritten
+  /// by the supervisor.
+  ServerOptions server;
+  /// Lift the run cache onto a cross-shard shm segment (when server.run_cache
+  /// is on). Falls back to per-process caches if the mapping fails.
+  bool shared_cache = true;
+  perf::ShmCacheConfig shm;       ///< segment geometry
+};
+
+class ShardSupervisor {
+public:
+  explicit ShardSupervisor(const ShardOptions& opts);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Reserves the port, creates the shm segment, forks the fleet. False
+  /// (with a message on stderr) when the socket or the first fork fails.
+  bool start();
+
+  /// The bound port (valid after start(); resolves opts.server.port == 0).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Only an atomic store -- async-signal-safe, callable more than once.
+  void request_stop();
+
+  /// Supervises until request_stop(): reaps crashed shards, restarts them
+  /// within budget, then fans SIGTERM out and collects every child's
+  /// summary. Returns 0 on a clean stop, 1 when the whole fleet died with
+  /// the restart budget exhausted.
+  int run();
+
+  /// Fleet report ("autolayout.fleet_summary" v1): summed request counts,
+  /// merged-histogram fleet percentiles, segment-global shard-cache stats,
+  /// and the per-shard summaries spliced in verbatim. Valid after run().
+  [[nodiscard]] std::string fleet_summary_json(int indent_width = 2) const;
+
+  /// Crash restarts performed across the fleet (valid during/after run()).
+  [[nodiscard]] int restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+
+  /// Live shard pids (tests use this to crash a specific shard). Entries
+  /// for shards currently down are -1. Racy against concurrent restarts by
+  /// construction; callers sequence their own kills.
+  [[nodiscard]] std::vector<pid_t> shard_pids() const {
+    std::vector<pid_t> pids;
+    pids.reserve(slots_.size());
+    for (const Slot& slot : slots_) pids.push_back(slot.running ? slot.pid : -1);
+    return pids;
+  }
+
+  /// The cross-shard segment ("shared" mode), null in local/off modes.
+  [[nodiscard]] perf::ShmRunCache* shared_cache() { return shm_cache_.get(); }
+
+private:
+  struct Slot {
+    pid_t pid = -1;
+    int pipe_fd = -1;   ///< read end of the child's summary pipe
+    int restarts = 0;
+    bool running = false;
+  };
+
+  /// Summed over every collected child summary.
+  struct Totals {
+    std::uint64_t received = 0, ok = 0, infeasible = 0, rejected = 0,
+                  errors = 0, reorder_overflows = 0;
+    std::uint64_t cache_hits = 0, cache_misses = 0;
+    std::uint64_t shard_hits = 0, shard_misses = 0, shard_fills = 0,
+                  shard_rejects = 0;
+    std::uint64_t arena_resets = 0, arena_block_allocs = 0;
+  };
+
+  bool spawn(int index);
+  /// Child body: runs one shard Server to completion, writes the summary
+  /// and histogram lines to `pipe_fd`, then _exit()s. Never returns.
+  [[noreturn]] void run_child(int index, int pipe_fd);
+  /// Drains the exited child's pipe: splices its summary into the per-shard
+  /// list, adds its counts to the totals, merges its histograms.
+  void collect(int index);
+  void reap_and_restart(bool restart_allowed);
+
+  ShardOptions opts_;
+  int reserve_fd_ = -1;  ///< bound, never listening; owns the port
+  int port_ = 0;
+  std::unique_ptr<perf::ShmRunCache> shm_cache_;
+  std::string cache_mode_ = "off";
+  std::vector<Slot> slots_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> restarts_{0};
+  std::chrono::steady_clock::time_point started_at_{};
+  double wall_ms_ = 0.0;
+
+  Totals totals_;
+  support::LatencyHistogram hist_all_, hist_hit_, hist_miss_;
+  /// One compact summary JSON per collected child, in collection order,
+  /// annotated with its shard index (a restarted shard contributes one
+  /// entry per generation that survived to write one).
+  std::vector<std::pair<int, std::string>> per_shard_;
+};
+
+} // namespace al::service

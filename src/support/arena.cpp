@@ -1,0 +1,75 @@
+#include "support/arena.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "support/contracts.hpp"
+
+namespace al::support {
+
+Arena::~Arena() {
+  for (Block& b : blocks_) ::operator delete(b.data);
+}
+
+void Arena::reset() {
+  ++stats_.resets;
+  if (stats_.bytes_in_use > stats_.high_water)
+    stats_.high_water = stats_.bytes_in_use;
+  stats_.bytes_in_use = 0;
+  current_ = 0;
+  if (blocks_.empty()) {
+    ptr_ = end_ = nullptr;
+  } else {
+    ptr_ = blocks_.front().data;
+    end_ = ptr_ + blocks_.front().capacity;
+  }
+}
+
+void* Arena::do_allocate(std::size_t bytes, std::size_t alignment) {
+  AL_EXPECTS(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  ++stats_.alloc_calls;
+  if (bytes == 0) bytes = 1;
+
+  // Bump within the current block, then walk forward through retained
+  // blocks (post-reset reuse), then carve a new one.
+  for (;;) {
+    char* aligned = reinterpret_cast<char*>(
+        (reinterpret_cast<std::uintptr_t>(ptr_) + (alignment - 1)) &
+        ~static_cast<std::uintptr_t>(alignment - 1));
+    if (aligned != nullptr && aligned + bytes <= end_) {
+      ptr_ = aligned + bytes;
+      // Bump offset of the current block plus every earlier (full) block;
+      // alignment slop counts as use.
+      stats_.bytes_in_use =
+          static_cast<std::size_t>(ptr_ - blocks_[current_].data);
+      for (std::size_t i = 0; i < current_; ++i)
+        stats_.bytes_in_use += blocks_[i].capacity;
+      return aligned;
+    }
+    if (current_ + 1 < blocks_.size()) {
+      ++current_;
+      ptr_ = blocks_[current_].data;
+      end_ = ptr_ + blocks_[current_].capacity;
+      continue;
+    }
+    // Need a fresh block. Oversized requests get an exact block so one huge
+    // request does not poison the growth schedule.
+    std::size_t want = next_block_bytes_;
+    if (bytes + alignment > want) {
+      want = bytes + alignment;
+    } else if (next_block_bytes_ < kMaxBlockBytes) {
+      next_block_bytes_ *= 2;
+    }
+    Block b;
+    b.data = static_cast<char*>(::operator new(want));
+    b.capacity = want;
+    blocks_.push_back(b);
+    ++stats_.block_allocs;
+    stats_.bytes_reserved += want;
+    current_ = blocks_.size() - 1;
+    ptr_ = b.data;
+    end_ = b.data + b.capacity;
+  }
+}
+
+} // namespace al::support

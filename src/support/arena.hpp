@@ -1,0 +1,84 @@
+// A chunked bump allocator behind the std::pmr::memory_resource interface --
+// the request-scoped allocation pool of the serving hot path (DESIGN.md
+// section 17). The daemon gives every connection (and every batch reader /
+// worker) one Arena; request decode parses its JSON DOM and builds the
+// response line out of arena memory, and reset() recycles the whole epoch in
+// O(1) before the next request. Steady state allocates nothing: blocks are
+// retained across resets, so after warm-up the parser bumps a pointer where
+// it used to hit the global allocator once per JSON node.
+//
+// Lifetime rule (enforced by convention, documented in DESIGN.md): anything
+// that outlives the request -- Request fields handed to the queue, response
+// bytes handed to write_ordered -- must be COPIED OUT of the arena before
+// reset(). The parsed JsonValue DOM and the protocol layer's intermediate
+// strings are the only arena residents, and both die at reset().
+//
+// deallocate() is a no-op by design: pmr containers call it on destruction,
+// but memory only returns on reset()/destruction. is_equal is identity, so
+// pmr containers never try to splice buffers across two different arenas.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory_resource>
+#include <vector>
+
+namespace al::support {
+
+struct ArenaStats {
+  std::uint64_t alloc_calls = 0;    ///< do_allocate invocations, lifetime
+  std::uint64_t resets = 0;         ///< reset() invocations, lifetime
+  std::uint64_t block_allocs = 0;   ///< times a fresh block was carved from the heap
+  std::size_t bytes_reserved = 0;   ///< total capacity held across all blocks
+  std::size_t bytes_in_use = 0;     ///< bytes bumped since the last reset
+  std::size_t high_water = 0;       ///< max bytes_in_use over any epoch
+};
+
+class Arena final : public std::pmr::memory_resource {
+public:
+  /// First block size; later blocks double (capped) so a handful of
+  /// oversized requests do not leave permanent pathological reservations.
+  explicit Arena(std::size_t initial_block_bytes = 16 * 1024)
+      : next_block_bytes_(initial_block_bytes ? initial_block_bytes : 64) {}
+
+  ~Arena() override;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Recycles every allocation since the previous reset. Capacity is
+  /// retained, so the next epoch reuses the same blocks without touching
+  /// the heap.
+  void reset();
+
+  [[nodiscard]] const ArenaStats& stats() const { return stats_; }
+
+  /// Largest single allocation served from a shared growth block; bigger
+  /// requests get a dedicated exactly-sized block.
+  static constexpr std::size_t kMaxBlockBytes = 1u << 20;
+
+private:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override;
+  void do_deallocate(void* /*p*/, std::size_t /*bytes*/,
+                     std::size_t /*alignment*/) override {
+    // Bulk reclamation only: memory returns on reset() or destruction.
+  }
+  [[nodiscard]] bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+  struct Block {
+    char* data = nullptr;
+    std::size_t capacity = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;      ///< index of the block being bumped
+  char* ptr_ = nullptr;          ///< bump cursor inside blocks_[current_]
+  char* end_ = nullptr;
+  std::size_t next_block_bytes_; ///< size of the next growth block
+  ArenaStats stats_;
+};
+
+} // namespace al::support

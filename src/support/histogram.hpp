@@ -1,0 +1,110 @@
+// A log-bucketed latency histogram that MERGES -- the fleet-aggregation
+// counterpart of the service's exact per-shard percentiles (DESIGN.md
+// section 17). Exact quantiles of separate shards cannot be combined, so
+// each shard child ships its bucket counts to the supervisor, which merges
+// them and reads approximate fleet-wide percentiles off the merged curve.
+//
+// Bucketing: 8 buckets per octave (bucket boundaries grow by 2^(1/8), i.e.
+// ~9% apart), floor 1 microsecond, 160 buckets => covers 1us .. ~17min.
+// A percentile read returns the geometric midpoint of its bucket, so the
+// approximation error is bounded by +-4.5%; sum and max are tracked exactly.
+// Header-only, no locking: a histogram belongs to one thread (the server's
+// stats mutex or the supervisor's collector).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace al::support {
+
+class LatencyHistogram {
+public:
+  static constexpr int kBuckets = 160;
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr double kFloorMs = 1e-3;  // 1 microsecond
+
+  void add(double ms) {
+    ++counts_[bucket_of(ms)];
+    ++total_;
+    sum_ms_ += ms > 0 ? ms : 0.0;
+    if (ms > max_ms_) max_ms_ = ms;
+  }
+
+  void merge(const LatencyHistogram& o) {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    sum_ms_ += o.sum_ms_;
+    if (o.max_ms_ > max_ms_) max_ms_ = o.max_ms_;
+  }
+
+  /// Approximate p-th percentile (p in [0, 100]) in milliseconds, using the
+  /// same nearest-rank convention as the exact per-shard quantiles. Returns
+  /// 0 when empty; returns the exact max for ranks landing in the top
+  /// occupied bucket (the max is tracked exactly).
+  [[nodiscard]] double percentile(double p) const {
+    if (total_ == 0) return 0.0;
+    const double clamped = p < 0 ? 0 : (p > 100 ? 100 : p);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(clamped / 100.0 *
+                                   static_cast<double>(total_ - 1));
+    int top = kBuckets - 1;
+    while (top > 0 && counts_[top] == 0) --top;
+    std::uint64_t seen = 0;
+    for (int i = 0; i <= top; ++i) {
+      seen += counts_[i];
+      if (seen > rank) {
+        if (i == top) return max_ms_;  // top bucket: report the exact max
+        return representative_ms(i);
+      }
+    }
+    return max_ms_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double sum_ms() const { return sum_ms_; }
+  [[nodiscard]] double max_ms() const { return max_ms_; }
+  [[nodiscard]] double mean_ms() const {
+    return total_ == 0 ? 0.0 : sum_ms_ / static_cast<double>(total_);
+  }
+
+  /// Serialization hooks for the shard child -> supervisor pipe: walk the
+  /// occupied buckets out, inject them back on the other side.
+  template <class F>
+  void for_each_bucket(F&& f) const {
+    for (int i = 0; i < kBuckets; ++i)
+      if (counts_[i] != 0) f(i, counts_[i]);
+  }
+  void inject(int bucket, std::uint64_t count) {
+    if (bucket < 0 || bucket >= kBuckets || count == 0) return;
+    counts_[bucket] += count;
+    total_ += count;
+  }
+  void inject_extremes(double sum_ms, double max_ms) {
+    sum_ms_ += sum_ms;
+    if (max_ms > max_ms_) max_ms_ = max_ms;
+  }
+
+  [[nodiscard]] static int bucket_of(double ms) {
+    if (!(ms > kFloorMs)) return 0;
+    const int idx =
+        1 + static_cast<int>(std::floor(
+                std::log2(ms / kFloorMs) * kBucketsPerOctave));
+    return idx >= kBuckets ? kBuckets - 1 : idx;
+  }
+
+  /// Geometric midpoint of a bucket -- the value a percentile read reports.
+  [[nodiscard]] static double representative_ms(int bucket) {
+    if (bucket <= 0) return kFloorMs;
+    return kFloorMs *
+           std::exp2((static_cast<double>(bucket) - 0.5) / kBucketsPerOctave);
+  }
+
+private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  double sum_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
+} // namespace al::support

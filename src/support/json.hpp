@@ -19,6 +19,12 @@
 // inside the document, so a whole value fits on one line. This is the framing
 // the service's NDJSON protocol needs -- one request or response per line --
 // and the trailing newline at depth 0 doubles as the line terminator.
+//
+// Two sinks: an ostream (reports, traces, bench files) or a caller-owned
+// std::string (the serving hot path, DESIGN.md section 17). The string sink
+// APPENDS -- the daemon clears and reuses one buffer per connection/worker,
+// so response building stops allocating once the buffer has warmed up.
+// Escaping writes straight into the sink in both modes; no temporaries.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +41,12 @@ namespace al::support {
 class JsonWriter {
 public:
   explicit JsonWriter(std::ostream& os, int indent_width = 2)
-      : os_(os), indent_width_(indent_width) {}
+      : os_(&os), indent_width_(indent_width) {}
+
+  /// String-sink mode: appends to `sink` (callers clear() it first when
+  /// framing NDJSON lines). Defaults to compact -- this is the hot path.
+  explicit JsonWriter(std::string& sink, int indent_width = -1)
+      : str_(&sink), indent_width_(indent_width) {}
 
   JsonWriter& begin_object() { return open('{'); }
   JsonWriter& end_object() { return close('}'); }
@@ -45,12 +56,20 @@ public:
   /// Object member name; must be followed by a value / begin_*.
   JsonWriter& key(std::string_view name) {
     separate(/*is_key=*/true);
-    os_ << '"' << escape(name) << "\": ";
+    put('"');
+    put_escaped(name);
+    put("\": ");
     pending_value_ = true;
     return *this;
   }
 
-  JsonWriter& value(std::string_view s) { return raw('"' + escape(s) + '"'); }
+  JsonWriter& value(std::string_view s) {
+    separate(/*is_key=*/false);
+    put('"');
+    put_escaped(s);
+    put('"');
+    return *this;
+  }
   JsonWriter& value(const char* s) { return value(std::string_view(s)); }
   JsonWriter& value(const std::string& s) { return value(std::string_view(s)); }
   JsonWriter& value(bool b) { return raw(b ? "true" : "false"); }
@@ -59,7 +78,14 @@ public:
   template <class T>
     requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
   JsonWriter& value(T v) {
-    return raw(std::to_string(v));
+    char buf[24];
+    int n = 0;
+    if constexpr (std::is_unsigned_v<T>)
+      n = std::snprintf(buf, sizeof buf, "%llu",
+                        static_cast<unsigned long long>(v));
+    else
+      n = std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return raw(std::string_view(buf, static_cast<std::size_t>(n)));
   }
   JsonWriter& value(double v) {
     if (!std::isfinite(v)) return null();
@@ -76,7 +102,7 @@ public:
   /// byte-identical to the run that produced them).
   JsonWriter& raw_value(std::string_view json) {
     separate(/*is_key=*/false);
-    os_ << json;
+    put(json);
     return *this;
   }
 
@@ -115,9 +141,51 @@ private:
     int items = 0;
   };
 
+  void put(char c) {
+    if (str_ != nullptr)
+      str_->push_back(c);
+    else
+      os_->put(c);
+  }
+  void put(std::string_view s) {
+    if (str_ != nullptr)
+      str_->append(s);
+    else
+      os_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  /// Escapes straight into the sink: runs of clean characters are appended
+  /// in one shot, escapes spliced between them.
+  void put_escaped(std::string_view s) {
+    std::size_t flushed = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      const char* rep = nullptr;
+      char ubuf[8];
+      switch (c) {
+        case '"': rep = "\\\""; break;
+        case '\\': rep = "\\\\"; break;
+        case '\n': rep = "\\n"; break;
+        case '\r': rep = "\\r"; break;
+        case '\t': rep = "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            std::snprintf(ubuf, sizeof ubuf, "\\u%04x", c);
+            rep = ubuf;
+          }
+      }
+      if (rep != nullptr) {
+        put(s.substr(flushed, i - flushed));
+        put(std::string_view(rep));
+        flushed = i + 1;
+      }
+    }
+    put(s.substr(flushed));
+  }
+
   JsonWriter& open(char c) {
     separate(/*is_key=*/false);
-    os_ << c;
+    put(c);
     levels_.push_back(Level{c == '{' ? '}' : ']', 0});
     return *this;
   }
@@ -126,16 +194,16 @@ private:
     const Level lv = levels_.back();
     levels_.pop_back();
     if (lv.items > 0) newline_indent();
-    os_ << expected;
-    if (levels_.empty()) os_ << '\n';
+    put(expected);
+    if (levels_.empty()) put('\n');
     return *this;
   }
 
   [[nodiscard]] bool compact() const { return indent_width_ < 0; }
 
-  JsonWriter& raw(const std::string& text) {
+  JsonWriter& raw(std::string_view text) {
     separate(/*is_key=*/false);
-    os_ << text;
+    put(text);
     return *this;
   }
 
@@ -147,7 +215,7 @@ private:
       return;
     }
     if (!levels_.empty()) {
-      if (levels_.back().items > 0) os_ << ',';
+      if (levels_.back().items > 0) put(',');
       ++levels_.back().items;
       newline_indent();
     }
@@ -156,12 +224,13 @@ private:
 
   void newline_indent() {
     if (compact()) return;
-    os_ << '\n';
+    put('\n');
     for (std::size_t i = 0; i < levels_.size() * static_cast<std::size_t>(indent_width_); ++i)
-      os_ << ' ';
+      put(' ');
   }
 
-  std::ostream& os_;
+  std::ostream* os_ = nullptr;
+  std::string* str_ = nullptr;
   int indent_width_;
   std::vector<Level> levels_;
   bool pending_value_ = false;

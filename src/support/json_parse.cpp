@@ -39,9 +39,13 @@ const char* JsonValue::kind_name(Kind k) {
 
 /// Recursive-descent parser over a string_view. Errors carry the byte
 /// offset of the failure so protocol rejections can point at the problem.
+/// Every node (and every intermediate key string) is built on `mr`, the
+/// target document's memory resource, so subtree moves into the document
+/// are pointer steals, never element-wise copies.
 class JsonParser {
 public:
-  explicit JsonParser(std::string_view s) : s_(s) {}
+  JsonParser(std::string_view s, std::pmr::memory_resource* mr)
+      : s_(s), mr_(mr) {}
 
   bool run(JsonValue& out, std::string& error) {
     ws();
@@ -108,7 +112,7 @@ private:
     return true;
   }
 
-  bool string(std::string& out) {
+  bool string(std::pmr::string& out) {
     if (!eat('"')) return fail("expected '\"'");
     out.clear();
     while (i_ < s_.size()) {
@@ -172,7 +176,7 @@ private:
     return true;
   }
 
-  static void append_utf8(std::string& out, unsigned cp) {
+  static void append_utf8(std::pmr::string& out, unsigned cp) {
     if (cp < 0x80) {
       out += static_cast<char>(cp);
     } else if (cp < 0x800) {
@@ -226,13 +230,18 @@ private:
     if (eat('}')) return true;
     for (;;) {
       ws();
-      std::string key;
+      std::pmr::string key(mr_);
       if (!string(key)) return fail("expected object key");
-      if (out.find(key) != nullptr) return fail("duplicate key \"" + key + "\"");
+      if (out.find(key) != nullptr) {
+        std::string msg = "duplicate key \"";
+        msg += key;
+        msg += '"';
+        return fail(msg);
+      }
       ws();
       if (!eat(':')) return fail("expected ':'");
       ws();
-      JsonValue member;
+      JsonValue member{JsonValue::allocator_type(mr_)};
       if (!value(member, depth + 1)) return false;
       out.members_.emplace_back(std::move(key), std::move(member));
       ws();
@@ -248,7 +257,7 @@ private:
     if (eat(']')) return true;
     for (;;) {
       ws();
-      JsonValue item;
+      JsonValue item{JsonValue::allocator_type(mr_)};
       if (!value(item, depth + 1)) return false;
       out.items_.push_back(std::move(item));
       ws();
@@ -259,12 +268,13 @@ private:
 
   std::string_view s_;
   std::size_t i_ = 0;
+  std::pmr::memory_resource* mr_;
   std::string error_;
 };
 
 bool JsonValue::parse(std::string_view text, JsonValue& out, std::string& error) {
-  out = JsonValue();
-  return JsonParser(text).run(out, error);
+  out.clear_value();
+  return JsonParser(text, out.resource()).run(out, error);
 }
 
 } // namespace al::support

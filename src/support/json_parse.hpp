@@ -10,9 +10,18 @@
 //   * Parsing is strict: the WHOLE input must be one JSON value (callers
 //     frame NDJSON lines before parsing), objects reject duplicate keys,
 //     and nesting depth is bounded so hostile input cannot blow the stack.
+//
+// Allocation: every node's containers are std::pmr, so a JsonValue rooted
+// in an Arena (support/arena.hpp) parses without touching the global
+// allocator -- the serving hot path's per-request pool (DESIGN.md section
+// 17). Construct the root with a memory_resource and parse() threads it
+// through the whole tree; a default-constructed JsonValue behaves exactly
+// as before (new/delete via the default resource). String accessors return
+// string_views into node storage: they are valid for the life of the node,
+// i.e. until the owning arena resets.
 #pragma once
 
-#include <memory>
+#include <memory_resource>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -24,7 +33,28 @@ class JsonValue {
 public:
   enum class Kind { Null, Bool, Number, String, Array, Object };
 
+  using allocator_type = std::pmr::polymorphic_allocator<char>;
+  using ItemList = std::pmr::vector<JsonValue>;
+  using MemberList = std::pmr::vector<std::pair<std::pmr::string, JsonValue>>;
+
   JsonValue() = default;
+  explicit JsonValue(allocator_type alloc)
+      : text_(alloc), items_(alloc), members_(alloc) {}
+
+  // Allocator-extended copies/moves make JsonValue a proper uses-allocator
+  // type, so pmr containers propagate the arena down to every child node.
+  JsonValue(const JsonValue& other) = default;
+  JsonValue(JsonValue&& other) = default;
+  JsonValue(const JsonValue& other, allocator_type alloc)
+      : kind_(other.kind_), flag_(other.flag_), text_(other.text_, alloc),
+        items_(other.items_, alloc), members_(other.members_, alloc) {}
+  JsonValue(JsonValue&& other, allocator_type alloc)
+      : kind_(other.kind_), flag_(other.flag_),
+        text_(std::move(other.text_), alloc),
+        items_(std::move(other.items_), alloc),
+        members_(std::move(other.members_), alloc) {}
+  JsonValue& operator=(const JsonValue& other) = default;
+  JsonValue& operator=(JsonValue&& other) = default;
 
   [[nodiscard]] Kind kind() const { return kind_; }
   [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
@@ -36,20 +66,19 @@ public:
 
   [[nodiscard]] bool as_bool() const { return flag_; }
   /// String value (decoded escapes). Only meaningful for Kind::String.
-  [[nodiscard]] const std::string& as_string() const { return text_; }
+  /// The view aliases node storage: valid until the node (or its arena) dies.
+  [[nodiscard]] std::string_view as_string() const { return text_; }
   /// The untouched number token, e.g. "16", "-3.5", "1e9". Only for
   /// Kind::Number; feed it to al::parse_int/parse_long for integer fields.
-  [[nodiscard]] const std::string& number_lexeme() const { return text_; }
+  [[nodiscard]] std::string_view number_lexeme() const { return text_; }
   /// Number as double (strtod of the full lexeme). Contract-checked: calling
   /// it on a non-number, or on a lexeme strtod cannot consume entirely,
   /// throws ContractViolation instead of silently returning 0.0. Callers
   /// that may hold a non-number must test is_number() first.
   [[nodiscard]] double as_double() const;
 
-  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
-  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
-    return members_;
-  }
+  [[nodiscard]] const ItemList& items() const { return items_; }
+  [[nodiscard]] const MemberList& members() const { return members_; }
   /// Object member by key, or nullptr. Only meaningful for Kind::Object.
   [[nodiscard]] const JsonValue* find(std::string_view key) const;
 
@@ -57,8 +86,10 @@ public:
   [[nodiscard]] static const char* kind_name(Kind k);
 
   /// Parses exactly one JSON document from `text` (leading/trailing
-  /// whitespace allowed, nothing else). On failure returns false and sets
-  /// `error` to a one-line description with a byte offset.
+  /// whitespace allowed, nothing else) into `out`, allocating every node
+  /// from OUT'S memory resource (the default resource for a plain
+  /// JsonValue, the arena for `JsonValue doc{&arena}`). On failure returns
+  /// false and sets `error` to a one-line description with a byte offset.
   [[nodiscard]] static bool parse(std::string_view text, JsonValue& out,
                                   std::string& error);
 
@@ -68,11 +99,25 @@ public:
 private:
   friend class JsonParser;
 
+  /// The resource this node's containers allocate from.
+  [[nodiscard]] std::pmr::memory_resource* resource() const {
+    return items_.get_allocator().resource();
+  }
+
+  /// Back to Kind::Null, keeping the allocator (unlike `*this = {}`).
+  void clear_value() {
+    kind_ = Kind::Null;
+    flag_ = false;
+    text_.clear();
+    items_.clear();
+    members_.clear();
+  }
+
   Kind kind_ = Kind::Null;
   bool flag_ = false;
-  std::string text_;  ///< string value or number lexeme
-  std::vector<JsonValue> items_;
-  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::pmr::string text_;  ///< string value or number lexeme
+  ItemList items_;
+  MemberList members_;
 };
 
 } // namespace al::support

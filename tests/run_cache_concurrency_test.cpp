@@ -129,8 +129,8 @@ TEST(RunCacheConcurrency, BatchOfIdenticalRequestsSingleCompute) {
     std::string error;
     ASSERT_TRUE(JsonValue::parse(line, doc, error)) << error << "\n" << line;
     EXPECT_EQ(doc.find("status")->as_string(), "ok");
-    ids.insert(doc.find("id")->as_string());
-    const std::string cache = doc.find("cache")->as_string();
+    ids.insert(std::string(doc.find("id")->as_string()));
+    const std::string cache{doc.find("cache")->as_string()};
     if (cache == "hit") ++hits;
     if (cache == "miss") ++misses;
     // "report" is the last response field and hit responses splice the

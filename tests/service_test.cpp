@@ -397,7 +397,7 @@ TEST(ServiceDaemon, SaturatedQueueRejectsStructurally) {
     const std::string line = client.recv_line();
     ASSERT_FALSE(line.empty());
     const JsonValue doc = parse_response(line);
-    const std::string status = doc.find("status")->as_string();
+    const std::string status{doc.find("status")->as_string()};
     if (status == "ok") {
       ++ok;
     } else {
@@ -412,6 +412,45 @@ TEST(ServiceDaemon, SaturatedQueueRejectsStructurally) {
   server.request_stop();
   server.wait();
   EXPECT_EQ(server.summary().rejected, static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(ServiceDaemon, ReorderBufferOverflowParksStructuredRejection) {
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.reorder_cap = 1;  // one parked response, then overflow
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 2};
+  TestClient client(server.port());
+  // Three pipelined requests, all admitted before any completes (the
+  // reader's backpressure probe sees an empty buffer while it parses).
+  // s0 parks one worker for 300ms; the other worker finishes s1 at ~50ms
+  // (parked: buffer now at cap) and s2 at ~150ms -- that completion finds
+  // the buffer full, so its payload is replaced by a structured rejection.
+  // When s0 finally completes, all three flush in order.
+  client.send_line(request_line(c, "s0", "\"delay_ms\":300"));
+  client.send_line(request_line(c, "s1", "\"delay_ms\":50"));
+  client.send_line(request_line(c, "s2", "\"delay_ms\":100"));
+
+  const std::vector<std::string> expect_ids = {"s0", "s1", "s2"};
+  for (int i = 0; i < 3; ++i) {
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty()) << "response " << i;
+    const JsonValue doc = parse_response(line);
+    EXPECT_EQ(doc.find("id")->as_string(), expect_ids[static_cast<std::size_t>(i)]);
+    if (i < 2) {
+      EXPECT_EQ(doc.find("status")->as_string(), "ok") << line;
+    } else {
+      EXPECT_EQ(doc.find("status")->as_string(), "rejected") << line;
+      EXPECT_EQ(doc.find("reason")->as_string(),
+                "response reorder buffer overflow");
+    }
+  }
+
+  server.request_stop();
+  server.wait();
+  EXPECT_EQ(server.summary().reorder_overflows, 1u);
 }
 
 TEST(ServiceDaemon, AdmissionDeadlineRejectsLateWork) {

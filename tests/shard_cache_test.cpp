@@ -1,0 +1,332 @@
+// The in-process halves of the shard architecture (DESIGN.md section 17):
+// the request arena's reset/reuse contract, the mergeable latency
+// histogram, the cross-shard shm cache's slot/lock/eviction behaviour, and
+// the RunCache L1 <-> ShmRunCache L2 layering -- including a multi-threaded
+// lane where two L1s (stand-ins for two shard processes, same memory
+// semantics) hammer one segment. Everything here is thread-based, so the
+// whole binary runs under the "tsan" ctest label; the fork-based fleet
+// tests live in shard_test.cpp, which deliberately does not.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory_resource>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "perf/run_cache.hpp"
+#include "perf/shm_cache.hpp"
+#include "service/protocol.hpp"
+#include "support/arena.hpp"
+#include "support/histogram.hpp"
+#include "support/json.hpp"
+
+namespace al {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+TEST(Arena, BumpsAlignsAndResets) {
+  support::Arena arena(/*initial_block_bytes=*/256);
+  void* a = arena.allocate(10, 1);
+  void* b = arena.allocate(32, 32);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 32, 0u);
+  EXPECT_EQ(arena.stats().alloc_calls, 2u);
+  EXPECT_GE(arena.stats().bytes_in_use, 42u);
+
+  arena.reset();
+  EXPECT_EQ(arena.stats().resets, 1u);
+  EXPECT_EQ(arena.stats().bytes_in_use, 0u);
+  // The block is retained: allocating again reuses it, no new block.
+  const std::uint64_t blocks = arena.stats().block_allocs;
+  void* c = arena.allocate(10, 1);
+  EXPECT_EQ(c, a);  // same block, same offset: the pool actually rewound
+  EXPECT_EQ(arena.stats().block_allocs, blocks);
+}
+
+TEST(Arena, GrowsByDoublingAndServesOversize) {
+  support::Arena arena(/*initial_block_bytes=*/64);
+  // Oversize request (> current block, > doubling) gets its own block.
+  void* big = arena.allocate(1u << 18, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.stats().bytes_reserved, 1u << 18);
+  // pmr plumbing: a vector on the arena works end to end.
+  std::pmr::vector<int> v(&arena);
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v[999], 999);
+}
+
+// The satellite acceptance: 1000 sequential requests through the real
+// request decoder on ONE arena. After warm-up the pool must stop acquiring
+// blocks -- parse cost becomes pointer bumps only.
+TEST(Arena, ThousandRequestParseReuse) {
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  std::string line;
+  {
+    support::JsonWriter w(line, -1);
+    w.begin_object();
+    w.kv("schema", service::kRequestSchema);
+    w.kv("schema_version", service::kProtocolVersion);
+    w.kv("id", "arena");
+    w.kv("source", corpus::source_for(c));
+    w.key("options").begin_object();
+    w.kv("procs", c.procs);
+    w.end_object();
+    w.end_object();
+  }
+  line.pop_back();  // parse_request takes an unframed line
+
+  support::Arena arena;
+  std::uint64_t warm_blocks = 0;
+  for (int i = 0; i < 1000; ++i) {
+    arena.reset();
+    service::ParsedRequest parsed =
+        service::parse_request(line, service::kMaxRequestBytes, &arena);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.request.id, "arena");
+    EXPECT_EQ(parsed.request.options.procs, 4);
+    if (i == 9) warm_blocks = arena.stats().block_allocs;
+  }
+  const support::ArenaStats& s = arena.stats();
+  EXPECT_EQ(s.resets, 1000u);
+  // Steady state: the blocks acquired in the first few requests serve all
+  // later ones. Any growth after warm-up means the reset is not reusing.
+  EXPECT_EQ(s.block_allocs, warm_blocks);
+  EXPECT_GT(s.high_water, 0u);
+  EXPECT_GE(s.bytes_reserved, s.high_water);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, PercentilesApproximateExactWithinBucketError) {
+  support::LatencyHistogram h;
+  std::vector<double> exact;
+  for (int i = 1; i <= 1000; ++i) {
+    const double ms = 0.05 * static_cast<double>(i);  // 0.05 .. 50 ms
+    h.add(ms);
+    exact.push_back(ms);
+  }
+  EXPECT_EQ(h.total(), 1000u);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 50.0);
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const double approx = h.percentile(p);
+    const double truth = exact[static_cast<std::size_t>(p / 100.0 * 999.0)];
+    EXPECT_NEAR(approx / truth, 1.0, 0.10) << "p" << p;
+  }
+  // The top-ranked read reports the exact maximum, not a bucket midpoint.
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 50.0);
+}
+
+TEST(LatencyHistogram, MergeEqualsSerializationRoundTrip) {
+  support::LatencyHistogram a, b;
+  for (int i = 0; i < 500; ++i) a.add(0.01 * i);
+  for (int i = 0; i < 300; ++i) b.add(1.0 + 0.1 * i);
+
+  support::LatencyHistogram merged = a;
+  merged.merge(b);
+
+  // The pipe protocol: walk b's buckets out, inject into a copy of a.
+  support::LatencyHistogram rebuilt = a;
+  b.for_each_bucket(
+      [&](int bucket, std::uint64_t count) { rebuilt.inject(bucket, count); });
+  rebuilt.inject_extremes(b.sum_ms(), b.max_ms());
+
+  EXPECT_EQ(rebuilt.total(), merged.total());
+  EXPECT_DOUBLE_EQ(rebuilt.sum_ms(), merged.sum_ms());
+  EXPECT_DOUBLE_EQ(rebuilt.max_ms(), merged.max_ms());
+  for (const double p : {50.0, 90.0, 99.0})
+    EXPECT_DOUBLE_EQ(rebuilt.percentile(p), merged.percentile(p));
+}
+
+// ---------------------------------------------------------------------------
+// ShmRunCache
+// ---------------------------------------------------------------------------
+
+perf::RunKey key_of(std::uint64_t n) {
+  perf::RunDigest d;
+  d.mix(n);
+  return d.key();
+}
+
+perf::CachedRun run_of(const std::string& report) {
+  perf::CachedRun run;
+  run.report_json = report;
+  run.program = "prog";
+  run.engine = "dp";
+  run.compute_ms = 1.5;
+  return run;
+}
+
+TEST(ShmRunCache, InsertFindRoundTrip) {
+  const auto cache = perf::ShmRunCache::create({});
+  ASSERT_NE(cache, nullptr);
+
+  perf::CachedRun out;
+  EXPECT_FALSE(cache->find(key_of(1), out));
+  EXPECT_TRUE(cache->insert(key_of(1), run_of("{\"x\":1}")));
+  ASSERT_TRUE(cache->find(key_of(1), out));
+  EXPECT_EQ(out.report_json, "{\"x\":1}");
+  EXPECT_EQ(out.program, "prog");
+  EXPECT_EQ(out.engine, "dp");
+  EXPECT_DOUBLE_EQ(out.compute_ms, 1.5);
+
+  const perf::ShmCacheStats s = cache->stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.fills, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ShmRunCache, RejectsPayloadsLargerThanACell) {
+  perf::ShmCacheConfig cfg;
+  cfg.cell_bytes = 256;
+  const auto cache = perf::ShmRunCache::create(cfg);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_FALSE(cache->insert(key_of(1), run_of(std::string(4096, 'x'))));
+  EXPECT_EQ(cache->stats().rejected_large, 1u);
+  EXPECT_EQ(cache->stats().entries, 0u);
+  // A fitting payload still lands.
+  EXPECT_TRUE(cache->insert(key_of(1), run_of("ok")));
+}
+
+TEST(ShmRunCache, EvictsLeastRecentlyTouchedWithinBucket) {
+  perf::ShmCacheConfig cfg;
+  cfg.slots = perf::ShmRunCache::kWays;  // one bucket: every key collides
+  cfg.cell_bytes = 512;
+  const auto cache = perf::ShmRunCache::create(cfg);
+  ASSERT_NE(cache, nullptr);
+
+  for (std::uint64_t i = 0; i < 24; ++i)
+    ASSERT_TRUE(cache->insert(key_of(i), run_of(std::to_string(i))));
+
+  const perf::ShmCacheStats s = cache->stats();
+  EXPECT_EQ(s.entries, static_cast<std::uint64_t>(perf::ShmRunCache::kWays));
+  EXPECT_EQ(s.replacements, 24u - perf::ShmRunCache::kWays);
+  // The most recent insert always survives.
+  perf::CachedRun out;
+  EXPECT_TRUE(cache->find(key_of(23), out));
+  EXPECT_EQ(out.report_json, "23");
+  // Re-inserting an existing key replaces in place, not a second slot.
+  EXPECT_TRUE(cache->insert(key_of(23), run_of("v2")));
+  EXPECT_EQ(cache->stats().entries,
+            static_cast<std::uint64_t>(perf::ShmRunCache::kWays));
+  ASSERT_TRUE(cache->find(key_of(23), out));
+  EXPECT_EQ(out.report_json, "v2");
+}
+
+// ---------------------------------------------------------------------------
+// RunCache as L1 over the segment
+// ---------------------------------------------------------------------------
+
+TEST(RunCacheL2, WriteThroughAndPromotion) {
+  const auto segment = perf::ShmRunCache::create({});
+  ASSERT_NE(segment, nullptr);
+  // Two L1s over one segment: the in-process analogue of two shards.
+  perf::RunCache a, b;
+  a.attach_shared(segment.get());
+  b.attach_shared(segment.get());
+
+  const perf::RunKey k = key_of(42);
+  a.insert(k, run_of("{\"r\":42}"));
+
+  // b has never seen the key: its L1 misses, the segment serves it, and the
+  // hit is promoted -- so the SECOND probe stays in-process.
+  auto hit = b.find(k);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->report_json, "{\"r\":42}");
+  perf::RunCacheStats sb = b.stats();
+  EXPECT_EQ(sb.hits, 1u);
+  EXPECT_EQ(sb.shared_hits, 1u);
+  EXPECT_EQ(sb.shared_misses, 0u);
+
+  const std::uint64_t segment_hits = segment->stats().hits;
+  hit = b.find(k);
+  ASSERT_NE(hit, nullptr);
+  sb = b.stats();
+  EXPECT_EQ(sb.hits, 2u);
+  EXPECT_EQ(sb.shared_hits, 1u);              // still just the one promotion
+  EXPECT_EQ(segment->stats().hits, segment_hits);  // L1 served it
+
+  // A genuinely absent key misses both layers.
+  EXPECT_EQ(b.find(key_of(7)), nullptr);
+  EXPECT_EQ(b.stats().shared_misses, 1u);
+}
+
+TEST(RunCacheL2, OversizeWriteThroughFallsBackToL1Only) {
+  perf::ShmCacheConfig cfg;
+  cfg.cell_bytes = 256;
+  const auto segment = perf::ShmRunCache::create(cfg);
+  ASSERT_NE(segment, nullptr);
+  perf::RunCache a, b;
+  a.attach_shared(segment.get());
+  b.attach_shared(segment.get());
+
+  const perf::RunKey k = key_of(1);
+  a.insert(k, run_of(std::string(4096, 'y')));
+  EXPECT_EQ(a.stats().shared_rejects, 1u);
+  // a still serves it from its L1 ...
+  EXPECT_NE(a.find(k), nullptr);
+  // ... but b cannot get it through the segment.
+  EXPECT_EQ(b.find(k), nullptr);
+}
+
+TEST(RunCacheL2, ConcurrentTrafficAcrossTwoL1s) {
+  const auto segment = perf::ShmRunCache::create({});
+  ASSERT_NE(segment, nullptr);
+  perf::RunCache a, b;
+  a.attach_shared(segment.get());
+  b.attach_shared(segment.get());
+
+  constexpr int kThreadsPerCache = 3;
+  constexpr int kOpsPerThread = 2000;
+  constexpr std::uint64_t kKeySpace = 32;
+  std::atomic<std::uint64_t> served{0};
+
+  auto worker = [&](perf::RunCache& cache, unsigned seed) {
+    std::uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::uint64_t n = (state >> 33) % kKeySpace;
+      const perf::RunKey k = key_of(n);
+      const auto hit = cache.find(k);
+      if (hit == nullptr) {
+        cache.insert(k, run_of(std::to_string(n)));
+      } else {
+        ASSERT_EQ(hit->report_json, std::to_string(n));
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreadsPerCache; ++t) {
+      threads.emplace_back([&, t] { worker(a, static_cast<unsigned>(t + 1)); });
+      threads.emplace_back(
+          [&, t] { worker(b, static_cast<unsigned>(t + 100)); });
+    }
+  }
+
+  // Every payload round-tripped intact (the ASSERT above), and the segment
+  // carried real cross-cache traffic.
+  EXPECT_GT(served.load(), 0u);
+  const perf::ShmCacheStats s = segment->stats();
+  EXPECT_GT(s.fills, 0u);
+  EXPECT_LE(s.entries, kKeySpace);
+  const perf::RunCacheStats sa = a.stats();
+  const perf::RunCacheStats sb = b.stats();
+  EXPECT_EQ(sa.hits + sa.misses,
+            static_cast<std::uint64_t>(kThreadsPerCache) * kOpsPerThread);
+  EXPECT_EQ(sb.hits + sb.misses,
+            static_cast<std::uint64_t>(kThreadsPerCache) * kOpsPerThread);
+}
+
+} // namespace
+} // namespace al

@@ -1,0 +1,289 @@
+// The multi-process fleet end to end (DESIGN.md section 17): N forked
+// shards behind one SO_REUSEPORT port answer with selections identical to
+// the standalone tool, a SIGKILLed shard is restarted by the supervisor
+// (clients reconnect and keep being served), and a repeat request computes
+// ONCE fleet-wide because the cross-shard segment serves every other
+// shard's first probe.
+//
+// This binary forks, so it carries only the "service" label -- NOT "tsan":
+// fork() from a sanitized multi-threaded parent is exactly the case tsan
+// rejects. The thread-based shm-cache/arena coverage with the sanitizer on
+// lives in shard_cache_test.cpp.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "driver/json_report.hpp"
+#include "driver/tool.hpp"
+#include "service/protocol.hpp"
+#include "service/shard.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+
+namespace al::service {
+namespace {
+
+using support::JsonValue;
+
+// A client send can race a SIGKILLed shard and draw an RST; the default
+// SIGPIPE disposition would then kill the whole test binary mid-test and
+// orphan the fleet's children. Ignore it for the process.
+[[maybe_unused]] const auto kIgnoreSigpipe = ::signal(SIGPIPE, SIG_IGN);
+
+std::string request_line(const corpus::TestCase& c, const std::string& id) {
+  std::string line;
+  support::JsonWriter w(line, -1);
+  w.begin_object();
+  w.kv("schema", kRequestSchema);
+  w.kv("schema_version", kProtocolVersion);
+  w.kv("id", id);
+  w.kv("source", corpus::source_for(c));
+  w.key("options").begin_object();
+  w.kv("procs", c.procs);
+  w.end_object();
+  w.end_object();
+  return line;  // ends "}\n"
+}
+
+JsonValue parse_doc(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(JsonValue::parse(text, doc, error)) << error << "\n" << text;
+  return doc;
+}
+
+std::string selection_fingerprint(const JsonValue& report) {
+  std::string fp;
+  for (const JsonValue& phase : report.find("phases")->items()) {
+    fp += phase.find("chosen")->number_lexeme();
+    fp += ':';
+    fp += phase.find("chosen_layout")->as_string();
+    fp += '\n';
+  }
+  const JsonValue* sel = report.find("selection");
+  fp += "total=";
+  fp += sel->find("total_cost_us")->number_lexeme();
+  return fp;
+}
+
+/// One blocking loopback connection; fresh per request in these tests so
+/// the kernel's SO_REUSEPORT balancing gets a chance to spread load.
+class Client {
+public:
+  explicit Client(int port) {
+    // Retried: start() returns once the fleet is FORKED, not once every
+    // child has reached listen(); until one does, a connect gets an RST
+    // from the supervisor's bound-but-not-listening reservation socket.
+    // The same window reopens briefly while a killed shard is reforked.
+    for (int attempt = 0; attempt < 250 && fd_ < 0; ++attempt) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) break;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+        fd_ = fd;
+        return;
+      }
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "could not connect to the fleet on port " << port;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd_, line.data() + off, line.size() - off, 0);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string recv_line() {
+    std::string buffer;
+    while (true) {
+      const std::size_t nl = buffer.find('\n');
+      if (nl != std::string::npos) return buffer.substr(0, nl);
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::string();
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+private:
+  int fd_ = -1;
+};
+
+/// A supervisor plus the thread pumping its supervision loop. start() forks
+/// BEFORE the thread exists, so every child is created from a
+/// single-threaded parent image; only crash restarts fork later.
+class Fleet {
+public:
+  explicit Fleet(ShardOptions opts) : supervisor_(opts) {}
+  ~Fleet() { stop(); }
+
+  [[nodiscard]] bool start() {
+    if (!supervisor_.start()) return false;
+    runner_ = std::thread([this] { rc_ = supervisor_.run(); });
+    return true;
+  }
+  void stop() {
+    supervisor_.request_stop();
+    if (runner_.joinable()) runner_.join();
+  }
+
+  [[nodiscard]] ShardSupervisor& supervisor() { return supervisor_; }
+  [[nodiscard]] int rc() const { return rc_; }
+
+private:
+  ShardSupervisor supervisor_;
+  std::thread runner_;
+  int rc_ = -1;
+};
+
+ShardOptions fleet_options(int shards, int workers) {
+  ShardOptions opts;
+  opts.shards = shards;
+  opts.server.workers = workers;
+  opts.server.grace_ms = 2'000;
+  return opts;
+}
+
+TEST(ShardFleet, RoundTripMatchesStandaloneTool) {
+  const std::vector<corpus::TestCase> cases = {
+      {"adi", 32, corpus::Dtype::DoublePrecision, 4},
+      {"tomcatv", 32, corpus::Dtype::DoublePrecision, 4},
+  };
+  std::vector<std::string> expected;
+  for (const corpus::TestCase& c : cases) {
+    driver::ToolOptions topts;
+    topts.procs = c.procs;
+    topts.threads = 1;
+    const auto result = driver::run_tool(corpus::source_for(c), topts);
+    expected.push_back(
+        selection_fingerprint(parse_doc(driver::json_report(*result))));
+  }
+
+  Fleet fleet(fleet_options(/*shards=*/2, /*workers=*/2));
+  ASSERT_TRUE(fleet.start());
+  ASSERT_GT(fleet.supervisor().port(), 0);
+
+  constexpr int kRounds = 6;  // fresh connection each -> both shards see work
+  int answered = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const corpus::TestCase& c = cases[static_cast<std::size_t>(round) %
+                                      cases.size()];
+    Client client(fleet.supervisor().port());
+    client.send_line(request_line(c, c.program));
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty()) << "round " << round;
+    const JsonValue doc = parse_doc(line);
+    ASSERT_EQ(doc.find("status")->as_string(), "ok") << line;
+    EXPECT_EQ(selection_fingerprint(*doc.find("report")),
+              expected[static_cast<std::size_t>(round) % cases.size()]);
+    ++answered;
+  }
+  EXPECT_EQ(answered, kRounds);
+
+  fleet.stop();
+  EXPECT_EQ(fleet.rc(), 0);
+  const JsonValue summary = parse_doc(fleet.supervisor().fleet_summary_json());
+  EXPECT_EQ(summary.find("schema")->as_string(), "autolayout.fleet_summary");
+  EXPECT_EQ(summary.find("cache_mode")->as_string(), "shared");
+  EXPECT_EQ(static_cast<int>(summary.find("requests")->find("ok")->as_double()),
+            kRounds);
+  EXPECT_EQ(summary.find("restarts")->number_lexeme(), "0");
+  // Every shard that served contributed a summary document.
+  EXPECT_GE(summary.find("per_shard")->items().size(), 1u);
+}
+
+TEST(ShardFleet, KilledShardIsRestartedAndClientsReconnect) {
+  Fleet fleet(fleet_options(/*shards=*/2, /*workers=*/1));
+  ASSERT_TRUE(fleet.start());
+
+  const corpus::TestCase c{"adi", 32, corpus::Dtype::DoublePrecision, 4};
+  {
+    Client client(fleet.supervisor().port());
+    client.send_line(request_line(c, "before"));
+    ASSERT_FALSE(client.recv_line().empty());
+  }
+
+  const std::vector<pid_t> pids = fleet.supervisor().shard_pids();
+  ASSERT_EQ(pids.size(), 2u);
+  ASSERT_GT(pids[0], 0);
+  ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+
+  // The supervisor's reap loop must notice and refork within its budget.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fleet.supervisor().restarts() < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(fleet.supervisor().restarts(), 1);
+
+  // Full strength again: both pids live, new connections served. A few
+  // rounds so the balancer touches the restarted listener too.
+  for (int round = 0; round < 4; ++round) {
+    Client client(fleet.supervisor().port());
+    client.send_line(request_line(c, "after"));
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty()) << "round " << round;
+    EXPECT_EQ(parse_doc(line).find("status")->as_string(), "ok");
+  }
+  const std::vector<pid_t> after = fleet.supervisor().shard_pids();
+  EXPECT_GT(after[0], 0);
+  EXPECT_EQ(after[1], pids[1]);
+
+  fleet.stop();
+  const JsonValue summary = parse_doc(fleet.supervisor().fleet_summary_json());
+  EXPECT_EQ(summary.find("restarts")->number_lexeme(), "1");
+}
+
+TEST(ShardFleet, RepeatRequestComputesOnceFleetWide) {
+  Fleet fleet(fleet_options(/*shards=*/2, /*workers=*/1));
+  ASSERT_TRUE(fleet.start());
+
+  const corpus::TestCase c{"erlebacher", 16, corpus::Dtype::DoublePrecision, 4};
+  constexpr int kConnections = 24;
+  for (int i = 0; i < kConnections; ++i) {
+    Client client(fleet.supervisor().port());
+    client.send_line(request_line(c, "repeat"));
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty()) << "connection " << i;
+    ASSERT_EQ(parse_doc(line).find("status")->as_string(), "ok");
+  }
+
+  fleet.stop();
+  const JsonValue summary = parse_doc(fleet.supervisor().fleet_summary_json());
+  const JsonValue* cache = summary.find("cache");
+  // THE cross-shard property: one compute total. Whichever shard saw the
+  // key first filled the segment; every later first-probe on the other
+  // shard promoted from it instead of recomputing.
+  EXPECT_EQ(static_cast<int>(cache->find("misses")->as_double()), 1);
+  EXPECT_EQ(static_cast<int>(cache->find("hits")->as_double()),
+            kConnections - 1);
+  const JsonValue* shard_cache = summary.find("shard_cache");
+  ASSERT_NE(shard_cache, nullptr);
+  EXPECT_EQ(static_cast<int>(shard_cache->find("fills")->as_double()), 1);
+  const JsonValue* segment = shard_cache->find("segment");
+  ASSERT_NE(segment, nullptr);
+  EXPECT_EQ(static_cast<int>(segment->find("entries")->as_double()), 1);
+}
+
+} // namespace
+} // namespace al::service

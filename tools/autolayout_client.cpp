@@ -168,7 +168,7 @@ void drive_connection(int port, const std::vector<std::string>& requests,
       ++tally.errors;
       continue;
     }
-    const std::string& status = doc.find("status")->as_string();
+    const std::string_view status = doc.find("status")->as_string();
     if (status == "ok") {
       ++tally.ok;
     } else if (status == "rejected") {

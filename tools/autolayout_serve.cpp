@@ -7,19 +7,34 @@
 //                          exit when done; responses go to --out
 //   --port N               listen on 127.0.0.1:N (0 = ephemeral; the bound
 //                          port is printed to stderr)
-//   --workers N            request-executing threads; 0 = one per usable
-//                          CPU (the default; affinity-clamped on pinned
-//                          containers)
+//   --shards N             fork N shard processes that share the port via
+//                          SO_REUSEPORT; a supervisor restarts crashed
+//                          shards and aggregates their summaries (default 1
+//                          = single-process daemon)
+//   --max-restarts N       per-shard crash-restart budget     (default 3)
+//   --workers N            request-executing threads PER SHARD; 0 = one per
+//                          usable CPU (the default; affinity-clamped on
+//                          pinned containers)
 //   --queue N              admission queue capacity; a full queue answers
 //                          "rejected: queue full"           (default 64)
-//   --grace-ms N           drain budget after SIGINT/SIGTERM (default 5000)
+//   --grace-ms N           drain budget after SIGINT/SIGTERM, per shard
+//                          (default 5000)
+//   --listen-backlog N     accept-queue depth handed to listen(2)
+//                          (default 64)
+//   --reorder-cap N        per-connection bound on out-of-order responses
+//                          parked for pipelined ordering    (default 256)
 //   --max-request-bytes N  per-line size cap                (default 4 MiB)
 //   --no-run-cache         disable the whole-run result cache
+//   --no-shared-cache      keep shard run caches process-local (skip the
+//                          cross-shard shm segment)
+//   --shm-slots N          cross-shard cache slot count     (default 1024)
+//   --shm-cell-bytes N     payload bytes per slot           (default 48 KiB)
 //   --run-cache-entries N  run-cache entry cap (0 = unbounded; default 1024)
 //   --run-cache-bytes N    run-cache byte cap (0 = unbounded; default 64 MiB)
 //   --out FILE             batch responses ("-" = stdout, the default)
 //   --summary FILE         final service summary JSON ("-" = stderr, the
-//                          default; always emitted)
+//                          default; always emitted). With --shards > 1 this
+//                          is the "autolayout.fleet_summary" aggregate.
 //
 // Wire format: one "autolayout.request" v1 JSON document per line in, one
 // "autolayout.response" v1 document per line out (see src/service/protocol).
@@ -36,23 +51,29 @@
 #include <string>
 
 #include "service/server.hpp"
+#include "service/shard.hpp"
 #include "support/text.hpp"
 
 namespace {
 
 al::service::Server* g_server = nullptr;
+al::service::ShardSupervisor* g_supervisor = nullptr;
 
 /// Only an atomic store happens behind this call -- async-signal-safe.
 void on_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
+  if (g_supervisor != nullptr) g_supervisor->request_stop();
 }
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--batch FILE | --port N) [--workers N] [--queue N]\n"
-               "          [--grace-ms N] [--max-request-bytes N] [--out FILE]\n"
+               "usage: %s (--batch FILE | --port N) [--shards N] [--workers N]\n"
+               "          [--queue N] [--grace-ms N] [--max-request-bytes N]\n"
+               "          [--listen-backlog N] [--reorder-cap N] [--out FILE]\n"
                "          [--no-run-cache] [--run-cache-entries N]\n"
-               "          [--run-cache-bytes N] [--summary FILE]\n",
+               "          [--run-cache-bytes N] [--no-shared-cache]\n"
+               "          [--shm-slots N] [--shm-cell-bytes N]\n"
+               "          [--max-restarts N] [--summary FILE]\n",
                argv0);
 }
 
@@ -61,6 +82,8 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace al;
   service::ServerOptions opts;
+  service::ShardOptions shard_opts;
+  int shards = 1;
   std::string batch_file;
   std::string out_file = "-";
   std::string summary_file = "-";
@@ -93,6 +116,26 @@ int main(int argc, char** argv) {
       }
       opts.port = port;
       daemon = true;
+    } else if (a == "--shards") {
+      int_flag("--shards", 1, shards);
+    } else if (a == "--max-restarts") {
+      int_flag("--max-restarts", 0, shard_opts.max_restarts_per_shard);
+    } else if (a == "--listen-backlog") {
+      int_flag("--listen-backlog", 1, opts.listen_backlog);
+    } else if (a == "--reorder-cap") {
+      int cap = 0;
+      int_flag("--reorder-cap", 1, cap);
+      opts.reorder_cap = static_cast<std::size_t>(cap);
+    } else if (a == "--no-shared-cache") {
+      shard_opts.shared_cache = false;
+    } else if (a == "--shm-slots") {
+      int slots = 0;
+      int_flag("--shm-slots", 1, slots);
+      shard_opts.shm.slots = static_cast<std::size_t>(slots);
+    } else if (a == "--shm-cell-bytes") {
+      int bytes = 0;
+      int_flag("--shm-cell-bytes", 256, bytes);
+      shard_opts.shm.cell_bytes = static_cast<std::size_t>(bytes);
     } else if (a == "--workers") {
       // 0 is valid: "auto", one worker per usable CPU.
       int_flag("--workers", 0, opts.workers);
@@ -152,6 +195,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --batch and --port are mutually exclusive\n",
                  argv[0]);
     return 1;
+  }
+  if (!daemon && shards > 1) {
+    std::fprintf(stderr, "%s: --shards requires --port\n", argv[0]);
+    return 1;
+  }
+
+  if (daemon && shards > 1) {
+    // Sharded fleet: the supervisor owns the port and the shm segment; each
+    // forked child runs a full Server bound to the same port.
+    shard_opts.shards = shards;
+    shard_opts.server = opts;
+    service::ShardSupervisor supervisor(shard_opts);
+    g_supervisor = &supervisor;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    if (!supervisor.start()) return 1;
+    std::fprintf(stderr,
+                 "%s: listening on 127.0.0.1:%d (%d shards, queue %zu, "
+                 "run cache %s)\n",
+                 argv[0], supervisor.port(), shards, opts.queue_capacity,
+                 opts.run_cache ? "on" : "off");
+    const int rc = supervisor.run();
+    const std::string summary = supervisor.fleet_summary_json();
+    if (summary_file == "-") {
+      std::fputs(summary.c_str(), stderr);
+    } else {
+      std::ofstream sf(summary_file);
+      if (!sf) {
+        std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                     summary_file.c_str());
+        return 1;
+      }
+      sf << summary;
+    }
+    g_supervisor = nullptr;
+    return rc;
   }
 
   service::Server server(opts);
